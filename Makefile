@@ -1,0 +1,36 @@
+# Convenience targets for the tsync repository.
+
+GO ?= go
+
+.PHONY: all build test bench vet figures clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# the full evaluation: one benchmark per table and figure of the paper
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# human-readable regenerations of every paper artifact
+figures:
+	$(GO) run ./cmd/latencies
+	$(GO) run ./cmd/clockstudy -fig 4a
+	$(GO) run ./cmd/clockstudy -fig 4b
+	$(GO) run ./cmd/clockstudy -fig 4c
+	$(GO) run ./cmd/clockstudy -fig 5a
+	$(GO) run ./cmd/clockstudy -fig 5b
+	$(GO) run ./cmd/clockstudy -fig 5c
+	$(GO) run ./cmd/clockstudy -fig 6
+	$(GO) run ./cmd/appviolations -compare -waitstates
+	$(GO) run ./cmd/ompstudy -timeline
+
+clean:
+	rm -f trace.etr trace.etr.offsets.json test_output.txt bench_output.txt

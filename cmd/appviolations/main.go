@@ -1,0 +1,154 @@
+// Command appviolations regenerates Fig. 7: the frequency of
+// clock-condition violations in traces of the two MPI applications (the
+// POP-like ocean stencil and the SMG2000-like multigrid solver), traced
+// with Scalasca methodology — offsets measured at MPI_Init/MPI_Finalize,
+// linear offset interpolation postmortem — on 32 scheduler-placed ranks.
+//
+// With -compare, it additionally applies every correction method in the
+// repository (Section V ablation) to the last repetition's trace.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tsync/internal/clock"
+	"tsync/internal/experiments"
+	"tsync/internal/render"
+	"tsync/internal/topology"
+)
+
+func main() {
+	var (
+		machine = flag.String("machine", "xeon", "machine: xeon, ppc, opteron")
+		timer   = flag.String("timer", "tsc", "timer the tracer uses")
+		ranks   = flag.Int("ranks", 32, "MPI processes")
+		reps    = flag.Int("reps", 3, "repetitions to average (paper used 3)")
+		seed    = flag.Uint64("seed", 11, "random seed")
+		scale   = flag.Float64("scale", 1, "workload duration multiplier")
+		apps    = flag.String("apps", "pop,smg", "comma-separated app list")
+		compare = flag.Bool("compare", false, "run the Section V correction ablation")
+		waits   = flag.Bool("waitstates", false, "quantify the wait-state analysis error caused by timestamp inaccuracy")
+	)
+	flag.Parse()
+
+	m, err := topology.ParseMachine(*machine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "appviolations:", err)
+		os.Exit(1)
+	}
+	k, err := clock.ParseKind(*timer)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "appviolations:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("FIG. 7 — %s: %% messages with reversed send/receive order and %% message\n", m.Name)
+	fmt.Printf("transfer events of total events (%d ranks, %d reps, linear interpolation)\n\n", *ranks, *reps)
+
+	var rows [][]string
+	var results []*experiments.AppViolationsResult
+	for _, name := range splitList(*apps) {
+		res, err := experiments.AppViolations(experiments.AppViolationsConfig{
+			App:     experiments.AppKind(name),
+			Machine: m,
+			Timer:   k,
+			Ranks:   *ranks,
+			Reps:    *reps,
+			Seed:    *seed,
+			Scale:   *scale,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "appviolations:", err)
+			os.Exit(1)
+		}
+		results = append(results, res)
+		rows = append(rows, []string{
+			string(res.App),
+			fmt.Sprintf("%.2f", res.PctReversed),
+			fmt.Sprintf("%.2f", res.PctReversedLogical),
+			fmt.Sprintf("%.1f", res.PctMessageEvents),
+			fmt.Sprintf("%d", res.Census.Messages),
+			fmt.Sprintf("%d", res.Census.TotalEvents),
+		})
+	}
+	fmt.Print(render.Table(
+		[]string{"app", "% reversed msgs", "% reversed incl. logical", "% msg events", "messages", "events"},
+		rows))
+	var labels []string
+	var revVals, evVals []float64
+	for _, res := range results {
+		labels = append(labels, string(res.App))
+		revVals = append(revVals, res.PctReversed)
+		evVals = append(evVals, res.PctMessageEvents)
+	}
+	fmt.Println()
+	fmt.Print(render.Bars("% messages reversed (front row of Fig. 7)", labels, revVals, 50))
+	fmt.Print(render.Bars("% message transfer events of total (back row)", labels, evVals, 50))
+
+	if *waits {
+		for _, res := range results {
+			impact, err := experiments.WaitStateStudy(res.RawTrace, res.InitOffsets, res.FinOffsets)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "appviolations:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("\nLate Sender wait states — %s (last repetition):\n", res.App)
+			fmt.Printf("  ground truth:          %6d instances, total %10.1f µs\n",
+				impact.Oracle.LateSenders, impact.Oracle.TotalWait*1e6)
+			fmt.Printf("  raw timestamps:        %6d instances, total %10.1f µs (error %+.2f%%)\n",
+				impact.Raw.LateSenders, impact.Raw.TotalWait*1e6, impact.RawErrPct)
+			fmt.Printf("  after interpolation:   %6d instances, total %10.1f µs (error %+.2f%%)\n",
+				impact.Measured.LateSenders, impact.Measured.TotalWait*1e6, impact.MeasuredErrPct)
+			fmt.Printf("  after interp + CLC:    %6d instances, total %10.1f µs (error %+.2f%%)\n",
+				impact.Corrected.LateSenders, impact.Corrected.TotalWait*1e6, impact.CorrectedErrPct)
+		}
+	}
+
+	if *compare {
+		for _, res := range results {
+			fmt.Printf("\nSection V ablation — %s (last repetition):\n\n", res.App)
+			cmp, err := experiments.CompareCorrections(res.RawTrace, res.InitOffsets, res.FinOffsets)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "appviolations:", err)
+				os.Exit(1)
+			}
+			var rows [][]string
+			for _, r := range cmp {
+				if r.Err != nil {
+					rows = append(rows, []string{r.Method, "error: " + r.Err.Error(), "", ""})
+					continue
+				}
+				rows = append(rows, []string{
+					r.Method,
+					fmt.Sprintf("%d", r.Violations),
+					render.Micro(r.Distortion.MaxAbs),
+					render.Micro(r.Distortion.MeanAbs),
+				})
+			}
+			fmt.Print(render.Table(
+				[]string{"method", "violations left", "max |Δinterval| µs", "mean |Δinterval| µs"},
+				rows))
+		}
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	cur := ""
+	for _, c := range s {
+		if c == ',' {
+			if cur != "" {
+				out = append(out, cur)
+			}
+			cur = ""
+			continue
+		}
+		cur += string(c)
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+// Command clockstudy regenerates the clock-deviation experiments of
+// Figs. 4, 5 and 6: residual deviations of worker clocks from the master
+// after offset alignment or linear offset interpolation, across timers,
+// machines and run lengths.
+//
+// Named presets reproduce the paper's panels:
+//
+//	clockstudy -fig 4a     MPI_Wtime, 300 s, offset alignment (Fig. 4a)
+//	clockstudy -fig 5b     PowerPC TB, 3600 s, interpolation (Fig. 5b)
+//	clockstudy -fig 6      Xeon TSC, 300 s, interpolation vs latency
+//
+// Free-form studies combine -machine, -timer, -dur and -correct. Output is
+// an ASCII plot plus summary; -csv emits the full series instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tsync/internal/clock"
+	"tsync/internal/experiments"
+	"tsync/internal/render"
+	"tsync/internal/stats"
+	"tsync/internal/topology"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "", "paper preset: 4a, 4b, 4c, 5a, 5b, 5c, 6 (overrides other selectors)")
+		machine  = flag.String("machine", "xeon", "machine: xeon, ppc, opteron, itanium")
+		timer    = flag.String("timer", "tsc", "timer: tsc, tb, rtc, gtod, mpiwtime, cycle, global")
+		dur      = flag.Float64("dur", 300, "run duration in simulated seconds")
+		interval = flag.Float64("interval", 0, "sample interval (default dur/300)")
+		workers  = flag.Int("workers", 4, "number of processes (one per node)")
+		correct  = flag.String("correct", "align", "correction: none, align, interp, piecewise")
+		mids     = flag.Int("mids", 3, "mid-run offset measurements for -correct piecewise")
+		scope    = flag.String("scope", "node", "process placement scope: node, chip, core")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		measured = flag.Bool("measured", false, "sample through noisy clock reads instead of ideal drift")
+		csv      = flag.Bool("csv", false, "emit the series as CSV instead of a plot")
+		adev     = flag.Bool("adev", false, "report Allan deviations of each worker's deviation series")
+		rank     = flag.Bool("rank-timers", false, "compare all timer technologies on the machine instead of plotting one")
+		width    = flag.Int("width", 100, "plot width")
+		height   = flag.Int("height", 24, "plot height")
+	)
+	flag.Parse()
+
+	if *rank {
+		if err := rankTimers(*machine, *dur, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "clockstudy:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	cfg, title, err := buildConfig(*fig, *machine, *timer, *dur, *interval, *workers, *correct, *scope, *seed, *measured, *mids)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clockstudy:", err)
+		os.Exit(1)
+	}
+	res, err := experiments.ClockStudy(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clockstudy:", err)
+		os.Exit(1)
+	}
+	if *csv {
+		fmt.Print(render.SeriesCSV(res.Series, nil))
+		return
+	}
+	if *adev {
+		printAllan(res, cfg.Interval)
+	}
+	fmt.Print(render.SeriesPlot(res.Series, *width, *height, title, res.HalfLatency, -res.HalfLatency))
+	fmt.Printf("\nmax |deviation|: %s µs   half l_min bound: %s µs (dashed)\n",
+		render.Micro(res.Series.MaxAbsDeviation()), render.Micro(res.HalfLatency))
+	if res.Exceeded {
+		fmt.Printf("deviation first exceeds the bound at t = %.0f s — clock-condition violations possible from there on\n", res.FirstExceed)
+	} else {
+		fmt.Println("deviation stayed within the bound for this run and seed")
+	}
+}
+
+// rankTimers prints the Section VI comparison: residual deviations per
+// timer technology after alignment and after interpolation.
+func rankTimers(machine string, dur float64, seed uint64) error {
+	m, err := topology.ParseMachine(machine)
+	if err != nil {
+		return err
+	}
+	rows, err := experiments.RankTimers(m, nil, dur, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("timer ranking on %s over %.0f s (4 processes, one per node), best first:\n\n", m.Name, dur)
+	var cells [][]string
+	for _, r := range rows {
+		verdict := "within bound"
+		if r.Exceeded {
+			verdict = fmt.Sprintf("exceeds l_min/2 at t=%.0f s", r.FirstExceed)
+		}
+		cells = append(cells, []string{
+			r.Timer.String(),
+			render.Micro(r.MaxDevAlign),
+			render.Micro(r.MaxDevInterp),
+			verdict,
+		})
+	}
+	fmt.Print(render.Table([]string{"timer", "align-only max dev [µs]", "interp max dev [µs]", "clock condition"}, cells))
+	return nil
+}
+
+// printAllan reports oscillator stability as Allan deviations of each
+// worker-vs-master deviation series at a few averaging times.
+func printAllan(res *experiments.ClockStudyResult, interval float64) {
+	fmt.Println("Allan deviation of worker deviations (oscillator-pair stability):")
+	for i, dev := range res.Series.Dev {
+		fmt.Printf("  worker %d:", i+1)
+		for _, m := range []int{1, 4, 16, 64} {
+			s, err := stats.AllanDeviation(dev, interval, m)
+			if err != nil {
+				continue
+			}
+			fmt.Printf("  σ(%gs)=%.2e", float64(m)*interval, s)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+}
+
+func buildConfig(fig, machine, timer string, dur, interval float64, workers int, correct, scope string, seed uint64, measured bool, mids int) (experiments.ClockStudyConfig, string, error) {
+	var cfg experiments.ClockStudyConfig
+	var err error
+	var title string
+	switch fig {
+	case "4a", "4b", "4c":
+		cfg, err = experiments.Fig4Config(fig[1:], seed)
+		title = fmt.Sprintf("Fig. %s: %s deviations after offset alignment (%s)", fig, cfg.Timer, cfg.Machine.Name)
+	case "5a", "5b", "5c":
+		cfg, err = experiments.Fig5Config(fig[1:], seed)
+		title = fmt.Sprintf("Fig. %s: %s deviations after linear interpolation (%s)", fig, cfg.Timer, cfg.Machine.Name)
+	case "6":
+		cfg = experiments.Fig6Config(seed)
+		title = "Fig. 6: Xeon TSC after linear interpolation, short run, vs ±l_min/2"
+	case "":
+		m, merr := topology.ParseMachine(machine)
+		if merr != nil {
+			return cfg, "", merr
+		}
+		k, kerr := clock.ParseKind(timer)
+		if kerr != nil {
+			return cfg, "", kerr
+		}
+		if interval <= 0 {
+			interval = dur / 300
+		}
+		cfg = experiments.ClockStudyConfig{
+			Machine:         m,
+			Timer:           k,
+			Duration:        dur,
+			Interval:        interval,
+			Workers:         workers,
+			Correction:      experiments.Correction(correct),
+			Seed:            seed,
+			Measured:        measured,
+			MidMeasurements: mids,
+		}
+		switch scope {
+		case "node":
+		case "chip":
+			cfg.Pinning, err = topology.InterChip(m, workers)
+		case "core":
+			cfg.Pinning, err = topology.InterCore(m, workers)
+		default:
+			return cfg, "", fmt.Errorf("unknown scope %q", scope)
+		}
+		title = fmt.Sprintf("%s deviations on %s after %s over %.0f s", k, m.Name, correct, dur)
+	default:
+		return cfg, "", fmt.Errorf("unknown figure preset %q", fig)
+	}
+	return cfg, title, err
+}

@@ -1,0 +1,125 @@
+// Command latencies regenerates Tables I and II of the paper: the
+// process-pinning setups used for intra- and inter-node measurements, and
+// the message/collective latency statistics measured with them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tsync/internal/clock"
+	"tsync/internal/experiments"
+	"tsync/internal/measure"
+	"tsync/internal/mpi"
+	"tsync/internal/render"
+	"tsync/internal/topology"
+)
+
+func main() {
+	var (
+		machine = flag.String("machine", "xeon", "machine: xeon, ppc, opteron, itanium")
+		timer   = flag.String("timer", "tsc", "timer used by the latency benchmark")
+		reps    = flag.Int("reps", 2000, "ping-pong repetitions")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		table   = flag.Int("table", 0, "print only table 1 or 2 (0 = both)")
+		matrix  = flag.Int("matrix", 0, "additionally measure an NxN inter-node latency matrix with this many nodes")
+	)
+	flag.Parse()
+
+	m, err := topology.ParseMachine(*machine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "latencies:", err)
+		os.Exit(1)
+	}
+	k, err := clock.ParseKind(*timer)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "latencies:", err)
+		os.Exit(1)
+	}
+
+	if *table == 0 || *table == 1 {
+		fmt.Printf("TABLE I — %s: process pinning for measurements among SMP nodes, chips, and cores\n\n", m.Name)
+		fmt.Print(render.Table(
+			[]string{"setup", "process pinning"},
+			[][]string{
+				{"Inter node", "4 nodes, 1 process per node"},
+				{"Inter chip", fmt.Sprintf("1 node, %d chips per node, 1 process per chip", m.ChipsPerNode)},
+				{"Inter core", fmt.Sprintf("1 node, 1 chip per node, %d processes per chip", m.CoresPerChip)},
+			}))
+		fmt.Println()
+	}
+	if *matrix > 1 {
+		if err := printMatrix(m, k, *matrix, *reps, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "latencies:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	if *table == 0 || *table == 2 {
+		rows, err := experiments.LatencyStudy(m, k, *reps, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "latencies:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("TABLE II — %s: measured message and collective latencies\n\n", m.Name)
+		var cells [][]string
+		for _, r := range rows {
+			cells = append(cells, []string{
+				r.Name,
+				render.Micro(r.Result.Mean),
+				fmt.Sprintf("%.2E", r.Result.StdDev*1e6),
+			})
+		}
+		fmt.Print(render.Table([]string{"", "mean [µs]", "std. dev. [µs]"}, cells))
+	}
+}
+
+// printMatrix measures and prints the pairwise inter-node latency matrix;
+// on the Opteron torus the hop gradient is visible along the rows.
+func printMatrix(m topology.Machine, k clock.Kind, n, reps int, seed uint64) error {
+	pin, err := topology.InterNode(m, n)
+	if err != nil {
+		return err
+	}
+	w, err := mpi.NewWorld(mpi.Config{Machine: m, Timer: k, Pinning: pin, Seed: seed})
+	if err != nil {
+		return err
+	}
+	var mat [][]float64
+	var inner error
+	if err := w.Run(func(r *mpi.Rank) {
+		got, err := measure.LatencyMatrix(r, reps/10+1, 0)
+		if err != nil {
+			inner = err
+			return
+		}
+		if r.Rank() == 0 {
+			mat = got
+		}
+	}); err != nil {
+		return err
+	}
+	if inner != nil {
+		return inner
+	}
+	fmt.Printf("pairwise one-way latency matrix [µs] on %s (%d nodes):\n\n", m.Name, n)
+	header := []string{"from\\to"}
+	for j := 0; j < n; j++ {
+		header = append(header, fmt.Sprintf("n%d", j))
+	}
+	var rows [][]string
+	for i := 0; i < n; i++ {
+		row := []string{fmt.Sprintf("n%d", i)}
+		for j := 0; j < n; j++ {
+			if i == j {
+				row = append(row, "-")
+			} else {
+				row = append(row, render.Micro(mat[i][j]))
+			}
+		}
+		rows = append(rows, row)
+	}
+	fmt.Print(render.Table(header, rows))
+	return nil
+}

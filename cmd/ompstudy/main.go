@@ -1,0 +1,114 @@
+// Command ompstudy regenerates the OpenMP experiments: Fig. 8 (percentage
+// of parallel regions with POMP-semantics violations across thread counts
+// on the Itanium SMP node) and Fig. 3 (a VAMPIR-style time-line of a
+// violated barrier, with -timeline).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"tsync/internal/clock"
+	"tsync/internal/experiments"
+	"tsync/internal/render"
+	"tsync/internal/topology"
+)
+
+func main() {
+	var (
+		threads  = flag.String("threads", "4,8,12,16", "comma-separated thread counts")
+		regions  = flag.Int("regions", 100, "parallel-region instances per run")
+		reps     = flag.Int("reps", 3, "repetitions to average (paper used 3)")
+		seed     = flag.Uint64("seed", 2, "random seed")
+		timer    = flag.String("timer", "tsc", "timer (the Itanium ITC is the tsc model)")
+		timeline = flag.Bool("timeline", false, "render a Fig. 3 style time-line of the first violated region")
+		correct  = flag.String("correct", "none", "correction before the census: none, align, clc")
+	)
+	flag.Parse()
+
+	k, err := clock.ParseKind(*timer)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ompstudy:", err)
+		os.Exit(1)
+	}
+	m := topology.Itanium()
+
+	fmt.Printf("FIG. 8 — %s: %% of parallel regions with POMP violations\n", m.Name)
+	how := "no offset alignment or interpolation"
+	switch *correct {
+	case "align":
+		how = "after intra-node offset alignment"
+	case "clc":
+		how = "after the shared-memory controlled logical clock"
+	}
+	fmt.Printf("(%d regions per run, %d reps averaged, %s)\n\n", *regions, *reps, how)
+
+	var rows [][]string
+	var lastViolated *experiments.OMPStudyResult
+	for _, spec := range strings.Split(*threads, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(spec))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ompstudy: bad thread count:", spec)
+			os.Exit(1)
+		}
+		res, err := experiments.OMPStudy(experiments.OMPStudyConfig{
+			Machine: m,
+			Timer:   k,
+			Threads: n,
+			Regions: *regions,
+			Reps:    *reps,
+			Seed:    *seed,
+			Correct: *correct,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ompstudy:", err)
+			os.Exit(1)
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", res.Threads),
+			fmt.Sprintf("%.1f", res.PctAny),
+			fmt.Sprintf("%.1f", res.PctEntry),
+			fmt.Sprintf("%.1f", res.PctExit),
+			fmt.Sprintf("%.1f", res.PctBarrier),
+		})
+		if res.PctAny > 0 && lastViolated == nil {
+			lastViolated = res
+		}
+	}
+	fmt.Print(render.Table(
+		[]string{"threads", "% any", "% region entry", "% region exit", "% barrier"},
+		rows))
+	var labels []string
+	var anyVals []float64
+	for _, row := range rows {
+		labels = append(labels, row[0]+" threads")
+		v, _ := strconv.ParseFloat(row[1], 64)
+		anyVals = append(anyVals, v)
+	}
+	fmt.Println()
+	fmt.Print(render.Bars("% parallel regions with violations of any kind", labels, anyVals, 50))
+
+	if *timeline {
+		fmt.Println()
+		if lastViolated == nil {
+			fmt.Println("no violated region to render — all runs were clean")
+			return
+		}
+		reg, inst, ok := render.FirstViolatedRegion(lastViolated.Trace)
+		if !ok {
+			fmt.Println("the averaged runs had violations, but the retained trace is clean")
+			return
+		}
+		fmt.Printf("FIG. 3 — time-line of the first violated region (%d threads):\n", lastViolated.Threads)
+		fmt.Println("F fork  J join  E enter  X exit  [ ] barrier  = inside barrier  - inside region")
+		out, err := render.POMPTimeline(lastViolated.Trace, reg, inst, 100)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ompstudy:", err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+	}
+}

@@ -1,0 +1,144 @@
+// Command tracegen runs a synthetic workload on the simulated cluster and
+// writes the resulting event trace (plus the offset measurements taken at
+// initialization and finalization) to a .etr file for later analysis with
+// tracesync.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"tsync/internal/apps"
+	"tsync/internal/clock"
+	"tsync/internal/measure"
+	"tsync/internal/mpi"
+	"tsync/internal/topology"
+	"tsync/internal/trace"
+	"tsync/internal/xrand"
+)
+
+// sidecar is the offset-table file written next to the trace.
+type sidecar struct {
+	Init []measure.Offset `json:"init"`
+	Fin  []measure.Offset `json:"fin"`
+}
+
+func main() {
+	var (
+		app     = flag.String("app", "pop", "workload: pop, smg, transpose")
+		machine = flag.String("machine", "xeon", "machine: xeon, ppc, opteron")
+		timer   = flag.String("timer", "tsc", "timer")
+		ranks   = flag.Int("ranks", 32, "MPI processes")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		scale   = flag.Float64("scale", 1, "workload duration multiplier")
+		out     = flag.String("o", "trace.etr", "output trace file")
+	)
+	flag.Parse()
+
+	if err := run(*app, *machine, *timer, *ranks, *seed, *scale, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(app, machine, timer string, ranks int, seed uint64, scale float64, out string) error {
+	m, err := topology.ParseMachine(machine)
+	if err != nil {
+		return err
+	}
+	k, err := clock.ParseKind(timer)
+	if err != nil {
+		return err
+	}
+	pin, err := topology.Scheduled(m, ranks, xrand.NewSource(seed^0x5bd1e995))
+	if err != nil {
+		return err
+	}
+	w, err := mpi.NewWorld(mpi.Config{Machine: m, Timer: k, Pinning: pin, Seed: seed})
+	if err != nil {
+		return err
+	}
+	var body func(*mpi.Rank)
+	switch app {
+	case "pop":
+		px, py := grid(ranks)
+		cfg := apps.DefaultPOP(px, py)
+		cfg.Seed = seed
+		cfg.StepTime *= scale
+		body = apps.POP(cfg)
+	case "smg":
+		cfg := apps.DefaultSMG()
+		cfg.Seed = seed
+		cfg.IdleBefore *= scale
+		cfg.IdleAfter *= scale
+		body = apps.SMG(cfg)
+	case "transpose":
+		px, py := grid(ranks)
+		cfg := apps.DefaultTranspose(px, py)
+		cfg.Seed = seed
+		cfg.StepTime *= scale
+		body = apps.Transpose(cfg)
+	default:
+		return fmt.Errorf("unknown app %q", app)
+	}
+	var side sidecar
+	var inner error
+	err = w.Run(func(r *mpi.Rank) {
+		init, err := measure.Offsets(r, 20)
+		if err != nil {
+			inner = err
+			return
+		}
+		body(r)
+		fin, err := measure.Offsets(r, 20)
+		if err != nil {
+			inner = err
+			return
+		}
+		if r.Rank() == 0 {
+			side.Init, side.Fin = init, fin
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if inner != nil {
+		return inner
+	}
+	tr := w.Trace()
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	n, err := trace.Write(f, tr)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	offsetsPath := out + ".offsets.json"
+	blob, err := json.MarshalIndent(side, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(offsetsPath, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d bytes, %d events, %d ranks) and %s\n",
+		out, n, tr.EventCount(), len(tr.Procs), offsetsPath)
+	return nil
+}
+
+func grid(n int) (int, int) {
+	best := 1
+	for d := 1; d*d <= n; d++ {
+		if n%d == 0 {
+			best = d
+		}
+	}
+	return n / best, best
+}

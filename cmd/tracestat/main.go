@@ -1,0 +1,123 @@
+// Command tracestat inspects a trace file: descriptive statistics, the
+// clock-condition violation census, and a Late Sender wait-state analysis
+// showing how far the measured waiting times deviate from the simulation's
+// ground truth — the "false conclusions" the paper warns about. With
+// -json it dumps the full trace as JSON instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tsync/internal/analysis"
+	"tsync/internal/render"
+	"tsync/internal/trace"
+)
+
+func main() {
+	var (
+		in       = flag.String("i", "trace.etr", "input trace file")
+		jsonOut  = flag.Bool("json", false, "dump the trace as JSON to stdout")
+		timeline = flag.Bool("timeline", false, "render a message time-line of the densest second")
+	)
+	flag.Parse()
+
+	if err := run(*in, *jsonOut, *timeline); err != nil {
+		fmt.Fprintln(os.Stderr, "tracestat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in string, jsonOut, timeline bool) error {
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	var tr *trace.Trace
+	if strings.HasSuffix(in, ".json") {
+		tr, err = trace.ReadJSON(f)
+	} else {
+		tr, err = trace.Read(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return trace.WriteJSON(os.Stdout, tr)
+	}
+	fmt.Print(trace.Summarize(tr).String())
+
+	census, err := analysis.CensusOf(tr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nclock-condition census (recorded timestamps):\n")
+	fmt.Printf("  %d messages, %d reversed (%.2f%%), %d violate t_recv >= t_send + l_min\n",
+		census.Messages, census.Reversed, census.PctReversed(), census.ClockCondition)
+	fmt.Printf("  %d logical messages from collectives, %d reversed\n",
+		census.LogicalMessages, census.ReversedLogical)
+
+	if prof, err := analysis.ProfileRegions(tr, false); err == nil && len(prof) > 0 {
+		fmt.Printf("\nregion profile (recorded timestamps):\n")
+		for _, rp := range prof {
+			flag := ""
+			if rp.Negative > 0 {
+				flag = fmt.Sprintf("   <- %d negative durations (clock error!)", rp.Negative)
+			}
+			fmt.Printf("  %-22q %6d visits, incl %10.1f µs, excl %10.1f µs%s\n",
+				rp.Region, rp.Visits, rp.Inclusive*1e6, rp.Exclusive*1e6, flag)
+		}
+	}
+
+	lat, err := analysis.MessageLatencies(tr, false)
+	if err == nil && lat.Stats.N() > 0 {
+		fmt.Printf("\napparent one-way latencies (recorded timestamps):\n")
+		fmt.Printf("  mean %.2f µs, min %.2f µs, max %.2f µs — %d of %d negative (impossible)\n",
+			lat.Stats.Mean()*1e6, lat.Stats.Min()*1e6, lat.Stats.Max()*1e6, lat.Negative, lat.Stats.N())
+	}
+
+	measured, err := analysis.LateSender(tr, false)
+	if err != nil {
+		return err
+	}
+	oracle, err := analysis.LateSender(tr, true)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nLate Sender wait states:\n")
+	fmt.Printf("  ground truth:  %5d instances, total %.1f µs, max %.2f µs\n",
+		oracle.LateSenders, oracle.TotalWait*1e6, oracle.MaxWait*1e6)
+	fmt.Printf("  from trace:    %5d instances, total %.1f µs, max %.2f µs\n",
+		measured.LateSenders, measured.TotalWait*1e6, measured.MaxWait*1e6)
+	if oracle.TotalWait > 0 {
+		errPct := 100 * (measured.TotalWait - oracle.TotalWait) / oracle.TotalWait
+		fmt.Printf("  quantification error from timestamp inaccuracy: %+.1f%%\n", errPct)
+	}
+
+	if timeline {
+		s := trace.Summarize(tr)
+		// render the window around the first recorded event span
+		var t0 float64
+		found := false
+		for _, p := range tr.Procs {
+			if len(p.Events) > 0 && (!found || p.Events[0].True < t0) {
+				t0 = p.Events[0].True
+				found = true
+			}
+		}
+		if found {
+			out, err := render.MessageTimeline(tr, t0, t0+s.SpanTrue+1e-9, 100)
+			if err != nil {
+				fmt.Printf("\n(no message time-line: %v)\n", err)
+			} else {
+				fmt.Printf("\n%s", out)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+// Command tracesync applies postmortem timestamp synchronization to a
+// trace file produced by tracegen: a base correction (offset alignment,
+// linear interpolation, or an error-estimation method) optionally followed
+// by the controlled logical clock, reporting clock-condition violations
+// before and after. With -all it compares every method side by side.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tsync/internal/analysis"
+	"tsync/internal/core"
+	"tsync/internal/experiments"
+	"tsync/internal/measure"
+	"tsync/internal/render"
+	"tsync/internal/trace"
+)
+
+type sidecar struct {
+	Init []measure.Offset `json:"init"`
+	Fin  []measure.Offset `json:"fin"`
+}
+
+func main() {
+	var (
+		in      = flag.String("i", "trace.etr", "input trace file")
+		out     = flag.String("o", "", "write the corrected trace here (optional)")
+		base    = flag.String("base", "interp", "base correction: none, align, interp, duda-regression, duda-convex-hull, hofmann-minmax")
+		withCLC = flag.Bool("clc", true, "apply the controlled logical clock after the base correction")
+		all     = flag.Bool("all", false, "compare all correction methods instead")
+	)
+	flag.Parse()
+
+	if err := run(*in, *out, *base, *withCLC, *all); err != nil {
+		fmt.Fprintln(os.Stderr, "tracesync:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, out, base string, withCLC, all bool) error {
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	var tr *trace.Trace
+	if strings.HasSuffix(in, ".json") {
+		tr, err = trace.ReadJSON(f)
+	} else {
+		tr, err = trace.Read(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	var side sidecar
+	haveOffsets := false
+	if blob, err := os.ReadFile(in + ".offsets.json"); err == nil {
+		if err := json.Unmarshal(blob, &side); err != nil {
+			return fmt.Errorf("offset sidecar: %w", err)
+		}
+		haveOffsets = true
+	}
+	needsOffsets := all || base == "align" || base == "interp"
+	if needsOffsets && !haveOffsets {
+		return fmt.Errorf("no %s.offsets.json sidecar: alignment/interpolation need the offset tables (generate traces with tracegen, or use -base none/duda-*/hofmann-minmax)", in)
+	}
+
+	if all {
+		rows, err := experiments.CompareCorrections(tr, side.Init, side.Fin)
+		if err != nil {
+			return err
+		}
+		var cells [][]string
+		for _, r := range rows {
+			if r.Err != nil {
+				cells = append(cells, []string{r.Method, "error: " + r.Err.Error(), "", ""})
+				continue
+			}
+			cells = append(cells, []string{
+				r.Method,
+				fmt.Sprintf("%d", r.Violations),
+				render.Micro(r.Distortion.MaxAbs),
+				render.Micro(r.Distortion.MeanAbs),
+			})
+		}
+		fmt.Print(render.Table(
+			[]string{"method", "violations left", "max |Δinterval| µs", "mean |Δinterval| µs"},
+			cells))
+		return nil
+	}
+
+	b, err := core.ParseBase(base)
+	if err != nil {
+		return err
+	}
+	res, err := (core.Pipeline{Base: b, CLC: withCLC, Parallel: true}).Run(tr, side.Init, side.Fin)
+	if err != nil {
+		return err
+	}
+	printCensus := func(label string, c analysis.Census) {
+		fmt.Printf("%-8s %6d messages, %5d reversed (%.2f%%), %5d clock-condition violations (incl. %d logical reversed)\n",
+			label, c.Messages, c.Reversed, c.PctReversed(), c.ClockCondition, c.ReversedLogical)
+	}
+	fmt.Printf("trace: %s on %s with %s timer, %d events\n\n", in, tr.Machine, tr.Timer, tr.EventCount())
+	printCensus("before:", res.Before)
+	printCensus("after:", res.After)
+	if withCLC {
+		fmt.Printf("\nCLC: %d -> %d violations (γ-scaled), %d events moved, max advance %s µs\n",
+			res.CLCReport.ViolationsBefore, res.CLCReport.ViolationsAfter,
+			res.CLCReport.EventsMoved, render.Micro(res.CLCReport.MaxAdvance))
+	}
+	fmt.Printf("interval distortion: max %s µs, mean %s µs, %d of %d intervals shrunk\n",
+		render.Micro(res.Distortion.MaxAbs), render.Micro(res.Distortion.MeanAbs),
+		res.Distortion.Shrunk, res.Distortion.N)
+
+	if out != "" {
+		g, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		_, err = trace.Write(g, res.Trace)
+		if cerr := g.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("corrected trace written to %s\n", out)
+	}
+	return nil
+}

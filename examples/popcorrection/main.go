@@ -1,0 +1,66 @@
+// Popcorrection traces a POP-like ocean simulation with Scalasca-style
+// methodology (Fig. 7 of the paper), shows the clock-condition violations
+// that linear interpolation leaves behind, and compares every correction
+// method in the repository on the same trace — ending with the controlled
+// logical clock, which removes all of them.
+//
+// Run with: go run ./examples/popcorrection
+// (takes ~10-20 s; pass a smaller scale via code if impatient)
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tsync/internal/clock"
+	"tsync/internal/experiments"
+	"tsync/internal/render"
+	"tsync/internal/topology"
+)
+
+func main() {
+	fmt.Println("tracing a POP-like run: 32 ranks, 9000-iteration equivalent,")
+	fmt.Println("iterations 3500-5500 traced, offsets measured at Init and Finalize...")
+	res, err := experiments.AppViolations(experiments.AppViolationsConfig{
+		App:     experiments.AppPOP,
+		Machine: topology.Xeon(),
+		Timer:   clock.TSC,
+		Ranks:   32,
+		Reps:    1,
+		Seed:    11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter linear interpolation (the Scalasca default):\n")
+	fmt.Printf("  %d messages, %.2f%% with reversed send/receive order\n",
+		res.Census.Messages, res.PctReversed)
+	fmt.Printf("  %d messages violate the clock condition t_recv >= t_send + l_min\n",
+		res.Census.ClockCondition)
+	fmt.Printf("  message transfer events are %.1f%% of the %d trace events\n\n",
+		res.PctMessageEvents, res.Census.TotalEvents)
+
+	fmt.Println("comparing all correction methods on the raw trace:")
+	rows, err := experiments.CompareCorrections(res.RawTrace, res.InitOffsets, res.FinOffsets)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cells [][]string
+	for _, r := range rows {
+		if r.Err != nil {
+			cells = append(cells, []string{r.Method, "error: " + r.Err.Error(), ""})
+			continue
+		}
+		cells = append(cells, []string{
+			r.Method,
+			fmt.Sprintf("%d", r.Violations),
+			render.Micro(r.Distortion.MeanAbs),
+		})
+	}
+	fmt.Println()
+	fmt.Print(render.Table([]string{"method", "violations left", "mean |Δinterval| µs"}, cells))
+	fmt.Println("\nthe paper's conclusion in one table: alignment and interpolation help but")
+	fmt.Println("cannot guarantee the clock condition; the CLC restores it completely while")
+	fmt.Println("disturbing local intervals by only ~1 µs on average — unlike the pure")
+	fmt.Println("Lamport schedule, which orders perfectly but destroys all timing.")
+}

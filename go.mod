@@ -1,0 +1,3 @@
+module tsync
+
+go 1.24

@@ -1,0 +1,597 @@
+// Package analysis computes the quantities the paper's evaluation reports:
+// clock-condition violation censuses over message-passing traces (Fig. 7),
+// POMP-semantics violation classes over OpenMP traces (Figs. 3 and 8),
+// clock deviation time series under a given correction (Figs. 4-6), and
+// interval-distortion metrics that quantify how much a correction disturbs
+// local timing (the property CLC's amortization protects).
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"tsync/internal/clock"
+	"tsync/internal/interp"
+	"tsync/internal/lclock"
+	"tsync/internal/stats"
+	"tsync/internal/trace"
+)
+
+// Census counts clock-condition violations in a message-passing trace, the
+// quantities behind Fig. 7.
+type Census struct {
+	TotalEvents int
+	// MessageEvents counts Send and Recv records.
+	MessageEvents int
+	// Messages counts matched point-to-point messages.
+	Messages int
+	// Reversed counts messages whose receive is timestamped before the
+	// send — the "arrows pointing backward" of Fig. 7's front row.
+	Reversed int
+	// ClockCondition counts messages violating Eq. 1
+	// (t_recv < t_send + l_min); a superset of Reversed.
+	ClockCondition int
+	// LogicalMessages counts the point-to-point edges derived from
+	// collective operations ("logical messages", Section IV).
+	LogicalMessages int
+	// ReversedLogical counts logical messages with reversed order.
+	ReversedLogical int
+}
+
+// PctReversed returns the percentage of point-to-point messages with
+// reversed send/receive order (Fig. 7 front row).
+func (c Census) PctReversed() float64 {
+	if c.Messages == 0 {
+		return 0
+	}
+	return 100 * float64(c.Reversed) / float64(c.Messages)
+}
+
+// PctReversedLogical returns the percentage over both real and logical
+// messages.
+func (c Census) PctReversedLogical() float64 {
+	total := c.Messages + c.LogicalMessages
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(c.Reversed+c.ReversedLogical) / float64(total)
+}
+
+// PctMessageEvents returns the fraction of message transfer events in
+// relation to the total number of events (Fig. 7 back row).
+func (c Census) PctMessageEvents() float64 {
+	if c.TotalEvents == 0 {
+		return 0
+	}
+	return 100 * float64(c.MessageEvents) / float64(c.TotalEvents)
+}
+
+// CensusOf analyses a trace's Time stamps.
+func CensusOf(t *trace.Trace) (Census, error) {
+	var c Census
+	c.TotalEvents = t.EventCount()
+	for _, p := range t.Procs {
+		for _, ev := range p.Events {
+			if ev.Kind == trace.Send || ev.Kind == trace.Recv {
+				c.MessageEvents++
+			}
+		}
+	}
+	msgs, err := t.Messages()
+	if err != nil {
+		return Census{}, err
+	}
+	c.Messages = len(msgs)
+	for _, m := range msgs {
+		send := t.Procs[m.From].Events[m.FromIdx].Time
+		recv := t.Procs[m.To].Events[m.ToIdx].Time
+		if recv < send {
+			c.Reversed++
+		}
+		if recv < send+t.MinLatencyBetween(m.From, m.To) {
+			c.ClockCondition++
+		}
+	}
+	colls, err := t.Collectives()
+	if err != nil {
+		return Census{}, err
+	}
+	for _, coll := range colls {
+		for _, e := range lclock.CollEdges(coll) {
+			c.LogicalMessages++
+			from := t.Procs[e.From.Rank].Events[e.From.Idx].Time
+			to := t.Procs[e.To.Rank].Events[e.To.Idx].Time
+			if to < from {
+				c.ReversedLogical++
+			}
+		}
+	}
+	return c, nil
+}
+
+// POMPCensus classifies violations of shared-memory event semantics per
+// parallel-region instance, the quantities of Fig. 8: at region entry (a
+// thread's first event precedes the fork), at region exit (a thread's last
+// event follows the join), and during the implicit barrier (one thread
+// exits before another enters, Fig. 2(d)).
+type POMPCensus struct {
+	Regions int
+	// Any counts regions with at least one violation of any class.
+	Any int
+	// Entry counts regions where the fork is not the first event.
+	Entry int
+	// Exit counts regions where the join is not the last event.
+	Exit int
+	// Barrier counts regions whose implicit barrier executions do not
+	// overlap across all thread pairs.
+	Barrier int
+}
+
+// Pct returns the four percentages (any, entry, exit, barrier) over the
+// region count.
+func (c POMPCensus) Pct() (anyPct, entry, exit, barrier float64) {
+	if c.Regions == 0 {
+		return 0, 0, 0, 0
+	}
+	f := 100 / float64(c.Regions)
+	return f * float64(c.Any), f * float64(c.Entry), f * float64(c.Exit), f * float64(c.Barrier)
+}
+
+// regionKey identifies one dynamic parallel-region instance.
+type regionKey struct {
+	region   int32
+	instance int32
+}
+
+// POMPCensusOf analyses an OpenMP trace recorded under the POMP event
+// model: per parallel-region instance, a Fork and Join on the master
+// thread, and Enter/BarrierEnter/BarrierExit/Exit on every thread.
+func POMPCensusOf(t *trace.Trace) (POMPCensus, error) {
+	type regionData struct {
+		forkTime, joinTime    float64
+		hasFork, hasJoin      bool
+		firstEvent, lastEvent float64
+		hasEvents             bool
+		barrierEnter          []float64
+		barrierExit           []float64
+	}
+	regions := map[regionKey]*regionData{}
+	var order []regionKey
+	get := func(k regionKey) *regionData {
+		d, ok := regions[k]
+		if !ok {
+			d = &regionData{}
+			regions[k] = d
+			order = append(order, k)
+		}
+		return d
+	}
+	for _, p := range t.Procs {
+		for _, ev := range p.Events {
+			k := regionKey{ev.Region, ev.Instance}
+			switch ev.Kind {
+			case trace.Fork:
+				d := get(k)
+				if d.hasFork {
+					return POMPCensus{}, fmt.Errorf("analysis: duplicate Fork for region %d instance %d", ev.Region, ev.Instance)
+				}
+				d.hasFork, d.forkTime = true, ev.Time
+			case trace.Join:
+				d := get(k)
+				if d.hasJoin {
+					return POMPCensus{}, fmt.Errorf("analysis: duplicate Join for region %d instance %d", ev.Region, ev.Instance)
+				}
+				d.hasJoin, d.joinTime = true, ev.Time
+			case trace.Enter, trace.Exit:
+				d := get(k)
+				if !d.hasEvents || ev.Time < d.firstEvent {
+					d.firstEvent = ev.Time
+				}
+				if !d.hasEvents || ev.Time > d.lastEvent {
+					d.lastEvent = ev.Time
+				}
+				d.hasEvents = true
+			case trace.BarrierEnter:
+				d := get(k)
+				d.barrierEnter = append(d.barrierEnter, ev.Time)
+				if !d.hasEvents || ev.Time < d.firstEvent {
+					d.firstEvent = ev.Time
+				}
+				if !d.hasEvents || ev.Time > d.lastEvent {
+					d.lastEvent = ev.Time
+				}
+				d.hasEvents = true
+			case trace.BarrierExit:
+				d := get(k)
+				d.barrierExit = append(d.barrierExit, ev.Time)
+				if !d.hasEvents || ev.Time < d.firstEvent {
+					d.firstEvent = ev.Time
+				}
+				if !d.hasEvents || ev.Time > d.lastEvent {
+					d.lastEvent = ev.Time
+				}
+				d.hasEvents = true
+			}
+		}
+	}
+	var c POMPCensus
+	for _, k := range order {
+		d := regions[k]
+		if !d.hasFork || !d.hasJoin {
+			return POMPCensus{}, fmt.Errorf("analysis: region %d instance %d lacks fork/join", k.region, k.instance)
+		}
+		c.Regions++
+		entry := d.hasEvents && d.firstEvent < d.forkTime
+		exit := d.hasEvents && d.lastEvent > d.joinTime
+		// barrier overlap: every thread's barrier interval must
+		// intersect every other's; equivalently max(enter) <= min(exit)
+		barrier := false
+		if len(d.barrierEnter) > 1 && len(d.barrierEnter) == len(d.barrierExit) {
+			maxEnter := d.barrierEnter[0]
+			for _, v := range d.barrierEnter[1:] {
+				if v > maxEnter {
+					maxEnter = v
+				}
+			}
+			minExit := d.barrierExit[0]
+			for _, v := range d.barrierExit[1:] {
+				if v < minExit {
+					minExit = v
+				}
+			}
+			barrier = minExit < maxEnter
+		}
+		if entry {
+			c.Entry++
+		}
+		if exit {
+			c.Exit++
+		}
+		if barrier {
+			c.Barrier++
+		}
+		if entry || exit || barrier {
+			c.Any++
+		}
+	}
+	return c, nil
+}
+
+// Series is a sampled deviation time series: Dev[i][k] is the deviation of
+// clock i from clock 0 (after correction) at time T[k]. This is the data
+// behind Figs. 4, 5 and 6.
+type Series struct {
+	T   []float64
+	Dev [][]float64
+}
+
+// MaxAbsDeviation returns the largest |deviation| of any clock at any
+// sample.
+func (s Series) MaxAbsDeviation() float64 {
+	m := 0.0
+	for _, d := range s.Dev {
+		if v := stats.MaxAbs(d); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// FirstExceeds returns the earliest sample time at which any clock's
+// |deviation| exceeds the bound, or (0, false) if none does. The paper uses
+// this to show deviations crossing the half-latency threshold "after a few
+// minutes or even earlier".
+func (s Series) FirstExceeds(bound float64) (float64, bool) {
+	for k, tt := range s.T {
+		for _, d := range s.Dev {
+			if math.Abs(d[k]) > bound {
+				return tt, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// DeviationSeries samples the deviation of each clock from clocks[0] over
+// [0, duration] at the given interval, after mapping every clock through
+// the correction. It uses the noiseless clock trajectories (the paper's
+// plots show the underlying drift, not read noise).
+func DeviationSeries(clocks []*clock.Clock, corr *interp.Correction, duration, interval float64) (Series, error) {
+	if len(clocks) < 2 {
+		return Series{}, fmt.Errorf("analysis: need at least two clocks, got %d", len(clocks))
+	}
+	if duration <= 0 || interval <= 0 {
+		return Series{}, fmt.Errorf("analysis: non-positive duration or interval")
+	}
+	if corr == nil {
+		corr = interp.Identity(len(clocks))
+	}
+	var s Series
+	for tt := 0.0; tt <= duration+interval/2; tt += interval {
+		s.T = append(s.T, tt)
+	}
+	s.Dev = make([][]float64, len(clocks)-1)
+	for i := range s.Dev {
+		s.Dev[i] = make([]float64, len(s.T))
+	}
+	for k, tt := range s.T {
+		master := corr.Map(0, clocks[0].Ideal(tt))
+		for i := 1; i < len(clocks); i++ {
+			s.Dev[i-1][k] = corr.Map(i, clocks[i].Ideal(tt)) - master
+		}
+	}
+	return s, nil
+}
+
+// DeviationSeriesMeasured is DeviationSeries with noisy clock reads
+// instead of ideal trajectories: read noise, quantization and monotonic
+// enforcement are included, as in the paper's intra-node "noise
+// oscillating around zero" measurements (end of Section IV). Reads happen
+// in time order, respecting the clocks' monotonic state.
+func DeviationSeriesMeasured(clocks []*clock.Clock, corr *interp.Correction, duration, interval float64) (Series, error) {
+	if len(clocks) < 2 {
+		return Series{}, fmt.Errorf("analysis: need at least two clocks, got %d", len(clocks))
+	}
+	if duration <= 0 || interval <= 0 {
+		return Series{}, fmt.Errorf("analysis: non-positive duration or interval")
+	}
+	if corr == nil {
+		corr = interp.Identity(len(clocks))
+	}
+	var s Series
+	for tt := 0.0; tt <= duration+interval/2; tt += interval {
+		s.T = append(s.T, tt)
+	}
+	s.Dev = make([][]float64, len(clocks)-1)
+	for i := range s.Dev {
+		s.Dev[i] = make([]float64, len(s.T))
+	}
+	for k, tt := range s.T {
+		master := corr.Map(0, clocks[0].Read(tt))
+		for i := 1; i < len(clocks); i++ {
+			s.Dev[i-1][k] = corr.Map(i, clocks[i].Read(tt)) - master
+		}
+	}
+	return s, nil
+}
+
+// Distortion quantifies how much a correction disturbed local timing: for
+// every pair of adjacent events on the same process it compares the
+// corrected interval with the original one.
+type Distortion struct {
+	MaxAbs  float64 // largest |Δinterval| in seconds
+	MeanAbs float64
+	// Shrunk counts intervals that became shorter (CLC's backward/forward
+	// amortization aims to keep this small and bounded).
+	Shrunk int
+	N      int
+}
+
+// DistortionBetween compares per-process adjacent-event intervals of two
+// traces with identical structure (original vs corrected).
+func DistortionBetween(orig, corrected *trace.Trace) (Distortion, error) {
+	if len(orig.Procs) != len(corrected.Procs) {
+		return Distortion{}, fmt.Errorf("analysis: traces have %d and %d procs", len(orig.Procs), len(corrected.Procs))
+	}
+	var d Distortion
+	var sum float64
+	for i := range orig.Procs {
+		a, b := orig.Procs[i].Events, corrected.Procs[i].Events
+		if len(a) != len(b) {
+			return Distortion{}, fmt.Errorf("analysis: proc %d has %d vs %d events", i, len(a), len(b))
+		}
+		for j := 1; j < len(a); j++ {
+			origIv := a[j].Time - a[j-1].Time
+			corrIv := b[j].Time - b[j-1].Time
+			delta := corrIv - origIv
+			if math.Abs(delta) > d.MaxAbs {
+				d.MaxAbs = math.Abs(delta)
+			}
+			if corrIv < origIv {
+				d.Shrunk++
+			}
+			sum += math.Abs(delta)
+			d.N++
+		}
+	}
+	if d.N > 0 {
+		d.MeanAbs = sum / float64(d.N)
+	}
+	return d, nil
+}
+
+// TrueError summarizes how far corrected timestamps are from the oracle
+// True times, up to a global shift (the master's own drift is
+// unobservable): it reports statistics of (Time - True) relative to the
+// master's mean (Time - True).
+func TrueError(t *trace.Trace) stats.Online {
+	var masterBias stats.Online
+	if len(t.Procs) > 0 {
+		for _, ev := range t.Procs[0].Events {
+			masterBias.Add(ev.Time - ev.True)
+		}
+	}
+	var acc stats.Online
+	bias := masterBias.Mean()
+	for _, p := range t.Procs {
+		for _, ev := range p.Events {
+			acc.Add(ev.Time - ev.True - bias)
+		}
+	}
+	return acc
+}
+
+// WaitStats summarizes Late Sender wait states — the flagship inefficiency
+// pattern of Scalasca-style trace analysis (the paper's introduction) — as
+// computed from a trace's timestamps.
+type WaitStats struct {
+	// Messages is the number of matched messages examined.
+	Messages int
+	// LateSenders counts messages whose receiver entered the receive
+	// before the sender sent (the receiver waited).
+	LateSenders int
+	// TotalWait is the summed waiting time attributed to late senders.
+	TotalWait float64
+	// MaxWait is the largest single waiting time.
+	MaxWait float64
+}
+
+// LateSender quantifies Late Sender wait states: for every matched
+// message, the time between the receiver entering its receive operation
+// and the sender's send event, when positive. With oracle=false it uses
+// the recorded timestamps — the quantity a real analyzer reports, which
+// inaccurate clocks distort ("inaccurate timestamps may lead to false
+// conclusions during trace analysis, for example, when the impact of
+// certain behaviors is quantified", Section III); with oracle=true it uses
+// the simulation's true times, the ground truth.
+func LateSender(t *trace.Trace, oracle bool) (WaitStats, error) {
+	msgs, err := t.Messages()
+	if err != nil {
+		return WaitStats{}, err
+	}
+	at := func(rank, idx int) float64 {
+		ev := t.Procs[rank].Events[idx]
+		if oracle {
+			return ev.True
+		}
+		return ev.Time
+	}
+	var ws WaitStats
+	for _, m := range msgs {
+		ws.Messages++
+		// the Enter of the receive operation immediately precedes the
+		// Recv record in PMPI-style traces; scan back defensively
+		enterIdx := -1
+		for k := m.ToIdx - 1; k >= 0 && k >= m.ToIdx-3; k-- {
+			if t.Procs[m.To].Events[k].Kind == trace.Enter {
+				enterIdx = k
+				break
+			}
+		}
+		if enterIdx < 0 {
+			continue
+		}
+		wait := at(m.From, m.FromIdx) - at(m.To, enterIdx)
+		if wait > 0 {
+			ws.LateSenders++
+			ws.TotalWait += wait
+			if wait > ws.MaxWait {
+				ws.MaxWait = wait
+			}
+		}
+	}
+	return ws, nil
+}
+
+// RegionProfile is a per-region time profile computed from Enter/Exit
+// nesting — the aggregate view performance tools derive from traces. The
+// same timestamp errors that reverse messages also corrupt these sums
+// (negative exclusive times are the tell-tale symptom).
+type RegionProfile struct {
+	Region string
+	Visits int
+	// Inclusive is the total time between Enter and matching Exit.
+	Inclusive float64
+	// Exclusive excludes time spent in nested regions.
+	Exclusive float64
+	// Negative counts visits whose measured duration came out negative —
+	// impossible in reality, a direct symptom of clock error.
+	Negative int
+}
+
+// ProfileRegions computes per-region profiles over all processes from the
+// trace's recorded timestamps (oracle=false) or true times (oracle=true).
+// Unbalanced Enter/Exit nesting is an error.
+func ProfileRegions(t *trace.Trace, oracle bool) ([]RegionProfile, error) {
+	at := func(ev *trace.Event) float64 {
+		if oracle {
+			return ev.True
+		}
+		return ev.Time
+	}
+	type frame struct {
+		region int32
+		start  float64
+		nested float64
+	}
+	acc := map[int32]*RegionProfile{}
+	var order []int32
+	for rank, p := range t.Procs {
+		var stack []frame
+		for idx := range p.Events {
+			ev := &p.Events[idx]
+			switch ev.Kind {
+			case trace.Enter:
+				stack = append(stack, frame{region: ev.Region, start: at(ev)})
+			case trace.Exit:
+				if len(stack) == 0 {
+					return nil, fmt.Errorf("analysis: rank %d event %d: Exit without Enter", rank, idx)
+				}
+				f := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if f.region != ev.Region {
+					return nil, fmt.Errorf("analysis: rank %d event %d: Exit from region %d inside region %d", rank, idx, ev.Region, f.region)
+				}
+				dur := at(ev) - f.start
+				rp, ok := acc[f.region]
+				if !ok {
+					rp = &RegionProfile{Region: t.RegionName(f.region)}
+					acc[f.region] = rp
+					order = append(order, f.region)
+				}
+				rp.Visits++
+				rp.Inclusive += dur
+				rp.Exclusive += dur - f.nested
+				if dur < 0 {
+					rp.Negative++
+				}
+				if len(stack) > 0 {
+					stack[len(stack)-1].nested += dur
+				}
+			}
+		}
+		if len(stack) != 0 {
+			return nil, fmt.Errorf("analysis: rank %d: %d regions never exited", rank, len(stack))
+		}
+	}
+	out := make([]RegionProfile, 0, len(order))
+	for _, id := range order {
+		out = append(out, *acc[id])
+	}
+	return out, nil
+}
+
+// LatencyCensus summarizes the apparent one-way message latencies a trace
+// analyzer would compute from recorded timestamps (t_recv - t_send). With
+// accurate clocks these are genuine network latencies; with drifting
+// clocks some come out negative — physically impossible, the per-message
+// view of the clock condition.
+type LatencyCensus struct {
+	Stats    stats.Online
+	Negative int // messages with negative apparent latency
+}
+
+// MessageLatencies computes the apparent-latency census from recorded
+// timestamps (oracle=false) or true times (oracle=true).
+func MessageLatencies(t *trace.Trace, oracle bool) (LatencyCensus, error) {
+	msgs, err := t.Messages()
+	if err != nil {
+		return LatencyCensus{}, err
+	}
+	var c LatencyCensus
+	for _, m := range msgs {
+		s := t.Procs[m.From].Events[m.FromIdx]
+		r := t.Procs[m.To].Events[m.ToIdx]
+		var lat float64
+		if oracle {
+			lat = r.True - s.True
+		} else {
+			lat = r.Time - s.Time
+		}
+		c.Stats.Add(lat)
+		if lat < 0 {
+			c.Negative++
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,469 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"tsync/internal/clock"
+	"tsync/internal/interp"
+	"tsync/internal/stats"
+	"tsync/internal/topology"
+	"tsync/internal/trace"
+	"tsync/internal/xrand"
+)
+
+// msgTrace builds a 2-rank trace with a configurable receive skew.
+func msgTrace(skew float64) *trace.Trace {
+	tr := &trace.Trace{}
+	tr.MinLatency = [4]float64{0, 0.5e-6, 1e-6, 4e-6}
+	tr.Procs = []trace.Proc{
+		{Rank: 0, Events: []trace.Event{
+			{Kind: trace.Enter, Time: 0.5, True: 0.5, Region: -1, Partner: -1, Root: -1},
+			{Kind: trace.Send, Time: 1, True: 1, Partner: 1, Region: -1, Root: -1},
+			{Kind: trace.CollBegin, Time: 2, True: 2, Op: trace.OpBarrier, Partner: -1, Region: -1, Root: -1},
+			{Kind: trace.CollEnd, Time: 2.00004, True: 2.00004, Op: trace.OpBarrier, Partner: -1, Region: -1, Root: -1},
+		}},
+		{Rank: 1, Core: topology.CoreID{Node: 1}, Events: []trace.Event{
+			{Kind: trace.Recv, Time: 1.000005 + skew, True: 1.000005, Partner: 0, Region: -1, Root: -1},
+			{Kind: trace.CollBegin, Time: 2 + skew, True: 2, Op: trace.OpBarrier, Partner: -1, Region: -1, Root: -1},
+			{Kind: trace.CollEnd, Time: 2.00004 + skew, True: 2.00004, Op: trace.OpBarrier, Partner: -1, Region: -1, Root: -1},
+		}},
+	}
+	return tr
+}
+
+func TestCensusClean(t *testing.T) {
+	c, err := CensusOf(msgTrace(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Messages != 1 || c.Reversed != 0 || c.ClockCondition != 0 {
+		t.Fatalf("clean census %+v", c)
+	}
+	if c.TotalEvents != 7 || c.MessageEvents != 2 {
+		t.Fatalf("event counts %+v", c)
+	}
+	if c.LogicalMessages != 2 { // barrier: 2 cross edges between 2 ranks
+		t.Fatalf("logical messages %d", c.LogicalMessages)
+	}
+	if got := c.PctMessageEvents(); math.Abs(got-100*2.0/7.0) > 1e-9 {
+		t.Fatalf("PctMessageEvents %v", got)
+	}
+}
+
+func TestCensusReversed(t *testing.T) {
+	c, err := CensusOf(msgTrace(-50e-6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Reversed != 1 || c.ClockCondition != 1 {
+		t.Fatalf("census %+v", c)
+	}
+	if c.PctReversed() != 100 {
+		t.Fatalf("PctReversed %v", c.PctReversed())
+	}
+	if c.ReversedLogical != 1 { // rank1's CollEnd is now before rank0's CollBegin
+		t.Fatalf("reversed logical %d", c.ReversedLogical)
+	}
+	if got := c.PctReversedLogical(); math.Abs(got-100*2.0/3.0) > 1e-9 {
+		t.Fatalf("PctReversedLogical %v", got)
+	}
+}
+
+func TestCensusClockConditionOnly(t *testing.T) {
+	// receive after the send but inside l_min: clock condition violated,
+	// order not reversed
+	c, err := CensusOf(msgTrace(-3e-6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Reversed != 0 {
+		t.Fatalf("reversed %d, want 0", c.Reversed)
+	}
+	if c.ClockCondition != 1 {
+		t.Fatalf("clock-condition count %d, want 1", c.ClockCondition)
+	}
+}
+
+func TestCensusEmptyTrace(t *testing.T) {
+	c, err := CensusOf(&trace.Trace{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.PctReversed() != 0 || c.PctMessageEvents() != 0 || c.PctReversedLogical() != 0 {
+		t.Fatalf("empty census percentages nonzero")
+	}
+}
+
+// pompTrace builds one parallel region with adjustable skews.
+type pompSkews struct {
+	forkLate    bool // a thread's Enter before the Fork
+	joinEarly   bool // a thread's Exit after the Join
+	barrierSkew bool // one thread's BarrierExit before another's BarrierEnter
+}
+
+func pompTrace(s pompSkews) *trace.Trace {
+	tr := &trace.Trace{}
+	reg := tr.RegionID("par")
+	mk := func(rank int, events ...trace.Event) trace.Proc {
+		return trace.Proc{Rank: rank, Events: events}
+	}
+	ev := func(k trace.Kind, tt float64) trace.Event {
+		return trace.Event{Kind: k, Time: tt, True: tt, Region: reg, Instance: 0, Partner: -1, Root: -1}
+	}
+	forkT := 1.0
+	enter0, enter1 := 1.0001, 1.0002
+	barEnter0, barEnter1 := 1.001, 1.0011
+	barExit0, barExit1 := 1.0012, 1.0013
+	exit0, exit1 := 1.0014, 1.0015
+	joinT := 1.002
+	if s.forkLate {
+		enter1 = forkT - 1e-5
+	}
+	if s.joinEarly {
+		exit1 = joinT + 1e-5
+	}
+	if s.barrierSkew {
+		barExit0 = barEnter1 - 1e-6 // thread 0 leaves before thread 1 enters
+	}
+	tr.Procs = []trace.Proc{
+		mk(0,
+			ev(trace.Fork, forkT), ev(trace.Enter, enter0),
+			ev(trace.BarrierEnter, barEnter0), ev(trace.BarrierExit, barExit0),
+			ev(trace.Exit, exit0), ev(trace.Join, joinT)),
+		mk(1,
+			ev(trace.Enter, enter1),
+			ev(trace.BarrierEnter, barEnter1), ev(trace.BarrierExit, barExit1),
+			ev(trace.Exit, exit1)),
+	}
+	// fix local ordering of Time within each proc (the census does not
+	// require it, but keep the trace realistic)
+	return tr
+}
+
+func TestPOMPCensusClean(t *testing.T) {
+	c, err := POMPCensusOf(pompTrace(pompSkews{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Regions != 1 || c.Any != 0 {
+		t.Fatalf("clean POMP census %+v", c)
+	}
+}
+
+func TestPOMPCensusClasses(t *testing.T) {
+	cases := []struct {
+		s       pompSkews
+		entry   int
+		exit    int
+		barrier int
+	}{
+		{pompSkews{forkLate: true}, 1, 0, 0},
+		{pompSkews{joinEarly: true}, 0, 1, 0},
+		{pompSkews{barrierSkew: true}, 0, 0, 1},
+		{pompSkews{forkLate: true, joinEarly: true, barrierSkew: true}, 1, 1, 1},
+	}
+	for i, cse := range cases {
+		c, err := POMPCensusOf(pompTrace(cse.s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Entry != cse.entry || c.Exit != cse.exit || c.Barrier != cse.barrier {
+			t.Fatalf("case %d: census %+v", i, c)
+		}
+		if c.Any != 1 {
+			t.Fatalf("case %d: Any = %d", i, c.Any)
+		}
+		anyPct, entry, exit, barrier := c.Pct()
+		if anyPct != 100 {
+			t.Fatalf("case %d: anyPct %v", i, anyPct)
+		}
+		_ = entry
+		_ = exit
+		_ = barrier
+	}
+}
+
+func TestPOMPCensusRejectsIncompleteRegion(t *testing.T) {
+	tr := pompTrace(pompSkews{})
+	// drop the Join
+	tr.Procs[0].Events = tr.Procs[0].Events[:5]
+	if _, err := POMPCensusOf(tr); err == nil {
+		t.Fatalf("missing join accepted")
+	}
+}
+
+func TestPOMPPctEmpty(t *testing.T) {
+	var c POMPCensus
+	a, b, cc, d := c.Pct()
+	if a != 0 || b != 0 || cc != 0 || d != 0 {
+		t.Fatalf("empty census pct nonzero")
+	}
+}
+
+func TestDeviationSeriesWithConstantDrift(t *testing.T) {
+	osc0 := clock.NewOscillator(clock.ConstantDrift{Rate: 0})
+	osc1 := clock.NewOscillator(clock.ConstantDrift{Rate: 1e-6})
+	rng := xrand.NewSource(1)
+	c0 := clock.New(clock.Config{}, osc0, rng.Sub("a"))
+	c1 := clock.New(clock.Config{}, osc1, rng.Sub("b"))
+	s, err := DeviationSeries([]*clock.Clock{c0, c1}, nil, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.T) != 11 || len(s.Dev) != 1 {
+		t.Fatalf("series shape %d x %d", len(s.T), len(s.Dev))
+	}
+	// deviation grows linearly: 1e-6 * t
+	for k, tt := range s.T {
+		want := 1e-6 * tt
+		if math.Abs(s.Dev[0][k]-want) > 1e-12 {
+			t.Fatalf("dev at %v = %v, want %v", tt, s.Dev[0][k], want)
+		}
+	}
+	if got := s.MaxAbsDeviation(); math.Abs(got-1e-4) > 1e-12 {
+		t.Fatalf("MaxAbsDeviation %v", got)
+	}
+	at, ok := s.FirstExceeds(4.5e-5)
+	if !ok || at != 50 {
+		t.Fatalf("FirstExceeds = (%v,%v)", at, ok)
+	}
+	if _, ok := s.FirstExceeds(1); ok {
+		t.Fatalf("FirstExceeds(1) should not trigger")
+	}
+}
+
+func TestDeviationSeriesWithCorrection(t *testing.T) {
+	osc0 := clock.NewOscillator(clock.ConstantDrift{Rate: 0})
+	osc1 := clock.NewOscillator(clock.ConstantDrift{Rate: 1e-6})
+	rng := xrand.NewSource(2)
+	c0 := clock.New(clock.Config{}, osc0, rng.Sub("a"))
+	c1 := clock.New(clock.Config{}, osc1, rng.Sub("b"))
+	// a perfect linear correction for the drifting clock
+	corr := interp.FromLines([]stats.Line{{Slope: 1}, {Slope: 1 / (1 + 1e-6)}})
+	s, err := DeviationSeries([]*clock.Clock{c0, c1}, corr, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MaxAbsDeviation() > 1e-9 {
+		t.Fatalf("corrected deviation %v", s.MaxAbsDeviation())
+	}
+}
+
+func TestDeviationSeriesErrors(t *testing.T) {
+	osc := clock.NewOscillator(clock.ConstantDrift{})
+	c := clock.New(clock.Config{}, osc, xrand.NewSource(3))
+	if _, err := DeviationSeries([]*clock.Clock{c}, nil, 10, 1); err == nil {
+		t.Fatalf("single clock accepted")
+	}
+	c2 := clock.New(clock.Config{}, osc, xrand.NewSource(4))
+	if _, err := DeviationSeries([]*clock.Clock{c, c2}, nil, 0, 1); err == nil {
+		t.Fatalf("zero duration accepted")
+	}
+	if _, err := DeviationSeries([]*clock.Clock{c, c2}, nil, 10, 0); err == nil {
+		t.Fatalf("zero interval accepted")
+	}
+}
+
+func TestDistortion(t *testing.T) {
+	orig := msgTrace(0)
+	corr := orig.Clone()
+	// stretch one interval by 2 µs and shrink another by 1 µs
+	corr.Procs[0].Events[1].Time += 2e-6
+	corr.Procs[0].Events[2].Time += 1e-6
+	d, err := DistortionBetween(orig, corr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.MaxAbs-2e-6) > 1e-12 {
+		t.Fatalf("MaxAbs %v", d.MaxAbs)
+	}
+	// the +2 µs shift shrinks the following interval and the +1 µs shift
+	// shrinks the one after it
+	if d.Shrunk != 2 {
+		t.Fatalf("Shrunk %d", d.Shrunk)
+	}
+	if d.N != 5 {
+		t.Fatalf("N %d", d.N)
+	}
+	if d.MeanAbs <= 0 {
+		t.Fatalf("MeanAbs %v", d.MeanAbs)
+	}
+}
+
+func TestDistortionShapeMismatch(t *testing.T) {
+	orig := msgTrace(0)
+	other := msgTrace(0)
+	other.Procs = other.Procs[:1]
+	if _, err := DistortionBetween(orig, other); err == nil {
+		t.Fatalf("proc-count mismatch accepted")
+	}
+	other2 := msgTrace(0)
+	other2.Procs[0].Events = other2.Procs[0].Events[:2]
+	if _, err := DistortionBetween(orig, other2); err == nil {
+		t.Fatalf("event-count mismatch accepted")
+	}
+}
+
+func TestTrueError(t *testing.T) {
+	tr := msgTrace(0)
+	// rank 1's timestamps are biased +10 µs relative to true
+	for i := range tr.Procs[1].Events {
+		tr.Procs[1].Events[i].Time = tr.Procs[1].Events[i].True + 10e-6
+	}
+	acc := TrueError(tr)
+	if acc.Max() < 9e-6 {
+		t.Fatalf("TrueError missed the bias: max %v", acc.Max())
+	}
+}
+
+func TestProfileRegions(t *testing.T) {
+	tr := &trace.Trace{}
+	outer := tr.RegionID("outer")
+	inner := tr.RegionID("inner")
+	ev := func(k trace.Kind, reg int32, tt float64) trace.Event {
+		return trace.Event{Kind: k, Region: reg, Time: tt, True: tt, Partner: -1, Root: -1}
+	}
+	tr.Procs = []trace.Proc{{Rank: 0, Events: []trace.Event{
+		ev(trace.Enter, outer, 0),
+		ev(trace.Enter, inner, 1),
+		ev(trace.Exit, inner, 3),
+		ev(trace.Exit, outer, 10),
+		ev(trace.Enter, outer, 20),
+		ev(trace.Exit, outer, 25),
+	}}}
+	prof, err := ProfileRegions(tr, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]RegionProfile{}
+	for _, p := range prof {
+		byName[p.Region] = p
+	}
+	o := byName["outer"]
+	if o.Visits != 2 || o.Inclusive != 15 || o.Exclusive != 13 || o.Negative != 0 {
+		t.Fatalf("outer profile %+v", o)
+	}
+	i := byName["inner"]
+	if i.Visits != 1 || i.Inclusive != 2 || i.Exclusive != 2 {
+		t.Fatalf("inner profile %+v", i)
+	}
+}
+
+func TestProfileRegionsNegativeDurations(t *testing.T) {
+	tr := &trace.Trace{}
+	reg := tr.RegionID("r")
+	tr.Procs = []trace.Proc{{Rank: 0, Events: []trace.Event{
+		{Kind: trace.Enter, Region: reg, Time: 5, True: 1, Partner: -1, Root: -1},
+		{Kind: trace.Exit, Region: reg, Time: 4, True: 2, Partner: -1, Root: -1},
+	}}}
+	prof, err := ProfileRegions(tr, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof[0].Negative != 1 {
+		t.Fatalf("negative-duration visit not flagged: %+v", prof[0])
+	}
+	oracle, err := ProfileRegions(tr, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oracle[0].Negative != 0 {
+		t.Fatalf("oracle profile flagged a negative duration")
+	}
+}
+
+func TestProfileRegionsUnbalanced(t *testing.T) {
+	tr := &trace.Trace{}
+	reg := tr.RegionID("r")
+	tr.Procs = []trace.Proc{{Rank: 0, Events: []trace.Event{
+		{Kind: trace.Enter, Region: reg, Partner: -1, Root: -1},
+	}}}
+	if _, err := ProfileRegions(tr, false); err == nil {
+		t.Fatalf("unbalanced Enter accepted")
+	}
+	tr.Procs[0].Events = []trace.Event{{Kind: trace.Exit, Region: reg, Partner: -1, Root: -1}}
+	if _, err := ProfileRegions(tr, false); err == nil {
+		t.Fatalf("Exit without Enter accepted")
+	}
+}
+
+func TestMessageLatencies(t *testing.T) {
+	tr := msgTrace(-50e-6)
+	c, err := MessageLatencies(tr, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Negative != 1 || c.Stats.N() != 1 {
+		t.Fatalf("measured census %+v", c)
+	}
+	o, err := MessageLatencies(tr, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Negative != 0 {
+		t.Fatalf("oracle census reported negative latency")
+	}
+	if o.Stats.Mean() <= 0 {
+		t.Fatalf("oracle latency %v", o.Stats.Mean())
+	}
+}
+
+func TestDeviationSeriesMeasuredIncludesNoise(t *testing.T) {
+	osc := clock.NewOscillator(clock.ConstantDrift{})
+	rng := xrand.NewSource(9)
+	a := clock.New(clock.Config{ReadNoise: 1e-7, Monotonic: false}, osc, rng.Sub("a"))
+	b := clock.New(clock.Config{ReadNoise: 1e-7, Monotonic: false}, osc, rng.Sub("b"))
+	s, err := DeviationSeriesMeasured([]*clock.Clock{a, b}, nil, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// shared oscillator: deviations are pure read noise, nonzero but tiny
+	max := s.MaxAbsDeviation()
+	if max == 0 || max > 1e-6 {
+		t.Fatalf("measured noise deviation %v out of band", max)
+	}
+	if _, err := DeviationSeriesMeasured([]*clock.Clock{a}, nil, 10, 1); err == nil {
+		t.Fatalf("single clock accepted")
+	}
+	if _, err := DeviationSeriesMeasured([]*clock.Clock{a, b}, nil, 0, 1); err == nil {
+		t.Fatalf("zero duration accepted")
+	}
+}
+
+func TestLateSenderDirect(t *testing.T) {
+	tr := &trace.Trace{}
+	tr.RegionID("MPI_Recv")
+	tr.Procs = []trace.Proc{
+		{Rank: 0, Events: []trace.Event{
+			// sender sends 30 µs after the receiver entered its receive
+			{Kind: trace.Send, Time: 1.00003, True: 1.00003, Partner: 1, Region: -1, Root: -1},
+		}},
+		{Rank: 1, Core: topology.CoreID{Node: 1}, Events: []trace.Event{
+			{Kind: trace.Enter, Time: 1.0, True: 1.0, Region: 0, Partner: -1, Root: -1},
+			{Kind: trace.Recv, Time: 1.000035, True: 1.000035, Partner: 0, Region: -1, Root: -1},
+			{Kind: trace.Exit, Time: 1.00004, True: 1.00004, Region: 0, Partner: -1, Root: -1},
+		}},
+	}
+	ws, err := LateSender(tr, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.LateSenders != 1 || ws.Messages != 1 {
+		t.Fatalf("stats %+v", ws)
+	}
+	if got := ws.TotalWait; got < 29e-6 || got > 31e-6 {
+		t.Fatalf("wait %v, want ~30 µs", got)
+	}
+	if ws.MaxWait != ws.TotalWait {
+		t.Fatalf("max %v != total %v for one instance", ws.MaxWait, ws.TotalWait)
+	}
+	// oracle view agrees here (truthful timestamps)
+	oracle, err := LateSender(tr, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oracle.LateSenders != 1 {
+		t.Fatalf("oracle stats %+v", oracle)
+	}
+}

@@ -1,0 +1,301 @@
+// Package apps provides the synthetic workloads standing in for the two
+// MPI applications of the paper's Fig. 7 experiment:
+//
+//   - POP, the Parallel Ocean Program (SPEC MPI2007): a 2-D domain
+//     decomposition performing halo exchanges with its four grid neighbours
+//     every step and frequent small allreduce operations (POP's barotropic
+//     solver is famous for them). The paper ran 9000 iterations (~25 min)
+//     and traced iterations 3500-5500.
+//
+//   - SMG2000 (ASC): a semi-coarsening multigrid solver with a "complex
+//     communication pattern and a large number of non-nearest-neighbour
+//     point-to-point operations": V-cycles whose exchange distance doubles
+//     with each coarsening level. The paper inserted sleeps before and
+//     after the solve so that it ran ten minutes after initialization and
+//     ten minutes before finalization.
+//
+// The bodies are plain rank programs composable with offset measurement
+// (internal/measure) in an experiment harness. Workload sizes are scaled
+// so a simulation finishes in seconds of host time while preserving the
+// property that matters — the simulated wall-clock span between the offset
+// measurements and the traced window, which determines interpolation error.
+package apps
+
+import (
+	"fmt"
+
+	"tsync/internal/mpi"
+	"tsync/internal/xrand"
+)
+
+// POPConfig parameterizes the POP-like stencil.
+type POPConfig struct {
+	// Px, Py define the process grid; Px*Py must equal the job size.
+	Px, Py int
+	// Iterations is the total number of time steps.
+	Iterations int
+	// TraceStart and TraceEnd bound the traced iteration window
+	// [TraceStart, TraceEnd).
+	TraceStart, TraceEnd int
+	// StepTime is the mean computation time per step (seconds).
+	StepTime float64
+	// Imbalance is the relative per-rank/per-step jitter of StepTime.
+	Imbalance float64
+	// HaloBytes is the per-neighbour halo message size.
+	HaloBytes int
+	// AllreduceEvery inserts a small allreduce every k-th iteration
+	// (1 = every iteration, 0 = never).
+	AllreduceEvery int
+	// Seed drives the workload's private randomness.
+	Seed uint64
+}
+
+// DefaultPOP returns a scaled configuration mirroring the paper's setup
+// (mref: 9000 iterations over ~25 min, iterations 3500-5500 traced) at
+// one-tenth the iteration count with the same total simulated duration.
+func DefaultPOP(px, py int) POPConfig {
+	return POPConfig{
+		Px: px, Py: py,
+		Iterations:     900,
+		TraceStart:     350,
+		TraceEnd:       550,
+		StepTime:       1.67,
+		Imbalance:      0.05,
+		HaloBytes:      8192,
+		AllreduceEvery: 1,
+		Seed:           1,
+	}
+}
+
+// Validate checks the configuration against a job size.
+func (c POPConfig) Validate(size int) error {
+	if c.Px*c.Py != size {
+		return fmt.Errorf("apps: POP grid %dx%d does not match %d ranks", c.Px, c.Py, size)
+	}
+	if c.Iterations <= 0 {
+		return fmt.Errorf("apps: POP needs positive iterations")
+	}
+	if c.TraceStart < 0 || c.TraceEnd > c.Iterations || c.TraceStart > c.TraceEnd {
+		return fmt.Errorf("apps: POP trace window [%d,%d) invalid for %d iterations", c.TraceStart, c.TraceEnd, c.Iterations)
+	}
+	return nil
+}
+
+// POP returns the rank program. The body toggles tracing around the
+// configured iteration window (partial tracing, as recommended practice
+// for long codes).
+func POP(cfg POPConfig) func(*mpi.Rank) {
+	return func(r *mpi.Rank) {
+		if err := cfg.Validate(r.Size()); err != nil {
+			panic(err)
+		}
+		rng := xrand.NewSource(cfg.Seed).Sub(fmt.Sprintf("pop/%d", r.Rank()))
+		x := r.Rank() % cfg.Px
+		y := r.Rank() / cfg.Px
+		// torus neighbours: west, east, north, south
+		nb := [4]int{
+			((x-1+cfg.Px)%cfg.Px + y*cfg.Px),
+			((x+1)%cfg.Px + y*cfg.Px),
+			(x + ((y-1+cfg.Py)%cfg.Py)*cfg.Px),
+			(x + ((y+1)%cfg.Py)*cfg.Px),
+		}
+		wasTracing := r.Tracing()
+		r.SetTracing(false)
+		for iter := 0; iter < cfg.Iterations; iter++ {
+			if iter == cfg.TraceStart {
+				r.Barrier() // quiesce in-flight messages, then enable
+				r.SetTracing(true)
+			}
+			if iter == cfg.TraceEnd {
+				r.Barrier()
+				r.SetTracing(false)
+			}
+			r.EnterRegion("step")
+			r.Compute(cfg.StepTime * (1 + cfg.Imbalance*(2*rng.Float64()-1)))
+			r.ExitRegion("step")
+			// halo exchange with all four neighbours
+			for d, peer := range nb {
+				if peer != r.Rank() {
+					r.Send(peer, iter*8+d, cfg.HaloBytes, nil)
+				}
+			}
+			// receive from the opposite directions
+			for d, peer := range nb {
+				if peer != r.Rank() {
+					r.Recv(peer, iter*8+(d^1))
+				}
+			}
+			if cfg.AllreduceEvery > 0 && iter%cfg.AllreduceEvery == 0 {
+				r.Allreduce(8, nil, nil)
+			}
+		}
+		r.SetTracing(wasTracing)
+	}
+}
+
+// SMGConfig parameterizes the SMG2000-like multigrid solver.
+type SMGConfig struct {
+	// Cycles is the number of V-cycles (the paper configured 5 solver
+	// iterations).
+	Cycles int
+	// Levels is the multigrid depth; the exchange distance doubles per
+	// level, producing the non-nearest-neighbour traffic.
+	Levels int
+	// LevelTime is the computation per level at the finest grid; coarser
+	// levels cost half the previous one.
+	LevelTime float64
+	// Imbalance is the relative per-rank jitter of computation times.
+	Imbalance float64
+	// CellBytes scales message sizes (finest level sends 4*CellBytes,
+	// halving per level).
+	CellBytes int
+	// IdleBefore and IdleAfter are untraced quiet phases around the
+	// solve, emulating the paper's inserted sleeps (10 min each) that
+	// widen the interpolation interval.
+	IdleBefore, IdleAfter float64
+	// Seed drives the workload's private randomness.
+	Seed uint64
+}
+
+// DefaultSMG mirrors the paper's setup: a short solve embedded in ~10
+// minutes of idle time on each side.
+func DefaultSMG() SMGConfig {
+	return SMGConfig{
+		Cycles:     5,
+		Levels:     6,
+		LevelTime:  0.02,
+		Imbalance:  0.10,
+		CellBytes:  4096,
+		IdleBefore: 600,
+		IdleAfter:  600,
+		Seed:       1,
+	}
+}
+
+// Validate checks the configuration.
+func (c SMGConfig) Validate() error {
+	if c.Cycles <= 0 || c.Levels <= 0 {
+		return fmt.Errorf("apps: SMG needs positive cycles and levels")
+	}
+	if c.IdleBefore < 0 || c.IdleAfter < 0 {
+		return fmt.Errorf("apps: SMG idle phases must be non-negative")
+	}
+	return nil
+}
+
+// SMG returns the rank program: idle, traced V-cycles, idle. Exchange
+// partners at level l sit 2^l ranks away (modulo the job size), so most
+// traffic is non-nearest-neighbour.
+func SMG(cfg SMGConfig) func(*mpi.Rank) {
+	return func(r *mpi.Rank) {
+		if err := cfg.Validate(); err != nil {
+			panic(err)
+		}
+		rng := xrand.NewSource(cfg.Seed).Sub(fmt.Sprintf("smg/%d", r.Rank()))
+		n := r.Size()
+		wasTracing := r.Tracing()
+		r.SetTracing(false)
+		r.Compute(cfg.IdleBefore)
+		r.Barrier()
+		r.SetTracing(true)
+		tag := 0
+		level := func(l, cycle int) {
+			work := cfg.LevelTime / float64(int(1)<<l)
+			bytes := 4 * cfg.CellBytes / (1 << l)
+			if bytes < 16 {
+				bytes = 16
+			}
+			r.EnterRegion(fmt.Sprintf("level%d", l))
+			r.Compute(work * (1 + cfg.Imbalance*(2*rng.Float64()-1)))
+			r.ExitRegion(fmt.Sprintf("level%d", l))
+			dist := 1 << l % n
+			if dist == 0 || n == 1 {
+				return
+			}
+			dst := (r.Rank() + dist) % n
+			src := (r.Rank() - dist + n) % n
+			r.Send(dst, tag, bytes, nil)
+			r.Recv(src, tag)
+			tag++
+		}
+		for cycle := 0; cycle < cfg.Cycles; cycle++ {
+			// down sweep: fine to coarse
+			for l := 0; l < cfg.Levels; l++ {
+				level(l, cycle)
+			}
+			// coarse solve synchronization
+			r.Allreduce(8, nil, nil)
+			// up sweep: coarse to fine
+			for l := cfg.Levels - 1; l >= 0; l-- {
+				level(l, cycle)
+			}
+			// residual norm
+			r.Allreduce(8, nil, nil)
+		}
+		r.Barrier()
+		r.SetTracing(false)
+		r.Compute(cfg.IdleAfter)
+		r.SetTracing(wasTracing)
+	}
+}
+
+// TransposeConfig parameterizes a 2-D FFT-style workload built on split
+// communicators: ranks form a Px×Py grid, and every step performs a row
+// transpose (alltoall within the row communicator) followed by a column
+// reduction — the communicator idiom that spectral codes use. It is not
+// one of the paper's two applications; it exists to exercise
+// sub-communicator tracing in the violation studies.
+type TransposeConfig struct {
+	Px, Py    int
+	Steps     int
+	StepTime  float64
+	Imbalance float64
+	CellBytes int
+	Seed      uint64
+}
+
+// DefaultTranspose returns a moderate configuration for the given grid.
+func DefaultTranspose(px, py int) TransposeConfig {
+	return TransposeConfig{
+		Px: px, Py: py,
+		Steps:     200,
+		StepTime:  0.5,
+		Imbalance: 0.05,
+		CellBytes: 2048,
+		Seed:      1,
+	}
+}
+
+// Validate checks the configuration against a job size.
+func (c TransposeConfig) Validate(size int) error {
+	if c.Px*c.Py != size {
+		return fmt.Errorf("apps: transpose grid %dx%d does not match %d ranks", c.Px, c.Py, size)
+	}
+	if c.Steps <= 0 {
+		return fmt.Errorf("apps: transpose needs positive steps")
+	}
+	return nil
+}
+
+// Transpose returns the rank program.
+func Transpose(cfg TransposeConfig) func(*mpi.Rank) {
+	return func(r *mpi.Rank) {
+		if err := cfg.Validate(r.Size()); err != nil {
+			panic(err)
+		}
+		rng := xrand.NewSource(cfg.Seed).Sub(fmt.Sprintf("transpose/%d", r.Rank()))
+		world := r.CommWorld()
+		row := world.Split(r.Rank()/cfg.Px, r.Rank()%cfg.Px)
+		col := world.Split(r.Rank()%cfg.Px, r.Rank()/cfg.Px)
+		for step := 0; step < cfg.Steps; step++ {
+			r.EnterRegion("fft-compute")
+			r.Compute(cfg.StepTime * (1 + cfg.Imbalance*(2*rng.Float64()-1)))
+			r.ExitRegion("fft-compute")
+			row.Alltoall(cfg.CellBytes)
+			col.Reduce(0, 8, nil, nil)
+			if step%20 == 0 {
+				world.Allreduce(8, nil, nil)
+			}
+		}
+	}
+}

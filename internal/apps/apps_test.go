@@ -1,0 +1,252 @@
+package apps
+
+import (
+	"testing"
+
+	"tsync/internal/analysis"
+	"tsync/internal/clock"
+	"tsync/internal/mpi"
+	"tsync/internal/topology"
+	"tsync/internal/trace"
+	"tsync/internal/xrand"
+)
+
+func newWorld(t testing.TB, n int) *mpi.World {
+	t.Helper()
+	m := topology.Xeon()
+	pin, err := topology.Scheduled(m, n, xrand.NewSource(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := mpi.NewWorld(mpi.Config{Machine: m, Timer: clock.TSC, Pinning: pin, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestPOPRunsAndTracesWindow(t *testing.T) {
+	w := newWorld(t, 8)
+	cfg := POPConfig{
+		Px: 4, Py: 2,
+		Iterations: 30, TraceStart: 10, TraceEnd: 20,
+		StepTime: 1e-3, Imbalance: 0.05, HaloBytes: 1024, AllreduceEvery: 1, Seed: 2,
+	}
+	if err := w.Run(POP(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	tr := w.Trace()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := analysis.CensusOf(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 traced iterations × 8 ranks × 4 halo messages
+	if c.Messages != 10*8*4 {
+		t.Fatalf("traced %d messages, want 320", c.Messages)
+	}
+	colls, err := tr.Collectives()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// one allreduce per traced iteration, plus the window-entry barrier
+	// at iter 10 (recorded untraced) — so exactly the 10 allreduces plus
+	// the exit barrier at iter 20 are visible... the entry barrier runs
+	// before tracing is enabled and the exit barrier runs before
+	// disabling, hence 10 allreduce + 1 barrier
+	if len(colls) != 11 {
+		t.Fatalf("traced %d collectives, want 11", len(colls))
+	}
+}
+
+func TestPOPValidation(t *testing.T) {
+	if err := (POPConfig{Px: 3, Py: 3}).Validate(8); err == nil {
+		t.Fatalf("grid mismatch accepted")
+	}
+	if err := (POPConfig{Px: 2, Py: 4, Iterations: 0}).Validate(8); err == nil {
+		t.Fatalf("zero iterations accepted")
+	}
+	if err := (POPConfig{Px: 2, Py: 4, Iterations: 10, TraceStart: 8, TraceEnd: 4}).Validate(8); err == nil {
+		t.Fatalf("inverted window accepted")
+	}
+}
+
+func TestPOPTrueTimeCausal(t *testing.T) {
+	w := newWorld(t, 4)
+	cfg := POPConfig{Px: 2, Py: 2, Iterations: 12, TraceStart: 0, TraceEnd: 12,
+		StepTime: 1e-4, HaloBytes: 256, AllreduceEvery: 2, Seed: 4}
+	if err := w.Run(POP(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	tr := w.Trace()
+	msgs, err := tr.Messages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range msgs {
+		if tr.Procs[m.To].Events[m.ToIdx].True < tr.Procs[m.From].Events[m.FromIdx].True {
+			t.Fatalf("acausal POP message")
+		}
+	}
+}
+
+func TestSMGRuns(t *testing.T) {
+	w := newWorld(t, 8)
+	cfg := SMGConfig{Cycles: 3, Levels: 5, LevelTime: 1e-3, Imbalance: 0.1,
+		CellBytes: 512, IdleBefore: 1, IdleAfter: 1, Seed: 5}
+	if err := w.Run(SMG(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	tr := w.Trace()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := tr.Messages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// per cycle: down + up sweeps exchange on every level whose distance
+	// 2^l mod 8 is nonzero (coarser levels fall on multiples of the ring
+	// size and stay local, as coarse grids do)
+	perSweep := 0
+	for l := 0; l < 5; l++ {
+		if (1<<l)%8 != 0 {
+			perSweep++
+		}
+	}
+	want := 3 * 2 * perSweep * 8
+	if len(msgs) != want {
+		t.Fatalf("SMG traced %d messages, want %d", len(msgs), want)
+	}
+	// non-nearest-neighbour traffic must exist (distance 4 exchanges)
+	far := 0
+	for _, m := range msgs {
+		d := (m.To - m.From + 8) % 8
+		if d > 1 {
+			far++
+		}
+	}
+	if far == 0 {
+		t.Fatalf("SMG produced only nearest-neighbour traffic")
+	}
+}
+
+func TestSMGIdlePhasesWidenRun(t *testing.T) {
+	w := newWorld(t, 4)
+	cfg := SMGConfig{Cycles: 1, Levels: 3, LevelTime: 1e-4,
+		CellBytes: 256, IdleBefore: 5, IdleAfter: 5, Seed: 6}
+	var endTime float64
+	body := SMG(cfg)
+	if err := w.Run(func(r *mpi.Rank) {
+		body(r)
+		if r.Rank() == 0 {
+			endTime = r.Now()
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if endTime < 10 {
+		t.Fatalf("run finished at %v s, idle phases missing", endTime)
+	}
+}
+
+func TestSMGValidation(t *testing.T) {
+	if err := (SMGConfig{Cycles: 0, Levels: 1}).Validate(); err == nil {
+		t.Fatalf("zero cycles accepted")
+	}
+	if err := (SMGConfig{Cycles: 1, Levels: 1, IdleBefore: -1}).Validate(); err == nil {
+		t.Fatalf("negative idle accepted")
+	}
+}
+
+func TestWorkloadsDeterministic(t *testing.T) {
+	run := func() *trace.Trace {
+		w := newWorld(t, 4)
+		cfg := POPConfig{Px: 2, Py: 2, Iterations: 8, TraceStart: 2, TraceEnd: 6,
+			StepTime: 1e-4, HaloBytes: 128, AllreduceEvery: 1, Seed: 9}
+		if err := w.Run(POP(cfg)); err != nil {
+			t.Fatal(err)
+		}
+		return w.Trace()
+	}
+	a, b := run(), run()
+	if a.EventCount() != b.EventCount() {
+		t.Fatalf("nondeterministic POP event counts: %d vs %d", a.EventCount(), b.EventCount())
+	}
+	for i := range a.Procs {
+		for j := range a.Procs[i].Events {
+			if a.Procs[i].Events[j] != b.Procs[i].Events[j] {
+				t.Fatalf("nondeterministic POP event %d/%d", i, j)
+			}
+		}
+	}
+}
+
+func BenchmarkPOPIteration32(b *testing.B) {
+	m := topology.Xeon()
+	pin, err := topology.Scheduled(m, 32, xrand.NewSource(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := mpi.NewWorld(mpi.Config{Machine: m, Timer: clock.TSC, Pinning: pin, Seed: 17})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := POPConfig{Px: 8, Py: 4, Iterations: b.N + 1, TraceStart: 0, TraceEnd: b.N + 1,
+		StepTime: 1e-4, HaloBytes: 1024, AllreduceEvery: 1, Seed: 2}
+	b.ResetTimer()
+	if err := w.Run(POP(cfg)); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func TestTransposeRunsWithCommunicators(t *testing.T) {
+	m := topology.Xeon()
+	pin, err := topology.Scheduled(m, 8, xrand.NewSource(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := mpi.NewWorld(mpi.Config{Machine: m, Timer: clock.TSC, Pinning: pin, Seed: 17, Tracing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := TransposeConfig{Px: 4, Py: 2, Steps: 10, StepTime: 1e-4,
+		Imbalance: 0.05, CellBytes: 256, Seed: 3}
+	if err := w.Run(Transpose(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	tr := w.Trace()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	colls, err := tr.Collectives()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// sub-communicator collectives must be present with their own ids
+	subComms := map[int32]int{}
+	for _, c := range colls {
+		if c.Comm > 0 {
+			subComms[c.Comm]++
+		}
+	}
+	// 2 row comms + 4 column comms
+	if len(subComms) != 6 {
+		t.Fatalf("expected 6 sub-communicators, got %d (%v)", len(subComms), subComms)
+	}
+	if _, err := analysis.CensusOf(tr); err != nil {
+		t.Fatalf("census over sub-communicator trace: %v", err)
+	}
+}
+
+func TestTransposeValidation(t *testing.T) {
+	if err := (TransposeConfig{Px: 3, Py: 3, Steps: 1}).Validate(8); err == nil {
+		t.Fatalf("grid mismatch accepted")
+	}
+	if err := (TransposeConfig{Px: 2, Py: 4, Steps: 0}).Validate(8); err == nil {
+		t.Fatalf("zero steps accepted")
+	}
+}

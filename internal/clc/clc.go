@@ -1,0 +1,563 @@
+// Package clc implements the controlled logical clock algorithm
+// (Rabenseifner 1997; Becker, Rabenseifner, Wolf 2007/2008) discussed in
+// Section V of the paper: the retroactive correction of clock-condition
+// violations in event traces by shifting message events forward in time
+// while trying to preserve the length of intervals between local events.
+//
+// The algorithm walks the trace's happened-before graph (program order,
+// matched point-to-point messages, and collective operations mapped onto
+// point-to-point edges per their 1-to-N / N-to-1 / N-to-N semantics). A
+// receive that violates t_recv >= t_send + γ·l_min is advanced to the
+// bound. Two amortization mechanisms protect local interval lengths:
+//
+//   - forward amortization: the correction offset is carried to subsequent
+//     events on the same process and decays at a bounded rate instead of
+//     vanishing instantly (which would compress the next interval);
+//   - backward amortization: events in a window before the corrected
+//     receive are pre-shifted along a linear ramp, clamped so no send is
+//     pushed past its own receiver's bound, smoothing the jump.
+//
+// Corrected timestamps never move backward (t' >= t), local event order is
+// preserved, and after correction no happened-before edge violates the
+// γ-scaled clock condition. These invariants are enforced by tests.
+//
+// Two implementations are provided with identical results: a sequential
+// topological replay and a parallel replay (Becker et al. 2008) with one
+// goroutine per process exchanging corrected send times over channels,
+// mirroring the original communication.
+package clc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"tsync/internal/lclock"
+	"tsync/internal/trace"
+)
+
+// Options tune the algorithm.
+type Options struct {
+	// Gamma is the fraction of the minimum message latency enforced
+	// between matched sends and receives, in (0, 1]. Use values slightly
+	// below 1 on real systems where l_min may be overestimated; the
+	// simulator's l_min is a guaranteed lower bound, so the default
+	// enforces the full clock condition.
+	Gamma float64
+	// MinSpacing is the minimal corrected distance between consecutive
+	// events of one process (δ).
+	MinSpacing float64
+	// ForwardDecay is the rate (seconds of correction removed per second
+	// of local time) at which a carried correction offset decays back
+	// toward the original clock. Smaller values preserve intervals
+	// better but keep the process on the shifted time base longer.
+	ForwardDecay float64
+	// BackwardWindow is the maximal local-time window (seconds) before a
+	// corrected receive across which backward amortization spreads the
+	// jump.
+	BackwardWindow float64
+	// SharedMemory additionally enforces the POMP shared-memory
+	// happened-before conditions (fork before region events, region
+	// events before join, overlapping barriers) — the extension the
+	// paper lists as an open limitation of the original CLC.
+	SharedMemory bool
+	// Domains groups ranks whose clocks are physically synchronized
+	// (e.g. processes on one SMP node sharing the node crystal). When a
+	// correction advances one member's timestamps, co-located members'
+	// events near that time are advanced in step (a second forward pass
+	// lifts them onto the domain's correction envelope), addressing the
+	// paper's concluding observation that "timestamps of processes
+	// co-located on the same SMP node that are close to the modified
+	// time may need to be modified as well".
+	Domains [][]int
+}
+
+// DefaultOptions returns the calibration used throughout the experiments.
+func DefaultOptions() Options {
+	return Options{
+		Gamma:          1.0,
+		MinSpacing:     1e-9,
+		ForwardDecay:   1e-4,
+		BackwardWindow: 0.5,
+	}
+}
+
+func (o Options) validate() error {
+	if o.Gamma <= 0 || o.Gamma > 1 {
+		return fmt.Errorf("clc: Gamma must be in (0,1], got %v", o.Gamma)
+	}
+	if o.MinSpacing < 0 {
+		return fmt.Errorf("clc: MinSpacing must be non-negative, got %v", o.MinSpacing)
+	}
+	if o.ForwardDecay < 0 {
+		return fmt.Errorf("clc: ForwardDecay must be non-negative, got %v", o.ForwardDecay)
+	}
+	if o.BackwardWindow < 0 {
+		return fmt.Errorf("clc: BackwardWindow must be non-negative, got %v", o.BackwardWindow)
+	}
+	return nil
+}
+
+// Report summarizes a correction run.
+type Report struct {
+	// ViolationsBefore and ViolationsAfter count happened-before edges
+	// violating the γ-scaled clock condition before and after.
+	ViolationsBefore int
+	ViolationsAfter  int
+	// EventsMoved counts events whose timestamp changed.
+	EventsMoved int
+	// MaxAdvance is the largest forward shift applied to any event.
+	MaxAdvance float64
+}
+
+// edgeLMin returns the γ-scaled minimal latency of an edge.
+func edgeLMin(t *trace.Trace, e lclock.Edge, gamma float64) float64 {
+	return gamma * t.MinLatencyBetween(e.From.Rank, e.To.Rank)
+}
+
+// countViolations counts edges whose Time stamps violate the γ-scaled
+// clock condition.
+func countViolations(t *trace.Trace, edges []lclock.Edge, gamma float64) int {
+	n := 0
+	for _, e := range edges {
+		from := t.Procs[e.From.Rank].Events[e.From.Idx].Time
+		to := t.Procs[e.To.Rank].Events[e.To.Idx].Time
+		if to < from+edgeLMin(t, e, gamma)-1e-12 {
+			n++
+		}
+	}
+	return n
+}
+
+// Violations counts clock-condition violations of a trace under the
+// γ-scaled condition, exposed for before/after reporting by callers.
+func Violations(t *trace.Trace, gamma float64) (int, error) {
+	edges, err := lclock.CrossEdges(t)
+	if err != nil {
+		return 0, err
+	}
+	return countViolations(t, edges, gamma), nil
+}
+
+// ViolationsShared is Violations including the POMP shared-memory edges.
+func ViolationsShared(t *trace.Trace, gamma float64) (int, error) {
+	edges, err := lclock.CrossEdges(t)
+	if err != nil {
+		return 0, err
+	}
+	edges = append(edges, lclock.POMPEdges(t)...)
+	return countViolations(t, edges, gamma), nil
+}
+
+// Correct applies the controlled logical clock sequentially and returns
+// the corrected trace and a report. The input is not modified.
+func Correct(t *trace.Trace, opt Options) (*trace.Trace, Report, error) {
+	return correct(t, opt, false, 0)
+}
+
+// CorrectParallel applies the parallel replay implementation with one
+// goroutine per process. Results are identical to Correct.
+func CorrectParallel(t *trace.Trace, opt Options) (*trace.Trace, Report, error) {
+	return correct(t, opt, true, 0)
+}
+
+func correct(t *trace.Trace, opt Options, parallel bool, _ int) (*trace.Trace, Report, error) {
+	if err := opt.validate(); err != nil {
+		return nil, Report{}, err
+	}
+	var err error
+	edges, err := lclock.CrossEdges(t)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	if opt.SharedMemory {
+		edges = append(edges, lclock.POMPEdges(t)...)
+	}
+	rep := Report{ViolationsBefore: countViolations(t, edges, opt.Gamma)}
+
+	forward := func(extra func(rank, idx int) float64) ([][]float64, error) {
+		if parallel {
+			return forwardParallel(t, edges, opt, extra)
+		}
+		return forwardSequential(t, edges, opt, extra)
+	}
+	t1, err := forward(nil)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	if len(opt.Domains) > 0 {
+		// second pass: co-located ranks pick up their domain's correction
+		// envelope (see Options.Domains); raises propagate through the
+		// happened-before edges because the pass replays them.
+		env, err := buildEnvelopes(t, t1, opt)
+		if err != nil {
+			return nil, Report{}, err
+		}
+		t1, err = forward(env)
+		if err != nil {
+			return nil, Report{}, err
+		}
+	}
+	t2 := backwardAmortize(t, edges, t1, opt)
+
+	out := t.Clone()
+	for rank := range out.Procs {
+		evs := out.Procs[rank].Events
+		for idx := range evs {
+			nt := t2[rank][idx]
+			if nt != evs[idx].Time {
+				rep.EventsMoved++
+				if adv := nt - evs[idx].Time; adv > rep.MaxAdvance {
+					rep.MaxAdvance = adv
+				}
+			}
+			evs[idx].Time = nt
+		}
+	}
+	rep.ViolationsAfter = countViolations(out, edges, opt.Gamma)
+	return out, rep, nil
+}
+
+// forwardCore computes one event's corrected time from its original time,
+// the process's previous event (original and corrected), and the maximal
+// bound imposed by incoming edges.
+func forwardCore(orig, prevOrig, prevCorr, inBound float64, first bool, opt Options) float64 {
+	v := orig
+	if !first {
+		// carry the decayed correction offset forward
+		carried := (prevCorr - prevOrig) - opt.ForwardDecay*(orig-prevOrig)
+		if carried > 0 {
+			v = math.Max(v, orig+carried)
+		}
+		// strict local order
+		v = math.Max(v, prevCorr+opt.MinSpacing)
+	}
+	return math.Max(v, inBound)
+}
+
+// forwardSequential replays the trace in a topological order of the
+// happened-before graph (Kahn's algorithm with a deterministic queue).
+func forwardSequential(t *trace.Trace, edges []lclock.Edge, opt Options, extra func(rank, idx int) float64) ([][]float64, error) {
+	n := len(t.Procs)
+	out := make([][]float64, n)
+	indeg := make([][]int, n)
+	total := 0
+	for i, p := range t.Procs {
+		out[i] = make([]float64, len(p.Events))
+		indeg[i] = make([]int, len(p.Events))
+		for j := range indeg[i] {
+			if j > 0 {
+				indeg[i][j]++
+			}
+		}
+		total += len(p.Events)
+	}
+	inEdges := map[lclock.EventRef][]lclock.Edge{}
+	for _, e := range edges {
+		indeg[e.To.Rank][e.To.Idx]++
+		inEdges[e.To] = append(inEdges[e.To], e)
+	}
+	outEdges := map[lclock.EventRef][]lclock.Edge{}
+	for _, e := range edges {
+		outEdges[e.From] = append(outEdges[e.From], e)
+	}
+	// deterministic ready queue ordered by (rank, idx)
+	var ready []lclock.EventRef
+	push := func(r lclock.EventRef) {
+		ready = append(ready, r)
+	}
+	for rank := range t.Procs {
+		if len(t.Procs[rank].Events) > 0 && indeg[rank][0] == 0 {
+			push(lclock.EventRef{Rank: rank, Idx: 0})
+		}
+	}
+	done := 0
+	for len(ready) > 0 {
+		// pop the smallest (rank, idx) for determinism
+		best := 0
+		for i := 1; i < len(ready); i++ {
+			if ready[i].Rank < ready[best].Rank ||
+				(ready[i].Rank == ready[best].Rank && ready[i].Idx < ready[best].Idx) {
+				best = i
+			}
+		}
+		cur := ready[best]
+		ready[best] = ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+
+		ev := t.Procs[cur.Rank].Events[cur.Idx]
+		inBound := math.Inf(-1)
+		for _, e := range inEdges[cur] {
+			b := out[e.From.Rank][e.From.Idx] + edgeLMin(t, e, opt.Gamma)
+			if b > inBound {
+				inBound = b
+			}
+		}
+		var prevOrig, prevCorr float64
+		first := cur.Idx == 0
+		if !first {
+			prevOrig = t.Procs[cur.Rank].Events[cur.Idx-1].Time
+			prevCorr = out[cur.Rank][cur.Idx-1]
+		}
+		v := forwardCore(ev.Time, prevOrig, prevCorr, inBound, first, opt)
+		if extra != nil {
+			if b := extra(cur.Rank, cur.Idx); b > v {
+				v = b
+				if !first && v < prevCorr+opt.MinSpacing {
+					v = prevCorr + opt.MinSpacing
+				}
+			}
+		}
+		out[cur.Rank][cur.Idx] = v
+		done++
+
+		// release successors
+		if next := cur.Idx + 1; next < len(t.Procs[cur.Rank].Events) {
+			indeg[cur.Rank][next]--
+			if indeg[cur.Rank][next] == 0 {
+				push(lclock.EventRef{Rank: cur.Rank, Idx: next})
+			}
+		}
+		for _, e := range outEdges[cur] {
+			indeg[e.To.Rank][e.To.Idx]--
+			if indeg[e.To.Rank][e.To.Idx] == 0 {
+				push(e.To)
+			}
+		}
+	}
+	if done != total {
+		return nil, fmt.Errorf("clc: happened-before graph is cyclic (%d of %d events ordered)", done, total)
+	}
+	return out, nil
+}
+
+// forwardParallel is the replay-based parallel implementation: one
+// goroutine per process walks its own events in order; every cross edge is
+// a buffered channel carrying the head's corrected time. Because the edge
+// set mirrors a communication that actually executed, the replay is
+// deadlock-free for valid traces; cycles (corrupt traces) are detected by
+// a completion check.
+func forwardParallel(t *trace.Trace, edges []lclock.Edge, opt Options, extra func(rank, idx int) float64) ([][]float64, error) {
+	n := len(t.Procs)
+	out := make([][]float64, n)
+	for i, p := range t.Procs {
+		out[i] = make([]float64, len(p.Events))
+	}
+	// each cross edge becomes a buffered channel; the tail sends its
+	// corrected time plus the edge's γ·l_min, so the head receives the
+	// complete bound
+	type outEdge struct {
+		ch   chan float64
+		lmin float64
+	}
+	inCh := map[lclock.EventRef][]chan float64{}
+	outCh := map[lclock.EventRef][]outEdge{}
+	for _, e := range edges {
+		ch := make(chan float64, 1)
+		inCh[e.To] = append(inCh[e.To], ch)
+		outCh[e.From] = append(outCh[e.From], outEdge{ch: ch, lmin: edgeLMin(t, e, opt.Gamma)})
+	}
+	var wg sync.WaitGroup
+	completed := make([]bool, n)
+	for rank := range t.Procs {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			evs := t.Procs[rank].Events
+			for idx := range evs {
+				ref := lclock.EventRef{Rank: rank, Idx: idx}
+				inBound := math.Inf(-1)
+				for _, ch := range inCh[ref] {
+					v := <-ch
+					if v > inBound {
+						inBound = v
+					}
+				}
+				var prevOrig, prevCorr float64
+				first := idx == 0
+				if !first {
+					prevOrig = evs[idx-1].Time
+					prevCorr = out[rank][idx-1]
+				}
+				v := forwardCore(evs[idx].Time, prevOrig, prevCorr, inBound, first, opt)
+				if extra != nil {
+					if b := extra(rank, idx); b > v {
+						v = b
+						if !first && v < prevCorr+opt.MinSpacing {
+							v = prevCorr + opt.MinSpacing
+						}
+					}
+				}
+				out[rank][idx] = v
+				for _, oe := range outCh[ref] {
+					oe.ch <- out[rank][idx] + oe.lmin
+				}
+			}
+			completed[rank] = true
+		}(rank)
+	}
+	wg.Wait()
+	for rank, ok := range completed {
+		if !ok {
+			return nil, fmt.Errorf("clc: parallel replay stalled on rank %d", rank)
+		}
+	}
+	return out, nil
+}
+
+// backwardAmortize smooths each forward jump across a window of preceding
+// events on the same process, respecting send constraints toward other
+// processes.
+func backwardAmortize(t *trace.Trace, edges []lclock.Edge, t1 [][]float64, opt Options) [][]float64 {
+	if opt.BackwardWindow == 0 {
+		return t1
+	}
+	// upper bound per event from its outgoing edges: an event may not be
+	// pushed past head_corrected_time - γ·l_min of any edge it heads.
+	// Using the post-forward times of the other side is conservative,
+	// because backward amortization only moves events forward.
+	ub := map[lclock.EventRef]float64{}
+	for _, e := range edges {
+		bound := t1[e.To.Rank][e.To.Idx] - edgeLMin(t, e, opt.Gamma)
+		if cur, ok := ub[e.From]; !ok || bound < cur {
+			ub[e.From] = bound
+		}
+	}
+	out := make([][]float64, len(t1))
+	for rank := range t1 {
+		times := append([]float64(nil), t1[rank]...)
+		evs := t.Procs[rank].Events
+		// locate jump points: increases of the correction offset caused
+		// by incoming edges
+		for k := 1; k < len(times); k++ {
+			deltaPrev := times[k-1] - evs[k-1].Time
+			deltaCur := times[k] - evs[k].Time
+			jump := deltaCur - deltaPrev
+			if jump <= opt.MinSpacing {
+				continue
+			}
+			rampEnd := times[k]
+			rampStart := rampEnd - opt.BackwardWindow
+			if rampStart >= rampEnd {
+				continue
+			}
+			for j := k - 1; j >= 0; j-- {
+				if times[j] <= rampStart {
+					break
+				}
+				desired := jump * (times[j] - rampStart) / (rampEnd - rampStart)
+				if desired <= 0 {
+					continue
+				}
+				allowed := desired
+				ref := lclock.EventRef{Rank: rank, Idx: j}
+				if bound, ok := ub[ref]; ok {
+					if slack := bound - times[j]; slack < allowed {
+						allowed = slack
+					}
+				}
+				if allowed > 0 {
+					times[j] += allowed
+				}
+			}
+			// restore strict local order below the jump point (clamping
+			// down is always safe: it moves times toward their forward
+			// pass values)
+			for j := k - 1; j >= 0; j-- {
+				if max := times[j+1] - opt.MinSpacing; times[j] > max {
+					times[j] = max
+				}
+				if times[j] < t1[rank][j] {
+					times[j] = t1[rank][j]
+				}
+			}
+		}
+		out[rank] = times
+	}
+	return out
+}
+
+// JumpProfile describes the corrections applied per process, for
+// diagnostics and the ablation benches: sorted absolute advances.
+func JumpProfile(orig, corrected *trace.Trace) ([][]float64, error) {
+	if len(orig.Procs) != len(corrected.Procs) {
+		return nil, fmt.Errorf("clc: trace shapes differ")
+	}
+	out := make([][]float64, len(orig.Procs))
+	for i := range orig.Procs {
+		a, b := orig.Procs[i].Events, corrected.Procs[i].Events
+		if len(a) != len(b) {
+			return nil, fmt.Errorf("clc: proc %d event counts differ", i)
+		}
+		for j := range a {
+			out[i] = append(out[i], b[j].Time-a[j].Time)
+		}
+		sort.Float64s(out[i])
+	}
+	return out, nil
+}
+
+// jumpRecord is one correction observed in the first forward pass.
+type jumpRecord struct {
+	at    float64 // original timestamp where the correction applied
+	delta float64 // total correction at that point
+}
+
+// buildEnvelopes derives, per domain, the correction envelope of the first
+// forward pass: Δ_d(t) = max over the domain's corrections of
+// (delta - ForwardDecay·|t - at|), floored at zero. Co-located events near
+// a correction in time are lifted onto the envelope in the second pass, so
+// the relative timing of processes sharing a synchronized clock survives
+// the correction. Returns an extra-bound function over (rank, idx).
+func buildEnvelopes(t *trace.Trace, t1 [][]float64, opt Options) (func(rank, idx int) float64, error) {
+	n := len(t.Procs)
+	domainOf := make([]int, n)
+	for i := range domainOf {
+		domainOf[i] = -1
+	}
+	for d, members := range opt.Domains {
+		for _, rank := range members {
+			if rank < 0 || rank >= n {
+				return nil, fmt.Errorf("clc: domain %d contains invalid rank %d", d, rank)
+			}
+			if domainOf[rank] != -1 {
+				return nil, fmt.Errorf("clc: rank %d appears in two domains", rank)
+			}
+			domainOf[rank] = d
+		}
+	}
+	records := make([][]jumpRecord, len(opt.Domains))
+	for rank, p := range t.Procs {
+		d := domainOf[rank]
+		if d < 0 {
+			continue
+		}
+		prevDelta := 0.0
+		for idx := range p.Events {
+			delta := t1[rank][idx] - p.Events[idx].Time
+			if delta-prevDelta > opt.MinSpacing && delta > 0 {
+				records[d] = append(records[d], jumpRecord{at: p.Events[idx].Time, delta: delta})
+			}
+			prevDelta = delta
+		}
+	}
+	return func(rank, idx int) float64 {
+		d := domainOf[rank]
+		if d < 0 || len(records[d]) == 0 {
+			return math.Inf(-1)
+		}
+		tt := t.Procs[rank].Events[idx].Time
+		best := 0.0
+		for _, rec := range records[d] {
+			v := rec.delta - opt.ForwardDecay*math.Abs(tt-rec.at)
+			if v > best {
+				best = v
+			}
+		}
+		if best <= 0 {
+			return math.Inf(-1)
+		}
+		return tt + best
+	}, nil
+}

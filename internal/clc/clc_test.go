@@ -1,0 +1,502 @@
+package clc
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"tsync/internal/clock"
+	"tsync/internal/mpi"
+	"tsync/internal/topology"
+	"tsync/internal/trace"
+	"tsync/internal/xrand"
+)
+
+// violatedTrace builds a two-rank trace where the receiver's clock is
+// 50 µs behind, so every receive is timestamped before its send.
+func violatedTrace(nMsgs int) *trace.Trace {
+	t := &trace.Trace{}
+	t.MinLatency = [4]float64{0, 0.46e-6, 0.84e-6, 4.2e-6}
+	var p0, p1 trace.Proc
+	p0.Rank, p1.Rank = 0, 1
+	p1.Core = topology.CoreID{Node: 1}
+	const skew = -50e-6
+	tt := 0.0
+	for i := 0; i < nMsgs; i++ {
+		tt += 100e-6
+		p0.Events = append(p0.Events, trace.Event{
+			Kind: trace.Send, Time: tt, True: tt, Partner: 1, Tag: int32(i), Region: -1, Root: -1})
+		arr := tt + 5e-6
+		p1.Events = append(p1.Events, trace.Event{
+			Kind: trace.Recv, Time: arr + skew, True: arr, Partner: 0, Tag: int32(i), Region: -1, Root: -1})
+		// a local event after each receive, to observe amortization
+		p1.Events = append(p1.Events, trace.Event{
+			Kind: trace.Enter, Time: arr + skew + 20e-6, True: arr + 20e-6, Region: -1, Partner: -1, Root: -1})
+	}
+	t.RegionID("work")
+	for i := range p1.Events {
+		if p1.Events[i].Kind == trace.Enter {
+			p1.Events[i].Region = 0
+		}
+	}
+	t.Procs = []trace.Proc{p0, p1}
+	return t
+}
+
+func checkInvariants(t *testing.T, orig, corr *trace.Trace, opt Options) {
+	t.Helper()
+	// 1. no violations remain
+	v, err := Violations(corr, opt.Gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Fatalf("%d violations remain after correction", v)
+	}
+	// 2. timestamps never move backward
+	for i := range orig.Procs {
+		for j := range orig.Procs[i].Events {
+			if corr.Procs[i].Events[j].Time < orig.Procs[i].Events[j].Time-1e-15 {
+				t.Fatalf("event %d/%d moved backward: %v -> %v", i, j,
+					orig.Procs[i].Events[j].Time, corr.Procs[i].Events[j].Time)
+			}
+		}
+	}
+	// 3. local order strictly preserved
+	for i := range corr.Procs {
+		evs := corr.Procs[i].Events
+		for j := 1; j < len(evs); j++ {
+			if evs[j].Time <= evs[j-1].Time {
+				t.Fatalf("proc %d: local order broken at %d: %v then %v", i, j-1, evs[j-1].Time, evs[j].Time)
+			}
+		}
+	}
+	// 4. True times untouched
+	for i := range corr.Procs {
+		for j := range corr.Procs[i].Events {
+			if corr.Procs[i].Events[j].True != orig.Procs[i].Events[j].True {
+				t.Fatalf("oracle time rewritten at %d/%d", i, j)
+			}
+		}
+	}
+}
+
+func TestCorrectRemovesViolations(t *testing.T) {
+	orig := violatedTrace(20)
+	opt := DefaultOptions()
+	before, err := Violations(orig, opt.Gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != 20 {
+		t.Fatalf("synthetic trace has %d violations, want 20", before)
+	}
+	corr, rep, err := Correct(orig, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ViolationsBefore != 20 || rep.ViolationsAfter != 0 {
+		t.Fatalf("report %+v", rep)
+	}
+	checkInvariants(t, orig, corr, opt)
+	if rep.EventsMoved == 0 || rep.MaxAdvance <= 0 {
+		t.Fatalf("nothing moved: %+v", rep)
+	}
+}
+
+func TestCleanTraceUntouched(t *testing.T) {
+	orig := violatedTrace(5)
+	// remove the skew so the trace is clean
+	for i := range orig.Procs[1].Events {
+		orig.Procs[1].Events[i].Time += 50e-6
+	}
+	opt := DefaultOptions()
+	corr, rep, err := Correct(orig, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ViolationsBefore != 0 || rep.EventsMoved != 0 {
+		t.Fatalf("clean trace modified: %+v", rep)
+	}
+	if !reflect.DeepEqual(orig, corr) {
+		t.Fatalf("clean trace changed")
+	}
+}
+
+func TestSequentialAndParallelAgree(t *testing.T) {
+	orig := violatedTrace(50)
+	opt := DefaultOptions()
+	seq, repS, err := Correct(orig, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, repP, err := CorrectParallel(orig, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("sequential and parallel corrections differ")
+	}
+	if repS != repP {
+		t.Fatalf("reports differ: %+v vs %+v", repS, repP)
+	}
+}
+
+func TestForwardAmortizationPreservesIntervals(t *testing.T) {
+	orig := violatedTrace(1)
+	opt := DefaultOptions()
+	opt.BackwardWindow = 0 // isolate forward behaviour
+	corr, _, err := Correct(orig, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// the local event 20 µs after the corrected receive must still be
+	// ~20 µs after it (shrunk by at most ForwardDecay fraction)
+	evs := corr.Procs[1].Events
+	origIv := orig.Procs[1].Events[1].Time - orig.Procs[1].Events[0].Time
+	corrIv := evs[1].Time - evs[0].Time
+	if corrIv < origIv*(1-10*opt.ForwardDecay) {
+		t.Fatalf("interval collapsed: %v -> %v", origIv, corrIv)
+	}
+	if corrIv > origIv+1e-12 {
+		t.Fatalf("interval grew unexpectedly: %v -> %v", origIv, corrIv)
+	}
+}
+
+func TestForwardDecayReturnsToOriginalClock(t *testing.T) {
+	// after a jump, widely spaced later events should converge back to
+	// their original timestamps at the decay rate
+	tr := &trace.Trace{}
+	tr.MinLatency = [4]float64{0, 0, 0, 4.2e-6}
+	send := trace.Event{Kind: trace.Send, Time: 1.0, True: 1.0, Partner: 1, Region: -1, Root: -1}
+	p0 := trace.Proc{Rank: 0, Events: []trace.Event{send}}
+	p1 := trace.Proc{Rank: 1, Core: topology.CoreID{Node: 1}}
+	p1.Events = append(p1.Events, trace.Event{
+		Kind: trace.Recv, Time: 1.0 - 100e-6, True: 1.0 + 5e-6, Partner: 0, Region: -1, Root: -1})
+	for i := 1; i <= 10; i++ {
+		p1.Events = append(p1.Events, trace.Event{
+			Kind: trace.Enter, Time: 1.0 - 100e-6 + float64(i), True: 1.0 + 5e-6 + float64(i), Region: 0, Partner: -1, Root: -1})
+	}
+	tr.RegionID("w")
+	tr.Procs = []trace.Proc{p0, p1}
+	opt := DefaultOptions()
+	corr, _, err := Correct(tr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := corr.Procs[1].Events[len(corr.Procs[1].Events)-1]
+	lastOrig := tr.Procs[1].Events[len(tr.Procs[1].Events)-1]
+	// 10 seconds at decay 1e-4 removes up to 1 ms of correction — far
+	// more than the ~104 µs jump, so the last event must be back on its
+	// original clock
+	if last.Time != lastOrig.Time {
+		t.Fatalf("correction did not decay away: %v vs original %v", last.Time, lastOrig.Time)
+	}
+}
+
+func TestBackwardAmortizationSmoothsJump(t *testing.T) {
+	// events shortly before a violated receive should be pre-shifted
+	tr := &trace.Trace{}
+	tr.MinLatency = [4]float64{0, 0, 0, 4.2e-6}
+	p0 := trace.Proc{Rank: 0, Events: []trace.Event{
+		{Kind: trace.Send, Time: 1.0, True: 1.0, Partner: 1, Region: -1, Root: -1},
+	}}
+	p1 := trace.Proc{Rank: 1, Core: topology.CoreID{Node: 1}}
+	tr.RegionID("w")
+	// local events leading up to the receive
+	for i := 0; i < 5; i++ {
+		p1.Events = append(p1.Events, trace.Event{
+			Kind: trace.Enter, Time: 0.9998 + float64(i)*40e-6, True: 1.0, Region: 0, Partner: -1, Root: -1})
+	}
+	p1.Events = append(p1.Events, trace.Event{
+		Kind: trace.Recv, Time: 0.9999, True: 1.000005, Partner: 0, Region: -1, Root: -1})
+	tr.Procs = []trace.Proc{p0, p1}
+
+	withBackward, _, err := Correct(tr, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	noBackward := DefaultOptions()
+	noBackward.BackwardWindow = 0
+	without, _, err := Correct(tr, noBackward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	movedWith := withBackward.Procs[1].Events[4].Time - tr.Procs[1].Events[4].Time
+	movedWithout := without.Procs[1].Events[4].Time - tr.Procs[1].Events[4].Time
+	if movedWithout != 0 {
+		t.Fatalf("no-backward run moved a pre-receive event by %v", movedWithout)
+	}
+	if movedWith <= 0 {
+		t.Fatalf("backward amortization did not pre-shift events")
+	}
+	checkInvariants(t, tr, withBackward, DefaultOptions())
+}
+
+func TestBackwardRespectsSendConstraints(t *testing.T) {
+	// a send sitting just before a violated receive must not be pushed
+	// past its own receiver's bound
+	tr := &trace.Trace{}
+	tr.MinLatency = [4]float64{0, 0, 0, 10e-6}
+	p0 := trace.Proc{Rank: 0, Events: []trace.Event{
+		{Kind: trace.Send, Time: 1.0, True: 1.0, Partner: 1, Tag: 1, Region: -1, Root: -1},
+	}}
+	p1 := trace.Proc{Rank: 1, Core: topology.CoreID{Node: 1}, Events: []trace.Event{
+		// this send's receive on rank 2 is tight
+		{Kind: trace.Send, Time: 0.99995, True: 0.99995, Partner: 2, Tag: 2, Region: -1, Root: -1},
+		// violated receive right after
+		{Kind: trace.Recv, Time: 0.9999, True: 1.00001, Partner: 0, Tag: 1, Region: -1, Root: -1},
+	}}
+	p2 := trace.Proc{Rank: 2, Core: topology.CoreID{Node: 2}, Events: []trace.Event{
+		{Kind: trace.Recv, Time: 0.99995 + 10.5e-6, True: 0.99997, Partner: 1, Tag: 2, Region: -1, Root: -1},
+	}}
+	tr.Procs = []trace.Proc{p0, p1, p2}
+	opt := DefaultOptions()
+	corr, _, err := Correct(tr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInvariants(t, tr, corr, opt)
+}
+
+func TestCollectiveViolationsCorrected(t *testing.T) {
+	// a barrier where one rank's CollEnd is timestamped before another
+	// rank's CollBegin (the Fig. 2(d) situation, MPI flavor)
+	tr := &trace.Trace{}
+	tr.MinLatency = [4]float64{0, 0.46e-6, 0.84e-6, 4.2e-6}
+	mk := func(rank int, node int, skew float64) trace.Proc {
+		return trace.Proc{Rank: rank, Core: topology.CoreID{Node: node}, Events: []trace.Event{
+			{Kind: trace.CollBegin, Op: trace.OpBarrier, Time: 1.0 + skew, True: 1.0, Comm: 0, Instance: 0, Partner: -1, Region: -1, Root: -1},
+			{Kind: trace.CollEnd, Op: trace.OpBarrier, Time: 1.00002 + skew, True: 1.00002, Comm: 0, Instance: 0, Partner: -1, Region: -1, Root: -1},
+		}}
+	}
+	tr.Procs = []trace.Proc{mk(0, 0, 0), mk(1, 1, -60e-6)} // rank 1 ends before rank 0 begins
+	opt := DefaultOptions()
+	before, err := Violations(tr, opt.Gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before == 0 {
+		t.Fatalf("expected barrier violation")
+	}
+	corr, rep, err := Correct(tr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ViolationsAfter != 0 {
+		t.Fatalf("barrier violation not corrected: %+v", rep)
+	}
+	checkInvariants(t, tr, corr, opt)
+}
+
+func TestOptionsValidation(t *testing.T) {
+	orig := violatedTrace(1)
+	bad := []Options{
+		{Gamma: 0, MinSpacing: 1e-9},
+		{Gamma: 1.5},
+		{Gamma: 0.9, MinSpacing: -1},
+		{Gamma: 0.9, ForwardDecay: -1},
+		{Gamma: 0.9, BackwardWindow: -1},
+	}
+	for i, opt := range bad {
+		if _, _, err := Correct(orig, opt); err == nil {
+			t.Fatalf("bad options %d accepted", i)
+		}
+	}
+}
+
+func TestCyclicTraceRejected(t *testing.T) {
+	tr := &trace.Trace{Procs: []trace.Proc{
+		{Rank: 0, Events: []trace.Event{
+			{Kind: trace.Recv, Partner: 1, Region: -1, Root: -1},
+			{Kind: trace.Send, Partner: 1, Region: -1, Root: -1},
+		}},
+		{Rank: 1, Events: []trace.Event{
+			{Kind: trace.Recv, Partner: 0, Region: -1, Root: -1},
+			{Kind: trace.Send, Partner: 0, Region: -1, Root: -1},
+		}},
+	}}
+	if _, _, err := Correct(tr, DefaultOptions()); err == nil {
+		t.Fatalf("cyclic trace accepted by sequential replay")
+	}
+}
+
+func TestEndToEndSimulatedTrace(t *testing.T) {
+	// full pipeline: simulate with badly offset clocks, verify CLC
+	// removes every violation the raw timestamps contain
+	m := topology.Xeon()
+	pin, err := topology.InterNode(m, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := mpi.NewWorld(mpi.Config{Machine: m, Timer: clock.TSC, Pinning: pin, Seed: 13, Tracing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(func(r *mpi.Rank) {
+		n := r.Size()
+		for i := 0; i < 30; i++ {
+			dst := (r.Rank() + 1) % n
+			src := (r.Rank() - 1 + n) % n
+			r.Send(dst, i, 256, nil)
+			r.Recv(src, i)
+			if i%10 == 0 {
+				r.Allreduce(8, nil, nil)
+			}
+			r.Compute(3e-6)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tr := w.Trace()
+	// raw timestamps come from unaligned clocks with seconds-scale
+	// offsets: everything is violated
+	opt := DefaultOptions()
+	before, err := Violations(tr, opt.Gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before == 0 {
+		t.Fatalf("expected violations in raw unaligned trace")
+	}
+	corr, rep, err := Correct(tr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ViolationsAfter != 0 {
+		t.Fatalf("CLC left %d violations", rep.ViolationsAfter)
+	}
+	checkInvariants(t, tr, corr, opt)
+
+	// parallel replay agrees on the real trace too
+	par, _, err := CorrectParallel(tr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(corr, par) {
+		t.Fatalf("parallel replay disagrees on simulated trace")
+	}
+}
+
+func TestPropertyRandomTracesInvariants(t *testing.T) {
+	rng := xrand.NewSource(21)
+	opt := DefaultOptions()
+	check := func(seed uint32) bool {
+		s := rng.Sub(string(rune(seed)))
+		nProcs := 2 + s.Intn(4)
+		tr := &trace.Trace{}
+		tr.MinLatency = [4]float64{0, 0.5e-6, 1e-6, 4e-6}
+		tr.RegionID("w")
+		// build a ring of messages with noisy, skewed timestamps
+		skews := make([]float64, nProcs)
+		for i := range skews {
+			skews[i] = s.Normal(0, 100e-6)
+		}
+		procs := make([]trace.Proc, nProcs)
+		for i := range procs {
+			procs[i] = trace.Proc{Rank: i, Core: topology.CoreID{Node: i}}
+		}
+		tt := 0.0
+		rounds := 1 + s.Intn(15)
+		for round := 0; round < rounds; round++ {
+			tt += 50e-6
+			for i := range procs {
+				dst := (i + 1) % nProcs
+				procs[i].Events = append(procs[i].Events, trace.Event{
+					Kind: trace.Send, Time: tt + skews[i], True: tt,
+					Partner: int32(dst), Tag: int32(round), Region: -1, Root: -1})
+			}
+			tt += 10e-6
+			for i := range procs {
+				src := (i - 1 + nProcs) % nProcs
+				procs[i].Events = append(procs[i].Events, trace.Event{
+					Kind: trace.Recv, Time: tt + skews[i] + s.Normal(0, 5e-6), True: tt,
+					Partner: int32(src), Tag: int32(round), Region: -1, Root: -1})
+			}
+		}
+		// per-process Times must be locally ordered for a valid trace
+		for i := range procs {
+			for j := 1; j < len(procs[i].Events); j++ {
+				if procs[i].Events[j].Time <= procs[i].Events[j-1].Time {
+					procs[i].Events[j].Time = procs[i].Events[j-1].Time + 1e-9
+				}
+			}
+		}
+		tr.Procs = procs
+		corr, rep, err := Correct(tr, opt)
+		if err != nil {
+			return false
+		}
+		if rep.ViolationsAfter != 0 {
+			return false
+		}
+		// invariants: monotone locally, never backward
+		for i := range corr.Procs {
+			evs := corr.Procs[i].Events
+			for j := range evs {
+				if evs[j].Time < tr.Procs[i].Events[j].Time-1e-15 {
+					return false
+				}
+				if j > 0 && evs[j].Time <= evs[j-1].Time {
+					return false
+				}
+			}
+		}
+		// parallel equality
+		par, _, err := CorrectParallel(tr, opt)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(corr, par)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJumpProfile(t *testing.T) {
+	orig := violatedTrace(3)
+	corr, _, err := Correct(orig, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := JumpProfile(orig, corr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof) != 2 {
+		t.Fatalf("profile covers %d procs", len(prof))
+	}
+	maxAdvance := prof[1][len(prof[1])-1]
+	if maxAdvance < 40e-6 {
+		t.Fatalf("rank 1 max advance %v, expected ~skew magnitude", maxAdvance)
+	}
+	for _, v := range prof[0] {
+		if math.Abs(v) > 1e-12 {
+			t.Fatalf("rank 0 (no violations) was moved by %v", v)
+		}
+	}
+}
+
+func BenchmarkCorrectSequential(b *testing.B) {
+	orig := violatedTrace(500)
+	opt := DefaultOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Correct(orig, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCorrectParallel(b *testing.B) {
+	orig := violatedTrace(500)
+	opt := DefaultOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := CorrectParallel(orig, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

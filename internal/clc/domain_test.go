@@ -1,0 +1,157 @@
+package clc
+
+import (
+	"math"
+	"testing"
+
+	"tsync/internal/topology"
+	"tsync/internal/trace"
+)
+
+// domainTrace: ranks 0 and 1 are co-located on node 0 (synchronized
+// clocks); rank 2 is remote. Rank 2 sends to rank 0 with a violated
+// receive; rank 1 has local events around the violation time.
+func domainTrace() *trace.Trace {
+	tr := &trace.Trace{}
+	tr.MinLatency = [4]float64{0, 0.5e-6, 1e-6, 4e-6}
+	tr.RegionID("w")
+	tr.Procs = []trace.Proc{
+		{Rank: 0, Core: topology.CoreID{Node: 0, Chip: 0}, Events: []trace.Event{
+			{Kind: trace.Recv, Time: 1.0 - 80e-6, True: 1.0 + 5e-6, Partner: 2, Region: -1, Root: -1},
+			{Kind: trace.Enter, Time: 1.0 - 60e-6, True: 1.0 + 25e-6, Region: 0, Partner: -1, Root: -1},
+		}},
+		{Rank: 1, Core: topology.CoreID{Node: 0, Chip: 1}, Events: []trace.Event{
+			// events close in time to rank 0's corrected receive
+			{Kind: trace.Enter, Time: 1.0 - 75e-6, True: 1.0 + 10e-6, Region: 0, Partner: -1, Root: -1},
+			{Kind: trace.Exit, Time: 1.0 - 55e-6, True: 1.0 + 30e-6, Region: 0, Partner: -1, Root: -1},
+		}},
+		{Rank: 2, Core: topology.CoreID{Node: 1}, Events: []trace.Event{
+			{Kind: trace.Send, Time: 1.0, True: 1.0, Partner: 0, Region: -1, Root: -1},
+		}},
+	}
+	return tr
+}
+
+func TestDomainsPropagateCorrections(t *testing.T) {
+	tr := domainTrace()
+	opt := DefaultOptions()
+
+	// without domains: rank 1 is untouched (no edges reach it)
+	plain, _, err := Correct(tr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plain.Procs[1].Events[0].Time; got != tr.Procs[1].Events[0].Time {
+		t.Fatalf("rank 1 moved without domain coupling: %v", got)
+	}
+
+	// with domains: rank 1's co-located events advance in step
+	opt.Domains = [][]int{{0, 1}}
+	coupled, rep, err := Correct(tr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ViolationsAfter != 0 {
+		t.Fatalf("violations remain: %+v", rep)
+	}
+	jump0 := coupled.Procs[0].Events[0].Time - tr.Procs[0].Events[0].Time
+	if jump0 <= 0 {
+		t.Fatalf("violated receive not advanced")
+	}
+	moved1 := coupled.Procs[1].Events[1].Time - tr.Procs[1].Events[1].Time
+	if moved1 <= 0 {
+		t.Fatalf("co-located rank not advanced with its domain")
+	}
+	// the co-located advance must be comparable to the jump (within the
+	// decay over the microseconds between the events)
+	if moved1 < jump0/2 {
+		t.Fatalf("domain advance %v too small vs jump %v", moved1, jump0)
+	}
+	// the remote rank must remain untouched
+	if coupled.Procs[2].Events[0].Time != tr.Procs[2].Events[0].Time {
+		t.Fatalf("remote rank moved")
+	}
+	checkInvariants(t, tr, coupled, opt)
+}
+
+func TestDomainsKeepCoLocatedClocksTogether(t *testing.T) {
+	// the paper's scenario: after correction, the relative timestamps of
+	// co-located processes (which share a synchronized clock) should not
+	// be torn apart by a correction applied to only one of them
+	tr := domainTrace()
+	opt := DefaultOptions()
+	opt.Domains = [][]int{{0, 1}}
+	coupled, _, err := Correct(tr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// original gap between rank0.Enter and rank1.Exit (both on node 0):
+	gapBefore := tr.Procs[1].Events[1].Time - tr.Procs[0].Events[1].Time
+	gapAfter := coupled.Procs[1].Events[1].Time - coupled.Procs[0].Events[1].Time
+	if math.Abs(gapAfter-gapBefore) > 30e-6 {
+		t.Fatalf("co-located gap torn from %v to %v", gapBefore, gapAfter)
+	}
+	// without coupling the gap is torn by the whole jump (~85 µs)
+	plain, _, err := Correct(tr, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gapPlain := plain.Procs[1].Events[1].Time - plain.Procs[0].Events[1].Time
+	if math.Abs(gapPlain-gapBefore) < 30e-6 {
+		t.Fatalf("expected the uncoupled correction to tear the gap (got %v vs %v)", gapPlain, gapBefore)
+	}
+}
+
+func TestDomainsValidation(t *testing.T) {
+	tr := domainTrace()
+	opt := DefaultOptions()
+	opt.Domains = [][]int{{0, 9}}
+	if _, _, err := Correct(tr, opt); err == nil {
+		t.Fatalf("invalid rank in domain accepted")
+	}
+	opt.Domains = [][]int{{0, 1}, {1, 2}}
+	if _, _, err := Correct(tr, opt); err == nil {
+		t.Fatalf("overlapping domains accepted")
+	}
+}
+
+func TestDomainsParallelAgrees(t *testing.T) {
+	tr := domainTrace()
+	opt := DefaultOptions()
+	opt.Domains = [][]int{{0, 1}}
+	seq, repS, err := Correct(tr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, repP, err := CorrectParallel(tr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repS != repP {
+		t.Fatalf("reports differ: %+v vs %+v", repS, repP)
+	}
+	for i := range seq.Procs {
+		for j := range seq.Procs[i].Events {
+			if seq.Procs[i].Events[j].Time != par.Procs[i].Events[j].Time {
+				t.Fatalf("domain-aware sequential and parallel disagree at %d/%d", i, j)
+			}
+		}
+	}
+}
+
+func TestDomainsOnCleanTraceNoop(t *testing.T) {
+	tr := domainTrace()
+	// remove the violation
+	tr.Procs[0].Events[0].Time = 1.0 + 5e-6
+	tr.Procs[0].Events[1].Time = 1.0 + 25e-6
+	opt := DefaultOptions()
+	opt.Domains = [][]int{{0, 1}}
+	corr, rep, err := Correct(tr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EventsMoved != 0 {
+		t.Fatalf("clean trace moved %d events", rep.EventsMoved)
+	}
+	_ = corr
+}

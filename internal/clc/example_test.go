@@ -1,0 +1,35 @@
+package clc_test
+
+import (
+	"fmt"
+
+	"tsync/internal/clc"
+	"tsync/internal/topology"
+	"tsync/internal/trace"
+)
+
+// ExampleCorrect shows the controlled logical clock repairing a message
+// whose receive was timestamped before its send (a clock-condition
+// violation) while leaving the sender untouched.
+func ExampleCorrect() {
+	tr := &trace.Trace{}
+	tr.MinLatency = [4]float64{0, 0, 0, 4e-6} // 4 µs inter-node l_min
+	tr.Procs = []trace.Proc{
+		{Rank: 0, Events: []trace.Event{
+			{Kind: trace.Send, Time: 1.000000, True: 1.0, Partner: 1, Region: -1, Root: -1},
+		}},
+		{Rank: 1, Core: topology.CoreID{Node: 1}, Events: []trace.Event{
+			// received "before" it was sent: the receiver's clock is slow
+			{Kind: trace.Recv, Time: 0.999990, True: 1.000005, Partner: 0, Region: -1, Root: -1},
+		}},
+	}
+	fixed, report, err := clc.Correct(tr, clc.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("violations: %d -> %d\n", report.ViolationsBefore, report.ViolationsAfter)
+	fmt.Printf("receive moved to %.6f (send + l_min)\n", fixed.Procs[1].Events[0].Time)
+	// Output:
+	// violations: 1 -> 0
+	// receive moved to 1.000004 (send + l_min)
+}

@@ -1,0 +1,158 @@
+package clc
+
+import (
+	"testing"
+
+	"tsync/internal/analysis"
+	"tsync/internal/clock"
+	"tsync/internal/lclock"
+	"tsync/internal/omp"
+	"tsync/internal/topology"
+	"tsync/internal/trace"
+)
+
+// ompTrace runs the Fig. 8 benchmark at 4 threads, where most parallel
+// regions violate POMP semantics.
+func ompTrace(t testing.TB, seed uint64) *trace.Trace {
+	t.Helper()
+	tm, err := omp.NewTeam(omp.Config{
+		Machine: topology.Itanium(), Timer: clock.TSC, Threads: 4, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := tm.RunParallelFor("pf", 40, func(int, int) float64 { return 5e-6 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestSharedMemoryCLCRestoresPOMPSemantics(t *testing.T) {
+	// the paper's open limitation, closed: CLC with POMP edges removes
+	// every shared-memory violation
+	tr := ompTrace(t, 2)
+	before, err := analysis.POMPCensusOf(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Any == 0 {
+		t.Fatalf("expected POMP violations at 4 threads")
+	}
+	opt := DefaultOptions()
+	opt.SharedMemory = true
+	corr, rep, err := Correct(tr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ViolationsBefore == 0 {
+		t.Fatalf("shared-memory edges not counted in the report")
+	}
+	if rep.ViolationsAfter != 0 {
+		t.Fatalf("CLC left %d shared-memory violations", rep.ViolationsAfter)
+	}
+	after, err := analysis.POMPCensusOf(corr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Any != 0 {
+		t.Fatalf("POMP census still reports %d violated regions after correction", after.Any)
+	}
+	checkInvariants(t, tr, corr, opt)
+}
+
+func TestSharedMemoryCLCParallelAgrees(t *testing.T) {
+	tr := ompTrace(t, 3)
+	opt := DefaultOptions()
+	opt.SharedMemory = true
+	seq, repS, err := Correct(tr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, repP, err := CorrectParallel(tr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repS != repP {
+		t.Fatalf("reports differ: %+v vs %+v", repS, repP)
+	}
+	for i := range seq.Procs {
+		for j := range seq.Procs[i].Events {
+			if seq.Procs[i].Events[j].Time != par.Procs[i].Events[j].Time {
+				t.Fatalf("sequential and parallel shared-memory CLC disagree at %d/%d", i, j)
+			}
+		}
+	}
+}
+
+func TestWithoutSharedMemoryOptionViolationsRemain(t *testing.T) {
+	// the original CLC (message edges only) cannot see POMP violations —
+	// exactly the limitation the paper describes
+	tr := ompTrace(t, 2)
+	corr, rep, err := Correct(tr, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ViolationsBefore != 0 {
+		t.Fatalf("message-only CLC saw %d violations in a message-free trace", rep.ViolationsBefore)
+	}
+	after, err := analysis.POMPCensusOf(corr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Any == 0 {
+		t.Fatalf("POMP violations disappeared without shared-memory edges")
+	}
+}
+
+func TestViolationsShared(t *testing.T) {
+	tr := ompTrace(t, 2)
+	plain, err := Violations(tr, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := ViolationsShared(tr, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != 0 {
+		t.Fatalf("message-edge violations in a message-free trace: %d", plain)
+	}
+	if shared == 0 {
+		t.Fatalf("shared-memory violations not counted")
+	}
+}
+
+func TestPOMPEdgesStructure(t *testing.T) {
+	tr := ompTrace(t, 1)
+	edges := lclock.POMPEdges(tr)
+	if len(edges) == 0 {
+		t.Fatalf("no POMP edges derived")
+	}
+	// every edge must respect true time (the runtime is causal)
+	for _, e := range edges {
+		from := tr.Procs[e.From.Rank].Events[e.From.Idx].True
+		to := tr.Procs[e.To.Rank].Events[e.To.Idx].True
+		if to < from {
+			t.Fatalf("POMP edge against true time: %v -> %v", from, to)
+		}
+	}
+	// 40 regions × 4 threads: fork->first (3 workers + master self-skip
+	// check), last->join, and 4×3 barrier pairs per region
+	perRegion := 3 + 4 + 12 // fork edges (master's first != fork ref → 4), conservatively >= 3+4+12-1
+	if len(edges) < 40*perRegion/2 {
+		t.Fatalf("suspiciously few POMP edges: %d", len(edges))
+	}
+}
+
+func BenchmarkSharedMemoryCLC(b *testing.B) {
+	tr := ompTrace(b, 2)
+	opt := DefaultOptions()
+	opt.SharedMemory = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Correct(tr, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package clock
+
+import (
+	"tsync/internal/xrand"
+)
+
+// Clock is one readable processor clock: an oscillator (possibly shared by
+// all cores of a chip) plus per-reader properties — initial offset,
+// resolution quantization, read noise, read overhead, and OS jitter.
+//
+// Read is stateful when monotonic enforcement is on; reads must arrive in
+// non-decreasing true-time order, which the discrete-event simulation
+// guarantees per reader (each simulated core owns its Clock).
+type Clock struct {
+	name       string
+	osc        *Oscillator
+	offset     float64 // local value at true time 0
+	resolution float64 // quantization step in seconds; 0 disables
+	readNoise  float64 // std dev of per-read error in seconds
+	overhead   float64 // mean read overhead in seconds
+	overheadSD float64 // std dev of read overhead
+	jitterProb float64 // probability a read is hit by OS jitter
+	jitterMean float64 // mean extra delay of a jittered read (exponential)
+	monotonic  bool
+	rng        *xrand.Source
+	last       float64
+	hasLast    bool
+}
+
+// Config carries the per-reader properties of a Clock.
+type Config struct {
+	Name           string
+	Offset         float64
+	Resolution     float64
+	ReadNoise      float64
+	Overhead       float64
+	OverheadJitter float64
+	JitterProb     float64
+	JitterMean     float64
+	Monotonic      bool
+}
+
+// New creates a Clock reading the given oscillator. rng must be a private
+// stream for this reader.
+func New(cfg Config, osc *Oscillator, rng *xrand.Source) *Clock {
+	return &Clock{
+		name:       cfg.Name,
+		osc:        osc,
+		offset:     cfg.Offset,
+		resolution: cfg.Resolution,
+		readNoise:  cfg.ReadNoise,
+		overhead:   cfg.Overhead,
+		overheadSD: cfg.OverheadJitter,
+		jitterProb: cfg.JitterProb,
+		jitterMean: cfg.JitterMean,
+		monotonic:  cfg.Monotonic,
+		rng:        rng,
+	}
+}
+
+// Name returns the clock's diagnostic name.
+func (c *Clock) Name() string { return c.name }
+
+// Resolution returns the quantization step in seconds (0 if none).
+func (c *Clock) Resolution() float64 { return c.resolution }
+
+// Offset returns the configured initial offset (local value at true time 0).
+func (c *Clock) Offset() float64 { return c.offset }
+
+// Oscillator returns the underlying oscillator (shared by clocks on the
+// same chip).
+func (c *Clock) Oscillator() *Oscillator { return c.osc }
+
+// Read returns the local timestamp observed at true time t.
+func (c *Clock) Read(t float64) float64 {
+	v := c.offset + c.osc.Elapsed(t)
+	if c.readNoise > 0 {
+		v += c.rng.Normal(0, c.readNoise)
+	}
+	if c.resolution > 0 {
+		// floor to the previous representable tick, like a real counter
+		steps := int64(v / c.resolution)
+		v = float64(steps) * c.resolution
+	}
+	if c.monotonic {
+		if c.hasLast && v <= c.last {
+			step := c.resolution
+			if step == 0 {
+				step = 1e-9
+			}
+			v = c.last + step
+		}
+		c.last = v
+		c.hasLast = true
+	}
+	return v
+}
+
+// ReadOverhead samples the simulated-time cost of one clock read, including
+// occasional OS-jitter interference (daemon wakeups, interrupts —
+// Section III.c). The discrete-event layer advances simulated time by this
+// amount around each timestamp.
+func (c *Clock) ReadOverhead() float64 {
+	d := c.overhead
+	if c.overheadSD > 0 {
+		d += c.rng.Normal(0, c.overheadSD)
+	}
+	if d < 0 {
+		d = 0
+	}
+	if c.jitterProb > 0 && c.rng.Bool(c.jitterProb) {
+		d += c.rng.Exponential(c.jitterMean)
+	}
+	return d
+}
+
+// Ideal returns the noiseless, unquantized local time at true time t. The
+// analyses use it to separate drift effects from measurement effects; the
+// experiments that mimic the paper use Read.
+func (c *Clock) Ideal(t float64) float64 {
+	return c.offset + c.osc.Elapsed(t)
+}

@@ -1,0 +1,447 @@
+package clock
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tsync/internal/stats"
+	"tsync/internal/xrand"
+)
+
+func TestConstantDriftExact(t *testing.T) {
+	osc := NewOscillator(ConstantDrift{Rate: 50e-6})
+	for _, tt := range []float64{0, 1, 100, 3600, 1e6} {
+		want := (1 + 50e-6) * tt
+		if got := osc.Elapsed(tt); math.Abs(got-want) > 1e-9*math.Max(1, want) {
+			t.Fatalf("Elapsed(%v) = %v, want %v", tt, got, want)
+		}
+	}
+}
+
+func TestElapsedMonotoneNondecreasing(t *testing.T) {
+	rng := xrand.NewSource(1)
+	procs := []DriftProcess{
+		ConstantDrift{Rate: -100e-6},
+		NewRandomWalkDrift(0, 1e-9, 1, rng.Sub("w")),
+		NewNTPDrift(30e-6, rng.Sub("n")),
+		NewPowerManagedDrift([]float64{0, -0.5}, 2, rng.Sub("p")),
+	}
+	for i, p := range procs {
+		osc := NewOscillator(p)
+		prev := -1.0
+		for tt := 0.0; tt <= 2000; tt += 0.7 {
+			e := osc.Elapsed(tt)
+			if e < prev {
+				t.Fatalf("process %d: Elapsed decreased at t=%v: %v < %v", i, tt, e, prev)
+			}
+			prev = e
+		}
+	}
+}
+
+func TestElapsedRandomAccessConsistent(t *testing.T) {
+	// querying out of order must give the same values as in order
+	mk := func() *Oscillator {
+		return NewOscillator(NewRandomWalkDrift(10e-6, 1e-9, 5, xrand.NewSource(7)))
+	}
+	a, b := mk(), mk()
+	times := []float64{100, 3, 2500, 7, 900, 0, 1800}
+	inOrder := map[float64]float64{}
+	for _, tt := range []float64{0, 3, 7, 100, 900, 1800, 2500} {
+		inOrder[tt] = a.Elapsed(tt)
+	}
+	for _, tt := range times {
+		if got := b.Elapsed(tt); got != inOrder[tt] {
+			t.Fatalf("out-of-order Elapsed(%v) = %v, want %v", tt, got, inOrder[tt])
+		}
+	}
+}
+
+func TestElapsedPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Elapsed(-1) did not panic")
+		}
+	}()
+	NewOscillator(ConstantDrift{}).Elapsed(-1)
+}
+
+func TestRandomWalkWanderScale(t *testing.T) {
+	// the deviation from the best-fit line over an hour should be in the
+	// tens of microseconds for the TSC calibration (Fig. 5a shape)
+	rng := xrand.NewSource(42)
+	var worst float64
+	for trial := 0; trial < 10; trial++ {
+		osc := NewOscillator(NewRandomWalkDrift(0, 1.0e-10, 10, rng.Sub(string(rune('a'+trial)))))
+		// offsets relative to true time at the two endpoints define the
+		// interpolation line, mirroring Eq. 3
+		end := 3600.0
+		o1 := osc.Elapsed(0) - 0
+		o2 := osc.Elapsed(end) - end
+		var maxdev float64
+		for tt := 0.0; tt <= end; tt += 30 {
+			line := o1 + (o2-o1)*tt/end
+			dev := math.Abs((osc.Elapsed(tt) - tt) - line)
+			if dev > maxdev {
+				maxdev = dev
+			}
+		}
+		if maxdev > worst {
+			worst = maxdev
+		}
+	}
+	if worst < 1e-6 || worst > 500e-6 {
+		t.Fatalf("wander residual out of expected band: %v s (want ~1e-6..5e-4)", worst)
+	}
+}
+
+func TestNTPKeepsOffsetBounded(t *testing.T) {
+	rng := xrand.NewSource(9)
+	for trial := 0; trial < 5; trial++ {
+		osc := NewOscillator(NewNTPDrift(rng.Normal(0, 30e-6), rng.Sub(string(rune('a'+trial)))))
+		// after the PLL settles, the clock must stay within ~10 ms of
+		// true time (NTP's accuracy class), even after many hours
+		for _, tt := range []float64{20000, 40000, 80000} {
+			off := osc.Elapsed(tt) - tt
+			if math.Abs(off) > 20e-3 {
+				t.Fatalf("trial %d: NTP offset at t=%v is %v s, out of bounds", trial, tt, off)
+			}
+		}
+	}
+}
+
+func TestNTPHasAbruptRateChanges(t *testing.T) {
+	// the signature of Figs. 4a/4b: distinct constant-rate segments
+	osc := NewOscillator(NewNTPDrift(25e-6, xrand.NewSource(11)))
+	osc.Elapsed(4000)
+	segs := osc.Segments()
+	if len(segs) < 4 {
+		t.Fatalf("expected several NTP poll segments in 4000 s, got %d", len(segs))
+	}
+	changed := 0
+	for i := 1; i < len(segs); i++ {
+		if segs[i].Rate != segs[i-1].Rate {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Fatalf("NTP drift never adjusted the rate")
+	}
+}
+
+func TestNTPSlewClamped(t *testing.T) {
+	n := NewNTPDrift(0, xrand.NewSource(3))
+	n.ServerError = 0
+	// enormous offset must still respect the slew clamp
+	rate, _ := n.NextSegment(0, 0, 10.0)
+	if math.Abs(rate) > n.MaxSlew+1e-12 {
+		t.Fatalf("slew rate %v exceeds clamp %v", rate, n.MaxSlew)
+	}
+}
+
+func TestPowerManagedSwitchesLevels(t *testing.T) {
+	osc := NewOscillator(NewPowerManagedDrift([]float64{0, -0.5}, 1, xrand.NewSource(5)))
+	osc.Elapsed(100)
+	segs := osc.Segments()
+	seen := map[float64]bool{}
+	for _, s := range segs {
+		seen[s.Rate] = true
+	}
+	if len(seen) != 2 {
+		t.Fatalf("power-managed drift visited %d levels, want 2", len(seen))
+	}
+}
+
+func TestCompositeDriftSums(t *testing.T) {
+	c := NewCompositeDrift(ConstantDrift{Rate: 10e-6}, ConstantDrift{Rate: 5e-6})
+	osc := NewOscillator(c)
+	tt := 1000.0
+	want := (1 + 15e-6) * tt
+	if got := osc.Elapsed(tt); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("composite Elapsed = %v, want %v", got, want)
+	}
+}
+
+func TestCompositeDriftSegmentsAtEveryBoundary(t *testing.T) {
+	rng := xrand.NewSource(8)
+	c := NewCompositeDrift(
+		NewPowerManagedDrift([]float64{0, -0.25}, 1, rng.Sub("a")),
+		NewPowerManagedDrift([]float64{0, -0.125}, 1.7, rng.Sub("b")),
+	)
+	osc := NewOscillator(c)
+	osc.Elapsed(50)
+	segs := osc.Segments()
+	if len(segs) < 20 {
+		t.Fatalf("composite produced too few segments: %d", len(segs))
+	}
+	for i := 1; i < len(segs); i++ {
+		if segs[i].Start <= segs[i-1].Start {
+			t.Fatalf("segments not strictly ordered")
+		}
+	}
+}
+
+func TestClockReadQuantization(t *testing.T) {
+	osc := NewOscillator(ConstantDrift{})
+	c := New(Config{Resolution: 1e-6}, osc, xrand.NewSource(1))
+	v := c.Read(0.1234567891)
+	rem := math.Mod(v, 1e-6)
+	if rem > 1e-12 && rem < 1e-6-1e-12 {
+		t.Fatalf("Read not quantized to 1µs: %v (rem %v)", v, rem)
+	}
+}
+
+func TestClockMonotonicEnforcement(t *testing.T) {
+	osc := NewOscillator(ConstantDrift{})
+	c := New(Config{ReadNoise: 1e-6, Resolution: 1e-9, Monotonic: true}, osc, xrand.NewSource(2))
+	prev := -math.MaxFloat64
+	// closely spaced reads with large read noise would go backwards
+	// without enforcement
+	for i := 0; i < 5000; i++ {
+		v := c.Read(float64(i) * 1e-8)
+		if v <= prev {
+			t.Fatalf("monotonic clock went backwards at read %d: %v <= %v", i, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestClockOffsetApplied(t *testing.T) {
+	osc := NewOscillator(ConstantDrift{})
+	c := New(Config{Offset: 42}, osc, xrand.NewSource(3))
+	if got := c.Read(1); math.Abs(got-43) > 1e-9 {
+		t.Fatalf("Read(1) = %v, want 43", got)
+	}
+	if c.Offset() != 42 {
+		t.Fatalf("Offset() = %v", c.Offset())
+	}
+}
+
+func TestReadOverheadPositiveAndJittered(t *testing.T) {
+	osc := NewOscillator(ConstantDrift{})
+	c := New(Config{Overhead: 50e-9, OverheadJitter: 10e-9, JitterProb: 0.01, JitterMean: 50e-6}, osc, xrand.NewSource(4))
+	var max float64
+	for i := 0; i < 20000; i++ {
+		d := c.ReadOverhead()
+		if d < 0 {
+			t.Fatalf("negative overhead %v", d)
+		}
+		if d > max {
+			max = d
+		}
+	}
+	if max < 10e-6 {
+		t.Fatalf("OS jitter never fired in 20000 reads (max %v)", max)
+	}
+}
+
+func TestIdealIgnoresNoise(t *testing.T) {
+	osc := NewOscillator(ConstantDrift{Rate: 1e-5})
+	c := New(Config{Offset: 1, ReadNoise: 1e-3, Resolution: 1e-6}, osc, xrand.NewSource(5))
+	want := 1 + (1+1e-5)*7.5
+	if got := c.Ideal(7.5); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Ideal = %v, want %v", got, want)
+	}
+}
+
+func TestKindStringAndParse(t *testing.T) {
+	kinds := []Kind{TSC, TB, RTC, Gettimeofday, MPIWtime, CycleCounter, GlobalHW}
+	spellings := []string{"tsc", "tb", "rtc", "gtod", "mpiwtime", "cycle", "global"}
+	for i, k := range kinds {
+		if k.String() == "" {
+			t.Fatalf("empty String for kind %d", i)
+		}
+		got, err := ParseKind(spellings[i])
+		if err != nil || got != k {
+			t.Fatalf("ParseKind(%q) = (%v,%v), want %v", spellings[i], got, err, k)
+		}
+	}
+	if _, err := ParseKind("sundial"); err == nil {
+		t.Fatalf("ParseKind of unknown spelling must error")
+	}
+	if Kind(99).String() == "" {
+		t.Fatalf("unknown kind must still print")
+	}
+}
+
+func TestPresetsBuildAndBehave(t *testing.T) {
+	rng := xrand.NewSource(77)
+	for _, k := range []Kind{TSC, TB, RTC, Gettimeofday, MPIWtime, CycleCounter, GlobalHW} {
+		p := PresetFor(k, "xeon")
+		osc := p.NewOscillator(rng.Sub(k.String()))
+		c := p.NewClock("r", 0, osc, rng.Sub(k.String()+"/r"))
+		v1 := c.Read(1)
+		v2 := c.Read(2)
+		if v2 <= v1 {
+			t.Fatalf("%v: clock not advancing: %v then %v", k, v1, v2)
+		}
+		// all presets are loosely synchronized to true time at the
+		// seconds scale over short horizons
+		if math.Abs(v2-2) > 0.1 {
+			t.Fatalf("%v: clock wildly off true time: %v at t=2", k, v2)
+		}
+	}
+}
+
+func TestGlobalHWIsDriftFree(t *testing.T) {
+	p := PresetFor(GlobalHW, "xeon")
+	osc := p.NewOscillator(xrand.NewSource(6))
+	for _, tt := range []float64{10, 1000, 3600} {
+		if dev := osc.Elapsed(tt) - tt; math.Abs(dev) > 1e-12 {
+			t.Fatalf("global clock drifted by %v at t=%v", dev, tt)
+		}
+	}
+}
+
+func TestPresetDeterminism(t *testing.T) {
+	build := func() []float64 {
+		rng := xrand.NewSource(123)
+		p := PresetFor(TSC, "xeon")
+		osc := p.NewOscillator(rng.Sub("osc"))
+		c := p.NewClock("x", 0.5, osc, rng.Sub("read"))
+		var out []float64
+		for tt := 0.0; tt < 100; tt += 3.3 {
+			out = append(out, c.Read(tt))
+		}
+		return out
+	}
+	a, b := build(), build()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("preset clock not deterministic at read %d: %v != %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTwoTSCsDivergeLinearly(t *testing.T) {
+	// Fig. 4c: after offset alignment only, hardware counters stride
+	// apart at a near-constant rate
+	rng := xrand.NewSource(55)
+	p := PresetFor(TSC, "xeon")
+	a := p.NewOscillator(rng.Sub("a"))
+	b := p.NewOscillator(rng.Sub("b"))
+	dev := func(tt float64) float64 { return a.Elapsed(tt) - b.Elapsed(tt) }
+	d1, d2, d4 := dev(900), dev(1800), dev(3600)
+	if math.Abs(d4) < 1e-6 {
+		t.Fatalf("TSC pair suspiciously synchronized: %v at 3600 s", d4)
+	}
+	// near-linear: halving time should roughly halve the deviation
+	if ratio := d4 / d2; ratio < 1.5 || ratio > 2.5 {
+		t.Fatalf("TSC divergence not near-linear: dev(3600)/dev(1800) = %v", ratio)
+	}
+	if ratio := d2 / d1; ratio < 1.5 || ratio > 2.5 {
+		t.Fatalf("TSC divergence not near-linear: dev(1800)/dev(900) = %v", ratio)
+	}
+}
+
+func TestPropertyElapsedAdditiveForConstant(t *testing.T) {
+	// Elapsed(t1+t2) == Elapsed(t1) + (Elapsed(t1+t2)-Elapsed(t1)) is
+	// trivial; the meaningful property is proportionality for constant
+	// drift: Elapsed(t) / t is constant
+	check := func(rate int16, tRaw uint16) bool {
+		r := float64(rate) * 1e-9
+		tt := 1 + float64(tRaw)
+		osc := NewOscillator(ConstantDrift{Rate: r})
+		got := osc.Elapsed(tt) / tt
+		return math.Abs(got-(1+r)) < 1e-12
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkOscillatorElapsedTSC(b *testing.B) {
+	p := PresetFor(TSC, "xeon")
+	osc := p.NewOscillator(xrand.NewSource(1))
+	osc.Elapsed(3600) // pre-generate segments
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		osc.Elapsed(float64(i%3600) + 0.5)
+	}
+}
+
+func BenchmarkClockRead(b *testing.B) {
+	p := PresetFor(Gettimeofday, "xeon")
+	osc := p.NewOscillator(xrand.NewSource(1))
+	c := p.NewClock("bench", 0, osc, xrand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Read(float64(i) * 1e-6)
+	}
+}
+
+func TestTSCWanderHasRandomWalkSignature(t *testing.T) {
+	// the TSC preset's drift wander is a random walk on frequency; its
+	// Allan deviation must grow with tau (roughly sqrt), unlike white
+	// noise (falling) or pure drift (zero) — the physics behind Fig. 5a
+	p := PresetFor(TSC, "xeon")
+	rng := xrand.NewSource(31)
+	osc := p.NewOscillator(rng.Sub("osc"))
+	const interval = 10.0
+	samples := make([]float64, 720) // two hours
+	for i := range samples {
+		tt := float64(i) * interval
+		samples[i] = osc.Elapsed(tt) - tt
+	}
+	s1, err := stats.AllanDeviation(samples, interval, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s16, err := stats.AllanDeviation(samples, interval, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s16 <= s1 {
+		t.Fatalf("random-walk FM must grow with tau: sigma(10s)=%g sigma(160s)=%g", s1, s16)
+	}
+}
+
+func TestClockAccessors(t *testing.T) {
+	osc := NewOscillator(ConstantDrift{Rate: 1e-6})
+	c := New(Config{Name: "probe", Resolution: 1e-9}, osc, xrand.NewSource(1))
+	if c.Name() != "probe" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+	if c.Resolution() != 1e-9 {
+		t.Fatalf("Resolution = %v", c.Resolution())
+	}
+	if c.Oscillator() != osc {
+		t.Fatalf("Oscillator accessor broken")
+	}
+}
+
+func TestRateAt(t *testing.T) {
+	osc := NewOscillator(NewPowerManagedDrift([]float64{0, -0.5}, 1, xrand.NewSource(2)))
+	osc.Elapsed(50)
+	seen := map[float64]bool{}
+	for tt := 0.0; tt < 50; tt += 0.5 {
+		seen[osc.RateAt(tt)] = true
+	}
+	if len(seen) != 2 {
+		t.Fatalf("RateAt saw %d levels, want 2", len(seen))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("RateAt(-1) did not panic")
+		}
+	}()
+	osc.RateAt(-1)
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"random walk zero interval": func() { NewRandomWalkDrift(0, 1e-9, 0, xrand.NewSource(1)) },
+		"power managed no levels":   func() { NewPowerManagedDrift(nil, 1, xrand.NewSource(1)) },
+		"composite empty":           func() { NewCompositeDrift() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,223 @@
+package clock
+
+import (
+	"math"
+
+	"tsync/internal/xrand"
+)
+
+// ConstantDrift is the textbook model of Figure 1 in the paper: a clock
+// whose rate differs from true time by a fixed dimensionless factor.
+type ConstantDrift struct {
+	Rate float64
+}
+
+// NextSegment implements DriftProcess with a single infinite segment,
+// delivered in large chunks.
+func (c ConstantDrift) NextSegment(seg int, trueStart, offsetSoFar float64) (float64, float64) {
+	return c.Rate, 1 << 20 // ~12 days per segment; effectively unbounded
+}
+
+// RandomWalkDrift models the slow, non-deterministic wander of a free
+// running hardware oscillator (temperature and power-management effects,
+// Section III.c). The rate performs a clamped Gaussian random walk around a
+// constant base rate. This is what makes hardware counters "approximately
+// but not exactly" constant-drift (Figs. 5a/5b): the residual after linear
+// interpolation over an hour is the integral of this wander.
+type RandomWalkDrift struct {
+	Base     float64       // intrinsic constant drift rate
+	Step     float64       // std dev of the rate increment per segment
+	Interval float64       // true-time length of each segment
+	MaxDelta float64       // clamp of |rate - Base|; 0 means ±100*Step
+	rng      *xrand.Source // drawn once per segment
+	cur      float64       // current deviation from Base
+	inited   bool
+}
+
+// NewRandomWalkDrift constructs the wander process with its private random
+// stream.
+func NewRandomWalkDrift(base, step, interval float64, rng *xrand.Source) *RandomWalkDrift {
+	if interval <= 0 {
+		panic("clock: RandomWalkDrift interval must be positive")
+	}
+	return &RandomWalkDrift{Base: base, Step: step, Interval: interval, rng: rng}
+}
+
+// NextSegment implements DriftProcess.
+func (w *RandomWalkDrift) NextSegment(seg int, trueStart, offsetSoFar float64) (float64, float64) {
+	if !w.inited {
+		w.inited = true
+	} else {
+		w.cur += w.rng.Normal(0, w.Step)
+	}
+	limit := w.MaxDelta
+	if limit == 0 {
+		limit = 100 * w.Step
+	}
+	if w.cur > limit {
+		w.cur = limit
+	}
+	if w.cur < -limit {
+		w.cur = -limit
+	}
+	return w.Base + w.cur, w.Interval
+}
+
+// NTPDrift models a software clock disciplined by the Network Time
+// Protocol. NTP avoids jumps by *slewing*: at every poll it estimates the
+// offset to its reference (with network-limited accuracy of order a
+// millisecond, Section II) and adjusts the rate, leaving the value
+// continuous. The result is the signature shape of Figs. 4a/4b: stretches
+// of constant drift separated by abrupt slope changes — deliberately
+// non-constant drift that defeats linear offset interpolation.
+//
+// The discipline is a proportional-integral controller, like the kernel
+// PLL: the proportional term removes the measured offset over TimeConstant
+// seconds and the integral term learns the intrinsic frequency error.
+type NTPDrift struct {
+	Intrinsic    float64 // intrinsic oscillator drift rate
+	ServerError  float64 // std dev of the offset measurement (s), ~1e-3
+	PollMin      float64 // minimum poll interval (s)
+	PollMax      float64 // maximum poll interval (s)
+	TimeConstant float64 // proportional loop time constant (s)
+	FreqGain     float64 // integral gain (per second of poll interval)
+	MaxSlew      float64 // slew clamp, e.g. 500e-6 (500 ppm, adjtime limit)
+	// InitialFreqError is the residual frequency error of the
+	// already-settled PLL when the run starts: the daemon has been
+	// disciplining the clock since boot, so it knows the intrinsic rate
+	// to about a ppm — the residual is what drives Figs. 4a/4b.
+	InitialFreqError float64
+
+	rng      *xrand.Source
+	freqCorr float64 // learned frequency correction (integral state)
+	started  bool
+}
+
+// NewNTPDrift constructs the NTP discipline with its private random stream.
+func NewNTPDrift(intrinsic float64, rng *xrand.Source) *NTPDrift {
+	return &NTPDrift{
+		Intrinsic:        intrinsic,
+		ServerError:      1e-3,
+		PollMin:          64,
+		PollMax:          1024,
+		TimeConstant:     900,
+		FreqGain:         0.3,
+		MaxSlew:          500e-6,
+		InitialFreqError: 1.5e-6,
+		rng:              rng,
+	}
+}
+
+// NextSegment implements DriftProcess.
+func (n *NTPDrift) NextSegment(seg int, trueStart, offsetSoFar float64) (float64, float64) {
+	if !n.started {
+		n.started = true
+		// warm-started PLL: the intrinsic rate is mostly learned
+		n.freqCorr = -n.Intrinsic + n.rng.Normal(0, n.InitialFreqError)
+	}
+	poll := n.rng.Uniform(n.PollMin, n.PollMax)
+	// the daemon's view of the current offset is corrupted by network
+	// latency asymmetry
+	estOffset := offsetSoFar + n.rng.Normal(0, n.ServerError)
+	// integral term: learn the frequency error implied by the residual
+	// offset accumulating over this poll interval
+	n.freqCorr -= n.FreqGain * estOffset / n.TimeConstant
+	// proportional term: slew the measured offset away over TimeConstant
+	prop := -estOffset / n.TimeConstant
+	corr := n.freqCorr + prop
+	if corr > n.MaxSlew {
+		corr = n.MaxSlew
+	}
+	if corr < -n.MaxSlew {
+		corr = -n.MaxSlew
+	}
+	return n.Intrinsic + corr, poll
+}
+
+// PowerManagedDrift models a cycle counter driven by the CPU clock signal
+// under dynamic frequency scaling (Section II): the effective rate jumps
+// between discrete frequency levels as power management throttles the core.
+// Such counters are useless for cross-CPU comparison; the model exists so
+// the study can demonstrate that (and so the substrate covers every clock
+// type the paper enumerates).
+type PowerManagedDrift struct {
+	Levels    []float64 // rate at each frequency level, e.g. 0, -0.25, -0.5
+	DwellMean float64   // mean dwell time per level (s), exponential
+	rng       *xrand.Source
+	level     int
+}
+
+// NewPowerManagedDrift constructs the frequency-stepping process. levels
+// must be non-empty.
+func NewPowerManagedDrift(levels []float64, dwellMean float64, rng *xrand.Source) *PowerManagedDrift {
+	if len(levels) == 0 {
+		panic("clock: PowerManagedDrift needs at least one level")
+	}
+	return &PowerManagedDrift{Levels: levels, DwellMean: dwellMean, rng: rng}
+}
+
+// NextSegment implements DriftProcess.
+func (p *PowerManagedDrift) NextSegment(seg int, trueStart, offsetSoFar float64) (float64, float64) {
+	if seg > 0 && len(p.Levels) > 1 {
+		// move to a uniformly chosen different level
+		next := p.rng.Intn(len(p.Levels) - 1)
+		if next >= p.level {
+			next++
+		}
+		p.level = next
+	}
+	dwell := p.rng.Exponential(p.DwellMean)
+	if dwell < 1e-3 {
+		dwell = 1e-3
+	}
+	return p.Levels[p.level], dwell
+}
+
+// CompositeDrift sums the rates of several processes, segmenting at every
+// boundary of any component. It lets the hardware-counter model combine a
+// constant base drift with random-walk wander, or an NTP model add wander
+// on top of the discipline.
+type CompositeDrift struct {
+	parts []DriftProcess
+	// per-part generated segment queues
+	queues []compQueue
+}
+
+type compQueue struct {
+	rate    float64
+	until   float64 // true time at which the current segment ends
+	seg     int
+	started bool
+}
+
+// NewCompositeDrift combines the given processes. At least one is required.
+func NewCompositeDrift(parts ...DriftProcess) *CompositeDrift {
+	if len(parts) == 0 {
+		panic("clock: CompositeDrift needs at least one part")
+	}
+	return &CompositeDrift{parts: parts, queues: make([]compQueue, len(parts))}
+}
+
+// NextSegment implements DriftProcess. Each component process sees the same
+// offsetSoFar feedback; this is an approximation (each contributes only part
+// of the offset) acceptable because composites pair feedback-free processes
+// with at most one disciplined process.
+func (c *CompositeDrift) NextSegment(seg int, trueStart, offsetSoFar float64) (float64, float64) {
+	total := 0.0
+	minUntil := math.Inf(1)
+	for i := range c.parts {
+		q := &c.queues[i]
+		if !q.started || q.until <= trueStart {
+			rate, dur := c.parts[i].NextSegment(q.seg, trueStart, offsetSoFar)
+			q.rate = rate
+			q.until = trueStart + dur
+			q.seg++
+			q.started = true
+		}
+		total += q.rate
+		if q.until < minUntil {
+			minUntil = q.until
+		}
+	}
+	return total, minUntil - trueStart
+}

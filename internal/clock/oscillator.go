@@ -1,0 +1,121 @@
+// Package clock models the processor clocks of Section II of the paper:
+// cycle counters, hardware timestamp counters (Intel TSC, IBM TB/RTC),
+// software clocks (gettimeofday under NTP discipline) and the MPI_Wtime
+// wrapper. A clock maps *true* (simulated global) time onto the local time
+// value an application would observe, including drift, drift wander, NTP
+// slew adjustments, resolution quantization, read noise and read overhead.
+//
+// All randomness is drawn from deterministic xrand streams, so a clock's
+// entire trajectory is a pure function of its construction parameters.
+package clock
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DriftProcess produces the piecewise-constant drift-rate trajectory of an
+// oscillator. The oscillator asks for one segment at a time, in order;
+// implementations may use feedback (the accumulated offset so far) to model
+// disciplined clocks such as NTP's PLL.
+type DriftProcess interface {
+	// NextSegment returns the drift rate (dimensionless; local seconds
+	// advance at (1+rate) per true second) and the duration in true
+	// seconds of segment index seg, which starts at true time trueStart.
+	// offsetSoFar is the accumulated local-minus-true time offset at the
+	// segment start, excluding the clock's initial offset.
+	NextSegment(seg int, trueStart, offsetSoFar float64) (rate, duration float64)
+}
+
+// segment is one constant-rate stretch of an oscillator trajectory.
+type segment struct {
+	start    float64 // true time at segment start
+	rate     float64 // drift rate during the segment
+	elapsed  float64 // integrated local elapsed time at segment start
+	duration float64 // true-time length of the segment
+}
+
+// Oscillator integrates a DriftProcess into a mapping from true time to
+// local elapsed time. Segments are generated lazily and cached, so queries
+// may arrive in any order as long as they are non-negative.
+type Oscillator struct {
+	drift DriftProcess
+	segs  []segment
+}
+
+// NewOscillator creates an oscillator over the given drift process.
+func NewOscillator(drift DriftProcess) *Oscillator {
+	return &Oscillator{drift: drift}
+}
+
+// extendTo generates segments until they cover true time t.
+func (o *Oscillator) extendTo(t float64) {
+	for {
+		var start, elapsed float64
+		if n := len(o.segs); n > 0 {
+			last := o.segs[n-1]
+			start = last.start + last.duration
+			elapsed = last.elapsed + (1+last.rate)*last.duration
+			if start > t {
+				return
+			}
+		} else if t < 0 {
+			return
+		}
+		rate, dur := o.drift.NextSegment(len(o.segs), start, elapsed-start)
+		if dur <= 0 {
+			panic(fmt.Sprintf("clock: drift process returned non-positive segment duration %g", dur))
+		}
+		o.segs = append(o.segs, segment{start: start, rate: rate, elapsed: elapsed, duration: dur})
+		if start+dur > t {
+			return
+		}
+	}
+}
+
+// Elapsed returns the integrated local elapsed time at true time t >= 0.
+// It panics on negative t: the simulation never runs before its epoch, so a
+// negative query indicates a caller bug.
+func (o *Oscillator) Elapsed(t float64) float64 {
+	if t < 0 {
+		panic("clock: Elapsed queried before the simulation epoch")
+	}
+	o.extendTo(t)
+	// binary search for the segment containing t
+	i := sort.Search(len(o.segs), func(i int) bool { return o.segs[i].start > t }) - 1
+	if i < 0 {
+		i = 0
+	}
+	s := o.segs[i]
+	return s.elapsed + (1+s.rate)*(t-s.start)
+}
+
+// RateAt returns the drift rate in effect at true time t (useful in tests
+// and analyses that inspect the drift trajectory).
+func (o *Oscillator) RateAt(t float64) float64 {
+	if t < 0 {
+		panic("clock: RateAt queried before the simulation epoch")
+	}
+	o.extendTo(t)
+	i := sort.Search(len(o.segs), func(i int) bool { return o.segs[i].start > t }) - 1
+	if i < 0 {
+		i = 0
+	}
+	return o.segs[i].rate
+}
+
+// Segments returns a copy of the segments generated so far (diagnostics).
+func (o *Oscillator) Segments() []segmentInfo {
+	out := make([]segmentInfo, len(o.segs))
+	for i, s := range o.segs {
+		out[i] = segmentInfo{Start: s.start, Rate: s.rate, Duration: s.duration}
+	}
+	return out
+}
+
+// segmentInfo is the exported view of one drift segment.
+type segmentInfo struct {
+	Start    float64
+	Rate     float64
+	Duration float64
+}

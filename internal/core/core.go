@@ -1,0 +1,165 @@
+// Package core assembles the paper's primary contribution into a single
+// postmortem timestamp-synchronization pipeline: a base correction that
+// compensates offset and drift (offset alignment, linear offset
+// interpolation per Eq. 3, piecewise interpolation, or one of the
+// error-estimation baselines of Section V) optionally followed by the
+// controlled logical clock, which removes the residual clock-condition
+// violations the base correction cannot (the paper's concluding
+// recommendation: "linear offset interpolation ... is still insufficient
+// when applied in isolation. A viable option for removing remaining
+// inconsistencies is the CLC algorithm").
+package core
+
+import (
+	"fmt"
+
+	"tsync/internal/analysis"
+	"tsync/internal/clc"
+	"tsync/internal/errest"
+	"tsync/internal/interp"
+	"tsync/internal/measure"
+	"tsync/internal/trace"
+)
+
+// Base selects the first pipeline stage.
+type Base string
+
+// Base correction strategies.
+const (
+	// BaseNone leaves raw local timestamps.
+	BaseNone Base = "none"
+	// BaseAlign subtracts offsets measured at initialization.
+	BaseAlign Base = "align"
+	// BaseInterp applies Eq. 3 between initialization and finalization
+	// offsets (the Scalasca approach).
+	BaseInterp Base = "interp"
+	// BaseRegression applies Duda's regression estimator.
+	BaseRegression Base = "duda-regression"
+	// BaseConvexHull applies Duda's convex-hull estimator.
+	BaseConvexHull Base = "duda-convex-hull"
+	// BaseMinMax applies Hofmann's minimum/maximum estimator.
+	BaseMinMax Base = "hofmann-minmax"
+)
+
+// ParseBase maps a command-line spelling onto a Base.
+func ParseBase(s string) (Base, error) {
+	switch Base(s) {
+	case BaseNone, BaseAlign, BaseInterp, BaseRegression, BaseConvexHull, BaseMinMax:
+		return Base(s), nil
+	}
+	return "", fmt.Errorf("core: unknown base correction %q", s)
+}
+
+// Pipeline is a configured synchronization pipeline.
+type Pipeline struct {
+	Base Base
+	// Windows, when >= 2 and Base is an error-estimation method, fits
+	// the pairwise maps per time window (errest.EstimateWindowed), which
+	// tracks drift-rate changes a single line cannot — at the cost of
+	// noisier fits in windows with little bidirectional traffic.
+	Windows int
+	// CLC enables the controlled logical clock stage.
+	CLC bool
+	// CLCOptions tunes the CLC stage; zero value selects defaults.
+	CLCOptions clc.Options
+	// Parallel selects the replay-based parallel CLC implementation.
+	Parallel bool
+}
+
+// Result reports what the pipeline did.
+type Result struct {
+	// Trace is the corrected trace.
+	Trace *trace.Trace
+	// Before and After are violation censuses of input and output.
+	Before, After analysis.Census
+	// CLCReport is populated when the CLC stage ran.
+	CLCReport clc.Report
+	// Distortion compares local inter-event intervals of output vs input.
+	Distortion analysis.Distortion
+}
+
+// Run executes the pipeline on a raw trace. The offset tables are required
+// by BaseAlign (init only) and BaseInterp (both); other bases ignore them.
+// The input trace is never modified.
+func (p Pipeline) Run(raw *trace.Trace, init, fin []measure.Offset) (*Result, error) {
+	if raw == nil {
+		return nil, fmt.Errorf("core: nil trace")
+	}
+	res := &Result{}
+	var err error
+	if res.Before, err = analysis.CensusOf(raw); err != nil {
+		return nil, err
+	}
+	cur := raw
+	switch p.Base {
+	case BaseNone, "":
+		// keep raw timestamps
+	case BaseAlign:
+		corr, err := interp.AlignOnly(init)
+		if err != nil {
+			return nil, err
+		}
+		cur = corr.Apply(cur)
+	case BaseInterp:
+		corr, err := interp.Linear(init, fin)
+		if err != nil {
+			return nil, err
+		}
+		cur = corr.Apply(cur)
+	case BaseRegression, BaseConvexHull, BaseMinMax:
+		method := map[Base]errest.Method{
+			BaseRegression: errest.Regression,
+			BaseConvexHull: errest.ConvexHull,
+			BaseMinMax:     errest.MinMax,
+		}[p.Base]
+		var corr *interp.Correction
+		var err error
+		if p.Windows >= 2 {
+			corr, err = errest.EstimateWindowed(cur, method, p.Windows)
+		} else {
+			corr, err = errest.Estimate(cur, method)
+		}
+		if err != nil {
+			return nil, err
+		}
+		cur = corr.Apply(cur)
+	default:
+		return nil, fmt.Errorf("core: unknown base correction %q", p.Base)
+	}
+	if p.CLC {
+		opts := p.CLCOptions
+		if opts.Gamma == 0 {
+			// zero value: the pipeline was built without explicit CLC
+			// options
+			opts = clc.DefaultOptions()
+		}
+		var corrected *trace.Trace
+		if p.Parallel {
+			corrected, res.CLCReport, err = clc.CorrectParallel(cur, opts)
+		} else {
+			corrected, res.CLCReport, err = clc.Correct(cur, opts)
+		}
+		if err != nil {
+			return nil, err
+		}
+		cur = corrected
+	}
+	if cur == raw {
+		cur = raw.Clone()
+	}
+	res.Trace = cur
+	if res.After, err = analysis.CensusOf(cur); err != nil {
+		return nil, err
+	}
+	if res.Distortion, err = analysis.DistortionBetween(raw, cur); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Recommended returns the pipeline the paper's conclusion advocates for
+// message-passing traces: hardware-clock timestamps pre-synchronized by
+// linear offset interpolation, then CLC to restore the clock condition.
+func Recommended() Pipeline {
+	return Pipeline{Base: BaseInterp, CLC: true, Parallel: true}
+}

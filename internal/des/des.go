@@ -1,0 +1,208 @@
+// Package des is a deterministic discrete-event simulation engine with a
+// coroutine programming model. Simulated processes are ordinary Go
+// functions that block on simulator calls (Sleep, Park); the engine runs
+// exactly one goroutine at a time with strict channel handoff, so Go's
+// scheduler cannot introduce nondeterminism while process code keeps a
+// natural blocking style. Simultaneous events fire in scheduling order
+// (FIFO by sequence number).
+//
+// The engine carries *true global time*. Higher layers (internal/mpi,
+// internal/omp) read simulated processor clocks against it; the divergence
+// between the two is the paper's entire subject.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// event is one scheduled occurrence.
+type event struct {
+	at   float64
+	seq  uint64
+	fire func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Proc is one simulated process (an MPI rank or an OpenMP thread).
+type Proc struct {
+	ID     int
+	Label  string
+	eng    *Engine
+	resume chan struct{}
+	done   bool
+	// parked is true while the process is blocked in Park (waiting for an
+	// external wake rather than its own timer)
+	parked    bool
+	parkCause string
+}
+
+// Engine is the simulation scheduler. Create with New, add processes with
+// Spawn, then call Run.
+type Engine struct {
+	now       float64
+	events    eventHeap
+	seq       uint64
+	procs     []*Proc
+	yield     chan struct{}
+	running   bool
+	processed uint64
+	failure   any // panic value propagated from a process
+}
+
+// New creates an empty engine at time 0.
+func New() *Engine {
+	return &Engine{yield: make(chan struct{})}
+}
+
+// Now returns the current true simulation time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Processed returns the number of events fired so far — simulator
+// observability for benchmarks and sanity checks.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Spawn registers a process whose body fn starts at simulation time
+// startAt. It must be called before Run.
+func (e *Engine) Spawn(label string, startAt float64, fn func(*Proc)) *Proc {
+	if e.running {
+		panic("des: Spawn during Run")
+	}
+	p := &Proc{ID: len(e.procs), Label: label, eng: e, resume: make(chan struct{})}
+	e.procs = append(e.procs, p)
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				e.failure = fmt.Sprintf("des: process %d (%s) panicked: %v", p.ID, p.Label, r)
+			}
+			p.done = true
+			e.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	e.Schedule(startAt, func() { e.step(p) })
+	return p
+}
+
+// Schedule posts fire to run at absolute time at. It may be called from
+// scheduler context (inside a fired event) or from process context. Events
+// scheduled for the past fire at the current time (never before it).
+func (e *Engine) Schedule(at float64, fire func()) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: at, seq: e.seq, fire: fire})
+}
+
+// ScheduleIn posts fire to run dt seconds from now.
+func (e *Engine) ScheduleIn(dt float64, fire func()) { e.Schedule(e.now+dt, fire) }
+
+// step transfers control to process p until it blocks again or finishes.
+// It must only be called from scheduler context.
+func (e *Engine) step(p *Proc) {
+	if p.done {
+		return
+	}
+	p.resume <- struct{}{}
+	<-e.yield
+	if e.failure != nil {
+		panic(e.failure)
+	}
+}
+
+// Wake unparks a process blocked in Park, scheduling it to continue at the
+// current simulation time. Waking a process that is not parked is a bug in
+// the synchronization layer above and panics. Safe to call from scheduler
+// or process context; the actual control transfer happens in scheduler
+// context.
+func (e *Engine) Wake(p *Proc) {
+	if p.done {
+		panic(fmt.Sprintf("des: Wake of finished process %d (%s)", p.ID, p.Label))
+	}
+	if !p.parked {
+		panic(fmt.Sprintf("des: Wake of non-parked process %d (%s)", p.ID, p.Label))
+	}
+	p.parked = false
+	e.Schedule(e.now, func() { e.step(p) })
+}
+
+// Run processes events until none remain. It returns an error if processes
+// are still blocked when the event queue drains (deadlock) and re-panics if
+// a process panicked.
+func (e *Engine) Run() error {
+	if e.running {
+		return fmt.Errorf("des: Run reentered")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(event)
+		if ev.at < e.now {
+			panic("des: time went backwards") // heap invariant violated
+		}
+		e.now = ev.at
+		e.processed++
+		ev.fire()
+	}
+	var stuck []string
+	for _, p := range e.procs {
+		if !p.done {
+			stuck = append(stuck, fmt.Sprintf("%d(%s): %s", p.ID, p.Label, p.parkCause))
+		}
+	}
+	if len(stuck) > 0 {
+		sort.Strings(stuck)
+		return fmt.Errorf("des: deadlock, %d processes blocked: %v", len(stuck), stuck)
+	}
+	return nil
+}
+
+// ---- process-context calls (only valid inside a process body) ----
+
+// Now returns the current simulation time.
+func (p *Proc) Now() float64 { return p.eng.now }
+
+// Engine returns the engine the process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// yieldToScheduler hands control back and waits to be resumed.
+func (p *Proc) yieldToScheduler() {
+	p.eng.yield <- struct{}{}
+	<-p.resume
+}
+
+// Sleep advances the process's local activity by dt simulated seconds
+// (modeling computation or overhead). Negative dt is treated as zero.
+func (p *Proc) Sleep(dt float64) {
+	if dt < 0 {
+		dt = 0
+	}
+	e := p.eng
+	e.Schedule(e.now+dt, func() { e.step(p) })
+	p.yieldToScheduler()
+}
+
+// Park blocks the process until some other party calls Engine.Wake on it.
+// cause is reported in deadlock diagnostics. The caller must have
+// registered itself somewhere a waker can find it *before* calling Park.
+func (p *Proc) Park(cause string) {
+	p.parked = true
+	p.parkCause = cause
+	p.yieldToScheduler()
+	p.parkCause = ""
+}

@@ -1,0 +1,286 @@
+package des
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSleepAdvancesTime(t *testing.T) {
+	e := New()
+	var observed []float64
+	e.Spawn("a", 0, func(p *Proc) {
+		observed = append(observed, p.Now())
+		p.Sleep(1.5)
+		observed = append(observed, p.Now())
+		p.Sleep(0.25)
+		observed = append(observed, p.Now())
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 1.5, 1.75}
+	for i := range want {
+		if observed[i] != want[i] {
+			t.Fatalf("observed %v, want %v", observed, want)
+		}
+	}
+}
+
+func TestStartAt(t *testing.T) {
+	e := New()
+	var start float64 = -1
+	e.Spawn("late", 3, func(p *Proc) { start = p.Now() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if start != 3 {
+		t.Fatalf("process started at %v, want 3", start)
+	}
+}
+
+func TestFIFOAtSameTime(t *testing.T) {
+	e := New()
+	var order []string
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		e.Spawn(name, 1, func(p *Proc) { order = append(order, name) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(order, ""); got != "abc" {
+		t.Fatalf("same-time events ran in order %q, want abc", got)
+	}
+}
+
+func TestInterleavingDeterministic(t *testing.T) {
+	run := func() []string {
+		e := New()
+		var log []string
+		e.Spawn("a", 0, func(p *Proc) {
+			for i := 0; i < 5; i++ {
+				log = append(log, "a")
+				p.Sleep(0.3)
+			}
+		})
+		e.Spawn("b", 0, func(p *Proc) {
+			for i := 0; i < 5; i++ {
+				log = append(log, "b")
+				p.Sleep(0.2)
+			}
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	first := strings.Join(run(), "")
+	for i := 0; i < 10; i++ {
+		if got := strings.Join(run(), ""); got != first {
+			t.Fatalf("run %d interleaving %q differs from %q", i, got, first)
+		}
+	}
+}
+
+func TestParkWake(t *testing.T) {
+	e := New()
+	var p1 *Proc
+	var wokenAt float64 = -1
+	p1 = e.Spawn("sleeper", 0, func(p *Proc) {
+		p.Park("waiting for signal")
+		wokenAt = p.Now()
+	})
+	e.Spawn("waker", 0, func(p *Proc) {
+		p.Sleep(2)
+		p.Engine().Wake(p1)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wokenAt != 2 {
+		t.Fatalf("woken at %v, want 2", wokenAt)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	e := New()
+	e.Spawn("stuck", 0, func(p *Proc) { p.Park("never woken") })
+	err := e.Run()
+	if err == nil {
+		t.Fatalf("expected deadlock error")
+	}
+	if !strings.Contains(err.Error(), "never woken") || !strings.Contains(err.Error(), "stuck") {
+		t.Fatalf("deadlock error lacks diagnostics: %v", err)
+	}
+}
+
+func TestWakeNonParkedPanics(t *testing.T) {
+	e := New()
+	var p1 *Proc
+	p1 = e.Spawn("a", 0, func(p *Proc) { p.Sleep(10) })
+	e.Spawn("b", 0, func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("Wake of non-parked process did not panic")
+			}
+		}()
+		p.Engine().Wake(p1) // p1 is sleeping on a timer, not parked
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcPanicPropagates(t *testing.T) {
+	e := New()
+	e.Spawn("bad", 0, func(p *Proc) { panic("boom") })
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("process panic did not propagate out of Run")
+		}
+		if !strings.Contains(r.(string), "boom") {
+			t.Fatalf("panic lost its cause: %v", r)
+		}
+	}()
+	_ = e.Run()
+}
+
+func TestScheduleInPastClamps(t *testing.T) {
+	e := New()
+	var firedAt float64 = -1
+	e.Spawn("a", 0, func(p *Proc) {
+		p.Sleep(5)
+		// from t=5, schedule for t=1: must fire at t=5, not rewind
+		p.Engine().Schedule(1, func() { firedAt = p.Engine().Now() })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if firedAt != 5 {
+		t.Fatalf("past event fired at %v, want clamped to 5", firedAt)
+	}
+}
+
+func TestNegativeSleepIsZero(t *testing.T) {
+	e := New()
+	var after float64 = -1
+	e.Spawn("a", 0, func(p *Proc) {
+		p.Sleep(1)
+		p.Sleep(-5)
+		after = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if after != 1 {
+		t.Fatalf("negative sleep moved time to %v", after)
+	}
+}
+
+func TestManyProcessesComplete(t *testing.T) {
+	e := New()
+	const n = 200
+	count := 0
+	for i := 0; i < n; i++ {
+		e.Spawn("p", float64(i%7)*0.01, func(p *Proc) {
+			for j := 0; j < 10; j++ {
+				p.Sleep(0.001 * float64(j+1))
+			}
+			count++
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("only %d of %d processes completed", count, n)
+	}
+}
+
+func TestPingPongViaParkWake(t *testing.T) {
+	// two processes strictly alternate via Park/Wake, verifying that
+	// Wake from process context defers the control transfer correctly
+	e := New()
+	var a, b *Proc
+	var log []string
+	aReady, bReady := false, false
+	a = e.Spawn("a", 0, func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			log = append(log, "a")
+			if bReady {
+				bReady = false
+				p.Engine().Wake(b)
+			}
+			aReady = true
+			p.Park("ping")
+		}
+	})
+	b = e.Spawn("b", 0, func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			log = append(log, "b")
+			if aReady {
+				aReady = false
+				p.Engine().Wake(a)
+			}
+			bReady = true
+			p.Park("pong")
+		}
+	})
+	err := e.Run()
+	// the final Park of one process has no partner left; a deadlock
+	// report naming it is expected
+	if err == nil {
+		t.Fatalf("expected final parked process to be reported")
+	}
+	if got := strings.Join(log, ""); got != "abab ab"[0:4]+"ab" {
+		// expected strict alternation: a b a b a b
+		if got != "ababab" {
+			t.Fatalf("interleaving %q, want ababab", got)
+		}
+	}
+}
+
+func TestSpawnDuringRunPanics(t *testing.T) {
+	e := New()
+	e.Spawn("a", 0, func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("Spawn during Run did not panic")
+			}
+		}()
+		e.Spawn("b", 0, func(*Proc) {})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSleepCycle(b *testing.B) {
+	e := New()
+	e.Spawn("a", 0, func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(1e-6)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func TestProcessedCount(t *testing.T) {
+	e := New()
+	e.Spawn("a", 0, func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Sleep(1)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 1 start event + 5 sleep wakeups
+	if got := e.Processed(); got != 6 {
+		t.Fatalf("Processed = %d, want 6", got)
+	}
+}

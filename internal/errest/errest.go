@@ -1,0 +1,408 @@
+// Package errest implements the error-estimation family of postmortem
+// synchronization methods surveyed in Section V of the paper: difference
+// functions between clock pairs are bounded from both sides by the
+// timestamps of exchanged messages (a receive can be no earlier than its
+// send plus l_min), and a medial smoothing function between the bounds
+// estimates the pairwise offset function.
+//
+//   - Duda et al.: regression analysis and convex-hull algorithms to
+//     determine the smoothing function;
+//   - Hofmann: a simpler minimum/maximum strategy;
+//   - Jézéquel: propagation to arbitrary processor topologies along a
+//     minimum spanning tree rooted at the master.
+//
+// The estimators produce an interp.Correction mapping every rank onto the
+// master (rank 0) time base, directly comparable with offset alignment,
+// linear interpolation, and CLC in the ablation benchmarks.
+package errest
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tsync/internal/interp"
+	"tsync/internal/lclock"
+	"tsync/internal/stats"
+	"tsync/internal/trace"
+)
+
+// Method selects the smoothing strategy.
+type Method int
+
+const (
+	// Regression fits least-squares lines to the lower and upper bound
+	// point sets and takes their average (Duda).
+	Regression Method = iota
+	// ConvexHull fits the medial line between the upper hull of the
+	// lower bounds and the lower hull of the upper bounds (Duda).
+	ConvexHull
+	// MinMax uses Hofmann's minimum/maximum strategy: the tightest
+	// bounds in the first and last thirds of the run define two medial
+	// points, through which the line passes.
+	MinMax
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case Regression:
+		return "duda-regression"
+	case ConvexHull:
+		return "duda-convex-hull"
+	case MinMax:
+		return "hofmann-minmax"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// pairData accumulates, for an ordered rank pair (a < b), the bound points
+// on the mapping f: local time of b -> local time of a.
+//   - lower bounds come from messages a->b: f(recv_b) >= send_a + l_min
+//   - upper bounds come from messages b->a: f(send_b) <= recv_a - l_min
+type pairData struct {
+	lower []stats.Point
+	upper []stats.Point
+}
+
+// gatherPairs walks all happened-before edges (messages plus
+// collective-derived logical messages) and files bound points per
+// unordered rank pair.
+func gatherPairs(t *trace.Trace) (map[[2]int]*pairData, error) {
+	edges, err := lclock.CrossEdges(t)
+	if err != nil {
+		return nil, err
+	}
+	pairs := map[[2]int]*pairData{}
+	for _, e := range edges {
+		from, to := e.From.Rank, e.To.Rank
+		sendT := t.Procs[from].Events[e.From.Idx].Time
+		recvT := t.Procs[to].Events[e.To.Idx].Time
+		lmin := t.MinLatencyBetween(from, to)
+		a, b := from, to
+		if a > b {
+			a, b = b, a
+		}
+		key := [2]int{a, b}
+		pd, ok := pairs[key]
+		if !ok {
+			pd = &pairData{}
+			pairs[key] = pd
+		}
+		if from == a {
+			// message a->b: lower bound on f at x=recv_b
+			pd.lower = append(pd.lower, stats.Point{X: recvT, Y: sendT + lmin})
+		} else {
+			// message b->a: upper bound on f at x=send_b
+			pd.upper = append(pd.upper, stats.Point{X: sendT, Y: recvT - lmin})
+		}
+	}
+	return pairs, nil
+}
+
+// fitPair computes the medial affine map f: local_b -> local_a for one
+// pair. It needs bounds from both directions; otherwise it returns an
+// error (one-sided communication topologies are a known limitation of
+// error estimation, Section V).
+func fitPair(pd *pairData, method Method) (stats.Line, error) {
+	if len(pd.lower) < 2 || len(pd.upper) < 2 {
+		return stats.Line{}, fmt.Errorf("errest: pair needs messages in both directions (%d lower, %d upper bounds)",
+			len(pd.lower), len(pd.upper))
+	}
+	switch method {
+	case Regression:
+		lo, err := stats.LeastSquares(xs(pd.lower), ys(pd.lower))
+		if err != nil {
+			return stats.Line{}, err
+		}
+		hi, err := stats.LeastSquares(xs(pd.upper), ys(pd.upper))
+		if err != nil {
+			return stats.Line{}, err
+		}
+		return average(lo, hi), nil
+	case ConvexHull:
+		loHull := stats.UpperHull(pd.lower) // tightest lower bounds
+		hiHull := stats.LowerHull(pd.upper) // tightest upper bounds
+		lo, err := hullLine(loHull)
+		if err != nil {
+			return stats.Line{}, err
+		}
+		hi, err := hullLine(hiHull)
+		if err != nil {
+			return stats.Line{}, err
+		}
+		return average(lo, hi), nil
+	case MinMax:
+		return minMaxLine(pd)
+	default:
+		return stats.Line{}, fmt.Errorf("errest: unknown method %d", int(method))
+	}
+}
+
+func xs(p []stats.Point) []float64 {
+	out := make([]float64, len(p))
+	for i := range p {
+		out[i] = p[i].X
+	}
+	return out
+}
+
+func ys(p []stats.Point) []float64 {
+	out := make([]float64, len(p))
+	for i := range p {
+		out[i] = p[i].Y
+	}
+	return out
+}
+
+func average(a, b stats.Line) stats.Line {
+	return stats.Line{Slope: (a.Slope + b.Slope) / 2, Intercept: (a.Intercept + b.Intercept) / 2}
+}
+
+// hullLine fits a line through a hull's vertices (least squares over the
+// hull, which by construction hugs the tightest bounds). A single-vertex
+// hull yields a unit-slope line through the vertex.
+func hullLine(h []stats.Point) (stats.Line, error) {
+	if len(h) == 0 {
+		return stats.Line{}, fmt.Errorf("errest: empty hull")
+	}
+	if len(h) == 1 {
+		return stats.Line{Slope: 1, Intercept: h[0].Y - h[0].X}, nil
+	}
+	return stats.LeastSquares(xs(h), ys(h))
+}
+
+// minMaxLine implements Hofmann's strategy: within the earliest and latest
+// thirds of the pair's samples, the tightest lower and upper bounds give a
+// medial point each; the line passes through both.
+func minMaxLine(pd *pairData) (stats.Line, error) {
+	all := append(append([]stats.Point(nil), pd.lower...), pd.upper...)
+	sort.Slice(all, func(i, j int) bool { return all[i].X < all[j].X })
+	xlo, xhi := all[0].X, all[len(all)-1].X
+	if xhi <= xlo {
+		return stats.Line{}, fmt.Errorf("errest: degenerate time range")
+	}
+	third := (xhi - xlo) / 3
+	p1, err := medialPoint(pd, xlo, xlo+third)
+	if err != nil {
+		return stats.Line{}, fmt.Errorf("errest: first window: %w", err)
+	}
+	p2, err := medialPoint(pd, xhi-third, xhi)
+	if err != nil {
+		return stats.Line{}, fmt.Errorf("errest: last window: %w", err)
+	}
+	if p2.X <= p1.X {
+		return stats.Line{}, fmt.Errorf("errest: windows collapsed")
+	}
+	slope := (p2.Y - p1.Y) / (p2.X - p1.X)
+	return stats.Line{Slope: slope, Intercept: p1.Y - slope*p1.X}, nil
+}
+
+// medialPoint finds the midpoint between the tightest (offset-wise) lower
+// and upper bounds within an x-window. Offsets are measured as y - x to
+// stay numerically tame.
+func medialPoint(pd *pairData, x0, x1 float64) (stats.Point, error) {
+	maxLower := math.Inf(-1)
+	var maxLowerX float64
+	for _, p := range pd.lower {
+		if p.X < x0 || p.X > x1 {
+			continue
+		}
+		if off := p.Y - p.X; off > maxLower {
+			maxLower = off
+			maxLowerX = p.X
+		}
+	}
+	minUpper := math.Inf(1)
+	var minUpperX float64
+	for _, p := range pd.upper {
+		if p.X < x0 || p.X > x1 {
+			continue
+		}
+		if off := p.Y - p.X; off < minUpper {
+			minUpper = off
+			minUpperX = p.X
+		}
+	}
+	if math.IsInf(maxLower, -1) || math.IsInf(minUpper, 1) {
+		return stats.Point{}, fmt.Errorf("no bounds in window [%v, %v]", x0, x1)
+	}
+	x := (maxLowerX + minUpperX) / 2
+	return stats.Point{X: x, Y: x + (maxLower+minUpper)/2}, nil
+}
+
+// Estimate builds a correction onto the master time base: pairwise medial
+// maps are computed with the chosen method, then propagated from rank 0
+// along a minimum spanning tree (Jézéquel) whose edge weight is the
+// pairwise uncertainty (fewer bound points = heavier edge).
+func Estimate(t *trace.Trace, method Method) (*interp.Correction, error) {
+	n := len(t.Procs)
+	if n == 0 {
+		return nil, fmt.Errorf("errest: empty trace")
+	}
+	pairs, err := gatherPairs(t)
+	if err != nil {
+		return nil, err
+	}
+	toMaster, err := propagate(n, pairs, method)
+	if err != nil {
+		return nil, err
+	}
+	return interp.FromLines(toMaster), nil
+}
+
+// compose returns g∘f as an affine map.
+func compose(g, f stats.Line) stats.Line {
+	return stats.Line{Slope: g.Slope * f.Slope, Intercept: g.Slope*f.Intercept + g.Intercept}
+}
+
+// invert returns f^{-1} for an affine map with nonzero slope.
+func invert(f stats.Line) (stats.Line, error) {
+	if f.Slope == 0 {
+		return stats.Line{}, fmt.Errorf("errest: non-invertible pair map")
+	}
+	return stats.Line{Slope: 1 / f.Slope, Intercept: -f.Intercept / f.Slope}, nil
+}
+
+// EstimateWindowed fits the pairwise medial maps per time window and
+// stitches them into a piecewise correction — the windowed refinement that
+// handles drift-rate changes (NTP slews) a single line cannot. Windows
+// without enough bidirectional traffic inherit the whole-trace fit. With
+// windows < 2 it reduces to Estimate.
+func EstimateWindowed(t *trace.Trace, method Method, windows int) (*interp.Correction, error) {
+	if windows < 2 {
+		return Estimate(t, method)
+	}
+	n := len(t.Procs)
+	if n == 0 {
+		return nil, fmt.Errorf("errest: empty trace")
+	}
+	pairs, err := gatherPairs(t)
+	if err != nil {
+		return nil, err
+	}
+	// global fallback lines
+	global, err := Estimate(t, method)
+	if err != nil {
+		return nil, err
+	}
+	// the x range of all bound points (receiver/sender local times)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, pd := range pairs {
+		for _, p := range append(append([]stats.Point(nil), pd.lower...), pd.upper...) {
+			if p.X < lo {
+				lo = p.X
+			}
+			if p.X > hi {
+				hi = p.X
+			}
+		}
+	}
+	if !(hi > lo) {
+		return global, nil
+	}
+	width := (hi - lo) / float64(windows)
+	knots := make([]float64, windows)
+	perRank := make([][]stats.Line, n)
+	for r := range perRank {
+		perRank[r] = make([]stats.Line, windows)
+	}
+	for w := 0; w < windows; w++ {
+		w0 := lo + float64(w)*width
+		w1 := w0 + width
+		knots[w] = w0
+		sub := map[[2]int]*pairData{}
+		for key, pd := range pairs {
+			filtered := &pairData{}
+			for _, p := range pd.lower {
+				if p.X >= w0 && p.X < w1 {
+					filtered.lower = append(filtered.lower, p)
+				}
+			}
+			for _, p := range pd.upper {
+				if p.X >= w0 && p.X < w1 {
+					filtered.upper = append(filtered.upper, p)
+				}
+			}
+			sub[key] = filtered
+		}
+		lines, err := propagate(n, sub, method)
+		for r := 0; r < n; r++ {
+			if err != nil || lines == nil {
+				// window too sparse: sample the whole-trace fit as the
+				// piece for this window
+				y0, y1 := global.Map(r, w0), global.Map(r, w1)
+				slope := (y1 - y0) / (w1 - w0)
+				perRank[r][w] = stats.Line{Slope: slope, Intercept: y0 - slope*w0}
+				continue
+			}
+			perRank[r][w] = lines[r]
+		}
+	}
+	return interp.FromPiecewiseLines(knots, perRank)
+}
+
+// propagate runs the fit + MST propagation over a pair set, returning the
+// per-rank local->master lines, or an error when the graph is not
+// connected by usable pairs.
+func propagate(n int, pairs map[[2]int]*pairData, method Method) ([]stats.Line, error) {
+	type fitted struct {
+		line stats.Line
+		w    float64
+	}
+	fits := map[[2]int]fitted{}
+	for key, pd := range pairs {
+		line, err := fitPair(pd, method)
+		if err != nil {
+			continue
+		}
+		fits[key] = fitted{line: line, w: 1 / float64(len(pd.lower)+len(pd.upper))}
+	}
+	toMaster := make([]stats.Line, n)
+	reached := make([]bool, n)
+	toMaster[0] = stats.Line{Slope: 1}
+	reached[0] = true
+	for {
+		best := [2]int{-1, -1}
+		bestW := math.Inf(1)
+		var bestNew int
+		for key, f := range fits {
+			a, b := key[0], key[1]
+			if reached[a] == reached[b] {
+				continue
+			}
+			if f.w < bestW {
+				bestW = f.w
+				best = key
+				if reached[a] {
+					bestNew = b
+				} else {
+					bestNew = a
+				}
+			}
+		}
+		if best[0] < 0 {
+			break
+		}
+		a, b := best[0], best[1]
+		f := fits[best].line
+		if bestNew == b {
+			toMaster[b] = compose(toMaster[a], f)
+		} else {
+			inv, err := invert(f)
+			if err != nil {
+				delete(fits, best)
+				continue
+			}
+			toMaster[a] = compose(toMaster[b], inv)
+		}
+		reached[bestNew] = true
+	}
+	for i, ok := range reached {
+		if !ok {
+			return nil, fmt.Errorf("errest: rank %d not connected", i)
+		}
+	}
+	return toMaster, nil
+}

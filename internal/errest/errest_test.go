@@ -1,0 +1,370 @@
+package errest
+
+import (
+	"math"
+	"testing"
+
+	"tsync/internal/clock"
+	"tsync/internal/mpi"
+	"tsync/internal/topology"
+	"tsync/internal/trace"
+)
+
+// skewedTrace builds a trace with known constant offsets and drifts per
+// rank, full bidirectional ring communication, and moderate latency noise.
+func skewedTrace(nProcs, rounds int, offsets, drifts []float64) *trace.Trace {
+	tr := &trace.Trace{}
+	tr.MinLatency = [4]float64{0, 0.5e-6, 1e-6, 4e-6}
+	procs := make([]trace.Proc, nProcs)
+	for i := range procs {
+		procs[i] = trace.Proc{Rank: i, Core: topology.CoreID{Node: i}}
+	}
+	local := func(rank int, tt float64) float64 {
+		return tt*(1+drifts[rank]) + offsets[rank]
+	}
+	tt := 1.0
+	for round := 0; round < rounds; round++ {
+		tt += 500e-6
+		// forward ring: i -> i+1
+		for i := range procs {
+			dst := (i + 1) % nProcs
+			procs[i].Events = append(procs[i].Events, trace.Event{
+				Kind: trace.Send, Time: local(i, tt), True: tt,
+				Partner: int32(dst), Tag: int32(2 * round), Region: -1, Root: -1})
+		}
+		arr := tt + 5e-6 + 1e-7*float64(round%3)
+		for i := range procs {
+			src := (i - 1 + nProcs) % nProcs
+			procs[i].Events = append(procs[i].Events, trace.Event{
+				Kind: trace.Recv, Time: local(i, arr), True: arr,
+				Partner: int32(src), Tag: int32(2 * round), Region: -1, Root: -1})
+		}
+		// backward ring: i -> i-1
+		tt = arr + 300e-6
+		for i := range procs {
+			dst := (i - 1 + nProcs) % nProcs
+			procs[i].Events = append(procs[i].Events, trace.Event{
+				Kind: trace.Send, Time: local(i, tt), True: tt,
+				Partner: int32(dst), Tag: int32(2*round + 1), Region: -1, Root: -1})
+		}
+		arr = tt + 5e-6
+		for i := range procs {
+			src := (i + 1) % nProcs
+			procs[i].Events = append(procs[i].Events, trace.Event{
+				Kind: trace.Recv, Time: local(i, arr), True: arr,
+				Partner: int32(src), Tag: int32(2*round + 1), Region: -1, Root: -1})
+		}
+		tt = arr
+	}
+	tr.Procs = procs
+	return tr
+}
+
+func TestMethodsRecoverConstantOffsets(t *testing.T) {
+	offsets := []float64{0, 250e-6, -400e-6, 80e-6}
+	drifts := []float64{0, 0, 0, 0}
+	tr := skewedTrace(4, 100, offsets, drifts)
+	for _, m := range []Method{Regression, ConvexHull, MinMax} {
+		corr, err := Estimate(tr, m)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		for rank := 1; rank < 4; rank++ {
+			// a local time x on rank should map to ~x - offset (master
+			// time base)
+			x := 2.0 + offsets[rank]
+			got := corr.Map(rank, x)
+			want := 2.0
+			if math.Abs(got-want) > 8e-6 {
+				t.Fatalf("%v: rank %d maps %v -> %v, want ~%v", m, rank, x, got, want)
+			}
+		}
+	}
+}
+
+func TestMethodsRecoverDrift(t *testing.T) {
+	offsets := []float64{0, 1e-3}
+	drifts := []float64{0, 40e-6} // 40 ppm
+	tr := skewedTrace(2, 200, offsets, drifts)
+	for _, m := range []Method{Regression, ConvexHull, MinMax} {
+		corr, err := Estimate(tr, m)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		// corrected clocks should agree at both ends of the run
+		for _, tt := range []float64{1.0, 30.0} {
+			master := corr.Map(0, tt)
+			worker := corr.Map(1, tt*(1+drifts[1])+offsets[1])
+			if d := math.Abs(master - worker); d > 10e-6 {
+				t.Fatalf("%v: residual %v s at t=%v", m, d, tt)
+			}
+		}
+	}
+}
+
+func TestEstimateReducesViolations(t *testing.T) {
+	offsets := []float64{0, 300e-6, -200e-6}
+	drifts := []float64{0, 10e-6, -15e-6}
+	tr := skewedTrace(3, 150, offsets, drifts)
+	countBad := func(tt *trace.Trace) int {
+		msgs, err := tt.Messages()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad := 0
+		for _, m := range msgs {
+			if tt.Procs[m.To].Events[m.ToIdx].Time < tt.Procs[m.From].Events[m.FromIdx].Time {
+				bad++
+			}
+		}
+		return bad
+	}
+	if countBad(tr) == 0 {
+		t.Fatalf("synthetic trace should contain reversed messages")
+	}
+	for _, m := range []Method{Regression, ConvexHull, MinMax} {
+		corr, err := Estimate(tr, m)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		fixed := corr.Apply(tr)
+		if got := countBad(fixed); got != 0 {
+			t.Fatalf("%v: %d reversed messages remain", m, got)
+		}
+	}
+}
+
+func TestOneSidedTopologyRejected(t *testing.T) {
+	// rank 0 only ever sends to rank 1: bounds exist in one direction
+	tr := &trace.Trace{}
+	tr.MinLatency = [4]float64{0, 0, 0, 4e-6}
+	var p0, p1 trace.Proc
+	p0.Rank, p1.Rank = 0, 1
+	p1.Core = topology.CoreID{Node: 1}
+	for i := 0; i < 50; i++ {
+		tt := float64(i) * 1e-3
+		p0.Events = append(p0.Events, trace.Event{Kind: trace.Send, Time: tt, True: tt, Partner: 1, Tag: int32(i), Region: -1, Root: -1})
+		p1.Events = append(p1.Events, trace.Event{Kind: trace.Recv, Time: tt + 5e-6, True: tt + 5e-6, Partner: 0, Tag: int32(i), Region: -1, Root: -1})
+	}
+	tr.Procs = []trace.Proc{p0, p1}
+	for _, m := range []Method{Regression, ConvexHull, MinMax} {
+		if _, err := Estimate(tr, m); err == nil {
+			t.Fatalf("%v: one-sided topology accepted", m)
+		}
+	}
+}
+
+func TestSpanningTreePropagation(t *testing.T) {
+	// chain topology: 0 <-> 1 <-> 2, no direct 0 <-> 2 traffic; rank 2
+	// must still be synchronized through rank 1
+	tr := &trace.Trace{}
+	tr.MinLatency = [4]float64{0, 0, 0, 4e-6}
+	offsets := []float64{0, 200e-6, -300e-6}
+	procs := make([]trace.Proc, 3)
+	for i := range procs {
+		procs[i] = trace.Proc{Rank: i, Core: topology.CoreID{Node: i}}
+	}
+	tt := 1.0
+	for round := 0; round < 100; round++ {
+		for _, pair := range [][2]int{{0, 1}, {1, 0}, {1, 2}, {2, 1}} {
+			from, to := pair[0], pair[1]
+			tt += 200e-6
+			procs[from].Events = append(procs[from].Events, trace.Event{
+				Kind: trace.Send, Time: tt + offsets[from], True: tt,
+				Partner: int32(to), Tag: int32(round*4 + from*2 + to), Region: -1, Root: -1})
+			arr := tt + 5e-6
+			procs[to].Events = append(procs[to].Events, trace.Event{
+				Kind: trace.Recv, Time: arr + offsets[to], True: arr,
+				Partner: int32(from), Tag: int32(round*4 + from*2 + to), Region: -1, Root: -1})
+			tt = arr
+		}
+	}
+	tr.Procs = procs
+	corr, err := Estimate(tr, Regression)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := 2.0 + offsets[2]
+	if got := corr.Map(2, x); math.Abs(got-2.0) > 8e-6 {
+		t.Fatalf("chained rank maps %v -> %v, want ~2.0", x, got)
+	}
+}
+
+func TestDisconnectedRankRejected(t *testing.T) {
+	tr := skewedTrace(2, 50, []float64{0, 1e-4}, []float64{0, 0})
+	// add an isolated third rank
+	tr.Procs = append(tr.Procs, trace.Proc{Rank: 2, Core: topology.CoreID{Node: 2}})
+	if _, err := Estimate(tr, Regression); err == nil {
+		t.Fatalf("disconnected rank accepted")
+	}
+}
+
+func TestEmptyTraceRejected(t *testing.T) {
+	if _, err := Estimate(&trace.Trace{}, Regression); err == nil {
+		t.Fatalf("empty trace accepted")
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	for _, m := range []Method{Regression, ConvexHull, MinMax, Method(9)} {
+		if m.String() == "" {
+			t.Fatalf("empty method name")
+		}
+	}
+}
+
+func TestOnSimulatedBidirectionalTrace(t *testing.T) {
+	m := topology.Xeon()
+	pin, err := topology.InterNode(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := mpi.NewWorld(mpi.Config{Machine: m, Timer: clock.TSC, Pinning: pin, Seed: 99, Tracing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(func(r *mpi.Rank) {
+		n := r.Size()
+		for i := 0; i < 150; i++ {
+			dst := (r.Rank() + 1) % n
+			src := (r.Rank() - 1 + n) % n
+			r.Send(dst, 2*i, 64, nil)
+			r.Recv(src, 2*i)
+			r.Send(src, 2*i+1, 64, nil)
+			r.Recv(dst, 2*i+1)
+			r.Compute(200e-6)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tr := w.Trace()
+	corr, err := Estimate(tr, ConvexHull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := corr.Apply(tr)
+	// corrected timestamps should be close to true times (up to the
+	// master's own drift): compare spans of (Time - True)
+	var maxErr float64
+	for rank, p := range fixed.Procs {
+		for _, ev := range p.Events {
+			master := corr.Map(0, tr.Procs[0].Events[0].Time) // anchor
+			_ = master
+			_ = rank
+			d := ev.Time - ev.True
+			// all ranks should share nearly the same bias
+			if rank == 0 {
+				continue
+			}
+			ref := fixed.Procs[0].Events[0].Time - fixed.Procs[0].Events[0].True
+			if e := math.Abs(d - ref); e > maxErr {
+				maxErr = e
+			}
+		}
+	}
+	if maxErr > 50e-6 {
+		t.Fatalf("errest residual vs oracle %v s", maxErr)
+	}
+}
+
+func BenchmarkEstimateConvexHull(b *testing.B) {
+	tr := skewedTrace(8, 100, make([]float64, 8), make([]float64, 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Estimate(tr, ConvexHull); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// kinkedTrace builds a 2-rank trace whose worker clock changes drift rate
+// halfway through — a single line cannot fit both halves.
+func kinkedTrace(rounds int) *trace.Trace {
+	tr := &trace.Trace{}
+	tr.MinLatency = [4]float64{0, 0, 0, 4e-6}
+	procs := []trace.Proc{
+		{Rank: 0},
+		{Rank: 1, Core: topology.CoreID{Node: 1}},
+	}
+	half := float64(rounds) / 2 * 800e-6
+	local := func(tt float64) float64 {
+		// worker: +40 ppm drift in the first half, -40 ppm after (an NTP
+		// slew adjustment)
+		if tt <= half {
+			return tt * (1 + 40e-6)
+		}
+		return half*(1+40e-6) + (tt-half)*(1-40e-6)
+	}
+	tt := 0.0
+	for round := 0; round < rounds; round++ {
+		for _, dir := range [2]int{0, 1} {
+			tt += 400e-6
+			arr := tt + 5e-6
+			if dir == 0 {
+				procs[0].Events = append(procs[0].Events, trace.Event{
+					Kind: trace.Send, Time: tt, True: tt, Partner: 1, Tag: int32(2 * round), Region: -1, Root: -1})
+				procs[1].Events = append(procs[1].Events, trace.Event{
+					Kind: trace.Recv, Time: local(arr), True: arr, Partner: 0, Tag: int32(2 * round), Region: -1, Root: -1})
+			} else {
+				procs[1].Events = append(procs[1].Events, trace.Event{
+					Kind: trace.Send, Time: local(tt), True: tt, Partner: 0, Tag: int32(2*round + 1), Region: -1, Root: -1})
+				procs[0].Events = append(procs[0].Events, trace.Event{
+					Kind: trace.Recv, Time: arr, True: arr, Partner: 1, Tag: int32(2*round + 1), Region: -1, Root: -1})
+			}
+			tt = arr
+		}
+	}
+	tr.Procs = procs
+	return tr
+}
+
+func TestEstimateWindowedBeatsSingleLineOnKink(t *testing.T) {
+	tr := kinkedTrace(400)
+	residual := func(corr interface{ Map(int, float64) float64 }) float64 {
+		// worst-case disagreement of corrected clocks over the run,
+		// sampled at the true times of rank 1's events
+		var worst float64
+		for _, ev := range tr.Procs[1].Events {
+			master := ev.True // rank 0's clock is the truth here
+			got := corr.Map(1, ev.Time)
+			if d := math.Abs(got - master); d > worst {
+				worst = d
+			}
+		}
+		return worst
+	}
+	single, err := Estimate(tr, Regression)
+	if err != nil {
+		t.Fatal(err)
+	}
+	windowed, err := EstimateWindowed(tr, Regression, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, rw := residual(single), residual(windowed)
+	if rw >= rs/2 {
+		t.Fatalf("windowed (%v) did not clearly beat single-line (%v) on a drift kink", rw, rs)
+	}
+}
+
+func TestEstimateWindowedFallsBackToEstimate(t *testing.T) {
+	tr := skewedTrace(2, 50, []float64{0, 1e-4}, []float64{0, 0})
+	if _, err := EstimateWindowed(tr, ConvexHull, 1); err != nil {
+		t.Fatalf("windows=1 fallback failed: %v", err)
+	}
+	// very many windows: most are sparse and inherit the global fit, but
+	// the result must still be valid and finite
+	corr, err := EstimateWindowed(tr, ConvexHull, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := corr.Map(1, 1.0); math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Fatalf("windowed correction produced %v", v)
+	}
+}
+
+func TestEstimateWindowedEmptyTrace(t *testing.T) {
+	if _, err := EstimateWindowed(&trace.Trace{}, Regression, 4); err == nil {
+		t.Fatalf("empty trace accepted")
+	}
+}

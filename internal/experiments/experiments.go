@@ -1,0 +1,747 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (Section IV), plus the Section V ablation comparing
+// correction methods. Each driver is a pure function of its configuration
+// and returns structured results; the cmd/ binaries, the examples and the
+// benchmark harness all consume these drivers, so the printed rows always
+// come from the same code path as the tests. See DESIGN.md §4 for the
+// experiment index and EXPERIMENTS.md for paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"tsync/internal/analysis"
+	"tsync/internal/apps"
+	"tsync/internal/clc"
+	"tsync/internal/clock"
+	"tsync/internal/errest"
+	"tsync/internal/interp"
+	"tsync/internal/lclock"
+	"tsync/internal/measure"
+	"tsync/internal/mpi"
+	"tsync/internal/omp"
+	"tsync/internal/topology"
+	"tsync/internal/trace"
+	"tsync/internal/xrand"
+)
+
+// Correction names a timestamp correction strategy.
+type Correction string
+
+// Correction strategies accepted by the drivers.
+const (
+	CorrectNone   Correction = "none"
+	CorrectAlign  Correction = "align"
+	CorrectInterp Correction = "interp"
+	// CorrectPiecewise uses additional offset measurements during the
+	// run (ClockStudyConfig.MidMeasurements) and interpolates piecewise
+	// between them — the Doleschal-style extension of Section III.b.
+	CorrectPiecewise Correction = "piecewise"
+)
+
+// ClockStudyConfig drives the deviation experiments of Figs. 4, 5 and 6.
+type ClockStudyConfig struct {
+	Machine    topology.Machine
+	Timer      clock.Kind
+	Duration   float64 // run length in simulated seconds (300/1800/3600)
+	Interval   float64 // sample spacing of the series
+	Workers    int     // processes, one per node (Table I inter-node setup)
+	Correction Correction
+	Reps       int // Cristian probes per offset measurement
+	Seed       uint64
+	// Measured samples through noisy clock reads instead of the ideal
+	// drift trajectories (used by the intra-node noise study).
+	Measured bool
+	// Pinning overrides the default inter-node placement, e.g. for the
+	// intra-node studies (inter-chip, inter-core).
+	Pinning topology.Pinning
+	// MidMeasurements inserts this many extra offset measurements evenly
+	// spaced during the run (only used by CorrectPiecewise; the paper
+	// notes mid-run measurements are normally avoided "not to perturb
+	// the program").
+	MidMeasurements int
+}
+
+// ClockStudyResult is a sampled deviation series plus the latency context
+// needed to judge it against the clock condition.
+type ClockStudyResult struct {
+	Series      analysis.Series
+	HalfLatency float64 // half the minimal latency between the processes
+	// FirstExceed is the earliest time |deviation| crosses HalfLatency
+	// (valid if Exceeded).
+	FirstExceed float64
+	Exceeded    bool
+}
+
+// ClockStudy measures residual clock deviations between one master and
+// n-1 workers after the chosen correction, mirroring the methodology of
+// Section IV: offsets are measured at initialization and finalization with
+// Cristian probes, the correction is built from those measurements, and
+// the deviation of the corrected clocks is sampled over the run.
+func ClockStudy(cfg ClockStudyConfig) (*ClockStudyResult, error) {
+	if cfg.Workers < 2 {
+		return nil, fmt.Errorf("experiments: ClockStudy needs at least 2 workers, got %d", cfg.Workers)
+	}
+	if cfg.Duration <= 0 || cfg.Interval <= 0 {
+		return nil, fmt.Errorf("experiments: non-positive duration or interval")
+	}
+	if cfg.Reps == 0 {
+		cfg.Reps = 20
+	}
+	pin := cfg.Pinning
+	var err error
+	if pin == nil {
+		pin, err = topology.InterNode(cfg.Machine, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+	}
+	w, err := mpi.NewWorld(mpi.Config{
+		Machine: cfg.Machine, Timer: cfg.Timer, Pinning: pin, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	mids := 0
+	if cfg.Correction == CorrectPiecewise {
+		mids = cfg.MidMeasurements
+		if mids <= 0 {
+			mids = 3
+		}
+	}
+	var tables [][]measure.Offset
+	var measureErr error
+	err = w.Run(func(r *mpi.Rank) {
+		record := func() bool {
+			tab, err := measure.Offsets(r, cfg.Reps)
+			if err != nil {
+				measureErr = err
+				return false
+			}
+			if r.Rank() == 0 {
+				tables = append(tables, tab)
+			}
+			return true
+		}
+		if !record() {
+			return
+		}
+		chunk := cfg.Duration / float64(mids+1)
+		for k := 0; k < mids; k++ {
+			r.Compute(chunk)
+			if !record() {
+				return
+			}
+		}
+		r.Compute(chunk)
+		if !record() {
+			return
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if measureErr != nil {
+		return nil, measureErr
+	}
+	init, fin := tables[0], tables[len(tables)-1]
+	var corr *interp.Correction
+	switch cfg.Correction {
+	case CorrectNone, "":
+		corr = interp.Identity(len(pin))
+	case CorrectAlign:
+		corr, err = interp.AlignOnly(init)
+	case CorrectInterp:
+		corr, err = interp.Linear(init, fin)
+	case CorrectPiecewise:
+		corr, err = interp.Piecewise(tables...)
+	default:
+		return nil, fmt.Errorf("experiments: unknown correction %q", cfg.Correction)
+	}
+	if err != nil {
+		return nil, err
+	}
+	clocks := make([]*clock.Clock, len(pin))
+	for i, core := range pin {
+		if cfg.Measured {
+			// fresh readers: the ranks' own readers have monotonic
+			// state beyond the sampling window
+			clocks[i], err = w.Cluster().NewReader(core, "postmortem")
+		} else {
+			clocks[i], err = w.Cluster().Clock(core)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	var series analysis.Series
+	if cfg.Measured {
+		series, err = analysis.DeviationSeriesMeasured(clocks, corr, cfg.Duration, cfg.Interval)
+	} else {
+		series, err = analysis.DeviationSeries(clocks, corr, cfg.Duration, cfg.Interval)
+	}
+	if err != nil {
+		return nil, err
+	}
+	half := w.Trace().MinLatency[topology.Relate(pin[0], pin[1])] / 2
+	res := &ClockStudyResult{Series: series, HalfLatency: half}
+	res.FirstExceed, res.Exceeded = series.FirstExceeds(half)
+	return res, nil
+}
+
+// Fig4Config returns the configuration of one panel of Fig. 4 (deviations
+// after offset alignment only): panel "a" (MPI_Wtime, short run), "b"
+// (gettimeofday, medium run), "c" (TSC, long run).
+func Fig4Config(panel string, seed uint64) (ClockStudyConfig, error) {
+	base := ClockStudyConfig{
+		Machine:    topology.Xeon(),
+		Workers:    4,
+		Correction: CorrectAlign,
+		Interval:   5,
+		Seed:       seed,
+	}
+	switch panel {
+	case "a":
+		base.Timer, base.Duration = clock.MPIWtime, 300
+		base.Interval = 1
+	case "b":
+		base.Timer, base.Duration = clock.Gettimeofday, 1800
+	case "c":
+		base.Timer, base.Duration = clock.TSC, 3600
+	default:
+		return ClockStudyConfig{}, fmt.Errorf("experiments: Fig. 4 has panels a, b, c; got %q", panel)
+	}
+	return base, nil
+}
+
+// Fig5Config returns the configuration of one panel of Fig. 5 (deviations
+// after linear interpolation, 3600 s): "a" Xeon/TSC, "b" PowerPC/TB,
+// "c" Opteron/gettimeofday.
+func Fig5Config(panel string, seed uint64) (ClockStudyConfig, error) {
+	base := ClockStudyConfig{
+		Workers:    4,
+		Correction: CorrectInterp,
+		Duration:   3600,
+		Interval:   5,
+		Seed:       seed,
+	}
+	switch panel {
+	case "a":
+		base.Machine, base.Timer = topology.Xeon(), clock.TSC
+	case "b":
+		base.Machine, base.Timer = topology.PowerPC(), clock.TB
+	case "c":
+		base.Machine, base.Timer = topology.Opteron(), clock.Gettimeofday
+	default:
+		return ClockStudyConfig{}, fmt.Errorf("experiments: Fig. 5 has panels a, b, c; got %q", panel)
+	}
+	return base, nil
+}
+
+// Fig6Config returns the Fig. 6 configuration: a short (300 s) Xeon/TSC
+// run after linear interpolation, where deviations still slightly exceed
+// the latency bound.
+func Fig6Config(seed uint64) ClockStudyConfig {
+	return ClockStudyConfig{
+		Machine:    topology.Xeon(),
+		Timer:      clock.TSC,
+		Workers:    4,
+		Correction: CorrectInterp,
+		Duration:   300,
+		Interval:   1,
+		Seed:       seed,
+	}
+}
+
+// LatencyRow is one row of Table II.
+type LatencyRow struct {
+	Name   string
+	Result measure.LatencyResult
+}
+
+// LatencyStudy reproduces Table II on a machine: inter-node, inter-chip
+// and inter-core message latencies plus the inter-node collective latency,
+// using the Table I pinnings.
+func LatencyStudy(m topology.Machine, timer clock.Kind, reps int, seed uint64) ([]LatencyRow, error) {
+	if reps <= 0 {
+		reps = 1000
+	}
+	type setup struct {
+		name string
+		pin  func() (topology.Pinning, error)
+		coll bool
+	}
+	setups := []setup{
+		{"Inter node message latency", func() (topology.Pinning, error) { return topology.InterNode(m, 2) }, false},
+		{"Inter chip message latency", func() (topology.Pinning, error) { return topology.InterChip(m, 2) }, false},
+		{"Inter core message latency", func() (topology.Pinning, error) { return topology.InterCore(m, 2) }, false},
+		{"Inter node collective latency", func() (topology.Pinning, error) { return topology.InterNode(m, 4) }, true},
+	}
+	var rows []LatencyRow
+	for _, s := range setups {
+		pin, err := s.pin()
+		if err != nil {
+			// machines with one chip per node skip the inter-chip row
+			continue
+		}
+		w, err := mpi.NewWorld(mpi.Config{Machine: m, Timer: timer, Pinning: pin, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		var res measure.LatencyResult
+		var inner error
+		err = w.Run(func(r *mpi.Rank) {
+			var got measure.LatencyResult
+			var err error
+			if s.coll {
+				got, err = measure.Collective(r, reps/4, 8)
+			} else {
+				got, err = measure.PingPong(r, reps, 0)
+			}
+			if err != nil {
+				inner = err
+				return
+			}
+			if r.Rank() == 0 {
+				res = got
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		if inner != nil {
+			return nil, inner
+		}
+		rows = append(rows, LatencyRow{Name: s.name, Result: res})
+	}
+	return rows, nil
+}
+
+// AppKind selects the Fig. 7 application.
+type AppKind string
+
+// The two applications of Fig. 7.
+const (
+	AppPOP AppKind = "pop"
+	AppSMG AppKind = "smg"
+)
+
+// AppViolationsConfig drives the Fig. 7 experiment.
+type AppViolationsConfig struct {
+	App     AppKind
+	Machine topology.Machine
+	Timer   clock.Kind
+	Ranks   int
+	Reps    int // repetitions averaged (the paper used 3)
+	Seed    uint64
+	// Scale multiplies the workload durations; 1.0 is the scaled default
+	// (~25 simulated minutes for POP).
+	Scale float64
+}
+
+// AppViolationsResult aggregates a Fig. 7 bar pair plus context.
+type AppViolationsResult struct {
+	App                AppKind
+	PctReversed        float64 // % messages with send/receive order reversed
+	PctReversedLogical float64
+	PctMessageEvents   float64 // % message transfer events of all events
+	Census             analysis.Census
+	// Trace is the interpolation-corrected trace from the last
+	// repetition; RawTrace holds the same run's uncorrected timestamps
+	// (what CompareCorrections and other ablations should start from).
+	Trace    *trace.Trace
+	RawTrace *trace.Trace
+	// InitOffsets and FinOffsets from the last repetition.
+	InitOffsets, FinOffsets []measure.Offset
+}
+
+// AppViolations traces the application with Scalasca-style methodology
+// (offsets at MPI_Init/MPI_Finalize, linear interpolation postmortem) and
+// counts clock-condition violations, averaged over Reps repetitions.
+func AppViolations(cfg AppViolationsConfig) (*AppViolationsResult, error) {
+	if cfg.Ranks <= 1 {
+		return nil, fmt.Errorf("experiments: AppViolations needs >1 ranks")
+	}
+	if cfg.Reps <= 0 {
+		cfg.Reps = 3
+	}
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	out := &AppViolationsResult{App: cfg.App}
+	var sumRev, sumRevLog, sumMsgEv float64
+	for rep := 0; rep < cfg.Reps; rep++ {
+		seed := cfg.Seed + uint64(rep)*1000003
+		pin, err := topology.Scheduled(cfg.Machine, cfg.Ranks, xrand.NewSource(seed^0x5bd1e995))
+		if err != nil {
+			return nil, err
+		}
+		w, err := mpi.NewWorld(mpi.Config{Machine: cfg.Machine, Timer: cfg.Timer, Pinning: pin, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		var body func(*mpi.Rank)
+		switch cfg.App {
+		case AppPOP:
+			px, py := grid2D(cfg.Ranks)
+			pop := apps.DefaultPOP(px, py)
+			pop.Seed = seed
+			pop.StepTime *= cfg.Scale
+			body = apps.POP(pop)
+		case AppSMG:
+			smg := apps.DefaultSMG()
+			smg.Seed = seed
+			smg.IdleBefore *= cfg.Scale
+			smg.IdleAfter *= cfg.Scale
+			body = apps.SMG(smg)
+		default:
+			return nil, fmt.Errorf("experiments: unknown app %q", cfg.App)
+		}
+		var init, fin []measure.Offset
+		var inner error
+		err = w.Run(func(r *mpi.Rank) {
+			i1, err := measure.Offsets(r, 20)
+			if err != nil {
+				inner = err
+				return
+			}
+			body(r)
+			f1, err := measure.Offsets(r, 20)
+			if err != nil {
+				inner = err
+				return
+			}
+			if r.Rank() == 0 {
+				init, fin = i1, f1
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		if inner != nil {
+			return nil, inner
+		}
+		corr, err := interp.Linear(init, fin)
+		if err != nil {
+			return nil, err
+		}
+		corrected := corr.Apply(w.Trace())
+		census, err := analysis.CensusOf(corrected)
+		if err != nil {
+			return nil, err
+		}
+		sumRev += census.PctReversed()
+		sumRevLog += census.PctReversedLogical()
+		sumMsgEv += census.PctMessageEvents()
+		if rep == cfg.Reps-1 {
+			out.Census = census
+			out.Trace = corrected
+			out.RawTrace = w.Trace()
+			out.InitOffsets, out.FinOffsets = init, fin
+		}
+	}
+	out.PctReversed = sumRev / float64(cfg.Reps)
+	out.PctReversedLogical = sumRevLog / float64(cfg.Reps)
+	out.PctMessageEvents = sumMsgEv / float64(cfg.Reps)
+	return out, nil
+}
+
+// grid2D factors n into the most square Px x Py grid.
+func grid2D(n int) (int, int) {
+	best := 1
+	for d := 1; d*d <= n; d++ {
+		if n%d == 0 {
+			best = d
+		}
+	}
+	return n / best, best
+}
+
+// OMPStudyConfig drives the Fig. 8 experiment.
+type OMPStudyConfig struct {
+	Machine topology.Machine
+	Timer   clock.Kind
+	Threads int
+	Regions int
+	Reps    int
+	Seed    uint64
+	// WorkTime is the mean loop-body duration per thread.
+	WorkTime float64
+	// Correct applies a correction before the census, answering the
+	// question the paper leaves open for OpenMP: "" or "none" (the
+	// paper's setup), "align" (intra-node offset measurement +
+	// alignment), or "clc" (the shared-memory controlled logical clock).
+	Correct string
+}
+
+// OMPStudyResult is one group of Fig. 8 bars.
+type OMPStudyResult struct {
+	Threads    int
+	PctAny     float64
+	PctEntry   float64
+	PctExit    float64
+	PctBarrier float64
+	// Trace from the last repetition, for Fig. 3 time-line rendering.
+	Trace *trace.Trace
+}
+
+// OMPStudy runs the OpenMP parallel-for benchmark with the given thread
+// count and classifies POMP violations per region, averaged over Reps
+// repetitions. No offset alignment or interpolation is applied, matching
+// the paper.
+func OMPStudy(cfg OMPStudyConfig) (*OMPStudyResult, error) {
+	if cfg.Threads < 1 {
+		return nil, fmt.Errorf("experiments: OMPStudy needs at least one thread")
+	}
+	if cfg.Regions <= 0 {
+		cfg.Regions = 100
+	}
+	if cfg.Reps <= 0 {
+		cfg.Reps = 3
+	}
+	if cfg.WorkTime <= 0 {
+		cfg.WorkTime = 5e-6
+	}
+	out := &OMPStudyResult{Threads: cfg.Threads}
+	var sums [4]float64
+	for rep := 0; rep < cfg.Reps; rep++ {
+		seed := cfg.Seed + uint64(rep)*7919
+		tm, err := omp.NewTeam(omp.Config{
+			Machine: cfg.Machine,
+			Timer:   cfg.Timer,
+			Threads: cfg.Threads,
+			Seed:    seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		work := xrand.NewSource(seed ^ 0x2545f491)
+		tr, err := tm.RunParallelFor("parallel-for", cfg.Regions, func(thread, region int) float64 {
+			return cfg.WorkTime * (1 + 0.2*work.Float64())
+		})
+		if err != nil {
+			return nil, err
+		}
+		switch cfg.Correct {
+		case "", "none":
+		case "align":
+			offsets, err := tm.MeasureOffsets(20)
+			if err != nil {
+				return nil, err
+			}
+			corr, err := interp.AlignOnly(offsets)
+			if err != nil {
+				return nil, err
+			}
+			tr = corr.Apply(tr)
+		case "clc":
+			opts := clc.DefaultOptions()
+			opts.SharedMemory = true
+			corrected, _, err := clc.Correct(tr, opts)
+			if err != nil {
+				return nil, err
+			}
+			tr = corrected
+		default:
+			return nil, fmt.Errorf("experiments: unknown OMP correction %q", cfg.Correct)
+		}
+		census, err := analysis.POMPCensusOf(tr)
+		if err != nil {
+			return nil, err
+		}
+		a, e, x, b := census.Pct()
+		sums[0] += a
+		sums[1] += e
+		sums[2] += x
+		sums[3] += b
+		if rep == cfg.Reps-1 {
+			out.Trace = tr
+		}
+	}
+	f := 1 / float64(cfg.Reps)
+	out.PctAny, out.PctEntry, out.PctExit, out.PctBarrier = sums[0]*f, sums[1]*f, sums[2]*f, sums[3]*f
+	return out, nil
+}
+
+// MethodResult is one row of the Section V correction ablation.
+type MethodResult struct {
+	Method     string
+	Violations int
+	// Distortion of local intervals relative to the uncorrected trace.
+	Distortion analysis.Distortion
+	Err        error
+}
+
+// CompareCorrections applies every correction strategy in the repository
+// to a traced run and reports remaining clock-condition violations and
+// interval distortion: no correction, offset alignment, linear
+// interpolation, the three error-estimation baselines, and CLC (on top of
+// interpolation, which is how the paper recommends deploying it).
+func CompareCorrections(raw *trace.Trace, init, fin []measure.Offset) ([]MethodResult, error) {
+	if raw == nil {
+		return nil, fmt.Errorf("experiments: nil trace")
+	}
+	gamma := clc.DefaultOptions().Gamma
+	var out []MethodResult
+	eval := func(name string, t *trace.Trace, err error) {
+		mr := MethodResult{Method: name, Err: err}
+		if err == nil {
+			v, verr := clc.Violations(t, gamma)
+			if verr != nil {
+				mr.Err = verr
+			} else {
+				mr.Violations = v
+				d, derr := analysis.DistortionBetween(raw, t)
+				if derr != nil {
+					mr.Err = derr
+				} else {
+					mr.Distortion = d
+				}
+			}
+		}
+		out = append(out, mr)
+	}
+	eval("none", raw, nil)
+	if align, err := interp.AlignOnly(init); err == nil {
+		eval("align", align.Apply(raw), nil)
+	} else {
+		eval("align", nil, err)
+	}
+	linear, err := interp.Linear(init, fin)
+	var interpolated *trace.Trace
+	if err == nil {
+		interpolated = linear.Apply(raw)
+		eval("interp", interpolated, nil)
+	} else {
+		eval("interp", nil, err)
+	}
+	for _, m := range []errest.Method{errest.Regression, errest.ConvexHull, errest.MinMax} {
+		corr, err := errest.Estimate(raw, m)
+		if err != nil {
+			eval(m.String(), nil, err)
+			continue
+		}
+		eval(m.String(), corr.Apply(raw), nil)
+	}
+	// the pure logical-clock baseline: restores order by construction but
+	// destroys every interval (Section V, Lamport); the tick must exceed
+	// the largest l_min so the γ-scaled condition holds on every edge
+	if lam, err := lclock.LamportSchedule(raw, 5e-6); err == nil {
+		eval("lamport", lam, nil)
+	} else {
+		eval("lamport", nil, err)
+	}
+	base := raw
+	name := "clc"
+	if interpolated != nil {
+		base = interpolated
+		name = "interp+clc"
+	}
+	corrected, _, err := clc.CorrectParallel(base, clc.DefaultOptions())
+	if err != nil {
+		eval(name, nil, err)
+	} else {
+		eval(name, corrected, nil)
+	}
+	return out, nil
+}
+
+// WaitStateImpact quantifies how timestamp errors distort a Scalasca-style
+// wait-state analysis (the false-conclusions concern of Section III): it
+// compares the Late Sender waiting time computed from the simulation's
+// true event times (ground truth) against the same analysis on measured
+// timestamps after linear interpolation, and after interpolation + CLC.
+type WaitStateImpact struct {
+	Oracle    analysis.WaitStats
+	Raw       analysis.WaitStats // from uncorrected timestamps
+	Measured  analysis.WaitStats // after linear interpolation
+	Corrected analysis.WaitStats // after interpolation + CLC
+	// RawErrPct, MeasuredErrPct and CorrectedErrPct are the relative
+	// errors of the total waiting time vs. the oracle, in percent.
+	RawErrPct       float64
+	MeasuredErrPct  float64
+	CorrectedErrPct float64
+}
+
+// WaitStateStudy computes the impact on a raw measurement.
+func WaitStateStudy(raw *trace.Trace, init, fin []measure.Offset) (*WaitStateImpact, error) {
+	if raw == nil {
+		return nil, fmt.Errorf("experiments: nil trace")
+	}
+	out := &WaitStateImpact{}
+	var err error
+	if out.Oracle, err = analysis.LateSender(raw, true); err != nil {
+		return nil, err
+	}
+	if out.Raw, err = analysis.LateSender(raw, false); err != nil {
+		return nil, err
+	}
+	corr, err := interp.Linear(init, fin)
+	if err != nil {
+		return nil, err
+	}
+	interpolated := corr.Apply(raw)
+	if out.Measured, err = analysis.LateSender(interpolated, false); err != nil {
+		return nil, err
+	}
+	fixed, _, err := clc.CorrectParallel(interpolated, clc.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	if out.Corrected, err = analysis.LateSender(fixed, false); err != nil {
+		return nil, err
+	}
+	if out.Oracle.TotalWait > 0 {
+		out.RawErrPct = 100 * (out.Raw.TotalWait - out.Oracle.TotalWait) / out.Oracle.TotalWait
+		out.MeasuredErrPct = 100 * (out.Measured.TotalWait - out.Oracle.TotalWait) / out.Oracle.TotalWait
+		out.CorrectedErrPct = 100 * (out.Corrected.TotalWait - out.Oracle.TotalWait) / out.Oracle.TotalWait
+	}
+	return out, nil
+}
+
+// TimerRanking compares timer technologies on one machine: the residual
+// deviation after linear interpolation over the given duration, the
+// paper's yardstick for "appropriateness of timer technologies"
+// (Section VI). Results are sorted best-first.
+type TimerRanking struct {
+	Timer        clock.Kind
+	MaxDevInterp float64 // after linear interpolation
+	MaxDevAlign  float64 // after offset alignment only
+	Exceeded     bool    // interp residual crossed the half-latency bound
+	FirstExceed  float64
+}
+
+// RankTimers runs the deviation study for each timer kind and ranks them
+// by post-interpolation residual.
+func RankTimers(m topology.Machine, kinds []clock.Kind, duration float64, seed uint64) ([]TimerRanking, error) {
+	if len(kinds) == 0 {
+		kinds = []clock.Kind{clock.TSC, clock.TB, clock.RTC, clock.Gettimeofday, clock.MPIWtime, clock.GlobalHW}
+	}
+	var out []TimerRanking
+	for _, k := range kinds {
+		base := ClockStudyConfig{
+			Machine: m, Timer: k, Workers: 4,
+			Duration: duration, Interval: duration / 200, Seed: seed,
+		}
+		base.Correction = CorrectInterp
+		interp, err := ClockStudy(base)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: timer %v: %w", k, err)
+		}
+		base.Correction = CorrectAlign
+		align, err := ClockStudy(base)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: timer %v: %w", k, err)
+		}
+		out = append(out, TimerRanking{
+			Timer:        k,
+			MaxDevInterp: interp.Series.MaxAbsDeviation(),
+			MaxDevAlign:  align.Series.MaxAbsDeviation(),
+			Exceeded:     interp.Exceeded,
+			FirstExceed:  interp.FirstExceed,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].MaxDevInterp < out[j].MaxDevInterp })
+	return out, nil
+}

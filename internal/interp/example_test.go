@@ -1,0 +1,32 @@
+package interp_test
+
+import (
+	"fmt"
+
+	"tsync/internal/interp"
+	"tsync/internal/measure"
+)
+
+// ExampleLinear demonstrates Eq. 3 of the paper: mapping a worker clock
+// onto the master time base from offsets measured at initialization and
+// finalization.
+func ExampleLinear() {
+	// worker measured 1 ms ahead at init, 3 ms ahead at finalize (its
+	// clock runs fast by 2 µs per second over the 1000 s run)
+	init := []measure.Offset{
+		{Rank: 0, WorkerTime: 0, Offset: 0},
+		{Rank: 1, WorkerTime: 0, Offset: -1e-3},
+	}
+	fin := []measure.Offset{
+		{Rank: 0, WorkerTime: 1000, Offset: 0},
+		{Rank: 1, WorkerTime: 1000, Offset: -3e-3},
+	}
+	corr, err := interp.Linear(init, fin)
+	if err != nil {
+		panic(err)
+	}
+	// halfway through the run, the worker's local 500.002 s is really
+	// master time 500.000 s
+	fmt.Printf("%.3f\n", corr.Map(1, 500.002))
+	// Output: 500.000
+}

@@ -1,0 +1,210 @@
+// Package interp implements the postmortem timestamp corrections of
+// Section III.b of the paper: offset alignment (subtracting the offsets
+// measured at initialization so all clocks start together) and linear
+// offset interpolation between offset measurements taken at initialization
+// and finalization (Eq. 3). A piecewise variant over more than two
+// measurement points is provided as the extension the paper cites
+// (Doleschal et al., periodic offset measurements).
+package interp
+
+import (
+	"fmt"
+	"sort"
+
+	"tsync/internal/measure"
+	"tsync/internal/stats"
+	"tsync/internal/trace"
+)
+
+// Correction maps each rank's local timestamps onto the master (rank 0)
+// time base. It is piecewise affine; the plain Eq. 3 correction has a
+// single piece per rank.
+type Correction struct {
+	// perRank[r] holds breakpoints (in local time) and the affine map of
+	// each piece; pieces[i] applies for t >= knots[i] (the first piece
+	// also covers earlier times, the last also later times).
+	perRank []pieces
+}
+
+type pieces struct {
+	knots []float64
+	lines []stats.Line
+}
+
+// mapTime applies the correction to one local time value.
+func (p pieces) mapTime(t float64) float64 {
+	if len(p.lines) == 0 {
+		return t
+	}
+	// find the last knot <= t
+	i := sort.SearchFloat64s(p.knots, t)
+	if i > 0 {
+		i--
+	}
+	return p.lines[i].At(t)
+}
+
+// Ranks returns the number of ranks the correction covers.
+func (c *Correction) Ranks() int { return len(c.perRank) }
+
+// Map converts rank's local time t to master time.
+func (c *Correction) Map(rank int, t float64) float64 {
+	if rank < 0 || rank >= len(c.perRank) {
+		return t
+	}
+	return c.perRank[rank].mapTime(t)
+}
+
+// Apply returns a corrected copy of the trace with every event's Time
+// mapped onto the master time base. The oracle True times are untouched.
+func (c *Correction) Apply(t *trace.Trace) *trace.Trace {
+	out := t.Clone()
+	for rank := range out.Procs {
+		if rank >= len(c.perRank) {
+			continue
+		}
+		evs := out.Procs[rank].Events
+		for i := range evs {
+			evs[i].Time = c.perRank[rank].mapTime(evs[i].Time)
+		}
+	}
+	return out
+}
+
+// AlignOnly builds the "offset alignment at initialization" correction the
+// paper uses as its first baseline (clocks start from zero together, drift
+// uncorrected): each rank's time is shifted by its measured initial offset.
+func AlignOnly(init []measure.Offset) (*Correction, error) {
+	if len(init) == 0 {
+		return nil, fmt.Errorf("interp: empty offset table")
+	}
+	c := &Correction{perRank: make([]pieces, len(init))}
+	for i, o := range init {
+		if o.Rank != i {
+			return nil, fmt.Errorf("interp: offset table entry %d has rank %d", i, o.Rank)
+		}
+		c.perRank[i] = pieces{
+			knots: []float64{o.WorkerTime},
+			lines: []stats.Line{{Slope: 1, Intercept: o.Offset}},
+		}
+	}
+	return c, nil
+}
+
+// Linear builds the Eq. 3 correction from offset tables measured at
+// initialization and finalization:
+//
+//	m(t) = t + (o2-o1)/(w2-w1) * (t - w1) + o1
+//
+// i.e. slope 1 + drift-estimate, anchored at the first measurement.
+func Linear(init, fin []measure.Offset) (*Correction, error) {
+	if len(init) == 0 || len(init) != len(fin) {
+		return nil, fmt.Errorf("interp: offset tables have sizes %d and %d", len(init), len(fin))
+	}
+	c := &Correction{perRank: make([]pieces, len(init))}
+	for i := range init {
+		o1, o2 := init[i], fin[i]
+		if o1.Rank != i || o2.Rank != i {
+			return nil, fmt.Errorf("interp: offset tables disagree on rank at entry %d", i)
+		}
+		w1, w2 := o1.WorkerTime, o2.WorkerTime
+		if i == 0 {
+			// the master defines the time base
+			c.perRank[i] = pieces{knots: []float64{w1}, lines: []stats.Line{{Slope: 1}}}
+			continue
+		}
+		if w2 <= w1 {
+			return nil, fmt.Errorf("interp: rank %d: finalization measurement (%v) not after initialization (%v)", i, w2, w1)
+		}
+		drift := (o2.Offset - o1.Offset) / (w2 - w1)
+		// m(t) = (1+drift)*t + (o1 - drift*w1)
+		c.perRank[i] = pieces{
+			knots: []float64{w1},
+			lines: []stats.Line{{Slope: 1 + drift, Intercept: o1.Offset - drift*w1}},
+		}
+	}
+	return c, nil
+}
+
+// Piecewise builds a piecewise-linear correction from three or more offset
+// tables taken during the run (the Doleschal-style extension discussed in
+// Section III.b): between consecutive measurements the offset is
+// interpolated linearly; outside the measured range the nearest piece
+// extrapolates.
+func Piecewise(tables ...[]measure.Offset) (*Correction, error) {
+	if len(tables) < 2 {
+		return nil, fmt.Errorf("interp: piecewise needs at least two offset tables, got %d", len(tables))
+	}
+	n := len(tables[0])
+	for k, tab := range tables {
+		if len(tab) != n {
+			return nil, fmt.Errorf("interp: offset table %d has %d entries, want %d", k, len(tab), n)
+		}
+	}
+	c := &Correction{perRank: make([]pieces, n)}
+	for i := 0; i < n; i++ {
+		if i == 0 {
+			c.perRank[0] = pieces{knots: []float64{0}, lines: []stats.Line{{Slope: 1}}}
+			continue
+		}
+		var p pieces
+		for k := 0; k+1 < len(tables); k++ {
+			o1, o2 := tables[k][i], tables[k+1][i]
+			if o1.Rank != i || o2.Rank != i {
+				return nil, fmt.Errorf("interp: table %d entry %d has wrong rank", k, i)
+			}
+			w1, w2 := o1.WorkerTime, o2.WorkerTime
+			if w2 <= w1 {
+				return nil, fmt.Errorf("interp: rank %d: measurements %d and %d not increasing", i, k, k+1)
+			}
+			drift := (o2.Offset - o1.Offset) / (w2 - w1)
+			p.knots = append(p.knots, w1)
+			p.lines = append(p.lines, stats.Line{Slope: 1 + drift, Intercept: o1.Offset - drift*w1})
+		}
+		c.perRank[i] = p
+	}
+	return c, nil
+}
+
+// FromLines builds a single-piece correction from one affine map per rank
+// (local time -> master time). Used by the error-estimation baselines in
+// internal/errest.
+func FromLines(lines []stats.Line) *Correction {
+	c := &Correction{perRank: make([]pieces, len(lines))}
+	for i, l := range lines {
+		c.perRank[i] = pieces{knots: []float64{0}, lines: []stats.Line{l}}
+	}
+	return c
+}
+
+// FromPiecewiseLines builds a piecewise correction from shared knots (in
+// local time) and one line per knot per rank. Used by the windowed
+// error-estimation extension in internal/errest.
+func FromPiecewiseLines(knots []float64, perRank [][]stats.Line) (*Correction, error) {
+	if len(knots) == 0 {
+		return nil, fmt.Errorf("interp: no knots")
+	}
+	for i := 1; i < len(knots); i++ {
+		if knots[i] <= knots[i-1] {
+			return nil, fmt.Errorf("interp: knots not increasing at %d", i)
+		}
+	}
+	c := &Correction{perRank: make([]pieces, len(perRank))}
+	for r, lines := range perRank {
+		if len(lines) != len(knots) {
+			return nil, fmt.Errorf("interp: rank %d has %d pieces for %d knots", r, len(lines), len(knots))
+		}
+		c.perRank[r] = pieces{knots: append([]float64(nil), knots...), lines: append([]stats.Line(nil), lines...)}
+	}
+	return c, nil
+}
+
+// Identity returns a no-op correction for n ranks (the "no correction"
+// baseline).
+func Identity(n int) *Correction {
+	c := &Correction{perRank: make([]pieces, n)}
+	for i := range c.perRank {
+		c.perRank[i] = pieces{knots: []float64{0}, lines: []stats.Line{{Slope: 1}}}
+	}
+	return c
+}

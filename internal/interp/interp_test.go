@@ -1,0 +1,243 @@
+package interp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tsync/internal/measure"
+	"tsync/internal/stats"
+	"tsync/internal/trace"
+)
+
+func offsetTable(vals ...[2]float64) []measure.Offset {
+	out := make([]measure.Offset, len(vals))
+	for i, v := range vals {
+		out[i] = measure.Offset{Rank: i, WorkerTime: v[0], Offset: v[1]}
+	}
+	return out
+}
+
+func TestAlignOnlyShifts(t *testing.T) {
+	c, err := AlignOnly(offsetTable([2]float64{0, 0}, [2]float64{0, 2.5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Map(1, 10); got != 12.5 {
+		t.Fatalf("Map(1,10) = %v, want 12.5", got)
+	}
+	if got := c.Map(0, 10); got != 10 {
+		t.Fatalf("master must be unchanged, got %v", got)
+	}
+}
+
+func TestLinearMatchesEquation3(t *testing.T) {
+	// worker measured: (w1,o1)=(100, 1e-3), (w2,o2)=(1100, 3e-3)
+	// drift = 2e-3/1000 = 2e-6
+	init := offsetTable([2]float64{100, 0}, [2]float64{100, 1e-3})
+	fin := offsetTable([2]float64{1100, 0}, [2]float64{1100, 3e-3})
+	c, err := Linear(init, fin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{100, 600, 1100, 2000} {
+		want := tt + (3e-3-1e-3)/(1100-100)*(tt-100) + 1e-3 // Eq. 3 verbatim
+		if got := c.Map(1, tt); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("Map(1,%v) = %v, want %v", tt, got, want)
+		}
+	}
+}
+
+func TestLinearEndpointsExact(t *testing.T) {
+	// at the measurement points, the corrected time must equal local
+	// time + measured offset exactly
+	init := offsetTable([2]float64{5, 0}, [2]float64{5, -2e-4})
+	fin := offsetTable([2]float64{3605, 0}, [2]float64{3605, 7e-4})
+	c, err := Linear(init, fin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Map(1, 5); math.Abs(got-(5-2e-4)) > 1e-12 {
+		t.Fatalf("init endpoint: %v", got)
+	}
+	if got := c.Map(1, 3605); math.Abs(got-(3605+7e-4)) > 1e-9 {
+		t.Fatalf("fin endpoint: %v", got)
+	}
+}
+
+func TestLinearErrors(t *testing.T) {
+	good := offsetTable([2]float64{0, 0}, [2]float64{0, 1})
+	if _, err := Linear(nil, nil); err == nil {
+		t.Fatalf("empty tables accepted")
+	}
+	if _, err := Linear(good, good[:1]); err == nil {
+		t.Fatalf("size mismatch accepted")
+	}
+	// finalization not after initialization
+	if _, err := Linear(good, good); err == nil {
+		t.Fatalf("non-increasing worker times accepted")
+	}
+	bad := offsetTable([2]float64{0, 0}, [2]float64{0, 1})
+	bad[1].Rank = 7
+	if _, err := AlignOnly(bad); err == nil {
+		t.Fatalf("wrong rank accepted by AlignOnly")
+	}
+	fin := offsetTable([2]float64{10, 0}, [2]float64{10, 1})
+	fin[1].Rank = 7
+	if _, err := Linear(good, fin); err == nil {
+		t.Fatalf("wrong rank accepted by Linear")
+	}
+}
+
+func TestApplyRewritesTimesOnly(t *testing.T) {
+	tr := &trace.Trace{
+		Procs: []trace.Proc{
+			{Rank: 0, Events: []trace.Event{{Kind: trace.Send, Time: 1, True: 1, Partner: 1}}},
+			{Rank: 1, Events: []trace.Event{{Kind: trace.Recv, Time: 1.5, True: 1.5, Partner: 0}}},
+		},
+	}
+	c, err := AlignOnly(offsetTable([2]float64{0, 0}, [2]float64{0, 0.25}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := c.Apply(tr)
+	if out.Procs[1].Events[0].Time != 1.75 {
+		t.Fatalf("corrected time %v", out.Procs[1].Events[0].Time)
+	}
+	if out.Procs[1].Events[0].True != 1.5 {
+		t.Fatalf("True must never be rewritten")
+	}
+	if tr.Procs[1].Events[0].Time != 1.5 {
+		t.Fatalf("Apply mutated the input trace")
+	}
+}
+
+func TestPiecewiseInterpolatesSegments(t *testing.T) {
+	t1 := offsetTable([2]float64{0, 0}, [2]float64{0, 0})
+	t2 := offsetTable([2]float64{100, 0}, [2]float64{100, 1e-3})
+	t3 := offsetTable([2]float64{200, 0}, [2]float64{200, 1e-3}) // drift stops
+	c, err := Piecewise(t1, t2, t3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// first segment: drift 1e-5
+	if got, want := c.Map(1, 50), 50.0+0.5e-3; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("mid segment 1: %v, want %v", got, want)
+	}
+	// second segment: flat offset 1e-3
+	if got, want := c.Map(1, 150), 150.0+1e-3; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("mid segment 2: %v, want %v", got, want)
+	}
+	// extrapolation beyond the last knot uses the last piece
+	if got, want := c.Map(1, 300), 300.0+1e-3; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("extrapolation: %v, want %v", got, want)
+	}
+}
+
+func TestPiecewiseErrors(t *testing.T) {
+	t1 := offsetTable([2]float64{0, 0}, [2]float64{0, 0})
+	if _, err := Piecewise(t1); err == nil {
+		t.Fatalf("single table accepted")
+	}
+	if _, err := Piecewise(t1, t1[:1]); err == nil {
+		t.Fatalf("ragged tables accepted")
+	}
+	if _, err := Piecewise(t1, t1); err == nil {
+		t.Fatalf("non-increasing measurement times accepted")
+	}
+}
+
+func TestIdentityIsNoop(t *testing.T) {
+	c := Identity(3)
+	if c.Ranks() != 3 {
+		t.Fatalf("Ranks = %d", c.Ranks())
+	}
+	check := func(rank uint8, tm float64) bool {
+		if math.IsNaN(tm) || math.IsInf(tm, 0) {
+			return true
+		}
+		return c.Map(int(rank)%3, tm) == tm
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapOutOfRangeRankIsIdentity(t *testing.T) {
+	c := Identity(2)
+	if c.Map(5, 3.3) != 3.3 || c.Map(-1, 3.3) != 3.3 {
+		t.Fatalf("out-of-range rank must map identically")
+	}
+}
+
+func TestPropertyLinearPreservesLocalOrder(t *testing.T) {
+	// an affine correction with slope ~1 must preserve the order of
+	// local timestamps (drift magnitudes are ppm-scale)
+	init := offsetTable([2]float64{0, 0}, [2]float64{0, 5e-3})
+	fin := offsetTable([2]float64{1000, 0}, [2]float64{1000, 5.9e-3})
+	c, err := Linear(init, fin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(aRaw, dRaw uint32) bool {
+		a := float64(aRaw) * 1e-3
+		d := 1e-9 + float64(dRaw)*1e-9
+		return c.Map(1, a+d) > c.Map(1, a)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyWithMismatchedRankCount(t *testing.T) {
+	// a correction for fewer ranks than the trace leaves extras alone
+	tr := &trace.Trace{Procs: []trace.Proc{
+		{Rank: 0, Events: []trace.Event{{Time: 1}}},
+		{Rank: 1, Events: []trace.Event{{Time: 2}}},
+		{Rank: 2, Events: []trace.Event{{Time: 3}}},
+	}}
+	c, _ := AlignOnly(offsetTable([2]float64{0, 0}, [2]float64{0, 1}))
+	out := c.Apply(tr)
+	if out.Procs[2].Events[0].Time != 3 {
+		t.Fatalf("uncovered rank was modified")
+	}
+}
+
+func TestFromLinesAndPiecewiseLines(t *testing.T) {
+	c := FromLines([]stats.Line{{Slope: 1}, {Slope: 1, Intercept: 2}})
+	if got := c.Map(1, 10); got != 12 {
+		t.Fatalf("FromLines Map = %v", got)
+	}
+	pw, err := FromPiecewiseLines(
+		[]float64{0, 100},
+		[][]stats.Line{
+			{{Slope: 1}, {Slope: 1}},
+			{{Slope: 1, Intercept: 1}, {Slope: 1, Intercept: 5}},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pw.Map(1, 50); got != 51 {
+		t.Fatalf("first piece Map = %v", got)
+	}
+	if got := pw.Map(1, 150); got != 155 {
+		t.Fatalf("second piece Map = %v", got)
+	}
+	if _, err := FromPiecewiseLines(nil, nil); err == nil {
+		t.Fatalf("no knots accepted")
+	}
+	if _, err := FromPiecewiseLines([]float64{5, 5}, [][]stats.Line{{{}, {}}}); err == nil {
+		t.Fatalf("non-increasing knots accepted")
+	}
+	if _, err := FromPiecewiseLines([]float64{0, 1}, [][]stats.Line{{{}}}); err == nil {
+		t.Fatalf("piece-count mismatch accepted")
+	}
+}
+
+func TestCorrectionEmptyRankMapsIdentity(t *testing.T) {
+	// a Correction slot with no pieces behaves as identity
+	c := &Correction{perRank: make([]pieces, 1)}
+	if got := c.Map(0, 7.5); got != 7.5 {
+		t.Fatalf("empty pieces Map = %v", got)
+	}
+}

@@ -1,0 +1,36 @@
+package lclock_test
+
+import (
+	"fmt"
+
+	"tsync/internal/lclock"
+	"tsync/internal/trace"
+)
+
+// ExampleVectors derives Fidge/Mattern vector clocks from a trace and uses
+// them as the happened-before oracle, independent of the (possibly lying)
+// timestamps.
+func ExampleVectors() {
+	tr := &trace.Trace{Procs: []trace.Proc{
+		{Rank: 0, Events: []trace.Event{
+			{Kind: trace.Send, Time: 1, True: 1, Partner: 1},
+		}},
+		{Rank: 1, Events: []trace.Event{
+			// the timestamp claims 0.5, but the message edge says the
+			// receive happened after the send
+			{Kind: trace.Recv, Time: 0.5, True: 1.1, Partner: 0},
+		}},
+	}}
+	vc, err := lclock.Vectors(tr)
+	if err != nil {
+		panic(err)
+	}
+	send := lclock.EventRef{Rank: 0, Idx: 0}
+	recv := lclock.EventRef{Rank: 1, Idx: 0}
+	fmt.Println("send happened before recv:", lclock.HappenedBefore(vc, send, recv))
+	bad, _ := lclock.CheckOrder(tr, 0)
+	fmt.Println("timestamp order violations:", len(bad))
+	// Output:
+	// send happened before recv: true
+	// timestamp order violations: 1
+}

@@ -1,0 +1,377 @@
+package lclock
+
+import (
+	"testing"
+
+	"tsync/internal/clock"
+	"tsync/internal/mpi"
+	"tsync/internal/topology"
+	"tsync/internal/trace"
+)
+
+// chainTrace: rank 0 sends to 1, 1 sends to 2.
+func chainTrace() *trace.Trace {
+	return &trace.Trace{Procs: []trace.Proc{
+		{Rank: 0, Events: []trace.Event{
+			{Kind: trace.Send, Time: 1, True: 1, Partner: 1},
+		}},
+		{Rank: 1, Events: []trace.Event{
+			{Kind: trace.Recv, Time: 2, True: 2, Partner: 0},
+			{Kind: trace.Send, Time: 3, True: 3, Partner: 2},
+		}},
+		{Rank: 2, Events: []trace.Event{
+			{Kind: trace.Recv, Time: 4, True: 4, Partner: 1},
+		}},
+	}}
+}
+
+func TestLamportChain(t *testing.T) {
+	lc, err := Lamport(chainTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(lc[0][0] < lc[1][0] && lc[1][0] < lc[1][1] && lc[1][1] < lc[2][0]) {
+		t.Fatalf("Lamport order broken: %v", lc)
+	}
+}
+
+func TestLamportRespectsEdgesEvenWithLyingTimestamps(t *testing.T) {
+	tr := chainTrace()
+	// timestamps reversed: logical clocks must not care
+	tr.Procs[1].Events[0].Time = 0.5
+	tr.Procs[2].Events[0].Time = 0.1
+	lc, err := Lamport(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lc[1][0] <= lc[0][0] || lc[2][0] <= lc[1][1] {
+		t.Fatalf("Lamport followed wrong order: %v", lc)
+	}
+}
+
+func TestVectorsChain(t *testing.T) {
+	vc, err := Vectors(chainTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	send0 := EventRef{0, 0}
+	recv2 := EventRef{2, 0}
+	if !HappenedBefore(vc, send0, recv2) {
+		t.Fatalf("transitive happened-before lost: %v !< %v", vc[0][0], vc[2][0])
+	}
+	if HappenedBefore(vc, recv2, send0) {
+		t.Fatalf("happened-before inverted")
+	}
+}
+
+func TestVectorsConcurrency(t *testing.T) {
+	// two ranks with no communication: all pairs concurrent
+	tr := &trace.Trace{Procs: []trace.Proc{
+		{Rank: 0, Events: []trace.Event{{Kind: trace.Enter, Time: 1, True: 1, Region: -1}}},
+		{Rank: 1, Events: []trace.Event{{Kind: trace.Enter, Time: 2, True: 2, Region: -1}}},
+	}}
+	vc, err := Vectors(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vc[0][0].Concurrent(vc[1][0]) {
+		t.Fatalf("independent events not concurrent: %v vs %v", vc[0][0], vc[1][0])
+	}
+}
+
+func TestVectorOperations(t *testing.T) {
+	a := Vector{1, 2, 3}
+	b := Vector{2, 2, 3}
+	if !a.Less(b) || b.Less(a) {
+		t.Fatalf("Less broken")
+	}
+	if !a.Equal(a) || a.Equal(b) {
+		t.Fatalf("Equal broken")
+	}
+	c := Vector{0, 9, 0}
+	if !a.Concurrent(c) || !c.Concurrent(a) {
+		t.Fatalf("Concurrent broken")
+	}
+	if a.Less(Vector{1, 2}) {
+		t.Fatalf("mismatched lengths must not compare")
+	}
+}
+
+func TestCollEdgesSemantics(t *testing.T) {
+	begin := map[int]int{0: 10, 1: 20, 2: 30}
+	end := map[int]int{0: 11, 1: 21, 2: 31}
+	cases := []struct {
+		op    trace.CollOp
+		root  int32
+		count int
+	}{
+		{trace.OpBcast, 0, 2},    // root begin -> 2 member ends
+		{trace.OpScatter, 1, 2},  // root begin -> 2 member ends
+		{trace.OpReduce, 0, 2},   // 2 member begins -> root end
+		{trace.OpGather, 2, 2},   // 2 member begins -> root end
+		{trace.OpBarrier, -1, 6}, // all begins -> all other ends
+		{trace.OpAllreduce, -1, 6},
+	}
+	for _, c := range cases {
+		edges := CollEdges(trace.Collective{Op: c.op, Root: c.root, Begin: begin, End: end})
+		if len(edges) != c.count {
+			t.Fatalf("%v: %d edges, want %d", c.op, len(edges), c.count)
+		}
+		switch c.op {
+		case trace.OpBcast, trace.OpScatter:
+			for _, e := range edges {
+				if e.From.Rank != int(c.root) {
+					t.Fatalf("%v: edge from non-root %d", c.op, e.From.Rank)
+				}
+			}
+		case trace.OpReduce, trace.OpGather:
+			for _, e := range edges {
+				if e.To.Rank != int(c.root) {
+					t.Fatalf("%v: edge to non-root %d", c.op, e.To.Rank)
+				}
+			}
+		}
+	}
+}
+
+func TestCheckOrderCleanAndViolated(t *testing.T) {
+	tr := chainTrace()
+	bad, err := CheckOrder(tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 0 {
+		t.Fatalf("clean trace reported %d violations", len(bad))
+	}
+	// now make the receive appear before the send
+	tr.Procs[1].Events[0].Time = 0.5
+	bad, err = CheckOrder(tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) == 0 {
+		t.Fatalf("reversed message not reported")
+	}
+	// with enough slack it passes again
+	bad, err = CheckOrder(tr, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 0 {
+		t.Fatalf("slack not honored: %v", bad)
+	}
+}
+
+func TestCheckOrderCatchesLocalRegression(t *testing.T) {
+	tr := chainTrace()
+	tr.Procs[1].Events[1].Time = 1.5 // before the rank's previous event
+	bad, err := CheckOrder(tr, 10)   // slack only applies to cross edges
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) == 0 {
+		t.Fatalf("local order regression not reported")
+	}
+}
+
+func TestLogicalClocksOnSimulatedTrace(t *testing.T) {
+	// end-to-end: a real simulated trace's true-time order must agree
+	// with the vector-clock partial order
+	m := topology.Xeon()
+	pin, err := topology.InterNode(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := mpi.NewWorld(mpi.Config{Machine: m, Timer: clock.TSC, Pinning: pin, Seed: 5, Tracing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(func(r *mpi.Rank) {
+		for i := 0; i < 5; i++ {
+			if r.Rank() == 0 {
+				r.Send(1, i, 64, nil)
+			} else if r.Rank() == 1 {
+				r.Recv(0, i)
+			}
+			r.Allreduce(8, nil, nil)
+			r.Bcast(2, 128, nil)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tr := w.Trace()
+	vc, err := Vectors(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges, err := CrossEdges(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) == 0 {
+		t.Fatalf("no cross edges in communicating trace")
+	}
+	for _, e := range edges {
+		if !HappenedBefore(vc, e.From, e.To) {
+			t.Fatalf("edge %v not reflected in vector clocks", e)
+		}
+		fromTrue := tr.Procs[e.From.Rank].Events[e.From.Idx].True
+		toTrue := tr.Procs[e.To.Rank].Events[e.To.Idx].True
+		if toTrue < fromTrue {
+			t.Fatalf("simulator emitted acausal edge: %v", e)
+		}
+	}
+}
+
+func TestLamportDetectsCycle(t *testing.T) {
+	// two messages forming an impossible cycle: 0 sends after receiving
+	// from 1, and 1 sends after receiving from 0
+	tr := &trace.Trace{Procs: []trace.Proc{
+		{Rank: 0, Events: []trace.Event{
+			{Kind: trace.Recv, Partner: 1},
+			{Kind: trace.Send, Partner: 1},
+		}},
+		{Rank: 1, Events: []trace.Event{
+			{Kind: trace.Recv, Partner: 0},
+			{Kind: trace.Send, Partner: 0},
+		}},
+	}}
+	if _, err := Lamport(tr); err == nil {
+		t.Fatalf("cyclic trace must be rejected")
+	}
+	if _, err := Vectors(tr); err == nil {
+		t.Fatalf("cyclic trace must be rejected by Vectors too")
+	}
+}
+
+func BenchmarkVectors8x200(b *testing.B) {
+	tr := &trace.Trace{}
+	const n = 8
+	for r := 0; r < n; r++ {
+		p := trace.Proc{Rank: r}
+		for i := 0; i < 200; i++ {
+			dst := (r + 1) % n
+			p.Events = append(p.Events,
+				trace.Event{Kind: trace.Send, Time: float64(i), True: float64(i), Partner: int32(dst), Tag: int32(i)},
+				trace.Event{Kind: trace.Recv, Time: float64(i) + 0.4, True: float64(i) + 0.4, Partner: int32((r - 1 + n) % n), Tag: int32(i)},
+			)
+		}
+		tr.Procs = append(tr.Procs, p)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Vectors(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestPOMPEdgesDirect(t *testing.T) {
+	tr := &trace.Trace{}
+	reg := tr.RegionID("par")
+	ev := func(k trace.Kind, tt float64) trace.Event {
+		return trace.Event{Kind: k, Time: tt, True: tt, Region: reg, Instance: 0, Partner: -1, Root: -1}
+	}
+	tr.Procs = []trace.Proc{
+		{Rank: 0, Events: []trace.Event{
+			ev(trace.Fork, 1.0), ev(trace.Enter, 1.1),
+			ev(trace.BarrierEnter, 1.2), ev(trace.BarrierExit, 1.3),
+			ev(trace.Exit, 1.4), ev(trace.Join, 1.5),
+		}},
+		{Rank: 1, Events: []trace.Event{
+			ev(trace.Enter, 1.1),
+			ev(trace.BarrierEnter, 1.2), ev(trace.BarrierExit, 1.3),
+			ev(trace.Exit, 1.4),
+		}},
+	}
+	edges := POMPEdges(tr)
+	// fork->worker first (1), lasts->join (1: worker's exit; master's own
+	// last == join's rank path excluded for its own ref? master's last is
+	// its Exit -> join: 1), barrier pairs (2)
+	var forkEdges, joinEdges, barrierEdges int
+	for _, e := range edges {
+		from := tr.Procs[e.From.Rank].Events[e.From.Idx]
+		to := tr.Procs[e.To.Rank].Events[e.To.Idx]
+		switch {
+		case from.Kind == trace.Fork:
+			forkEdges++
+		case to.Kind == trace.Join:
+			joinEdges++
+		case from.Kind == trace.BarrierEnter && to.Kind == trace.BarrierExit:
+			barrierEdges++
+		}
+	}
+	if forkEdges != 2 { // master's own first event (Enter) and worker's Enter
+		t.Fatalf("fork edges %d, want 2 (edges %v)", forkEdges, edges)
+	}
+	if joinEdges != 2 { // both threads' last events precede the join
+		t.Fatalf("join edges %d, want 2", joinEdges)
+	}
+	if barrierEdges != 2 { // each thread's enter -> the other's exit
+		t.Fatalf("barrier edges %d, want 2", barrierEdges)
+	}
+}
+
+func TestPOMPEdgesMultipleBarriersPairUp(t *testing.T) {
+	tr := &trace.Trace{}
+	reg := tr.RegionID("par")
+	mk := func(rank int, times ...float64) trace.Proc {
+		p := trace.Proc{Rank: rank}
+		kinds := []trace.Kind{trace.BarrierEnter, trace.BarrierExit, trace.BarrierEnter, trace.BarrierExit}
+		for i, tt := range times {
+			p.Events = append(p.Events, trace.Event{
+				Kind: kinds[i], Time: tt, True: tt, Region: reg, Instance: 0, Partner: -1, Root: -1})
+		}
+		return p
+	}
+	tr.Procs = []trace.Proc{
+		mk(0, 1, 2, 3, 4),
+		mk(1, 1, 2, 3, 4),
+	}
+	// no fork/join in this fragment; only barrier pairing matters
+	edges := POMPEdges(tr)
+	// 2 barriers × 2 directed pairs
+	if len(edges) != 4 {
+		t.Fatalf("%d edges, want 4: %v", len(edges), edges)
+	}
+	// the first barrier's enter must pair with the first exit, not the
+	// second
+	for _, e := range edges {
+		fi := tr.Procs[e.From.Rank].Events[e.From.Idx]
+		ti := tr.Procs[e.To.Rank].Events[e.To.Idx]
+		if (fi.Time == 1) != (ti.Time == 2) {
+			t.Fatalf("barrier instances cross-paired: %v -> %v", fi.Time, ti.Time)
+		}
+	}
+}
+
+func TestLamportScheduleDirect(t *testing.T) {
+	tr := chainTrace()
+	tr.Procs[1].Events[0].Time = 0.2 // lying timestamp
+	out, err := LamportSchedule(tr, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// logical schedule restores order on every edge
+	bad, err := CheckOrder(out, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 0 {
+		t.Fatalf("lamport schedule left %d order violations", len(bad))
+	}
+	// timestamps are base + LC*delta
+	if got := out.Procs[0].Events[0].Time; got != 0.2+1e-6 {
+		t.Fatalf("first event at %v", got)
+	}
+	if _, err := LamportSchedule(tr, 0); err == nil {
+		t.Fatalf("zero delta accepted")
+	}
+}
+
+func TestLamportScheduleEmptyTrace(t *testing.T) {
+	out, err := LamportSchedule(&trace.Trace{}, 1e-6)
+	if err != nil || out == nil {
+		t.Fatalf("empty trace: %v", err)
+	}
+}

@@ -1,0 +1,310 @@
+// Package measure implements the runtime measurement procedures of
+// Section III of the paper: offset determination between distributed
+// clocks using Cristian's probabilistic remote clock reading (Eq. 2),
+// performed at program initialization and finalization as Scalasca does,
+// and the message/collective latency micro-benchmarks of Table II.
+package measure
+
+import (
+	"fmt"
+
+	"tsync/internal/mpi"
+	"tsync/internal/stats"
+)
+
+// Tags reserved for measurement traffic. They live in the ordinary tag
+// space but measurement runs untraced, so they never appear in traces.
+const (
+	tagOffsetReq = 1 << 28
+	tagOffsetRep = tagOffsetReq + 1
+	tagPingPong  = tagOffsetReq + 2
+	tagHopResult = tagOffsetReq + 3
+)
+
+// Offset is one worker's measured clock offset relative to the master
+// (rank 0): master_time ≈ worker_time + Offset at the moment the worker's
+// clock read WorkerTime.
+type Offset struct {
+	Rank       int
+	WorkerTime float64 // t0: the worker's clock value during the exchange
+	Offset     float64 // o = t1 + (t2-t1)/2 - t0 (Eq. 2)
+	RTT        float64 // round-trip time of the selected (minimal) probe
+}
+
+// Offsets measures the offset between rank 0 (master) and every other rank
+// using reps ping-pong probes per worker, keeping the probe with the
+// smallest round trip ("the process must be repeated several times to
+// minimize the delay", Section III). Every rank must call it at the same
+// point of the program; every rank returns the full table. Measurement
+// traffic is never traced.
+func Offsets(r *mpi.Rank, reps int) ([]Offset, error) {
+	if reps <= 0 {
+		return nil, fmt.Errorf("measure: reps must be positive, got %d", reps)
+	}
+	wasTracing := r.Tracing()
+	r.SetTracing(false)
+	defer r.SetTracing(wasTracing)
+
+	n := r.Size()
+	table := make([]Offset, n)
+	if r.Rank() == 0 {
+		table[0] = Offset{Rank: 0, WorkerTime: r.Wtime(), Offset: 0}
+		for w := 1; w < n; w++ {
+			best := Offset{Rank: w, RTT: -1}
+			for rep := 0; rep < reps; rep++ {
+				t1 := r.Wtime()
+				r.Send(w, tagOffsetReq, 8, nil)
+				m := r.Recv(w, tagOffsetRep)
+				t2 := r.Wtime()
+				t0, ok := m.Data.(float64)
+				if !ok {
+					return nil, fmt.Errorf("measure: worker %d replied with %T", w, m.Data)
+				}
+				rtt := t2 - t1
+				if best.RTT < 0 || rtt < best.RTT {
+					best = Offset{
+						Rank:       w,
+						WorkerTime: t0,
+						Offset:     t1 + rtt/2 - t0, // Eq. 2
+						RTT:        rtt,
+					}
+				}
+			}
+			table[w] = best
+		}
+		// distribute so every rank can apply corrections locally
+		r.Bcast(0, 16*n, table)
+	} else {
+		for rep := 0; rep < reps; rep++ {
+			r.Recv(0, tagOffsetReq)
+			t0 := r.Wtime()
+			r.Send(0, tagOffsetRep, 8, t0)
+		}
+		got := r.Bcast(0, 16*n, nil)
+		t, ok := got.([]Offset)
+		if !ok {
+			return nil, fmt.Errorf("measure: broadcast offset table has type %T", got)
+		}
+		table = t
+	}
+	return table, nil
+}
+
+// LatencyResult summarizes a latency micro-benchmark like a row of
+// Table II.
+type LatencyResult struct {
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+	N      int
+}
+
+// PingPong measures the one-way message latency between rank 0 and rank 1
+// with reps round trips of the given message size, as the Table II message
+// rows. Both ranks must call it; rank 0 returns the result, others return
+// a zero value. Uses the rank's own clock (as real benchmarks must), whose
+// drift is negligible over a microsecond round trip.
+func PingPong(r *mpi.Rank, reps, bytes int) (LatencyResult, error) {
+	if r.Size() < 2 {
+		return LatencyResult{}, fmt.Errorf("measure: PingPong needs at least 2 ranks")
+	}
+	if reps <= 0 {
+		return LatencyResult{}, fmt.Errorf("measure: reps must be positive")
+	}
+	wasTracing := r.Tracing()
+	r.SetTracing(false)
+	defer r.SetTracing(wasTracing)
+
+	var acc stats.Online
+	switch r.Rank() {
+	case 0:
+		for i := 0; i < reps; i++ {
+			t1 := r.Wtime()
+			r.Send(1, tagPingPong, bytes, nil)
+			r.Recv(1, tagPingPong)
+			t2 := r.Wtime()
+			acc.Add((t2 - t1) / 2)
+		}
+	case 1:
+		for i := 0; i < reps; i++ {
+			r.Recv(0, tagPingPong)
+			r.Send(0, tagPingPong, bytes, nil)
+		}
+	}
+	return LatencyResult{Mean: acc.Mean(), StdDev: acc.StdDev(), Min: acc.Min(), Max: acc.Max(), N: acc.N()}, nil
+}
+
+// Collective measures the latency of an allreduce across all ranks with
+// reps repetitions, as the Table II collective row. All ranks must call
+// it; rank 0 returns the result.
+func Collective(r *mpi.Rank, reps, bytes int) (LatencyResult, error) {
+	if reps <= 0 {
+		return LatencyResult{}, fmt.Errorf("measure: reps must be positive")
+	}
+	wasTracing := r.Tracing()
+	r.SetTracing(false)
+	defer r.SetTracing(wasTracing)
+
+	var acc stats.Online
+	for i := 0; i < reps; i++ {
+		r.Barrier()
+		t1 := r.Wtime()
+		r.Allreduce(bytes, nil, nil)
+		t2 := r.Wtime()
+		if r.Rank() == 0 {
+			acc.Add(t2 - t1)
+		}
+	}
+	return LatencyResult{Mean: acc.Mean(), StdDev: acc.StdDev(), Min: acc.Min(), Max: acc.Max(), N: acc.N()}, nil
+}
+
+// OffsetsTree measures offsets like Offsets, but indirectly along a
+// binomial tree instead of a master-to-all star: each rank probes only its
+// tree parent, and the master composes the per-hop offsets into global
+// ones. This is the effort-limiting indirect scheme of Doleschal et al.
+// (the paper's reference [17]) — the master exchanges O(log n) message
+// pairs per probe round instead of O(n), at the price of error
+// accumulation along the hops. Every rank returns the composed table.
+func OffsetsTree(r *mpi.Rank, reps int) ([]Offset, error) {
+	if reps <= 0 {
+		return nil, fmt.Errorf("measure: reps must be positive, got %d", reps)
+	}
+	wasTracing := r.Tracing()
+	r.SetTracing(false)
+	defer r.SetTracing(wasTracing)
+
+	n := r.Size()
+	parent := func(k int) int { return k &^ (k & -k) } // clear lowest set bit
+	// hop measurement between parent(k) and k, sequentially by child rank
+	// so a parent never serves two children at once
+	var hop Offset // this rank's own hop result (as child)
+	for k := 1; k < n; k++ {
+		p := parent(k)
+		switch r.Rank() {
+		case p:
+			best := Offset{Rank: k, RTT: -1}
+			for rep := 0; rep < reps; rep++ {
+				t1 := r.Wtime()
+				r.Send(k, tagOffsetReq, 8, nil)
+				m := r.Recv(k, tagOffsetRep)
+				t2 := r.Wtime()
+				t0, ok := m.Data.(float64)
+				if !ok {
+					return nil, fmt.Errorf("measure: child %d replied with %T", k, m.Data)
+				}
+				rtt := t2 - t1
+				if best.RTT < 0 || rtt < best.RTT {
+					best = Offset{Rank: k, WorkerTime: t0, Offset: t1 + rtt/2 - t0, RTT: rtt}
+				}
+			}
+			// forward the hop result to the child so it can contribute
+			// its own WorkerTime context, then to the root via Gather
+			r.Send(k, tagHopResult, 32, best)
+		case k:
+			for rep := 0; rep < reps; rep++ {
+				r.Recv(p, tagOffsetReq)
+				t0 := r.Wtime()
+				r.Send(p, tagOffsetRep, 8, t0)
+			}
+			m := r.Recv(p, tagHopResult)
+			var ok bool
+			hop, ok = m.Data.(Offset)
+			if !ok {
+				return nil, fmt.Errorf("measure: parent %d forwarded %T", p, m.Data)
+			}
+		}
+	}
+	// gather per-hop offsets at the root and compose along tree paths
+	gathered := r.Gather(0, 32, hop)
+	table := make([]Offset, n)
+	if r.Rank() == 0 {
+		table[0] = Offset{Rank: 0, WorkerTime: r.Wtime(), Offset: 0}
+		for k := 1; k < n; k++ {
+			h, ok := gathered[k].(Offset)
+			if !ok {
+				return nil, fmt.Errorf("measure: gathered hop %d has type %T", k, gathered[k])
+			}
+			// parent(k) < k, so its composed entry already exists:
+			// (parent - child) + (master - parent) = master - child
+			table[k] = Offset{
+				Rank:       k,
+				WorkerTime: h.WorkerTime,
+				Offset:     h.Offset + table[parent(k)].Offset,
+				RTT:        h.RTT,
+			}
+		}
+		r.Bcast(0, 32*n, table)
+		return table, nil
+	}
+	got := r.Bcast(0, 32*n, nil)
+	t, ok := got.([]Offset)
+	if !ok {
+		return nil, fmt.Errorf("measure: broadcast offset table has type %T", got)
+	}
+	return t, nil
+}
+
+// LatencyMatrix measures the one-way latency between every ordered rank
+// pair with reps ping-pongs each (row = initiator, column = responder).
+// On torus networks the matrix exposes the hop-distance gradient that a
+// single Table II row averages away. All ranks must call it; every rank
+// returns the full matrix.
+func LatencyMatrix(r *mpi.Rank, reps, bytes int) ([][]float64, error) {
+	if reps <= 0 {
+		return nil, fmt.Errorf("measure: reps must be positive")
+	}
+	wasTracing := r.Tracing()
+	r.SetTracing(false)
+	defer r.SetTracing(wasTracing)
+
+	n := r.Size()
+	mine := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			switch r.Rank() {
+			case i:
+				var acc stats.Online
+				// the first exchange absorbs the phase skew of the
+				// responder still finishing earlier pairs; warm up
+				for rep := 0; rep < reps+1; rep++ {
+					t1 := r.Wtime()
+					r.Send(j, tagPingPong, bytes, nil)
+					r.Recv(j, tagPingPong)
+					t2 := r.Wtime()
+					if rep > 0 {
+						acc.Add((t2 - t1) / 2)
+					}
+				}
+				mine[j] = acc.Mean()
+			case j:
+				for rep := 0; rep < reps+1; rep++ {
+					r.Recv(i, tagPingPong)
+					r.Send(i, tagPingPong, bytes, nil)
+				}
+			}
+		}
+	}
+	rows := r.Gather(0, 8*n, mine)
+	matrix := make([][]float64, n)
+	if r.Rank() == 0 {
+		for i, raw := range rows {
+			row, ok := raw.([]float64)
+			if !ok {
+				return nil, fmt.Errorf("measure: gathered row %d has type %T", i, raw)
+			}
+			matrix[i] = row
+		}
+		r.Bcast(0, 8*n*n, matrix)
+		return matrix, nil
+	}
+	got := r.Bcast(0, 8*n*n, nil)
+	m, ok := got.([][]float64)
+	if !ok {
+		return nil, fmt.Errorf("measure: broadcast matrix has type %T", got)
+	}
+	return m, nil
+}

@@ -1,0 +1,381 @@
+package measure
+
+import (
+	"math"
+	"testing"
+
+	"tsync/internal/clock"
+	"tsync/internal/mpi"
+	"tsync/internal/topology"
+)
+
+func newWorld(t testing.TB, n int, timer clock.Kind) *mpi.World {
+	t.Helper()
+	m := topology.Xeon()
+	pin, err := topology.InterNode(m, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := mpi.NewWorld(mpi.Config{Machine: m, Timer: timer, Pinning: pin, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestOffsetsAccuracy(t *testing.T) {
+	// Cristian with minimum-RTT filtering must recover the true offsets
+	// to within a few microseconds (latency asymmetry bound)
+	w := newWorld(t, 4, clock.TSC)
+	var table []Offset
+	var trueOffsets [4]float64
+	err := w.Run(func(r *mpi.Rank) {
+		var err error
+		table, err = Offsets(r, 20)
+		if err != nil {
+			t.Error(err)
+		}
+		// oracle: each clock's value at the common true instant 0; drift
+		// over the few simulated milliseconds of measurement is ppm-scale
+		// and negligible here
+		trueOffsets[r.Rank()] = r.Clock().Ideal(0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table) != 4 {
+		t.Fatalf("offset table has %d entries", len(table))
+	}
+	for i := 1; i < 4; i++ {
+		trueOff := trueOffsets[0] - trueOffsets[i]
+		if got := table[i].Offset; math.Abs(got-trueOff) > 5e-6 {
+			t.Fatalf("rank %d: measured offset %v, true %v (err %v)", i, got, trueOff, math.Abs(got-trueOff))
+		}
+	}
+}
+
+func TestOffsetsAllRanksGetTable(t *testing.T) {
+	w := newWorld(t, 3, clock.TSC)
+	tables := make([][]Offset, 3)
+	err := w.Run(func(r *mpi.Rank) {
+		tab, err := Offsets(r, 5)
+		if err != nil {
+			t.Error(err)
+		}
+		tables[r.Rank()] = tab
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 3; i++ {
+		if len(tables[i]) != 3 {
+			t.Fatalf("rank %d table size %d", i, len(tables[i]))
+		}
+		for j := range tables[i] {
+			if tables[i][j] != tables[0][j] {
+				t.Fatalf("rank %d table differs from master's at %d", i, j)
+			}
+		}
+	}
+}
+
+func TestOffsetsLeaveNoTraceEvents(t *testing.T) {
+	m := topology.Xeon()
+	pin, _ := topology.InterNode(m, 2)
+	w, err := mpi.NewWorld(mpi.Config{Machine: m, Timer: clock.TSC, Pinning: pin, Seed: 1, Tracing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(r *mpi.Rank) {
+		if _, err := Offsets(r, 5); err != nil {
+			t.Error(err)
+		}
+		if !r.Tracing() {
+			t.Errorf("rank %d: tracing state not restored", r.Rank())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := w.Trace().EventCount(); n != 0 {
+		t.Fatalf("offset measurement recorded %d trace events", n)
+	}
+}
+
+func TestOffsetsRejectsBadReps(t *testing.T) {
+	w := newWorld(t, 2, clock.TSC)
+	err := w.Run(func(r *mpi.Rank) {
+		if _, err := Offsets(r, 0); err == nil {
+			t.Error("reps=0 accepted")
+		}
+	})
+	// both ranks return early with an error and never communicate — OK
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOffsetsSingleRank(t *testing.T) {
+	w := newWorld(t, 1, clock.TSC)
+	err := w.Run(func(r *mpi.Rank) {
+		tab, err := Offsets(r, 3)
+		if err != nil {
+			t.Error(err)
+		}
+		if len(tab) != 1 || tab[0].Offset != 0 {
+			t.Errorf("single-rank table %+v", tab)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPingPongMatchesTableII(t *testing.T) {
+	w := newWorld(t, 2, clock.TSC)
+	var res LatencyResult
+	err := w.Run(func(r *mpi.Rank) {
+		got, err := PingPong(r, 500, 0)
+		if err != nil {
+			t.Error(err)
+		}
+		if r.Rank() == 0 {
+			res = got
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 500 {
+		t.Fatalf("N = %d", res.N)
+	}
+	// inter-node one-way: ~4.3 µs mean plus measurement overheads
+	if res.Mean < 4.0e-6 || res.Mean > 8e-6 {
+		t.Fatalf("inter-node one-way latency %v s, want ~4.3-5 µs", res.Mean)
+	}
+	if res.StdDev <= 0 || res.StdDev > res.Mean {
+		t.Fatalf("latency stddev %v implausible", res.StdDev)
+	}
+	if res.Min > res.Mean || res.Max < res.Mean {
+		t.Fatalf("min/mean/max inconsistent: %v/%v/%v", res.Min, res.Mean, res.Max)
+	}
+}
+
+func TestCollectiveLatency(t *testing.T) {
+	w := newWorld(t, 4, clock.TSC)
+	var res LatencyResult
+	err := w.Run(func(r *mpi.Rank) {
+		got, err := Collective(r, 100, 8)
+		if err != nil {
+			t.Error(err)
+		}
+		if r.Rank() == 0 {
+			res = got
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 100 {
+		t.Fatalf("N = %d", res.N)
+	}
+	// Table II: 4-node allreduce ~12.86 µs; accept the 8-25 µs class
+	if res.Mean < 8e-6 || res.Mean > 25e-6 {
+		t.Fatalf("4-node allreduce %v s, want ~13 µs class", res.Mean)
+	}
+}
+
+func TestPingPongNeedsTwoRanks(t *testing.T) {
+	w := newWorld(t, 1, clock.TSC)
+	err := w.Run(func(r *mpi.Rank) {
+		if _, err := PingPong(r, 10, 0); err == nil {
+			t.Error("single-rank PingPong accepted")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOffsetsWithNTPClock(t *testing.T) {
+	// gettimeofday offsets are milliseconds; Cristian must still recover
+	// them to microsecond accuracy
+	w := newWorld(t, 2, clock.Gettimeofday)
+	var table []Offset
+	var ideal [2]float64
+	err := w.Run(func(r *mpi.Rank) {
+		var err error
+		table, err = Offsets(r, 20)
+		if err != nil {
+			t.Error(err)
+		}
+		ideal[r.Rank()] = r.Clock().Ideal(0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueOff := ideal[0] - ideal[1]
+	if math.Abs(table[1].Offset-trueOff) > 10e-6 {
+		t.Fatalf("NTP-clock offset error %v s", math.Abs(table[1].Offset-trueOff))
+	}
+}
+
+func BenchmarkOffsets8Ranks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w := newWorld(b, 8, clock.TSC)
+		err := w.Run(func(r *mpi.Rank) {
+			if _, err := Offsets(r, 10); err != nil {
+				b.Error(err)
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestOffsetsTreeAccuracy(t *testing.T) {
+	// the indirect tree measurement must recover true offsets to within
+	// a few hop errors (error accumulates along the O(log n) path)
+	w := newWorld(t, 8, clock.TSC)
+	var table []Offset
+	var ideal [8]float64
+	err := w.Run(func(r *mpi.Rank) {
+		var err error
+		table, err = OffsetsTree(r, 20)
+		if err != nil {
+			t.Error(err)
+		}
+		ideal[r.Rank()] = r.Clock().Ideal(0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table) != 8 {
+		t.Fatalf("table size %d", len(table))
+	}
+	for i := 1; i < 8; i++ {
+		trueOff := ideal[0] - ideal[i]
+		if got := table[i].Offset; math.Abs(got-trueOff) > 12e-6 {
+			t.Fatalf("rank %d: tree offset %v, true %v (err %v)", i, got, trueOff, math.Abs(got-trueOff))
+		}
+	}
+}
+
+func TestOffsetsTreeAllRanksAgree(t *testing.T) {
+	w := newWorld(t, 6, clock.TSC)
+	tables := make([][]Offset, 6)
+	err := w.Run(func(r *mpi.Rank) {
+		tab, err := OffsetsTree(r, 5)
+		if err != nil {
+			t.Error(err)
+		}
+		tables[r.Rank()] = tab
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 6; i++ {
+		for j := range tables[i] {
+			if tables[i][j] != tables[0][j] {
+				t.Fatalf("rank %d disagrees with root at entry %d", i, j)
+			}
+		}
+	}
+}
+
+func TestOffsetsTreeUsableForInterpolation(t *testing.T) {
+	// a full round trip: tree offsets at init and finalize feed Eq. 3
+	w := newWorld(t, 8, clock.TSC)
+	var init, fin []Offset
+	err := w.Run(func(r *mpi.Rank) {
+		i1, err := OffsetsTree(r, 10)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		r.Compute(100)
+		f1, err := OffsetsTree(r, 10)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if r.Rank() == 0 {
+			init, fin = i1, f1
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range init {
+		if fin[i].WorkerTime <= init[i].WorkerTime {
+			t.Fatalf("rank %d: finalize measurement not after init", i)
+		}
+	}
+}
+
+func TestOffsetsTreeRejectsBadReps(t *testing.T) {
+	w := newWorld(t, 2, clock.TSC)
+	err := w.Run(func(r *mpi.Rank) {
+		if _, err := OffsetsTree(r, 0); err == nil {
+			t.Error("reps=0 accepted")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyMatrix(t *testing.T) {
+	m := topology.Opteron()
+	pin, err := topology.InterNode(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := mpi.NewWorld(mpi.Config{Machine: m, Timer: clock.Gettimeofday, Pinning: pin, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mats := make([][][]float64, 4)
+	err = w.Run(func(r *mpi.Rank) {
+		mat, err := LatencyMatrix(r, 20, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		mats[r.Rank()] = mat
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat := mats[0]
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i == j {
+				if mat[i][j] != 0 {
+					t.Fatalf("diagonal (%d,%d) = %v", i, j, mat[i][j])
+				}
+				continue
+			}
+			if mat[i][j] < 3e-6 || mat[i][j] > 20e-6 {
+				t.Fatalf("latency (%d,%d) = %v out of band", i, j, mat[i][j])
+			}
+		}
+	}
+	// torus: node 0 -> node 2 is two hops in x, must exceed the
+	// one-hop 0 -> 1 on average (per-route asymmetry can perturb, so
+	// compare against the hop cost scale, not strictly)
+	if mat[0][2] < mat[0][1]-2e-6 {
+		t.Fatalf("no torus gradient: 2-hop %v vs 1-hop %v", mat[0][2], mat[0][1])
+	}
+	// all ranks received the same matrix
+	for r := 1; r < 4; r++ {
+		for i := range mat {
+			for j := range mat[i] {
+				if mats[r][i][j] != mat[i][j] {
+					t.Fatalf("rank %d matrix differs at (%d,%d)", r, i, j)
+				}
+			}
+		}
+	}
+}

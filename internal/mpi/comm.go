@@ -1,0 +1,438 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+
+	"tsync/internal/trace"
+)
+
+// group is the execution context of one collective: a set of world ranks,
+// this rank's position among them, and the communicator id used for trace
+// records and tag-space separation. All collective algorithms operate over
+// groups, so they work identically for the world communicator and for
+// split sub-communicators.
+type group struct {
+	r       *Rank
+	members []int // world ranks, in communicator-rank order
+	vrank   int   // this rank's position in members
+	comm    int32
+}
+
+// internalCommOf maps a communicator id to the reserved id its internal
+// (untraced) collective traffic uses.
+func internalCommOf(comm int32) int32 { return -(comm + 2) }
+
+// collTag builds an internal tag unique to (instance, round).
+func collTag(instance int32, round int) int {
+	return int(instance)*64 + round
+}
+
+func (g group) size() int { return len(g.members) }
+
+// post sends an internal message to the group member with virtual rank v.
+func (g group) post(v, tag, bytes int, data any) {
+	g.r.post(g.members[v], tag, internalCommOf(g.comm), bytes, data)
+}
+
+// recv blocks for an internal message from the member with virtual rank v.
+func (g group) recv(v, tag int) Msg {
+	return g.r.recvFrom(g.members[v], tag, internalCommOf(g.comm))
+}
+
+// recvAny blocks for an internal message from any member.
+func (g group) recvAny(tag int) Msg {
+	return g.r.recvFrom(AnySource, tag, internalCommOf(g.comm))
+}
+
+// vrankOf translates a world rank to the virtual rank within the group
+// (-1 if not a member).
+func (g group) vrankOf(world int) int {
+	for v, m := range g.members {
+		if m == world {
+			return v
+		}
+	}
+	return -1
+}
+
+// disseminate runs the dissemination pattern (Hensgen/Finkel/Manber): in
+// round k every member sends to (v+2^k) mod N and receives from
+// (v-2^k) mod N — the synchronization core of Barrier and the N-to-N
+// collectives.
+func (g group) disseminate(instance int32, bytes int) {
+	n := g.size()
+	for k, round := 1, 0; k < n; k, round = k<<1, round+1 {
+		g.r.proc.Sleep(roundOverhead)
+		g.post((g.vrank+k)%n, collTag(instance, round), bytes, nil)
+		g.recv((g.vrank-k+n)%n, collTag(instance, round))
+	}
+}
+
+// bcastTree sends data down a binomial tree rooted at virtual rank root.
+func (g group) bcastTree(instance int32, root, bytes int, data any, baseRound int) any {
+	n := g.size()
+	vrank := (g.vrank - root + n) % n
+	if vrank != 0 {
+		parent := vrank & (vrank - 1) // clear lowest set bit
+		m := g.recv((parent+root)%n, collTag(instance, baseRound))
+		data = m.Data
+	}
+	for k := 1; k < n; k <<= 1 {
+		if vrank&(k-1) != 0 || vrank&k != 0 {
+			continue
+		}
+		child := vrank + k
+		if child >= n {
+			break
+		}
+		g.post((child+root)%n, collTag(instance, baseRound), bytes, data)
+	}
+	return data
+}
+
+// reduceTree gathers up a binomial tree to virtual rank root.
+func (g group) reduceTree(instance int32, root, bytes int, data any, combine func(a, b any) any, baseRound int) any {
+	n := g.size()
+	vrank := (g.vrank - root + n) % n
+	acc := data
+	for k := 1; k < n; k <<= 1 {
+		if vrank&(k-1) != 0 {
+			break
+		}
+		if vrank&k != 0 {
+			parent := vrank &^ k
+			g.post((parent+root)%n, collTag(instance, baseRound), bytes, acc)
+			return acc
+		}
+		child := vrank + k
+		if child >= n {
+			continue
+		}
+		m := g.recv((child+root)%n, collTag(instance, baseRound))
+		if combine != nil {
+			acc = combine(acc, m.Data)
+		}
+	}
+	return acc
+}
+
+// Barrier blocks until all group members have entered it.
+func (g group) Barrier() {
+	inst := g.r.nextInstance(g.comm)
+	g.r.beginColl(trace.OpBarrier, g.comm, inst, 0, -1)
+	if g.size() > 1 {
+		g.disseminate(inst, 0)
+	}
+	g.r.endColl(trace.OpBarrier, g.comm, inst, 0, -1)
+}
+
+// Bcast broadcasts from the member with virtual rank root.
+func (g group) Bcast(root, bytes int, data any) any {
+	inst := g.r.nextInstance(g.comm)
+	g.r.beginColl(trace.OpBcast, g.comm, inst, bytes, g.members[root])
+	out := data
+	if g.size() > 1 {
+		out = g.bcastTree(inst, root, bytes, data, 0)
+	}
+	g.r.endColl(trace.OpBcast, g.comm, inst, bytes, g.members[root])
+	return out
+}
+
+// Reduce combines toward the member with virtual rank root.
+func (g group) Reduce(root, bytes int, data any, combine func(a, b any) any) any {
+	inst := g.r.nextInstance(g.comm)
+	g.r.beginColl(trace.OpReduce, g.comm, inst, bytes, g.members[root])
+	out := data
+	if g.size() > 1 {
+		out = g.reduceTree(inst, root, bytes, data, combine, 0)
+	}
+	g.r.endColl(trace.OpReduce, g.comm, inst, bytes, g.members[root])
+	return out
+}
+
+// Allreduce combines across the group (recursive doubling for powers of
+// two, reduce+bcast otherwise).
+func (g group) Allreduce(bytes int, data any, combine func(a, b any) any) any {
+	inst := g.r.nextInstance(g.comm)
+	g.r.beginColl(trace.OpAllreduce, g.comm, inst, bytes, -1)
+	out := data
+	n := g.size()
+	switch {
+	case n == 1:
+	case n&(n-1) == 0:
+		for k, round := 1, 0; k < n; k, round = k<<1, round+1 {
+			partner := g.vrank ^ k
+			g.r.proc.Sleep(roundOverhead)
+			g.post(partner, collTag(inst, round), bytes, out)
+			m := g.recv(partner, collTag(inst, round))
+			if combine != nil {
+				out = combine(out, m.Data)
+			}
+		}
+	default:
+		out = g.reduceTree(inst, 0, bytes, data, combine, 0)
+		out = g.bcastTree(inst, 0, bytes, out, 32)
+	}
+	g.r.endColl(trace.OpAllreduce, g.comm, inst, bytes, -1)
+	return out
+}
+
+// Gather collects every member's data at the member with virtual rank
+// root; the root returns a slice indexed by virtual rank.
+func (g group) Gather(root, bytes int, data any) []any {
+	inst := g.r.nextInstance(g.comm)
+	g.r.beginColl(trace.OpGather, g.comm, inst, bytes, g.members[root])
+	var out []any
+	n := g.size()
+	if n == 1 {
+		out = []any{data}
+	} else if g.vrank == root {
+		out = make([]any, n)
+		out[root] = data
+		for i := 0; i < n-1; i++ {
+			m := g.recvAny(collTag(inst, 0))
+			out[g.vrankOf(m.Source)] = m.Data
+		}
+	} else {
+		g.post(root, collTag(inst, 0), bytes, data)
+	}
+	g.r.endColl(trace.OpGather, g.comm, inst, bytes, g.members[root])
+	return out
+}
+
+// Scatter distributes per-member data from the member with virtual rank
+// root.
+func (g group) Scatter(root, bytes int, pieces []any) any {
+	inst := g.r.nextInstance(g.comm)
+	g.r.beginColl(trace.OpScatter, g.comm, inst, bytes, g.members[root])
+	var out any
+	n := g.size()
+	if n == 1 {
+		if len(pieces) > 0 {
+			out = pieces[0]
+		}
+	} else if g.vrank == root {
+		for i := 0; i < n; i++ {
+			if i == root {
+				continue
+			}
+			var d any
+			if i < len(pieces) {
+				d = pieces[i]
+			}
+			g.post(i, collTag(inst, 0), bytes, d)
+		}
+		if root < len(pieces) {
+			out = pieces[root]
+		}
+	} else {
+		m := g.recv(root, collTag(inst, 0))
+		out = m.Data
+	}
+	g.r.endColl(trace.OpScatter, g.comm, inst, bytes, g.members[root])
+	return out
+}
+
+// Allgather distributes every member's data to all members (dissemination
+// timing; payloads synthetic).
+func (g group) Allgather(bytes int) {
+	inst := g.r.nextInstance(g.comm)
+	g.r.beginColl(trace.OpAllgather, g.comm, inst, bytes, -1)
+	if g.size() > 1 {
+		g.disseminate(inst, bytes)
+	}
+	g.r.endColl(trace.OpAllgather, g.comm, inst, bytes, -1)
+}
+
+// Alltoall exchanges bytes between every member pair (pairwise rounds).
+func (g group) Alltoall(bytes int) {
+	inst := g.r.nextInstance(g.comm)
+	g.r.beginColl(trace.OpAlltoall, g.comm, inst, bytes, -1)
+	n := g.size()
+	for round := 1; round < n; round++ {
+		g.r.proc.Sleep(roundOverhead)
+		g.post((g.vrank+round)%n, collTag(inst, round), bytes, nil)
+		g.recv((g.vrank-round+n)%n, collTag(inst, round))
+	}
+	g.r.endColl(trace.OpAlltoall, g.comm, inst, bytes, -1)
+}
+
+// Scan computes an inclusive prefix reduction over the group.
+func (g group) Scan(bytes int, data any, combine func(a, b any) any) any {
+	inst := g.r.nextInstance(g.comm)
+	g.r.beginColl(trace.OpAllreduce, g.comm, inst, bytes, -1)
+	acc := data
+	n := g.size()
+	for k, round := 1, 0; k < n; k, round = k<<1, round+1 {
+		g.r.proc.Sleep(roundOverhead)
+		if peer := g.vrank + k; peer < n {
+			g.post(peer, collTag(inst, round), bytes, acc)
+		}
+		if peer := g.vrank - k; peer >= 0 {
+			m := g.recv(peer, collTag(inst, round))
+			if combine != nil {
+				acc = combine(m.Data, acc)
+			}
+		}
+	}
+	g.r.endColl(trace.OpAllreduce, g.comm, inst, bytes, -1)
+	return acc
+}
+
+// Comm is a communicator: an ordered subset of world ranks with its own
+// rank numbering, tag space and collective context — the MPI_Comm_split
+// idiom grid codes use for row/column communication.
+type Comm struct {
+	g group
+}
+
+// CommWorld returns this rank's view of the world communicator.
+func (r *Rank) CommWorld() *Comm {
+	return &Comm{g: r.worldGroup()}
+}
+
+// Rank returns this process's rank within the communicator.
+func (c *Comm) Rank() int { return c.g.vrank }
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return c.g.size() }
+
+// ID returns the communicator id recorded in trace events.
+func (c *Comm) ID() int32 { return c.g.comm }
+
+// WorldRank translates a communicator rank to the world rank.
+func (c *Comm) WorldRank(rank int) int { return c.g.members[rank] }
+
+// splitEntry carries one member's split arguments.
+type splitEntry struct {
+	World, Color, Key int
+}
+
+// Split partitions the communicator like MPI_Comm_split: members with the
+// same color form a new communicator, ordered by (key, world rank).
+// Members passing a negative color receive nil (MPI_UNDEFINED). Every
+// member must call Split collectively.
+func (c *Comm) Split(color, key int) *Comm {
+	r := c.g.r
+	// allgather the (color, key) table via gather+bcast on this comm
+	me := splitEntry{World: r.rank, Color: color, Key: key}
+	gathered := c.g.Gather(0, 16, me)
+	table, _ := c.g.Bcast(0, 16*c.Size(), gathered).([]any)
+	entries := make([]splitEntry, 0, len(table))
+	for _, raw := range table {
+		e, ok := raw.(splitEntry)
+		if !ok {
+			panic(fmt.Sprintf("mpi: Split gathered %T", raw))
+		}
+		entries = append(entries, e)
+	}
+	if color < 0 {
+		return nil
+	}
+	var members []splitEntry
+	for _, e := range entries {
+		if e.Color == color {
+			members = append(members, e)
+		}
+	}
+	sort.Slice(members, func(i, j int) bool {
+		if members[i].Key != members[j].Key {
+			return members[i].Key < members[j].Key
+		}
+		return members[i].World < members[j].World
+	})
+	worldRanks := make([]int, len(members))
+	vrank := -1
+	for i, e := range members {
+		worldRanks[i] = e.World
+		if e.World == r.rank {
+			vrank = i
+		}
+	}
+	// deterministic global id: every member derives the same value from
+	// the parent id, this rank's per-parent split counter, and the color
+	seq := r.splitSeq[c.g.comm]
+	r.splitSeq[c.g.comm] = seq + 1
+	id := (c.g.comm+1)*1000 + int32(seq)*64 + int32(color%64) + 1
+	return &Comm{g: group{r: r, members: worldRanks, vrank: vrank, comm: id}}
+}
+
+// Send transmits a message to a communicator rank (traced like Rank.Send,
+// with the communicator's id and the destination's world rank recorded).
+func (c *Comm) Send(dst, tag, bytes int, data any) {
+	r := c.g.r
+	world := c.g.members[dst]
+	if world == r.rank {
+		panic(fmt.Sprintf("mpi: comm %d: Send to self", c.g.comm))
+	}
+	traced := r.tracing
+	if traced {
+		r.EnterRegion("MPI_Send")
+		r.record(trace.Event{Kind: trace.Send, Partner: int32(world), Tag: int32(tag),
+			Bytes: int32(bytes), Comm: c.g.comm, Region: -1, Root: -1})
+	}
+	if bytes > eagerLimit {
+		r.rendezvous(world, tag, c.g.comm, bytes, data)
+	} else {
+		r.post(world, tag, c.g.comm, bytes, data)
+	}
+	if traced {
+		r.ExitRegion("MPI_Send")
+	}
+}
+
+// Recv blocks for a message from a communicator rank (or AnySource).
+// The returned Msg's Source is the communicator rank of the sender.
+func (c *Comm) Recv(src, tag int) Msg {
+	r := c.g.r
+	world := src
+	if src != AnySource {
+		world = c.g.members[src]
+	}
+	traced := r.tracing
+	if traced {
+		r.EnterRegion("MPI_Recv")
+	}
+	m := r.recvFrom(world, tag, c.g.comm)
+	if traced {
+		r.record(trace.Event{Kind: trace.Recv, Partner: int32(m.Source), Tag: int32(m.Tag),
+			Bytes: int32(m.Bytes), Comm: c.g.comm, Region: -1, Root: -1})
+		r.ExitRegion("MPI_Recv")
+	}
+	m.Source = c.g.vrankOf(m.Source)
+	return m
+}
+
+// Barrier blocks until all communicator members entered it.
+func (c *Comm) Barrier() { c.g.Barrier() }
+
+// Bcast broadcasts from the communicator rank root.
+func (c *Comm) Bcast(root, bytes int, data any) any { return c.g.Bcast(root, bytes, data) }
+
+// Reduce combines toward the communicator rank root.
+func (c *Comm) Reduce(root, bytes int, data any, combine func(a, b any) any) any {
+	return c.g.Reduce(root, bytes, data, combine)
+}
+
+// Allreduce combines across the communicator.
+func (c *Comm) Allreduce(bytes int, data any, combine func(a, b any) any) any {
+	return c.g.Allreduce(bytes, data, combine)
+}
+
+// Gather collects at the communicator rank root.
+func (c *Comm) Gather(root, bytes int, data any) []any { return c.g.Gather(root, bytes, data) }
+
+// Scatter distributes from the communicator rank root.
+func (c *Comm) Scatter(root, bytes int, pieces []any) any { return c.g.Scatter(root, bytes, pieces) }
+
+// Allgather distributes every member's data to all members.
+func (c *Comm) Allgather(bytes int) { c.g.Allgather(bytes) }
+
+// Alltoall exchanges between every member pair.
+func (c *Comm) Alltoall(bytes int) { c.g.Alltoall(bytes) }
+
+// Scan computes an inclusive prefix over the communicator.
+func (c *Comm) Scan(bytes int, data any, combine func(a, b any) any) any {
+	return c.g.Scan(bytes, data, combine)
+}

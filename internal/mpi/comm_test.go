@@ -1,0 +1,226 @@
+package mpi
+
+import (
+	"testing"
+
+	"tsync/internal/trace"
+)
+
+func TestCommWorldMirrorsRank(t *testing.T) {
+	w := newTestWorld(t, 4, false)
+	err := w.Run(func(r *Rank) {
+		c := r.CommWorld()
+		if c.Rank() != r.Rank() || c.Size() != r.Size() {
+			t.Errorf("world comm disagrees with rank: %d/%d vs %d/%d",
+				c.Rank(), c.Size(), r.Rank(), r.Size())
+		}
+		v := c.Allreduce(8, 1, func(a, b any) any { return a.(int) + b.(int) })
+		if v.(int) != 4 {
+			t.Errorf("world-comm allreduce = %v", v)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitRowsAndColumns(t *testing.T) {
+	// the grid idiom: 2x4 grid, split into row and column communicators
+	w := newTestWorld(t, 8, false)
+	rowSums := make([]int, 8)
+	colSums := make([]int, 8)
+	err := w.Run(func(r *Rank) {
+		world := r.CommWorld()
+		row := world.Split(r.Rank()/4, r.Rank()%4) // 2 rows of 4
+		col := world.Split(r.Rank()%4, r.Rank()/4) // 4 columns of 2
+		if row.Size() != 4 || col.Size() != 2 {
+			t.Errorf("rank %d: row size %d col size %d", r.Rank(), row.Size(), col.Size())
+			return
+		}
+		if row.Rank() != r.Rank()%4 || col.Rank() != r.Rank()/4 {
+			t.Errorf("rank %d: row rank %d col rank %d", r.Rank(), row.Rank(), col.Rank())
+		}
+		sum := func(a, b any) any { return a.(int) + b.(int) }
+		rowSums[r.Rank()] = row.Allreduce(8, r.Rank(), sum).(int)
+		colSums[r.Rank()] = col.Allreduce(8, r.Rank(), sum).(int)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		wantRow := 0
+		for j := 0; j < 4; j++ {
+			wantRow += (i/4)*4 + j
+		}
+		if rowSums[i] != wantRow {
+			t.Fatalf("rank %d row sum %d, want %d", i, rowSums[i], wantRow)
+		}
+		wantCol := (i % 4) + (i%4 + 4)
+		if colSums[i] != wantCol {
+			t.Fatalf("rank %d col sum %d, want %d", i, colSums[i], wantCol)
+		}
+	}
+}
+
+func TestSplitUndefinedColor(t *testing.T) {
+	w := newTestWorld(t, 4, false)
+	err := w.Run(func(r *Rank) {
+		color := 0
+		if r.Rank() == 3 {
+			color = -1 // MPI_UNDEFINED
+		}
+		c := r.CommWorld().Split(color, r.Rank())
+		if r.Rank() == 3 {
+			if c != nil {
+				t.Errorf("undefined color returned a communicator")
+			}
+			return
+		}
+		if c.Size() != 3 {
+			t.Errorf("rank %d: size %d, want 3", r.Rank(), c.Size())
+		}
+		c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommPointToPoint(t *testing.T) {
+	w := newTestWorld(t, 6, true)
+	err := w.Run(func(r *Rank) {
+		// odd/even communicators; ping within each
+		c := r.CommWorld().Split(r.Rank()%2, r.Rank())
+		if c.Rank() == 0 {
+			c.Send(1, 7, 64, "hi from comm "+string(rune('0'+r.Rank()%2)))
+		} else if c.Rank() == 1 {
+			m := c.Recv(0, 7)
+			if m.Source != 0 {
+				t.Errorf("comm-rank source %d, want 0", m.Source)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := w.Trace()
+	msgs, err := tr.Messages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 2 {
+		t.Fatalf("%d messages traced, want 2", len(msgs))
+	}
+	// comm ids must distinguish the two channels and appear in events
+	comms := map[int32]bool{}
+	for _, m := range msgs {
+		comms[tr.Procs[m.From].Events[m.FromIdx].Comm] = true
+	}
+	if len(comms) != 2 {
+		t.Fatalf("expected 2 distinct comm ids, got %v", comms)
+	}
+}
+
+func TestCommCollectivesTraced(t *testing.T) {
+	w := newTestWorld(t, 4, true)
+	err := w.Run(func(r *Rank) {
+		c := r.CommWorld().Split(r.Rank()%2, r.Rank())
+		c.Barrier()
+		c.Bcast(0, 32, nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := w.Trace()
+	colls, err := tr.Collectives()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// the two Splits each ran a Gather and Bcast on the world comm (4
+	// participants... actually on the parent comm), plus per sub-comm a
+	// barrier and bcast: count only sub-comm ops by comm id > 0
+	var sub int
+	for _, c := range colls {
+		if c.Comm > 0 {
+			sub++
+			if len(c.Begin) != 2 {
+				t.Fatalf("sub-comm collective has %d participants", len(c.Begin))
+			}
+		}
+	}
+	if sub != 4 { // 2 comms × (barrier + bcast)
+		t.Fatalf("%d sub-comm collectives, want 4", sub)
+	}
+	// roots of sub-comm bcasts must be recorded as world ranks
+	for _, c := range colls {
+		if c.Comm > 0 && c.Op == trace.OpBcast {
+			if c.Root != 0 && c.Root != 1 {
+				t.Fatalf("bcast root %d not a world rank of a member", c.Root)
+			}
+		}
+	}
+}
+
+func TestNestedSplit(t *testing.T) {
+	w := newTestWorld(t, 8, false)
+	err := w.Run(func(r *Rank) {
+		half := r.CommWorld().Split(r.Rank()/4, r.Rank())
+		quarter := half.Split(half.Rank()/2, half.Rank())
+		if quarter.Size() != 2 {
+			t.Errorf("nested split size %d", quarter.Size())
+		}
+		v := quarter.Allreduce(8, 1, func(a, b any) any { return a.(int) + b.(int) })
+		if v.(int) != 2 {
+			t.Errorf("nested allreduce %v", v)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommIDsUniqueAcrossSplits(t *testing.T) {
+	w := newTestWorld(t, 4, false)
+	err := w.Run(func(r *Rank) {
+		a := r.CommWorld().Split(0, r.Rank())
+		b := r.CommWorld().Split(r.Rank()%2, r.Rank())
+		c := a.Split(r.Rank()%2, r.Rank())
+		ids := map[int32]bool{0: true, a.ID(): true, b.ID(): true, c.ID(): true}
+		if len(ids) != 4 {
+			t.Errorf("communicator ids collide: %v %v %v", a.ID(), b.ID(), c.ID())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommRendezvous(t *testing.T) {
+	const large = 1 << 20
+	w := newTestWorld(t, 4, false)
+	var sendDone, recvPosted float64
+	err := w.Run(func(r *Rank) {
+		c := r.CommWorld().Split(r.Rank()%2, r.Rank())
+		if c.Rank() == 0 {
+			c.Send(1, 0, large, "bulk")
+			if r.Rank() == 0 {
+				sendDone = r.Now()
+			}
+		} else {
+			r.Compute(5e-3)
+			if r.Rank() == 2 {
+				recvPosted = r.Now()
+			}
+			m := c.Recv(0, 0)
+			if m.Data != "bulk" {
+				t.Errorf("payload lost")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sendDone < recvPosted {
+		t.Fatalf("comm rendezvous send completed at %v before receive at %v", sendDone, recvPosted)
+	}
+}

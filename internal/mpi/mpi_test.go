@@ -1,0 +1,934 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"tsync/internal/clock"
+	"tsync/internal/stats"
+	"tsync/internal/topology"
+	"tsync/internal/trace"
+	"tsync/internal/xrand"
+)
+
+// newTestWorld builds an n-rank inter-node world on the Xeon cluster.
+func newTestWorld(t testing.TB, n int, tracing bool) *World {
+	t.Helper()
+	m := topology.Xeon()
+	pin, err := topology.InterNode(m, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorld(Config{Machine: m, Timer: clock.TSC, Pinning: pin, Seed: 7, Tracing: tracing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestPingPongDelivery(t *testing.T) {
+	w := newTestWorld(t, 2, false)
+	var got Msg
+	err := w.Run(func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Send(1, 5, 64, "hello")
+		} else {
+			got = r.Recv(0, 5)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Source != 0 || got.Tag != 5 || got.Bytes != 64 || got.Data != "hello" {
+		t.Fatalf("bad message: %+v", got)
+	}
+}
+
+func TestMessageLatencyRealistic(t *testing.T) {
+	w := newTestWorld(t, 2, false)
+	var sendT, recvT float64
+	err := w.Run(func(r *Rank) {
+		if r.Rank() == 0 {
+			sendT = r.Now()
+			r.Send(1, 0, 0, nil)
+		} else {
+			r.Recv(0, 0)
+			recvT = r.Now()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := recvT - sendT
+	// inter-node: >= 3.3 µs class l_min, and not absurdly long
+	if elapsed < 3.0e-6 || elapsed > 100e-6 {
+		t.Fatalf("one-way inter-node took %v s", elapsed)
+	}
+}
+
+func TestTrueTimeClockCondition(t *testing.T) {
+	// in true time the clock condition holds by construction; this pins
+	// down that the simulator itself never cheats causality
+	w := newTestWorld(t, 4, true)
+	err := w.Run(func(r *Rank) {
+		n := r.Size()
+		for i := 0; i < 20; i++ {
+			dst := (r.Rank() + 1) % n
+			src := (r.Rank() - 1 + n) % n
+			r.Send(dst, i, 8, nil)
+			r.Recv(src, i)
+			r.Compute(1e-6)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := w.Trace()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := tr.Messages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 4*20 {
+		t.Fatalf("expected 80 messages, got %d", len(msgs))
+	}
+	for _, m := range msgs {
+		s := tr.Procs[m.From].Events[m.FromIdx]
+		rv := tr.Procs[m.To].Events[m.ToIdx]
+		lmin := tr.MinLatencyBetween(m.From, m.To)
+		if rv.True < s.True+lmin-1e-12 {
+			t.Fatalf("true-time clock condition violated: recv %v < send %v + %v", rv.True, s.True, lmin)
+		}
+	}
+}
+
+func TestTracedSendHasEnterExit(t *testing.T) {
+	w := newTestWorld(t, 2, true)
+	err := w.Run(func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Send(1, 0, 16, nil)
+		} else {
+			r.Recv(0, 0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := w.Trace()
+	ev := tr.Procs[0].Events
+	if len(ev) != 3 {
+		t.Fatalf("sender recorded %d events, want Enter/Send/Exit", len(ev))
+	}
+	if ev[0].Kind != trace.Enter || ev[1].Kind != trace.Send || ev[2].Kind != trace.Exit {
+		t.Fatalf("sender events %v %v %v", ev[0].Kind, ev[1].Kind, ev[2].Kind)
+	}
+	if tr.RegionName(ev[0].Region) != "MPI_Send" {
+		t.Fatalf("region name %q", tr.RegionName(ev[0].Region))
+	}
+}
+
+func TestUntracedRunRecordsNothing(t *testing.T) {
+	w := newTestWorld(t, 2, false)
+	err := w.Run(func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Send(1, 0, 16, nil)
+		} else {
+			r.Recv(0, 0)
+		}
+		r.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := w.Trace().EventCount(); n != 0 {
+		t.Fatalf("untraced run recorded %d events", n)
+	}
+}
+
+func TestSetTracingPartialWindow(t *testing.T) {
+	w := newTestWorld(t, 2, false)
+	err := w.Run(func(r *Rank) {
+		exchange := func() {
+			if r.Rank() == 0 {
+				r.Send(1, 0, 8, nil)
+				r.Recv(1, 1)
+			} else {
+				r.Recv(0, 0)
+				r.Send(0, 1, 8, nil)
+			}
+		}
+		exchange() // untraced
+		r.Barrier()
+		r.SetTracing(true)
+		exchange() // traced
+		r.Barrier()
+		r.SetTracing(false)
+		exchange() // untraced
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := w.Trace()
+	msgs, err := tr.Messages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 2 {
+		t.Fatalf("partial trace has %d messages, want 2", len(msgs))
+	}
+}
+
+func TestAnySourceAnyTag(t *testing.T) {
+	w := newTestWorld(t, 3, false)
+	var sources []int
+	err := w.Run(func(r *Rank) {
+		if r.Rank() == 0 {
+			for i := 0; i < 2; i++ {
+				m := r.Recv(AnySource, AnyTag)
+				sources = append(sources, m.Source)
+			}
+		} else {
+			r.Compute(float64(r.Rank()) * 1e-5)
+			r.Send(0, r.Rank()*10, 4, nil)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rank 1 computes less, so its message arrives first
+	if !reflect.DeepEqual(sources, []int{1, 2}) {
+		t.Fatalf("wildcard receive order %v", sources)
+	}
+}
+
+func TestNonOvertakingUnderJitter(t *testing.T) {
+	// a burst of same-channel messages must arrive in send order even
+	// though individual latencies jitter
+	w := newTestWorld(t, 2, false)
+	var order []int
+	err := w.Run(func(r *Rank) {
+		const burst = 200
+		if r.Rank() == 0 {
+			for i := 0; i < burst; i++ {
+				r.Send(1, 0, 8, i)
+			}
+		} else {
+			for i := 0; i < burst; i++ {
+				m := r.Recv(0, 0)
+				order = append(order, m.Data.(int))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("message %d overtook: got payload %d", i, v)
+		}
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	w := newTestWorld(t, 4, false)
+	enter := make([]float64, 4)
+	exit := make([]float64, 4)
+	err := w.Run(func(r *Rank) {
+		r.Compute(float64(r.Rank()) * 1e-4) // staggered arrival
+		enter[r.Rank()] = r.Now()
+		r.Barrier()
+		exit[r.Rank()] = r.Now()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxEnter := enter[0]
+	for _, e := range enter {
+		if e > maxEnter {
+			maxEnter = e
+		}
+	}
+	for i, x := range exit {
+		if x < maxEnter {
+			t.Fatalf("rank %d left the barrier at %v before the last rank entered at %v", i, x, maxEnter)
+		}
+	}
+}
+
+func TestAllreduceCombines(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 3, 5} { // powers of two and not
+		w := newTestWorld(t, n, false)
+		results := make([]int, n)
+		err := w.Run(func(r *Rank) {
+			v := r.Allreduce(8, r.Rank()+1, func(a, b any) any { return a.(int) + b.(int) })
+			results[r.Rank()] = v.(int)
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		want := n * (n + 1) / 2
+		for i, v := range results {
+			if n&(n-1) == 0 && v != want {
+				t.Fatalf("n=%d rank %d: allreduce = %d, want %d", n, i, v, want)
+			}
+			if i == 0 && v != want {
+				// non-power-of-two path: at least the root of the
+				// reduce tree must have the exact sum broadcast back
+				t.Fatalf("n=%d rank 0: allreduce = %d, want %d", n, v, want)
+			}
+		}
+	}
+}
+
+func TestBcastDelivers(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 7, 8} {
+		for root := 0; root < n; root += n/2 + 1 {
+			w := newTestWorld(t, n, false)
+			got := make([]any, n)
+			err := w.Run(func(r *Rank) {
+				var d any
+				if r.Rank() == root {
+					d = "payload"
+				}
+				got[r.Rank()] = r.Bcast(root, 32, d)
+			})
+			if err != nil {
+				t.Fatalf("n=%d root=%d: %v", n, root, err)
+			}
+			for i, v := range got {
+				if v != "payload" {
+					t.Fatalf("n=%d root=%d rank %d got %v", n, root, i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestReduceCombinesAtRoot(t *testing.T) {
+	for _, n := range []int{2, 4, 5, 8} {
+		w := newTestWorld(t, n, false)
+		var rootVal int
+		err := w.Run(func(r *Rank) {
+			v := r.Reduce(0, 8, 1, func(a, b any) any { return a.(int) + b.(int) })
+			if r.Rank() == 0 {
+				rootVal = v.(int)
+			}
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if rootVal != n {
+			t.Fatalf("n=%d: reduce at root = %d, want %d", n, rootVal, n)
+		}
+	}
+}
+
+func TestGatherScatter(t *testing.T) {
+	const n = 5
+	w := newTestWorld(t, n, false)
+	var gathered []any
+	scattered := make([]any, n)
+	err := w.Run(func(r *Rank) {
+		g := r.Gather(2, 8, r.Rank()*r.Rank())
+		if r.Rank() == 2 {
+			gathered = g
+		}
+		var pieces []any
+		if r.Rank() == 1 {
+			pieces = []any{"p0", "p1", "p2", "p3", "p4"}
+		}
+		scattered[r.Rank()] = r.Scatter(1, 8, pieces)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range gathered {
+		if v != i*i {
+			t.Fatalf("gather[%d] = %v", i, v)
+		}
+	}
+	for i, v := range scattered {
+		if v != fmt.Sprintf("p%d", i) {
+			t.Fatalf("scatter[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestAllgatherAlltoallComplete(t *testing.T) {
+	w := newTestWorld(t, 6, false)
+	err := w.Run(func(r *Rank) {
+		r.Allgather(128)
+		r.Alltoall(64)
+		r.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectiveTraceMatched(t *testing.T) {
+	w := newTestWorld(t, 4, true)
+	err := w.Run(func(r *Rank) {
+		r.Barrier()
+		r.Allreduce(8, 0, nil)
+		r.Bcast(1, 64, nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := w.Trace()
+	colls, err := tr.Collectives()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(colls) != 3 {
+		t.Fatalf("got %d collectives, want 3", len(colls))
+	}
+	ops := []trace.CollOp{trace.OpBarrier, trace.OpAllreduce, trace.OpBcast}
+	for i, c := range colls {
+		if c.Op != ops[i] {
+			t.Fatalf("collective %d op %v, want %v", i, c.Op, ops[i])
+		}
+		if len(c.Begin) != 4 || len(c.End) != 4 {
+			t.Fatalf("collective %d has %d/%d participants", i, len(c.Begin), len(c.End))
+		}
+	}
+	// no stray Send/Recv events from internal collective traffic
+	for _, p := range tr.Procs {
+		for _, ev := range p.Events {
+			if ev.Kind == trace.Send || ev.Kind == trace.Recv {
+				t.Fatalf("internal collective traffic leaked into trace: %v", ev.Kind)
+			}
+		}
+	}
+}
+
+func TestAllreduceLatencyTableII(t *testing.T) {
+	// Table II: inter-node allreduce on 4 nodes ~12.86 µs, i.e. a few
+	// times the point-to-point latency
+	var acc stats.Online
+	w := newTestWorld(t, 4, false)
+	starts := make([]float64, 4)
+	err := w.Run(func(r *Rank) {
+		for i := 0; i < 200; i++ {
+			r.Barrier()
+			starts[r.Rank()] = r.Now()
+			r.Allreduce(8, nil, nil)
+			if r.Rank() == 0 {
+				acc.Add(r.Now() - starts[0])
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := acc.Mean()
+	if mean < 8e-6 || mean > 25e-6 {
+		t.Fatalf("4-node allreduce mean %v s, want ~13 µs class", mean)
+	}
+}
+
+func TestWtimeAdvancesAndCosts(t *testing.T) {
+	w := newTestWorld(t, 1, false)
+	err := w.Run(func(r *Rank) {
+		t0 := r.Now()
+		a := r.Wtime()
+		b := r.Wtime()
+		if b <= a {
+			t.Errorf("Wtime not increasing: %v then %v", a, b)
+		}
+		if r.Now() == t0 {
+			t.Errorf("Wtime consumed no simulated time")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicTraces(t *testing.T) {
+	run := func() *trace.Trace {
+		w := newTestWorld(t, 4, true)
+		if err := w.Run(func(r *Rank) {
+			for i := 0; i < 10; i++ {
+				dst := (r.Rank() + 1) % r.Size()
+				src := (r.Rank() - 1 + r.Size()) % r.Size()
+				r.Send(dst, 0, 64, nil)
+				r.Recv(src, 0)
+				r.Allreduce(8, nil, nil)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return w.Trace()
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("identical configs produced different traces")
+	}
+}
+
+func TestDeadlockReported(t *testing.T) {
+	w := newTestWorld(t, 2, false)
+	err := w.Run(func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Recv(1, 0) // never sent
+		}
+	})
+	if err == nil {
+		t.Fatalf("deadlocked job reported success")
+	}
+}
+
+func TestSendToSelfPanics(t *testing.T) {
+	w := newTestWorld(t, 2, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Send to self did not panic")
+		}
+	}()
+	_ = w.Run(func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Send(0, 0, 0, nil)
+		}
+	})
+}
+
+func TestTimestampsDriftApart(t *testing.T) {
+	// the whole point: local timestamps of concurrent events on
+	// different nodes disagree even though true times agree
+	m := topology.Xeon()
+	pin, _ := topology.InterNode(m, 2)
+	w, err := NewWorld(Config{Machine: m, Timer: clock.TSC, Pinning: pin, Seed: 3, Tracing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ts [2]float64
+	if err := w.Run(func(r *Rank) {
+		r.Compute(100) // let drift accumulate
+		r.Barrier()
+		ts[r.Rank()] = r.Wtime()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ts[0]-ts[1]) < 1e-6 {
+		t.Fatalf("unaligned clocks agreed to %v s after 100 s; drift model inert", math.Abs(ts[0]-ts[1]))
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	m := topology.Xeon()
+	if _, err := NewWorld(Config{Machine: m, Timer: clock.TSC}); err == nil {
+		t.Fatalf("empty pinning accepted")
+	}
+	bad := topology.Pinning{{Node: 99}}
+	if _, err := NewWorld(Config{Machine: m, Timer: clock.TSC, Pinning: bad}); err == nil {
+		t.Fatalf("invalid pinning accepted")
+	}
+}
+
+func TestRunTwiceRejected(t *testing.T) {
+	w := newTestWorld(t, 1, false)
+	if err := w.Run(func(r *Rank) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(func(r *Rank) {}); err == nil {
+		t.Fatalf("second Run accepted")
+	}
+}
+
+func BenchmarkPingPong(b *testing.B) {
+	w := newTestWorld(b, 2, false)
+	err := w.Run(func(r *Rank) {
+		for i := 0; i < b.N; i++ {
+			if r.Rank() == 0 {
+				r.Send(1, 0, 8, nil)
+				r.Recv(1, 1)
+			} else {
+				r.Recv(0, 0)
+				r.Send(0, 1, 8, nil)
+			}
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkBarrier32(b *testing.B) {
+	m := topology.Xeon()
+	pin, err := topology.Scheduled(m, 32, xrand.NewSource(9))
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := NewWorld(Config{Machine: m, Timer: clock.TSC, Pinning: pin, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	err = w.Run(func(r *Rank) {
+		for i := 0; i < b.N; i++ {
+			r.Barrier()
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func TestIsendIrecvWait(t *testing.T) {
+	w := newTestWorld(t, 2, true)
+	var got Msg
+	err := w.Run(func(r *Rank) {
+		if r.Rank() == 0 {
+			req := r.Isend(1, 3, 128, "async")
+			if !req.Completed() {
+				t.Errorf("eager Isend not complete")
+			}
+			r.Wait(req)
+		} else {
+			req := r.Irecv(0, 3)
+			r.Compute(1e-5)
+			got = r.Wait(req)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Data != "async" || got.Source != 0 {
+		t.Fatalf("bad message %+v", got)
+	}
+	// the receive event must be recorded inside MPI_Wait
+	tr := w.Trace()
+	var sawRecv bool
+	var inWait bool
+	for _, ev := range tr.Procs[1].Events {
+		switch ev.Kind {
+		case trace.Enter:
+			if tr.RegionName(ev.Region) == "MPI_Wait" {
+				inWait = true
+			}
+		case trace.Exit:
+			inWait = false
+		case trace.Recv:
+			if !inWait {
+				t.Fatalf("Recv event recorded outside MPI_Wait")
+			}
+			sawRecv = true
+		}
+	}
+	if !sawRecv {
+		t.Fatalf("no Recv event recorded")
+	}
+}
+
+func TestIrecvMatchOrder(t *testing.T) {
+	// two posted receives with the same signature must complete in post
+	// order even if the matching messages arrive later
+	w := newTestWorld(t, 2, false)
+	var first, second Msg
+	err := w.Run(func(r *Rank) {
+		if r.Rank() == 1 {
+			a := r.Irecv(0, 0)
+			b := r.Irecv(0, 0)
+			first = r.Wait(a)
+			second = r.Wait(b)
+		} else {
+			r.Compute(1e-4) // ensure receives are posted first
+			r.Send(1, 0, 8, "one")
+			r.Send(1, 0, 8, "two")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Data != "one" || second.Data != "two" {
+		t.Fatalf("posted receives matched out of order: %v, %v", first.Data, second.Data)
+	}
+}
+
+func TestWaitallMixed(t *testing.T) {
+	w := newTestWorld(t, 3, false)
+	err := w.Run(func(r *Rank) {
+		switch r.Rank() {
+		case 0:
+			a := r.Irecv(1, 1)
+			b := r.Irecv(2, 2)
+			c := r.Isend(1, 9, 8, nil)
+			msgs := r.Waitall(a, b, c)
+			if msgs[0].Source != 1 || msgs[1].Source != 2 {
+				t.Errorf("waitall order wrong: %+v", msgs)
+			}
+		case 1:
+			r.Send(0, 1, 8, nil)
+			r.Recv(0, 9)
+		case 2:
+			r.Send(0, 2, 8, nil)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendrecvExchange(t *testing.T) {
+	w := newTestWorld(t, 4, true)
+	vals := make([]int, 4)
+	err := w.Run(func(r *Rank) {
+		n := r.Size()
+		right := (r.Rank() + 1) % n
+		left := (r.Rank() - 1 + n) % n
+		m := r.Sendrecv(right, 0, 64, r.Rank(), left, 0)
+		vals[r.Rank()] = m.Data.(int)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if want := (i - 1 + 4) % 4; v != want {
+			t.Fatalf("rank %d received %d, want %d", i, v, want)
+		}
+	}
+	msgs, err := w.Trace().Messages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 4 {
+		t.Fatalf("traced %d messages, want 4", len(msgs))
+	}
+}
+
+func TestScanPrefix(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7, 8} {
+		w := newTestWorld(t, n, false)
+		got := make([]int, n)
+		err := w.Run(func(r *Rank) {
+			v := r.Scan(8, r.Rank()+1, func(a, b any) any { return a.(int) + b.(int) })
+			got[r.Rank()] = v.(int)
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i, v := range got {
+			want := (i + 1) * (i + 2) / 2
+			if v != want {
+				t.Fatalf("n=%d rank %d: scan = %d, want %d", n, i, v, want)
+			}
+		}
+	}
+}
+
+func TestIsendToSelfPanics(t *testing.T) {
+	w := newTestWorld(t, 2, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Isend to self did not panic")
+		}
+	}()
+	_ = w.Run(func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Isend(0, 0, 0, nil)
+		}
+	})
+}
+
+func TestRendezvousBlocksUntilReceiverArrives(t *testing.T) {
+	// a large Send must not complete before the receiver reaches its
+	// receive (the rendezvous protocol), while a small Send returns
+	// immediately (eager)
+	const large = 1 << 20
+	w := newTestWorld(t, 2, false)
+	var sendDone, recvPosted float64
+	err := w.Run(func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Send(1, 0, large, "bulk")
+			sendDone = r.Now()
+		} else {
+			r.Compute(5e-3) // receiver arrives late
+			recvPosted = r.Now()
+			m := r.Recv(0, 0)
+			if m.Data != "bulk" {
+				t.Errorf("payload lost: %v", m.Data)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sendDone < recvPosted {
+		t.Fatalf("rendezvous Send completed at %v before the receive was posted at %v", sendDone, recvPosted)
+	}
+
+	// eager control: a small send completes long before the late receiver
+	w2 := newTestWorld(t, 2, false)
+	var smallDone float64
+	err = w2.Run(func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Send(1, 0, 64, nil)
+			smallDone = r.Now()
+		} else {
+			r.Compute(5e-3)
+			r.Recv(0, 0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smallDone > 1e-3 {
+		t.Fatalf("eager Send took %v s, appears to have blocked", smallDone)
+	}
+}
+
+func TestRendezvousReceiverFirst(t *testing.T) {
+	// the receive is already posted when the RTS arrives: deliver() must
+	// answer the CTS from scheduler context without deadlock
+	const large = 1 << 20
+	w := newTestWorld(t, 2, false)
+	err := w.Run(func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Compute(5e-3) // sender arrives late
+			r.Send(1, 0, large, "bulk")
+		} else {
+			m := r.Recv(0, 0)
+			if m.Data != "bulk" {
+				t.Errorf("payload lost: %v", m.Data)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRendezvousWithIrecvAndWildcard(t *testing.T) {
+	const large = 1 << 20
+	w := newTestWorld(t, 3, false)
+	err := w.Run(func(r *Rank) {
+		switch r.Rank() {
+		case 0:
+			q := r.Irecv(AnySource, AnyTag)
+			r.Compute(2e-3)
+			m := r.Wait(q)
+			if m.Bytes != large {
+				t.Errorf("got %d bytes", m.Bytes)
+			}
+			// second large message from the other sender, blocking recv
+			m2 := r.Recv(AnySource, AnyTag)
+			if m2.Bytes != large {
+				t.Errorf("second transfer: %d bytes", m2.Bytes)
+			}
+		case 1:
+			r.Send(0, 5, large, nil)
+		case 2:
+			r.Compute(4e-3)
+			r.Send(0, 6, large, nil)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRendezvousTracedTrace(t *testing.T) {
+	const large = 1 << 20
+	w := newTestWorld(t, 2, true)
+	err := w.Run(func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Send(1, 0, large, nil)
+		} else {
+			r.Recv(0, 0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := w.Trace()
+	msgs, err := tr.Messages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 {
+		t.Fatalf("%d messages traced (control traffic leaked?)", len(msgs))
+	}
+	// in true time the receive still follows the send record
+	s := tr.Procs[0].Events[msgs[0].FromIdx]
+	rv := tr.Procs[1].Events[msgs[0].ToIdx]
+	if rv.True < s.True {
+		t.Fatalf("acausal rendezvous trace")
+	}
+}
+
+func TestTrafficStats(t *testing.T) {
+	w := newTestWorld(t, 2, true)
+	err := w.Run(func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Send(1, 0, 100, nil)
+			r.Send(1, 1, 50, nil)
+		} else {
+			r.Recv(0, 0)
+			r.Recv(0, 1)
+		}
+		r.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := w.Traffic()
+	if st[0].SendCount != 2 || st[0].BytesSent != 150 || st[0].CollectiveOps != 1 {
+		t.Fatalf("rank 0 stats %+v", st[0])
+	}
+	if st[1].RecvCount != 2 || st[1].SendCount != 0 {
+		t.Fatalf("rank 1 stats %+v", st[1])
+	}
+}
+
+func TestProbe(t *testing.T) {
+	w := newTestWorld(t, 2, false)
+	err := w.Run(func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Send(1, 3, 8, nil)
+		} else {
+			if r.Probe(0, 3) {
+				t.Errorf("Probe true before delivery")
+			}
+			r.Compute(1e-3)
+			if !r.Probe(0, 3) {
+				t.Errorf("Probe false after delivery")
+			}
+			if !r.Probe(AnySource, AnyTag) {
+				t.Errorf("wildcard Probe false")
+			}
+			if r.Probe(0, 99) {
+				t.Errorf("Probe matched wrong tag")
+			}
+			r.Recv(0, 3)
+			if r.Probe(0, 3) {
+				t.Errorf("Probe true after consumption")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEachMPMD(t *testing.T) {
+	w := newTestWorld(t, 2, false)
+	var got string
+	err := w.RunEach([]func(*Rank){
+		func(r *Rank) { r.Send(1, 0, 8, "mpmd") },
+		func(r *Rank) { got = r.Recv(0, 0).Data.(string) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "mpmd" {
+		t.Fatalf("got %q", got)
+	}
+	if err := w.RunEach(nil); err == nil {
+		t.Fatalf("reuse/size mismatch accepted")
+	}
+}

@@ -1,0 +1,561 @@
+package mpi
+
+import (
+	"fmt"
+
+	"tsync/internal/clock"
+	"tsync/internal/des"
+	"tsync/internal/topology"
+	"tsync/internal/trace"
+)
+
+// Wildcards for Recv.
+const (
+	// AnySource matches messages from every sender.
+	AnySource = -1
+	// AnyTag matches every tag.
+	AnyTag = -1
+)
+
+// Per-call CPU overheads of the MPI library itself (LogP-style o), separate
+// from network latency.
+const (
+	sendOverhead = 0.10e-6
+	recvOverhead = 0.10e-6
+	// eagerLimit is the rendezvous threshold: messages larger than this
+	// block the sender until the receiver has posted a matching receive
+	// (RTS/CTS handshake), like real MPI implementations. Below it, the
+	// eager protocol buffers and returns immediately.
+	eagerLimit = 64 * 1024
+	// collOverhead is the software setup cost of a collective call and
+	// roundOverhead the progress-engine cost of each message round;
+	// together they put a 4-node allreduce in the ~10-13 µs class that
+	// Table II reports.
+	collOverhead  = 1.5e-6
+	roundOverhead = 0.75e-6
+)
+
+// worldComm is the communicator id of the world communicator; each
+// communicator's internal collective traffic uses internalCommOf(id),
+// which never appears in traces.
+const worldComm int32 = 0
+
+// Msg is a received message.
+type Msg struct {
+	Source int
+	Tag    int
+	Bytes  int
+	Data   any
+}
+
+// chanKey identifies a matching channel.
+type chanKey struct {
+	src  int32 // AnySource never appears here; wildcard handled in matching
+	tag  int32
+	comm int32
+}
+
+// inflight is a delivered-but-unconsumed message.
+type inflight struct {
+	msg     Msg
+	arrival float64
+	seq     int // delivery order for deterministic wildcard matching
+}
+
+// Request is the handle of a non-blocking operation. Send requests
+// complete immediately (the eager protocol buffers the payload); receive
+// requests complete when a matching message is delivered. Complete a
+// request with Rank.Wait or Rank.Waitall.
+type Request struct {
+	src, tag  int
+	comm      int32
+	isRecv    bool
+	completed bool
+	msg       Msg
+}
+
+// Completed reports whether the request has finished (test-without-wait,
+// like MPI_Test without the blocking path).
+func (q *Request) Completed() bool { return q.completed }
+
+// Rank is one simulated MPI process. All methods must be called from
+// within the rank's own program function.
+type Rank struct {
+	world      *World
+	proc       *des.Proc
+	rank       int
+	core       topology.CoreID
+	clk        *clock.Clock
+	tracing    bool
+	mailbox    map[chanKey][]*inflight
+	deliverSeq int
+	// posted holds uncompleted receive requests in post order (MPI
+	// matches incoming messages against posted receives in that order);
+	// awaited is the request the rank is currently parked on.
+	posted   []*Request
+	awaited  *Request
+	events   []trace.Event
+	collSeq  map[int32]int32
+	splitSeq map[int32]int32
+}
+
+// Rank returns this process's rank in the world communicator.
+func (r *Rank) Rank() int { return r.rank }
+
+// Size returns the job size.
+func (r *Rank) Size() int { return len(r.world.ranks) }
+
+// Core returns the core this rank is pinned to.
+func (r *Rank) Core() topology.CoreID { return r.core }
+
+// World returns the enclosing job.
+func (r *Rank) World() *World { return r.world }
+
+// Now returns the true simulation time — the oracle, unavailable to real
+// applications but invaluable in tests.
+func (r *Rank) Now() float64 { return r.proc.Now() }
+
+// Clock returns the rank's processor clock.
+func (r *Rank) Clock() *clock.Clock { return r.clk }
+
+// SetTracing toggles event recording for this rank, e.g. to trace only
+// pivotal iterations as the POP experiment does (Fig. 7). Toggle only at
+// points where no traced message is in flight (after a barrier), or the
+// trace will contain half-recorded messages.
+func (r *Rank) SetTracing(on bool) { r.tracing = on }
+
+// Tracing reports whether events are currently recorded.
+func (r *Rank) Tracing() bool { return r.tracing }
+
+// Compute advances the rank's local computation by dt simulated seconds.
+func (r *Rank) Compute(dt float64) { r.proc.Sleep(dt) }
+
+// Wtime reads the rank's clock like MPI_Wtime: it costs read overhead and
+// returns the (drifting, quantized, noisy) local time.
+func (r *Rank) Wtime() float64 {
+	r.proc.Sleep(r.clk.ReadOverhead())
+	return r.clk.Read(r.proc.Now())
+}
+
+// record appends one trace event, paying the clock-read overhead and
+// stamping both the local timestamp and the oracle time.
+func (r *Rank) record(ev trace.Event) {
+	if !r.tracing {
+		return
+	}
+	r.proc.Sleep(r.clk.ReadOverhead())
+	now := r.proc.Now()
+	ev.Time = r.clk.Read(now)
+	ev.True = now
+	r.events = append(r.events, ev)
+}
+
+// EnterRegion records entry into a named code region.
+func (r *Rank) EnterRegion(name string) {
+	r.record(trace.Event{Kind: trace.Enter, Region: r.world.tr.RegionID(name), Partner: -1, Root: -1})
+}
+
+// ExitRegion records exit from a named code region.
+func (r *Rank) ExitRegion(name string) {
+	r.record(trace.Event{Kind: trace.Exit, Region: r.world.tr.RegionID(name), Partner: -1, Root: -1})
+}
+
+// Send transmits a message. Small messages use the eager protocol (the
+// call returns after the send overhead; delivery happens asynchronously
+// after the sampled network latency); messages above the rendezvous
+// threshold first handshake with the receiver, so the call blocks until
+// the receiver has arrived at a matching receive — the protocol switch
+// real MPI implementations make, and a timing effect visible in traces. A
+// traced Send records Enter/Send/Exit like a PMPI wrapper.
+func (r *Rank) Send(dst, tag, bytes int, data any) {
+	if dst < 0 || dst >= r.Size() || dst == r.rank {
+		panic(fmt.Sprintf("mpi: rank %d: Send to invalid destination %d", r.rank, dst))
+	}
+	traced := r.tracing
+	if traced {
+		r.EnterRegion("MPI_Send")
+		r.record(trace.Event{Kind: trace.Send, Partner: int32(dst), Tag: int32(tag),
+			Bytes: int32(bytes), Comm: worldComm, Region: -1, Root: -1})
+	}
+	if bytes > eagerLimit {
+		r.rendezvous(dst, tag, worldComm, bytes, data)
+	} else {
+		r.post(dst, tag, worldComm, bytes, data)
+	}
+	if traced {
+		r.ExitRegion("MPI_Send")
+	}
+}
+
+// rtsCommOf and ctsCommOf reserve per-communicator channel spaces for the
+// rendezvous control messages (request-to-send and clear-to-send).
+func rtsCommOf(comm int32) int32 { return -1000000 - comm }
+func ctsCommOf(comm int32) int32 { return -2000000 - comm }
+
+// isRTSComm reports whether a channel id belongs to the RTS space and
+// returns the application communicator it announces.
+func isRTSComm(comm int32) (int32, bool) {
+	if comm <= -1000000 && comm > -2000000 {
+		return -1000000 - comm, true
+	}
+	return 0, false
+}
+
+// rendezvous implements the large-message handshake: a small RTS travels
+// to the receiver; the receiving side answers with a CTS as soon as it has
+// a matching receive (either already posted, or when it posts one); only
+// then does the payload move. The payload transfer reuses the ordinary
+// channel, so matching and tracing are unchanged.
+func (r *Rank) rendezvous(dst, tag int, comm int32, bytes int, data any) {
+	r.post(dst, tag, rtsCommOf(comm), 0, nil)
+	r.recvFrom(dst, tag, ctsCommOf(comm))
+	r.post(dst, tag, comm, bytes, data)
+}
+
+// post performs the untraced mechanics of message transmission on the
+// given communicator.
+func (r *Rank) post(dst, tag int, comm int32, bytes int, data any) {
+	r.proc.Sleep(sendOverhead)
+	w := r.world
+	lat, err := w.net.Latency(r.core, w.ranks[dst].core, bytes)
+	if err != nil {
+		panic(fmt.Sprintf("mpi: rank %d: %v", r.rank, err))
+	}
+	arrival := w.nonOvertaking(r.rank, dst, r.proc.Now()+lat)
+	src := r.rank
+	target := w.ranks[dst]
+	w.eng.Schedule(arrival, func() {
+		target.deliver(Msg{Source: src, Tag: tag, Bytes: bytes, Data: data}, comm, arrival)
+	})
+}
+
+// deliver runs in scheduler context: match the message against posted
+// receives (in post order, per MPI matching rules) or file it into the
+// mailbox, and wake the receiver if it was parked on the completed
+// request. An arriving RTS that already has a matching posted receive is
+// answered with a CTS immediately instead of being filed.
+func (r *Rank) deliver(m Msg, comm int32, arrival float64) {
+	if appComm, ok := isRTSComm(comm); ok {
+		for _, q := range r.posted {
+			if matches(q, m, appComm) {
+				r.world.sendControl(r.rank, m.Source, m.Tag, ctsCommOf(appComm))
+				return
+			}
+		}
+		// no receive yet: file the RTS; postRecv answers it later
+	}
+	for i, q := range r.posted {
+		if !matches(q, m, comm) {
+			continue
+		}
+		q.completed = true
+		q.msg = m
+		r.posted = append(r.posted[:i:i], r.posted[i+1:]...)
+		if r.awaited == q {
+			r.awaited = nil
+			r.world.eng.Wake(r.proc)
+		}
+		return
+	}
+	inf := &inflight{msg: m, arrival: arrival, seq: r.deliverSeq}
+	r.deliverSeq++
+	k := chanKey{src: int32(m.Source), tag: int32(m.Tag), comm: comm}
+	r.mailbox[k] = append(r.mailbox[k], inf)
+}
+
+func matches(q *Request, m Msg, comm int32) bool {
+	if q.comm != comm {
+		return false
+	}
+	if q.src != AnySource && q.src != m.Source {
+		return false
+	}
+	if q.tag != AnyTag && q.tag != m.Tag {
+		return false
+	}
+	return true
+}
+
+func (r *Rank) removeFromMailbox(k chanKey, inf *inflight) {
+	q := r.mailbox[k]
+	for i, e := range q {
+		if e == inf {
+			r.mailbox[k] = append(q[:i:i], q[i+1:]...)
+			return
+		}
+	}
+	panic("mpi: inflight message vanished from mailbox")
+}
+
+// findDelivered returns the earliest-delivered mailbox entry matching the
+// (src, tag, comm) pattern, or nil.
+func (r *Rank) findDelivered(src, tag int, comm int32) (chanKey, *inflight) {
+	var bestKey chanKey
+	var best *inflight
+	for k, q := range r.mailbox {
+		if len(q) == 0 || k.comm != comm {
+			continue
+		}
+		if src != AnySource && int32(src) != k.src {
+			continue
+		}
+		if tag != AnyTag && int32(tag) != k.tag {
+			continue
+		}
+		if best == nil || q[0].seq < best.seq {
+			bestKey, best = k, q[0]
+		}
+	}
+	return bestKey, best
+}
+
+// Recv blocks until a matching message arrives and returns it. src may be
+// AnySource and tag may be AnyTag. A traced Recv records Enter/Recv/Exit.
+func (r *Rank) Recv(src, tag int) Msg {
+	traced := r.tracing
+	if traced {
+		r.EnterRegion("MPI_Recv")
+	}
+	m := r.recvFrom(src, tag, worldComm)
+	if traced {
+		r.record(trace.Event{Kind: trace.Recv, Partner: int32(m.Source), Tag: int32(m.Tag),
+			Bytes: int32(m.Bytes), Comm: worldComm, Region: -1, Root: -1})
+		r.ExitRegion("MPI_Recv")
+	}
+	return m
+}
+
+// postRecv registers a receive request: it consumes an already-delivered
+// matching message if one exists (earliest delivery first), otherwise the
+// request joins the posted list.
+func (r *Rank) postRecv(src, tag int, comm int32) *Request {
+	if src != AnySource && (src < 0 || src >= r.Size()) {
+		panic(fmt.Sprintf("mpi: rank %d: receive from invalid source %d", r.rank, src))
+	}
+	q := &Request{src: src, tag: tag, comm: comm, isRecv: true}
+	// answer one pending rendezvous announcement for this signature, so
+	// the blocked sender may start the payload transfer
+	if comm >= 0 {
+		if k, inf := r.findDelivered(src, tag, rtsCommOf(comm)); inf != nil {
+			r.removeFromMailbox(k, inf)
+			r.post(inf.msg.Source, inf.msg.Tag, ctsCommOf(comm), 0, nil)
+		}
+	}
+	if k, inf := r.findDelivered(src, tag, comm); inf != nil {
+		r.removeFromMailbox(k, inf)
+		q.completed = true
+		q.msg = inf.msg
+		return q
+	}
+	r.posted = append(r.posted, q)
+	return q
+}
+
+// await blocks until the request completes.
+func (r *Rank) await(q *Request) Msg {
+	if !q.completed {
+		if r.awaited != nil {
+			panic(fmt.Sprintf("mpi: rank %d: nested waits", r.rank))
+		}
+		r.awaited = q
+		r.proc.Park(fmt.Sprintf("Wait(src=%d, tag=%d, comm=%d)", q.src, q.tag, q.comm))
+		if !q.completed {
+			panic("mpi: woken waiter has an incomplete request")
+		}
+	}
+	return q.msg
+}
+
+// recvFrom performs the untraced mechanics of a blocking receive.
+func (r *Rank) recvFrom(src, tag int, comm int32) Msg {
+	r.proc.Sleep(recvOverhead)
+	return r.await(r.postRecv(src, tag, comm))
+}
+
+// ---- collectives ----
+
+// nextInstance returns this rank's next collective sequence number on a
+// communicator. SPMD programs call collectives in the same order on every
+// rank, so the per-rank counters agree globally.
+func (r *Rank) nextInstance(comm int32) int32 {
+	n := r.collSeq[comm]
+	r.collSeq[comm] = n + 1
+	return n
+}
+
+// beginColl records CollBegin and pays the collective setup cost.
+func (r *Rank) beginColl(op trace.CollOp, comm, instance int32, bytes, root int) {
+	r.record(trace.Event{Kind: trace.CollBegin, Op: op, Instance: instance,
+		Bytes: int32(bytes), Comm: comm, Root: int32(root), Partner: -1, Region: -1})
+	r.proc.Sleep(collOverhead)
+}
+
+// endColl records CollEnd.
+func (r *Rank) endColl(op trace.CollOp, comm, instance int32, bytes, root int) {
+	r.record(trace.Event{Kind: trace.CollEnd, Op: op, Instance: instance,
+		Bytes: int32(bytes), Comm: comm, Root: int32(root), Partner: -1, Region: -1})
+}
+
+// worldGroup is the group view of the world communicator.
+func (r *Rank) worldGroup() group {
+	members := make([]int, r.Size())
+	for i := range members {
+		members[i] = i
+	}
+	return group{r: r, members: members, vrank: r.rank, comm: worldComm}
+}
+
+// Barrier blocks until all ranks have entered it.
+func (r *Rank) Barrier() {
+	r.worldGroup().Barrier()
+}
+
+// Bcast broadcasts data from root; every rank returns the root's data.
+func (r *Rank) Bcast(root, bytes int, data any) any {
+	return r.worldGroup().Bcast(root, bytes, data)
+}
+
+// Reduce combines data toward root; the root returns the combined value,
+// other ranks return their partial accumulations. combine may be nil when
+// only timing matters.
+func (r *Rank) Reduce(root, bytes int, data any, combine func(a, b any) any) any {
+	return r.worldGroup().Reduce(root, bytes, data, combine)
+}
+
+// Allreduce combines data across all ranks. Like production MPI libraries
+// it uses recursive doubling for power-of-two sizes (log2 N exchange
+// rounds, the latency class of Table II's "inter node collective latency")
+// and reduce-to-0 followed by broadcast otherwise.
+func (r *Rank) Allreduce(bytes int, data any, combine func(a, b any) any) any {
+	return r.worldGroup().Allreduce(bytes, data, combine)
+}
+
+// Gather collects every rank's data at root; the root returns a slice
+// indexed by rank, others return nil.
+func (r *Rank) Gather(root, bytes int, data any) []any {
+	return r.worldGroup().Gather(root, bytes, data)
+}
+
+// Scatter distributes per-rank data from root; every rank returns its
+// piece. At non-root ranks the pieces argument is ignored.
+func (r *Rank) Scatter(root, bytes int, pieces []any) any {
+	return r.worldGroup().Scatter(root, bytes, pieces)
+}
+
+// Allgather distributes every rank's data to all ranks via dissemination
+// timing; returns nothing (payloads are synthetic).
+func (r *Rank) Allgather(bytes int) {
+	r.worldGroup().Allgather(bytes)
+}
+
+// Alltoall exchanges bytes between every rank pair using the pairwise
+// rounds algorithm.
+func (r *Rank) Alltoall(bytes int) {
+	r.worldGroup().Alltoall(bytes)
+}
+
+// Scan computes an inclusive prefix reduction: rank i returns the
+// combination of the data of ranks 0..i. Implemented with the standard
+// recursive-doubling prefix algorithm.
+func (r *Rank) Scan(bytes int, data any, combine func(a, b any) any) any {
+	return r.worldGroup().Scan(bytes, data, combine)
+}
+
+// ---- non-blocking point-to-point ----
+
+// Isend starts a non-blocking send. The model always buffers eagerly for
+// non-blocking sends (the rendezvous handshake applies to blocking Send
+// only), so the returned request is already complete; it exists so codes
+// written against the MPI idiom (post all sends, then wait) run unchanged.
+// A traced Isend records Enter/Send/Exit.
+func (r *Rank) Isend(dst, tag, bytes int, data any) *Request {
+	if dst < 0 || dst >= r.Size() || dst == r.rank {
+		panic(fmt.Sprintf("mpi: rank %d: Isend to invalid destination %d", r.rank, dst))
+	}
+	traced := r.tracing
+	if traced {
+		r.EnterRegion("MPI_Isend")
+		r.record(trace.Event{Kind: trace.Send, Partner: int32(dst), Tag: int32(tag),
+			Bytes: int32(bytes), Comm: worldComm, Region: -1, Root: -1})
+	}
+	r.post(dst, tag, worldComm, bytes, data)
+	if traced {
+		r.ExitRegion("MPI_Isend")
+	}
+	return &Request{src: r.rank, tag: tag, comm: worldComm, completed: true}
+}
+
+// Irecv posts a non-blocking receive and returns its request. The message
+// is obtained with Wait (which records the Recv event, as real tracers do
+// in MPI_Wait).
+func (r *Rank) Irecv(src, tag int) *Request {
+	traced := r.tracing
+	if traced {
+		r.EnterRegion("MPI_Irecv")
+	}
+	r.proc.Sleep(recvOverhead)
+	q := r.postRecv(src, tag, worldComm)
+	if traced {
+		r.ExitRegion("MPI_Irecv")
+	}
+	return q
+}
+
+// Wait blocks until the request completes and returns its message (zero
+// Msg for send requests). A traced Wait on a receive records the Recv
+// event at completion.
+func (r *Rank) Wait(q *Request) Msg {
+	traced := r.tracing
+	if traced {
+		r.EnterRegion("MPI_Wait")
+	}
+	m := r.await(q)
+	if traced {
+		if q.isRecv {
+			r.record(trace.Event{Kind: trace.Recv, Partner: int32(m.Source), Tag: int32(m.Tag),
+				Bytes: int32(m.Bytes), Comm: worldComm, Region: -1, Root: -1})
+		}
+		r.ExitRegion("MPI_Wait")
+	}
+	return m
+}
+
+// Waitall completes all requests and returns their messages in request
+// order.
+func (r *Rank) Waitall(reqs ...*Request) []Msg {
+	out := make([]Msg, len(reqs))
+	for i, q := range reqs {
+		out[i] = r.Wait(q)
+	}
+	return out
+}
+
+// Sendrecv performs a simultaneous send and receive, the deadlock-free
+// exchange idiom of halo codes. The send side is always eager (a
+// rendezvous handshake inside a symmetric exchange would deadlock).
+func (r *Rank) Sendrecv(dst, sendTag, bytes int, data any, src, recvTag int) Msg {
+	traced := r.tracing
+	if traced {
+		r.EnterRegion("MPI_Sendrecv")
+		r.record(trace.Event{Kind: trace.Send, Partner: int32(dst), Tag: int32(sendTag),
+			Bytes: int32(bytes), Comm: worldComm, Region: -1, Root: -1})
+	}
+	r.post(dst, sendTag, worldComm, bytes, data)
+	r.proc.Sleep(recvOverhead)
+	m := r.await(r.postRecv(src, recvTag, worldComm))
+	if traced {
+		r.record(trace.Event{Kind: trace.Recv, Partner: int32(m.Source), Tag: int32(m.Tag),
+			Bytes: int32(m.Bytes), Comm: worldComm, Region: -1, Root: -1})
+		r.ExitRegion("MPI_Sendrecv")
+	}
+	return m
+}
+
+// Probe reports whether a message matching (src, tag) has been delivered
+// and is waiting to be received (MPI_Iprobe semantics: non-blocking,
+// wildcards allowed). It costs a small query overhead.
+func (r *Rank) Probe(src, tag int) bool {
+	r.proc.Sleep(0.02e-6)
+	_, inf := r.findDelivered(src, tag, worldComm)
+	return inf != nil
+}

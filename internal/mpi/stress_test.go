@@ -1,0 +1,154 @@
+package mpi
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tsync/internal/clock"
+	"tsync/internal/topology"
+	"tsync/internal/xrand"
+)
+
+// TestRandomCommunicationPatterns generates random message schedules and
+// verifies the simulation terminates with a fully matched, causally valid
+// trace — failure injection for the matching and scheduling machinery.
+func TestRandomCommunicationPatterns(t *testing.T) {
+	rng := xrand.NewSource(77)
+	check := func(seedRaw uint16) bool {
+		s := rng.Sub(string(rune(seedRaw)))
+		n := 2 + s.Intn(6)
+		nMsgs := 1 + s.Intn(40)
+		type msg struct{ from, to int }
+		schedule := make([]msg, nMsgs)
+		recvCount := make([]int, n)
+		for i := range schedule {
+			from := s.Intn(n)
+			to := s.Intn(n - 1)
+			if to >= from {
+				to++
+			}
+			schedule[i] = msg{from, to}
+			recvCount[to]++
+		}
+		m := topology.Xeon()
+		pin, err := topology.Scheduled(m, n, s.Sub("pin"))
+		if err != nil {
+			return false
+		}
+		w, err := NewWorld(Config{Machine: m, Timer: clock.TSC, Pinning: pin, Seed: uint64(seedRaw), Tracing: true})
+		if err != nil {
+			return false
+		}
+		if err := w.Run(func(r *Rank) {
+			// interleave: send own messages, then drain with wildcards
+			for i, sc := range schedule {
+				if sc.from == r.Rank() {
+					r.Send(sc.to, i, 16, i)
+				}
+			}
+			for k := 0; k < recvCount[r.Rank()]; k++ {
+				r.Recv(AnySource, AnyTag)
+			}
+		}); err != nil {
+			return false
+		}
+		tr := w.Trace()
+		if err := tr.Validate(); err != nil {
+			return false
+		}
+		msgs, err := tr.Messages()
+		if err != nil {
+			return false
+		}
+		if len(msgs) != nMsgs {
+			return false
+		}
+		// causality in true time always holds
+		for _, mm := range msgs {
+			if tr.Procs[mm.To].Events[mm.ToIdx].True < tr.Procs[mm.From].Events[mm.FromIdx].True {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRandomNonblockingPatterns exercises Isend/Irecv/Waitall under random
+// pair exchanges.
+func TestRandomNonblockingPatterns(t *testing.T) {
+	rng := xrand.NewSource(88)
+	check := func(seedRaw uint16) bool {
+		s := rng.Sub(string(rune(seedRaw)))
+		n := 2 + 2*s.Intn(3) // even sizes: 2, 4, 6
+		rounds := 1 + s.Intn(10)
+		m := topology.Xeon()
+		pin, err := topology.InterNode(m, n)
+		if err != nil {
+			return false
+		}
+		w, err := NewWorld(Config{Machine: m, Timer: clock.TSC, Pinning: pin, Seed: uint64(seedRaw) + 1, Tracing: true})
+		if err != nil {
+			return false
+		}
+		ok := true
+		if err := w.Run(func(r *Rank) {
+			partner := r.Rank() ^ 1
+			for round := 0; round < rounds; round++ {
+				rq := r.Irecv(partner, round)
+				sq := r.Isend(partner, round, 64, r.Rank()*1000+round)
+				msgs := r.Waitall(rq, sq)
+				if msgs[0].Data.(int) != partner*1000+round {
+					ok = false
+				}
+			}
+		}); err != nil {
+			return false
+		}
+		if !ok {
+			return false
+		}
+		msgs, err := w.Trace().Messages()
+		return err == nil && len(msgs) == n*rounds
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCollectiveStorm runs every collective back to back across odd and
+// even sizes, checking the engine drains completely.
+func TestCollectiveStorm(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8} {
+		w := newTestWorld(t, n, true)
+		err := w.Run(func(r *Rank) {
+			for i := 0; i < 5; i++ {
+				r.Barrier()
+				r.Allreduce(8, nil, nil)
+				r.Bcast(i%n, 64, nil)
+				r.Reduce((i+1)%n, 8, nil, nil)
+				r.Gather(0, 8, nil)
+				r.Scatter(0, 8, make([]any, n))
+				r.Allgather(32)
+				r.Alltoall(16)
+				r.Scan(8, nil, nil)
+			}
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		tr := w.Trace()
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		colls, err := tr.Collectives()
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(colls) != 5*9 {
+			t.Fatalf("n=%d: %d collectives, want 45", n, len(colls))
+		}
+	}
+}

@@ -1,0 +1,238 @@
+// Package mpi is the message-passing substrate: a simulated MPI library
+// running on the discrete-event engine. Rank programs are ordinary Go
+// functions using a blocking API (Send/Recv/collectives); the simulator
+// provides realistic timing from the interconnect model and timestamps from
+// the simulated processor clocks, producing exactly the kind of event trace
+// a PMPI-interposition tracing library records (Section III of the paper).
+//
+// Collective operations are implemented as rounds of internal (untraced)
+// point-to-point messages using textbook algorithms (binomial trees,
+// dissemination), so their latencies and happened-before structure emerge
+// from the network model rather than being postulated — the trace records
+// only CollBegin/CollEnd, as real tracers do.
+package mpi
+
+import (
+	"fmt"
+
+	"tsync/internal/clock"
+	"tsync/internal/des"
+	"tsync/internal/netmodel"
+	"tsync/internal/topology"
+	"tsync/internal/trace"
+)
+
+// Config describes a simulated MPI job.
+type Config struct {
+	Machine topology.Machine
+	Timer   clock.Kind
+	// Pinning maps ranks to cores; its length is the job size.
+	Pinning topology.Pinning
+	Seed    uint64
+	// Tracing sets the initial tracing state of every rank (ranks can
+	// toggle it at runtime, e.g. for partial traces as in the POP
+	// experiment of Fig. 7).
+	Tracing bool
+	// Net overrides the interconnect model; nil selects the machine
+	// family's calibrated model.
+	Net *netmodel.Model
+}
+
+// World is one simulated MPI job.
+type World struct {
+	cfg     Config
+	eng     *des.Engine
+	cluster *topology.Cluster
+	net     *netmodel.Model
+	ranks   []*Rank
+	tr      *trace.Trace
+	// chanLast tracks the last delivery time per directed rank pair to
+	// enforce MPI's non-overtaking rule under latency jitter.
+	chanLast map[[2]int]float64
+	ran      bool
+}
+
+// NewWorld builds the job: cluster clocks, network, and one Rank per
+// pinning entry.
+func NewWorld(cfg Config) (*World, error) {
+	if len(cfg.Pinning) == 0 {
+		return nil, fmt.Errorf("mpi: empty pinning")
+	}
+	if err := cfg.Pinning.Validate(cfg.Machine); err != nil {
+		return nil, err
+	}
+	preset := clock.PresetFor(cfg.Timer, cfg.Machine.Family)
+	cluster, err := topology.NewCluster(cfg.Machine, preset, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	net := cfg.Net
+	if net == nil {
+		net = netmodel.ForMachine(cfg.Machine.Family, cfg.Seed^0x9e3779b97f4a7c15)
+	}
+	w := &World{
+		cfg:      cfg,
+		eng:      des.New(),
+		cluster:  cluster,
+		net:      net,
+		chanLast: make(map[[2]int]float64),
+		tr: &trace.Trace{
+			Machine: cfg.Machine.Name,
+			Timer:   cfg.Timer.String(),
+		},
+	}
+	// l_min table for the clock condition, from the 0-byte network minima
+	probe := func(a, b topology.CoreID) float64 {
+		l, err := net.MinLatency(a, b, 0)
+		if err != nil {
+			return 0
+		}
+		return l
+	}
+	w.tr.MinLatency[topology.SameChip] = probe(topology.CoreID{Core: 0}, topology.CoreID{Core: 1})
+	if cfg.Machine.ChipsPerNode > 1 {
+		w.tr.MinLatency[topology.SameNode] = probe(topology.CoreID{Chip: 0}, topology.CoreID{Chip: 1})
+	} else {
+		w.tr.MinLatency[topology.SameNode] = w.tr.MinLatency[topology.SameChip]
+	}
+	if cfg.Machine.Nodes > 1 {
+		w.tr.MinLatency[topology.CrossNode] = probe(topology.CoreID{Node: 0}, topology.CoreID{Node: 1})
+	} else {
+		w.tr.MinLatency[topology.CrossNode] = w.tr.MinLatency[topology.SameNode]
+	}
+	for rank, core := range cfg.Pinning {
+		clk, err := cluster.Clock(core)
+		if err != nil {
+			return nil, err
+		}
+		w.ranks = append(w.ranks, &Rank{
+			world:    w,
+			rank:     rank,
+			core:     core,
+			clk:      clk,
+			tracing:  cfg.Tracing,
+			mailbox:  make(map[chanKey][]*inflight),
+			collSeq:  make(map[int32]int32),
+			splitSeq: make(map[int32]int32),
+		})
+	}
+	return w, nil
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.ranks) }
+
+// Engine exposes the event engine (for tests and advanced drivers).
+func (w *World) Engine() *des.Engine { return w.eng }
+
+// Cluster exposes the clock fabric.
+func (w *World) Cluster() *topology.Cluster { return w.cluster }
+
+// Net exposes the interconnect model.
+func (w *World) Net() *netmodel.Model { return w.net }
+
+// Run executes program on every rank (SPMD) and drives the simulation to
+// completion. It can be called once per World.
+func (w *World) Run(program func(*Rank)) error {
+	if w.ran {
+		return fmt.Errorf("mpi: World.Run called twice")
+	}
+	w.ran = true
+	for _, r := range w.ranks {
+		r := r
+		r.proc = w.eng.Spawn(fmt.Sprintf("rank%d", r.rank), 0, func(p *des.Proc) {
+			program(r)
+		})
+	}
+	return w.eng.Run()
+}
+
+// Trace assembles and returns the recorded event trace. Call after Run.
+func (w *World) Trace() *trace.Trace {
+	w.tr.Procs = w.tr.Procs[:0]
+	for _, r := range w.ranks {
+		w.tr.Procs = append(w.tr.Procs, trace.Proc{
+			Rank:   r.rank,
+			Core:   r.core,
+			Clock:  r.clk.Name(),
+			Events: r.events,
+		})
+	}
+	return w.tr
+}
+
+// sendControl dispatches a zero-byte control message (rendezvous CTS)
+// from scheduler context — no sender-side overhead, just network latency.
+func (w *World) sendControl(from, to, tag int, comm int32) {
+	lat, err := w.net.Latency(w.ranks[from].core, w.ranks[to].core, 0)
+	if err != nil {
+		panic(fmt.Sprintf("mpi: control message: %v", err))
+	}
+	arrival := w.nonOvertaking(from, to, w.eng.Now()+lat)
+	target := w.ranks[to]
+	w.eng.Schedule(arrival, func() {
+		target.deliver(Msg{Source: from, Tag: tag}, comm, arrival)
+	})
+}
+
+// nonOvertaking clamps a candidate arrival time so messages on the same
+// directed rank pair arrive in send order.
+func (w *World) nonOvertaking(from, to int, arrival float64) float64 {
+	k := [2]int{from, to}
+	if last, ok := w.chanLast[k]; ok && arrival < last {
+		arrival = last
+	}
+	w.chanLast[k] = arrival
+	return arrival
+}
+
+// TrafficStats summarizes a rank's communication volume after Run.
+type TrafficStats struct {
+	Rank          int
+	SendCount     int
+	RecvCount     int
+	BytesSent     int64
+	CollectiveOps int
+}
+
+// Traffic returns per-rank communication statistics derived from the
+// recorded trace events (traced operations only).
+func (w *World) Traffic() []TrafficStats {
+	out := make([]TrafficStats, len(w.ranks))
+	for i, r := range w.ranks {
+		st := TrafficStats{Rank: i}
+		for _, ev := range r.events {
+			switch ev.Kind {
+			case trace.Send:
+				st.SendCount++
+				st.BytesSent += int64(ev.Bytes)
+			case trace.Recv:
+				st.RecvCount++
+			case trace.CollBegin:
+				st.CollectiveOps++
+			}
+		}
+		out[i] = st
+	}
+	return out
+}
+
+// RunEach executes a distinct program per rank (MPMD), unlike Run's SPMD
+// model. programs must have exactly one entry per rank.
+func (w *World) RunEach(programs []func(*Rank)) error {
+	if len(programs) != len(w.ranks) {
+		return fmt.Errorf("mpi: %d programs for %d ranks", len(programs), len(w.ranks))
+	}
+	if w.ran {
+		return fmt.Errorf("mpi: World.Run called twice")
+	}
+	w.ran = true
+	for i, r := range w.ranks {
+		r := r
+		prog := programs[i]
+		r.proc = w.eng.Spawn(fmt.Sprintf("rank%d", r.rank), 0, func(p *des.Proc) {
+			prog(r)
+		})
+	}
+	return w.eng.Run()
+}

@@ -1,0 +1,211 @@
+// Package netmodel provides the interconnect latency substrate. Message
+// latency depends on where the endpoints sit in the node/chip/core
+// hierarchy (Table II of the paper: 4.29 µs inter-node over InfiniBand,
+// 0.86 µs inter-chip, 0.47 µs inter-core on the Xeon cluster), on message
+// size, and on stochastic network conditions (Section III.c: "messages
+// exchanged between the same pair of locations may take differently long
+// each time").
+package netmodel
+
+import (
+	"fmt"
+	"math"
+
+	"tsync/internal/topology"
+	"tsync/internal/xrand"
+)
+
+// LinkParams describes the latency distribution of one proximity class.
+type LinkParams struct {
+	Base     float64 // minimum latency l_min in seconds
+	Jitter   float64 // mean of the exponential jitter on top of Base
+	TailProb float64 // probability of a congestion tail event
+	TailMean float64 // mean extra delay of a tail event (exponential)
+	PerByte  float64 // bandwidth term, seconds per byte
+	// AsymSigma is the scale of the fixed per-directed-route extra delay
+	// (half-normal). Routes through a switched fabric differ in length
+	// and adapter placement, so the forward and return paths of a pair
+	// are not equally long — exactly the asymmetry that bounds the
+	// accuracy of Cristian's method (Section III.c: "error correction
+	// based on assumptions about the message latency remains
+	// challenging").
+	AsymSigma float64
+}
+
+// Sample draws one latency for a message of the given size.
+func (l LinkParams) Sample(bytes int, rng *xrand.Source) float64 {
+	d := l.Base + float64(bytes)*l.PerByte
+	if l.Jitter > 0 {
+		d += rng.Exponential(l.Jitter)
+	}
+	if l.TailProb > 0 && rng.Bool(l.TailProb) {
+		d += rng.Exponential(l.TailMean)
+	}
+	return d
+}
+
+// Min returns the minimum latency for a message of the given size — the
+// l_min of the clock condition (Eq. 1).
+func (l LinkParams) Min(bytes int) float64 {
+	return l.Base + float64(bytes)*l.PerByte
+}
+
+// Torus describes an optional 3-D torus interconnect (the Cray SeaStar of
+// the Opteron system): inter-node latency grows with the Manhattan hop
+// distance between the nodes' positions in the torus.
+type Torus struct {
+	X, Y, Z int
+	// PerHop is the router traversal cost per hop beyond the first.
+	PerHop float64
+}
+
+// Hops returns the minimal hop count between two node ids placed in the
+// torus in x-major order.
+func (t Torus) Hops(a, b int) int {
+	if t.X <= 0 || t.Y <= 0 || t.Z <= 0 {
+		return 1
+	}
+	coord := func(n int) (int, int, int) {
+		return n % t.X, (n / t.X) % t.Y, n / (t.X * t.Y) % t.Z
+	}
+	wrap := func(d, size int) int {
+		if d < 0 {
+			d = -d
+		}
+		if size-d < d {
+			d = size - d
+		}
+		return d
+	}
+	ax, ay, az := coord(a)
+	bx, by, bz := coord(b)
+	h := wrap(ax-bx, t.X) + wrap(ay-by, t.Y) + wrap(az-bz, t.Z)
+	if h < 1 {
+		h = 1
+	}
+	return h
+}
+
+// Model maps core pairs to latency distributions.
+type Model struct {
+	InterNode LinkParams
+	InterChip LinkParams
+	InterCore LinkParams
+	// TorusNet, when non-zero, adds per-hop router costs to inter-node
+	// latency based on torus positions.
+	TorusNet Torus
+	seed     uint64
+	rng      *xrand.Source
+	asym     map[[2]topology.CoreID]float64
+}
+
+// New builds a model with its private random stream.
+func New(interNode, interChip, interCore LinkParams, seed uint64) *Model {
+	return &Model{
+		InterNode: interNode,
+		InterChip: interChip,
+		InterCore: interCore,
+		seed:      seed,
+		rng:       xrand.NewSource(seed),
+		asym:      make(map[[2]topology.CoreID]float64),
+	}
+}
+
+// asymmetry returns the fixed extra delay of the directed route from one
+// core to another. It is derived statelessly from the model seed and the
+// endpoints, so the value does not depend on the order in which routes are
+// first used.
+func (m *Model) asymmetry(from, to topology.CoreID, p LinkParams) float64 {
+	if p.AsymSigma <= 0 {
+		return 0
+	}
+	key := [2]topology.CoreID{from, to}
+	if v, ok := m.asym[key]; ok {
+		return v
+	}
+	label := fmt.Sprintf("route/%v->%v", from, to)
+	v := math.Abs(xrand.NewSource(m.seed^0x7fb5d329728ea185).Sub(label).Normal(0, p.AsymSigma))
+	m.asym[key] = v
+	return v
+}
+
+// ForMachine returns the calibrated latency model of a machine family. The
+// Xeon numbers reproduce Table II; the other families scale them by their
+// interconnect class (Myrinet and SeaStar have slightly higher small-message
+// latency than InfiniBand).
+func ForMachine(family string, seed uint64) *Model {
+	// jitter means are small relative to Base: Table II's standard
+	// deviations are tiny, and the Cristian minimum-filtering in
+	// internal/measure depends on most samples sitting near l_min.
+	xeonNode := LinkParams{Base: 3.0e-6, Jitter: 0.09e-6, TailProb: 2e-3, TailMean: 12e-6, PerByte: 0.8e-9, AsymSigma: 1.8e-6}
+	xeonChip := LinkParams{Base: 0.76e-6, Jitter: 0.02e-6, TailProb: 5e-4, TailMean: 4e-6, PerByte: 0.25e-9, AsymSigma: 0.08e-6}
+	xeonCore := LinkParams{Base: 0.42e-6, Jitter: 0.01e-6, TailProb: 5e-4, TailMean: 4e-6, PerByte: 0.2e-9, AsymSigma: 0.04e-6}
+	switch family {
+	case "ppc":
+		return New(
+			LinkParams{Base: 4.0e-6, Jitter: 0.15e-6, TailProb: 3e-3, TailMean: 15e-6, PerByte: 1.1e-9, AsymSigma: 2.0e-6},
+			LinkParams{Base: 0.82e-6, Jitter: 0.03e-6, TailProb: 5e-4, TailMean: 4e-6, PerByte: 0.3e-9, AsymSigma: 0.1e-6},
+			LinkParams{Base: 0.46e-6, Jitter: 0.012e-6, TailProb: 5e-4, TailMean: 4e-6, PerByte: 0.22e-9, AsymSigma: 0.05e-6},
+			seed)
+	case "opteron":
+		m := New(
+			LinkParams{Base: 4.6e-6, Jitter: 0.2e-6, TailProb: 3e-3, TailMean: 15e-6, PerByte: 0.9e-9, AsymSigma: 2.0e-6},
+			LinkParams{Base: 0.82e-6, Jitter: 0.03e-6, TailProb: 5e-4, TailMean: 4e-6, PerByte: 0.3e-9, AsymSigma: 0.1e-6},
+			LinkParams{Base: 0.5e-6, Jitter: 0.012e-6, TailProb: 5e-4, TailMean: 4e-6, PerByte: 0.22e-9, AsymSigma: 0.05e-6},
+			seed)
+		// the XT3's SeaStars form a 3-D torus (~3744 nodes); each extra
+		// router hop costs ~50 ns
+		m.TorusNet = Torus{X: 16, Y: 16, Z: 15, PerHop: 0.05e-6}
+		return m
+	case "itanium":
+		// a single SMP node: only intra-node classes matter
+		return New(
+			LinkParams{Base: 3.0e-6, Jitter: 0.09e-6, TailProb: 2e-3, TailMean: 12e-6, PerByte: 0.8e-9, AsymSigma: 1.8e-6},
+			LinkParams{Base: 0.72e-6, Jitter: 0.02e-6, TailProb: 5e-4, TailMean: 4e-6, PerByte: 0.25e-9, AsymSigma: 0.08e-6},
+			LinkParams{Base: 0.41e-6, Jitter: 0.01e-6, TailProb: 5e-4, TailMean: 4e-6, PerByte: 0.2e-9, AsymSigma: 0.04e-6},
+			seed)
+	default: // xeon and anything unknown
+		return New(xeonNode, xeonChip, xeonCore, seed)
+	}
+}
+
+// params selects the distribution for a core pair.
+func (m *Model) params(from, to topology.CoreID) (LinkParams, error) {
+	switch topology.Relate(from, to) {
+	case topology.CrossNode:
+		return m.InterNode, nil
+	case topology.SameNode:
+		return m.InterChip, nil
+	case topology.SameChip:
+		return m.InterCore, nil
+	default:
+		return LinkParams{}, fmt.Errorf("netmodel: message from core %v to itself", from)
+	}
+}
+
+// Latency samples the latency of one message between two cores, including
+// the route's fixed directional asymmetry and, on torus networks, the
+// per-hop router cost.
+func (m *Model) Latency(from, to topology.CoreID, bytes int) (float64, error) {
+	p, err := m.params(from, to)
+	if err != nil {
+		return 0, err
+	}
+	lat := p.Sample(bytes, m.rng) + m.asymmetry(from, to, p)
+	if m.TorusNet.PerHop > 0 && from.Node != to.Node {
+		lat += float64(m.TorusNet.Hops(from.Node, to.Node)-1) * m.TorusNet.PerHop
+	}
+	return lat, nil
+}
+
+// MinLatency returns l_min for a message between two cores — the bound the
+// clock condition (Eq. 1) uses and the correction algorithms assume. It is
+// the class minimum without the per-route asymmetry, because a tool only
+// knows the conservative lower bound, not the actual route.
+func (m *Model) MinLatency(from, to topology.CoreID, bytes int) (float64, error) {
+	p, err := m.params(from, to)
+	if err != nil {
+		return 0, err
+	}
+	return p.Min(bytes), nil
+}

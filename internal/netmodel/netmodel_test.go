@@ -1,0 +1,214 @@
+package netmodel
+
+import (
+	"math"
+	"testing"
+
+	"tsync/internal/stats"
+	"tsync/internal/topology"
+	"tsync/internal/xrand"
+)
+
+func TestLatencyNeverBelowMin(t *testing.T) {
+	m := ForMachine("xeon", 1)
+	from := topology.CoreID{Node: 0}
+	to := topology.CoreID{Node: 1}
+	min, err := m.MinLatency(from, to, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50000; i++ {
+		l, err := m.Latency(from, to, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l < min {
+			t.Fatalf("sampled latency %v below l_min %v", l, min)
+		}
+	}
+}
+
+func TestTableIIOrdering(t *testing.T) {
+	// Table II: inter-node > inter-chip > inter-core on every machine
+	for _, fam := range []string{"xeon", "ppc", "opteron", "itanium"} {
+		m := ForMachine(fam, 2)
+		var means [3]float64
+		pairs := []struct {
+			a, b topology.CoreID
+		}{
+			{topology.CoreID{Node: 0}, topology.CoreID{Node: 1}},
+			{topology.CoreID{Chip: 0}, topology.CoreID{Chip: 1}},
+			{topology.CoreID{Core: 0}, topology.CoreID{Core: 1}},
+		}
+		for i, p := range pairs {
+			var acc stats.Online
+			for j := 0; j < 5000; j++ {
+				l, err := m.Latency(p.a, p.b, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				acc.Add(l)
+			}
+			means[i] = acc.Mean()
+		}
+		if !(means[0] > means[1] && means[1] > means[2]) {
+			t.Fatalf("%s: latency ordering violated: node=%v chip=%v core=%v", fam, means[0], means[1], means[2])
+		}
+	}
+}
+
+func TestXeonMagnitudesMatchTableII(t *testing.T) {
+	m := ForMachine("xeon", 3)
+	var acc stats.Online
+	for i := 0; i < 20000; i++ {
+		l, _ := m.Latency(topology.CoreID{Node: 0}, topology.CoreID{Node: 1}, 0)
+		acc.Add(l)
+	}
+	// paper: 4.29 µs mean inter-node; accept ±15%
+	if mean := acc.Mean(); mean < 3.6e-6 || mean > 5.0e-6 {
+		t.Fatalf("inter-node mean latency %v s, want ~4.29 µs", mean)
+	}
+}
+
+func TestPerByteTerm(t *testing.T) {
+	m := ForMachine("xeon", 4)
+	small, _ := m.MinLatency(topology.CoreID{Node: 0}, topology.CoreID{Node: 1}, 0)
+	big, _ := m.MinLatency(topology.CoreID{Node: 0}, topology.CoreID{Node: 1}, 1<<20)
+	if big <= small {
+		t.Fatalf("megabyte message not slower than empty message: %v vs %v", big, small)
+	}
+}
+
+func TestSelfMessageRejected(t *testing.T) {
+	m := ForMachine("xeon", 5)
+	c := topology.CoreID{Node: 1, Chip: 1, Core: 1}
+	if _, err := m.Latency(c, c, 0); err == nil {
+		t.Fatalf("message to self must error")
+	}
+	if _, err := m.MinLatency(c, c, 0); err == nil {
+		t.Fatalf("MinLatency to self must error")
+	}
+}
+
+func TestJitterTailExists(t *testing.T) {
+	m := ForMachine("xeon", 6)
+	min, _ := m.MinLatency(topology.CoreID{Node: 0}, topology.CoreID{Node: 1}, 0)
+	var max float64
+	for i := 0; i < 30000; i++ {
+		l, _ := m.Latency(topology.CoreID{Node: 0}, topology.CoreID{Node: 1}, 0)
+		if l > max {
+			max = l
+		}
+	}
+	if max < min+5e-6 {
+		t.Fatalf("congestion tail never fired: max latency %v", max)
+	}
+}
+
+func TestDeterministicStreams(t *testing.T) {
+	sample := func() []float64 {
+		m := ForMachine("ppc", 42)
+		var out []float64
+		for i := 0; i < 100; i++ {
+			l, _ := m.Latency(topology.CoreID{Node: 0}, topology.CoreID{Node: 1}, 128)
+			out = append(out, l)
+		}
+		return out
+	}
+	a, b := sample(), sample()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("latency stream diverged at %d", i)
+		}
+	}
+}
+
+func TestLinkParamsSampleComponents(t *testing.T) {
+	rng := xrand.NewSource(9)
+	p := LinkParams{Base: 1e-6, PerByte: 1e-9}
+	// no jitter configured: sample must equal Base + bytes*PerByte
+	if got, want := p.Sample(1000, rng), 1e-6+1000*1e-9; math.Abs(got-want) > 1e-18 {
+		t.Fatalf("Sample = %v, want %v", got, want)
+	}
+	if got, want := p.Min(1000), 1e-6+1000*1e-9; math.Abs(got-want) > 1e-18 {
+		t.Fatalf("Min = %v", got)
+	}
+}
+
+func BenchmarkLatencySample(b *testing.B) {
+	m := ForMachine("xeon", 1)
+	from := topology.CoreID{Node: 0}
+	to := topology.CoreID{Node: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Latency(from, to, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestTorusHops(t *testing.T) {
+	tor := Torus{X: 4, Y: 4, Z: 4}
+	cases := []struct {
+		a, b, want int
+	}{
+		{0, 1, 1},  // +1 in x
+		{0, 3, 1},  // wraparound in x
+		{0, 4, 1},  // +1 in y
+		{0, 5, 2},  // +1 x, +1 y
+		{0, 21, 3}, // +1 in each dimension
+		{0, 0, 1},  // floor at one hop
+		{0, 2, 2},  // two hops in x
+	}
+	for _, c := range cases {
+		if got := tor.Hops(c.a, c.b); got != c.want {
+			t.Fatalf("Hops(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if tor.Hops(c.b, c.a) != tor.Hops(c.a, c.b) {
+			t.Fatalf("Hops not symmetric for (%d,%d)", c.a, c.b)
+		}
+	}
+	// zero-size torus degrades to one hop
+	if (Torus{}).Hops(0, 99) != 1 {
+		t.Fatalf("empty torus not degraded")
+	}
+}
+
+func TestOpteronTorusDistanceMatters(t *testing.T) {
+	m := ForMachine("opteron", 9)
+	near := topology.CoreID{Node: 1}
+	far := topology.CoreID{Node: 8 + 8*16 + 7*16*16} // ~max distance corner
+	src := topology.CoreID{Node: 0}
+	var nearAcc, farAcc stats.Online
+	for i := 0; i < 3000; i++ {
+		l1, err := m.Latency(src, near, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l2, err := m.Latency(src, far, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nearAcc.Add(l1)
+		farAcc.Add(l2)
+	}
+	// the far corner is 8+8+7=23 hops: ~22*50ns = 1.1 µs above a neighbour
+	gap := farAcc.Mean() - nearAcc.Mean()
+	if gap < 0.5e-6 || gap > 3e-6 {
+		t.Fatalf("torus distance effect %v s out of band", gap)
+	}
+	// the Xeon fat-tree model has no such effect
+	x := ForMachine("xeon", 9)
+	var xa, xb stats.Online
+	for i := 0; i < 3000; i++ {
+		l1, _ := x.Latency(src, near, 0)
+		l2, _ := x.Latency(src, topology.CoreID{Node: 50}, 0)
+		xa.Add(l1)
+		xb.Add(l2)
+	}
+	if d := math.Abs(xb.Mean() - xa.Mean()); d > 1.5e-6 {
+		// per-route asymmetry differs, but there is no systematic
+		// distance trend of the torus kind
+		t.Logf("xeon route difference %v (asymmetry only)", d)
+	}
+}

@@ -1,0 +1,442 @@
+// Package omp is the shared-memory substrate: a simulated OpenMP runtime
+// on one SMP node, emitting traces under the POMP event model (Mohr et
+// al.), as the paper's Itanium experiments do (Figs. 3 and 8). A parallel
+// region produces, per instance: a Fork and Join on the master thread and
+// Enter / BarrierEnter / BarrierExit / Exit on every thread (the implicit
+// barrier of a parallel-for construct).
+//
+// The timing model captures what makes small thread counts vulnerable to
+// clock-condition violations (Fig. 8): fork, barrier-release and join
+// latencies all grow with the team size because of cache-line contention,
+// while the clock offsets between chips stay fixed at a fraction of a
+// microsecond. With few threads the synchronization gaps are smaller than
+// the inter-chip clock disagreement; with many threads they dominate it.
+package omp
+
+import (
+	"fmt"
+
+	"tsync/internal/clock"
+	"tsync/internal/des"
+	"tsync/internal/measure"
+	"tsync/internal/topology"
+	"tsync/internal/trace"
+	"tsync/internal/xrand"
+)
+
+// Timing holds the synchronization cost model of the simulated runtime.
+// All values are seconds.
+type Timing struct {
+	// ForkBase + ForkContention*threads is the delay before the first
+	// worker observes the fork; ForkStagger*i is added for worker i.
+	ForkBase       float64
+	ForkContention float64
+	ForkStagger    float64
+	// ReleaseBase + ReleaseContention*threads is the delay between the
+	// last barrier arrival and the first thread leaving; ReleaseStagger*i
+	// staggers the remaining threads.
+	ReleaseBase       float64
+	ReleaseContention float64
+	ReleaseStagger    float64
+	// JoinBase + JoinContention*threads is the delay between the last
+	// thread's region exit and the master's join.
+	JoinBase       float64
+	JoinContention float64
+	// Noise is the exponential-noise mean added to each of the above.
+	Noise float64
+}
+
+// DefaultTiming is calibrated so that the violation percentages of Fig. 8
+// reproduce: >75 % of regions affected at 4 threads, a sharp drop toward
+// 8-12 threads, and none at 16.
+func DefaultTiming() Timing {
+	return Timing{
+		ForkBase:          0.10e-6,
+		ForkContention:    0.125e-6,
+		ForkStagger:       0.10e-6,
+		ReleaseBase:       0.12e-6,
+		ReleaseContention: 0.125e-6,
+		ReleaseStagger:    0.06e-6,
+		JoinBase:          0.0,
+		JoinContention:    0.11e-6,
+		Noise:             0.05e-6,
+	}
+}
+
+// Config describes a simulated OpenMP run.
+type Config struct {
+	Machine topology.Machine // must have at least one node
+	Timer   clock.Kind
+	Threads int
+	Seed    uint64
+	Timing  *Timing // nil selects DefaultTiming
+	// Pinning overrides thread placement; nil selects ScatteredThreads
+	// (the unpinned-OS placement of the paper's experiments).
+	Pinning topology.Pinning
+}
+
+// Team is one simulated OpenMP thread team.
+type Team struct {
+	cfg     Config
+	timing  Timing
+	eng     *des.Engine
+	cluster *topology.Cluster
+	rng     *xrand.Source
+	threads []*thread
+	tr      *trace.Trace
+
+	// per-region synchronization state
+	barrierCount   int
+	barrierBlocked []*thread
+	doneCount      int
+	masterParked   bool
+}
+
+type thread struct {
+	id     int
+	core   topology.CoreID
+	clk    *clock.Clock
+	proc   *des.Proc
+	events []trace.Event
+	team   *Team
+}
+
+// NewTeam builds the team: clocks per core and one simulated thread per
+// team member.
+func NewTeam(cfg Config) (*Team, error) {
+	if cfg.Threads < 1 {
+		return nil, fmt.Errorf("omp: need at least one thread, got %d", cfg.Threads)
+	}
+	pin := cfg.Pinning
+	var err error
+	if pin == nil {
+		pin, err = topology.ScatteredThreads(cfg.Machine, cfg.Threads)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(pin) != cfg.Threads {
+		return nil, fmt.Errorf("omp: pinning covers %d threads, want %d", len(pin), cfg.Threads)
+	}
+	if err := pin.Validate(cfg.Machine); err != nil {
+		return nil, err
+	}
+	preset := clock.PresetFor(cfg.Timer, cfg.Machine.Family)
+	cluster, err := topology.NewCluster(cfg.Machine, preset, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	timing := DefaultTiming()
+	if cfg.Timing != nil {
+		timing = *cfg.Timing
+	}
+	tm := &Team{
+		cfg:     cfg,
+		timing:  timing,
+		eng:     des.New(),
+		cluster: cluster,
+		rng:     xrand.NewSource(cfg.Seed ^ 0xabcdef12345),
+		tr: &trace.Trace{
+			Machine: cfg.Machine.Name,
+			Timer:   cfg.Timer.String(),
+			// lower bounds of shared-memory synchronization visibility
+			// (cache-line transfer costs), the l_min analog for POMP
+			// happened-before edges
+			MinLatency: [4]float64{0, 0.02e-6, 0.05e-6, 0.2e-6},
+		},
+	}
+	for i, core := range pin {
+		clk, err := cluster.Clock(core)
+		if err != nil {
+			return nil, err
+		}
+		tm.threads = append(tm.threads, &thread{id: i, core: core, clk: clk, team: tm})
+	}
+	return tm, nil
+}
+
+// noise draws one exponential noise sample.
+func (tm *Team) noise() float64 {
+	if tm.timing.Noise <= 0 {
+		return 0
+	}
+	return tm.rng.Exponential(tm.timing.Noise)
+}
+
+// record appends one POMP event with the thread's clock reading.
+func (th *thread) record(kind trace.Kind, region, instance int32) {
+	th.proc.Sleep(th.clk.ReadOverhead())
+	now := th.proc.Now()
+	th.events = append(th.events, trace.Event{
+		Kind:     kind,
+		Time:     th.clk.Read(now),
+		True:     now,
+		Region:   region,
+		Instance: instance,
+		Partner:  -1,
+		Root:     -1,
+	})
+}
+
+// RunParallelFor executes `regions` instances of a parallel-for construct
+// (a parallel region with an implicit barrier, the benchmark of Fig. 8).
+// work(threadID, region) returns the body duration for one thread in one
+// region instance. It returns the recorded trace.
+func (tm *Team) RunParallelFor(regionName string, regions int, work func(thread, region int) float64) (*trace.Trace, error) {
+	if regions < 1 {
+		return nil, fmt.Errorf("omp: need at least one region, got %d", regions)
+	}
+	regionID := tm.tr.RegionID(regionName)
+	n := len(tm.threads)
+
+	for _, th := range tm.threads {
+		th := th
+		if th.id == 0 {
+			th.proc = tm.eng.Spawn("omp-master", 0, func(p *des.Proc) {
+				for reg := 0; reg < regions; reg++ {
+					inst := int32(reg)
+					th.record(trace.Fork, regionID, inst)
+					// wake the workers with contention-scaled latency
+					for i := 1; i < n; i++ {
+						w := tm.threads[i]
+						delay := tm.timing.ForkBase + tm.timing.ForkContention*float64(n) +
+							tm.timing.ForkStagger*float64(i) + tm.noise()
+						tm.eng.Schedule(p.Now()+delay, func() { tm.eng.Wake(w.proc) })
+					}
+					tm.runBody(th, regionID, inst, work(0, reg))
+					// join: wait until every thread left the region
+					if tm.doneCount < n {
+						tm.masterParked = true
+						p.Park("join")
+					}
+					tm.doneCount = 0
+					p.Sleep(tm.timing.JoinBase + tm.timing.JoinContention*float64(n) + tm.noise())
+					th.record(trace.Join, regionID, inst)
+				}
+			})
+		} else {
+			th.proc = tm.eng.Spawn(fmt.Sprintf("omp-worker%d", th.id), 0, func(p *des.Proc) {
+				for reg := 0; reg < regions; reg++ {
+					p.Park("waiting for fork")
+					tm.runBody(th, regionID, int32(reg), work(th.id, reg))
+				}
+			})
+		}
+	}
+	if err := tm.eng.Run(); err != nil {
+		return nil, err
+	}
+	tm.tr.Procs = tm.tr.Procs[:0]
+	for _, th := range tm.threads {
+		tm.tr.Procs = append(tm.tr.Procs, trace.Proc{
+			Rank:   th.id,
+			Core:   th.core,
+			Clock:  th.clk.Name(),
+			Events: th.events,
+		})
+	}
+	return tm.tr, nil
+}
+
+// runBody executes one thread's share of a region: enter, work, implicit
+// barrier, exit, completion signalling.
+func (tm *Team) runBody(th *thread, regionID, inst int32, workDur float64) {
+	th.record(trace.Enter, regionID, inst)
+	th.proc.Sleep(workDur)
+	tm.barrier(th, regionID, inst)
+	th.record(trace.Exit, regionID, inst)
+	tm.doneCount++
+	if tm.doneCount == len(tm.threads) && tm.masterParked {
+		tm.masterParked = false
+		tm.eng.Wake(tm.threads[0].proc)
+	}
+}
+
+// barrier implements the implicit barrier: a centralized counter with
+// contention-scaled release.
+func (tm *Team) barrier(th *thread, regionID, inst int32) {
+	n := len(tm.threads)
+	th.record(trace.BarrierEnter, regionID, inst)
+	tm.barrierCount++
+	if tm.barrierCount < n {
+		tm.barrierBlocked = append(tm.barrierBlocked, th)
+		th.proc.Park("barrier")
+	} else {
+		// last arrival releases everyone
+		tm.barrierCount = 0
+		blocked := tm.barrierBlocked
+		tm.barrierBlocked = nil
+		base := th.proc.Now() + tm.timing.ReleaseBase + tm.timing.ReleaseContention*float64(n)
+		for k, w := range blocked {
+			w := w
+			delay := base + tm.timing.ReleaseStagger*float64(k) + tm.noise()
+			tm.eng.Schedule(delay, func() { tm.eng.Wake(w.proc) })
+		}
+		// the releasing thread leaves after the release broadcast cost
+		th.proc.Sleep(base + tm.timing.ReleaseStagger*float64(len(blocked)) + tm.noise() - th.proc.Now())
+	}
+	th.record(trace.BarrierExit, regionID, inst)
+}
+
+// MeasureOffsets estimates each thread's clock offset relative to the
+// master thread with Cristian-style probes over shared memory (a flag
+// bounce through the cache hierarchy instead of a network message). It
+// answers the question the paper leaves open for OpenMP: "Whether offset
+// alignment or interpolation can alleviate the errors remains to be
+// evaluated." The returned table is indexed by thread id; entry 0 is the
+// master with offset 0. Call before RunParallelFor on a fresh team, or
+// after it completed.
+func (tm *Team) MeasureOffsets(reps int) ([]measure.Offset, error) {
+	if reps <= 0 {
+		return nil, fmt.Errorf("omp: reps must be positive, got %d", reps)
+	}
+	// cache-line bounce latency between two cores of the node
+	bounce := func(a, b topology.CoreID) float64 {
+		if topology.Relate(a, b) == topology.SameChip {
+			return 0.04e-6
+		}
+		return 0.09e-6
+	}
+	table := make([]measure.Offset, len(tm.threads))
+	eng := des.New()
+	// fresh readers share the threads' oscillators but keep their own
+	// monotonic state, so probing never disturbs (and is not disturbed
+	// by) the traced run
+	readers := make([]*clock.Clock, len(tm.threads))
+	for i, th := range tm.threads {
+		rd, err := tm.cluster.NewReader(th.core, fmt.Sprintf("probe%d", i))
+		if err != nil {
+			return nil, err
+		}
+		readers[i] = rd
+	}
+	master := tm.threads[0]
+	// a dedicated measurement engine: threads respond to probes in turn
+	type probeState struct {
+		workerParked *des.Proc
+		t0           float64
+		ready        bool
+	}
+	states := make([]probeState, len(tm.threads))
+	for i := 1; i < len(tm.threads); i++ {
+		i := i
+		eng.Spawn(fmt.Sprintf("probe-worker%d", i), 0, func(p *des.Proc) {
+			for rep := 0; rep < reps; rep++ {
+				states[i].workerParked = p
+				p.Park("awaiting probe")
+				p.Sleep(readers[i].ReadOverhead())
+				states[i].t0 = readers[i].Read(p.Now())
+				states[i].ready = true
+			}
+		})
+	}
+	eng.Spawn("probe-master", 0, func(p *des.Proc) {
+		table[0] = measure.Offset{Rank: 0, WorkerTime: readers[0].Read(p.Now())}
+		for i := 1; i < len(tm.threads); i++ {
+			th := tm.threads[i]
+			best := measure.Offset{Rank: i, RTT: -1}
+			for rep := 0; rep < reps; rep++ {
+				p.Sleep(readers[0].ReadOverhead())
+				t1 := readers[0].Read(p.Now())
+				// flag travels to the worker's cache
+				p.Sleep(bounce(master.core, th.core) + tm.noise())
+				eng.Wake(states[i].workerParked)
+				// worker stamps; response flag travels back
+				for !states[i].ready {
+					p.Sleep(0.01e-6)
+				}
+				states[i].ready = false
+				p.Sleep(bounce(th.core, master.core) + tm.noise())
+				p.Sleep(readers[0].ReadOverhead())
+				t2 := readers[0].Read(p.Now())
+				rtt := t2 - t1
+				if best.RTT < 0 || rtt < best.RTT {
+					best = measure.Offset{Rank: i, WorkerTime: states[i].t0, Offset: t1 + rtt/2 - states[i].t0, RTT: rtt}
+				}
+			}
+			table[i] = best
+		}
+	})
+	if err := eng.Run(); err != nil {
+		return nil, err
+	}
+	return table, nil
+}
+
+// Schedule selects the loop work-sharing policy of RunLoop.
+type Schedule int
+
+const (
+	// Static assigns each thread a contiguous block of iterations up
+	// front (OpenMP schedule(static)).
+	Static Schedule = iota
+	// Dynamic lets threads pull chunks from a shared queue as they
+	// finish (OpenMP schedule(dynamic, chunk)); it evens out imbalance
+	// at the cost of contention, narrowing the barrier-arrival spread
+	// that makes small teams vulnerable to clock-condition violations.
+	Dynamic
+)
+
+// RunLoop executes parallel-for regions whose body is an iteration space
+// shared among the threads under the given schedule. iterTime returns the
+// duration of one iteration. Chunk applies to Dynamic (Static ignores it).
+func (tm *Team) RunLoop(regionName string, regions, iterations, chunk int, sched Schedule, iterTime func(iter, region int) float64) (*trace.Trace, error) {
+	if iterations < 1 {
+		return nil, fmt.Errorf("omp: need at least one iteration, got %d", iterations)
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	n := len(tm.threads)
+	// the dequeue cost models the synchronized increment of the shared
+	// chunk cursor
+	const dequeueCost = 0.05e-6
+	// Per-thread load per region: Static as contiguous blocks; Dynamic as
+	// greedy list scheduling over chunks — the standard approximation of
+	// threads pulling work as they finish.
+	loads := func(region int) []float64 {
+		out := make([]float64, n)
+		switch sched {
+		case Static:
+			per := (iterations + n - 1) / n
+			for th := 0; th < n; th++ {
+				lo := th * per
+				hi := lo + per
+				if hi > iterations {
+					hi = iterations
+				}
+				for i := lo; i < hi; i++ {
+					out[th] += iterTime(i, region)
+				}
+			}
+		case Dynamic:
+			// greedy list scheduling: each chunk goes to the least
+			// loaded thread, the classic dynamic-schedule approximation
+			for lo := 0; lo < iterations; lo += chunk {
+				hi := lo + chunk
+				if hi > iterations {
+					hi = iterations
+				}
+				dur := dequeueCost
+				for i := lo; i < hi; i++ {
+					dur += iterTime(i, region)
+				}
+				least := 0
+				for th := 1; th < n; th++ {
+					if out[th] < out[least] {
+						least = th
+					}
+				}
+				out[least] += dur
+			}
+		}
+		return out
+	}
+	perRegion := make([][]float64, regions)
+	for reg := 0; reg < regions; reg++ {
+		perRegion[reg] = loads(reg)
+	}
+	return tm.RunParallelFor(regionName, regions, func(thread, region int) float64 {
+		return perRegion[region][thread]
+	})
+}

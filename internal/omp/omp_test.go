@@ -1,0 +1,341 @@
+package omp
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"tsync/internal/analysis"
+	"tsync/internal/clock"
+	"tsync/internal/topology"
+	"tsync/internal/trace"
+)
+
+func runBench(t testing.TB, threads, regions int, seed uint64) *trace.Trace {
+	t.Helper()
+	tm, err := NewTeam(Config{
+		Machine: topology.Itanium(),
+		Timer:   clock.TSC,
+		Threads: threads,
+		Seed:    seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := tm.RunParallelFor("parallel-for", regions, func(thread, region int) float64 {
+		return 5e-6 + float64(thread%3)*0.5e-6
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestTraceStructure(t *testing.T) {
+	tr := runBench(t, 4, 10, 1)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Procs) != 4 {
+		t.Fatalf("%d procs", len(tr.Procs))
+	}
+	// master: Fork, Enter, BarrierEnter, BarrierExit, Exit, Join per region
+	if got := len(tr.Procs[0].Events); got != 10*6 {
+		t.Fatalf("master has %d events, want 60", got)
+	}
+	// workers: Enter, BarrierEnter, BarrierExit, Exit per region
+	for i := 1; i < 4; i++ {
+		if got := len(tr.Procs[i].Events); got != 10*4 {
+			t.Fatalf("worker %d has %d events, want 40", i, got)
+		}
+	}
+	// event order on the master
+	kinds := []trace.Kind{trace.Fork, trace.Enter, trace.BarrierEnter, trace.BarrierExit, trace.Exit, trace.Join}
+	for i, ev := range tr.Procs[0].Events {
+		if ev.Kind != kinds[i%6] {
+			t.Fatalf("master event %d is %v, want %v", i, ev.Kind, kinds[i%6])
+		}
+		if ev.Instance != int32(i/6) {
+			t.Fatalf("master event %d instance %d", i, ev.Instance)
+		}
+	}
+}
+
+func TestTrueTimeSemanticsHold(t *testing.T) {
+	// in true time, fork precedes all, join follows all, barriers overlap
+	tr := runBench(t, 8, 20, 2)
+	type region struct {
+		fork, join              float64
+		minEv, maxEv            float64
+		maxBarEnter, minBarExit float64
+		n                       int
+	}
+	regions := map[int32]*region{}
+	for _, p := range tr.Procs {
+		for _, ev := range p.Events {
+			r, ok := regions[ev.Instance]
+			if !ok {
+				r = &region{minBarExit: 1e18, minEv: 1e18}
+				regions[ev.Instance] = r
+			}
+			switch ev.Kind {
+			case trace.Fork:
+				r.fork = ev.True
+			case trace.Join:
+				r.join = ev.True
+			case trace.BarrierEnter:
+				if ev.True > r.maxBarEnter {
+					r.maxBarEnter = ev.True
+				}
+			case trace.BarrierExit:
+				if ev.True < r.minBarExit {
+					r.minBarExit = ev.True
+				}
+			}
+			if ev.Kind != trace.Fork && ev.Kind != trace.Join {
+				if ev.True < r.minEv {
+					r.minEv = ev.True
+				}
+				if ev.True > r.maxEv {
+					r.maxEv = ev.True
+				}
+				r.n++
+			}
+		}
+	}
+	if len(regions) != 20 {
+		t.Fatalf("%d regions", len(regions))
+	}
+	for inst, r := range regions {
+		if r.fork > r.minEv {
+			t.Fatalf("region %d: fork at %v after first event %v (true time)", inst, r.fork, r.minEv)
+		}
+		if r.join < r.maxEv {
+			t.Fatalf("region %d: join at %v before last event %v (true time)", inst, r.join, r.maxEv)
+		}
+		if r.minBarExit < r.maxBarEnter {
+			t.Fatalf("region %d: barrier did not overlap in true time", inst)
+		}
+	}
+}
+
+func TestFig8ViolationShape(t *testing.T) {
+	// the headline result: many violated regions at 4 threads, none (or
+	// nearly none) at 16
+	pct := map[int]float64{}
+	for _, threads := range []int{4, 16} {
+		// average over a few seeds like the paper's three repetitions
+		total, bad := 0, 0
+		for seed := uint64(0); seed < 3; seed++ {
+			tr := runBench(t, threads, 50, 100+seed)
+			c, err := analysis.POMPCensusOf(tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += c.Regions
+			bad += c.Any
+		}
+		pct[threads] = 100 * float64(bad) / float64(total)
+	}
+	if pct[4] < 40 {
+		t.Fatalf("4 threads: only %.1f%% of regions violated, expected a majority", pct[4])
+	}
+	if pct[16] > 5 {
+		t.Fatalf("16 threads: %.1f%% of regions violated, expected ~none", pct[16])
+	}
+	if pct[16] >= pct[4] {
+		t.Fatalf("violation rate did not fall with thread count: %v", pct)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := runBench(t, 6, 10, 7)
+	b := runBench(t, 6, 10, 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("omp traces not deterministic")
+	}
+}
+
+func TestSingleThreadTeam(t *testing.T) {
+	tr := runBench(t, 1, 5, 3)
+	if len(tr.Procs) != 1 {
+		t.Fatalf("%d procs", len(tr.Procs))
+	}
+	c, err := analysis.POMPCensusOf(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Regions != 5 {
+		t.Fatalf("%d regions", c.Regions)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewTeam(Config{Machine: topology.Itanium(), Timer: clock.TSC, Threads: 0}); err == nil {
+		t.Fatalf("zero threads accepted")
+	}
+	if _, err := NewTeam(Config{Machine: topology.Itanium(), Timer: clock.TSC, Threads: 17}); err == nil {
+		t.Fatalf("17 threads on a 16-core node accepted")
+	}
+	bad := topology.Pinning{{Node: 5}}
+	if _, err := NewTeam(Config{Machine: topology.Itanium(), Timer: clock.TSC, Threads: 1, Pinning: bad}); err == nil {
+		t.Fatalf("invalid pinning accepted")
+	}
+	short := topology.Pinning{{}}
+	if _, err := NewTeam(Config{Machine: topology.Itanium(), Timer: clock.TSC, Threads: 2, Pinning: short}); err == nil {
+		t.Fatalf("short pinning accepted")
+	}
+}
+
+func TestRegionsValidation(t *testing.T) {
+	tm, err := NewTeam(Config{Machine: topology.Itanium(), Timer: clock.TSC, Threads: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tm.RunParallelFor("x", 0, func(int, int) float64 { return 0 }); err == nil {
+		t.Fatalf("zero regions accepted")
+	}
+}
+
+func TestSameChipThreadsRarelyViolate(t *testing.T) {
+	// pinning all threads to one chip means one shared oscillator: the
+	// only remaining error sources are read noise and quantization, so
+	// violations should be rare (the paper's intra-chip hypothesis)
+	m := topology.Itanium()
+	pin, err := topology.SMPThreads(m, 4) // chip-major: all on chip 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := NewTeam(Config{Machine: m, Timer: clock.TSC, Threads: 4, Seed: 5, Pinning: pin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := tm.RunParallelFor("pinned", 100, func(int, int) float64 { return 5e-6 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := analysis.POMPCensusOf(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pct := 100 * float64(c.Any) / float64(c.Regions); pct > 10 {
+		t.Fatalf("same-chip threads violated %v%% of regions", pct)
+	}
+}
+
+func BenchmarkParallelFor16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runBench(b, 16, 10, uint64(i))
+	}
+}
+
+func TestMeasureOffsetsRecoversChipSkew(t *testing.T) {
+	tm, err := NewTeam(Config{Machine: topology.Itanium(), Timer: clock.TSC, Threads: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := tm.MeasureOffsets(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table) != 4 || table[0].Offset != 0 {
+		t.Fatalf("table %+v", table)
+	}
+	// compare against the oracle offsets of the shared oscillators
+	for i := 1; i < 4; i++ {
+		rdM, err := tm.cluster.NewReader(tm.threads[0].core, "check0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rdW, err := tm.cluster.NewReader(tm.threads[i].core, "checkW")
+		if err != nil {
+			t.Fatal(err)
+		}
+		trueOff := rdM.Ideal(0) - rdW.Ideal(0)
+		if got := table[i].Offset; math.Abs(got-trueOff) > 0.15e-6 {
+			t.Fatalf("thread %d: measured %v, true %v", i, got, trueOff)
+		}
+	}
+}
+
+func TestMeasureOffsetsRejectsBadReps(t *testing.T) {
+	tm, err := NewTeam(Config{Machine: topology.Itanium(), Timer: clock.TSC, Threads: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tm.MeasureOffsets(0); err == nil {
+		t.Fatalf("reps=0 accepted")
+	}
+}
+
+func TestRunLoopStaticVsDynamicImbalance(t *testing.T) {
+	// a pathologically imbalanced iteration space: static scheduling
+	// leaves one thread with all the heavy iterations; dynamic evens the
+	// loads and narrows the barrier-arrival spread
+	spread := func(sched Schedule) float64 {
+		tm, err := NewTeam(Config{Machine: topology.Itanium(), Timer: clock.TSC, Threads: 4, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := tm.RunLoop("loop", 3, 64, 2, sched, func(iter, region int) float64 {
+			if iter < 16 {
+				return 4e-6 // the first block is 8x heavier
+			}
+			return 0.5e-6
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// spread = max - min of BarrierEnter true times in region 0
+		min, max := 1e18, -1.0
+		for _, p := range tr.Procs {
+			for _, ev := range p.Events {
+				if ev.Kind == trace.BarrierEnter && ev.Instance == 0 {
+					if ev.True < min {
+						min = ev.True
+					}
+					if ev.True > max {
+						max = ev.True
+					}
+				}
+			}
+		}
+		return max - min
+	}
+	static := spread(Static)
+	dynamic := spread(Dynamic)
+	if dynamic >= static/2 {
+		t.Fatalf("dynamic scheduling did not narrow the arrival spread: static %v, dynamic %v", static, dynamic)
+	}
+}
+
+func TestRunLoopValidation(t *testing.T) {
+	tm, err := NewTeam(Config{Machine: topology.Itanium(), Timer: clock.TSC, Threads: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tm.RunLoop("x", 1, 0, 1, Static, func(int, int) float64 { return 0 }); err == nil {
+		t.Fatalf("zero iterations accepted")
+	}
+}
+
+func TestRunLoopCoversAllIterations(t *testing.T) {
+	for _, sched := range []Schedule{Static, Dynamic} {
+		tm, err := NewTeam(Config{Machine: topology.Itanium(), Timer: clock.TSC, Threads: 3, Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make([]int, 30)
+		if _, err := tm.RunLoop("cover", 1, 30, 4, sched, func(iter, region int) float64 {
+			seen[iter]++
+			return 1e-6
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("sched %v: iteration %d costed %d times", sched, i, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,434 @@
+// Package render turns experiment results into terminal output: aligned
+// tables (Tables I and II), CSV series and ASCII plots (Figs. 4-6), and
+// VAMPIR-style time-line views of parallel regions (Fig. 3) with
+// clock-condition violations highlighted.
+package render
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"tsync/internal/analysis"
+	"tsync/internal/trace"
+)
+
+// Table formats rows with aligned columns. headers may be nil.
+func Table(headers []string, rows [][]string) string {
+	widths := map[int]int{}
+	consider := func(cells []string) {
+		for i, c := range cells {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if headers != nil {
+		consider(headers)
+	}
+	for _, r := range rows {
+		consider(r)
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	if headers != nil {
+		writeRow(headers)
+		var total int
+		for i := 0; i < len(headers); i++ {
+			total += widths[i] + 2
+		}
+		b.WriteString(strings.Repeat("-", total-2))
+		b.WriteByte('\n')
+	}
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Micro formats a duration in seconds as microseconds with two decimals.
+func Micro(seconds float64) string {
+	return fmt.Sprintf("%.2f", seconds*1e6)
+}
+
+// SeriesCSV renders a deviation series as comma-separated columns:
+// time and one deviation column (in µs) per worker.
+func SeriesCSV(s analysis.Series, labels []string) string {
+	var b strings.Builder
+	b.WriteString("t_s")
+	for i := range s.Dev {
+		label := fmt.Sprintf("worker%d_us", i+1)
+		if i < len(labels) {
+			label = labels[i]
+		}
+		b.WriteByte(',')
+		b.WriteString(label)
+	}
+	b.WriteByte('\n')
+	for k, tt := range s.T {
+		fmt.Fprintf(&b, "%g", tt)
+		for i := range s.Dev {
+			fmt.Fprintf(&b, ",%.4f", s.Dev[i][k]*1e6)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SeriesPlot renders an ASCII plot of a deviation series (y in µs) with
+// one digit per worker. Optional hline draws horizontal reference lines
+// (e.g. ±half message latency, the Fig. 6 annotation).
+func SeriesPlot(s analysis.Series, width, height int, title string, hlines ...float64) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 5 {
+		height = 5
+	}
+	if len(s.T) == 0 || len(s.Dev) == 0 {
+		return title + "\n(empty series)\n"
+	}
+	ymax := s.MaxAbsDeviation()
+	for _, h := range hlines {
+		if a := math.Abs(h); a > ymax {
+			ymax = a
+		}
+	}
+	if ymax == 0 {
+		ymax = 1e-9
+	}
+	ymax *= 1.05
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	row := func(v float64) int {
+		r := int((1 - (v/ymax+1)/2) * float64(height-1))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	// reference lines
+	for _, h := range hlines {
+		r := row(h)
+		for c := 0; c < width; c++ {
+			grid[r][c] = '-'
+		}
+	}
+	zero := row(0)
+	for c := 0; c < width; c++ {
+		if grid[zero][c] == ' ' {
+			grid[zero][c] = '.'
+		}
+	}
+	tmax := s.T[len(s.T)-1]
+	if tmax == 0 {
+		tmax = 1
+	}
+	for i := range s.Dev {
+		mark := byte('1' + i%9)
+		for k, tt := range s.T {
+			c := int(tt / tmax * float64(width-1))
+			grid[row(s.Dev[i][k])][c] = mark
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (y: ±%.1f µs, x: 0..%g s)\n", title, ymax*1e6, tmax)
+	for _, r := range grid {
+		b.Write(r)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// POMPTimeline renders one parallel-region instance as a per-thread
+// time-line in the style of a trace visualizer (Fig. 3):
+//
+//	F fork   J join   E enter   X exit   [ barrier enter   ] barrier exit
+//	= inside barrier   - inside region
+//
+// A trailing marker flags region instances with violations.
+func POMPTimeline(t *trace.Trace, region, instance int32, width int) (string, error) {
+	if width < 32 {
+		width = 32
+	}
+	type evPos struct {
+		kind trace.Kind
+		time float64
+	}
+	perThread := make([][]evPos, len(t.Procs))
+	min, max := math.Inf(1), math.Inf(-1)
+	found := false
+	for rank, p := range t.Procs {
+		for _, ev := range p.Events {
+			if ev.Region != region || ev.Instance != instance {
+				continue
+			}
+			switch ev.Kind {
+			case trace.Fork, trace.Join, trace.Enter, trace.Exit, trace.BarrierEnter, trace.BarrierExit:
+				perThread[rank] = append(perThread[rank], evPos{ev.Kind, ev.Time})
+				if ev.Time < min {
+					min = ev.Time
+				}
+				if ev.Time > max {
+					max = ev.Time
+				}
+				found = true
+			}
+		}
+	}
+	if !found {
+		return "", fmt.Errorf("render: region %d instance %d not in trace", region, instance)
+	}
+	if max <= min {
+		max = min + 1e-9
+	}
+	col := func(tt float64) int {
+		c := int((tt - min) / (max - min) * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "region %q instance %d  (%.2f µs across)\n", t.RegionName(region), instance, (max-min)*1e6)
+	for rank, evs := range perThread {
+		line := []byte(strings.Repeat(" ", width))
+		sort.Slice(evs, func(i, j int) bool { return evs[i].time < evs[j].time })
+		// fills first
+		var enterT, barT float64
+		var inRegion, inBarrier bool
+		for _, e := range evs {
+			switch e.kind {
+			case trace.Enter:
+				enterT, inRegion = e.time, true
+			case trace.Exit:
+				if inRegion {
+					for c := col(enterT); c <= col(e.time); c++ {
+						line[c] = '-'
+					}
+					inRegion = false
+				}
+			case trace.BarrierEnter:
+				barT, inBarrier = e.time, true
+			case trace.BarrierExit:
+				if inBarrier {
+					for c := col(barT); c <= col(e.time); c++ {
+						line[c] = '='
+					}
+					inBarrier = false
+				}
+			}
+		}
+		// marks second; fork/join last so they are never overdrawn
+		for _, pass := range [2]bool{false, true} {
+			for _, e := range evs {
+				var mark byte
+				forkJoin := false
+				switch e.kind {
+				case trace.Fork:
+					mark, forkJoin = 'F', true
+				case trace.Join:
+					mark, forkJoin = 'J', true
+				case trace.Enter:
+					mark = 'E'
+				case trace.Exit:
+					mark = 'X'
+				case trace.BarrierEnter:
+					mark = '['
+				case trace.BarrierExit:
+					mark = ']'
+				}
+				if forkJoin == pass {
+					line[col(e.time)] = mark
+				}
+			}
+		}
+		fmt.Fprintf(&b, "thread %d:%d |%s|\n", t.Procs[rank].Core.Chip, t.Procs[rank].Core.Core, line)
+	}
+	return b.String(), nil
+}
+
+// FirstViolatedRegion finds the first region instance with a POMP
+// violation, for Fig. 3-style display. Returns ok=false when the trace is
+// clean.
+func FirstViolatedRegion(t *trace.Trace) (region, instance int32, ok bool) {
+	// group POMP events per (region, instance) and reuse the census on a
+	// filtered single-instance trace
+	type key struct{ r, i int32 }
+	seen := map[key]bool{}
+	var order []key
+	for _, p := range t.Procs {
+		for _, ev := range p.Events {
+			switch ev.Kind {
+			case trace.Fork, trace.Join, trace.Enter, trace.Exit, trace.BarrierEnter, trace.BarrierExit:
+				k := key{ev.Region, ev.Instance}
+				if !seen[k] {
+					seen[k] = true
+					order = append(order, k)
+				}
+			}
+		}
+	}
+	for _, k := range order {
+		sub := &trace.Trace{Regions: t.Regions, Procs: make([]trace.Proc, len(t.Procs))}
+		for i, p := range t.Procs {
+			sub.Procs[i] = trace.Proc{Rank: p.Rank, Core: p.Core, Clock: p.Clock}
+			for _, ev := range p.Events {
+				if ev.Region == k.r && ev.Instance == k.i {
+					sub.Procs[i].Events = append(sub.Procs[i].Events, ev)
+				}
+			}
+		}
+		c, err := analysis.POMPCensusOf(sub)
+		if err != nil {
+			continue
+		}
+		if c.Any > 0 {
+			return k.r, k.i, true
+		}
+	}
+	return 0, 0, false
+}
+
+// MessageTimeline renders a VAMPIR-style per-rank time-line of a
+// message-passing trace segment (true-time window), drawing each message
+// as S/R endpoints. Messages whose *recorded timestamps* are reversed
+// (received before sent — the arrows "pointing backward in time-line
+// views" of Section III) are marked with '!' at the receive. The x axis is
+// recorded time, so backward arrows appear exactly as a trace visualizer
+// would show them.
+func MessageTimeline(t *trace.Trace, from, to float64, width int) (string, error) {
+	if width < 32 {
+		width = 32
+	}
+	msgs, err := t.Messages()
+	if err != nil {
+		return "", err
+	}
+	type mark struct {
+		col int
+		c   byte
+	}
+	min, max := math.Inf(1), math.Inf(-1)
+	type pick struct {
+		m        trace.Message
+		sT, rT   float64
+		reversed bool
+	}
+	var picked []pick
+	for _, m := range msgs {
+		s := t.Procs[m.From].Events[m.FromIdx]
+		r := t.Procs[m.To].Events[m.ToIdx]
+		if s.True < from || s.True >= to || r.True < from || r.True >= to {
+			continue
+		}
+		p := pick{m: m, sT: s.Time, rT: r.Time, reversed: r.Time < s.Time}
+		picked = append(picked, p)
+		for _, v := range [2]float64{p.sT, p.rT} {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if len(picked) == 0 {
+		return "", fmt.Errorf("render: no complete messages in window [%v, %v)", from, to)
+	}
+	if max <= min {
+		max = min + 1e-9
+	}
+	col := func(tt float64) int {
+		c := int((tt - min) / (max - min) * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	rows := make(map[int][]mark)
+	reversedCount := 0
+	for _, p := range picked {
+		rows[p.m.From] = append(rows[p.m.From], mark{col(p.sT), 'S'})
+		rc := byte('R')
+		if p.reversed {
+			rc = '!'
+			reversedCount++
+		}
+		rows[p.m.To] = append(rows[p.m.To], mark{col(p.rT), rc})
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "messages in [%.6f s, %.6f s) by recorded time — S send, R receive, ! receive timestamped before its send (%d reversed)\n",
+		from, to, reversedCount)
+	for rank := range t.Procs {
+		marks, ok := rows[rank]
+		if !ok {
+			continue
+		}
+		line := []byte(strings.Repeat(".", width))
+		for _, mk := range marks {
+			line[mk.col] = mk.c
+		}
+		fmt.Fprintf(&b, "rank %3d |%s|\n", rank, line)
+	}
+	return b.String(), nil
+}
+
+// Bars renders a horizontal bar chart of labeled percentages — the shape
+// of the paper's Fig. 7 and Fig. 8 bar groups.
+func Bars(title string, labels []string, values []float64, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	maxVal := 0.0
+	for _, v := range values {
+		if v > maxVal {
+			maxVal = v
+		}
+	}
+	if maxVal == 0 {
+		maxVal = 1
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteByte('\n')
+	for i, v := range values {
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		n := int(v / maxVal * float64(width))
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&b, "  %-*s |%s%s %6.2f\n", labelW, label,
+			strings.Repeat("#", n), strings.Repeat(" ", width-n), v)
+	}
+	return b.String()
+}

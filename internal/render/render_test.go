@@ -1,0 +1,178 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"tsync/internal/analysis"
+	"tsync/internal/clock"
+	"tsync/internal/omp"
+	"tsync/internal/topology"
+	"tsync/internal/trace"
+)
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"name", "value"}, [][]string{
+		{"alpha", "1"},
+		{"b", "22222"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "name ") {
+		t.Fatalf("header %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "alpha") || !strings.Contains(lines[3], "22222") {
+		t.Fatalf("rows lost: %q", out)
+	}
+	// no-header table
+	out = Table(nil, [][]string{{"x"}})
+	if strings.Contains(out, "---") {
+		t.Fatalf("separator without header: %q", out)
+	}
+}
+
+func TestMicro(t *testing.T) {
+	if got := Micro(4.29e-6); got != "4.29" {
+		t.Fatalf("Micro = %q", got)
+	}
+}
+
+func seriesFixture() analysis.Series {
+	return analysis.Series{
+		T:   []float64{0, 1, 2, 3},
+		Dev: [][]float64{{0, 1e-6, 2e-6, 3e-6}, {0, -1e-6, -2e-6, -3e-6}},
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	out := SeriesCSV(seriesFixture(), []string{"w1"})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	if lines[0] != "t_s,w1,worker2_us" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[2], "1,1.0000,-1.0000") {
+		t.Fatalf("row %q", lines[2])
+	}
+}
+
+func TestSeriesPlot(t *testing.T) {
+	out := SeriesPlot(seriesFixture(), 40, 10, "test", 2e-6, -2e-6)
+	if !strings.Contains(out, "test") {
+		t.Fatalf("title missing")
+	}
+	if !strings.Contains(out, "1") || !strings.Contains(out, "2") {
+		t.Fatalf("worker marks missing:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Fatalf("reference lines missing")
+	}
+	// empty series must not panic
+	if out := SeriesPlot(analysis.Series{}, 40, 10, "empty"); !strings.Contains(out, "empty") {
+		t.Fatalf("empty series render: %q", out)
+	}
+}
+
+func ompTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	tm, err := omp.NewTeam(omp.Config{Machine: topology.Itanium(), Timer: clock.TSC, Threads: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := tm.RunParallelFor("pf", 20, func(int, int) float64 { return 5e-6 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestPOMPTimeline(t *testing.T) {
+	tr := ompTrace(t)
+	out, err := POMPTimeline(tr, 0, 0, 72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mark := range []string{"F", "J", "E", "X", "[", "]", "thread 0:0", "thread 3:0"} {
+		if !strings.Contains(out, mark) {
+			t.Fatalf("timeline lacks %q:\n%s", mark, out)
+		}
+	}
+	if _, err := POMPTimeline(tr, 0, 9999, 72); err == nil {
+		t.Fatalf("missing instance accepted")
+	}
+}
+
+func TestFirstViolatedRegion(t *testing.T) {
+	tr := ompTrace(t)
+	c, err := analysis.POMPCensusOf(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, inst, ok := FirstViolatedRegion(tr)
+	if c.Any > 0 != ok {
+		t.Fatalf("census Any=%d but FirstViolatedRegion ok=%v", c.Any, ok)
+	}
+	if ok {
+		// rendering the violated instance must work (the Fig. 3 use)
+		if _, err := POMPTimeline(tr, reg, inst, 72); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFirstViolatedRegionCleanTrace(t *testing.T) {
+	tr := &trace.Trace{Procs: []trace.Proc{{Rank: 0}}}
+	if _, _, ok := FirstViolatedRegion(tr); ok {
+		t.Fatalf("clean trace reported a violation")
+	}
+}
+
+func TestMessageTimeline(t *testing.T) {
+	tr := &trace.Trace{}
+	tr.Procs = []trace.Proc{
+		{Rank: 0, Events: []trace.Event{
+			{Kind: trace.Send, Time: 1.0, True: 1.0, Partner: 1, Tag: 0},
+			{Kind: trace.Send, Time: 2.0, True: 2.0, Partner: 1, Tag: 1},
+		}},
+		{Rank: 1, Events: []trace.Event{
+			{Kind: trace.Recv, Time: 1.1, True: 1.1, Partner: 0, Tag: 0},
+			{Kind: trace.Recv, Time: 1.9, True: 2.1, Partner: 0, Tag: 1}, // reversed
+		}},
+	}
+	out, err := MessageTimeline(tr, 0, 3, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "S") || !strings.Contains(out, "R") {
+		t.Fatalf("marks missing:\n%s", out)
+	}
+	if !strings.Contains(out, "!") || !strings.Contains(out, "1 reversed") {
+		t.Fatalf("reversed message not flagged:\n%s", out)
+	}
+	if _, err := MessageTimeline(tr, 10, 11, 60); err == nil {
+		t.Fatalf("empty window accepted")
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars("violations", []string{"pop", "smg"}, []float64{1.7, 3.3}, 20)
+	if !strings.Contains(out, "violations") || !strings.Contains(out, "pop") {
+		t.Fatalf("bars output %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	// the larger value gets the longer bar
+	if strings.Count(lines[1], "#") >= strings.Count(lines[2], "#") {
+		t.Fatalf("bar lengths not proportional:\n%s", out)
+	}
+	// all-zero values must not divide by zero
+	if out := Bars("z", []string{"a"}, []float64{0}, 20); !strings.Contains(out, "0.00") {
+		t.Fatalf("zero bars broken: %q", out)
+	}
+}

@@ -1,0 +1,32 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"tsync/internal/stats"
+)
+
+// ExampleOnline shows streaming statistics with the Welford accumulator.
+func ExampleOnline() {
+	var acc stats.Online
+	for _, latency := range []float64{4.2e-6, 4.3e-6, 4.25e-6, 4.4e-6} {
+		acc.Add(latency)
+	}
+	fmt.Printf("mean %.2f µs over %d samples\n", acc.Mean()*1e6, acc.N())
+	// Output: mean 4.29 µs over 4 samples
+}
+
+// ExampleAllanDeviation distinguishes a constant-drift clock (zero Allan
+// deviation) from one with frequency noise.
+func ExampleAllanDeviation() {
+	offsets := make([]float64, 10)
+	for i := range offsets {
+		offsets[i] = 2e-6 * float64(i) // perfectly linear: 2 ppm drift
+	}
+	sigma, err := stats.AllanDeviation(offsets, 1.0, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("drift-only clock is stable: %v\n", sigma < 1e-15)
+	// Output: drift-only clock is stable: true
+}

@@ -1,0 +1,343 @@
+// Package stats provides the statistical substrate used throughout the
+// clock-drift study: descriptive statistics for latency tables (Table II),
+// online accumulators for long deviation series (Figs. 4-6), least-squares
+// regression and convex hulls for the error-estimation baselines of
+// Section V (Duda's estimators), and histogram utilities for the violation
+// censuses (Figs. 7-8).
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by operations that need at least one sample.
+var ErrEmpty = errors.New("stats: empty sample set")
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (n-1 denominator).
+// It returns 0 for fewer than two samples.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// MinMax returns the minimum and maximum of xs. It returns ErrEmpty for an
+// empty slice.
+func MinMax(xs []float64) (min, max float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max, nil
+}
+
+// MaxAbs returns the maximum absolute value in xs, or 0 for an empty slice.
+func MaxAbs(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. It returns ErrEmpty for an empty
+// slice and an error for p outside [0, 100]. xs is not modified.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, errors.New("stats: percentile out of range")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) (float64, error) { return Percentile(xs, 50) }
+
+// Online is a numerically stable (Welford) accumulator for streaming
+// samples. The zero value is ready to use.
+type Online struct {
+	n        int
+	mean     float64
+	m2       float64
+	min, max float64
+}
+
+// Add incorporates one sample.
+func (o *Online) Add(x float64) {
+	o.n++
+	if o.n == 1 {
+		o.min, o.max = x, x
+	} else {
+		if x < o.min {
+			o.min = x
+		}
+		if x > o.max {
+			o.max = x
+		}
+	}
+	delta := x - o.mean
+	o.mean += delta / float64(o.n)
+	o.m2 += delta * (x - o.mean)
+}
+
+// N returns the number of samples seen.
+func (o *Online) N() int { return o.n }
+
+// Mean returns the running mean (0 if no samples).
+func (o *Online) Mean() float64 { return o.mean }
+
+// Variance returns the running unbiased variance (0 for fewer than two
+// samples).
+func (o *Online) Variance() float64 {
+	if o.n < 2 {
+		return 0
+	}
+	return o.m2 / float64(o.n-1)
+}
+
+// StdDev returns the running unbiased standard deviation.
+func (o *Online) StdDev() float64 { return math.Sqrt(o.Variance()) }
+
+// Min returns the smallest sample seen (0 if no samples).
+func (o *Online) Min() float64 { return o.min }
+
+// Max returns the largest sample seen (0 if no samples).
+func (o *Online) Max() float64 { return o.max }
+
+// Merge combines another accumulator into o (parallel Welford merge), so
+// per-shard statistics can be reduced across workers.
+func (o *Online) Merge(other *Online) {
+	if other.n == 0 {
+		return
+	}
+	if o.n == 0 {
+		*o = *other
+		return
+	}
+	n := o.n + other.n
+	delta := other.mean - o.mean
+	mean := o.mean + delta*float64(other.n)/float64(n)
+	m2 := o.m2 + other.m2 + delta*delta*float64(o.n)*float64(other.n)/float64(n)
+	min := o.min
+	if other.min < min {
+		min = other.min
+	}
+	max := o.max
+	if other.max > max {
+		max = other.max
+	}
+	*o = Online{n: n, mean: mean, m2: m2, min: min, max: max}
+}
+
+// Line is an affine function y = Slope*x + Intercept, the result of the
+// regression and hull estimators. Applied to clock synchronization, x is a
+// local clock value and y the estimated offset (or master time) at x.
+type Line struct {
+	Slope     float64
+	Intercept float64
+}
+
+// At evaluates the line at x.
+func (l Line) At(x float64) float64 { return l.Slope*x + l.Intercept }
+
+// LeastSquares fits y = a*x + b to the points by ordinary least squares.
+// It returns ErrEmpty if fewer than two points are given and an error if all
+// x values coincide.
+func LeastSquares(xs, ys []float64) (Line, error) {
+	if len(xs) != len(ys) {
+		return Line{}, errors.New("stats: mismatched sample lengths")
+	}
+	if len(xs) < 2 {
+		return Line{}, ErrEmpty
+	}
+	mx := Mean(xs)
+	my := Mean(ys)
+	var sxx, sxy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		sxx += dx * dx
+		sxy += dx * (ys[i] - my)
+	}
+	if sxx == 0 {
+		return Line{}, errors.New("stats: degenerate regression (constant x)")
+	}
+	slope := sxy / sxx
+	return Line{Slope: slope, Intercept: my - slope*mx}, nil
+}
+
+// Point is a 2-D point used by the convex-hull estimators.
+type Point struct{ X, Y float64 }
+
+func cross(o, a, b Point) float64 {
+	return (a.X-o.X)*(b.Y-o.Y) - (a.Y-o.Y)*(b.X-o.X)
+}
+
+// LowerHull returns the lower convex hull of the points in increasing x
+// order (Andrew's monotone chain). Duplicate x values keep the lowest y.
+// The input is not modified.
+func LowerHull(pts []Point) []Point {
+	return hull(pts, false)
+}
+
+// UpperHull returns the upper convex hull of the points in increasing x
+// order. The input is not modified.
+func UpperHull(pts []Point) []Point {
+	return hull(pts, true)
+}
+
+func hull(pts []Point, upper bool) []Point {
+	if len(pts) == 0 {
+		return nil
+	}
+	sorted := append([]Point(nil), pts...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].X != sorted[j].X {
+			return sorted[i].X < sorted[j].X
+		}
+		return sorted[i].Y < sorted[j].Y
+	})
+	var out []Point
+	for _, p := range sorted {
+		for len(out) >= 2 {
+			c := cross(out[len(out)-2], out[len(out)-1], p)
+			if (!upper && c <= 0) || (upper && c >= 0) {
+				out = out[:len(out)-1]
+				continue
+			}
+			break
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Histogram counts samples into uniform-width bins over [lo, hi]. Samples
+// outside the range are clamped into the first/last bin so that totals are
+// preserved (violation censuses must not silently drop events).
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram creates a histogram with the given bin count over [lo, hi].
+// It panics if bins <= 0 or hi <= lo, which would be a programming error in
+// experiment configuration.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic("stats: histogram needs at least one bin")
+	}
+	if hi <= lo {
+		panic("stats: histogram range is empty")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	idx := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.Counts) {
+		idx = len(h.Counts) - 1
+	}
+	h.Counts[idx]++
+	h.total++
+}
+
+// Total returns the number of samples recorded.
+func (h *Histogram) Total() int { return h.total }
+
+// BinCenter returns the x coordinate of the center of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + width*(float64(i)+0.5)
+}
+
+// Fraction returns the fraction of samples in bin i (0 if no samples).
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.total)
+}
+
+// AllanDeviation computes the (non-overlapping) Allan deviation of a
+// regularly sampled clock-offset series at averaging time tau = m*interval:
+// the standard stability measure of oscillators, sigma_y(tau) =
+// sqrt(0.5 * <(ybar_{k+1} - ybar_k)^2>) over adjacent fractional-frequency
+// averages. samples are clock offsets in seconds at the given sampling
+// interval; m is the averaging factor (>= 1). It returns ErrEmpty when the
+// series is too short for even one difference.
+func AllanDeviation(samples []float64, interval float64, m int) (float64, error) {
+	if m < 1 || interval <= 0 {
+		return 0, errors.New("stats: AllanDeviation needs m >= 1 and positive interval")
+	}
+	tau := float64(m) * interval
+	// fractional frequency averages over consecutive windows of m steps
+	nWindows := (len(samples) - 1) / m
+	if nWindows < 2 {
+		return 0, ErrEmpty
+	}
+	freqs := make([]float64, nWindows)
+	for k := 0; k < nWindows; k++ {
+		freqs[k] = (samples[(k+1)*m] - samples[k*m]) / tau
+	}
+	sum := 0.0
+	for k := 0; k+1 < len(freqs); k++ {
+		d := freqs[k+1] - freqs[k]
+		sum += d * d
+	}
+	return math.Sqrt(sum / (2 * float64(len(freqs)-1))), nil
+}

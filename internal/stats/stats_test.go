@@ -1,0 +1,420 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"tsync/internal/xrand"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanBasic(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v, want 0", got)
+	}
+}
+
+func TestVarianceBasic(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// population variance is 4; sample variance is 32/7.
+	if got, want := Variance(xs), 32.0/7.0; !almostEqual(got, want, 1e-12) {
+		t.Fatalf("Variance = %v, want %v", got, want)
+	}
+	if Variance([]float64{3}) != 0 {
+		t.Fatalf("Variance of single sample must be 0")
+	}
+}
+
+func TestStdDevMatchesVariance(t *testing.T) {
+	xs := []float64{1, 2, 3, 10, -4}
+	if got, want := StdDev(xs), math.Sqrt(Variance(xs)); got != want {
+		t.Fatalf("StdDev = %v, want %v", got, want)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max, err := MinMax([]float64{3, -1, 7, 0})
+	if err != nil || min != -1 || max != 7 {
+		t.Fatalf("MinMax = (%v,%v,%v)", min, max, err)
+	}
+	if _, _, err := MinMax(nil); err != ErrEmpty {
+		t.Fatalf("MinMax(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	if got := MaxAbs([]float64{-5, 2, 4}); got != 5 {
+		t.Fatalf("MaxAbs = %v, want 5", got)
+	}
+	if got := MaxAbs(nil); got != 0 {
+		t.Fatalf("MaxAbs(nil) = %v, want 0", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p    float64
+		want float64
+	}{{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {10, 1.4}}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.p)
+		if err != nil {
+			t.Fatalf("Percentile(%v) error: %v", c.p, err)
+		}
+		if !almostEqual(got, c.want, 1e-12) {
+			t.Fatalf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); err != ErrEmpty {
+		t.Fatalf("Percentile(nil) err = %v", err)
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Fatalf("Percentile(101) must error")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Fatalf("Percentile mutated input: %v", xs)
+	}
+}
+
+func TestMedianSingleton(t *testing.T) {
+	m, err := Median([]float64{42})
+	if err != nil || m != 42 {
+		t.Fatalf("Median([42]) = (%v,%v)", m, err)
+	}
+}
+
+func TestOnlineMatchesBatch(t *testing.T) {
+	src := xrand.NewSource(99)
+	xs := make([]float64, 5000)
+	var o Online
+	for i := range xs {
+		xs[i] = src.Normal(10, 3)
+		o.Add(xs[i])
+	}
+	if !almostEqual(o.Mean(), Mean(xs), 1e-9) {
+		t.Fatalf("online mean %v != batch %v", o.Mean(), Mean(xs))
+	}
+	if !almostEqual(o.Variance(), Variance(xs), 1e-6) {
+		t.Fatalf("online variance %v != batch %v", o.Variance(), Variance(xs))
+	}
+	min, max, _ := MinMax(xs)
+	if o.Min() != min || o.Max() != max {
+		t.Fatalf("online min/max (%v,%v) != batch (%v,%v)", o.Min(), o.Max(), min, max)
+	}
+	if o.N() != len(xs) {
+		t.Fatalf("online N = %d", o.N())
+	}
+}
+
+func TestOnlineMerge(t *testing.T) {
+	src := xrand.NewSource(100)
+	var whole, a, b Online
+	for i := 0; i < 4000; i++ {
+		x := src.Normal(-2, 5)
+		whole.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(&b)
+	if a.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), whole.N())
+	}
+	if !almostEqual(a.Mean(), whole.Mean(), 1e-9) {
+		t.Fatalf("merged mean %v != %v", a.Mean(), whole.Mean())
+	}
+	if !almostEqual(a.Variance(), whole.Variance(), 1e-6) {
+		t.Fatalf("merged variance %v != %v", a.Variance(), whole.Variance())
+	}
+	if a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Fatalf("merged min/max mismatch")
+	}
+}
+
+func TestOnlineMergeEmptySides(t *testing.T) {
+	var a, b Online
+	b.Add(3)
+	b.Add(5)
+	a.Merge(&b) // empty receiver
+	if a.N() != 2 || a.Mean() != 4 {
+		t.Fatalf("merge into empty failed: n=%d mean=%v", a.N(), a.Mean())
+	}
+	var c Online
+	a.Merge(&c) // empty argument
+	if a.N() != 2 || a.Mean() != 4 {
+		t.Fatalf("merge of empty changed state")
+	}
+}
+
+func TestLeastSquaresExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 2x + 1
+	line, err := LeastSquares(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(line.Slope, 2, 1e-12) || !almostEqual(line.Intercept, 1, 1e-12) {
+		t.Fatalf("LeastSquares = %+v, want slope 2 intercept 1", line)
+	}
+	if !almostEqual(line.At(10), 21, 1e-12) {
+		t.Fatalf("Line.At(10) = %v", line.At(10))
+	}
+}
+
+func TestLeastSquaresRecoversNoisyLine(t *testing.T) {
+	src := xrand.NewSource(101)
+	var xs, ys []float64
+	for i := 0; i < 2000; i++ {
+		x := float64(i)
+		xs = append(xs, x)
+		ys = append(ys, 0.5*x-3+src.Normal(0, 0.1))
+	}
+	line, err := LeastSquares(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(line.Slope, 0.5, 1e-3) || !almostEqual(line.Intercept, -3, 0.05) {
+		t.Fatalf("recovered %+v, want slope 0.5 intercept -3", line)
+	}
+}
+
+func TestLeastSquaresErrors(t *testing.T) {
+	if _, err := LeastSquares([]float64{1}, []float64{2}); err != ErrEmpty {
+		t.Fatalf("single point err = %v", err)
+	}
+	if _, err := LeastSquares([]float64{1, 2}, []float64{2}); err == nil {
+		t.Fatalf("length mismatch must error")
+	}
+	if _, err := LeastSquares([]float64{3, 3}, []float64{1, 2}); err == nil {
+		t.Fatalf("constant x must error")
+	}
+}
+
+func TestHullsBracketPoints(t *testing.T) {
+	src := xrand.NewSource(102)
+	check := func(seed uint16) bool {
+		s := src.Sub(string(rune(seed)))
+		n := 3 + s.Intn(60)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{X: s.Float64() * 100, Y: s.Normal(0, 10)}
+		}
+		lower := LowerHull(pts)
+		upper := UpperHull(pts)
+		if len(lower) == 0 || len(upper) == 0 {
+			return false
+		}
+		// every point must lie on or above the lower hull and on or
+		// below the upper hull, within float tolerance
+		for _, p := range pts {
+			if y, ok := evalHull(lower, p.X); ok && p.Y < y-1e-9 {
+				return false
+			}
+			if y, ok := evalHull(upper, p.X); ok && p.Y > y+1e-9 {
+				return false
+			}
+		}
+		return hullXSorted(lower) && hullXSorted(upper)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func hullXSorted(h []Point) bool {
+	return sort.SliceIsSorted(h, func(i, j int) bool { return h[i].X < h[j].X })
+}
+
+// evalHull linearly interpolates hull height at x; returns ok=false outside
+// the hull x-range.
+func evalHull(h []Point, x float64) (float64, bool) {
+	if len(h) == 1 {
+		return h[0].Y, x == h[0].X
+	}
+	for i := 0; i+1 < len(h); i++ {
+		a, b := h[i], h[i+1]
+		if x >= a.X && x <= b.X {
+			if b.X == a.X {
+				return math.Min(a.Y, b.Y), true
+			}
+			frac := (x - a.X) / (b.X - a.X)
+			return a.Y + frac*(b.Y-a.Y), true
+		}
+	}
+	return 0, false
+}
+
+func TestHullsOfCollinearPoints(t *testing.T) {
+	pts := []Point{{0, 0}, {1, 1}, {2, 2}, {3, 3}}
+	lower := LowerHull(pts)
+	upper := UpperHull(pts)
+	if len(lower) != 2 || len(upper) != 2 {
+		t.Fatalf("collinear hulls should reduce to endpoints: lower=%v upper=%v", lower, upper)
+	}
+}
+
+func TestHullEmpty(t *testing.T) {
+	if LowerHull(nil) != nil || UpperHull(nil) != nil {
+		t.Fatalf("hull of empty set should be nil")
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0.5, 1, 3, 5, 7, 9.5, -3, 42} {
+		h.Add(x)
+	}
+	if h.Total() != 8 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	// -3 clamps to bin 0, 42 clamps to bin 4
+	if h.Counts[0] != 3 { // 0.5, 1 (bin 0 is [0,2)), -3
+		t.Fatalf("bin0 = %d, want 3 (counts=%v)", h.Counts[0], h.Counts)
+	}
+	if h.Counts[4] != 2 { // 9.5, 42
+		t.Fatalf("bin4 = %d, want 2 (counts=%v)", h.Counts[4], h.Counts)
+	}
+	if got := h.BinCenter(0); got != 1 {
+		t.Fatalf("BinCenter(0) = %v", got)
+	}
+	if got := h.Fraction(4); got != 0.25 {
+		t.Fatalf("Fraction(4) = %v", got)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero bins":   func() { NewHistogram(0, 1, 0) },
+		"empty range": func() { NewHistogram(1, 1, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHistogramFractionEmpty(t *testing.T) {
+	h := NewHistogram(0, 1, 2)
+	if h.Fraction(0) != 0 {
+		t.Fatalf("Fraction on empty histogram must be 0")
+	}
+}
+
+func TestOnlinePropertyMeanBounded(t *testing.T) {
+	// property: the running mean always lies within [min, max]
+	check := func(raw []float64) bool {
+		var o Online
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				// near-overflow magnitudes lose the invariant to
+				// floating-point rounding, not to a logic bug
+				continue
+			}
+			o.Add(x)
+		}
+		if o.N() == 0 {
+			return true
+		}
+		return o.Mean() >= o.Min()-1e-9 && o.Mean() <= o.Max()+1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkOnlineAdd(b *testing.B) {
+	var o Online
+	for i := 0; i < b.N; i++ {
+		o.Add(float64(i % 1000))
+	}
+}
+
+func BenchmarkLeastSquares(b *testing.B) {
+	xs := make([]float64, 1000)
+	ys := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = 2*float64(i) + 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LeastSquares(xs, ys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestAllanDeviationWhiteFM(t *testing.T) {
+	// for white frequency noise, the Allan deviation falls as tau^-1/2:
+	// doubling the averaging factor should shrink sigma by ~sqrt(2)
+	src := xrand.NewSource(404)
+	const n = 40000
+	const interval = 1.0
+	samples := make([]float64, n)
+	phase := 0.0
+	for i := 1; i < n; i++ {
+		phase += src.Normal(0, 1e-9) // white FM: independent freq per step
+		samples[i] = phase
+	}
+	s1, err := AllanDeviation(samples, interval, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s4, err := AllanDeviation(samples, interval, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := s1 / s4
+	if ratio < 1.6 || ratio > 2.6 { // expect ~2 for tau ratio 4
+		t.Fatalf("white-FM Allan slope wrong: sigma(1)/sigma(4) = %v", ratio)
+	}
+}
+
+func TestAllanDeviationConstantDrift(t *testing.T) {
+	// a perfectly linear offset (constant frequency error) has zero
+	// Allan deviation
+	samples := make([]float64, 100)
+	for i := range samples {
+		samples[i] = 1e-6 * float64(i)
+	}
+	s, err := AllanDeviation(samples, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s > 1e-15 {
+		t.Fatalf("constant drift produced Allan deviation %v", s)
+	}
+}
+
+func TestAllanDeviationErrors(t *testing.T) {
+	if _, err := AllanDeviation([]float64{1, 2}, 1, 0); err == nil {
+		t.Fatalf("m=0 accepted")
+	}
+	if _, err := AllanDeviation([]float64{1, 2}, 0, 1); err == nil {
+		t.Fatalf("zero interval accepted")
+	}
+	if _, err := AllanDeviation([]float64{1, 2}, 1, 5); err != ErrEmpty {
+		t.Fatalf("short series error = %v, want ErrEmpty", err)
+	}
+}

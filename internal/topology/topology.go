@@ -1,0 +1,359 @@
+// Package topology models the hierarchical structure of the cluster systems
+// used in the paper's evaluation (Section IV): machines composed of SMP
+// nodes, nodes composed of chips, chips composed of cores. It wires clock
+// oscillators to their physical domains (one oscillator per chip for
+// hardware counters, per node for the system clock, one global oscillator
+// for a Blue Gene-style network clock) and provides the process-pinning
+// setups of Table I.
+package topology
+
+import (
+	"fmt"
+
+	"tsync/internal/clock"
+	"tsync/internal/xrand"
+)
+
+// Machine describes a cluster's shape.
+type Machine struct {
+	Family       string // "xeon", "ppc", "opteron", "itanium"
+	Name         string
+	Nodes        int
+	ChipsPerNode int
+	CoresPerChip int
+}
+
+// Xeon returns the RWTH Aachen cluster: 62 nodes, 2 quad-core Intel Xeon
+// chips at 3.0 GHz per node, InfiniBand.
+func Xeon() Machine {
+	return Machine{Family: "xeon", Name: "Xeon cluster", Nodes: 62, ChipsPerNode: 2, CoresPerChip: 4}
+}
+
+// PowerPC returns MareNostrum: 2560 JS21 blades with 2 dual-core PowerPC
+// 970MP chips at 2.3 GHz, Myrinet.
+func PowerPC() Machine {
+	return Machine{Family: "ppc", Name: "PowerPC cluster", Nodes: 2560, ChipsPerNode: 2, CoresPerChip: 2}
+}
+
+// Opteron returns Jaguar's XT3 partition: 3744 nodes with one dual-core
+// AMD Opteron at 2.6 GHz, SeaStar 3-D torus.
+func Opteron() Machine {
+	return Machine{Family: "opteron", Name: "Opteron cluster", Nodes: 3744, ChipsPerNode: 1, CoresPerChip: 2}
+}
+
+// Itanium returns the Intel Itanium SMP node used for the OpenMP
+// experiments: a single node with 4 chips of 4 cores.
+func Itanium() Machine {
+	return Machine{Family: "itanium", Name: "Itanium SMP node", Nodes: 1, ChipsPerNode: 4, CoresPerChip: 4}
+}
+
+// ParseMachine maps a command-line spelling onto a machine preset.
+func ParseMachine(s string) (Machine, error) {
+	switch s {
+	case "xeon":
+		return Xeon(), nil
+	case "ppc", "powerpc":
+		return PowerPC(), nil
+	case "opteron":
+		return Opteron(), nil
+	case "itanium":
+		return Itanium(), nil
+	}
+	return Machine{}, fmt.Errorf("topology: unknown machine %q", s)
+}
+
+// TotalCores returns the machine's core count.
+func (m Machine) TotalCores() int { return m.Nodes * m.ChipsPerNode * m.CoresPerChip }
+
+// Validate reports whether the machine shape is usable.
+func (m Machine) Validate() error {
+	if m.Nodes <= 0 || m.ChipsPerNode <= 0 || m.CoresPerChip <= 0 {
+		return fmt.Errorf("topology: machine %q has empty dimensions %d/%d/%d",
+			m.Name, m.Nodes, m.ChipsPerNode, m.CoresPerChip)
+	}
+	return nil
+}
+
+// CoreID names one core by its position in the hierarchy.
+type CoreID struct {
+	Node, Chip, Core int
+}
+
+// String formats a core as node:chip:core, matching trace-visualizer
+// thread labels such as "1:2" in Fig. 3.
+func (c CoreID) String() string { return fmt.Sprintf("%d:%d:%d", c.Node, c.Chip, c.Core) }
+
+// Contains reports whether the core exists on the machine.
+func (m Machine) Contains(c CoreID) bool {
+	return c.Node >= 0 && c.Node < m.Nodes &&
+		c.Chip >= 0 && c.Chip < m.ChipsPerNode &&
+		c.Core >= 0 && c.Core < m.CoresPerChip
+}
+
+// Relation classifies the proximity of two cores; it selects both the
+// message latency (Table II) and the clock-sharing domain.
+type Relation int
+
+const (
+	// SameCore means the two IDs name the same core.
+	SameCore Relation = iota
+	// SameChip means distinct cores on one chip (inter-core in Table I).
+	SameChip
+	// SameNode means distinct chips on one node (inter-chip).
+	SameNode
+	// CrossNode means distinct nodes (inter-node).
+	CrossNode
+)
+
+// String names the relation like the paper's measurement setups.
+func (r Relation) String() string {
+	switch r {
+	case SameCore:
+		return "same core"
+	case SameChip:
+		return "inter core"
+	case SameNode:
+		return "inter chip"
+	case CrossNode:
+		return "inter node"
+	default:
+		return fmt.Sprintf("Relation(%d)", int(r))
+	}
+}
+
+// Relate classifies two cores.
+func Relate(a, b CoreID) Relation {
+	switch {
+	case a == b:
+		return SameCore
+	case a.Node != b.Node:
+		return CrossNode
+	case a.Chip != b.Chip:
+		return SameNode
+	default:
+		return SameChip
+	}
+}
+
+// Pinning maps process (or thread) ranks to cores.
+type Pinning []CoreID
+
+// Validate checks that all pinned cores exist and no core is double-booked.
+func (p Pinning) Validate(m Machine) error {
+	seen := make(map[CoreID]int, len(p))
+	for rank, c := range p {
+		if !m.Contains(c) {
+			return fmt.Errorf("topology: rank %d pinned to nonexistent core %v", rank, c)
+		}
+		if prev, dup := seen[c]; dup {
+			return fmt.Errorf("topology: ranks %d and %d both pinned to core %v", prev, rank, c)
+		}
+		seen[c] = rank
+	}
+	return nil
+}
+
+// InterNode pins n processes to n distinct nodes, one process per node
+// (Table I, "Inter node": 4 nodes, 1 process per node).
+func InterNode(m Machine, n int) (Pinning, error) {
+	if n > m.Nodes {
+		return nil, fmt.Errorf("topology: inter-node pinning needs %d nodes, machine has %d", n, m.Nodes)
+	}
+	p := make(Pinning, n)
+	for i := range p {
+		p[i] = CoreID{Node: i}
+	}
+	return p, nil
+}
+
+// InterChip pins n processes to n distinct chips of node 0, one process per
+// chip (Table I, "Inter chip": 1 node, 2 chips, 1 process per chip).
+func InterChip(m Machine, n int) (Pinning, error) {
+	if n > m.ChipsPerNode {
+		return nil, fmt.Errorf("topology: inter-chip pinning needs %d chips, node has %d", n, m.ChipsPerNode)
+	}
+	p := make(Pinning, n)
+	for i := range p {
+		p[i] = CoreID{Chip: i}
+	}
+	return p, nil
+}
+
+// InterCore pins n processes to n cores of chip 0 on node 0 (Table I,
+// "Inter core": 1 node, 1 chip, 4 processes per chip).
+func InterCore(m Machine, n int) (Pinning, error) {
+	if n > m.CoresPerChip {
+		return nil, fmt.Errorf("topology: inter-core pinning needs %d cores, chip has %d", n, m.CoresPerChip)
+	}
+	p := make(Pinning, n)
+	for i := range p {
+		p[i] = CoreID{Core: i}
+	}
+	return p, nil
+}
+
+// Scheduled emulates the paper's FIG7 setup, where no explicit pinning was
+// used and the scheduler placed 32 processes itself: ranks fill nodes in
+// blocks, but the node order and the core order inside a node are shuffled,
+// as batch schedulers do.
+func Scheduled(m Machine, n int, rng *xrand.Source) (Pinning, error) {
+	if n > m.TotalCores() {
+		return nil, fmt.Errorf("topology: %d processes exceed %d cores", n, m.TotalCores())
+	}
+	coresPerNode := m.ChipsPerNode * m.CoresPerChip
+	nodesNeeded := (n + coresPerNode - 1) / coresPerNode
+	nodeOrder := rng.Perm(m.Nodes)[:nodesNeeded]
+	p := make(Pinning, 0, n)
+	for _, node := range nodeOrder {
+		slots := rng.Perm(coresPerNode)
+		for _, s := range slots {
+			if len(p) == n {
+				return p, nil
+			}
+			p = append(p, CoreID{Node: node, Chip: s / m.CoresPerChip, Core: s % m.CoresPerChip})
+		}
+	}
+	return p, nil
+}
+
+// SMPThreads pins n OpenMP threads onto the cores of node 0 in chip-major
+// order (thread 0 on chip 0 core 0, etc.), the layout of the Itanium
+// experiments in Figs. 3 and 8.
+func SMPThreads(m Machine, n int) (Pinning, error) {
+	if n > m.ChipsPerNode*m.CoresPerChip {
+		return nil, fmt.Errorf("topology: %d threads exceed node capacity %d", n, m.ChipsPerNode*m.CoresPerChip)
+	}
+	p := make(Pinning, n)
+	for i := range p {
+		p[i] = CoreID{Chip: i / m.CoresPerChip, Core: i % m.CoresPerChip}
+	}
+	return p, nil
+}
+
+// ScatteredThreads places n threads on node 0 round-robin across chips
+// (thread i on chip i mod chips), the placement an OS scheduler tends to
+// produce when threads cannot be pinned — the situation of the paper's
+// Itanium OpenMP experiments, where threads on different chips read
+// different, unsynchronized timestamp counters.
+func ScatteredThreads(m Machine, n int) (Pinning, error) {
+	if n > m.ChipsPerNode*m.CoresPerChip {
+		return nil, fmt.Errorf("topology: %d threads exceed node capacity %d", n, m.ChipsPerNode*m.CoresPerChip)
+	}
+	p := make(Pinning, n)
+	for i := range p {
+		p[i] = CoreID{Chip: i % m.ChipsPerNode, Core: i / m.ChipsPerNode}
+	}
+	return p, nil
+}
+
+// Cluster instantiates the clock hardware of a machine for one timer
+// technology: oscillators per clock domain and one reader per core, all
+// deterministic in the seed.
+type Cluster struct {
+	Machine Machine
+	Preset  clock.Preset
+	rng     *xrand.Source
+	oscs    map[CoreID]*clock.Oscillator // keyed by domain representative
+	offsets map[CoreID]float64
+	clocks  map[CoreID]*clock.Clock
+	global  *clock.Oscillator
+	nodeOff map[int]float64
+}
+
+// NewCluster builds the clock fabric of machine m with the given timer
+// preset and seed.
+func NewCluster(m Machine, preset clock.Preset, seed uint64) (*Cluster, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &Cluster{
+		Machine: m,
+		Preset:  preset,
+		rng:     xrand.NewSource(seed),
+		oscs:    make(map[CoreID]*clock.Oscillator),
+		offsets: make(map[CoreID]float64),
+		clocks:  make(map[CoreID]*clock.Clock),
+		nodeOff: make(map[int]float64),
+	}, nil
+}
+
+// domain returns the representative core of the oscillator domain that
+// core c belongs to.
+func (cl *Cluster) domain(c CoreID) CoreID {
+	if cl.Preset.Kind == clock.GlobalHW {
+		return CoreID{}
+	}
+	if cl.Preset.PerChip {
+		return CoreID{Node: c.Node, Chip: c.Chip}
+	}
+	return CoreID{Node: c.Node}
+}
+
+// nodeOffset lazily draws the boot-time offset of a node's clock domain.
+func (cl *Cluster) nodeOffset(node int) float64 {
+	if off, ok := cl.nodeOff[node]; ok {
+		return off
+	}
+	off := 0.0
+	if cl.Preset.NodeOffsetMax > 0 {
+		off = cl.rng.Sub(fmt.Sprintf("nodeoff/%d", node)).Uniform(0, cl.Preset.NodeOffsetMax)
+	}
+	cl.nodeOff[node] = off
+	return off
+}
+
+// Oscillator returns (building lazily) the oscillator serving core c.
+func (cl *Cluster) Oscillator(c CoreID) (*clock.Oscillator, error) {
+	if !cl.Machine.Contains(c) {
+		return nil, fmt.Errorf("topology: core %v not on machine %q", c, cl.Machine.Name)
+	}
+	if cl.Preset.Kind == clock.GlobalHW {
+		if cl.global == nil {
+			cl.global = cl.Preset.NewOscillator(cl.rng.Sub("global"))
+		}
+		return cl.global, nil
+	}
+	d := cl.domain(c)
+	if osc, ok := cl.oscs[d]; ok {
+		return osc, nil
+	}
+	osc := cl.Preset.NewOscillator(cl.rng.Sub("osc/" + d.String()))
+	cl.oscs[d] = osc
+	off := cl.nodeOffset(d.Node)
+	if cl.Preset.PerChip && cl.Preset.ChipOffsetMax > 0 {
+		off += cl.rng.Sub("chipoff/"+d.String()).Uniform(-cl.Preset.ChipOffsetMax, cl.Preset.ChipOffsetMax)
+	}
+	cl.offsets[d] = off
+	return osc, nil
+}
+
+// NewReader builds a fresh, uncached clock reader for core c, sharing the
+// core's oscillator and offset but with its own noise stream and monotonic
+// state. Use it for postmortem sampling of a cluster whose cached per-core
+// readers have already advanced past the times of interest.
+func (cl *Cluster) NewReader(c CoreID, label string) (*clock.Clock, error) {
+	osc, err := cl.Oscillator(c)
+	if err != nil {
+		return nil, err
+	}
+	offset := cl.offsets[cl.domain(c)]
+	name := cl.Preset.Kind.String() + "@" + c.String() + "/" + label
+	return cl.Preset.NewClock(name, offset, osc, cl.rng.Sub("reader/"+label+"/"+c.String())), nil
+}
+
+// Clock returns (building lazily) the clock reader of core c. Each core
+// owns one reader; repeated calls return the same instance, preserving the
+// monotonicity state.
+func (cl *Cluster) Clock(c CoreID) (*clock.Clock, error) {
+	if ck, ok := cl.clocks[c]; ok {
+		return ck, nil
+	}
+	osc, err := cl.Oscillator(c)
+	if err != nil {
+		return nil, err
+	}
+	offset := cl.offsets[cl.domain(c)]
+	ck := cl.Preset.NewClock(cl.Preset.Kind.String()+"@"+c.String(), offset, osc, cl.rng.Sub("read/"+c.String()))
+	cl.clocks[c] = ck
+	return ck, nil
+}

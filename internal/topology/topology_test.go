@@ -1,0 +1,315 @@
+package topology
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tsync/internal/clock"
+	"tsync/internal/xrand"
+)
+
+func TestMachinePresets(t *testing.T) {
+	cases := []struct {
+		m     Machine
+		nodes int
+		chips int
+		cores int
+	}{
+		{Xeon(), 62, 2, 4},
+		{PowerPC(), 2560, 2, 2},
+		{Opteron(), 3744, 1, 2},
+		{Itanium(), 1, 4, 4},
+	}
+	for _, c := range cases {
+		if err := c.m.Validate(); err != nil {
+			t.Fatalf("%s: %v", c.m.Name, err)
+		}
+		if c.m.Nodes != c.nodes || c.m.ChipsPerNode != c.chips || c.m.CoresPerChip != c.cores {
+			t.Fatalf("%s: shape %d/%d/%d", c.m.Name, c.m.Nodes, c.m.ChipsPerNode, c.m.CoresPerChip)
+		}
+		if c.m.TotalCores() != c.nodes*c.chips*c.cores {
+			t.Fatalf("%s: TotalCores = %d", c.m.Name, c.m.TotalCores())
+		}
+	}
+}
+
+func TestParseMachine(t *testing.T) {
+	for _, s := range []string{"xeon", "ppc", "powerpc", "opteron", "itanium"} {
+		if _, err := ParseMachine(s); err != nil {
+			t.Fatalf("ParseMachine(%q): %v", s, err)
+		}
+	}
+	if _, err := ParseMachine("cray-1"); err == nil {
+		t.Fatalf("unknown machine must error")
+	}
+}
+
+func TestValidateRejectsEmpty(t *testing.T) {
+	bad := Machine{Name: "broken", Nodes: 0, ChipsPerNode: 1, CoresPerChip: 1}
+	if bad.Validate() == nil {
+		t.Fatalf("zero-node machine passed validation")
+	}
+}
+
+func TestRelate(t *testing.T) {
+	a := CoreID{Node: 0, Chip: 0, Core: 0}
+	cases := []struct {
+		b    CoreID
+		want Relation
+	}{
+		{CoreID{0, 0, 0}, SameCore},
+		{CoreID{0, 0, 1}, SameChip},
+		{CoreID{0, 1, 0}, SameNode},
+		{CoreID{1, 0, 0}, CrossNode},
+	}
+	for _, c := range cases {
+		if got := Relate(a, c.b); got != c.want {
+			t.Fatalf("Relate(%v,%v) = %v, want %v", a, c.b, got, c.want)
+		}
+		if got := Relate(c.b, a); got != c.want {
+			t.Fatalf("Relate not symmetric for %v", c.b)
+		}
+	}
+	for _, r := range []Relation{SameCore, SameChip, SameNode, CrossNode, Relation(9)} {
+		if r.String() == "" {
+			t.Fatalf("empty Relation string")
+		}
+	}
+}
+
+func TestTableIPinnings(t *testing.T) {
+	m := Xeon()
+	// Table I: inter node = 4 nodes, 1 process per node
+	p, err := InterNode(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range p {
+		if c.Node != i || c.Chip != 0 || c.Core != 0 {
+			t.Fatalf("inter-node rank %d on %v", i, c)
+		}
+	}
+	// inter chip = 1 node, 2 chips, 1 process per chip
+	p, err = InterChip(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Relate(p[0], p[1]) != SameNode {
+		t.Fatalf("inter-chip pinning produced relation %v", Relate(p[0], p[1]))
+	}
+	// inter core = 1 node, 1 chip, 4 processes
+	p, err = InterCore(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(p); i++ {
+		if Relate(p[0], p[i]) != SameChip {
+			t.Fatalf("inter-core pinning rank %d relation %v", i, Relate(p[0], p[i]))
+		}
+	}
+}
+
+func TestPinningCapacityErrors(t *testing.T) {
+	m := Xeon()
+	if _, err := InterNode(m, m.Nodes+1); err == nil {
+		t.Fatalf("oversubscribed InterNode must error")
+	}
+	if _, err := InterChip(m, 3); err == nil {
+		t.Fatalf("oversubscribed InterChip must error")
+	}
+	if _, err := InterCore(m, 5); err == nil {
+		t.Fatalf("oversubscribed InterCore must error")
+	}
+	if _, err := SMPThreads(m, 9); err == nil {
+		t.Fatalf("oversubscribed SMPThreads must error")
+	}
+	if _, err := Scheduled(m, m.TotalCores()+1, xrand.NewSource(1)); err == nil {
+		t.Fatalf("oversubscribed Scheduled must error")
+	}
+}
+
+func TestValidateCatchesDoubleBooking(t *testing.T) {
+	m := Xeon()
+	p := Pinning{{0, 0, 0}, {0, 0, 0}}
+	if p.Validate(m) == nil {
+		t.Fatalf("double-booked pinning passed validation")
+	}
+	p = Pinning{{99, 0, 0}}
+	if p.Validate(m) == nil {
+		t.Fatalf("out-of-range pinning passed validation")
+	}
+}
+
+func TestScheduledPinningProperties(t *testing.T) {
+	m := Xeon()
+	rng := xrand.NewSource(5)
+	check := func(nRaw uint8) bool {
+		n := int(nRaw)%64 + 1
+		p, err := Scheduled(m, n, rng)
+		if err != nil || len(p) != n {
+			return false
+		}
+		return p.Validate(m) == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduledFillsNodesInBlocks(t *testing.T) {
+	m := Xeon()
+	p, err := Scheduled(m, 32, xrand.NewSource(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := map[int]int{}
+	for _, c := range p {
+		nodes[c.Node]++
+	}
+	// 32 processes on 8-core nodes: exactly 4 full nodes
+	if len(nodes) != 4 {
+		t.Fatalf("32 ranks spread over %d nodes, want 4", len(nodes))
+	}
+	for n, cnt := range nodes {
+		if cnt != 8 {
+			t.Fatalf("node %d got %d ranks, want 8", n, cnt)
+		}
+	}
+}
+
+func TestSMPThreadsChipMajor(t *testing.T) {
+	m := Itanium()
+	p, err := SMPThreads(m, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// threads 0-3 on chip 0, threads 4-7 on chip 1
+	for i, c := range p {
+		if c.Node != 0 || c.Chip != i/4 || c.Core != i%4 {
+			t.Fatalf("thread %d on %v", i, c)
+		}
+	}
+}
+
+func TestClusterOscillatorDomains(t *testing.T) {
+	// Xeon boards clock both sockets from one crystal: the TSC domain is
+	// the node
+	cl, err := NewCluster(Xeon(), clock.PresetFor(clock.TSC, "xeon"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := cl.Clock(CoreID{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := cl.Clock(CoreID{0, 0, 1}) // same chip
+	c, _ := cl.Clock(CoreID{0, 1, 0}) // other chip, same node
+	d, _ := cl.Clock(CoreID{1, 0, 0}) // other node
+	if a.Oscillator() != b.Oscillator() || a.Oscillator() != c.Oscillator() {
+		t.Fatalf("Xeon TSCs within a node must share the oscillator")
+	}
+	if a.Oscillator() == d.Oscillator() {
+		t.Fatalf("nodes must have distinct TSC oscillators")
+	}
+	if a == b {
+		t.Fatalf("each core must own its reader")
+	}
+	// the Itanium ITC is per chip — the premise of the Fig. 8 experiment
+	it, err := NewCluster(Itanium(), clock.PresetFor(clock.TSC, "itanium"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := it.Clock(CoreID{0, 0, 0})
+	y, _ := it.Clock(CoreID{0, 0, 1})
+	z, _ := it.Clock(CoreID{0, 1, 0})
+	if x.Oscillator() != y.Oscillator() {
+		t.Fatalf("Itanium cores of one chip must share the ITC")
+	}
+	if x.Oscillator() == z.Oscillator() {
+		t.Fatalf("Itanium chips must have distinct ITCs")
+	}
+}
+
+func TestClusterSystemClockPerNode(t *testing.T) {
+	cl, err := NewCluster(Xeon(), clock.PresetFor(clock.Gettimeofday, "xeon"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := cl.Clock(CoreID{0, 0, 0})
+	b, _ := cl.Clock(CoreID{0, 1, 0}) // other chip, same node
+	if a.Oscillator() != b.Oscillator() {
+		t.Fatalf("gettimeofday must be per node, chips got distinct oscillators")
+	}
+}
+
+func TestClusterGlobalClockShared(t *testing.T) {
+	cl, err := NewCluster(Xeon(), clock.PresetFor(clock.GlobalHW, "xeon"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := cl.Clock(CoreID{0, 0, 0})
+	b, _ := cl.Clock(CoreID{61, 1, 3})
+	if a.Oscillator() != b.Oscillator() {
+		t.Fatalf("global clock must be machine-wide")
+	}
+	if a.Offset() != 0 || b.Offset() != 0 {
+		t.Fatalf("global clock must have zero offsets")
+	}
+}
+
+func TestClusterClockCached(t *testing.T) {
+	cl, _ := NewCluster(Xeon(), clock.PresetFor(clock.TSC, "xeon"), 1)
+	a, _ := cl.Clock(CoreID{0, 0, 0})
+	b, _ := cl.Clock(CoreID{0, 0, 0})
+	if a != b {
+		t.Fatalf("Clock not cached per core")
+	}
+}
+
+func TestClusterRejectsBadCore(t *testing.T) {
+	cl, _ := NewCluster(Xeon(), clock.PresetFor(clock.TSC, "xeon"), 1)
+	if _, err := cl.Clock(CoreID{99, 0, 0}); err == nil {
+		t.Fatalf("nonexistent core must error")
+	}
+}
+
+func TestClusterDeterministic(t *testing.T) {
+	read := func() float64 {
+		cl, _ := NewCluster(Xeon(), clock.PresetFor(clock.TSC, "xeon"), 42)
+		c, _ := cl.Clock(CoreID{3, 1, 2})
+		return c.Read(100)
+	}
+	if read() != read() {
+		t.Fatalf("cluster clocks not deterministic")
+	}
+}
+
+func TestIntraNodeOffsetsSmall(t *testing.T) {
+	// §IV end: co-located clocks differ by far less than across nodes
+	// (on Itanium, where chips have their own oscillators)
+	cl, _ := NewCluster(Itanium(), clock.PresetFor(clock.TSC, "itanium"), 3)
+	a, _ := cl.Clock(CoreID{0, 0, 0})
+	b, _ := cl.Clock(CoreID{0, 1, 0})
+	xe, _ := NewCluster(Xeon(), clock.PresetFor(clock.TSC, "xeon"), 3)
+	d, _ := xe.Clock(CoreID{1, 0, 0})
+	a2, _ := xe.Clock(CoreID{0, 0, 0})
+	_ = a2
+	intra := math.Abs(a.Ideal(0) - b.Ideal(0))
+	inter := math.Abs(a2.Ideal(0) - d.Ideal(0))
+	if intra > 5e-6 {
+		t.Fatalf("intra-node offset %v s too large", intra)
+	}
+	if inter < 1e-3 {
+		t.Fatalf("inter-node offset %v s suspiciously small", inter)
+	}
+}
+
+func TestCoreIDString(t *testing.T) {
+	if got := (CoreID{1, 2, 3}).String(); got != "1:2:3" {
+		t.Fatalf("CoreID.String = %q", got)
+	}
+}

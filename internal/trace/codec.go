@@ -1,0 +1,290 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"tsync/internal/topology"
+)
+
+// Binary trace format (".etr"):
+//
+//	magic "ETRC" | version u8
+//	machine string | timer string
+//	minLatency [4]f64
+//	regionCount uvarint | region strings
+//	procCount uvarint
+//	per proc: rank uvarint | core (3 uvarints) | clock string |
+//	          eventCount uvarint | events
+//	per event: kind u8 | op u8 | time f64 | true f64 |
+//	           region varint | instance varint | partner varint |
+//	           tag varint | bytes varint | comm varint | root varint
+//
+// All integers are varints; floats are IEEE-754 bits little-endian.
+
+const (
+	codecMagic   = "ETRC"
+	codecVersion = 1
+)
+
+// ErrBadFormat reports a malformed or truncated trace file.
+var ErrBadFormat = errors.New("trace: bad file format")
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+func writeVarint(w *bufio.Writer, v int64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+func writeString(w *bufio.Writer, s string) error {
+	if err := writeUvarint(w, uint64(len(s))); err != nil {
+		return err
+	}
+	_, err := w.WriteString(s)
+	return err
+}
+
+func writeFloat(w *bufio.Writer, f float64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// Write encodes the trace to w. It returns the number of bytes written.
+func Write(w io.Writer, t *Trace) (int64, error) {
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	if _, err := bw.WriteString(codecMagic); err != nil {
+		return cw.n, err
+	}
+	if err := bw.WriteByte(codecVersion); err != nil {
+		return cw.n, err
+	}
+	if err := writeString(bw, t.Machine); err != nil {
+		return cw.n, err
+	}
+	if err := writeString(bw, t.Timer); err != nil {
+		return cw.n, err
+	}
+	for _, l := range t.MinLatency {
+		if err := writeFloat(bw, l); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := writeUvarint(bw, uint64(len(t.Regions))); err != nil {
+		return cw.n, err
+	}
+	for _, r := range t.Regions {
+		if err := writeString(bw, r); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := writeUvarint(bw, uint64(len(t.Procs))); err != nil {
+		return cw.n, err
+	}
+	for _, p := range t.Procs {
+		if err := writeUvarint(bw, uint64(p.Rank)); err != nil {
+			return cw.n, err
+		}
+		for _, c := range [3]int{p.Core.Node, p.Core.Chip, p.Core.Core} {
+			if err := writeUvarint(bw, uint64(c)); err != nil {
+				return cw.n, err
+			}
+		}
+		if err := writeString(bw, p.Clock); err != nil {
+			return cw.n, err
+		}
+		if err := writeUvarint(bw, uint64(len(p.Events))); err != nil {
+			return cw.n, err
+		}
+		for i := range p.Events {
+			if err := writeEvent(bw, &p.Events[i]); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+	return cw.n, bw.Flush()
+}
+
+func writeEvent(w *bufio.Writer, ev *Event) error {
+	if err := w.WriteByte(byte(ev.Kind)); err != nil {
+		return err
+	}
+	if err := w.WriteByte(byte(ev.Op)); err != nil {
+		return err
+	}
+	if err := writeFloat(w, ev.Time); err != nil {
+		return err
+	}
+	if err := writeFloat(w, ev.True); err != nil {
+		return err
+	}
+	for _, v := range [7]int32{ev.Region, ev.Instance, ev.Partner, ev.Tag, ev.Bytes, ev.Comm, ev.Root} {
+		if err := writeVarint(w, int64(v)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readString(r *bufio.Reader, maxLen uint64) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > maxLen {
+		return "", fmt.Errorf("%w: string length %d exceeds limit", ErrBadFormat, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func readFloat(r *bufio.Reader) (float64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+}
+
+// Read decodes a trace from r.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(codecMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if string(magic) != codecMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, magic)
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != codecVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, ver)
+	}
+	t := &Trace{}
+	if t.Machine, err = readString(br, 1<<16); err != nil {
+		return nil, err
+	}
+	if t.Timer, err = readString(br, 1<<16); err != nil {
+		return nil, err
+	}
+	for i := range t.MinLatency {
+		if t.MinLatency[i], err = readFloat(br); err != nil {
+			return nil, err
+		}
+	}
+	nRegions, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if nRegions > 1<<24 {
+		return nil, fmt.Errorf("%w: region table too large", ErrBadFormat)
+	}
+	t.Regions = make([]string, nRegions)
+	for i := range t.Regions {
+		if t.Regions[i], err = readString(br, 1<<16); err != nil {
+			return nil, err
+		}
+	}
+	nProcs, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if nProcs > 1<<24 {
+		return nil, fmt.Errorf("%w: process count too large", ErrBadFormat)
+	}
+	t.Procs = make([]Proc, nProcs)
+	for i := range t.Procs {
+		p := &t.Procs[i]
+		rank, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		p.Rank = int(rank)
+		var core [3]uint64
+		for j := range core {
+			if core[j], err = binary.ReadUvarint(br); err != nil {
+				return nil, err
+			}
+		}
+		p.Core = topology.CoreID{Node: int(core[0]), Chip: int(core[1]), Core: int(core[2])}
+		if p.Clock, err = readString(br, 1<<16); err != nil {
+			return nil, err
+		}
+		nEvents, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if nEvents > 1<<30 {
+			return nil, fmt.Errorf("%w: event count too large", ErrBadFormat)
+		}
+		p.Events = make([]Event, nEvents)
+		for j := range p.Events {
+			if err := readEvent(br, &p.Events[j]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t, nil
+}
+
+func readEvent(r *bufio.Reader, ev *Event) error {
+	kind, err := r.ReadByte()
+	if err != nil {
+		return err
+	}
+	ev.Kind = Kind(kind)
+	op, err := r.ReadByte()
+	if err != nil {
+		return err
+	}
+	ev.Op = CollOp(op)
+	if ev.Time, err = readFloat(r); err != nil {
+		return err
+	}
+	if ev.True, err = readFloat(r); err != nil {
+		return err
+	}
+	dst := [7]*int32{&ev.Region, &ev.Instance, &ev.Partner, &ev.Tag, &ev.Bytes, &ev.Comm, &ev.Root}
+	for _, p := range dst {
+		v, err := binary.ReadVarint(r)
+		if err != nil {
+			return err
+		}
+		if v > math.MaxInt32 || v < math.MinInt32 {
+			return fmt.Errorf("%w: field overflows int32", ErrBadFormat)
+		}
+		*p = int32(v)
+	}
+	return nil
+}

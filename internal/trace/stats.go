@@ -1,0 +1,237 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"tsync/internal/topology"
+)
+
+// Summary aggregates descriptive statistics of a trace for tooling
+// (cmd/tracestat) and sanity checks.
+type Summary struct {
+	Machine string
+	Timer   string
+	Procs   int
+	Events  int
+	// ByKind counts events per kind name.
+	ByKind map[string]int
+	// Regions maps region names to visit counts (Enter events).
+	Regions map[string]int
+	// SpanTime is the measured timestamp span (max Time - min Time).
+	SpanTime float64
+	// SpanTrue is the oracle time span.
+	SpanTrue float64
+	// Bytes is the total payload volume of Send events.
+	Bytes int64
+}
+
+// Summarize computes a Summary.
+func Summarize(t *Trace) Summary {
+	s := Summary{
+		Machine: t.Machine,
+		Timer:   t.Timer,
+		Procs:   len(t.Procs),
+		ByKind:  map[string]int{},
+		Regions: map[string]int{},
+	}
+	minT, maxT := 0.0, 0.0
+	minTrue, maxTrue := 0.0, 0.0
+	first := true
+	for _, p := range t.Procs {
+		for _, ev := range p.Events {
+			s.Events++
+			s.ByKind[ev.Kind.String()]++
+			if ev.Kind == Enter {
+				s.Regions[t.RegionName(ev.Region)]++
+			}
+			if ev.Kind == Send {
+				s.Bytes += int64(ev.Bytes)
+			}
+			if first {
+				minT, maxT = ev.Time, ev.Time
+				minTrue, maxTrue = ev.True, ev.True
+				first = false
+				continue
+			}
+			if ev.Time < minT {
+				minT = ev.Time
+			}
+			if ev.Time > maxT {
+				maxT = ev.Time
+			}
+			if ev.True < minTrue {
+				minTrue = ev.True
+			}
+			if ev.True > maxTrue {
+				maxTrue = ev.True
+			}
+		}
+	}
+	s.SpanTime = maxT - minT
+	s.SpanTrue = maxTrue - minTrue
+	return s
+}
+
+// String renders the summary as aligned text.
+func (s Summary) String() string {
+	out := fmt.Sprintf("machine %s, timer %s: %d procs, %d events, span %.3f s (true %.3f s), %d payload bytes\n",
+		s.Machine, s.Timer, s.Procs, s.Events, s.SpanTime, s.SpanTrue, s.Bytes)
+	kinds := make([]string, 0, len(s.ByKind))
+	for k := range s.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		out += fmt.Sprintf("  %-13s %d\n", k, s.ByKind[k])
+	}
+	regions := make([]string, 0, len(s.Regions))
+	for r := range s.Regions {
+		regions = append(regions, r)
+	}
+	sort.Strings(regions)
+	for _, r := range regions {
+		out += fmt.Sprintf("  region %-20q %d visits\n", r, s.Regions[r])
+	}
+	return out
+}
+
+// jsonEvent is the JSON view of an Event (field names match the struct).
+type jsonEvent struct {
+	Kind     string  `json:"kind"`
+	Time     float64 `json:"time"`
+	True     float64 `json:"true"`
+	Region   string  `json:"region,omitempty"`
+	Instance int32   `json:"instance,omitempty"`
+	Partner  int32   `json:"partner,omitempty"`
+	Tag      int32   `json:"tag,omitempty"`
+	Bytes    int32   `json:"bytes,omitempty"`
+	Comm     int32   `json:"comm,omitempty"`
+	Op       string  `json:"op,omitempty"`
+	Root     int32   `json:"root,omitempty"`
+}
+
+type jsonProc struct {
+	Rank   int         `json:"rank"`
+	Core   string      `json:"core"`
+	Clock  string      `json:"clock"`
+	Events []jsonEvent `json:"events"`
+}
+
+type jsonTrace struct {
+	Machine    string     `json:"machine"`
+	Timer      string     `json:"timer"`
+	MinLatency [4]float64 `json:"minLatency"`
+	Procs      []jsonProc `json:"procs"`
+}
+
+// WriteJSON exports the trace as JSON for external tooling. The format is
+// self-describing (region and op names inline) and lossy only in that
+// region ids are resolved to names.
+func WriteJSON(w io.Writer, t *Trace) error {
+	out := jsonTrace{Machine: t.Machine, Timer: t.Timer, MinLatency: t.MinLatency}
+	for _, p := range t.Procs {
+		jp := jsonProc{Rank: p.Rank, Core: p.Core.String(), Clock: p.Clock}
+		for _, ev := range p.Events {
+			je := jsonEvent{
+				Kind:     ev.Kind.String(),
+				Time:     ev.Time,
+				True:     ev.True,
+				Instance: ev.Instance,
+				Partner:  ev.Partner,
+				Tag:      ev.Tag,
+				Bytes:    ev.Bytes,
+				Comm:     ev.Comm,
+				Root:     ev.Root,
+			}
+			if ev.Region >= 0 {
+				je.Region = t.RegionName(ev.Region)
+			}
+			if ev.Op != OpNone {
+				je.Op = ev.Op.String()
+			}
+			jp.Events = append(jp.Events, je)
+		}
+		out.Procs = append(out.Procs, jp)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// parseKindName maps an event-kind name back to its Kind.
+func parseKindName(s string) (Kind, error) {
+	for k, name := range kindNames {
+		if name == s {
+			return Kind(k), nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown event kind %q", s)
+}
+
+// parseCollOpName maps a collective-op name back to its CollOp.
+func parseCollOpName(s string) (CollOp, error) {
+	if s == "" {
+		return OpNone, nil
+	}
+	for o, name := range collNames {
+		if name == s {
+			return CollOp(o), nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown collective op %q", s)
+}
+
+// ReadJSON imports a trace from the WriteJSON format, so traces produced
+// by external tools (or edited by hand) can enter the synchronization
+// pipeline. Region names are re-interned; core ids parse from the
+// "node:chip:core" form.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	var in jsonTrace
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("trace: json import: %w", err)
+	}
+	t := &Trace{Machine: in.Machine, Timer: in.Timer, MinLatency: in.MinLatency}
+	for i, jp := range in.Procs {
+		if jp.Rank != i {
+			return nil, fmt.Errorf("trace: json import: proc %d has rank %d", i, jp.Rank)
+		}
+		var node, chip, core int
+		if _, err := fmt.Sscanf(jp.Core, "%d:%d:%d", &node, &chip, &core); err != nil {
+			return nil, fmt.Errorf("trace: json import: proc %d core %q: %w", i, jp.Core, err)
+		}
+		p := Proc{Rank: jp.Rank, Core: topology.CoreID{Node: node, Chip: chip, Core: core}, Clock: jp.Clock}
+		for j, je := range jp.Events {
+			kind, err := parseKindName(je.Kind)
+			if err != nil {
+				return nil, fmt.Errorf("trace: json import: proc %d event %d: %w", i, j, err)
+			}
+			op, err := parseCollOpName(je.Op)
+			if err != nil {
+				return nil, fmt.Errorf("trace: json import: proc %d event %d: %w", i, j, err)
+			}
+			region := int32(-1)
+			if je.Region != "" {
+				region = t.RegionID(je.Region)
+			}
+			p.Events = append(p.Events, Event{
+				Kind:     kind,
+				Time:     je.Time,
+				True:     je.True,
+				Region:   region,
+				Instance: je.Instance,
+				Partner:  je.Partner,
+				Tag:      je.Tag,
+				Bytes:    je.Bytes,
+				Comm:     je.Comm,
+				Op:       op,
+				Root:     je.Root,
+			})
+		}
+		t.Procs = append(t.Procs, p)
+	}
+	return t, nil
+}

@@ -1,0 +1,368 @@
+// Package trace defines the event-trace data model of the study: the event
+// records a Scalasca/VAMPIR-style measurement system produces (Section III
+// of the paper), per-process event streams, postmortem message matching,
+// and a compact binary codec for trace files.
+//
+// Each event carries two times. Time is the *local timestamp* the traced
+// process obtained from its processor clock — the quantity whose accuracy
+// the paper investigates, and the one correction algorithms rewrite. True
+// is the simulation oracle: the exact global time at which the event
+// happened. Real traces do not have True; it exists so experiments can
+// report exact errors and tests can verify algorithms against ground truth.
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"tsync/internal/topology"
+)
+
+// Kind enumerates event types (point-to-point, collective, and the POMP
+// shared-memory events of Fig. 2).
+type Kind uint8
+
+const (
+	// Enter marks entry into a code region.
+	Enter Kind = iota
+	// Exit marks exit from a code region.
+	Exit
+	// Send marks the sending of a point-to-point message.
+	Send
+	// Recv marks the receipt of a point-to-point message.
+	Recv
+	// CollBegin marks entry into a collective operation.
+	CollBegin
+	// CollEnd marks completion of a collective operation.
+	CollEnd
+	// Fork marks the master thread opening a parallel region (POMP).
+	Fork
+	// Join marks the master thread closing a parallel region (POMP).
+	Join
+	// BarrierEnter marks a thread entering a barrier (POMP).
+	BarrierEnter
+	// BarrierExit marks a thread leaving a barrier (POMP).
+	BarrierExit
+)
+
+var kindNames = [...]string{
+	"Enter", "Exit", "Send", "Recv", "CollBegin", "CollEnd",
+	"Fork", "Join", "BarrierEnter", "BarrierExit",
+}
+
+// String names the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// CollOp enumerates collective operations. Their semantics determine how
+// they map onto point-to-point happened-before edges (Section V: 1-to-N,
+// N-to-1, N-to-N).
+type CollOp uint8
+
+const (
+	// OpNone is the zero value for non-collective events.
+	OpNone CollOp = iota
+	// OpBarrier is MPI_Barrier (N-to-N).
+	OpBarrier
+	// OpBcast is MPI_Bcast (1-to-N).
+	OpBcast
+	// OpReduce is MPI_Reduce (N-to-1).
+	OpReduce
+	// OpAllreduce is MPI_Allreduce (N-to-N).
+	OpAllreduce
+	// OpGather is MPI_Gather (N-to-1).
+	OpGather
+	// OpScatter is MPI_Scatter (1-to-N).
+	OpScatter
+	// OpAllgather is MPI_Allgather (N-to-N).
+	OpAllgather
+	// OpAlltoall is MPI_Alltoall (N-to-N).
+	OpAlltoall
+)
+
+var collNames = [...]string{
+	"none", "barrier", "bcast", "reduce", "allreduce",
+	"gather", "scatter", "allgather", "alltoall",
+}
+
+// String names the collective operation.
+func (o CollOp) String() string {
+	if int(o) < len(collNames) {
+		return collNames[o]
+	}
+	return fmt.Sprintf("CollOp(%d)", uint8(o))
+}
+
+// Event is one trace record.
+type Event struct {
+	Kind Kind
+	// Time is the local timestamp (seconds) from the process's clock;
+	// correction algorithms rewrite this field.
+	Time float64
+	// True is the oracle global time (seconds); never rewritten.
+	True float64
+	// Region indexes the trace's region-name table (Enter/Exit and POMP
+	// events); -1 when unused.
+	Region int32
+	// Instance is the dynamic instance number of the region (POMP) or
+	// the per-communicator sequence number of the collective.
+	Instance int32
+	// Partner is the peer rank of a Send (destination) or Recv (source);
+	// -1 when unused.
+	Partner int32
+	// Tag is the message tag.
+	Tag int32
+	// Bytes is the message or collective payload size.
+	Bytes int32
+	// Comm identifies the communicator.
+	Comm int32
+	// Op is the collective operation of CollBegin/CollEnd.
+	Op CollOp
+	// Root is the root rank of rooted collectives; -1 otherwise.
+	Root int32
+}
+
+// Proc is one process's (or thread's) event stream.
+type Proc struct {
+	Rank   int
+	Core   topology.CoreID
+	Clock  string // name of the clock the timestamps came from
+	Events []Event
+}
+
+// Trace is a complete multi-process event trace.
+type Trace struct {
+	Machine string
+	Timer   string
+	// Regions is the region-name table indexed by Event.Region.
+	Regions []string
+	Procs   []Proc
+	// MinLatency gives l_min (seconds) by topology.Relation, used by the
+	// clock condition (Eq. 1) and the correction algorithms. Indexed by
+	// the Relation constants; SameCore is unused.
+	MinLatency [4]float64
+}
+
+// RegionID interns a region name, returning its table index.
+func (t *Trace) RegionID(name string) int32 {
+	for i, r := range t.Regions {
+		if r == name {
+			return int32(i)
+		}
+	}
+	t.Regions = append(t.Regions, name)
+	return int32(len(t.Regions) - 1)
+}
+
+// RegionName returns the name for a region id, or "?" when out of range.
+func (t *Trace) RegionName(id int32) string {
+	if id >= 0 && int(id) < len(t.Regions) {
+		return t.Regions[id]
+	}
+	return "?"
+}
+
+// MinLatencyBetween returns l_min for a message between the cores of two
+// ranks.
+func (t *Trace) MinLatencyBetween(a, b int) float64 {
+	if a < 0 || a >= len(t.Procs) || b < 0 || b >= len(t.Procs) {
+		return 0
+	}
+	return t.MinLatency[topology.Relate(t.Procs[a].Core, t.Procs[b].Core)]
+}
+
+// EventCount returns the total number of events across all processes.
+func (t *Trace) EventCount() int {
+	n := 0
+	for _, p := range t.Procs {
+		n += len(p.Events)
+	}
+	return n
+}
+
+// Clone returns a deep copy (correction algorithms work on copies so the
+// original measurement is preserved for before/after comparison).
+func (t *Trace) Clone() *Trace {
+	out := &Trace{
+		Machine:    t.Machine,
+		Timer:      t.Timer,
+		Regions:    append([]string(nil), t.Regions...),
+		Procs:      make([]Proc, len(t.Procs)),
+		MinLatency: t.MinLatency,
+	}
+	for i, p := range t.Procs {
+		out.Procs[i] = Proc{
+			Rank:   p.Rank,
+			Core:   p.Core,
+			Clock:  p.Clock,
+			Events: append([]Event(nil), p.Events...),
+		}
+	}
+	return out
+}
+
+// Validate checks structural integrity: ranks are dense and ordered, True
+// times are non-decreasing per process (the simulation guarantee), and
+// message/region fields are in range. It does NOT check the clock
+// condition on Time — violating it is the phenomenon under study.
+func (t *Trace) Validate() error {
+	for i, p := range t.Procs {
+		if p.Rank != i {
+			return fmt.Errorf("trace: proc %d has rank %d", i, p.Rank)
+		}
+		prev := -1.0
+		for j, ev := range p.Events {
+			if ev.True < prev {
+				return fmt.Errorf("trace: rank %d event %d: true time regressed (%v after %v)", i, j, ev.True, prev)
+			}
+			prev = ev.True
+			switch ev.Kind {
+			case Send, Recv:
+				if int(ev.Partner) < 0 || int(ev.Partner) >= len(t.Procs) {
+					return fmt.Errorf("trace: rank %d event %d: partner %d out of range", i, j, ev.Partner)
+				}
+			case Enter, Exit, Fork, Join, BarrierEnter, BarrierExit:
+				if ev.Region >= int32(len(t.Regions)) {
+					return fmt.Errorf("trace: rank %d event %d: region %d out of table range", i, j, ev.Region)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Message is one matched point-to-point message (or one logical
+// point-to-point edge derived from a collective).
+type Message struct {
+	From, FromIdx int // sender rank and event index of the Send
+	To, ToIdx     int // receiver rank and event index of the Recv
+}
+
+// Messages matches Send and Recv events postmortem using MPI's
+// non-overtaking rule: messages between the same (sender, receiver, tag,
+// communicator) quadruple are received in the order they were sent.
+// Unmatched events are an error — the simulator always produces complete
+// communication records.
+func (t *Trace) Messages() ([]Message, error) {
+	type chanKey struct {
+		from, to, tag, comm int32
+	}
+	pending := make(map[chanKey][]Message) // sends awaiting their receive
+	var out []Message
+	// Walk sends in per-process order (which respects per-channel send
+	// order) and receives in per-process order.
+	for rank, p := range t.Procs {
+		for idx, ev := range p.Events {
+			if ev.Kind != Send {
+				continue
+			}
+			k := chanKey{from: int32(rank), to: ev.Partner, tag: ev.Tag, comm: ev.Comm}
+			pending[k] = append(pending[k], Message{From: rank, FromIdx: idx})
+		}
+	}
+	for rank, p := range t.Procs {
+		for idx, ev := range p.Events {
+			if ev.Kind != Recv {
+				continue
+			}
+			k := chanKey{from: ev.Partner, to: int32(rank), tag: ev.Tag, comm: ev.Comm}
+			q := pending[k]
+			if len(q) == 0 {
+				return nil, fmt.Errorf("trace: rank %d event %d: Recv from %d tag %d has no matching Send", rank, idx, ev.Partner, ev.Tag)
+			}
+			m := q[0]
+			pending[k] = q[1:]
+			m.To, m.ToIdx = rank, idx
+			out = append(out, m)
+		}
+	}
+	for k, q := range pending {
+		if len(q) > 0 {
+			return nil, fmt.Errorf("trace: %d unmatched Sends from %d to %d tag %d", len(q), k.from, k.to, k.tag)
+		}
+	}
+	// deterministic order: by receiver, then receive index
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].To != out[j].To {
+			return out[i].To < out[j].To
+		}
+		return out[i].ToIdx < out[j].ToIdx
+	})
+	return out, nil
+}
+
+// Collective is one matched collective operation instance across its
+// participants.
+type Collective struct {
+	Op       CollOp
+	Comm     int32
+	Instance int32
+	Root     int32 // -1 for unrooted
+	// Begin and End give, per participating rank, the event index of its
+	// CollBegin and CollEnd records.
+	Begin map[int]int
+	End   map[int]int
+}
+
+// Collectives groups CollBegin/CollEnd events by (communicator, instance).
+// Every instance must have matching begin/end pairs on every participant.
+func (t *Trace) Collectives() ([]Collective, error) {
+	type key struct {
+		comm, inst int32
+	}
+	m := map[key]*Collective{}
+	var order []key
+	for rank, p := range t.Procs {
+		for idx, ev := range p.Events {
+			if ev.Kind != CollBegin && ev.Kind != CollEnd {
+				continue
+			}
+			k := key{ev.Comm, ev.Instance}
+			c, ok := m[k]
+			if !ok {
+				c = &Collective{Op: ev.Op, Comm: ev.Comm, Instance: ev.Instance, Root: ev.Root,
+					Begin: map[int]int{}, End: map[int]int{}}
+				m[k] = c
+				order = append(order, k)
+			}
+			if c.Op != ev.Op {
+				return nil, fmt.Errorf("trace: collective comm %d instance %d mixes ops %v and %v", ev.Comm, ev.Instance, c.Op, ev.Op)
+			}
+			if ev.Kind == CollBegin {
+				if _, dup := c.Begin[rank]; dup {
+					return nil, fmt.Errorf("trace: rank %d has duplicate CollBegin for comm %d instance %d", rank, ev.Comm, ev.Instance)
+				}
+				c.Begin[rank] = idx
+			} else {
+				if _, dup := c.End[rank]; dup {
+					return nil, fmt.Errorf("trace: rank %d has duplicate CollEnd for comm %d instance %d", rank, ev.Comm, ev.Instance)
+				}
+				c.End[rank] = idx
+			}
+		}
+	}
+	out := make([]Collective, 0, len(order))
+	for _, k := range order {
+		c := m[k]
+		if len(c.Begin) != len(c.End) {
+			return nil, fmt.Errorf("trace: collective comm %d instance %d has %d begins but %d ends", k.comm, k.inst, len(c.Begin), len(c.End))
+		}
+		for rank := range c.Begin {
+			if _, ok := c.End[rank]; !ok {
+				return nil, fmt.Errorf("trace: rank %d began collective comm %d instance %d but never ended it", rank, k.comm, k.inst)
+			}
+		}
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Comm != out[j].Comm {
+			return out[i].Comm < out[j].Comm
+		}
+		return out[i].Instance < out[j].Instance
+	})
+	return out, nil
+}

@@ -1,0 +1,607 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"tsync/internal/topology"
+	"tsync/internal/xrand"
+)
+
+// tinyTrace builds a two-rank trace with one message and one collective.
+func tinyTrace() *Trace {
+	t := &Trace{Machine: "Xeon cluster", Timer: "TSC"}
+	t.MinLatency = [4]float64{0, 0.46e-6, 0.84e-6, 4.2e-6}
+	reg := t.RegionID("main")
+	t.Procs = []Proc{
+		{Rank: 0, Core: topology.CoreID{Node: 0}, Clock: "TSC@0:0:0", Events: []Event{
+			{Kind: Enter, Time: 0.0, True: 0.0, Region: reg, Partner: -1, Root: -1},
+			{Kind: Send, Time: 1.0, True: 1.0, Partner: 1, Tag: 7, Bytes: 64, Region: -1, Root: -1},
+			{Kind: CollBegin, Time: 2.0, True: 2.0, Op: OpAllreduce, Comm: 0, Instance: 0, Partner: -1, Region: -1, Root: -1},
+			{Kind: CollEnd, Time: 2.5, True: 2.5, Op: OpAllreduce, Comm: 0, Instance: 0, Partner: -1, Region: -1, Root: -1},
+			{Kind: Exit, Time: 3.0, True: 3.0, Region: reg, Partner: -1, Root: -1},
+		}},
+		{Rank: 1, Core: topology.CoreID{Node: 1}, Clock: "TSC@1:0:0", Events: []Event{
+			{Kind: Enter, Time: 0.0, True: 0.0, Region: reg, Partner: -1, Root: -1},
+			{Kind: Recv, Time: 1.1, True: 1.00001, Partner: 0, Tag: 7, Bytes: 64, Region: -1, Root: -1},
+			{Kind: CollBegin, Time: 2.0, True: 2.0, Op: OpAllreduce, Comm: 0, Instance: 0, Partner: -1, Region: -1, Root: -1},
+			{Kind: CollEnd, Time: 2.5, True: 2.5, Op: OpAllreduce, Comm: 0, Instance: 0, Partner: -1, Region: -1, Root: -1},
+			{Kind: Exit, Time: 3.0, True: 3.0, Region: reg, Partner: -1, Root: -1},
+		}},
+	}
+	return t
+}
+
+func TestKindAndOpStrings(t *testing.T) {
+	for k := Enter; k <= BarrierExit; k++ {
+		if k.String() == "" {
+			t.Fatalf("Kind %d has empty name", k)
+		}
+	}
+	if Kind(200).String() == "" || CollOp(200).String() == "" {
+		t.Fatalf("out-of-range enums must still print")
+	}
+	for o := OpNone; o <= OpAlltoall; o++ {
+		if o.String() == "" {
+			t.Fatalf("CollOp %d has empty name", o)
+		}
+	}
+}
+
+func TestRegionInterning(t *testing.T) {
+	tr := &Trace{}
+	a := tr.RegionID("compute")
+	b := tr.RegionID("io")
+	c := tr.RegionID("compute")
+	if a != c || a == b {
+		t.Fatalf("interning broken: a=%d b=%d c=%d", a, b, c)
+	}
+	if tr.RegionName(a) != "compute" || tr.RegionName(-1) != "?" || tr.RegionName(99) != "?" {
+		t.Fatalf("RegionName lookup broken")
+	}
+}
+
+func TestValidateAcceptsGoodTrace(t *testing.T) {
+	if err := tinyTrace().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesRankGap(t *testing.T) {
+	tr := tinyTrace()
+	tr.Procs[1].Rank = 5
+	if tr.Validate() == nil {
+		t.Fatalf("rank gap not detected")
+	}
+}
+
+func TestValidateCatchesTrueRegression(t *testing.T) {
+	tr := tinyTrace()
+	tr.Procs[0].Events[2].True = 0.5 // before the Send at true 1.0
+	if tr.Validate() == nil {
+		t.Fatalf("true-time regression not detected")
+	}
+}
+
+func TestValidateCatchesBadPartner(t *testing.T) {
+	tr := tinyTrace()
+	tr.Procs[0].Events[1].Partner = 9
+	if tr.Validate() == nil {
+		t.Fatalf("partner out of range not detected")
+	}
+}
+
+func TestValidateAllowsClockConditionViolation(t *testing.T) {
+	tr := tinyTrace()
+	// receive timestamped before the send: the phenomenon under study,
+	// must NOT fail validation
+	tr.Procs[1].Events[1].Time = 0.9
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("clock-condition violation rejected by Validate: %v", err)
+	}
+}
+
+func TestMessagesMatching(t *testing.T) {
+	tr := tinyTrace()
+	msgs, err := tr.Messages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 {
+		t.Fatalf("got %d messages, want 1", len(msgs))
+	}
+	m := msgs[0]
+	if m.From != 0 || m.FromIdx != 1 || m.To != 1 || m.ToIdx != 1 {
+		t.Fatalf("bad match: %+v", m)
+	}
+}
+
+func TestMessagesFIFOOrder(t *testing.T) {
+	// two same-channel messages must match in order even if timestamps lie
+	tr := &Trace{}
+	tr.Procs = []Proc{
+		{Rank: 0, Events: []Event{
+			{Kind: Send, Time: 1, True: 1, Partner: 1, Tag: 0},
+			{Kind: Send, Time: 2, True: 2, Partner: 1, Tag: 0},
+		}},
+		{Rank: 1, Events: []Event{
+			{Kind: Recv, Time: 0.5, True: 1.1, Partner: 0, Tag: 0}, // timestamp lies
+			{Kind: Recv, Time: 0.6, True: 2.1, Partner: 0, Tag: 0},
+		}},
+	}
+	msgs, err := tr.Messages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgs[0].FromIdx != 0 || msgs[0].ToIdx != 0 || msgs[1].FromIdx != 1 || msgs[1].ToIdx != 1 {
+		t.Fatalf("FIFO matching broken: %+v", msgs)
+	}
+}
+
+func TestMessagesUnmatchedRecv(t *testing.T) {
+	tr := &Trace{}
+	tr.Procs = []Proc{
+		{Rank: 0},
+		{Rank: 1, Events: []Event{{Kind: Recv, Partner: 0, Tag: 0}}},
+	}
+	if _, err := tr.Messages(); err == nil {
+		t.Fatalf("orphan Recv not detected")
+	}
+}
+
+func TestMessagesUnmatchedSend(t *testing.T) {
+	tr := &Trace{}
+	tr.Procs = []Proc{
+		{Rank: 0, Events: []Event{{Kind: Send, Partner: 1, Tag: 0}}},
+		{Rank: 1},
+	}
+	if _, err := tr.Messages(); err == nil {
+		t.Fatalf("orphan Send not detected")
+	}
+}
+
+func TestCollectivesGrouping(t *testing.T) {
+	tr := tinyTrace()
+	colls, err := tr.Collectives()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(colls) != 1 {
+		t.Fatalf("got %d collectives, want 1", len(colls))
+	}
+	c := colls[0]
+	if c.Op != OpAllreduce || len(c.Begin) != 2 || len(c.End) != 2 {
+		t.Fatalf("bad collective: %+v", c)
+	}
+}
+
+func TestCollectivesMixedOpsRejected(t *testing.T) {
+	tr := tinyTrace()
+	tr.Procs[1].Events[2].Op = OpBarrier
+	if _, err := tr.Collectives(); err == nil {
+		t.Fatalf("mixed collective ops not detected")
+	}
+}
+
+func TestCollectivesMissingEndRejected(t *testing.T) {
+	tr := tinyTrace()
+	tr.Procs[1].Events = tr.Procs[1].Events[:3] // drop CollEnd and Exit
+	if _, err := tr.Collectives(); err == nil {
+		t.Fatalf("missing CollEnd not detected")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	tr := tinyTrace()
+	cp := tr.Clone()
+	cp.Procs[0].Events[0].Time = 99
+	cp.Regions[0] = "changed"
+	if tr.Procs[0].Events[0].Time == 99 || tr.Regions[0] == "changed" {
+		t.Fatalf("Clone shares storage with original")
+	}
+	if !reflect.DeepEqual(tr, tinyTrace()) {
+		t.Fatalf("original mutated")
+	}
+}
+
+func TestMinLatencyBetween(t *testing.T) {
+	tr := tinyTrace()
+	if got := tr.MinLatencyBetween(0, 1); got != 4.2e-6 {
+		t.Fatalf("cross-node l_min = %v", got)
+	}
+	if got := tr.MinLatencyBetween(0, 9); got != 0 {
+		t.Fatalf("out-of-range l_min = %v, want 0", got)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	tr := tinyTrace()
+	var buf bytes.Buffer
+	n, err := Write(&buf, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("Write reported %d bytes, buffer has %d", n, buf.Len())
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Fatalf("round trip mismatch:\nwrote %+v\nread  %+v", tr, got)
+	}
+}
+
+func TestCodecRoundTripRandomized(t *testing.T) {
+	rng := xrand.NewSource(31)
+	kinds := []Kind{Enter, Exit, Send, Recv, CollBegin, CollEnd, Fork, Join, BarrierEnter, BarrierExit}
+	check := func(seed uint32) bool {
+		s := rng.Sub(string(rune(seed)))
+		tr := &Trace{Machine: "m", Timer: "t"}
+		tr.RegionID("r0")
+		nProcs := 1 + s.Intn(5)
+		for p := 0; p < nProcs; p++ {
+			proc := Proc{Rank: p, Core: topology.CoreID{Node: p}, Clock: "c"}
+			tt := 0.0
+			for e := 0; e < s.Intn(20); e++ {
+				tt += s.Float64()
+				proc.Events = append(proc.Events, Event{
+					Kind:     kinds[s.Intn(len(kinds))],
+					Time:     tt + s.Normal(0, 1e-5),
+					True:     tt,
+					Region:   int32(s.Intn(2)) - 1,
+					Instance: int32(s.Intn(10)),
+					Partner:  int32(s.Intn(nProcs+1)) - 1,
+					Tag:      int32(s.Intn(100)),
+					Bytes:    int32(s.Intn(1 << 20)),
+					Comm:     int32(s.Intn(3)),
+					Op:       CollOp(s.Intn(9)),
+					Root:     int32(s.Intn(nProcs+1)) - 1,
+				})
+			}
+			tr.Procs = append(tr.Procs, proc)
+		}
+		var buf bytes.Buffer
+		if _, err := Write(&buf, tr); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(tr, got)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a trace"))); err == nil {
+		t.Fatalf("garbage accepted")
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Fatalf("empty input accepted")
+	}
+}
+
+func TestCodecRejectsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Write(&buf, tinyTrace()); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{5, len(full) / 2, len(full) - 1} {
+		if _, err := Read(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestCodecRejectsWrongVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Write(&buf, tinyTrace()); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[4] = 99 // version byte
+	if _, err := Read(bytes.NewReader(b)); err == nil {
+		t.Fatalf("wrong version accepted")
+	}
+}
+
+func TestEventCount(t *testing.T) {
+	if got := tinyTrace().EventCount(); got != 10 {
+		t.Fatalf("EventCount = %d, want 10", got)
+	}
+}
+
+func BenchmarkCodecWrite(b *testing.B) {
+	tr := tinyTrace()
+	// widen to a realistic size
+	for i := 0; i < 10; i++ {
+		tr.Procs[0].Events = append(tr.Procs[0].Events, tr.Procs[0].Events...)
+	}
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if _, err := Write(&buf, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+}
+
+func BenchmarkCodecRead(b *testing.B) {
+	tr := tinyTrace()
+	for i := 0; i < 10; i++ {
+		tr.Procs[0].Events = append(tr.Procs[0].Events, tr.Procs[0].Events...)
+	}
+	var buf bytes.Buffer
+	if _, err := Write(&buf, tr); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Read(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMessageMatching(b *testing.B) {
+	tr := &Trace{}
+	const n = 1000
+	p0 := Proc{Rank: 0}
+	p1 := Proc{Rank: 1}
+	for i := 0; i < n; i++ {
+		p0.Events = append(p0.Events, Event{Kind: Send, Time: float64(i), True: float64(i), Partner: 1})
+		p1.Events = append(p1.Events, Event{Kind: Recv, Time: float64(i) + 0.5, True: float64(i) + 0.5, Partner: 0})
+	}
+	tr.Procs = []Proc{p0, p1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Messages(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := tinyTrace()
+	s := Summarize(tr)
+	if s.Procs != 2 || s.Events != 10 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.ByKind["Send"] != 1 || s.ByKind["Recv"] != 1 || s.ByKind["Enter"] != 2 {
+		t.Fatalf("kind counts %v", s.ByKind)
+	}
+	if s.Regions["main"] != 2 {
+		t.Fatalf("region visits %v", s.Regions)
+	}
+	if s.Bytes != 64 {
+		t.Fatalf("bytes %d", s.Bytes)
+	}
+	if s.SpanTrue <= 0 || s.SpanTime <= 0 {
+		t.Fatalf("spans %v %v", s.SpanTime, s.SpanTrue)
+	}
+	if s.String() == "" {
+		t.Fatalf("empty summary text")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(&Trace{})
+	if s.Events != 0 || s.SpanTime != 0 {
+		t.Fatalf("empty summary %+v", s)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	tr := tinyTrace()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("JSON output not parseable: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"machine": "Xeon cluster"`, `"kind": "Send"`, `"region": "main"`, `"op": "allreduce"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("JSON lacks %q", want)
+		}
+	}
+}
+
+func TestWindowKeepsConsistentSubset(t *testing.T) {
+	tr := tinyTrace()
+	// window covering only the collective (true times 2.0-2.5), not the
+	// message at 1.0
+	w, err := Window(tr, 1.5, 3.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := w.Messages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 0 {
+		t.Fatalf("message outside window survived")
+	}
+	colls, err := w.Collectives()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(colls) != 1 {
+		t.Fatalf("collective inside window dropped")
+	}
+	// Exit events at true 3.0 are inside; Enter at 0.0 is not
+	if got := w.Procs[0].Events[len(w.Procs[0].Events)-1].Kind; got != Exit {
+		t.Fatalf("trailing event %v", got)
+	}
+}
+
+func TestWindowDropsHalfCoveredMessage(t *testing.T) {
+	tr := tinyTrace()
+	// send at 1.0 inside, recv at 1.00001 outside
+	w, err := Window(tr, 0.5, 1.000005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range w.Procs {
+		for _, ev := range p.Events {
+			if ev.Kind == Send || ev.Kind == Recv {
+				t.Fatalf("half-covered message event survived: %v", ev.Kind)
+			}
+		}
+	}
+	if _, err := w.Messages(); err != nil {
+		t.Fatalf("windowed trace not matchable: %v", err)
+	}
+}
+
+func TestWindowRejectsEmptyRange(t *testing.T) {
+	if _, err := Window(tinyTrace(), 2, 2); err == nil {
+		t.Fatalf("empty window accepted")
+	}
+}
+
+func TestCodecNeverPanicsOnCorruption(t *testing.T) {
+	// failure injection: random single-byte corruptions must produce an
+	// error or a (possibly wrong) trace — never a panic or unbounded
+	// allocation
+	var buf bytes.Buffer
+	if _, err := Write(&buf, tinyTrace()); err != nil {
+		t.Fatal(err)
+	}
+	pristine := buf.Bytes()
+	rng := xrand.NewSource(55)
+	for trial := 0; trial < 500; trial++ {
+		data := append([]byte(nil), pristine...)
+		pos := rng.Intn(len(data))
+		data[pos] ^= byte(1 + rng.Intn(255))
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: corruption at byte %d panicked: %v", trial, pos, r)
+				}
+			}()
+			_, _ = Read(bytes.NewReader(data))
+		}()
+	}
+}
+
+func TestCodecNeverPanicsOnTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Write(&buf, tinyTrace()); err != nil {
+		t.Fatal(err)
+	}
+	pristine := buf.Bytes()
+	for cut := 0; cut < len(pristine); cut += 7 {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("truncation at %d panicked: %v", cut, r)
+				}
+			}()
+			_, _ = Read(bytes.NewReader(pristine[:cut]))
+		}()
+	}
+}
+
+func FuzzRead(f *testing.F) {
+	var buf bytes.Buffer
+	if _, err := Write(&buf, tinyTrace()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("ETRC"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// must never panic, hang, or over-allocate
+		tr, err := Read(bytes.NewReader(data))
+		if err == nil && tr != nil {
+			// whatever decodes must re-encode
+			var out bytes.Buffer
+			if _, err := Write(&out, tr); err != nil {
+				t.Fatalf("decoded trace failed to encode: %v", err)
+			}
+		}
+	})
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := tinyTrace()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.EventCount() != tr.EventCount() || len(got.Procs) != len(tr.Procs) {
+		t.Fatalf("shape lost: %d events, %d procs", got.EventCount(), len(got.Procs))
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// semantics preserved: same messages and collectives
+	m1, err := tr.Messages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := got.Messages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m1, m2) {
+		t.Fatalf("messages differ after JSON round trip")
+	}
+	for i, p := range got.Procs {
+		for j, ev := range p.Events {
+			orig := tr.Procs[i].Events[j]
+			if ev.Kind != orig.Kind || ev.Time != orig.Time || ev.True != orig.True || ev.Op != orig.Op {
+				t.Fatalf("event %d/%d changed: %+v vs %+v", i, j, ev, orig)
+			}
+			if tr.RegionName(orig.Region) != got.RegionName(ev.Region) {
+				t.Fatalf("region name changed at %d/%d", i, j)
+			}
+		}
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(bytes.NewReader([]byte("not json"))); err == nil {
+		t.Fatalf("garbage accepted")
+	}
+	bad := `{"procs":[{"rank":5,"core":"0:0:0"}]}`
+	if _, err := ReadJSON(bytes.NewReader([]byte(bad))); err == nil {
+		t.Fatalf("rank gap accepted")
+	}
+	badCore := `{"procs":[{"rank":0,"core":"zero"}]}`
+	if _, err := ReadJSON(bytes.NewReader([]byte(badCore))); err == nil {
+		t.Fatalf("bad core accepted")
+	}
+	badKind := `{"procs":[{"rank":0,"core":"0:0:0","events":[{"kind":"Teleport"}]}]}`
+	if _, err := ReadJSON(bytes.NewReader([]byte(badKind))); err == nil {
+		t.Fatalf("bad kind accepted")
+	}
+	badOp := `{"procs":[{"rank":0,"core":"0:0:0","events":[{"kind":"CollBegin","op":"sorcery"}]}]}`
+	if _, err := ReadJSON(bytes.NewReader([]byte(badOp))); err == nil {
+		t.Fatalf("bad op accepted")
+	}
+}

@@ -1,0 +1,84 @@
+package trace
+
+import "fmt"
+
+// Window extracts the sub-trace whose events fall inside [from, to) in
+// oracle true time, keeping the trace self-consistent: a message or
+// collective survives only if all of its events lie inside the window
+// (half-recorded communication would break postmortem matching, the same
+// reason partial tracing must toggle at quiescent points). Region
+// Enter/Exit events are kept individually — analyses that need balanced
+// nesting should widen the window to region boundaries.
+func Window(t *Trace, from, to float64) (*Trace, error) {
+	if to <= from {
+		return nil, fmt.Errorf("trace: empty window [%v, %v)", from, to)
+	}
+	inside := func(ev *Event) bool { return ev.True >= from && ev.True < to }
+
+	// a message survives if both endpoints are inside
+	msgs, err := t.Messages()
+	if err != nil {
+		return nil, err
+	}
+	dropMsg := map[[2]int]bool{} // (rank, idx) of message events to drop
+	for _, m := range msgs {
+		s := &t.Procs[m.From].Events[m.FromIdx]
+		r := &t.Procs[m.To].Events[m.ToIdx]
+		if inside(s) != inside(r) || !inside(s) {
+			dropMsg[[2]int{m.From, m.FromIdx}] = true
+			dropMsg[[2]int{m.To, m.ToIdx}] = true
+		}
+	}
+	// a collective survives if every participant's begin and end are in
+	colls, err := t.Collectives()
+	if err != nil {
+		return nil, err
+	}
+	dropColl := map[[2]int32]bool{} // (comm, instance)
+	for _, c := range colls {
+		keep := true
+		for rank, idx := range c.Begin {
+			if !inside(&t.Procs[rank].Events[idx]) {
+				keep = false
+			}
+		}
+		for rank, idx := range c.End {
+			if !inside(&t.Procs[rank].Events[idx]) {
+				keep = false
+			}
+		}
+		if !keep {
+			dropColl[[2]int32{c.Comm, c.Instance}] = true
+		}
+	}
+
+	out := &Trace{
+		Machine:    t.Machine,
+		Timer:      t.Timer,
+		Regions:    append([]string(nil), t.Regions...),
+		MinLatency: t.MinLatency,
+	}
+	for rank, p := range t.Procs {
+		np := Proc{Rank: p.Rank, Core: p.Core, Clock: p.Clock}
+		for idx := range p.Events {
+			ev := &p.Events[idx]
+			switch ev.Kind {
+			case Send, Recv:
+				if dropMsg[[2]int{rank, idx}] || !inside(ev) {
+					continue
+				}
+			case CollBegin, CollEnd:
+				if dropColl[[2]int32{ev.Comm, ev.Instance}] || !inside(ev) {
+					continue
+				}
+			default:
+				if !inside(ev) {
+					continue
+				}
+			}
+			np.Events = append(np.Events, *ev)
+		}
+		out.Procs = append(out.Procs, np)
+	}
+	return out, nil
+}

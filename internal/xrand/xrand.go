@@ -1,0 +1,175 @@
+// Package xrand provides deterministic pseudo-random number generation for
+// the simulation substrate.
+//
+// Reproducibility is a hard requirement of every experiment in this
+// repository: a run is a pure function of its configuration, so the same
+// seed must produce the same trace on every platform and every Go release.
+// The standard library's math/rand does not guarantee a stable stream across
+// releases for all helpers, and math/rand/v2 seeds cannot be split into
+// hierarchically independent sub-streams, so we implement splitmix64 and
+// xoshiro256** directly (public-domain algorithms by Vigna et al.).
+//
+// The package supports cheap, collision-resistant derivation of sub-streams:
+// each simulated oscillator, network link, and workload draws from its own
+// Source derived from (experiment seed, component label), so adding a new
+// consumer of randomness never perturbs the streams of existing components.
+package xrand
+
+import "math"
+
+// splitmix64 advances a 64-bit state and returns the next output.
+// It is used for seeding and for stream derivation.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Source is a xoshiro256** generator. The zero value is not usable; obtain
+// instances with NewSource or Source.Sub.
+type Source struct {
+	s [4]uint64
+	// cached second normal variate from the Box-Muller transform
+	gauss    float64
+	hasGauss bool
+}
+
+// NewSource returns a Source seeded from seed via splitmix64, as recommended
+// by the xoshiro authors (never seed xoshiro state directly).
+func NewSource(seed uint64) *Source {
+	var src Source
+	sm := seed
+	for i := range src.s {
+		src.s[i] = splitmix64(&sm)
+	}
+	// xoshiro requires a nonzero state; splitmix64 output is zero for at
+	// most one of the four words, but be defensive anyway.
+	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
+		src.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &src
+}
+
+// Sub derives an independent child stream from this source's identity and a
+// label. Derivation is stateless with respect to the parent: it hashes the
+// parent's *initial-style* identity via its current state. To keep child
+// derivation independent of how many values the parent already produced,
+// prefer deriving all children right after construction.
+func (s *Source) Sub(label string) *Source {
+	h := s.s[0] ^ 0x632be59bd9b4e019
+	for i := 0; i < len(label); i++ {
+		h = (h ^ uint64(label[i])) * 0x100000001b3
+	}
+	h ^= s.s[2]
+	return NewSource(h)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (s *Source) Uint64() uint64 {
+	result := rotl(s.s[1]*5, 7) * 9
+	t := s.s[1] << 17
+	s.s[2] ^= s.s[0]
+	s.s[3] ^= s.s[1]
+	s.s[1] ^= s.s[2]
+	s.s[0] ^= s.s[3]
+	s.s[2] ^= t
+	s.s[3] = rotl(s.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 random bits.
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn called with n <= 0")
+	}
+	// Lemire's nearly-divisionless bounded generation would be faster, but
+	// simple rejection keeps the stream layout obvious and portable.
+	max := uint64(n)
+	limit := (^uint64(0) / max) * max
+	for {
+		v := s.Uint64()
+		if v < limit {
+			return int(v % max)
+		}
+	}
+}
+
+// Uniform returns a uniform float64 in [lo, hi).
+func (s *Source) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.Float64()
+}
+
+// Normal returns a normally distributed float64 with the given mean and
+// standard deviation, using the Box-Muller transform (both variates are
+// consumed, one is cached).
+func (s *Source) Normal(mean, stddev float64) float64 {
+	if s.hasGauss {
+		s.hasGauss = false
+		return mean + stddev*s.gauss
+	}
+	var u, v, r2 float64
+	for {
+		u = 2*s.Float64() - 1
+		v = 2*s.Float64() - 1
+		r2 = u*u + v*v
+		if r2 > 0 && r2 < 1 {
+			break
+		}
+	}
+	f := math.Sqrt(-2 * math.Log(r2) / r2)
+	s.gauss = v * f
+	s.hasGauss = true
+	return mean + stddev*u*f
+}
+
+// Exponential returns an exponentially distributed float64 with the given
+// mean (i.e. rate 1/mean). It panics if mean <= 0.
+func (s *Source) Exponential(mean float64) float64 {
+	if mean <= 0 {
+		panic("xrand: Exponential called with mean <= 0")
+	}
+	// 1-Float64() avoids log(0).
+	return -mean * math.Log(1-s.Float64())
+}
+
+// LogNormal returns exp(N(mu, sigma)). Useful for heavy-tailed latency
+// jitter, where rare slow network traversals dominate Cristian measurement
+// error.
+func (s *Source) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(s.Normal(mu, sigma))
+}
+
+// Perm returns a random permutation of [0, n) using Fisher-Yates.
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomly swaps elements using the provided swap function.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool {
+	return s.Float64() < p
+}

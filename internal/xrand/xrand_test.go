@@ -1,0 +1,236 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := NewSource(42)
+	b := NewSource(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("stream diverged at %d: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestSeedSeparation(t *testing.T) {
+	a := NewSource(1)
+	b := NewSource(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams from different seeds collided %d times", same)
+	}
+}
+
+func TestSubStreamIndependence(t *testing.T) {
+	parent := NewSource(7)
+	a := parent.Sub("oscillator/0")
+	b := parent.Sub("oscillator/1")
+	c := parent.Sub("oscillator/0")
+	first := a.Uint64()
+	if first == b.Uint64() {
+		t.Fatalf("differently labelled sub-streams produced identical first value")
+	}
+	if first != c.Uint64() {
+		t.Fatalf("identically labelled sub-streams diverged")
+	}
+}
+
+func TestSubDoesNotAdvanceParent(t *testing.T) {
+	a := NewSource(9)
+	b := NewSource(9)
+	_ = a.Sub("x")
+	if a.Uint64() != b.Uint64() {
+		t.Fatalf("Sub advanced the parent stream")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := NewSource(3)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := NewSource(4)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v too far from 0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := NewSource(5)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := s.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) only produced %d distinct values", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Intn(0) did not panic")
+		}
+	}()
+	NewSource(1).Intn(0)
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := NewSource(6)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := s.Normal(3, 2)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-3) > 0.03 {
+		t.Fatalf("Normal mean %v too far from 3", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-2) > 0.03 {
+		t.Fatalf("Normal stddev %v too far from 2", math.Sqrt(variance))
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	s := NewSource(8)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := s.Exponential(5)
+		if v < 0 {
+			t.Fatalf("Exponential returned negative value %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-5) > 0.1 {
+		t.Fatalf("Exponential mean %v too far from 5", mean)
+	}
+}
+
+func TestExponentialPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Exponential(0) did not panic")
+		}
+	}()
+	NewSource(1).Exponential(0)
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	s := NewSource(10)
+	for i := 0; i < 1000; i++ {
+		if v := s.LogNormal(0, 1); v <= 0 {
+			t.Fatalf("LogNormal returned non-positive %v", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := NewSource(11)
+	check := func(n uint8) bool {
+		size := int(n%64) + 1
+		p := s.Perm(size)
+		if len(p) != size {
+			return false
+		}
+		seen := make([]bool, size)
+		for _, v := range p {
+			if v < 0 || v >= size || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleKeepsMultiset(t *testing.T) {
+	s := NewSource(12)
+	vals := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range vals {
+		sum += v
+	}
+	s.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	got := 0
+	for _, v := range vals {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("Shuffle changed element multiset: sum %d != %d", got, sum)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := NewSource(13)
+	const n = 100000
+	count := 0
+	for i := 0; i < n; i++ {
+		if s.Bool(0.25) {
+			count++
+		}
+	}
+	frac := float64(count) / n
+	if math.Abs(frac-0.25) > 0.01 {
+		t.Fatalf("Bool(0.25) frequency %v", frac)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := NewSource(14)
+	for i := 0; i < 10000; i++ {
+		v := s.Uniform(-3, 9)
+		if v < -3 || v >= 9 {
+			t.Fatalf("Uniform(-3,9) out of range: %v", v)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := NewSource(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += s.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkNormal(b *testing.B) {
+	s := NewSource(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += s.Normal(0, 1)
+	}
+	_ = sink
+}

@@ -1,0 +1,236 @@
+// Package tsync is a laboratory for studying — and repairing — the effects
+// of non-constant clock drifts on the timestamps of concurrent events in
+// event traces of parallel applications. It reproduces, in simulation, the
+// study of Becker, Rabenseifner and Wolf, "Implications of non-constant
+// clock drifts for the timestamps of concurrent events" (IEEE CLUSTER 2008).
+//
+// The library simulates the full measurement stack of the paper: processor
+// clocks with realistic drift processes (constant drift, random-walk
+// wander, NTP slew discipline, power-managed cycle counters), hierarchical
+// cluster topologies with per-chip or per-node oscillator domains, an
+// interconnect latency model, a deterministic discrete-event MPI with
+// point-to-point and collective operations, an OpenMP runtime emitting
+// POMP events, PMPI-style trace recording, Cristian offset measurement,
+// and the postmortem correction algorithms: offset alignment, linear
+// offset interpolation (Eq. 3), the Duda/Hofmann/Jézéquel error-estimation
+// family, Lamport and vector logical clocks, and the controlled logical
+// clock (CLC) with forward/backward amortization — in both sequential and
+// parallel-replay implementations.
+//
+// This file is a convenience facade over the implementation packages under
+// internal/: topology, clock, netmodel, des, mpi, omp, trace, measure,
+// interp, lclock, errest, clc, analysis, apps, render, experiments and
+// core. The cmd/ binaries regenerate every table and figure of the paper;
+// see DESIGN.md for the experiment index and EXPERIMENTS.md for measured
+// results.
+package tsync
+
+import (
+	"fmt"
+	"io"
+
+	"tsync/internal/clock"
+	"tsync/internal/core"
+	"tsync/internal/experiments"
+	"tsync/internal/measure"
+	"tsync/internal/mpi"
+	"tsync/internal/topology"
+	"tsync/internal/trace"
+	"tsync/internal/xrand"
+)
+
+// Version identifies the library release.
+const Version = "1.0.0"
+
+// Job describes one simulated MPI measurement run.
+type Job struct {
+	// Machine is one of "xeon", "ppc", "opteron", "itanium".
+	Machine string
+	// Timer is a clock spelling accepted by clock.ParseKind: "tsc",
+	// "tb", "rtc", "gtod", "mpiwtime", "cycle", "global".
+	Timer string
+	// Ranks is the number of MPI processes; placement follows Placement.
+	Ranks int
+	// Placement is "scheduled" (default), "internode", "interchip" or
+	// "intercore".
+	Placement string
+	// Seed makes the run reproducible.
+	Seed uint64
+	// Tracing enables event recording from the start.
+	Tracing bool
+	// OffsetProbes is the number of Cristian probes per offset
+	// measurement (default 20).
+	OffsetProbes int
+}
+
+// Measurement is the outcome of a traced run: the raw trace plus the
+// offset tables taken at initialization and finalization, i.e. everything
+// Scalasca-style postmortem synchronization needs.
+type Measurement struct {
+	Trace *trace.Trace
+	Init  []measure.Offset
+	Fin   []measure.Offset
+}
+
+// Run executes program on every rank of a simulated job, measuring clock
+// offsets at initialization and finalization around it.
+func (j Job) Run(program func(*mpi.Rank)) (*Measurement, error) {
+	m, err := topology.ParseMachine(orDefault(j.Machine, "xeon"))
+	if err != nil {
+		return nil, err
+	}
+	timer, err := clock.ParseKind(orDefault(j.Timer, "tsc"))
+	if err != nil {
+		return nil, err
+	}
+	if j.Ranks < 1 {
+		return nil, fmt.Errorf("tsync: job needs at least one rank")
+	}
+	var pin topology.Pinning
+	switch orDefault(j.Placement, "scheduled") {
+	case "scheduled":
+		pin, err = topology.Scheduled(m, j.Ranks, xrand.NewSource(j.Seed^0x9b4fb1))
+	case "internode":
+		pin, err = topology.InterNode(m, j.Ranks)
+	case "interchip":
+		pin, err = topology.InterChip(m, j.Ranks)
+	case "intercore":
+		pin, err = topology.InterCore(m, j.Ranks)
+	default:
+		return nil, fmt.Errorf("tsync: unknown placement %q", j.Placement)
+	}
+	if err != nil {
+		return nil, err
+	}
+	w, err := mpi.NewWorld(mpi.Config{
+		Machine: m, Timer: timer, Pinning: pin, Seed: j.Seed, Tracing: j.Tracing,
+	})
+	if err != nil {
+		return nil, err
+	}
+	probes := j.OffsetProbes
+	if probes <= 0 {
+		probes = 20
+	}
+	out := &Measurement{}
+	var inner error
+	err = w.Run(func(r *mpi.Rank) {
+		init, err := measure.Offsets(r, probes)
+		if err != nil {
+			inner = err
+			return
+		}
+		program(r)
+		fin, err := measure.Offsets(r, probes)
+		if err != nil {
+			inner = err
+			return
+		}
+		if r.Rank() == 0 {
+			out.Init, out.Fin = init, fin
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if inner != nil {
+		return nil, inner
+	}
+	out.Trace = w.Trace()
+	return out, nil
+}
+
+// Synchronize applies a postmortem synchronization pipeline to a
+// measurement. base is a core.Base spelling ("none", "align", "interp",
+// "duda-regression", "duda-convex-hull", "hofmann-minmax"); withCLC adds
+// the controlled logical clock stage. The paper's recommended combination
+// is ("interp", true).
+func Synchronize(m *Measurement, base string, withCLC bool) (*core.Result, error) {
+	if m == nil || m.Trace == nil {
+		return nil, fmt.Errorf("tsync: nil measurement")
+	}
+	b, err := core.ParseBase(base)
+	if err != nil {
+		return nil, err
+	}
+	p := core.Pipeline{Base: b, CLC: withCLC, Parallel: true}
+	return p.Run(m.Trace, m.Init, m.Fin)
+}
+
+// WriteTrace encodes a trace to w in the binary .etr format.
+func WriteTrace(w io.Writer, t *trace.Trace) error {
+	_, err := trace.Write(w, t)
+	return err
+}
+
+// ReadTrace decodes a trace from r.
+func ReadTrace(r io.Reader) (*trace.Trace, error) {
+	return trace.Read(r)
+}
+
+// Fig4 runs one panel ("a", "b", "c") of the paper's Fig. 4 (clock
+// deviations after offset alignment only).
+func Fig4(panel string, seed uint64) (*experiments.ClockStudyResult, error) {
+	cfg, err := experiments.Fig4Config(panel, seed)
+	if err != nil {
+		return nil, err
+	}
+	return experiments.ClockStudy(cfg)
+}
+
+// Fig5 runs one panel ("a", "b", "c") of Fig. 5 (deviations after linear
+// offset interpolation over one hour).
+func Fig5(panel string, seed uint64) (*experiments.ClockStudyResult, error) {
+	cfg, err := experiments.Fig5Config(panel, seed)
+	if err != nil {
+		return nil, err
+	}
+	return experiments.ClockStudy(cfg)
+}
+
+// Fig6 runs the short-run interpolation study of Fig. 6.
+func Fig6(seed uint64) (*experiments.ClockStudyResult, error) {
+	return experiments.ClockStudy(experiments.Fig6Config(seed))
+}
+
+// TableII measures the message and collective latencies of Table II on a
+// machine ("xeon", "ppc", "opteron", "itanium").
+func TableII(machine string, seed uint64) ([]experiments.LatencyRow, error) {
+	m, err := topology.ParseMachine(machine)
+	if err != nil {
+		return nil, err
+	}
+	return experiments.LatencyStudy(m, clock.TSC, 1000, seed)
+}
+
+// Fig7 runs the application violation census of Fig. 7 for "pop" or "smg".
+func Fig7(app string, seed uint64) (*experiments.AppViolationsResult, error) {
+	return experiments.AppViolations(experiments.AppViolationsConfig{
+		App:     experiments.AppKind(app),
+		Machine: topology.Xeon(),
+		Timer:   clock.TSC,
+		Ranks:   32,
+		Reps:    3,
+		Seed:    seed,
+	})
+}
+
+// Fig8 runs the OpenMP POMP violation study of Fig. 8 for one thread
+// count.
+func Fig8(threads int, seed uint64) (*experiments.OMPStudyResult, error) {
+	return experiments.OMPStudy(experiments.OMPStudyConfig{
+		Machine: topology.Itanium(),
+		Timer:   clock.TSC,
+		Threads: threads,
+		Regions: 100,
+		Reps:    3,
+		Seed:    seed,
+	})
+}
+
+func orDefault(s, d string) string {
+	if s == "" {
+		return d
+	}
+	return s
+}

@@ -1,0 +1,164 @@
+package tsync
+
+import (
+	"bytes"
+	"testing"
+
+	"tsync/internal/mpi"
+)
+
+func TestJobRunAndSynchronize(t *testing.T) {
+	job := Job{Machine: "xeon", Timer: "tsc", Ranks: 16, Seed: 4, Tracing: true}
+	m, err := job.Run(func(r *mpi.Rank) {
+		n := r.Size()
+		for i := 0; i < 10; i++ {
+			r.Send((r.Rank()+1)%n, i, 64, nil)
+			r.Recv((r.Rank()-1+n)%n, i)
+			r.Compute(100)
+			r.Allreduce(8, nil, nil)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Trace.EventCount() == 0 || len(m.Init) != 16 || len(m.Fin) != 16 {
+		t.Fatalf("measurement incomplete")
+	}
+	res, err := Synchronize(m, "interp", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Before.ClockCondition == 0 {
+		t.Fatalf("raw trace had no violations to fix")
+	}
+	if res.CLCReport.ViolationsAfter != 0 {
+		t.Fatalf("pipeline left violations")
+	}
+}
+
+func TestJobValidation(t *testing.T) {
+	if _, err := (Job{Machine: "bogus", Ranks: 2}).Run(func(*mpi.Rank) {}); err == nil {
+		t.Fatalf("bad machine accepted")
+	}
+	if _, err := (Job{Timer: "sundial", Ranks: 2}).Run(func(*mpi.Rank) {}); err == nil {
+		t.Fatalf("bad timer accepted")
+	}
+	if _, err := (Job{Ranks: 0}).Run(func(*mpi.Rank) {}); err == nil {
+		t.Fatalf("zero ranks accepted")
+	}
+	if _, err := (Job{Ranks: 2, Placement: "orbit"}).Run(func(*mpi.Rank) {}); err == nil {
+		t.Fatalf("bad placement accepted")
+	}
+}
+
+func TestSynchronizeValidation(t *testing.T) {
+	if _, err := Synchronize(nil, "interp", false); err == nil {
+		t.Fatalf("nil measurement accepted")
+	}
+	m := &Measurement{}
+	if _, err := Synchronize(m, "interp", false); err == nil {
+		t.Fatalf("empty measurement accepted")
+	}
+}
+
+func TestTraceRoundTripFacade(t *testing.T) {
+	job := Job{Ranks: 2, Seed: 1, Tracing: true, Placement: "internode"}
+	m, err := job.Run(func(r *mpi.Rank) {
+		if r.Rank() == 0 {
+			r.Send(1, 0, 8, nil)
+		} else {
+			r.Recv(0, 0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, m.Trace); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.EventCount() != m.Trace.EventCount() {
+		t.Fatalf("round trip lost events")
+	}
+}
+
+func TestFacadeExperimentEntryPoints(t *testing.T) {
+	if _, err := Fig4("x", 1); err == nil {
+		t.Fatalf("bad panel accepted")
+	}
+	if _, err := Fig5("x", 1); err == nil {
+		t.Fatalf("bad panel accepted")
+	}
+	if _, err := TableII("nope", 1); err == nil {
+		t.Fatalf("bad machine accepted")
+	}
+	if _, err := Fig7("quake", 1); err == nil {
+		t.Fatalf("bad app accepted")
+	}
+	res, err := Fig8(4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PctAny <= 0 {
+		t.Fatalf("Fig8 at 4 threads reported no violations")
+	}
+}
+
+func TestFacadeFigurePanels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full paper panels are slow")
+	}
+	// run one panel of each figure through the facade
+	r4, err := Fig4("a", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.Series.MaxAbsDeviation() < 10e-6 {
+		t.Fatalf("Fig4a deviation %v implausibly small", r4.Series.MaxAbsDeviation())
+	}
+	r5, err := Fig5("a", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r5.Series.MaxAbsDeviation() >= r4.Series.MaxAbsDeviation() {
+		t.Fatalf("interpolated Fig5a (%v) not better than aligned Fig4a (%v)",
+			r5.Series.MaxAbsDeviation(), r4.Series.MaxAbsDeviation())
+	}
+	r6, err := Fig6(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r6.Exceeded {
+		t.Fatalf("Fig6 default seed should exceed the bound")
+	}
+	rows, err := TableII("xeon", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("TableII rows %d", len(rows))
+	}
+}
+
+func TestFacadePlacements(t *testing.T) {
+	for _, placement := range []string{"interchip", "intercore"} {
+		job := Job{Ranks: 2, Seed: 1, Placement: placement, Tracing: true}
+		m, err := job.Run(func(r *mpi.Rank) {
+			if r.Rank() == 0 {
+				r.Send(1, 0, 8, nil)
+			} else {
+				r.Recv(0, 0)
+			}
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", placement, err)
+		}
+		if m.Trace.EventCount() == 0 {
+			t.Fatalf("%s: empty trace", placement)
+		}
+	}
+}
