@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test bench vet figures clean
+.PHONY: all build test bench vet lint race figures clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -12,8 +12,19 @@ build:
 vet:
 	$(GO) vet ./...
 
+# tsyncvet: the stock vet passes plus the repo's clock-correctness
+# analyzers (wallclock, floateq, tsmutate, locked) — see README
+# "Static analysis" and internal/lint
+lint:
+	$(GO) run ./cmd/tsyncvet ./...
+
 test:
 	$(GO) test ./...
+
+# dynamic complement of the locked analyzer: replay the goroutine
+# fan-outs (internal/clc, internal/des) under the race detector
+race:
+	$(GO) test -race ./...
 
 # the full evaluation: one benchmark per table and figure of the paper
 bench:

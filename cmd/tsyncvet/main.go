@@ -1,0 +1,76 @@
+// Command tsyncvet runs the repository's clock-correctness analyzers
+// (wallclock, floateq, tsmutate, locked — see internal/lint) together
+// with the stock go/analysis vet passes.
+//
+// It is both a standalone driver and a `go vet` vettool:
+//
+//	go run ./cmd/tsyncvet ./...          # lint the whole module
+//	go vet -vettool=$(which tsyncvet) ./...
+//
+// Given package patterns, tsyncvet re-executes itself through
+// `go vet -vettool`, which hands each package to the unitchecker protocol
+// with full type information and cross-package facts from the standard
+// build system. (The usual multichecker driver lives in parts of x/tools
+// that the Go distribution does not vendor; the unitchecker route needs
+// only what `go vet` itself ships with, and behaves identically in CI.)
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"tsync/internal/lint/suite"
+)
+
+func main() {
+	args := os.Args[1:]
+	if isVettoolInvocation(args) {
+		unitchecker.Main(suite.Analyzers()...) // exits
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	os.Exit(drive(args))
+}
+
+// isVettoolInvocation reports whether the process was started by the go
+// command's vet machinery rather than by a human: every argument is a
+// flag (-V=full, -flags, analyzer flags) or a unitchecker *.cfg file.
+// Human invocations carry at least one package pattern.
+func isVettoolInvocation(args []string) bool {
+	if len(args) == 0 {
+		return false
+	}
+	for _, a := range args {
+		if !strings.HasPrefix(a, "-") && !strings.HasSuffix(a, ".cfg") {
+			return false
+		}
+	}
+	return true
+}
+
+// drive re-runs the analysis through `go vet -vettool=<self> patterns`,
+// streaming output through and propagating the exit code.
+func drive(patterns []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tsyncvet: cannot locate own binary: %v\n", err)
+		return 1
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "tsyncvet: running go vet: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -206,7 +206,7 @@ func correct(t *trace.Trace, opt Options, parallel bool, _ int) (*trace.Trace, R
 		evs := out.Procs[rank].Events
 		for idx := range evs {
 			nt := t2[rank][idx]
-			if nt != evs[idx].Time {
+			if nt != evs[idx].Time { //tsync:exact — EventsMoved counts bit-level changes; unmoved events pass through the pipeline untouched
 				rep.EventsMoved++
 				if adv := nt - evs[idx].Time; adv > rep.MaxAdvance {
 					rep.MaxAdvance = adv
@@ -389,12 +389,12 @@ func forwardParallel(t *trace.Trace, edges []lclock.Edge, opt Options, extra fun
 						}
 					}
 				}
-				out[rank][idx] = v
+				out[rank][idx] = v //tsync:locked — goroutine rank owns row out[rank]; rows are joined only after wg.Wait
 				for _, oe := range outCh[ref] {
 					oe.ch <- out[rank][idx] + oe.lmin
 				}
 			}
-			completed[rank] = true
+			completed[rank] = true //tsync:locked — disjoint index per goroutine, read only after wg.Wait
 		}(rank)
 	}
 	wg.Wait()

@@ -190,7 +190,7 @@ func TestForwardDecayReturnsToOriginalClock(t *testing.T) {
 	// 10 seconds at decay 1e-4 removes up to 1 ms of correction — far
 	// more than the ~104 µs jump, so the last event must be back on its
 	// original clock
-	if last.Time != lastOrig.Time {
+	if last.Time != lastOrig.Time { //tsync:exact — decayed correction must return the event to its original clock bit-for-bit
 		t.Fatalf("correction did not decay away: %v vs original %v", last.Time, lastOrig.Time)
 	}
 }

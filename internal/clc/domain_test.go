@@ -41,7 +41,7 @@ func TestDomainsPropagateCorrections(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := plain.Procs[1].Events[0].Time; got != tr.Procs[1].Events[0].Time {
+	if got := plain.Procs[1].Events[0].Time; got != tr.Procs[1].Events[0].Time { //tsync:exact — without coupling the rank must pass through untouched
 		t.Fatalf("rank 1 moved without domain coupling: %v", got)
 	}
 
@@ -68,7 +68,7 @@ func TestDomainsPropagateCorrections(t *testing.T) {
 		t.Fatalf("domain advance %v too small vs jump %v", moved1, jump0)
 	}
 	// the remote rank must remain untouched
-	if coupled.Procs[2].Events[0].Time != tr.Procs[2].Events[0].Time {
+	if coupled.Procs[2].Events[0].Time != tr.Procs[2].Events[0].Time { //tsync:exact — the remote rank must pass through untouched
 		t.Fatalf("remote rank moved")
 	}
 	checkInvariants(t, tr, coupled, opt)
@@ -132,7 +132,7 @@ func TestDomainsParallelAgrees(t *testing.T) {
 	}
 	for i := range seq.Procs {
 		for j := range seq.Procs[i].Events {
-			if seq.Procs[i].Events[j].Time != par.Procs[i].Events[j].Time {
+			if seq.Procs[i].Events[j].Time != par.Procs[i].Events[j].Time { //tsync:exact — determinism: both implementations must agree bit-for-bit
 				t.Fatalf("domain-aware sequential and parallel disagree at %d/%d", i, j)
 			}
 		}

@@ -78,7 +78,7 @@ func TestSharedMemoryCLCParallelAgrees(t *testing.T) {
 	}
 	for i := range seq.Procs {
 		for j := range seq.Procs[i].Events {
-			if seq.Procs[i].Events[j].Time != par.Procs[i].Events[j].Time {
+			if seq.Procs[i].Events[j].Time != par.Procs[i].Events[j].Time { //tsync:exact — determinism: both implementations must agree bit-for-bit
 				t.Fatalf("sequential and parallel shared-memory CLC disagree at %d/%d", i, j)
 			}
 		}

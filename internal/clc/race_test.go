@@ -1,0 +1,95 @@
+package clc
+
+// Race regression tests for the parallel replay implementation
+// (forwardParallel): one goroutine per rank, cross edges as buffered
+// channels, rows of out joined by wg.Wait. The static locked analyzer
+// annotates the disjoint-index writes with tsync:locked; these tests are
+// the dynamic half of that argument — `make race` replays the fan-out
+// under the race detector with enough ranks and rounds that unsafe
+// schedules would be observed.
+
+import (
+	"testing"
+
+	"tsync/internal/topology"
+	"tsync/internal/trace"
+	"tsync/internal/xrand"
+)
+
+// wideRingTrace builds an nProcs-rank ring exchanging rounds of messages
+// with skewed, noisy timestamps — every rank both sends and receives each
+// round, so the parallel replay has a dense cross-edge graph to
+// synchronize on.
+func wideRingTrace(nProcs, rounds int, seed uint64) *trace.Trace {
+	s := xrand.NewSource(seed)
+	tr := &trace.Trace{}
+	tr.MinLatency = [4]float64{0, 0.46e-6, 0.84e-6, 4.2e-6}
+	skews := make([]float64, nProcs)
+	for i := range skews {
+		skews[i] = s.Normal(0, 100e-6)
+	}
+	procs := make([]trace.Proc, nProcs)
+	for i := range procs {
+		procs[i] = trace.Proc{Rank: i, Core: topology.CoreID{Node: i}}
+	}
+	tt := 0.0
+	for round := 0; round < rounds; round++ {
+		tt += 50e-6
+		for i := range procs {
+			dst := (i + 1) % nProcs
+			procs[i].Events = append(procs[i].Events, trace.Event{
+				Kind: trace.Send, Time: tt + skews[i], True: tt,
+				Partner: int32(dst), Tag: int32(round), Region: -1, Root: -1})
+		}
+		tt += 10e-6
+		for i := range procs {
+			src := (i - 1 + nProcs) % nProcs
+			procs[i].Events = append(procs[i].Events, trace.Event{
+				Kind: trace.Recv, Time: tt + skews[i] + s.Normal(0, 5e-6), True: tt,
+				Partner: int32(src), Tag: int32(round), Region: -1, Root: -1})
+		}
+	}
+	// local timestamps must be locally monotone for a valid trace
+	for i := range procs {
+		for j := 1; j < len(procs[i].Events); j++ {
+			if procs[i].Events[j].Time <= procs[i].Events[j-1].Time {
+				procs[i].Events[j].Time = procs[i].Events[j-1].Time + 1e-9
+			}
+		}
+	}
+	tr.Procs = procs
+	return tr
+}
+
+// TestCorrectParallelRace exercises the goroutine fan-out repeatedly on a
+// wide trace. Under -race this is the regression test for the
+// forwardParallel data-sharing design (disjoint out rows, channel-carried
+// bounds, wg.Wait join).
+func TestCorrectParallelRace(t *testing.T) {
+	opt := DefaultOptions()
+	for _, shape := range []struct{ procs, rounds int }{
+		{4, 50}, {16, 20}, {32, 8},
+	} {
+		for seed := uint64(0); seed < 3; seed++ {
+			tr := wideRingTrace(shape.procs, shape.rounds, 1000+seed)
+			seq, repS, err := Correct(tr, opt)
+			if err != nil {
+				t.Fatalf("procs=%d seed=%d: sequential: %v", shape.procs, seed, err)
+			}
+			par, repP, err := CorrectParallel(tr, opt)
+			if err != nil {
+				t.Fatalf("procs=%d seed=%d: parallel: %v", shape.procs, seed, err)
+			}
+			if repS != repP {
+				t.Fatalf("procs=%d seed=%d: reports differ: %+v vs %+v", shape.procs, seed, repS, repP)
+			}
+			for i := range seq.Procs {
+				for j := range seq.Procs[i].Events {
+					if seq.Procs[i].Events[j].Time != par.Procs[i].Events[j].Time { //tsync:exact — determinism: the parallel replay must agree bit-for-bit
+						t.Fatalf("procs=%d seed=%d: disagree at %d/%d", shape.procs, seed, i, j)
+					}
+				}
+			}
+		}
+	}
+}

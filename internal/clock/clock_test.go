@@ -213,7 +213,7 @@ func TestClockOffsetApplied(t *testing.T) {
 	if got := c.Read(1); math.Abs(got-43) > 1e-9 {
 		t.Fatalf("Read(1) = %v, want 43", got)
 	}
-	if c.Offset() != 42 {
+	if !stats.ApproxEqual(c.Offset(), 42, 1e-12) {
 		t.Fatalf("Offset() = %v", c.Offset())
 	}
 }

@@ -87,9 +87,9 @@ func (e *Engine) Spawn(label string, startAt float64, fn func(*Proc)) *Proc {
 		<-p.resume
 		defer func() {
 			if r := recover(); r != nil {
-				e.failure = fmt.Sprintf("des: process %d (%s) panicked: %v", p.ID, p.Label, r)
+				e.failure = fmt.Sprintf("des: process %d (%s) panicked: %v", p.ID, p.Label, r) //tsync:locked — strict handoff: the e.yield send below happens-before the scheduler's read in step
 			}
-			p.done = true
+			p.done = true //tsync:locked — same handoff edge; exactly one goroutine runs at a time by construction
 			e.yield <- struct{}{}
 		}()
 		fn(p)

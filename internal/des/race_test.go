@@ -1,0 +1,66 @@
+package des
+
+// Race regression tests for the engine's goroutine handoff. The engine
+// runs exactly one goroutine at a time — scheduler and processes hand
+// control over through p.resume and e.yield — and the writes to e.failure
+// and p.done in the Spawn goroutine (annotated tsync:locked) are ordered
+// by the e.yield send that follows them. These tests replay that protocol
+// with many processes and with panic propagation so `make race` verifies
+// the happens-before argument dynamically.
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestManyProcessesHandoffRace interleaves 64 processes whose sleeps
+// collide on the same instants, maximising handoffs per simulated second.
+func TestManyProcessesHandoffRace(t *testing.T) {
+	const n = 64
+	e := New()
+	finished := make([]float64, n)
+	for i := 0; i < n; i++ {
+		i := i
+		e.Spawn("worker", float64(i%4)*0.25, func(p *Proc) {
+			for step := 0; step < 50; step++ {
+				p.Sleep(float64((i+step)%8) * 0.125)
+			}
+			finished[i] = p.Now()
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range finished {
+		if f <= 0 {
+			t.Fatalf("process %d never finished (finished at %v)", i, f)
+		}
+	}
+	if e.Processed() == 0 {
+		t.Fatal("no events processed")
+	}
+}
+
+// TestPanicPropagationRace drives the failure path: the panicking
+// process's goroutine writes e.failure, the scheduler goroutine reads it
+// after the yield handoff and re-panics.
+func TestPanicPropagationRace(t *testing.T) {
+	e := New()
+	for i := 0; i < 8; i++ {
+		e.Spawn("calm", 0, func(p *Proc) { p.Sleep(1) })
+	}
+	e.Spawn("bomb", 0.5, func(p *Proc) {
+		p.Sleep(0.1)
+		panic("boom")
+	})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("engine did not propagate the process panic")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "boom") {
+			t.Fatalf("unexpected panic payload: %v", r)
+		}
+	}()
+	_ = e.Run()
+}

@@ -5,6 +5,7 @@ import (
 
 	"tsync/internal/clock"
 	"tsync/internal/mpi"
+	"tsync/internal/stats"
 	"tsync/internal/topology"
 	"tsync/internal/trace"
 )
@@ -339,7 +340,7 @@ func TestPOMPEdgesMultipleBarriersPairUp(t *testing.T) {
 	for _, e := range edges {
 		fi := tr.Procs[e.From.Rank].Events[e.From.Idx]
 		ti := tr.Procs[e.To.Rank].Events[e.To.Idx]
-		if (fi.Time == 1) != (ti.Time == 2) {
+		if stats.ApproxEqual(fi.Time, 1, 1e-12) != stats.ApproxEqual(ti.Time, 2, 1e-12) {
 			t.Fatalf("barrier instances cross-paired: %v -> %v", fi.Time, ti.Time)
 		}
 	}

@@ -1,0 +1,151 @@
+// Package floateq defines an analyzer that flags exact ==/!= comparisons
+// between float64 timestamp expressions.
+//
+// The paper's central observation is that timestamps from drifting clocks
+// carry errors of tens of microseconds per second (Fig. 4) and that
+// corrections (Eq. 3, the controlled logical clock) produce values that
+// are equal only up to the arithmetic of the pipeline that made them.
+// Exact float equality on such values encodes an assumption — that two
+// independently derived times are bit-for-bit identical — which drift,
+// interpolation and rounding all break. Use stats.ApproxEqual(a, b, tol)
+// instead, which combines absolute and relative tolerance.
+//
+// A comparison is flagged when either operand has floating-point type and
+// is named like a timestamp (Time, Timestamp, Offset, Latency, LMin,
+// Delay, Skew, Drift — case-insensitive suffix match), except:
+//
+//   - comparisons against the literal 0 (zero is the conventional "unset"
+//     sentinel, assigned exactly and never the result of arithmetic);
+//   - self-comparison x != x (the portable NaN test);
+//   - lines annotated with a "tsync:exact" comment, for intentional
+//     bit-for-bit checks such as determinism tests that replay the same
+//     pipeline twice.
+package floateq
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"tsync/internal/lint"
+)
+
+const doc = `flag exact ==/!= between float64 timestamp expressions
+
+Drifting clocks make exact equality of timestamps meaningless; compare
+with stats.ApproxEqual(a, b, tol) or annotate the line with a
+"tsync:exact" comment when a bit-for-bit check is intended.`
+
+// Analyzer is the floateq analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:     "floateq",
+	Doc:      doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// timestampSuffixes are the lower-case name endings that mark an
+// expression as carrying a timestamp, an offset between clocks, or a
+// latency — the quantities the paper manipulates.
+var timestampSuffixes = []string{
+	"time", "times", "timestamp", "timestamps",
+	"offset", "offsets",
+	"latency", "latencies",
+	"lmin", "delay", "skew", "drift",
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.BinaryExpr)(nil)}, func(n ast.Node) {
+		be := n.(*ast.BinaryExpr)
+		if be.Op != token.EQL && be.Op != token.NEQ {
+			return
+		}
+		lname, lfloat := timestampOperand(pass, be.X)
+		rname, rfloat := timestampOperand(pass, be.Y)
+		name := lname
+		if name == "" {
+			name = rname
+		}
+		if name == "" || !(lfloat || rfloat) {
+			return
+		}
+		if isZeroLiteral(be.X) || isZeroLiteral(be.Y) {
+			return
+		}
+		if isSelfComparison(be) {
+			return
+		}
+		if lint.HasLineDirective(pass, be.Pos(), "tsync:exact") {
+			return
+		}
+		pass.Reportf(be.Pos(), "exact %s comparison on float64 timestamp %q: drifting clocks make exact equality meaningless; use stats.ApproxEqual or annotate the line with a tsync:exact comment", be.Op, name)
+	})
+	return nil, nil
+}
+
+// timestampOperand reports whether e is a floating-point expression whose
+// name marks it as a timestamp; it returns the matched name (empty if the
+// name does not match) and whether the type is floating point.
+func timestampOperand(pass *analysis.Pass, e ast.Expr) (name string, isFloat bool) {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return "", false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsFloat == 0 {
+		return "", false
+	}
+	n := exprName(e)
+	low := strings.ToLower(n)
+	for _, suf := range timestampSuffixes {
+		if strings.HasSuffix(low, suf) {
+			return n, true
+		}
+	}
+	return "", true
+}
+
+// exprName digs the identifying name out of an operand: the selector's
+// field for evs[i].Time, the identifier for a plain variable, the indexed
+// expression's name for offsets[i].
+func exprName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return exprName(e.X)
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.Ident:
+		return e.Name
+	case *ast.IndexExpr:
+		return exprName(e.X)
+	case *ast.CallExpr:
+		return exprName(e.Fun)
+	}
+	return ""
+}
+
+func isZeroLiteral(e ast.Expr) bool {
+	if p, ok := e.(*ast.ParenExpr); ok {
+		return isZeroLiteral(p.X)
+	}
+	bl, ok := e.(*ast.BasicLit)
+	if !ok {
+		return false
+	}
+	switch bl.Value {
+	case "0", "0.0", "0.", ".0":
+		return true
+	}
+	return false
+}
+
+// isSelfComparison recognises x != x / x == x, the portable NaN test.
+func isSelfComparison(be *ast.BinaryExpr) bool {
+	return types.ExprString(be.X) == types.ExprString(be.Y)
+}

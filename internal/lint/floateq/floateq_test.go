@@ -1,0 +1,12 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"tsync/internal/lint/floateq"
+	"tsync/internal/lint/linttest"
+)
+
+func TestFloateq(t *testing.T) {
+	linttest.Run(t, floateq.Analyzer, "a")
+}

@@ -1,0 +1,47 @@
+// Package a is the fixture for the floateq analyzer: exact comparisons
+// on timestamp-named float64 expressions are flagged; zero-sentinel
+// checks, NaN tests, annotated bit-for-bit checks, epsilon comparisons
+// and non-float or non-timestamp operands are not.
+package a
+
+import "math"
+
+// Event mirrors the shape of trace.Event for comparison purposes.
+type Event struct {
+	Time   float64
+	Kind   int
+	Name   string
+	Offset float64
+}
+
+// Bad exercises the flagged forms.
+func Bad(a, b Event, sendTime float64, offsets []float64, i int) bool {
+	if a.Time == b.Time { // want `exact == comparison on float64 timestamp "Time"`
+		return true
+	}
+	if sendTime != b.Time { // want `exact != comparison on float64 timestamp "sendTime"`
+		return true
+	}
+	if offsets[i] == 0.25 { // want `exact == comparison on float64 timestamp "offsets"`
+		return true
+	}
+	recvLatency := a.Time - b.Time
+	return recvLatency == 1e-6 // want `exact == comparison on float64 timestamp "recvLatency"`
+}
+
+// Good exercises every exemption.
+func Good(a, b Event, eps float64) bool {
+	if a.Time != 0 { // zero is the unset sentinel, assigned exactly
+		return true
+	}
+	if a.Time != a.Time { // the portable NaN test
+		return true
+	}
+	if a.Time == b.Time { //tsync:exact — replaying the same pipeline must be bit-for-bit deterministic
+		return true
+	}
+	if a.Kind == b.Kind || a.Name == b.Name { // not floats
+		return true
+	}
+	return math.Abs(a.Time-b.Time) <= eps // the epsilon idiom floateq points to
+}

@@ -1,0 +1,88 @@
+// Package lint holds the shared plumbing for tsync's custom static
+// analyzers (the tsyncvet suite). The analyzers machine-check the
+// correctness conventions the paper forces on us:
+//
+//   - determinism: every run is a pure function of its configuration, so
+//     wall-clock reads and ambient randomness are banned outside
+//     internal/xrand and the cmd/ front-ends (wallclock analyzer);
+//   - epsilon discipline: float64 timestamps are never compared with
+//     ==/!= — drifting clocks make exact equality meaningless
+//     (floateq analyzer);
+//   - pipeline discipline: the local timestamp trace.Event.Time, whose
+//     violations of the clock condition t_recv >= t_send + l_min are the
+//     phenomenon under study, may only be rewritten by the sanctioned
+//     correction packages (tsmutate analyzer);
+//   - goroutine hygiene: shared state touched from spawned goroutines is
+//     either provably synchronized or explicitly annotated, complementing
+//     the dynamic race detector (locked analyzer).
+//
+// Suppression directives: a line-level comment containing "tsync:exact"
+// silences floateq, and "tsync:locked" silences locked, for sites where
+// the exact comparison or unsynchronized-looking write is intentional and
+// justified (bit-for-bit determinism checks, disjoint-index fan-out
+// protected by a happens-before edge, ...). Directives are deliberately
+// per-line so a justification comment has to sit next to the code it
+// excuses.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// PathHasSuffix reports whether pkgPath equals suffix or ends in
+// "/"+suffix. It is how analyzers recognise repo packages in both the real
+// module (path "tsync/internal/xrand") and analysistest-style fixtures
+// (path "internal/xrand" relative to testdata/src).
+func PathHasSuffix(pkgPath, suffix string) bool {
+	return pkgPath == suffix || strings.HasSuffix(pkgPath, "/"+suffix)
+}
+
+// PathHasSegment reports whether seg appears as a complete element of the
+// slash-separated package path (e.g. "cmd" in "tsync/cmd/clockstudy").
+func PathHasSegment(pkgPath, seg string) bool {
+	for _, s := range strings.Split(pkgPath, "/") {
+		if s == seg {
+			return true
+		}
+	}
+	return false
+}
+
+// IsTestFile reports whether pos lies in a _test.go file.
+func IsTestFile(pass *analysis.Pass, pos token.Pos) bool {
+	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
+}
+
+// HasLineDirective reports whether the line containing pos carries a
+// comment that contains directive (e.g. "tsync:exact"). Only the line of
+// pos itself is consulted, so the justification must sit on the flagged
+// line.
+func HasLineDirective(pass *analysis.Pass, pos token.Pos, directive string) bool {
+	f := FileOf(pass, pos)
+	if f == nil {
+		return false
+	}
+	line := pass.Fset.Position(pos).Line
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if pass.Fset.Position(c.Pos()).Line == line && strings.Contains(c.Text, directive) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FileOf returns the *ast.File of pass that contains pos, or nil.
+func FileOf(pass *analysis.Pass, pos token.Pos) *ast.File {
+	for _, f := range pass.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,261 @@
+// Package linttest is a self-contained analogue of
+// golang.org/x/tools/go/analysis/analysistest, built because this
+// repository vendors only the subset of x/tools that the Go toolchain
+// ships for `go vet` (analysistest and its go/packages dependency are not
+// in that subset, and the build environment is offline).
+//
+// It follows the analysistest conventions: fixture packages live under
+// testdata/src/<importpath>/ next to the test, and expected diagnostics
+// are declared in the fixture source with trailing comments of the form
+//
+//	x = ev.Time // want `regexp` `another regexp`
+//
+// Each regexp must match the message of a diagnostic reported on that
+// line; diagnostics without a matching expectation, and expectations
+// without a matching diagnostic, fail the test. Fixture imports resolve
+// first against testdata/src (so fixtures can model repo packages like
+// tsync/internal/trace) and fall back to the source importer for the
+// standard library.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// reporter is the slice of *testing.T that linttest needs; it exists so
+// the harness can be tested against a recorder instead of failing the
+// real test.
+type reporter interface {
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// Run loads each fixture package under testdata/src and checks the
+// analyzer's diagnostics against the // want expectations in the fixture
+// source. It is the linttest counterpart of analysistest.Run.
+func Run(t *testing.T, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	run(t, a, pkgPaths...)
+}
+
+func run(t reporter, a *analysis.Analyzer, pkgPaths ...string) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatalf("linttest: getwd: %v", err)
+	}
+	ld := newLoader(filepath.Join(wd, "testdata", "src"))
+	for _, path := range pkgPaths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			t.Errorf("linttest: loading %s: %v", path, err)
+			continue
+		}
+		diags, err := runAnalyzer(a, ld, pkg, map[*analysis.Analyzer]any{})
+		if err != nil {
+			t.Errorf("linttest: running %s on %s: %v", a.Name, path, err)
+			continue
+		}
+		checkExpectations(t, ld, pkg, diags)
+	}
+}
+
+// loadedPkg is one type-checked fixture package.
+type loadedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// loader resolves and memoizes fixture packages rooted at testdata/src,
+// deferring to the source importer for everything else (stdlib).
+type loader struct {
+	root    string
+	fset    *token.FileSet
+	pkgs    map[string]*loadedPkg
+	fallbak types.ImporterFrom
+}
+
+func newLoader(root string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		root:    root,
+		fset:    fset,
+		pkgs:    map[string]*loadedPkg{},
+		fallbak: importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+}
+
+// Import implements types.Importer over the fixture tree.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(l.root, filepath.FromSlash(path)); dirExists(dir) {
+		lp, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return lp.pkg, nil
+	}
+	return l.fallbak.Import(path)
+}
+
+func (l *loader) load(path string) (*loadedPkg, error) {
+	if lp, ok := l.pkgs[path]; ok {
+		return lp, nil
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking: %v", err)
+	}
+	lp := &loadedPkg{pkg: pkg, files: files, info: info}
+	l.pkgs[path] = lp
+	return lp, nil
+}
+
+// runAnalyzer executes a (and, recursively, its Requires) over pkg and
+// returns the diagnostics a itself reported. results memoizes prerequisite
+// results per package so shared deps like the inspect pass run once.
+func runAnalyzer(a *analysis.Analyzer, ld *loader, pkg *loadedPkg, results map[*analysis.Analyzer]any) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	for _, req := range a.Requires {
+		if _, done := results[req]; done {
+			continue
+		}
+		if _, err := runAnalyzer(req, ld, pkg, results); err != nil {
+			return nil, fmt.Errorf("prerequisite %s: %v", req.Name, err)
+		}
+	}
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       ld.fset,
+		Files:      pkg.files,
+		Pkg:        pkg.pkg,
+		TypesInfo:  pkg.info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf:   map[*analysis.Analyzer]any{},
+		Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+		ReadFile:   os.ReadFile,
+
+		// The domain analyzers use no facts; stub the API so an
+		// accidental use fails loudly instead of silently.
+		ImportObjectFact:  func(types.Object, analysis.Fact) bool { panic("linttest: facts unsupported") },
+		ImportPackageFact: func(*types.Package, analysis.Fact) bool { panic("linttest: facts unsupported") },
+		ExportObjectFact:  func(types.Object, analysis.Fact) { panic("linttest: facts unsupported") },
+		ExportPackageFact: func(analysis.Fact) { panic("linttest: facts unsupported") },
+		AllPackageFacts:   func() []analysis.PackageFact { return nil },
+		AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+	}
+	for _, req := range a.Requires {
+		pass.ResultOf[req] = results[req]
+	}
+	res, err := a.Run(pass)
+	if err != nil {
+		return nil, err
+	}
+	results[a] = res
+	return diags, nil
+}
+
+// expectation is one // want regexp at a file line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+}
+
+// wantRE extracts quoted or backquoted regexps after "// want".
+var wantArgRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// checkExpectations cross-matches diagnostics against // want comments.
+func checkExpectations(t reporter, ld *loader, pkg *loadedPkg, diags []analysis.Diagnostic) {
+	var wants []*expectation
+	for _, f := range pkg.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := ld.fset.Position(c.Pos())
+				for _, arg := range wantArgRE.FindAllString(text[len("want "):], -1) {
+					pat := arg[1 : len(arg)-1]
+					if arg[0] == '"' {
+						pat = strings.ReplaceAll(pat, `\"`, `"`)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %s: %v", pos.Filename, pos.Line, arg, err)
+						continue
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: arg})
+				}
+			}
+		}
+	}
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		pos := ld.fset.Position(d.Pos)
+		ok := false
+		for i, w := range wants {
+			if !matched[i] && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: no diagnostic matching %s", w.file, w.line, w.raw)
+		}
+	}
+}
+
+func dirExists(dir string) bool {
+	fi, err := os.Stat(dir)
+	return err == nil && fi.IsDir()
+}

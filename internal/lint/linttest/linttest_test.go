@@ -1,0 +1,92 @@
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// boomAnalyzer flags every call to a function literally named boom. It is
+// the minimal analyzer needed to exercise the harness itself.
+var boomAnalyzer = &analysis.Analyzer{
+	Name: "boom",
+	Doc:  "flags calls to boom()",
+	Run: func(pass *analysis.Pass) (any, error) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "boom" {
+						pass.Reportf(call.Pos(), "call to boom")
+					}
+				}
+				return true
+			})
+		}
+		return nil, nil
+	},
+}
+
+// silentAnalyzer reports nothing, so every want in a fixture goes
+// unmatched — the shape of a broken analyzer against a positive fixture.
+var silentAnalyzer = &analysis.Analyzer{
+	Name: "silent",
+	Doc:  "reports nothing",
+	Run:  func(pass *analysis.Pass) (any, error) { return nil, nil },
+}
+
+// recorder captures harness failures instead of failing the test.
+type recorder struct{ errs []string }
+
+func (r *recorder) Errorf(format string, args ...any) {
+	r.errs = append(r.errs, fmt.Sprintf(format, args...))
+}
+func (r *recorder) Fatalf(format string, args ...any) {
+	r.errs = append(r.errs, fmt.Sprintf(format, args...))
+	panic("linttest recorder: fatal")
+}
+
+// TestHarnessMatches: a correct analyzer against annotated fixtures
+// produces no failures.
+func TestHarnessMatches(t *testing.T) {
+	rec := &recorder{}
+	run(rec, boomAnalyzer, "self")
+	if len(rec.errs) != 0 {
+		t.Fatalf("expected clean run, got: %v", rec.errs)
+	}
+}
+
+// TestHarnessCatchesSilentAnalyzer: if the analyzer under test stops
+// reporting, the positive fixture's want expectations must fail the test.
+// This is the property the acceptance criteria lean on: a fixture test
+// passing proves the analyzer really fires.
+func TestHarnessCatchesSilentAnalyzer(t *testing.T) {
+	rec := &recorder{}
+	run(rec, silentAnalyzer, "self")
+	if len(rec.errs) == 0 {
+		t.Fatal("silent analyzer against a positive fixture must fail the harness")
+	}
+	for _, e := range rec.errs {
+		if !strings.Contains(e, "no diagnostic matching") {
+			t.Fatalf("unexpected failure kind: %q", e)
+		}
+	}
+}
+
+// TestHarnessCatchesUnexpectedDiagnostic: diagnostics with no want
+// expectation fail the test too (no silent over-reporting).
+func TestHarnessCatchesUnexpectedDiagnostic(t *testing.T) {
+	rec := &recorder{}
+	run(rec, boomAnalyzer, "noisy")
+	found := false
+	for _, e := range rec.errs {
+		if strings.Contains(e, "unexpected diagnostic") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected an unexpected-diagnostic failure, got: %v", rec.errs)
+	}
+}

@@ -1,0 +1,8 @@
+// Package noisy triggers a diagnostic that no want expectation covers.
+package noisy
+
+func boom() {}
+
+func use() {
+	boom()
+}

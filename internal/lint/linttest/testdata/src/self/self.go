@@ -1,0 +1,8 @@
+// Package self is the harness's own fixture.
+package self
+
+func boom() {}
+
+func use() {
+	boom() // want `call to boom`
+}

@@ -1,0 +1,227 @@
+// Package locked defines an analyzer for goroutine hygiene in the
+// packages that fan work out (internal/clc's parallel replay,
+// internal/des's coroutine engine). It is the static complement of
+// `go test -race ./...`: the race detector only sees schedules that
+// actually execute, while these checks hold on every path.
+//
+// Three patterns are reported inside `go func(...) {...}` literals:
+//
+//  1. use of an enclosing loop's iteration variable. Even with Go >= 1.22
+//     per-iteration semantics this is flagged: replay determinism wants
+//     the goroutine's inputs pinned at spawn time, as arguments, the way
+//     internal/clc passes its rank. (Pre-1.22 toolchains make the same
+//     code an aliasing bug, so the rule also keeps backports safe.)
+//  2. a write through a captured variable — plain assignment, op-assign,
+//     ++/-- or range-assign whose left-hand side is rooted at a variable
+//     declared outside the literal. The analyzer cannot prove a mutex or
+//     a happens-before edge guards the write, so the author must either
+//     restructure (channels, per-goroutine results joined after Wait) or
+//     annotate the line with a "tsync:locked" comment naming the
+//     synchronization that makes it safe.
+//  3. sync.WaitGroup.Add called on a captured WaitGroup inside the
+//     goroutine it accounts for — the classic Add/Wait race; Add must
+//     happen before the `go` statement.
+package locked
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"tsync/internal/lint"
+)
+
+const doc = `flag goroutine-captured loop variables and unsynchronized shared writes
+
+Inside go func literals: loop-variable capture, writes through captured
+variables without a "tsync:locked" justification, and WaitGroup.Add
+inside the goroutine it accounts for.`
+
+// Analyzer is the locked analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:     "locked",
+	Doc:      doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.WithStack([]ast.Node{(*ast.GoStmt)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		gs := n.(*ast.GoStmt)
+		lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		loopVars := enclosingLoopVars(pass, stack)
+		checkLiteral(pass, lit, loopVars)
+		return true
+	})
+	return nil, nil
+}
+
+// enclosingLoopVars collects the iteration variables of every for/range
+// statement on the stack between the go statement and the function that
+// lexically contains it.
+func enclosingLoopVars(pass *analysis.Pass, stack []ast.Node) map[*types.Var]bool {
+	vars := map[*types.Var]bool{}
+	add := func(e ast.Expr) {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := pass.TypesInfo.ObjectOf(id)
+		if v, ok := obj.(*types.Var); ok {
+			vars[v] = true
+		}
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch s := stack[i].(type) {
+		case *ast.RangeStmt:
+			if s.Key != nil {
+				add(s.Key)
+			}
+			if s.Value != nil {
+				add(s.Value)
+			}
+		case *ast.ForStmt:
+			if init, ok := s.Init.(*ast.AssignStmt); ok {
+				for _, lhs := range init.Lhs {
+					add(lhs)
+				}
+			}
+		case *ast.FuncDecl:
+			return vars
+		}
+	}
+	return vars
+}
+
+// checkLiteral walks the body of a go-spawned function literal and reports
+// the three racy patterns. Nested function literals are still goroutine
+// context and are walked too; nested go statements are handled by their
+// own WithStack visit, so recursion stops there.
+func checkLiteral(pass *analysis.Pass, lit *ast.FuncLit, loopVars map[*types.Var]bool) {
+	reportedLoopVar := map[*types.Var]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.Ident:
+			obj := pass.TypesInfo.ObjectOf(n)
+			if v, ok := obj.(*types.Var); ok && loopVars[v] && !declaredWithin(v, lit) && !reportedLoopVar[v] {
+				reportedLoopVar[v] = true
+				pass.Reportf(n.Pos(), "goroutine captures loop variable %q: pass it as an argument to the go func so its value is pinned at spawn time", n.Name)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				checkSharedWrite(pass, lit, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkSharedWrite(pass, lit, n.X)
+		case *ast.RangeStmt:
+			if n.Tok == token.ASSIGN {
+				if n.Key != nil {
+					checkSharedWrite(pass, lit, n.Key)
+				}
+				if n.Value != nil {
+					checkSharedWrite(pass, lit, n.Value)
+				}
+			}
+		case *ast.CallExpr:
+			checkWaitGroupAdd(pass, lit, n)
+		}
+		return true
+	})
+}
+
+// checkSharedWrite reports lhs when its root identifier is a variable
+// declared outside the literal — shared state written from the goroutine.
+func checkSharedWrite(pass *analysis.Pass, lit *ast.FuncLit, lhs ast.Expr) {
+	id := rootIdent(lhs)
+	if id == nil || id.Name == "_" {
+		return
+	}
+	v, ok := pass.TypesInfo.ObjectOf(id).(*types.Var)
+	if !ok || declaredWithin(v, lit) {
+		return
+	}
+	if lint.HasLineDirective(pass, lhs.Pos(), "tsync:locked") {
+		return
+	}
+	pass.Reportf(lhs.Pos(), "write to captured %q inside goroutine without visible synchronization: use a channel or per-goroutine result, or annotate the line with a tsync:locked comment naming the guard", id.Name)
+}
+
+// checkWaitGroupAdd reports wg.Add(...) on a captured sync.WaitGroup.
+func checkWaitGroupAdd(pass *analysis.Pass, lit *ast.FuncLit, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Add" {
+		return
+	}
+	id := rootIdent(sel.X)
+	if id == nil {
+		return
+	}
+	v, ok := pass.TypesInfo.ObjectOf(id).(*types.Var)
+	if !ok || declaredWithin(v, lit) {
+		return
+	}
+	if !isWaitGroup(pass.TypesInfo.TypeOf(sel.X)) {
+		return
+	}
+	pass.Reportf(call.Pos(), "sync.WaitGroup.Add inside the goroutine it accounts for races with Wait: call Add before the go statement")
+}
+
+// rootIdent unwraps selectors, indexing, derefs and parens down to the
+// base identifier of an lvalue (out[rank][idx] -> out, e.failure -> e).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredWithin reports whether v's declaration lies inside lit — such
+// variables (parameters, locals) are goroutine-private.
+func declaredWithin(v *types.Var, lit *ast.FuncLit) bool {
+	return v.Pos() >= lit.Pos() && v.Pos() < lit.End()
+}
+
+// isWaitGroup reports whether t is sync.WaitGroup or *sync.WaitGroup.
+func isWaitGroup(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}

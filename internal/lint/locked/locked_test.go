@@ -1,0 +1,12 @@
+package locked_test
+
+import (
+	"testing"
+
+	"tsync/internal/lint/linttest"
+	"tsync/internal/lint/locked"
+)
+
+func TestLocked(t *testing.T) {
+	linttest.Run(t, locked.Analyzer, "a")
+}

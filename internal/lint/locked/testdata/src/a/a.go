@@ -1,0 +1,70 @@
+// Package a is the fixture for the locked analyzer: goroutine-captured
+// loop variables, unsynchronized writes through captured variables, and
+// WaitGroup.Add inside the spawned goroutine.
+package a
+
+import "sync"
+
+// FanOutBad spawns one goroutine per rank with every racy pattern.
+func FanOutBad(ranks []int) error {
+	var wg sync.WaitGroup
+	var err error
+	total := 0
+	out := make([]int, len(ranks))
+	for i, r := range ranks {
+		go func() {
+			wg.Add(1) // want `sync.WaitGroup.Add inside the goroutine it accounts for`
+			defer wg.Done()
+			out[i] = r // want `goroutine captures loop variable "i"` `goroutine captures loop variable "r"` `write to captured "out" inside goroutine`
+			total += r // want `write to captured "total" inside goroutine`
+			err = nil  // want `write to captured "err" inside goroutine`
+		}()
+	}
+	wg.Wait()
+	return err
+}
+
+// Counter is shared state written through a captured pointer receiver.
+type Counter struct{ n int }
+
+// SpawnBad writes a captured struct's field from the goroutine.
+func SpawnBad(c *Counter) {
+	go func() {
+		c.n++ // want `write to captured "c" inside goroutine`
+	}()
+}
+
+// FanOutGood is the same fan-out written the sanctioned way: Add before
+// the go statement, the iteration state passed as arguments, results
+// joined through goroutine-private state or justified writes.
+func FanOutGood(ranks []int) []int {
+	var wg sync.WaitGroup
+	out := make([]int, len(ranks))
+	for i, r := range ranks {
+		wg.Add(1)
+		go func(i, r int) {
+			defer wg.Done()
+			out[i] = r //tsync:locked — disjoint index per goroutine, joined by wg.Wait
+		}(i, r)
+	}
+	wg.Wait()
+	return out
+}
+
+// ChannelGood communicates instead of sharing: sends and goroutine-local
+// state are not writes through captured variables.
+func ChannelGood(ranks []int) int {
+	ch := make(chan int, len(ranks))
+	for _, r := range ranks {
+		go func(r int) {
+			local := r * 2
+			local++
+			ch <- local
+		}(r)
+	}
+	sum := 0
+	for range ranks {
+		sum += <-ch
+	}
+	return sum
+}

@@ -1,0 +1,75 @@
+// Package suite aggregates the tsyncvet analyzer set: the four
+// domain-specific analyzers that machine-check the repository's
+// clock-correctness invariants, plus the stock go/analysis vet passes
+// that are useful on this codebase. cmd/tsyncvet runs the whole set; the
+// domain analyzers are also individually testable via their own packages.
+package suite
+
+import (
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/assign"
+	"golang.org/x/tools/go/analysis/passes/atomic"
+	"golang.org/x/tools/go/analysis/passes/bools"
+	"golang.org/x/tools/go/analysis/passes/buildtag"
+	"golang.org/x/tools/go/analysis/passes/copylock"
+	"golang.org/x/tools/go/analysis/passes/defers"
+	"golang.org/x/tools/go/analysis/passes/errorsas"
+	"golang.org/x/tools/go/analysis/passes/ifaceassert"
+	"golang.org/x/tools/go/analysis/passes/loopclosure"
+	"golang.org/x/tools/go/analysis/passes/lostcancel"
+	"golang.org/x/tools/go/analysis/passes/nilfunc"
+	"golang.org/x/tools/go/analysis/passes/printf"
+	"golang.org/x/tools/go/analysis/passes/shift"
+	"golang.org/x/tools/go/analysis/passes/sigchanyzer"
+	"golang.org/x/tools/go/analysis/passes/stdmethods"
+	"golang.org/x/tools/go/analysis/passes/stringintconv"
+	"golang.org/x/tools/go/analysis/passes/structtag"
+	"golang.org/x/tools/go/analysis/passes/tests"
+	"golang.org/x/tools/go/analysis/passes/unmarshal"
+	"golang.org/x/tools/go/analysis/passes/unreachable"
+	"golang.org/x/tools/go/analysis/passes/unusedresult"
+
+	"tsync/internal/lint/floateq"
+	"tsync/internal/lint/locked"
+	"tsync/internal/lint/tsmutate"
+	"tsync/internal/lint/wallclock"
+)
+
+// Domain returns the four tsync-specific analyzers.
+func Domain() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		wallclock.Analyzer,
+		floateq.Analyzer,
+		tsmutate.Analyzer,
+		locked.Analyzer,
+	}
+}
+
+// Analyzers returns the full tsyncvet set: domain analyzers plus the
+// stock vet passes (the same set `go vet` runs by default, minus passes
+// that need build-system integration we don't use, like cgocall).
+func Analyzers() []*analysis.Analyzer {
+	return append(Domain(),
+		assign.Analyzer,
+		atomic.Analyzer,
+		bools.Analyzer,
+		buildtag.Analyzer,
+		copylock.Analyzer,
+		defers.Analyzer,
+		errorsas.Analyzer,
+		ifaceassert.Analyzer,
+		loopclosure.Analyzer,
+		lostcancel.Analyzer,
+		nilfunc.Analyzer,
+		printf.Analyzer,
+		shift.Analyzer,
+		sigchanyzer.Analyzer,
+		stdmethods.Analyzer,
+		stringintconv.Analyzer,
+		structtag.Analyzer,
+		tests.Analyzer,
+		unmarshal.Analyzer,
+		unreachable.Analyzer,
+		unusedresult.Analyzer,
+	)
+}

@@ -1,0 +1,13 @@
+// Package interp is the negative fixture: a sanctioned correction
+// package may rewrite Event.Time directly.
+package interp
+
+import "tsync/internal/trace"
+
+// Apply maps local timestamps through a correction, as the real
+// interpolation layer does.
+func Apply(evs []trace.Event, f func(float64) float64) {
+	for i := range evs {
+		evs[i].Time = f(evs[i].Time)
+	}
+}

@@ -1,0 +1,27 @@
+// Package replay is the positive fixture: a hypothetical consumer that
+// rewrites local timestamps outside the correction pipeline.
+package replay
+
+import "tsync/internal/trace"
+
+// Shift illegally rewrites timestamps in place.
+func Shift(evs []trace.Event, d float64) {
+	for i := range evs {
+		evs[i].Time += d // want `assignment to trace.Event.Time outside the correction pipeline`
+	}
+}
+
+// Zero illegally clears a timestamp through a pointer.
+func Zero(ev *trace.Event) {
+	ev.Time = 0 // want `assignment to trace.Event.Time outside the correction pipeline`
+}
+
+// Legal ways to interact with events outside the pipeline: reading Time,
+// stamping the unregulated oracle time, constructing fresh events, and
+// going through the sanctioned setter.
+func Legal(ev *trace.Event, t float64) trace.Event {
+	_ = ev.Time
+	ev.True = t
+	ev.SetTime(t)
+	return trace.Event{Time: t, Kind: ev.Kind}
+}

@@ -1,0 +1,9 @@
+package replay
+
+import "tsync/internal/trace"
+
+// Tests legitimately forge broken timestamps to build the scenarios under
+// study, so _test.go files are exempt.
+func forgeViolation(evs []trace.Event) {
+	evs[0].Time = 0.9
+}

@@ -1,0 +1,14 @@
+// Package trace is a fixture stub of the repo's internal/trace: just
+// enough surface for the tsmutate analyzer to recognise Event.Time.
+package trace
+
+// Event mirrors the real event record.
+type Event struct {
+	Time float64 // local timestamp (the regulated field)
+	True float64 // oracle time (unregulated)
+	Kind int
+}
+
+// SetTime is the sanctioned mutation door; package trace itself is on the
+// sanctioned list, so this assignment is not flagged.
+func (e *Event) SetTime(t float64) { e.Time = t }

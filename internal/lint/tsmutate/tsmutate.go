@@ -1,0 +1,112 @@
+// Package tsmutate defines an analyzer that confines mutation of
+// trace.Event.Time to the sanctioned correction packages.
+//
+// Event.Time is the local timestamp whose violations of the clock
+// condition t_recv >= t_send + l_min (Eq. 1 of the paper) are the
+// phenomenon under study. The whole value of the repository rests on
+// knowing exactly which code is allowed to rewrite it: the controlled
+// logical clock (internal/clc, Eq. 3), the offset interpolation layer
+// (internal/interp), the error estimators (internal/errest), and the
+// shared pipeline kernels (internal/core) — plus internal/trace itself,
+// which owns the type and exposes the audited setter
+// (*trace.Event).SetTime. A stray `ev.Time = ...` anywhere else silently
+// re-introduces the very clock-condition violations the pipeline exists
+// to remove, and nothing downstream can tell.
+//
+// The analyzer reports assignments (including op-assign and ++/--) whose
+// left-hand side is the Time field of internal/trace's Event, outside the
+// sanctioned packages and outside _test.go files (tests legitimately
+// forge broken timestamps to create the scenarios under test).
+package tsmutate
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"tsync/internal/lint"
+)
+
+const doc = `flag writes to trace.Event.Time outside the correction pipeline
+
+Only internal/clc, internal/interp, internal/errest, internal/core and
+internal/trace may rewrite the local timestamp; everyone else goes through
+(*trace.Event).SetTime so mutation stays greppable and auditable.`
+
+// Analyzer is the tsmutate analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:     "tsmutate",
+	Doc:      doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// sanctioned lists the package-path suffixes allowed to assign to
+// Event.Time directly: the correction pipeline plus the owning package.
+var sanctioned = []string{
+	"internal/clc",
+	"internal/interp",
+	"internal/errest",
+	"internal/core",
+	"internal/trace",
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, s := range sanctioned {
+		if lint.PathHasSuffix(pass.Pkg.Path(), s) {
+			return nil, nil
+		}
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	nodeFilter := []ast.Node{(*ast.AssignStmt)(nil), (*ast.IncDecStmt)(nil)}
+	ins.Preorder(nodeFilter, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkLHS(pass, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkLHS(pass, n.X)
+		}
+	})
+	return nil, nil
+}
+
+// checkLHS reports lhs if it denotes the Time field of trace.Event.
+func checkLHS(pass *analysis.Pass, lhs ast.Expr) {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Time" {
+		return
+	}
+	if !isTraceEvent(pass.TypesInfo.TypeOf(sel.X)) {
+		return
+	}
+	if lint.IsTestFile(pass, lhs.Pos()) {
+		return
+	}
+	pass.Reportf(lhs.Pos(), "assignment to trace.Event.Time outside the correction pipeline: only internal/{clc,interp,errest,core,trace} may rewrite local timestamps; call (*trace.Event).SetTime and keep the mutation auditable")
+}
+
+// isTraceEvent reports whether t is internal/trace's Event struct (or a
+// pointer to it).
+func isTraceEvent(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Name() != "Event" || obj.Pkg() == nil {
+		return false
+	}
+	return lint.PathHasSuffix(obj.Pkg().Path(), "internal/trace")
+}

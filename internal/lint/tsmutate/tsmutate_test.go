@@ -1,0 +1,15 @@
+package tsmutate_test
+
+import (
+	"testing"
+
+	"tsync/internal/lint/linttest"
+	"tsync/internal/lint/tsmutate"
+)
+
+func TestTsmutate(t *testing.T) {
+	linttest.Run(t, tsmutate.Analyzer,
+		"tsync/internal/replay", // positive: mutation outside the pipeline (tests exempt)
+		"tsync/internal/interp", // negative: sanctioned correction package
+	)
+}

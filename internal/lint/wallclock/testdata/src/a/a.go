@@ -1,0 +1,27 @@
+// Package a is the positive fixture for the wallclock analyzer: a
+// simulation-substrate package that reads ambient time and randomness.
+package a
+
+import (
+	"math/rand" // want `import of math/rand outside internal/xrand`
+	"time"
+)
+
+// Step models one simulated step but leaks host nondeterminism.
+func Step() float64 {
+	start := time.Now() // want `time.Now outside cmd/`
+	time.Sleep(time.Millisecond) // want `time.Sleep outside cmd/`
+	jitter := rand.Float64()
+	_ = time.Since(start) // want `time.Since outside cmd/`
+	return jitter
+}
+
+// Deadline also leaks, through the timer helpers.
+func Deadline() {
+	_ = time.After(time.Second)    // want `time.After outside cmd/`
+	_ = time.NewTimer(time.Second) // want `time.NewTimer outside cmd/`
+}
+
+// Format is fine: time.Duration arithmetic and formatting do not read
+// the host clock.
+func Format(d time.Duration) string { return d.String() }

@@ -1,0 +1,12 @@
+// Package main is the negative fixture for cmd/ front-ends: measuring
+// the real host (the paper's Table 1 latency measurements) legitimately
+// reads the wall clock.
+package main
+
+import "time"
+
+func main() {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	_ = time.Since(start)
+}

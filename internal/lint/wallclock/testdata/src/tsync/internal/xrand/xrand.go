@@ -1,0 +1,9 @@
+// Package xrand is the negative fixture: the sanctioned randomness choke
+// point may reference math/rand (e.g. to cross-check streams in tests)
+// without being flagged.
+package xrand
+
+import "math/rand"
+
+// Cross checks our stream against the stdlib generator.
+func Cross(seed int64) float64 { return rand.New(rand.NewSource(seed)).Float64() }

@@ -1,0 +1,95 @@
+// Package wallclock defines an analyzer that bans ambient time and
+// randomness from the simulation substrate.
+//
+// Every experiment in this repository must be a pure function of its
+// configuration: the same seed has to produce the same trace on every
+// platform, or the paper's figures stop being reproducible and replay
+// debugging (à la replay clocks) becomes impossible. Reading the host's
+// wall clock or the global math/rand stream injects nondeterminism that no
+// test can pin down. Simulated time comes from internal/des and
+// internal/clock; randomness flows through internal/xrand, whose
+// splitmix64/xoshiro256** streams are stable across Go releases and
+// splittable per component.
+//
+// The analyzer reports any reference to time.Now, time.Since, time.Sleep
+// (and friends: After, Tick, NewTimer, NewTicker, AfterFunc, Until) and
+// any import of math/rand or math/rand/v2, except in:
+//
+//   - internal/xrand itself (the sanctioned randomness choke point), and
+//   - cmd/ front-ends, which legitimately measure host wall time when
+//     benchmarking the real machine.
+package wallclock
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"tsync/internal/lint"
+)
+
+const doc = `forbid wall-clock reads and ambient randomness outside internal/xrand and cmd/
+
+Simulations must be deterministic and replayable: time comes from the DES
+engine, randomness from internal/xrand. time.Now/Since/Sleep/... and
+math/rand imports are flagged everywhere else.`
+
+// Analyzer is the wallclock analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:     "wallclock",
+	Doc:      doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// forbiddenTimeFuncs are the package-time identifiers that read or depend
+// on the host's wall clock or monotonic clock.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+	"Until":     true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	path := pass.Pkg.Path()
+	if lint.PathHasSuffix(path, "internal/xrand") || lint.PathHasSegment(path, "cmd") {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	nodeFilter := []ast.Node{(*ast.ImportSpec)(nil), (*ast.SelectorExpr)(nil)}
+	ins.Preorder(nodeFilter, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.ImportSpec:
+			p, err := strconv.Unquote(n.Path.Value)
+			if err != nil {
+				return
+			}
+			if p == "math/rand" || p == "math/rand/v2" {
+				pass.Reportf(n.Pos(), "import of %s outside internal/xrand: draw randomness from a tsync/internal/xrand stream so runs stay deterministic and replayable", p)
+			}
+		case *ast.SelectorExpr:
+			id, ok := n.X.(*ast.Ident)
+			if !ok {
+				return
+			}
+			pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "time" {
+				return
+			}
+			if forbiddenTimeFuncs[n.Sel.Name] {
+				pass.Reportf(n.Pos(), "time.%s outside cmd/: simulated components must take time from the DES engine (internal/des), not the host wall clock", n.Sel.Name)
+			}
+		}
+	})
+	return nil, nil
+}

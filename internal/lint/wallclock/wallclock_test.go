@@ -1,0 +1,16 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"tsync/internal/lint/linttest"
+	"tsync/internal/lint/wallclock"
+)
+
+func TestWallclock(t *testing.T) {
+	linttest.Run(t, wallclock.Analyzer,
+		"a",                    // positive: simulation code reading host time/randomness
+		"tsync/internal/xrand", // negative: the sanctioned randomness package
+		"tsync/cmd/bench",      // negative: cmd/ front-ends may measure the host
+	)
+}

@@ -145,7 +145,7 @@ func (r *Rank) record(ev trace.Event) {
 	}
 	r.proc.Sleep(r.clk.ReadOverhead())
 	now := r.proc.Now()
-	ev.Time = r.clk.Read(now)
+	ev.SetTime(r.clk.Read(now))
 	ev.True = now
 	r.events = append(r.events, ev)
 }

@@ -1,0 +1,49 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestApproxEqual(t *testing.T) {
+	inf := math.Inf(1)
+	nan := math.NaN()
+	cases := []struct {
+		name    string
+		a, b    float64
+		tol     float64
+		want    bool
+	}{
+		{"exact", 1.5, 1.5, 0, true},
+		{"within absolute tol near zero", 1e-12, -1e-12, 1e-9, true},
+		{"outside absolute tol near zero", 2e-9, 0, 1e-9, false},
+		{"within relative tol for large timestamps", 1e9, 1e9 + 0.5, 1e-9, true},
+		{"outside relative tol for large timestamps", 1e9, 1e9 + 10, 1e-9, false},
+		{"microsecond apart at tol 1us", 1.0, 1.0 + 1e-6, 1e-6, true},
+		{"millisecond apart at tol 1us", 1.0, 1.001, 1e-6, false},
+		{"negative values", -3.25, -3.25 - 1e-8, 1e-6, true},
+		{"zero tol is exact", 1.0, 1.0 + 1e-15, 0, false},
+		{"nan left", nan, 1, 1, false},
+		{"nan right", 1, nan, 1, false},
+		{"nan both", nan, nan, 1, false},
+		{"equal infinities", inf, inf, 1e-9, true},
+		{"opposite infinities", inf, -inf, 1e-9, false},
+		{"inf vs finite", inf, 1e300, 1e-3, false},
+	}
+	for _, c := range cases {
+		if got := ApproxEqual(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("%s: ApproxEqual(%v, %v, %v) = %v, want %v", c.name, c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}
+
+func TestApproxEqualSymmetric(t *testing.T) {
+	pairs := [][2]float64{{1, 1 + 1e-7}, {1e9, 1e9 + 0.1}, {0, 1e-12}, {-5, -5.0000001}}
+	for _, p := range pairs {
+		for _, tol := range []float64{0, 1e-12, 1e-9, 1e-6, 1e-3} {
+			if ApproxEqual(p[0], p[1], tol) != ApproxEqual(p[1], p[0], tol) {
+				t.Errorf("ApproxEqual not symmetric for %v tol %v", p, tol)
+			}
+		}
+	}
+}

@@ -15,6 +15,29 @@ import (
 // ErrEmpty is returned by operations that need at least one sample.
 var ErrEmpty = errors.New("stats: empty sample set")
 
+// ApproxEqual reports whether a and b are equal within tol, combining an
+// absolute and a relative criterion: |a-b| <= tol, or
+// |a-b| <= tol·max(|a|,|b|). The absolute arm handles values near zero,
+// the relative arm large timestamps whose representable spacing exceeds
+// tol. It is the comparison the floateq analyzer (cmd/tsyncvet) demands
+// in place of ==/!= on timestamps: drifting clocks and correction
+// arithmetic make bit-for-bit equality of independently derived times
+// meaningless. NaN compares unequal to everything; equal infinities
+// compare equal. A non-positive tol degenerates to exact comparison.
+func ApproxEqual(a, b, tol float64) bool {
+	if a == b { // fast path; also equal infinities
+		return true
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false // an infinity only approximates itself, and the fast path took that case
+	}
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	return diff <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
 // Mean returns the arithmetic mean of xs, or 0 for an empty slice.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {

@@ -126,6 +126,16 @@ type Event struct {
 	Root int32
 }
 
+// SetTime rewrites the event's local timestamp. It is the sanctioned
+// mutation door for code outside the correction pipeline: the tsmutate
+// analyzer (cmd/tsyncvet) forbids direct assignment to Time outside
+// internal/{clc,interp,errest,core,trace}, so every other writer calls
+// SetTime, keeping timestamp rewrites greppable and auditable. Callers
+// own the clock condition: after rewriting, Time must still be a stream a
+// drifting-but-sane clock could have produced (CheckOrder verifies the
+// cross-process part).
+func (e *Event) SetTime(t float64) { e.Time = t }
+
 // Proc is one process's (or thread's) event stream.
 type Proc struct {
 	Rank   int

@@ -200,7 +200,7 @@ func TestCloneIsDeep(t *testing.T) {
 	cp := tr.Clone()
 	cp.Procs[0].Events[0].Time = 99
 	cp.Regions[0] = "changed"
-	if tr.Procs[0].Events[0].Time == 99 || tr.Regions[0] == "changed" {
+	if tr.Procs[0].Events[0].Time == 99 || tr.Regions[0] == "changed" { //tsync:exact — aliasing check: 99 was assigned bit-for-bit to the copy
 		t.Fatalf("Clone shares storage with original")
 	}
 	if !reflect.DeepEqual(tr, tinyTrace()) {
@@ -574,7 +574,7 @@ func TestJSONRoundTrip(t *testing.T) {
 	for i, p := range got.Procs {
 		for j, ev := range p.Events {
 			orig := tr.Procs[i].Events[j]
-			if ev.Kind != orig.Kind || ev.Time != orig.Time || ev.True != orig.True || ev.Op != orig.Op {
+			if ev.Kind != orig.Kind || ev.Time != orig.Time || ev.True != orig.True || ev.Op != orig.Op { //tsync:exact — codec round trip must be lossless
 				t.Fatalf("event %d/%d changed: %+v vs %+v", i, j, ev, orig)
 			}
 			if tr.RegionName(orig.Region) != got.RegionName(ev.Region) {
