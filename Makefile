@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench vet lint race figures clean
+.PHONY: all build test bench bench-smoke microbench vet lint race figures clean
 
 all: build vet lint test
 
@@ -26,8 +26,19 @@ test:
 race:
 	$(GO) test -race ./...
 
-# the full evaluation: one benchmark per table and figure of the paper
+# the parallel-runner evaluation: FIG7/FIG8/§V drivers at workers=1 vs
+# workers=4, with bit-identical-result verification (see cmd/bench)
 bench:
+	$(GO) run ./cmd/bench -workers 4 -o BENCH_PR2.json
+
+# CI-sized bench: 1 rep, tiny workloads, 2 workers — still checks that
+# parallel checksums match serial
+bench-smoke:
+	$(GO) run ./cmd/bench -smoke -workers 2 -o BENCH_SMOKE.json
+
+# the full evaluation: one go-test benchmark per table and figure of the
+# paper
+microbench:
 	$(GO) test -bench=. -benchmem ./...
 
 # human-readable regenerations of every paper artifact
@@ -44,4 +55,4 @@ figures:
 	$(GO) run ./cmd/ompstudy -timeline
 
 clean:
-	rm -f trace.etr trace.etr.offsets.json test_output.txt bench_output.txt
+	rm -f trace.etr trace.etr.offsets.json test_output.txt bench_output.txt BENCH_SMOKE.json

@@ -213,7 +213,7 @@ func BenchmarkIntraNodeNoise(b *testing.B) {
 	var max float64
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.ClockStudy(experiments.ClockStudyConfig{
-			Machine: m, Timer: clock.TSC, Workers: 2, Pinning: pin,
+			Machine: m, Timer: clock.TSC, Procs: 2, Pinning: pin,
 			Duration: 300, Interval: 1, Correction: experiments.CorrectAlign,
 			Seed: uint64(i) + 2, Measured: true,
 		})
@@ -413,7 +413,7 @@ func BenchmarkWaitStateImpact(b *testing.B) {
 func BenchmarkAblationPiecewiseStudy(b *testing.B) {
 	cfg := experiments.ClockStudyConfig{
 		Machine: topology.Xeon(), Timer: clock.Gettimeofday,
-		Workers: 3, Duration: 1200, Interval: 10, Seed: 8,
+		Procs: 3, Duration: 1200, Interval: 10, Seed: 8,
 		Correction: experiments.CorrectPiecewise, MidMeasurements: 7,
 	}
 	var max float64

@@ -30,6 +30,7 @@ func main() {
 		apps    = flag.String("apps", "pop,smg", "comma-separated app list")
 		compare = flag.Bool("compare", false, "run the Section V correction ablation")
 		waits   = flag.Bool("waitstates", false, "quantify the wait-state analysis error caused by timestamp inaccuracy")
+		workers = flag.Int("workers", 0, "parallel worker bound for repetitions and the ablation (0 = all CPUs); results are identical for any value")
 	)
 	flag.Parse()
 
@@ -58,6 +59,7 @@ func main() {
 			Reps:    *reps,
 			Seed:    *seed,
 			Scale:   *scale,
+			Workers: *workers,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "appviolations:", err)
@@ -109,7 +111,7 @@ func main() {
 	if *compare {
 		for _, res := range results {
 			fmt.Printf("\nSection V ablation — %s (last repetition):\n\n", res.App)
-			cmp, err := experiments.CompareCorrections(res.RawTrace, res.InitOffsets, res.FinOffsets)
+			cmp, err := experiments.CompareCorrections(res.RawTrace, res.InitOffsets, res.FinOffsets, *workers)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "appviolations:", err)
 				os.Exit(1)

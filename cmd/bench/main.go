@@ -1,0 +1,191 @@
+// Command bench times the paper's Fig. 7, Fig. 8 and §V drivers at
+// workers=1 and at a chosen worker count and verifies that the parallel
+// runs produce bit-identical results (via the experiment checksums). It
+// writes a JSON report (wall-clock, speedup, checksums, CPU counts) and
+// exits non-zero on any checksum mismatch — determinism is the contract,
+// speedup is the payoff.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"tsync/internal/clock"
+	"tsync/internal/experiments"
+	"tsync/internal/topology"
+)
+
+// benchCase is one timed driver comparison in the report.
+type benchCase struct {
+	Name             string  `json:"name"`
+	SerialSeconds    float64 `json:"serial_seconds"`
+	ParallelSeconds  float64 `json:"parallel_seconds"`
+	Speedup          float64 `json:"speedup"`
+	SerialChecksum   string  `json:"serial_checksum"`
+	ParallelChecksum string  `json:"parallel_checksum"`
+	Match            bool    `json:"match"`
+}
+
+type report struct {
+	Workers    int         `json:"workers"`
+	NumCPU     int         `json:"num_cpu"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Reps       int         `json:"reps"`
+	Ranks      int         `json:"ranks"`
+	Threads    int         `json:"threads"`
+	Regions    int         `json:"regions"`
+	Scale      float64     `json:"scale"`
+	Smoke      bool        `json:"smoke"`
+	Cases      []benchCase `json:"cases"`
+	AllMatch   bool        `json:"all_match"`
+}
+
+// timed runs f at a given worker bound and returns elapsed seconds plus
+// the result checksum.
+func timed(f func(workers int) (string, error), workers int) (float64, string, error) {
+	start := time.Now()
+	sum, err := f(workers)
+	return time.Since(start).Seconds(), sum, err
+}
+
+func runCase(name string, workers int, f func(workers int) (string, error)) (benchCase, error) {
+	serialSec, serialSum, err := timed(f, 1)
+	if err != nil {
+		return benchCase{}, fmt.Errorf("%s (workers=1): %w", name, err)
+	}
+	parSec, parSum, err := timed(f, workers)
+	if err != nil {
+		return benchCase{}, fmt.Errorf("%s (workers=%d): %w", name, workers, err)
+	}
+	c := benchCase{
+		Name:             name,
+		SerialSeconds:    serialSec,
+		ParallelSeconds:  parSec,
+		SerialChecksum:   serialSum,
+		ParallelChecksum: parSum,
+		Match:            serialSum == parSum,
+	}
+	if parSec > 0 {
+		c.Speedup = serialSec / parSec
+	}
+	return c, nil
+}
+
+func main() {
+	out := flag.String("o", "BENCH_PR2.json", "output JSON report path")
+	workers := flag.Int("workers", 0, "parallel worker bound to compare against workers=1 (0 = all CPUs)")
+	reps := flag.Int("reps", 3, "repetitions per driver (the paper used 3)")
+	ranks := flag.Int("ranks", 16, "MPI ranks for the Fig. 7 runs")
+	scale := flag.Float64("scale", 0.1, "workload scale for the Fig. 7 runs")
+	threads := flag.Int("threads", 4, "OpenMP threads for the Fig. 8 runs")
+	regions := flag.Int("regions", 50, "parallel regions for the Fig. 8 runs")
+	smoke := flag.Bool("smoke", false, "CI smoke mode: 1 rep, tiny workloads")
+	flag.Parse()
+
+	w := *workers
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if *smoke {
+		*reps = 1
+		*ranks = 8
+		*scale = 0.05
+		*regions = 10
+	}
+
+	const seed = 42
+	m := topology.Xeon()
+
+	rep := report{
+		Workers:    w,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Reps:       *reps,
+		Ranks:      *ranks,
+		Threads:    *threads,
+		Regions:    *regions,
+		Scale:      *scale,
+		Smoke:      *smoke,
+		AllMatch:   true,
+	}
+
+	// §V needs a raw trace with its offset tables; trace it once up front
+	// so the CompareCorrections case times only the correction fan-out.
+	base, err := experiments.AppViolations(experiments.AppViolationsConfig{
+		App: experiments.AppPOP, Machine: m, Timer: clock.TSC,
+		Ranks: *ranks, Reps: 1, Seed: seed, Scale: *scale,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: tracing §V input: %v\n", err)
+		os.Exit(1)
+	}
+
+	cases := []struct {
+		name string
+		f    func(workers int) (string, error)
+	}{
+		{"fig7-pop-appviolations", func(workers int) (string, error) {
+			res, err := experiments.AppViolations(experiments.AppViolationsConfig{
+				App: experiments.AppPOP, Machine: m, Timer: clock.TSC,
+				Ranks: *ranks, Reps: *reps, Seed: seed, Scale: *scale,
+				Workers: workers,
+			})
+			if err != nil {
+				return "", err
+			}
+			return res.Checksum()
+		}},
+		{"fig8-ompstudy", func(workers int) (string, error) {
+			res, err := experiments.OMPStudy(experiments.OMPStudyConfig{
+				Machine: m, Timer: clock.TSC,
+				Threads: *threads, Regions: *regions, Reps: *reps,
+				Seed: seed, Workers: workers,
+			})
+			if err != nil {
+				return "", err
+			}
+			return res.Checksum()
+		}},
+		{"secV-comparecorrections", func(workers int) (string, error) {
+			rows, err := experiments.CompareCorrections(
+				base.RawTrace, base.InitOffsets, base.FinOffsets, workers)
+			if err != nil {
+				return "", err
+			}
+			return experiments.ChecksumMethods(rows), nil
+		}},
+	}
+
+	for _, c := range cases {
+		fmt.Fprintf(os.Stderr, "bench: %s (workers 1 vs %d)...\n", c.name, w)
+		bc, err := runCase(c.name, w, c.f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Cases = append(rep.Cases, bc)
+		rep.AllMatch = rep.AllMatch && bc.Match
+		fmt.Fprintf(os.Stderr, "bench: %s: %.2fs -> %.2fs (%.2fx), match=%v\n",
+			bc.Name, bc.SerialSeconds, bc.ParallelSeconds, bc.Speedup, bc.Match)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %s\n", *out)
+	if !rep.AllMatch {
+		fmt.Fprintln(os.Stderr, "bench: FAIL: parallel checksums differ from serial")
+		os.Exit(1)
+	}
+}

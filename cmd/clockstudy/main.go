@@ -32,7 +32,8 @@ func main() {
 		timer    = flag.String("timer", "tsc", "timer: tsc, tb, rtc, gtod, mpiwtime, cycle, global")
 		dur      = flag.Float64("dur", 300, "run duration in simulated seconds")
 		interval = flag.Float64("interval", 0, "sample interval (default dur/300)")
-		workers  = flag.Int("workers", 4, "number of processes (one per node)")
+		procs    = flag.Int("procs", 4, "number of simulated processes (one per node)")
+		workers  = flag.Int("workers", 0, "parallel worker bound for -rank-timers (0 = all CPUs); results are identical for any value")
 		correct  = flag.String("correct", "align", "correction: none, align, interp, piecewise")
 		mids     = flag.Int("mids", 3, "mid-run offset measurements for -correct piecewise")
 		scope    = flag.String("scope", "node", "process placement scope: node, chip, core")
@@ -47,13 +48,13 @@ func main() {
 	flag.Parse()
 
 	if *rank {
-		if err := rankTimers(*machine, *dur, *seed); err != nil {
+		if err := rankTimers(*machine, *dur, *seed, *workers); err != nil {
 			fmt.Fprintln(os.Stderr, "clockstudy:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	cfg, title, err := buildConfig(*fig, *machine, *timer, *dur, *interval, *workers, *correct, *scope, *seed, *measured, *mids)
+	cfg, title, err := buildConfig(*fig, *machine, *timer, *dur, *interval, *procs, *correct, *scope, *seed, *measured, *mids)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "clockstudy:", err)
 		os.Exit(1)
@@ -82,12 +83,12 @@ func main() {
 
 // rankTimers prints the Section VI comparison: residual deviations per
 // timer technology after alignment and after interpolation.
-func rankTimers(machine string, dur float64, seed uint64) error {
+func rankTimers(machine string, dur float64, seed uint64, workers int) error {
 	m, err := topology.ParseMachine(machine)
 	if err != nil {
 		return err
 	}
-	rows, err := experiments.RankTimers(m, nil, dur, seed)
+	rows, err := experiments.RankTimers(m, nil, dur, seed, workers)
 	if err != nil {
 		return err
 	}
@@ -127,7 +128,7 @@ func printAllan(res *experiments.ClockStudyResult, interval float64) {
 	fmt.Println()
 }
 
-func buildConfig(fig, machine, timer string, dur, interval float64, workers int, correct, scope string, seed uint64, measured bool, mids int) (experiments.ClockStudyConfig, string, error) {
+func buildConfig(fig, machine, timer string, dur, interval float64, procs int, correct, scope string, seed uint64, measured bool, mids int) (experiments.ClockStudyConfig, string, error) {
 	var cfg experiments.ClockStudyConfig
 	var err error
 	var title string
@@ -158,7 +159,7 @@ func buildConfig(fig, machine, timer string, dur, interval float64, workers int,
 			Timer:           k,
 			Duration:        dur,
 			Interval:        interval,
-			Workers:         workers,
+			Procs:           procs,
 			Correction:      experiments.Correction(correct),
 			Seed:            seed,
 			Measured:        measured,
@@ -167,9 +168,9 @@ func buildConfig(fig, machine, timer string, dur, interval float64, workers int,
 		switch scope {
 		case "node":
 		case "chip":
-			cfg.Pinning, err = topology.InterChip(m, workers)
+			cfg.Pinning, err = topology.InterChip(m, procs)
 		case "core":
-			cfg.Pinning, err = topology.InterCore(m, workers)
+			cfg.Pinning, err = topology.InterCore(m, procs)
 		default:
 			return cfg, "", fmt.Errorf("unknown scope %q", scope)
 		}

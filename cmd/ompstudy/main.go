@@ -26,6 +26,7 @@ func main() {
 		timer    = flag.String("timer", "tsc", "timer (the Itanium ITC is the tsc model)")
 		timeline = flag.Bool("timeline", false, "render a Fig. 3 style time-line of the first violated region")
 		correct  = flag.String("correct", "none", "correction before the census: none, align, clc")
+		workers  = flag.Int("workers", 0, "parallel worker bound for repetitions (0 = all CPUs); results are identical for any value")
 	)
 	flag.Parse()
 
@@ -62,6 +63,7 @@ func main() {
 			Reps:    *reps,
 			Seed:    *seed,
 			Correct: *correct,
+			Workers: *workers,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ompstudy:", err)

@@ -32,16 +32,17 @@ func main() {
 		base    = flag.String("base", "interp", "base correction: none, align, interp, duda-regression, duda-convex-hull, hofmann-minmax")
 		withCLC = flag.Bool("clc", true, "apply the controlled logical clock after the base correction")
 		all     = flag.Bool("all", false, "compare all correction methods instead")
+		workers = flag.Int("workers", 0, "parallel worker bound for the -all method sweep (0 = all CPUs); results are identical for any value")
 	)
 	flag.Parse()
 
-	if err := run(*in, *out, *base, *withCLC, *all); err != nil {
+	if err := run(*in, *out, *base, *withCLC, *all, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "tracesync:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out, base string, withCLC, all bool) error {
+func run(in, out, base string, withCLC, all bool, workers int) error {
 	f, err := os.Open(in)
 	if err != nil {
 		return err
@@ -72,7 +73,7 @@ func run(in, out, base string, withCLC, all bool) error {
 	}
 
 	if all {
-		rows, err := experiments.CompareCorrections(tr, side.Init, side.Fin)
+		rows, err := experiments.CompareCorrections(tr, side.Init, side.Fin, workers)
 		if err != nil {
 			return err
 		}

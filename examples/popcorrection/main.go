@@ -41,7 +41,7 @@ func main() {
 		res.PctMessageEvents, res.Census.TotalEvents)
 
 	fmt.Println("comparing all correction methods on the raw trace:")
-	rows, err := experiments.CompareCorrections(res.RawTrace, res.InitOffsets, res.FinOffsets)
+	rows, err := experiments.CompareCorrections(res.RawTrace, res.InitOffsets, res.FinOffsets, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

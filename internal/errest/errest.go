@@ -359,6 +359,22 @@ func propagate(n int, pairs map[[2]int]*pairData, method Method) ([]stats.Line, 
 		}
 		fits[key] = fitted{line: line, w: 1 / float64(len(pd.lower)+len(pd.upper))}
 	}
+	// Map iteration order is randomized, so the edge scan below must not
+	// range over fits directly: pair weights tie frequently (equal bound
+	// counts), and breaking ties by iteration order made the spanning
+	// tree — and with it every errest correction — differ from run to
+	// run. Scanning keys in sorted order breaks ties toward the smallest
+	// rank pair, deterministically.
+	keys := make([][2]int, 0, len(fits))
+	for key := range fits {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
 	toMaster := make([]stats.Line, n)
 	reached := make([]bool, n)
 	toMaster[0] = stats.Line{Slope: 1}
@@ -367,7 +383,11 @@ func propagate(n int, pairs map[[2]int]*pairData, method Method) ([]stats.Line, 
 		best := [2]int{-1, -1}
 		bestW := math.Inf(1)
 		var bestNew int
-		for key, f := range fits {
+		for _, key := range keys {
+			f, ok := fits[key]
+			if !ok {
+				continue
+			}
 			a, b := key[0], key[1]
 			if reached[a] == reached[b] {
 				continue

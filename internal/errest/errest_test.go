@@ -60,6 +60,38 @@ func skewedTrace(nProcs, rounds int, offsets, drifts []float64) *trace.Trace {
 	return tr
 }
 
+func TestEstimateIsDeterministic(t *testing.T) {
+	// regression: propagate picked the next spanning-tree edge by ranging
+	// over the fits map; pair weights tie for symmetric topologies (equal
+	// bound counts), so the tree — and with it every errest correction —
+	// depended on randomized map iteration order and differed run to run
+	offsets := []float64{0, 250e-6, -400e-6, 80e-6, -120e-6, 60e-6}
+	drifts := []float64{0, 2e-6, -3e-6, 1e-6, -1e-6, 4e-6}
+	tr := skewedTrace(6, 40, offsets, drifts)
+	probes := []float64{0, 0.01, 0.02, 0.05}
+	for _, m := range []Method{Regression, ConvexHull, MinMax} {
+		base, err := Estimate(tr, m)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		for trial := 0; trial < 10; trial++ {
+			corr, err := Estimate(tr, m)
+			if err != nil {
+				t.Fatalf("%v trial %d: %v", m, trial, err)
+			}
+			for rank := 0; rank < 6; rank++ {
+				for _, p := range probes {
+					got, want := corr.Map(rank, p), base.Map(rank, p)
+					if math.Float64bits(got) != math.Float64bits(want) {
+						t.Fatalf("%v trial %d: Map(%d, %v) = %v, want %v (bit-exact)",
+							m, trial, rank, p, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestMethodsRecoverConstantOffsets(t *testing.T) {
 	offsets := []float64{0, 250e-6, -400e-6, 80e-6}
 	drifts := []float64{0, 0, 0, 0}

@@ -1,0 +1,107 @@
+package experiments
+
+// Checksums over driver results. The worker-count invariance tests and
+// the bench harness (cmd/bench) compare these digests between serial and
+// parallel runs to prove the fan-out is bit-identical — which is why the
+// float fields are hashed by their IEEE-754 bits, not by a rounded
+// rendering.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/fnv"
+	"math"
+
+	"tsync/internal/measure"
+	"tsync/internal/trace"
+)
+
+func sumU64(h hash.Hash, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	h.Write(buf[:])
+}
+
+func sumF64(h hash.Hash, f float64) { sumU64(h, math.Float64bits(f)) }
+
+func sumInt(h hash.Hash, v int) { sumU64(h, uint64(int64(v))) }
+
+func sumTrace(h hash.Hash, t *trace.Trace) error {
+	if t == nil {
+		sumU64(h, 0)
+		return nil
+	}
+	_, err := trace.Write(h, t)
+	return err
+}
+
+func sumOffsets(h hash.Hash, tab []measure.Offset) {
+	sumInt(h, len(tab))
+	for _, o := range tab {
+		sumInt(h, o.Rank)
+		sumF64(h, o.WorkerTime)
+		sumF64(h, o.Offset)
+		sumF64(h, o.RTT)
+	}
+}
+
+// Checksum digests every field of the result, including the retained
+// traces via their codec encoding.
+func (r *AppViolationsResult) Checksum() (string, error) {
+	h := fnv.New64a()
+	h.Write([]byte(r.App))
+	sumF64(h, r.PctReversed)
+	sumF64(h, r.PctReversedLogical)
+	sumF64(h, r.PctMessageEvents)
+	for _, v := range []int{
+		r.Census.TotalEvents, r.Census.MessageEvents, r.Census.Messages,
+		r.Census.Reversed, r.Census.ClockCondition,
+		r.Census.LogicalMessages, r.Census.ReversedLogical,
+	} {
+		sumInt(h, v)
+	}
+	if err := sumTrace(h, r.Trace); err != nil {
+		return "", err
+	}
+	if err := sumTrace(h, r.RawTrace); err != nil {
+		return "", err
+	}
+	sumOffsets(h, r.InitOffsets)
+	sumOffsets(h, r.FinOffsets)
+	return fmt.Sprintf("%016x", h.Sum64()), nil
+}
+
+// Checksum digests every field of the result, including the retained
+// trace via its codec encoding.
+func (r *OMPStudyResult) Checksum() (string, error) {
+	h := fnv.New64a()
+	sumInt(h, r.Threads)
+	sumF64(h, r.PctAny)
+	sumF64(h, r.PctEntry)
+	sumF64(h, r.PctExit)
+	sumF64(h, r.PctBarrier)
+	if err := sumTrace(h, r.Trace); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%016x", h.Sum64()), nil
+}
+
+// ChecksumMethods digests a Section V ablation table (method names, row
+// order, violation counts, distortions and error texts).
+func ChecksumMethods(rows []MethodResult) string {
+	h := fnv.New64a()
+	sumInt(h, len(rows))
+	for _, r := range rows {
+		h.Write([]byte(r.Method))
+		sumInt(h, r.Violations)
+		sumF64(h, r.Distortion.MaxAbs)
+		sumF64(h, r.Distortion.MeanAbs)
+		sumInt(h, r.Distortion.Shrunk)
+		sumInt(h, r.Distortion.N)
+		if r.Err != nil {
+			h.Write([]byte(r.Err.Error()))
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

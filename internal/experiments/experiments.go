@@ -21,6 +21,7 @@ import (
 	"tsync/internal/measure"
 	"tsync/internal/mpi"
 	"tsync/internal/omp"
+	"tsync/internal/runner"
 	"tsync/internal/topology"
 	"tsync/internal/trace"
 	"tsync/internal/xrand"
@@ -42,11 +43,14 @@ const (
 
 // ClockStudyConfig drives the deviation experiments of Figs. 4, 5 and 6.
 type ClockStudyConfig struct {
-	Machine    topology.Machine
-	Timer      clock.Kind
-	Duration   float64 // run length in simulated seconds (300/1800/3600)
-	Interval   float64 // sample spacing of the series
-	Workers    int     // processes, one per node (Table I inter-node setup)
+	Machine  topology.Machine
+	Timer    clock.Kind
+	Duration float64 // run length in simulated seconds (300/1800/3600)
+	Interval float64 // sample spacing of the series
+	// Procs is the number of simulated processes, one per node (Table I
+	// inter-node setup). Not to be confused with the Workers pool bound of
+	// the repetition-loop drivers: a ClockStudy is a single simulation.
+	Procs      int
 	Correction Correction
 	Reps       int // Cristian probes per offset measurement
 	Seed       uint64
@@ -80,8 +84,8 @@ type ClockStudyResult struct {
 // Cristian probes, the correction is built from those measurements, and
 // the deviation of the corrected clocks is sampled over the run.
 func ClockStudy(cfg ClockStudyConfig) (*ClockStudyResult, error) {
-	if cfg.Workers < 2 {
-		return nil, fmt.Errorf("experiments: ClockStudy needs at least 2 workers, got %d", cfg.Workers)
+	if cfg.Procs < 2 {
+		return nil, fmt.Errorf("experiments: ClockStudy needs at least 2 processes, got %d", cfg.Procs)
 	}
 	if cfg.Duration <= 0 || cfg.Interval <= 0 {
 		return nil, fmt.Errorf("experiments: non-positive duration or interval")
@@ -92,7 +96,7 @@ func ClockStudy(cfg ClockStudyConfig) (*ClockStudyResult, error) {
 	pin := cfg.Pinning
 	var err error
 	if pin == nil {
-		pin, err = topology.InterNode(cfg.Machine, cfg.Workers)
+		pin, err = topology.InterNode(cfg.Machine, cfg.Procs)
 		if err != nil {
 			return nil, err
 		}
@@ -196,7 +200,7 @@ func ClockStudy(cfg ClockStudyConfig) (*ClockStudyResult, error) {
 func Fig4Config(panel string, seed uint64) (ClockStudyConfig, error) {
 	base := ClockStudyConfig{
 		Machine:    topology.Xeon(),
-		Workers:    4,
+		Procs:      4,
 		Correction: CorrectAlign,
 		Interval:   5,
 		Seed:       seed,
@@ -220,7 +224,7 @@ func Fig4Config(panel string, seed uint64) (ClockStudyConfig, error) {
 // "c" Opteron/gettimeofday.
 func Fig5Config(panel string, seed uint64) (ClockStudyConfig, error) {
 	base := ClockStudyConfig{
-		Workers:    4,
+		Procs:      4,
 		Correction: CorrectInterp,
 		Duration:   3600,
 		Interval:   5,
@@ -246,7 +250,7 @@ func Fig6Config(seed uint64) ClockStudyConfig {
 	return ClockStudyConfig{
 		Machine:    topology.Xeon(),
 		Timer:      clock.TSC,
-		Workers:    4,
+		Procs:      4,
 		Correction: CorrectInterp,
 		Duration:   300,
 		Interval:   1,
@@ -295,7 +299,14 @@ func LatencyStudy(m topology.Machine, timer clock.Kind, reps int, seed uint64) (
 			var got measure.LatencyResult
 			var err error
 			if s.coll {
-				got, err = measure.Collective(r, reps/4, 8)
+				// collectives cost ~4 messages each, so run a quarter of the
+				// ping-pong reps — but never zero: reps in 1..3 used to pass
+				// reps/4 == 0 straight into Collective, which rejects it
+				collReps := reps / 4
+				if collReps < 1 {
+					collReps = 1
+				}
+				got, err = measure.Collective(r, collReps, 8)
 			} else {
 				got, err = measure.PingPong(r, reps, 0)
 			}
@@ -338,6 +349,10 @@ type AppViolationsConfig struct {
 	// Scale multiplies the workload durations; 1.0 is the scaled default
 	// (~25 simulated minutes for POP).
 	Scale float64
+	// Workers bounds how many repetitions run concurrently; <= 0 uses all
+	// CPUs. Results are bit-identical for every worker count (see
+	// internal/runner).
+	Workers int
 }
 
 // AppViolationsResult aggregates a Fig. 7 bar pair plus context.
@@ -356,9 +371,94 @@ type AppViolationsResult struct {
 	InitOffsets, FinOffsets []measure.Offset
 }
 
+// appRep is the outcome of one AppViolations repetition.
+type appRep struct {
+	pctRev, pctRevLog, pctMsgEv float64
+	census                      analysis.Census
+	corrected, raw              *trace.Trace
+	init, fin                   []measure.Offset
+}
+
+// appViolationsRep traces and corrects one repetition. All randomness is
+// derived from seed, so repetitions are independent tasks for the runner.
+func appViolationsRep(cfg AppViolationsConfig, seed uint64) (appRep, error) {
+	var out appRep
+	pin, err := topology.Scheduled(cfg.Machine, cfg.Ranks, xrand.NewSource(seed^0x5bd1e995))
+	if err != nil {
+		return out, err
+	}
+	w, err := mpi.NewWorld(mpi.Config{Machine: cfg.Machine, Timer: cfg.Timer, Pinning: pin, Seed: seed})
+	if err != nil {
+		return out, err
+	}
+	var body func(*mpi.Rank)
+	switch cfg.App {
+	case AppPOP:
+		px, py := grid2D(cfg.Ranks)
+		pop := apps.DefaultPOP(px, py)
+		pop.Seed = seed
+		pop.StepTime *= cfg.Scale
+		body = apps.POP(pop)
+	case AppSMG:
+		smg := apps.DefaultSMG()
+		smg.Seed = seed
+		smg.IdleBefore *= cfg.Scale
+		smg.IdleAfter *= cfg.Scale
+		body = apps.SMG(smg)
+	default:
+		return out, fmt.Errorf("experiments: unknown app %q", cfg.App)
+	}
+	var init, fin []measure.Offset
+	var inner error
+	err = w.Run(func(r *mpi.Rank) {
+		i1, err := measure.Offsets(r, 20)
+		if err != nil {
+			inner = err
+			return
+		}
+		body(r)
+		f1, err := measure.Offsets(r, 20)
+		if err != nil {
+			inner = err
+			return
+		}
+		if r.Rank() == 0 {
+			init, fin = i1, f1
+		}
+	})
+	if err != nil {
+		return out, err
+	}
+	if inner != nil {
+		return out, inner
+	}
+	corr, err := interp.Linear(init, fin)
+	if err != nil {
+		return out, err
+	}
+	corrected := corr.Apply(w.Trace())
+	census, err := analysis.CensusOf(corrected)
+	if err != nil {
+		return out, err
+	}
+	return appRep{
+		pctRev:    census.PctReversed(),
+		pctRevLog: census.PctReversedLogical(),
+		pctMsgEv:  census.PctMessageEvents(),
+		census:    census,
+		corrected: corrected,
+		raw:       w.Trace(),
+		init:      init,
+		fin:       fin,
+	}, nil
+}
+
 // AppViolations traces the application with Scalasca-style methodology
 // (offsets at MPI_Init/MPI_Finalize, linear interpolation postmortem) and
 // counts clock-condition violations, averaged over Reps repetitions.
+// Repetitions run on a bounded worker pool (cfg.Workers); each derives its
+// seed from its repetition index, and the averages are reduced in
+// repetition order, so the result is bit-identical for every worker count.
 func AppViolations(cfg AppViolationsConfig) (*AppViolationsResult, error) {
 	if cfg.Ranks <= 1 {
 		return nil, fmt.Errorf("experiments: AppViolations needs >1 ranks")
@@ -369,78 +469,24 @@ func AppViolations(cfg AppViolationsConfig) (*AppViolationsResult, error) {
 	if cfg.Scale <= 0 {
 		cfg.Scale = 1
 	}
+	reps, err := runner.Map(runner.New(cfg.Workers), cfg.Reps, func(rep int) (appRep, error) {
+		return appViolationsRep(cfg, runner.Seed(cfg.Seed, rep))
+	})
+	if err != nil {
+		return nil, err
+	}
 	out := &AppViolationsResult{App: cfg.App}
 	var sumRev, sumRevLog, sumMsgEv float64
-	for rep := 0; rep < cfg.Reps; rep++ {
-		seed := cfg.Seed + uint64(rep)*1000003
-		pin, err := topology.Scheduled(cfg.Machine, cfg.Ranks, xrand.NewSource(seed^0x5bd1e995))
-		if err != nil {
-			return nil, err
-		}
-		w, err := mpi.NewWorld(mpi.Config{Machine: cfg.Machine, Timer: cfg.Timer, Pinning: pin, Seed: seed})
-		if err != nil {
-			return nil, err
-		}
-		var body func(*mpi.Rank)
-		switch cfg.App {
-		case AppPOP:
-			px, py := grid2D(cfg.Ranks)
-			pop := apps.DefaultPOP(px, py)
-			pop.Seed = seed
-			pop.StepTime *= cfg.Scale
-			body = apps.POP(pop)
-		case AppSMG:
-			smg := apps.DefaultSMG()
-			smg.Seed = seed
-			smg.IdleBefore *= cfg.Scale
-			smg.IdleAfter *= cfg.Scale
-			body = apps.SMG(smg)
-		default:
-			return nil, fmt.Errorf("experiments: unknown app %q", cfg.App)
-		}
-		var init, fin []measure.Offset
-		var inner error
-		err = w.Run(func(r *mpi.Rank) {
-			i1, err := measure.Offsets(r, 20)
-			if err != nil {
-				inner = err
-				return
-			}
-			body(r)
-			f1, err := measure.Offsets(r, 20)
-			if err != nil {
-				inner = err
-				return
-			}
-			if r.Rank() == 0 {
-				init, fin = i1, f1
-			}
-		})
-		if err != nil {
-			return nil, err
-		}
-		if inner != nil {
-			return nil, inner
-		}
-		corr, err := interp.Linear(init, fin)
-		if err != nil {
-			return nil, err
-		}
-		corrected := corr.Apply(w.Trace())
-		census, err := analysis.CensusOf(corrected)
-		if err != nil {
-			return nil, err
-		}
-		sumRev += census.PctReversed()
-		sumRevLog += census.PctReversedLogical()
-		sumMsgEv += census.PctMessageEvents()
-		if rep == cfg.Reps-1 {
-			out.Census = census
-			out.Trace = corrected
-			out.RawTrace = w.Trace()
-			out.InitOffsets, out.FinOffsets = init, fin
-		}
+	for _, r := range reps {
+		sumRev += r.pctRev
+		sumRevLog += r.pctRevLog
+		sumMsgEv += r.pctMsgEv
 	}
+	last := reps[len(reps)-1]
+	out.Census = last.census
+	out.Trace = last.corrected
+	out.RawTrace = last.raw
+	out.InitOffsets, out.FinOffsets = last.init, last.fin
 	out.PctReversed = sumRev / float64(cfg.Reps)
 	out.PctReversedLogical = sumRevLog / float64(cfg.Reps)
 	out.PctMessageEvents = sumMsgEv / float64(cfg.Reps)
@@ -473,6 +519,9 @@ type OMPStudyConfig struct {
 	// paper's setup), "align" (intra-node offset measurement +
 	// alignment), or "clc" (the shared-memory controlled logical clock).
 	Correct string
+	// Workers bounds how many repetitions run concurrently; <= 0 uses all
+	// CPUs. Results are bit-identical for every worker count.
+	Workers int
 }
 
 // OMPStudyResult is one group of Fig. 8 bars.
@@ -486,10 +535,69 @@ type OMPStudyResult struct {
 	Trace *trace.Trace
 }
 
+// ompRep is the outcome of one OMPStudy repetition.
+type ompRep struct {
+	pcts [4]float64
+	tr   *trace.Trace
+}
+
+// ompStudyRep runs and classifies one repetition from its derived seed.
+func ompStudyRep(cfg OMPStudyConfig, seed uint64) (ompRep, error) {
+	var out ompRep
+	tm, err := omp.NewTeam(omp.Config{
+		Machine: cfg.Machine,
+		Timer:   cfg.Timer,
+		Threads: cfg.Threads,
+		Seed:    seed,
+	})
+	if err != nil {
+		return out, err
+	}
+	work := xrand.NewSource(seed ^ 0x2545f491)
+	tr, err := tm.RunParallelFor("parallel-for", cfg.Regions, func(thread, region int) float64 {
+		return cfg.WorkTime * (1 + 0.2*work.Float64())
+	})
+	if err != nil {
+		return out, err
+	}
+	switch cfg.Correct {
+	case "", "none":
+	case "align":
+		offsets, err := tm.MeasureOffsets(20)
+		if err != nil {
+			return out, err
+		}
+		corr, err := interp.AlignOnly(offsets)
+		if err != nil {
+			return out, err
+		}
+		tr = corr.Apply(tr)
+	case "clc":
+		opts := clc.DefaultOptions()
+		opts.SharedMemory = true
+		corrected, _, err := clc.Correct(tr, opts)
+		if err != nil {
+			return out, err
+		}
+		tr = corrected
+	default:
+		return out, fmt.Errorf("experiments: unknown OMP correction %q", cfg.Correct)
+	}
+	census, err := analysis.POMPCensusOf(tr)
+	if err != nil {
+		return out, err
+	}
+	out.pcts[0], out.pcts[1], out.pcts[2], out.pcts[3] = census.Pct()
+	out.tr = tr
+	return out, nil
+}
+
 // OMPStudy runs the OpenMP parallel-for benchmark with the given thread
 // count and classifies POMP violations per region, averaged over Reps
 // repetitions. No offset alignment or interpolation is applied, matching
-// the paper.
+// the paper. Repetitions run on a bounded worker pool (cfg.Workers) with
+// index-derived seeds and an in-order reduction, so the result is
+// bit-identical for every worker count.
 func OMPStudy(cfg OMPStudyConfig) (*OMPStudyResult, error) {
 	if cfg.Threads < 1 {
 		return nil, fmt.Errorf("experiments: OMPStudy needs at least one thread")
@@ -503,62 +611,20 @@ func OMPStudy(cfg OMPStudyConfig) (*OMPStudyResult, error) {
 	if cfg.WorkTime <= 0 {
 		cfg.WorkTime = 5e-6
 	}
+	reps, err := runner.Map(runner.New(cfg.Workers), cfg.Reps, func(rep int) (ompRep, error) {
+		return ompStudyRep(cfg, runner.Seed(cfg.Seed, rep))
+	})
+	if err != nil {
+		return nil, err
+	}
 	out := &OMPStudyResult{Threads: cfg.Threads}
 	var sums [4]float64
-	for rep := 0; rep < cfg.Reps; rep++ {
-		seed := cfg.Seed + uint64(rep)*7919
-		tm, err := omp.NewTeam(omp.Config{
-			Machine: cfg.Machine,
-			Timer:   cfg.Timer,
-			Threads: cfg.Threads,
-			Seed:    seed,
-		})
-		if err != nil {
-			return nil, err
-		}
-		work := xrand.NewSource(seed ^ 0x2545f491)
-		tr, err := tm.RunParallelFor("parallel-for", cfg.Regions, func(thread, region int) float64 {
-			return cfg.WorkTime * (1 + 0.2*work.Float64())
-		})
-		if err != nil {
-			return nil, err
-		}
-		switch cfg.Correct {
-		case "", "none":
-		case "align":
-			offsets, err := tm.MeasureOffsets(20)
-			if err != nil {
-				return nil, err
-			}
-			corr, err := interp.AlignOnly(offsets)
-			if err != nil {
-				return nil, err
-			}
-			tr = corr.Apply(tr)
-		case "clc":
-			opts := clc.DefaultOptions()
-			opts.SharedMemory = true
-			corrected, _, err := clc.Correct(tr, opts)
-			if err != nil {
-				return nil, err
-			}
-			tr = corrected
-		default:
-			return nil, fmt.Errorf("experiments: unknown OMP correction %q", cfg.Correct)
-		}
-		census, err := analysis.POMPCensusOf(tr)
-		if err != nil {
-			return nil, err
-		}
-		a, e, x, b := census.Pct()
-		sums[0] += a
-		sums[1] += e
-		sums[2] += x
-		sums[3] += b
-		if rep == cfg.Reps-1 {
-			out.Trace = tr
+	for _, r := range reps {
+		for i, v := range r.pcts {
+			sums[i] += v
 		}
 	}
+	out.Trace = reps[len(reps)-1].tr
 	f := 1 / float64(cfg.Reps)
 	out.PctAny, out.PctEntry, out.PctExit, out.PctBarrier = sums[0]*f, sums[1]*f, sums[2]*f, sums[3]*f
 	return out, nil
@@ -578,73 +644,91 @@ type MethodResult struct {
 // interval distortion: no correction, offset alignment, linear
 // interpolation, the three error-estimation baselines, and CLC (on top of
 // interpolation, which is how the paper recommends deploying it).
-func CompareCorrections(raw *trace.Trace, init, fin []measure.Offset) ([]MethodResult, error) {
+//
+// The methods are independent of each other (each starts from the raw
+// trace; corrections never mutate their input), so they run as tasks on a
+// bounded worker pool. Rows come back in the fixed method order above for
+// any worker count. workers <= 0 uses all CPUs.
+func CompareCorrections(raw *trace.Trace, init, fin []measure.Offset, workers int) ([]MethodResult, error) {
 	if raw == nil {
 		return nil, fmt.Errorf("experiments: nil trace")
 	}
 	gamma := clc.DefaultOptions().Gamma
-	var out []MethodResult
-	eval := func(name string, t *trace.Trace, err error) {
-		mr := MethodResult{Method: name, Err: err}
-		if err == nil {
-			v, verr := clc.Violations(t, gamma)
-			if verr != nil {
-				mr.Err = verr
-			} else {
-				mr.Violations = v
-				d, derr := analysis.DistortionBetween(raw, t)
-				if derr != nil {
-					mr.Err = derr
-				} else {
-					mr.Distortion = d
-				}
+	type method struct {
+		name  string
+		apply func() (*trace.Trace, error)
+	}
+	methods := []method{
+		{"none", func() (*trace.Trace, error) { return raw, nil }},
+		{"align", func() (*trace.Trace, error) {
+			align, err := interp.AlignOnly(init)
+			if err != nil {
+				return nil, err
 			}
-		}
-		out = append(out, mr)
-	}
-	eval("none", raw, nil)
-	if align, err := interp.AlignOnly(init); err == nil {
-		eval("align", align.Apply(raw), nil)
-	} else {
-		eval("align", nil, err)
-	}
-	linear, err := interp.Linear(init, fin)
-	var interpolated *trace.Trace
-	if err == nil {
-		interpolated = linear.Apply(raw)
-		eval("interp", interpolated, nil)
-	} else {
-		eval("interp", nil, err)
+			return align.Apply(raw), nil
+		}},
+		{"interp", func() (*trace.Trace, error) {
+			linear, err := interp.Linear(init, fin)
+			if err != nil {
+				return nil, err
+			}
+			return linear.Apply(raw), nil
+		}},
 	}
 	for _, m := range []errest.Method{errest.Regression, errest.ConvexHull, errest.MinMax} {
-		corr, err := errest.Estimate(raw, m)
-		if err != nil {
-			eval(m.String(), nil, err)
-			continue
-		}
-		eval(m.String(), corr.Apply(raw), nil)
+		methods = append(methods, method{m.String(), func() (*trace.Trace, error) {
+			corr, err := errest.Estimate(raw, m)
+			if err != nil {
+				return nil, err
+			}
+			return corr.Apply(raw), nil
+		}})
 	}
 	// the pure logical-clock baseline: restores order by construction but
 	// destroys every interval (Section V, Lamport); the tick must exceed
 	// the largest l_min so the γ-scaled condition holds on every edge
-	if lam, err := lclock.LamportSchedule(raw, 5e-6); err == nil {
-		eval("lamport", lam, nil)
-	} else {
-		eval("lamport", nil, err)
+	methods = append(methods, method{"lamport", func() (*trace.Trace, error) {
+		return lclock.LamportSchedule(raw, 5e-6)
+	}})
+	// CLC runs on top of interpolation when the offset tables allow it
+	// (how the paper recommends deploying it), on the raw trace otherwise.
+	// The row name is decided up front so it is stable across worker
+	// counts: building the correction is cheap, only Apply walks events.
+	clcName := "clc"
+	if _, err := interp.Linear(init, fin); err == nil {
+		clcName = "interp+clc"
 	}
-	base := raw
-	name := "clc"
-	if interpolated != nil {
-		base = interpolated
-		name = "interp+clc"
-	}
-	corrected, _, err := clc.CorrectParallel(base, clc.DefaultOptions())
-	if err != nil {
-		eval(name, nil, err)
-	} else {
-		eval(name, corrected, nil)
-	}
-	return out, nil
+	methods = append(methods, method{clcName, func() (*trace.Trace, error) {
+		base := raw
+		if linear, err := interp.Linear(init, fin); err == nil {
+			base = linear.Apply(raw)
+		}
+		corrected, _, err := clc.CorrectParallel(base, clc.DefaultOptions())
+		return corrected, err
+	}})
+	// per-method failures are reported in the row, as in the serial
+	// version, so one broken baseline never hides the others
+	return runner.Map(runner.New(workers), len(methods), func(i int) (MethodResult, error) {
+		mr := MethodResult{Method: methods[i].name}
+		t, err := methods[i].apply()
+		if err != nil {
+			mr.Err = err
+			return mr, nil
+		}
+		v, err := clc.Violations(t, gamma)
+		if err != nil {
+			mr.Err = err
+			return mr, nil
+		}
+		mr.Violations = v
+		d, err := analysis.DistortionBetween(raw, t)
+		if err != nil {
+			mr.Err = err
+			return mr, nil
+		}
+		mr.Distortion = d
+		return mr, nil
+	})
 }
 
 // WaitStateImpact quantifies how timestamp errors distort a Scalasca-style
@@ -713,35 +797,43 @@ type TimerRanking struct {
 }
 
 // RankTimers runs the deviation study for each timer kind and ranks them
-// by post-interpolation residual.
-func RankTimers(m topology.Machine, kinds []clock.Kind, duration float64, seed uint64) ([]TimerRanking, error) {
+// by post-interpolation residual. The per-timer studies are independent
+// simulations (each ClockStudy seeds its own world from the same
+// configuration seed, exactly as the serial sweep did), so they fan out on
+// a bounded worker pool; workers <= 0 uses all CPUs.
+func RankTimers(m topology.Machine, kinds []clock.Kind, duration float64, seed uint64, workers int) ([]TimerRanking, error) {
 	if len(kinds) == 0 {
 		kinds = []clock.Kind{clock.TSC, clock.TB, clock.RTC, clock.Gettimeofday, clock.MPIWtime, clock.GlobalHW}
 	}
-	var out []TimerRanking
-	for _, k := range kinds {
+	out, err := runner.Map(runner.New(workers), len(kinds), func(i int) (TimerRanking, error) {
+		k := kinds[i]
 		base := ClockStudyConfig{
-			Machine: m, Timer: k, Workers: 4,
+			Machine: m, Timer: k, Procs: 4,
 			Duration: duration, Interval: duration / 200, Seed: seed,
 		}
 		base.Correction = CorrectInterp
 		interp, err := ClockStudy(base)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: timer %v: %w", k, err)
+			return TimerRanking{}, fmt.Errorf("experiments: timer %v: %w", k, err)
 		}
 		base.Correction = CorrectAlign
 		align, err := ClockStudy(base)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: timer %v: %w", k, err)
+			return TimerRanking{}, fmt.Errorf("experiments: timer %v: %w", k, err)
 		}
-		out = append(out, TimerRanking{
+		return TimerRanking{
 			Timer:        k,
 			MaxDevInterp: interp.Series.MaxAbsDeviation(),
 			MaxDevAlign:  align.Series.MaxAbsDeviation(),
 			Exceeded:     interp.Exceeded,
 			FirstExceed:  interp.FirstExceed,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].MaxDevInterp < out[j].MaxDevInterp })
+	// in-order collection makes this sort's input, and with it tie-breaks,
+	// independent of the worker count
+	sort.SliceStable(out, func(i, j int) bool { return out[i].MaxDevInterp < out[j].MaxDevInterp })
 	return out, nil
 }

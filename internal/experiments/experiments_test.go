@@ -9,10 +9,10 @@ import (
 )
 
 func TestClockStudyValidation(t *testing.T) {
-	if _, err := ClockStudy(ClockStudyConfig{Workers: 1, Duration: 10, Interval: 1}); err == nil {
+	if _, err := ClockStudy(ClockStudyConfig{Procs: 1, Duration: 10, Interval: 1}); err == nil {
 		t.Fatalf("single worker accepted")
 	}
-	cfg := ClockStudyConfig{Machine: topology.Xeon(), Timer: clock.TSC, Workers: 2}
+	cfg := ClockStudyConfig{Machine: topology.Xeon(), Timer: clock.TSC, Procs: 2}
 	if _, err := ClockStudy(cfg); err == nil {
 		t.Fatalf("zero duration accepted")
 	}
@@ -106,7 +106,7 @@ func TestIntraNodeNoise(t *testing.T) {
 		t.Fatal(err)
 	}
 	res, err := ClockStudy(ClockStudyConfig{
-		Machine: m, Timer: clock.TSC, Workers: 2, Pinning: pin,
+		Machine: m, Timer: clock.TSC, Procs: 2, Pinning: pin,
 		Duration: 60, Interval: 1, Correction: CorrectAlign, Seed: 2, Measured: true,
 	})
 	if err != nil {
@@ -150,6 +150,29 @@ func TestLatencyStudyTableII(t *testing.T) {
 	}
 	if core > 1e-6 {
 		t.Fatalf("inter-core mean %v s off Table II scale", core)
+	}
+}
+
+func TestLatencyStudySmallReps(t *testing.T) {
+	// regression: reps in 1..3 passed reps/4 == 0 to measure.Collective,
+	// which rejects non-positive rep counts and failed the whole study
+	for _, reps := range []int{1, 2, 3} {
+		rows, err := LatencyStudy(topology.Xeon(), clock.TSC, reps, 11)
+		if err != nil {
+			t.Fatalf("reps=%d: %v", reps, err)
+		}
+		found := false
+		for _, r := range rows {
+			if strings.Contains(r.Name, "collective") {
+				found = true
+				if !(r.Result.Mean > 0) {
+					t.Fatalf("reps=%d: collective row has mean %v, want > 0", reps, r.Result.Mean)
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("reps=%d: collective row missing", reps)
+		}
 	}
 }
 
@@ -228,7 +251,7 @@ func TestCompareCorrections(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows, err := CompareCorrections(app.RawTrace, app.InitOffsets, app.FinOffsets)
+	rows, err := CompareCorrections(app.RawTrace, app.InitOffsets, app.FinOffsets, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +273,7 @@ func TestCompareCorrections(t *testing.T) {
 	if !ok || none.Err != nil {
 		t.Fatalf("missing baseline row")
 	}
-	if _, err := CompareCorrections(nil, nil, nil); err == nil {
+	if _, err := CompareCorrections(nil, nil, nil, 0); err == nil {
 		t.Fatalf("nil trace accepted")
 	}
 }
@@ -282,7 +305,7 @@ func TestPiecewiseBeatsLinearOnNTPClock(t *testing.T) {
 	// NTP slope changes that a single line cannot
 	base := ClockStudyConfig{
 		Machine: topology.Xeon(), Timer: clock.Gettimeofday,
-		Workers: 3, Duration: 1200, Interval: 10, Seed: 8,
+		Procs: 3, Duration: 1200, Interval: 10, Seed: 8,
 	}
 	base.Correction = CorrectInterp
 	linear, err := ClockStudy(base)
@@ -343,7 +366,7 @@ func TestCompareCorrectionsIncludesLamport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows, err := CompareCorrections(app.RawTrace, app.InitOffsets, app.FinOffsets)
+	rows, err := CompareCorrections(app.RawTrace, app.InitOffsets, app.FinOffsets, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -410,7 +433,7 @@ func TestRankTimers(t *testing.T) {
 	// 900 s separates the classes clearly (at very short durations the
 	// global clock and the TSC both sit at the Cristian-error floor)
 	rows, err := RankTimers(topology.Xeon(),
-		[]clock.Kind{clock.GlobalHW, clock.TSC, clock.Gettimeofday}, 900, 4)
+		[]clock.Kind{clock.GlobalHW, clock.TSC, clock.Gettimeofday}, 900, 4, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,104 @@
+package experiments
+
+// Worker-count invariance: the deterministic runner (internal/runner)
+// promises that every experiment driver produces bit-identical results
+// for any worker bound. These tests pin that contract at the driver
+// level, comparing full-result checksums (floats by their IEEE-754 bits,
+// traces by their codec encoding) across worker counts 1, 2 and 8.
+
+import (
+	"testing"
+
+	"tsync/internal/clock"
+	"tsync/internal/topology"
+)
+
+var invarianceWorkers = []int{1, 2, 8}
+
+func TestAppViolationsWorkerInvariance(t *testing.T) {
+	sums := make(map[string]int)
+	for _, w := range invarianceWorkers {
+		res, err := AppViolations(AppViolationsConfig{
+			App: AppPOP, Machine: topology.Xeon(), Timer: clock.TSC,
+			Ranks: 8, Reps: 3, Seed: 42, Scale: 0.1, Workers: w,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		sum, err := res.Checksum()
+		if err != nil {
+			t.Fatalf("workers=%d: checksum: %v", w, err)
+		}
+		sums[sum]++
+		t.Logf("workers=%d: %s", w, sum)
+	}
+	if len(sums) != 1 {
+		t.Fatalf("AppViolations results differ across worker counts: %v", sums)
+	}
+}
+
+func TestOMPStudyWorkerInvariance(t *testing.T) {
+	sums := make(map[string]int)
+	for _, w := range invarianceWorkers {
+		res, err := OMPStudy(OMPStudyConfig{
+			Machine: topology.Xeon(), Timer: clock.TSC,
+			Threads: 4, Regions: 20, Reps: 3, Seed: 42, Workers: w,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		sum, err := res.Checksum()
+		if err != nil {
+			t.Fatalf("workers=%d: checksum: %v", w, err)
+		}
+		sums[sum]++
+		t.Logf("workers=%d: %s", w, sum)
+	}
+	if len(sums) != 1 {
+		t.Fatalf("OMPStudy results differ across worker counts: %v", sums)
+	}
+}
+
+func TestCompareCorrectionsWorkerInvariance(t *testing.T) {
+	base, err := AppViolations(AppViolationsConfig{
+		App: AppPOP, Machine: topology.Xeon(), Timer: clock.TSC,
+		Ranks: 8, Reps: 1, Seed: 42, Scale: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := make(map[string]int)
+	for _, w := range invarianceWorkers {
+		rows, err := CompareCorrections(base.RawTrace, base.InitOffsets, base.FinOffsets, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		sums[ChecksumMethods(rows)]++
+	}
+	if len(sums) != 1 {
+		t.Fatalf("CompareCorrections rows differ across worker counts: %v", sums)
+	}
+}
+
+func TestRankTimersWorkerInvariance(t *testing.T) {
+	var base []TimerRanking
+	for _, w := range invarianceWorkers {
+		rows, err := RankTimers(topology.Xeon(), nil, 300, 42, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		got := rows
+		if base == nil {
+			base = got
+			continue
+		}
+		if len(got) != len(base) {
+			t.Fatalf("workers=%d: %d rows, want %d", w, len(got), len(base))
+		}
+		for i := range got {
+			if got[i] != base[i] { //tsync:exact — invariance demands bit-identical scores and ordering
+				t.Fatalf("workers=%d: row %d = %+v, want %+v", w, i, got[i], base[i])
+			}
+		}
+	}
+}

@@ -31,15 +31,23 @@ type pieces struct {
 	lines []stats.Line
 }
 
-// mapTime applies the correction to one local time value.
+// mapTime applies the correction to one local time value: the last piece
+// whose knot is <= t, per the contract "pieces[i] applies for t >=
+// knots[i]". SearchFloat64s returns the first knot >= t, so when t hits a
+// knot exactly that index is already the piece that starts there and must
+// not be decremented — stepping back would evaluate the preceding piece,
+// which disagrees at any discontinuous breakpoint (e.g. the windowed
+// error-estimation corrections). Times before the first knot extrapolate
+// the first piece; times past the last knot extrapolate the last.
 func (p pieces) mapTime(t float64) float64 {
 	if len(p.lines) == 0 {
 		return t
 	}
-	// find the last knot <= t
 	i := sort.SearchFloat64s(p.knots, t)
-	if i > 0 {
-		i--
+	if i == len(p.knots) || p.knots[i] > t {
+		if i > 0 {
+			i--
+		}
 	}
 	return p.lines[i].At(t)
 }

@@ -234,6 +234,41 @@ func TestFromLinesAndPiecewiseLines(t *testing.T) {
 	}
 }
 
+func TestPiecewiseKnotBoundary(t *testing.T) {
+	// regression: SearchFloat64s followed by an unconditional i-- selected
+	// the *preceding* piece when t equals a knot exactly. With a
+	// deliberately discontinuous correction the two pieces disagree at the
+	// breakpoint, so the off-by-one is observable: pieces[1] applies for
+	// t >= knots[1] and must win at t == 10.
+	c, err := FromPiecewiseLines(
+		[]float64{0, 10},
+		[][]stats.Line{{
+			{Slope: 1, Intercept: 0}, // t < 10: identity
+			{Slope: 1, Intercept: 5}, // t >= 10: jump by +5
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Map(0, 10); got != 15 {
+		t.Fatalf("Map(0, 10) = %v, want 15 (the piece starting at the knot)", got)
+	}
+	// the neighborhood still selects the expected sides
+	if got := c.Map(0, math.Nextafter(10, 0)); got >= 10 {
+		t.Fatalf("just below the knot: %v, want the first piece (< 10)", got)
+	}
+	if got := c.Map(0, 11); got != 16 {
+		t.Fatalf("above the knot: %v, want 16", got)
+	}
+	// before the first knot the first piece extrapolates, including at
+	// the first knot itself
+	if got := c.Map(0, 0); got != 0 {
+		t.Fatalf("at the first knot: %v, want 0", got)
+	}
+	if got := c.Map(0, -5); got != -5 {
+		t.Fatalf("before the first knot: %v, want -5", got)
+	}
+}
+
 func TestCorrectionEmptyRankMapsIdentity(t *testing.T) {
 	// a Correction slot with no pieces behaves as identity
 	c := &Correction{perRank: make([]pieces, 1)}

@@ -1,0 +1,61 @@
+package runner
+
+// Dynamic half of the goroutine-hygiene argument for the fan-out engine
+// (the static half is the tsync:locked annotation in Map): `make race`
+// replays the pool under the race detector with enough tasks, workers and
+// nesting that an unsafe schedule of the results/errs writes or of the
+// index channel would be observed.
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRaceMapManyTasks(t *testing.T) {
+	var calls atomic.Int64
+	got, err := Map(New(8), 500, func(i int) (float64, error) {
+		calls.Add(1)
+		return simulate(Seed(99, i)), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 500 || calls.Load() != 500 {
+		t.Fatalf("%d results, %d calls", len(got), calls.Load())
+	}
+}
+
+func TestRaceMapNested(t *testing.T) {
+	// experiments nest fan-outs (CompareCorrections inside a rep loop;
+	// clc.CorrectParallel inside a method task) — exercise that shape
+	outer, err := Map(New(4), 8, func(i int) ([]uint64, error) {
+		return Map(New(3), 16, func(j int) (uint64, error) {
+			return Seed(Seed(7, i), j), nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, inner := range outer {
+		for j, v := range inner {
+			if want := Seed(Seed(7, i), j); v != want {
+				t.Fatalf("outer %d inner %d: %#x want %#x", i, j, v, want)
+			}
+		}
+	}
+}
+
+func TestRaceMapErrors(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		_, err := Map(New(6), 64, func(i int) (int, error) {
+			if i%7 == 1 {
+				return 0, fmt.Errorf("task %d failed", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "task 1 failed" {
+			t.Fatalf("round %d: err = %v", round, err)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Package runner is the deterministic fan-out engine behind every
+// repetition loop and method sweep in internal/experiments.
+//
+// The repository's reproducibility contract — a run is a pure function of
+// its configuration — must survive parallel execution: averaging three
+// repetitions on eight workers has to produce the same bits as averaging
+// them serially, or the paper's tables stop being checkable. Replay Clocks
+// (Lagwankar & Kulkarni) make the same argument for offline replay: a
+// correction pipeline is only trustworthy if re-running it is
+// deterministic. The engine therefore guarantees, for any worker count:
+//
+//  1. per-task randomness is derived from the task *index*, not from
+//     execution order, via an O(1)-addressable splitmix64 stream
+//     (xrand.SeedAt), so task i sees the same seed whether it runs first
+//     or last, on one worker or sixteen;
+//  2. results are collected into a slice indexed by task, so the caller
+//     observes them in task order regardless of completion order; any
+//     order-sensitive reduction (floating-point averaging!) then happens
+//     serially on the caller's side over that ordered slice;
+//  3. errors are reported deterministically: every task runs to
+//     completion and the error of the lowest-index failing task is
+//     returned, so a slow worker cannot change which error surfaces.
+//
+// The worker-count invariance property is enforced by TestMapInvariance in
+// this package and, end to end, by the experiment checksum tests in
+// internal/experiments.
+package runner
+
+import (
+	"runtime"
+	"sync"
+
+	"tsync/internal/xrand"
+)
+
+// Pool bounds the number of tasks executing concurrently. The zero value
+// and New(0) both default to one worker per CPU. Pool is stateless and
+// may be shared by concurrent callers.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool with the given concurrency bound; workers <= 0 means
+// runtime.NumCPU().
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers reports the pool's concurrency bound.
+func (p *Pool) Workers() int {
+	if p == nil || p.workers <= 0 {
+		return runtime.NumCPU()
+	}
+	return p.workers
+}
+
+// Seed derives the seed of task i from an experiment's base seed: the i-th
+// output of the splitmix64 stream seeded with base. Tasks must draw all
+// their randomness from sources seeded this way (never from a generator
+// shared across tasks) — that is what makes the fan-out order-independent.
+func Seed(base uint64, i int) uint64 {
+	return xrand.SeedAt(base, uint64(i))
+}
+
+// Map runs task(0..n-1) on the pool and returns their results in task
+// order. All tasks are executed even after a failure; if any tasks fail,
+// the error of the lowest-index failing task is returned (the results
+// slice is still returned, with valid entries for the tasks that
+// succeeded). Map with n == 0 returns an empty slice.
+func Map[T any](p *Pool, n int, task func(i int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	errs := make([]error, n)
+	workers := p.Workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		// serial fast path: same semantics, no goroutines
+		for i := 0; i < n; i++ {
+			results[i], errs[i] = task(i)
+		}
+		return results, firstError(errs)
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i], errs[i] = task(i) //tsync:locked — each task index i is claimed by exactly one worker via the next channel; results[i]/errs[i] are disjoint and read only after wg.Wait
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results, firstError(errs)
+}
+
+// firstError returns the lowest-index non-nil error.
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -34,6 +34,29 @@ const (
 // ErrBadFormat reports a malformed or truncated trace file.
 var ErrBadFormat = errors.New("trace: bad file format")
 
+// decodeChunk bounds how many elements Read materializes ahead of the
+// bytes that back them (64 Ki events ≈ 3 MiB). Counts in the header are
+// attacker-controlled varints: a count must never be trusted with a
+// pre-allocation before the corresponding payload has actually been
+// decoded, or a 12-byte file claiming 2^30 events would allocate ~48 GiB
+// up front. Growing chunkwise keeps memory proportional to the bytes
+// consumed, and a truncated or corrupt file fails with ErrBadFormat after
+// at most one chunk of over-allocation.
+const decodeChunk = 1 << 16
+
+// badFormat tags err with ErrBadFormat unless it already is one; io.EOF
+// inside a structure whose header promised more data is a truncation, not
+// a clean end of stream.
+func badFormat(context string, err error) error {
+	if errors.Is(err, ErrBadFormat) {
+		return err
+	}
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	return fmt.Errorf("%w: %s: %v", ErrBadFormat, context, err)
+}
+
 type countingWriter struct {
 	w io.Writer
 	n int64
@@ -210,11 +233,13 @@ func Read(r io.Reader) (*Trace, error) {
 	if nRegions > 1<<24 {
 		return nil, fmt.Errorf("%w: region table too large", ErrBadFormat)
 	}
-	t.Regions = make([]string, nRegions)
-	for i := range t.Regions {
-		if t.Regions[i], err = readString(br, 1<<16); err != nil {
-			return nil, err
+	t.Regions = make([]string, 0, min(nRegions, decodeChunk))
+	for i := uint64(0); i < nRegions; i++ {
+		s, err := readString(br, 1<<16)
+		if err != nil {
+			return nil, badFormat("region table", err)
 		}
+		t.Regions = append(t.Regions, s)
 	}
 	nProcs, err := binary.ReadUvarint(br)
 	if err != nil {
@@ -223,39 +248,55 @@ func Read(r io.Reader) (*Trace, error) {
 	if nProcs > 1<<24 {
 		return nil, fmt.Errorf("%w: process count too large", ErrBadFormat)
 	}
-	t.Procs = make([]Proc, nProcs)
-	for i := range t.Procs {
-		p := &t.Procs[i]
+	t.Procs = make([]Proc, 0, min(nProcs, decodeChunk))
+	for i := uint64(0); i < nProcs; i++ {
+		var p Proc
 		rank, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, err
+			return nil, badFormat("process header", err)
 		}
 		p.Rank = int(rank)
 		var core [3]uint64
 		for j := range core {
 			if core[j], err = binary.ReadUvarint(br); err != nil {
-				return nil, err
+				return nil, badFormat("process header", err)
 			}
 		}
 		p.Core = topology.CoreID{Node: int(core[0]), Chip: int(core[1]), Core: int(core[2])}
 		if p.Clock, err = readString(br, 1<<16); err != nil {
-			return nil, err
+			return nil, badFormat("process header", err)
 		}
 		nEvents, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, err
+			return nil, badFormat("event count", err)
 		}
 		if nEvents > 1<<30 {
 			return nil, fmt.Errorf("%w: event count too large", ErrBadFormat)
 		}
-		p.Events = make([]Event, nEvents)
-		for j := range p.Events {
-			if err := readEvent(br, &p.Events[j]); err != nil {
-				return nil, err
-			}
+		if p.Events, err = readEvents(br, nEvents); err != nil {
+			return nil, err
 		}
+		t.Procs = append(t.Procs, p)
 	}
 	return t, nil
+}
+
+// readEvents decodes nEvents events, growing the slice one decodeChunk at
+// a time so the allocation never runs ahead of the bytes actually read.
+func readEvents(br *bufio.Reader, nEvents uint64) ([]Event, error) {
+	var events []Event
+	for remaining := nEvents; remaining > 0; {
+		n := min(remaining, decodeChunk)
+		start := len(events)
+		events = append(events, make([]Event, n)...)
+		for j := start; j < len(events); j++ {
+			if err := readEvent(br, &events[j]); err != nil {
+				return nil, badFormat("events", err)
+			}
+		}
+		remaining -= n
+	}
+	return events, nil
 }
 
 func readEvent(r *bufio.Reader, ev *Event) error {

@@ -1,0 +1,123 @@
+package trace
+
+// Fuzzing for the binary codec. The interesting properties:
+//
+//   - Read never panics or allocates unbounded memory on corrupt input —
+//     the regression behind FuzzRead's overlong-count seed was
+//     `make([]Event, nEvents)` trusting an attacker-controlled varint and
+//     pre-allocating up to ~48 GiB before a single event byte was read;
+//   - any trace Read accepts round-trips: re-encoding is stable byte for
+//     byte (encodings are canonical), so Read ∘ Write is the identity.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// overlongCountFile builds a structurally valid header whose one process
+// claims 2^29 events but carries no event bytes at all.
+func overlongCountFile() []byte {
+	var buf bytes.Buffer
+	buf.WriteString(codecMagic)
+	buf.WriteByte(codecVersion)
+	var varint [binary.MaxVarintLen64]byte
+	uv := func(v uint64) {
+		n := binary.PutUvarint(varint[:], v)
+		buf.Write(varint[:n])
+	}
+	uv(0)                        // machine: empty string
+	uv(0)                        // timer: empty string
+	buf.Write(make([]byte, 4*8)) // MinLatency
+	uv(0)                        // no regions
+	uv(1)                        // one process
+	uv(0)                        // rank
+	uv(0)                        // core: node
+	uv(0)                        // core: chip
+	uv(0)                        // core: core
+	uv(0)                        // clock: empty string
+	uv(1 << 29)                  // claims 512 Mi events (~24 GiB)...
+	return buf.Bytes()           // ...and ends here
+}
+
+func TestReadOverlongEventCountFailsFast(t *testing.T) {
+	_, err := Read(bytes.NewReader(overlongCountFile()))
+	if !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("err = %v, want ErrBadFormat", err)
+	}
+}
+
+func TestReadTruncatedEventsIsBadFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Write(&buf, tinyTrace()); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	// every strict prefix must fail — and fail as a format error, not as
+	// a bare io.EOF that callers could mistake for a clean end of stream
+	for cut := 0; cut < len(whole); cut += 7 {
+		_, err := Read(bytes.NewReader(whole[:cut]))
+		if err == nil {
+			t.Fatalf("truncation at %d/%d bytes accepted", cut, len(whole))
+		}
+		if !errors.Is(err, ErrBadFormat) && !errors.Is(err, io.ErrUnexpectedEOF) && err != io.EOF {
+			t.Fatalf("truncation at %d: unexpected error type %v", cut, err)
+		}
+	}
+}
+
+func FuzzRead(f *testing.F) {
+	var buf bytes.Buffer
+	if _, err := Write(&buf, tinyTrace()); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])                                                       // truncated mid-events
+	f.Add([]byte{})                                                                   // empty file
+	f.Add([]byte("NOPE"))                                                             // corrupt magic
+	f.Add([]byte("ETRC\x07"))                                                         // unsupported version
+	f.Add(append([]byte(nil), "ETRC\x01\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"...)) // absurd machine-string length
+	f.Add(overlongCountFile())                                                        // the 48 GiB pre-allocation repro
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejecting corrupt input is fine; panicking or OOMing is not
+		}
+		// accepted input must round-trip through a stable canonical encoding
+		var b1 bytes.Buffer
+		if _, err := Write(&b1, tr); err != nil {
+			t.Fatalf("re-encode of accepted trace failed: %v", err)
+		}
+		tr2, err := Read(bytes.NewReader(b1.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read of canonical encoding failed: %v", err)
+		}
+		var b2 bytes.Buffer
+		if _, err := Write(&b2, tr2); err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Fatalf("round trip is not stable: %d vs %d bytes", b1.Len(), b2.Len())
+		}
+	})
+}
+
+func TestFuzzSeedsRejectedCleanly(t *testing.T) {
+	// the non-valid seeds of FuzzRead's corpus must all fail with
+	// ErrBadFormat (or a truncation error), never succeed
+	for _, data := range [][]byte{
+		{},
+		[]byte("NOPE"),
+		[]byte("ETRC\x07"),
+		[]byte("ETRC\x01\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"),
+		overlongCountFile(),
+	} {
+		if _, err := Read(bytes.NewReader(data)); err == nil {
+			t.Fatalf("corrupt input %q accepted", strings.ToValidUTF8(string(data), "?"))
+		}
+	}
+}

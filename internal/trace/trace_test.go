@@ -522,27 +522,6 @@ func TestCodecNeverPanicsOnTruncation(t *testing.T) {
 	}
 }
 
-func FuzzRead(f *testing.F) {
-	var buf bytes.Buffer
-	if _, err := Write(&buf, tinyTrace()); err != nil {
-		f.Fatal(err)
-	}
-	f.Add(buf.Bytes())
-	f.Add([]byte("ETRC"))
-	f.Add([]byte{})
-	f.Fuzz(func(t *testing.T, data []byte) {
-		// must never panic, hang, or over-allocate
-		tr, err := Read(bytes.NewReader(data))
-		if err == nil && tr != nil {
-			// whatever decodes must re-encode
-			var out bytes.Buffer
-			if _, err := Write(&out, tr); err != nil {
-				t.Fatalf("decoded trace failed to encode: %v", err)
-			}
-		}
-	})
-}
-
 func TestJSONRoundTrip(t *testing.T) {
 	tr := tinyTrace()
 	var buf bytes.Buffer

@@ -27,6 +27,17 @@ func splitmix64(state *uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// SeedAt returns the i-th output (0-based) of the splitmix64 stream seeded
+// with base, in O(1): splitmix64 advances its state by a fixed additive
+// constant, so the state before producing output i is base + i*golden and
+// any position of the stream can be computed directly. internal/runner uses
+// this to derive per-task seeds that are independent of the order in which
+// a worker pool happens to execute the tasks.
+func SeedAt(base uint64, i uint64) uint64 {
+	state := base + i*0x9e3779b97f4a7c15
+	return splitmix64(&state)
+}
+
 // Source is a xoshiro256** generator. The zero value is not usable; obtain
 // instances with NewSource or Source.Sub.
 type Source struct {
