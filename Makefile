@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-smoke microbench vet lint race figures clean
+.PHONY: all build test bench bench-smoke microbench vet lint race cover-check figures clean
 
 all: build vet lint test
 
@@ -26,15 +26,24 @@ test:
 race:
 	$(GO) test -race ./...
 
-# the parallel-runner evaluation: FIG7/FIG8/§V drivers at workers=1 vs
-# workers=4, with bit-identical-result verification (see cmd/bench)
+# coverage ratchet: every internal package must stay at or above the
+# percentage recorded in COVERAGE_FLOORS.txt; refresh the floors after
+# improving tests with `go run ./cmd/coverfloor -write`
+cover-check:
+	$(GO) run ./cmd/coverfloor
+
+# the parallel-runner and streaming evaluation: FIG7/FIG8/§V drivers at
+# workers=1 vs workers=4 with bit-identical-result verification, plus the
+# streaming pipeline cases — streaming-vs-in-memory checksum equality and
+# the 1M-event bounded-memory assertion (see cmd/bench)
 bench:
-	$(GO) run ./cmd/bench -workers 4 -o BENCH_PR2.json
+	$(GO) run ./cmd/bench -workers 4 -o BENCH_PR3.json
 
 # CI-sized bench: 1 rep, tiny workloads, 2 workers — still checks that
-# parallel checksums match serial
+# parallel checksums match serial, that the streaming pipeline reproduces
+# the in-memory checksums, and that its peak heap stays window-bounded
 bench-smoke:
-	$(GO) run ./cmd/bench -smoke -workers 2 -o BENCH_SMOKE.json
+	$(GO) run ./cmd/bench -smoke -workers 2 -o BENCH_PR3.json
 
 # the full evaluation: one go-test benchmark per table and figure of the
 # paper

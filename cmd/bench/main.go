@@ -4,6 +4,13 @@
 // writes a JSON report (wall-clock, speedup, checksums, CPU counts) and
 // exits non-zero on any checksum mismatch — determinism is the contract,
 // speedup is the payoff.
+//
+// It also benches the streaming trace pipeline: a differential case that
+// runs the same synthetic trace through the in-memory and streaming paths
+// and requires equal output checksums, and a bounded-memory case that
+// streams a large trace (1M events outside smoke mode) and fails unless
+// peak heap stays under a fraction of what materializing the events would
+// take — memory must scale with the reorder window, not the trace.
 package main
 
 import (
@@ -11,12 +18,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"tsync/internal/clock"
+	"tsync/internal/core"
 	"tsync/internal/experiments"
+	"tsync/internal/measure"
+	"tsync/internal/stream"
 	"tsync/internal/topology"
+	"tsync/internal/trace"
 )
 
 // benchCase is one timed driver comparison in the report.
@@ -30,18 +44,40 @@ type benchCase struct {
 	Match            bool    `json:"match"`
 }
 
+// streamCase is one streaming-pipeline measurement in the report. Peak
+// heap is the sampled HeapAlloc high-water mark over the run minus the
+// post-GC baseline before it; peak RSS is the kernel's VmHWM for the
+// whole process (absolute, reported for context). BoundBytes, when set,
+// is the ceiling peak heap must stay under for the run to pass.
+type streamCase struct {
+	Name           string  `json:"name"`
+	Events         int64   `json:"events"`
+	Window         int     `json:"window"`
+	StreamSeconds  float64 `json:"stream_seconds"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	PeakHeapBytes  uint64  `json:"peak_heap_bytes"`
+	PeakRSSBytes   uint64  `json:"peak_rss_bytes"`
+	BoundBytes     int64   `json:"bound_bytes,omitempty"`
+	Bounded        bool    `json:"bounded"`
+	MemorySeconds  float64 `json:"memory_seconds,omitempty"`
+	StreamChecksum string  `json:"stream_checksum"`
+	MemoryChecksum string  `json:"memory_checksum,omitempty"`
+	Match          bool    `json:"match"`
+}
+
 type report struct {
-	Workers    int         `json:"workers"`
-	NumCPU     int         `json:"num_cpu"`
-	GOMAXPROCS int         `json:"gomaxprocs"`
-	Reps       int         `json:"reps"`
-	Ranks      int         `json:"ranks"`
-	Threads    int         `json:"threads"`
-	Regions    int         `json:"regions"`
-	Scale      float64     `json:"scale"`
-	Smoke      bool        `json:"smoke"`
-	Cases      []benchCase `json:"cases"`
-	AllMatch   bool        `json:"all_match"`
+	Workers     int          `json:"workers"`
+	NumCPU      int          `json:"num_cpu"`
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	Reps        int          `json:"reps"`
+	Ranks       int          `json:"ranks"`
+	Threads     int          `json:"threads"`
+	Regions     int          `json:"regions"`
+	Scale       float64      `json:"scale"`
+	Smoke       bool         `json:"smoke"`
+	Cases       []benchCase  `json:"cases"`
+	StreamCases []streamCase `json:"stream_cases"`
+	AllMatch    bool         `json:"all_match"`
 }
 
 // timed runs f at a given worker bound and returns elapsed seconds plus
@@ -75,8 +111,236 @@ func runCase(name string, workers int, f func(workers int) (string, error)) (ben
 	return c, nil
 }
 
+// heapWatch samples runtime.MemStats.HeapAlloc in the background and
+// remembers the high-water mark.
+type heapWatch struct {
+	stop chan struct{}
+	done chan uint64
+}
+
+func watchHeap() *heapWatch {
+	w := &heapWatch{stop: make(chan struct{}), done: make(chan uint64, 1)}
+	go func() {
+		var peak uint64
+		defer func() { w.done <- peak }()
+		var ms runtime.MemStats
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		for {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > peak {
+				peak = ms.HeapAlloc
+			}
+			select {
+			case <-w.stop:
+				return
+			case <-tick.C:
+			}
+		}
+	}()
+	return w
+}
+
+func (w *heapWatch) Peak() uint64 {
+	close(w.stop)
+	return <-w.done
+}
+
+// peakRSS reads the process high-water resident set (VmHWM) in bytes;
+// zero where /proc is unavailable.
+func peakRSS() uint64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}
+
+// synthToFile streams a synthetic trace into dir and returns the path
+// with its offset tables.
+func synthToFile(dir string, spec stream.SynthSpec) (string, []measure.Offset, []measure.Offset, error) {
+	path := filepath.Join(dir, fmt.Sprintf("synth-%d.etr", spec.Seed))
+	f, err := os.Create(path)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	init, fin, err := stream.Synth(spec, f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return "", nil, nil, err
+	}
+	return path, init, fin, nil
+}
+
+// streamRun streams path through the pipeline into outPath, measuring
+// wall clock and peak heap over a post-GC baseline. It returns the
+// output checksum (same digest as experiments.ChecksumTrace).
+func streamRun(path, outPath string, p stream.Pipeline, init, fin []measure.Offset) (secs float64, peakHeap uint64, events int64, sum string, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, 0, "", err
+	}
+	defer f.Close()
+	src, err := stream.NewSource(f)
+	if err != nil {
+		return 0, 0, 0, "", err
+	}
+	out, err := os.Create(outPath)
+	if err != nil {
+		return 0, 0, 0, "", err
+	}
+	runtime.GC()
+	var base runtime.MemStats
+	runtime.ReadMemStats(&base)
+	watch := watchHeap()
+	start := time.Now()
+	_, err = p.Run(src, out, init, fin)
+	secs = time.Since(start).Seconds()
+	peak := watch.Peak()
+	if cerr := out.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return 0, 0, 0, "", err
+	}
+	if peak > base.HeapAlloc {
+		peakHeap = peak - base.HeapAlloc
+	}
+	g, err := os.Open(outPath)
+	if err != nil {
+		return 0, 0, 0, "", err
+	}
+	defer g.Close()
+	sum, err = experiments.ChecksumTraceFile(g)
+	return secs, peakHeap, src.Events(), sum, err
+}
+
+// memRun loads path into memory, runs the in-memory pipeline, and
+// returns the wall clock and output checksum. The materialized traces go
+// out of scope with the call, so the streaming measurement that follows
+// starts from a small post-GC baseline.
+func memRun(path string, init, fin []measure.Offset) (float64, string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, "", err
+	}
+	tr, err := trace.Read(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return 0, "", err
+	}
+	start := time.Now()
+	mem, err := (core.Pipeline{Base: core.BaseInterp, CLC: true, Parallel: true}).Run(tr, init, fin)
+	secs := time.Since(start).Seconds()
+	if err != nil {
+		return 0, "", err
+	}
+	sum, err := experiments.ChecksumTrace(mem.Trace)
+	return secs, sum, err
+}
+
+// runStreamDiff pits the streaming pipeline against the in-memory one on
+// the same synthetic trace and demands equal output checksums.
+func runStreamDiff(dir string, spec stream.SynthSpec, window int) (streamCase, error) {
+	path, init, fin, err := synthToFile(dir, spec)
+	if err != nil {
+		return streamCase{}, err
+	}
+	memSecs, memSum, err := memRun(path, init, fin)
+	if err != nil {
+		return streamCase{}, err
+	}
+
+	p := stream.Pipeline{Base: core.BaseInterp, CLC: true, Options: stream.Options{Window: window}}
+	secs, peakHeap, events, sum, err := streamRun(path, filepath.Join(dir, "diff-out.etr"), p, init, fin)
+	if err != nil {
+		return streamCase{}, err
+	}
+	c := streamCase{
+		Name: "stream-diff", Events: events, Window: window,
+		StreamSeconds: secs, MemorySeconds: memSecs,
+		PeakHeapBytes: peakHeap, PeakRSSBytes: peakRSS(),
+		StreamChecksum: sum, MemoryChecksum: memSum,
+		Match: sum == memSum, Bounded: true,
+	}
+	if secs > 0 {
+		c.EventsPerSec = float64(events) / secs
+	}
+	return c, nil
+}
+
+// runStreamBounded streams a large trace through the full pipeline and
+// requires peak heap to stay under a quarter of the events' in-memory
+// footprint (~96 bytes each): memory bounded by the window, not the
+// trace length.
+func runStreamBounded(dir string, spec stream.SynthSpec, window int) (streamCase, error) {
+	path, init, fin, err := synthToFile(dir, spec)
+	if err != nil {
+		return streamCase{}, err
+	}
+	p := stream.Pipeline{Base: core.BaseInterp, CLC: true, Options: stream.Options{Window: window}}
+	secs, peakHeap, events, sum, err := streamRun(path, filepath.Join(dir, "bounded-out.etr"), p, init, fin)
+	if err != nil {
+		return streamCase{}, err
+	}
+	bound := events * 96 / 4
+	c := streamCase{
+		Name: "stream-1m", Events: events, Window: window,
+		StreamSeconds: secs,
+		PeakHeapBytes: peakHeap, PeakRSSBytes: peakRSS(),
+		BoundBytes: bound, Bounded: int64(peakHeap) < bound,
+		StreamChecksum: sum, Match: true,
+	}
+	if secs > 0 {
+		c.EventsPerSec = float64(events) / secs
+	}
+	return c, nil
+}
+
+func runStreamCases(smoke bool) ([]streamCase, error) {
+	dir, err := os.MkdirTemp("", "tsync-bench-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	const seed = 0xbe9c14
+	diffSpec := stream.SynthSpec{Ranks: 6, Steps: 8000, CollEvery: 8, Seed: seed}
+	bigSpec := stream.SynthSpec{Ranks: 8, Steps: 31250, CollEvery: 10, Seed: seed + 1}
+	if smoke {
+		diffSpec = stream.SynthSpec{Ranks: 4, Steps: 1500, CollEvery: 6, Seed: seed}
+		bigSpec = stream.SynthSpec{Ranks: 4, Steps: 25000, CollEvery: 10, Seed: seed + 1}
+	}
+	diff, err := runStreamDiff(dir, diffSpec, 0)
+	if err != nil {
+		return nil, fmt.Errorf("stream-diff: %w", err)
+	}
+	big, err := runStreamBounded(dir, bigSpec, 0)
+	if err != nil {
+		return nil, fmt.Errorf("stream-1m: %w", err)
+	}
+	return []streamCase{diff, big}, nil
+}
+
 func main() {
-	out := flag.String("o", "BENCH_PR2.json", "output JSON report path")
+	out := flag.String("o", "BENCH_PR3.json", "output JSON report path")
 	workers := flag.Int("workers", 0, "parallel worker bound to compare against workers=1 (0 = all CPUs)")
 	reps := flag.Int("reps", 3, "repetitions per driver (the paper used 3)")
 	ranks := flag.Int("ranks", 16, "MPI ranks for the Fig. 7 runs")
@@ -111,6 +375,22 @@ func main() {
 		Scale:      *scale,
 		Smoke:      *smoke,
 		AllMatch:   true,
+	}
+
+	// the streaming cases run first, before the §V base trace is pinned
+	// live in the heap, so their peak-memory figures are not polluted
+	fmt.Fprintf(os.Stderr, "bench: streaming pipeline (diff + bounded-memory)...\n")
+	streamCases, err := runStreamCases(*smoke)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	for _, sc := range streamCases {
+		rep.StreamCases = append(rep.StreamCases, sc)
+		rep.AllMatch = rep.AllMatch && sc.Match && sc.Bounded
+		fmt.Fprintf(os.Stderr, "bench: %s: %d events in %.2fs (%.0f ev/s), peak heap %.1f MiB, peak RSS %.1f MiB, match=%v bounded=%v\n",
+			sc.Name, sc.Events, sc.StreamSeconds, sc.EventsPerSec,
+			float64(sc.PeakHeapBytes)/(1<<20), float64(sc.PeakRSSBytes)/(1<<20), sc.Match, sc.Bounded)
 	}
 
 	// §V needs a raw trace with its offset tables; trace it once up front
@@ -185,7 +465,7 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "bench: wrote %s\n", *out)
 	if !rep.AllMatch {
-		fmt.Fprintln(os.Stderr, "bench: FAIL: parallel checksums differ from serial")
+		fmt.Fprintln(os.Stderr, "bench: FAIL: checksum mismatch or streaming memory bound exceeded")
 		os.Exit(1)
 	}
 }

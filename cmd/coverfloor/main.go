@@ -1,0 +1,156 @@
+// Command coverfloor enforces per-package test-coverage floors: it runs
+// `go test -cover` over the given package patterns and fails if any
+// package listed in the floors file reports a lower percentage than its
+// recorded floor. Coverage may only ratchet up: after raising a package's
+// tests, refresh the floors with -write.
+//
+// Usage:
+//
+//	go run ./cmd/coverfloor            # check ./internal/... against COVERAGE_FLOORS.txt
+//	go run ./cmd/coverfloor -write     # re-record current coverage as the new floors
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// tolerance absorbs run-to-run formatting jitter in go test's rounded
+// percentages; real regressions move by whole statements, far more than
+// this.
+const tolerance = 0.05
+
+var coverRE = regexp.MustCompile(`^ok\s+(\S+)\s+\S+\s+coverage:\s+([0-9.]+)% of statements`)
+
+// measure runs go test -cover over patterns and returns package →
+// coverage percent. Packages without test files or statements are
+// omitted (they have nothing to ratchet).
+func measure(patterns []string) (map[string]float64, error) {
+	args := append([]string{"test", "-cover"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go test -cover: %w\n%s", err, out)
+	}
+	got := map[string]float64{}
+	sc := bufio.NewScanner(strings.NewReader(string(out)))
+	for sc.Scan() {
+		m := coverRE.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		pct, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %q: %w", sc.Text(), err)
+		}
+		got[m[1]] = pct
+	}
+	return got, sc.Err()
+}
+
+func readFloors(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	floors := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s:%d: want \"<package> <percent>\", got %q", path, line, text)
+		}
+		pct, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad percentage %q: %v", path, line, fields[1], err)
+		}
+		floors[fields[0]] = pct
+	}
+	return floors, sc.Err()
+}
+
+func writeFloors(path string, got map[string]float64) error {
+	pkgs := make([]string, 0, len(got))
+	for pkg := range got {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+	var b strings.Builder
+	b.WriteString("# Per-package test-coverage floors, enforced in CI by cmd/coverfloor.\n")
+	b.WriteString("# Coverage only ratchets up: raise a floor by improving the tests and\n")
+	b.WriteString("# re-recording with `go run ./cmd/coverfloor -write`.\n")
+	for _, pkg := range pkgs {
+		fmt.Fprintf(&b, "%s %.1f\n", pkg, got[pkg])
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+func main() {
+	floorsPath := flag.String("floors", "COVERAGE_FLOORS.txt", "floors file")
+	write := flag.Bool("write", false, "record current coverage as the new floors instead of checking")
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./internal/..."}
+	}
+
+	got, err := measure(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coverfloor:", err)
+		os.Exit(1)
+	}
+	if *write {
+		if err := writeFloors(*floorsPath, got); err != nil {
+			fmt.Fprintln(os.Stderr, "coverfloor:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("coverfloor: recorded %d package floors in %s\n", len(got), *floorsPath)
+		return
+	}
+
+	floors, err := readFloors(*floorsPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coverfloor:", err)
+		os.Exit(1)
+	}
+	pkgs := make([]string, 0, len(floors))
+	for pkg := range floors {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+	failed := false
+	for _, pkg := range pkgs {
+		floor := floors[pkg]
+		pct, ok := got[pkg]
+		if !ok {
+			fmt.Printf("FAIL %-46s floor %5.1f%%, package missing from go test -cover output\n", pkg, floor)
+			failed = true
+			continue
+		}
+		if pct+tolerance < floor {
+			fmt.Printf("FAIL %-46s %5.1f%% < floor %5.1f%%\n", pkg, pct, floor)
+			failed = true
+			continue
+		}
+		fmt.Printf("ok   %-46s %5.1f%% >= floor %5.1f%%\n", pkg, pct, floor)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "coverfloor: coverage dropped below a recorded floor")
+		os.Exit(1)
+	}
+}

@@ -2,6 +2,11 @@
 // writes the resulting event trace (plus the offset measurements taken at
 // initialization and finalization) to a .etr file for later analysis with
 // tracesync.
+//
+// With -synth it instead emits a ring-workload trace through the streaming
+// encoder: events go straight to disk as they are generated, so trace size
+// is limited by disk, not memory — the generator for the streaming bench
+// and differential tests.
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"tsync/internal/clock"
 	"tsync/internal/measure"
 	"tsync/internal/mpi"
+	"tsync/internal/stream"
 	"tsync/internal/topology"
 	"tsync/internal/trace"
 	"tsync/internal/xrand"
@@ -27,20 +33,69 @@ type sidecar struct {
 
 func main() {
 	var (
-		app     = flag.String("app", "pop", "workload: pop, smg, transpose")
-		machine = flag.String("machine", "xeon", "machine: xeon, ppc, opteron")
-		timer   = flag.String("timer", "tsc", "timer")
-		ranks   = flag.Int("ranks", 32, "MPI processes")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		scale   = flag.Float64("scale", 1, "workload duration multiplier")
-		out     = flag.String("o", "trace.etr", "output trace file")
+		app       = flag.String("app", "pop", "workload: pop, smg, transpose")
+		machine   = flag.String("machine", "xeon", "machine: xeon, ppc, opteron")
+		timer     = flag.String("timer", "tsc", "timer")
+		ranks     = flag.Int("ranks", 32, "MPI processes")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		scale     = flag.Float64("scale", 1, "workload duration multiplier")
+		out       = flag.String("o", "trace.etr", "output trace file")
+		synth     = flag.Bool("synth", false, "stream a synthetic ring workload to disk instead of simulating (-app/-machine/-timer/-scale ignored)")
+		steps     = flag.Int("steps", 1000, "ring steps per rank (with -synth)")
+		collEvery = flag.Int("collevery", 10, "collective round every N steps, 0 for none (with -synth)")
 	)
 	flag.Parse()
 
-	if err := run(*app, *machine, *timer, *ranks, *seed, *scale, *out); err != nil {
+	var err error
+	if *synth {
+		err = runSynth(*ranks, *steps, *collEvery, *seed, *out)
+	} else {
+		err = run(*app, *machine, *timer, *ranks, *seed, *scale, *out)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
+}
+
+// runSynth streams a synthetic trace to disk: events are encoded as they
+// are generated, one at a time, so peak memory does not depend on -steps.
+func runSynth(ranks, steps, collEvery int, seed uint64, out string) error {
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	init, fin, err := stream.Synth(stream.SynthSpec{
+		Ranks: ranks, Steps: steps, CollEvery: collEvery, Seed: seed,
+	}, f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if err := writeSidecar(out, sidecar{Init: init, Fin: fin}); err != nil {
+		return err
+	}
+	info, err := os.Stat(out)
+	if err != nil {
+		return err
+	}
+	events := ranks * (steps * 4)
+	if collEvery > 0 {
+		events += ranks * (steps / collEvery) * 2
+	}
+	fmt.Printf("wrote %s (%d bytes, %d events, %d ranks, streamed) and %s.offsets.json\n",
+		out, info.Size(), events, ranks, out)
+	return nil
+}
+
+func writeSidecar(out string, side sidecar) error {
+	blob, err := json.MarshalIndent(side, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(out+".offsets.json", blob, 0o644)
 }
 
 func run(app, machine, timer string, ranks int, seed uint64, scale float64, out string) error {
@@ -120,16 +175,11 @@ func run(app, machine, timer string, ranks int, seed uint64, scale float64, out 
 	if err != nil {
 		return err
 	}
-	offsetsPath := out + ".offsets.json"
-	blob, err := json.MarshalIndent(side, "", "  ")
-	if err != nil {
+	if err := writeSidecar(out, side); err != nil {
 		return err
 	}
-	if err := os.WriteFile(offsetsPath, blob, 0o644); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %s (%d bytes, %d events, %d ranks) and %s\n",
-		out, n, tr.EventCount(), len(tr.Procs), offsetsPath)
+	fmt.Printf("wrote %s (%d bytes, %d events, %d ranks) and %s.offsets.json\n",
+		out, n, tr.EventCount(), len(tr.Procs), out)
 	return nil
 }
 

@@ -3,6 +3,12 @@
 // showing how far the measured waiting times deviate from the simulation's
 // ground truth — the "false conclusions" the paper warns about. With
 // -json it dumps the full trace as JSON instead.
+//
+// Binary traces stream by default: the summary and census are computed
+// in memory bounded by the reorder window. The wait-state, latency, and
+// region-profile analyses accumulate floats in an order defined by the
+// in-memory trace, so they (and -json/-timeline) run on the legacy path,
+// which -legacy also forces.
 package main
 
 import (
@@ -13,30 +19,89 @@ import (
 
 	"tsync/internal/analysis"
 	"tsync/internal/render"
+	"tsync/internal/stream"
 	"tsync/internal/trace"
 )
 
+type options struct {
+	in       string
+	jsonOut  bool
+	timeline bool
+	legacy   bool
+	window   int
+	spill    string
+}
+
 func main() {
-	var (
-		in       = flag.String("i", "trace.etr", "input trace file")
-		jsonOut  = flag.Bool("json", false, "dump the trace as JSON to stdout")
-		timeline = flag.Bool("timeline", false, "render a message time-line of the densest second")
-	)
+	var o options
+	flag.StringVar(&o.in, "i", "trace.etr", "input trace file")
+	flag.BoolVar(&o.jsonOut, "json", false, "dump the trace as JSON to stdout (in-memory)")
+	flag.BoolVar(&o.timeline, "timeline", false, "render a message time-line of the densest second (in-memory)")
+	flag.BoolVar(&o.legacy, "legacy", false, "force the in-memory path (adds wait-state, latency, and region-profile analyses)")
+	flag.IntVar(&o.window, "window", 0, "streaming reorder window: max pending items per rank (0 = default 65536)")
+	flag.StringVar(&o.spill, "spill", "spill", "streaming window overflow policy: spill or error")
 	flag.Parse()
 
-	if err := run(*in, *jsonOut, *timeline); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "tracestat:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in string, jsonOut, timeline bool) error {
-	f, err := os.Open(in)
+func printCensus(c analysis.Census) {
+	fmt.Printf("\nclock-condition census (recorded timestamps):\n")
+	fmt.Printf("  %d messages, %d reversed (%.2f%%), %d violate t_recv >= t_send + l_min\n",
+		c.Messages, c.Reversed, c.PctReversed(), c.ClockCondition)
+	fmt.Printf("  %d logical messages from collectives, %d reversed\n",
+		c.LogicalMessages, c.ReversedLogical)
+}
+
+func run(o options) error {
+	if o.legacy || o.jsonOut || o.timeline || strings.HasSuffix(o.in, ".json") {
+		return runLegacy(o)
+	}
+	return runStreaming(o)
+}
+
+func runStreaming(o options) error {
+	policy, err := stream.ParsePolicy(o.spill)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(o.in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	src, err := stream.NewSource(f)
+	if err != nil {
+		return err
+	}
+	sum, err := stream.Summarize(src)
+	if err != nil {
+		return err
+	}
+	fmt.Print(sum.String())
+	census, stats, err := stream.Census(src, stream.Options{Window: o.window, Policy: policy})
+	if err != nil {
+		return err
+	}
+	printCensus(census)
+	fmt.Printf("\nstreaming: peak %d pending items on one rank", stats.MaxPending)
+	if stats.SpilledEvents > 0 {
+		fmt.Printf(", %d insertions spilled past the window", stats.SpilledEvents)
+	}
+	fmt.Println("; run with -legacy for wait-state, latency, and region-profile analyses")
+	return nil
+}
+
+func runLegacy(o options) error {
+	f, err := os.Open(o.in)
 	if err != nil {
 		return err
 	}
 	var tr *trace.Trace
-	if strings.HasSuffix(in, ".json") {
+	if strings.HasSuffix(o.in, ".json") {
 		tr, err = trace.ReadJSON(f)
 	} else {
 		tr, err = trace.Read(f)
@@ -47,7 +112,7 @@ func run(in string, jsonOut, timeline bool) error {
 	if err != nil {
 		return err
 	}
-	if jsonOut {
+	if o.jsonOut {
 		return trace.WriteJSON(os.Stdout, tr)
 	}
 	fmt.Print(trace.Summarize(tr).String())
@@ -56,11 +121,7 @@ func run(in string, jsonOut, timeline bool) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\nclock-condition census (recorded timestamps):\n")
-	fmt.Printf("  %d messages, %d reversed (%.2f%%), %d violate t_recv >= t_send + l_min\n",
-		census.Messages, census.Reversed, census.PctReversed(), census.ClockCondition)
-	fmt.Printf("  %d logical messages from collectives, %d reversed\n",
-		census.LogicalMessages, census.ReversedLogical)
+	printCensus(census)
 
 	if prof, err := analysis.ProfileRegions(tr, false); err == nil && len(prof) > 0 {
 		fmt.Printf("\nregion profile (recorded timestamps):\n")
@@ -99,7 +160,7 @@ func run(in string, jsonOut, timeline bool) error {
 		fmt.Printf("  quantification error from timestamp inaccuracy: %+.1f%%\n", errPct)
 	}
 
-	if timeline {
+	if o.timeline {
 		s := trace.Summarize(tr)
 		// render the window around the first recorded event span
 		var t0 float64

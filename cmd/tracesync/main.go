@@ -3,20 +3,30 @@
 // linear interpolation, or an error-estimation method) optionally followed
 // by the controlled logical clock, reporting clock-condition violations
 // before and after. With -all it compares every method side by side.
+//
+// Binary traces stream by default: events are decoded incrementally and
+// the corrections run online in memory bounded by the reorder window, not
+// the trace length. -legacy forces the in-memory path, which is also the
+// automatic fallback for JSON traces, -all, the error-estimation bases,
+// and CLC variants the streaming engine does not support.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"tsync/internal/analysis"
+	"tsync/internal/clc"
 	"tsync/internal/core"
 	"tsync/internal/experiments"
 	"tsync/internal/measure"
 	"tsync/internal/render"
+	"tsync/internal/stream"
 	"tsync/internal/trace"
 )
 
@@ -25,30 +35,156 @@ type sidecar struct {
 	Fin  []measure.Offset `json:"fin"`
 }
 
+type options struct {
+	in, out, base string
+	withCLC       bool
+	all           bool
+	legacy        bool
+	window        int
+	spill         string
+	workers       int
+}
+
 func main() {
-	var (
-		in      = flag.String("i", "trace.etr", "input trace file")
-		out     = flag.String("o", "", "write the corrected trace here (optional)")
-		base    = flag.String("base", "interp", "base correction: none, align, interp, duda-regression, duda-convex-hull, hofmann-minmax")
-		withCLC = flag.Bool("clc", true, "apply the controlled logical clock after the base correction")
-		all     = flag.Bool("all", false, "compare all correction methods instead")
-		workers = flag.Int("workers", 0, "parallel worker bound for the -all method sweep (0 = all CPUs); results are identical for any value")
-	)
+	var o options
+	flag.StringVar(&o.in, "i", "trace.etr", "input trace file")
+	flag.StringVar(&o.out, "o", "", "write the corrected trace here (optional)")
+	flag.StringVar(&o.base, "base", "interp", "base correction: none, align, interp, duda-regression, duda-convex-hull, hofmann-minmax")
+	flag.BoolVar(&o.withCLC, "clc", true, "apply the controlled logical clock after the base correction")
+	flag.BoolVar(&o.all, "all", false, "compare all correction methods instead (in-memory)")
+	flag.BoolVar(&o.legacy, "legacy", false, "force the in-memory path instead of streaming")
+	flag.IntVar(&o.window, "window", 0, "streaming reorder window: max pending items per rank (0 = default 65536)")
+	flag.StringVar(&o.spill, "spill", "spill", "streaming window overflow policy: spill (unbounded, recorded) or error (fail fast)")
+	flag.IntVar(&o.workers, "workers", 0, "parallel worker bound for -all and streaming assembly (0 = all CPUs); results are identical for any value")
 	flag.Parse()
 
-	if err := run(*in, *out, *base, *withCLC, *all, *workers); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "tracesync:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out, base string, withCLC, all bool, workers int) error {
-	f, err := os.Open(in)
+func loadSidecar(in string) (sidecar, bool, error) {
+	var side sidecar
+	blob, err := os.ReadFile(in + ".offsets.json")
+	if err != nil {
+		return side, false, nil
+	}
+	if err := json.Unmarshal(blob, &side); err != nil {
+		return side, false, fmt.Errorf("offset sidecar: %w", err)
+	}
+	return side, true, nil
+}
+
+func printCensus(label string, c analysis.Census) {
+	fmt.Printf("%-8s %6d messages, %5d reversed (%.2f%%), %5d clock-condition violations (incl. %d logical reversed)\n",
+		label, c.Messages, c.Reversed, c.PctReversed(), c.ClockCondition, c.ReversedLogical)
+}
+
+func printReport(before, after analysis.Census, rep clc.Report, dist analysis.Distortion, withCLC bool) {
+	printCensus("before:", before)
+	printCensus("after:", after)
+	if withCLC {
+		fmt.Printf("\nCLC: %d -> %d violations (γ-scaled), %d events moved, max advance %s µs\n",
+			rep.ViolationsBefore, rep.ViolationsAfter, rep.EventsMoved, render.Micro(rep.MaxAdvance))
+	}
+	fmt.Printf("interval distortion: max %s µs, mean %s µs, %d of %d intervals shrunk\n",
+		render.Micro(dist.MaxAbs), render.Micro(dist.MeanAbs), dist.Shrunk, dist.N)
+}
+
+func run(o options) error {
+	side, haveOffsets, err := loadSidecar(o.in)
+	if err != nil {
+		return err
+	}
+	needsOffsets := o.all || o.base == "align" || o.base == "interp"
+	if needsOffsets && !haveOffsets {
+		return fmt.Errorf("no %s.offsets.json sidecar: alignment/interpolation need the offset tables (generate traces with tracegen, or use -base none/duda-*/hofmann-minmax)", o.in)
+	}
+
+	if !o.legacy && !o.all && !strings.HasSuffix(o.in, ".json") {
+		err := runStreaming(o, side)
+		if err == nil || !errors.Is(err, stream.ErrUnsupported) {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "tracesync: falling back to the in-memory path: %v\n", err)
+	}
+	return runLegacy(o, side)
+}
+
+func runStreaming(o options, side sidecar) error {
+	b, err := core.ParseBase(o.base)
+	if err != nil {
+		return err
+	}
+	policy, err := stream.ParsePolicy(o.spill)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(o.in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	src, err := stream.NewSource(f)
+	if err != nil {
+		return err
+	}
+	p := stream.Pipeline{
+		Base: b, CLC: o.withCLC,
+		Options: stream.Options{Window: o.window, Policy: policy, Workers: o.workers},
+	}
+	var outW *os.File
+	if o.out != "" {
+		if outW, err = os.Create(o.out); err != nil {
+			return err
+		}
+	}
+	res, err := p.Run(src, writerOrNil(outW), side.Init, side.Fin)
+	if outW != nil {
+		if cerr := outW.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		return err
+	}
+	h := src.Header()
+	window := o.window
+	if window <= 0 {
+		window = stream.DefaultWindow
+	}
+	fmt.Printf("trace: %s on %s with %s timer, %d events (streaming, window %d, policy %s)\n\n",
+		o.in, h.Machine, h.Timer, res.Stats.Events, window, policy)
+	printReport(res.Before, res.After, res.CLCReport, res.Distortion, o.withCLC)
+	fmt.Printf("streaming: peak %d pending items on one rank", res.Stats.MaxPending)
+	if res.Stats.SpilledEvents > 0 {
+		fmt.Printf(", %d insertions spilled past the window", res.Stats.SpilledEvents)
+	}
+	fmt.Println()
+	if o.out != "" {
+		fmt.Printf("corrected trace written to %s\n", o.out)
+	}
+	return nil
+}
+
+// writerOrNil keeps the nil check on the interface value honest: a nil
+// *os.File inside a non-nil io.Writer interface would defeat the
+// "out == nil means analysis only" contract.
+func writerOrNil(f *os.File) io.Writer {
+	if f == nil {
+		return nil
+	}
+	return f
+}
+
+func runLegacy(o options, side sidecar) error {
+	f, err := os.Open(o.in)
 	if err != nil {
 		return err
 	}
 	var tr *trace.Trace
-	if strings.HasSuffix(in, ".json") {
+	if strings.HasSuffix(o.in, ".json") {
 		tr, err = trace.ReadJSON(f)
 	} else {
 		tr, err = trace.Read(f)
@@ -59,21 +195,9 @@ func run(in, out, base string, withCLC, all bool, workers int) error {
 	if err != nil {
 		return err
 	}
-	var side sidecar
-	haveOffsets := false
-	if blob, err := os.ReadFile(in + ".offsets.json"); err == nil {
-		if err := json.Unmarshal(blob, &side); err != nil {
-			return fmt.Errorf("offset sidecar: %w", err)
-		}
-		haveOffsets = true
-	}
-	needsOffsets := all || base == "align" || base == "interp"
-	if needsOffsets && !haveOffsets {
-		return fmt.Errorf("no %s.offsets.json sidecar: alignment/interpolation need the offset tables (generate traces with tracegen, or use -base none/duda-*/hofmann-minmax)", in)
-	}
 
-	if all {
-		rows, err := experiments.CompareCorrections(tr, side.Init, side.Fin, workers)
+	if o.all {
+		rows, err := experiments.CompareCorrections(tr, side.Init, side.Fin, o.workers)
 		if err != nil {
 			return err
 		}
@@ -96,32 +220,19 @@ func run(in, out, base string, withCLC, all bool, workers int) error {
 		return nil
 	}
 
-	b, err := core.ParseBase(base)
+	b, err := core.ParseBase(o.base)
 	if err != nil {
 		return err
 	}
-	res, err := (core.Pipeline{Base: b, CLC: withCLC, Parallel: true}).Run(tr, side.Init, side.Fin)
+	res, err := (core.Pipeline{Base: b, CLC: o.withCLC, Parallel: true}).Run(tr, side.Init, side.Fin)
 	if err != nil {
 		return err
 	}
-	printCensus := func(label string, c analysis.Census) {
-		fmt.Printf("%-8s %6d messages, %5d reversed (%.2f%%), %5d clock-condition violations (incl. %d logical reversed)\n",
-			label, c.Messages, c.Reversed, c.PctReversed(), c.ClockCondition, c.ReversedLogical)
-	}
-	fmt.Printf("trace: %s on %s with %s timer, %d events\n\n", in, tr.Machine, tr.Timer, tr.EventCount())
-	printCensus("before:", res.Before)
-	printCensus("after:", res.After)
-	if withCLC {
-		fmt.Printf("\nCLC: %d -> %d violations (γ-scaled), %d events moved, max advance %s µs\n",
-			res.CLCReport.ViolationsBefore, res.CLCReport.ViolationsAfter,
-			res.CLCReport.EventsMoved, render.Micro(res.CLCReport.MaxAdvance))
-	}
-	fmt.Printf("interval distortion: max %s µs, mean %s µs, %d of %d intervals shrunk\n",
-		render.Micro(res.Distortion.MaxAbs), render.Micro(res.Distortion.MeanAbs),
-		res.Distortion.Shrunk, res.Distortion.N)
+	fmt.Printf("trace: %s on %s with %s timer, %d events\n\n", o.in, tr.Machine, tr.Timer, tr.EventCount())
+	printReport(res.Before, res.After, res.CLCReport, res.Distortion, o.withCLC)
 
-	if out != "" {
-		g, err := os.Create(out)
+	if o.out != "" {
+		g, err := os.Create(o.out)
 		if err != nil {
 			return err
 		}
@@ -132,7 +243,7 @@ func run(in, out, base string, withCLC, all bool, workers int) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("corrected trace written to %s\n", out)
+		fmt.Printf("corrected trace written to %s\n", o.out)
 	}
 	return nil
 }

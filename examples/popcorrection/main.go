@@ -10,7 +10,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"tsync/internal/clock"
 	"tsync/internal/experiments"
@@ -19,31 +21,38 @@ import (
 )
 
 func main() {
-	fmt.Println("tracing a POP-like run: 32 ranks, 9000-iteration equivalent,")
-	fmt.Println("iterations 3500-5500 traced, offsets measured at Init and Finalize...")
-	res, err := experiments.AppViolations(experiments.AppViolationsConfig{
+	cfg := experiments.AppViolationsConfig{
 		App:     experiments.AppPOP,
 		Machine: topology.Xeon(),
 		Timer:   clock.TSC,
 		Ranks:   32,
 		Reps:    1,
 		Seed:    11,
-	})
-	if err != nil {
+	}
+	if err := run(os.Stdout, cfg); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nafter linear interpolation (the Scalasca default):\n")
-	fmt.Printf("  %d messages, %.2f%% with reversed send/receive order\n",
+}
+
+func run(w io.Writer, cfg experiments.AppViolationsConfig) error {
+	fmt.Fprintln(w, "tracing a POP-like run: 32 ranks, 9000-iteration equivalent,")
+	fmt.Fprintln(w, "iterations 3500-5500 traced, offsets measured at Init and Finalize...")
+	res, err := experiments.AppViolations(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nafter linear interpolation (the Scalasca default):\n")
+	fmt.Fprintf(w, "  %d messages, %.2f%% with reversed send/receive order\n",
 		res.Census.Messages, res.PctReversed)
-	fmt.Printf("  %d messages violate the clock condition t_recv >= t_send + l_min\n",
+	fmt.Fprintf(w, "  %d messages violate the clock condition t_recv >= t_send + l_min\n",
 		res.Census.ClockCondition)
-	fmt.Printf("  message transfer events are %.1f%% of the %d trace events\n\n",
+	fmt.Fprintf(w, "  message transfer events are %.1f%% of the %d trace events\n\n",
 		res.PctMessageEvents, res.Census.TotalEvents)
 
-	fmt.Println("comparing all correction methods on the raw trace:")
+	fmt.Fprintln(w, "comparing all correction methods on the raw trace:")
 	rows, err := experiments.CompareCorrections(res.RawTrace, res.InitOffsets, res.FinOffsets, 0)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	var cells [][]string
 	for _, r := range rows {
@@ -57,10 +66,11 @@ func main() {
 			render.Micro(r.Distortion.MeanAbs),
 		})
 	}
-	fmt.Println()
-	fmt.Print(render.Table([]string{"method", "violations left", "mean |Δinterval| µs"}, cells))
-	fmt.Println("\nthe paper's conclusion in one table: alignment and interpolation help but")
-	fmt.Println("cannot guarantee the clock condition; the CLC restores it completely while")
-	fmt.Println("disturbing local intervals by only ~1 µs on average — unlike the pure")
-	fmt.Println("Lamport schedule, which orders perfectly but destroys all timing.")
+	fmt.Fprintln(w)
+	fmt.Fprint(w, render.Table([]string{"method", "violations left", "mean |Δinterval| µs"}, cells))
+	fmt.Fprintln(w, "\nthe paper's conclusion in one table: alignment and interpolation help but")
+	fmt.Fprintln(w, "cannot guarantee the clock condition; the CLC restores it completely while")
+	fmt.Fprintln(w, "disturbing local intervals by only ~1 µs on average — unlike the pure")
+	fmt.Fprintln(w, "Lamport schedule, which orders perfectly but destroys all timing.")
+	return nil
 }

@@ -1,0 +1,40 @@
+package main
+
+// Run the POP correction study end to end at a reduced scale under
+// go test ./... so the example keeps compiling and running as the
+// experiment drivers evolve.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tsync/internal/clock"
+	"tsync/internal/experiments"
+	"tsync/internal/topology"
+)
+
+func TestPopcorrectionRuns(t *testing.T) {
+	cfg := experiments.AppViolationsConfig{
+		App:     experiments.AppPOP,
+		Machine: topology.Xeon(),
+		Timer:   clock.TSC,
+		Ranks:   8,
+		Reps:    1,
+		Seed:    11,
+		Scale:   0.05,
+	}
+	var out bytes.Buffer
+	if err := run(&out, cfg); err != nil {
+		t.Fatalf("popcorrection: %v", err)
+	}
+	for _, want := range []string{
+		"after linear interpolation",
+		"comparing all correction methods",
+		"violations left",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output lacks %q:\n%s", want, out.String())
+		}
+	}
+}

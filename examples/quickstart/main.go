@@ -8,7 +8,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"tsync"
 	"tsync/internal/mpi"
@@ -24,14 +26,19 @@ func main() {
 		Seed:    42,
 		Tracing: true,
 	}
+	if err := run(os.Stdout, job, 50); err != nil {
+		log.Fatal(err)
+	}
+}
 
+func run(w io.Writer, job tsync.Job, iters int) error {
 	// A ring exchange with some computation: every rank repeatedly sends
 	// to its right neighbour and receives from its left one. The job
 	// measures clock offsets at init and finalize around the program,
 	// exactly like Scalasca does.
 	m, err := job.Run(func(r *mpi.Rank) {
 		n := r.Size()
-		for i := 0; i < 50; i++ {
+		for i := 0; i < iters; i++ {
 			r.Send((r.Rank()+1)%n, i, 1024, nil)
 			r.Recv((r.Rank()-1+n)%n, i)
 			r.Compute(2.0) // two seconds of "physics"
@@ -41,36 +48,37 @@ func main() {
 		}
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("traced %d events on %d ranks\n", m.Trace.EventCount(), len(m.Trace.Procs))
+	fmt.Fprintf(w, "traced %d events on %d ranks\n", m.Trace.EventCount(), len(m.Trace.Procs))
 
 	// Raw timestamps come from unsynchronized clocks: the trace is full
 	// of messages that appear to arrive before they were sent.
 	raw, err := tsync.Synchronize(m, "none", false)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("raw:          %4d of %d messages reversed (%.1f%%)\n",
+	fmt.Fprintf(w, "raw:          %4d of %d messages reversed (%.1f%%)\n",
 		raw.After.Reversed, raw.After.Messages, raw.After.PctReversed())
 
 	// Linear offset interpolation (Eq. 3 of the paper) fixes most of it...
 	interp, err := tsync.Synchronize(m, "interp", false)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("interpolated: %4d of %d messages reversed (%.1f%%), %d clock-condition violations\n",
+	fmt.Fprintf(w, "interpolated: %4d of %d messages reversed (%.1f%%), %d clock-condition violations\n",
 		interp.After.Reversed, interp.After.Messages, interp.After.PctReversed(),
 		interp.After.ClockCondition)
 
 	// ...and the controlled logical clock removes what remains.
 	fixed, err := tsync.Synchronize(m, "interp", true)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("interp + CLC: %4d reversed, %d clock-condition violations, %d events moved (max %.2f µs)\n",
+	fmt.Fprintf(w, "interp + CLC: %4d reversed, %d clock-condition violations, %d events moved (max %.2f µs)\n",
 		fixed.After.Reversed, fixed.After.ClockCondition,
 		fixed.CLCReport.EventsMoved, fixed.CLCReport.MaxAdvance*1e6)
-	fmt.Printf("local intervals disturbed by at most %.2f µs (mean %.3f µs)\n",
+	fmt.Fprintf(w, "local intervals disturbed by at most %.2f µs (mean %.3f µs)\n",
 		fixed.Distortion.MaxAbs*1e6, fixed.Distortion.MeanAbs*1e6)
+	return nil
 }

@@ -1,0 +1,26 @@
+package main
+
+// The quickstart must keep working as the API evolves: run it end to end
+// at a reduced size under go test ./... and check the narrative output
+// reaches its conclusion.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tsync"
+)
+
+func TestQuickstartRuns(t *testing.T) {
+	job := tsync.Job{Machine: "xeon", Timer: "tsc", Ranks: 4, Seed: 42, Tracing: true}
+	var out bytes.Buffer
+	if err := run(&out, job, 10); err != nil {
+		t.Fatalf("quickstart: %v", err)
+	}
+	for _, want := range []string{"traced ", "raw:", "interpolated:", "interp + CLC:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output lacks %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -9,7 +9,9 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"tsync"
 	"tsync/internal/analysis"
@@ -19,37 +21,43 @@ import (
 )
 
 func main() {
-	// a 4x2 grid transpose workload with row/column communicators, plus
-	// an explicit halo ring per step (Sendrecv) so the trace carries
+	if err := run(os.Stdout, 16, 4, 4, 40); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer, ranks, px, py, steps int) error {
+	// a grid transpose workload with row/column communicators, plus an
+	// explicit halo ring per step (Sendrecv) so the trace carries
 	// point-to-point messages too
-	// 16 ranks span two SMP nodes, so clocks genuinely disagree
-	job := tsync.Job{Machine: "xeon", Timer: "tsc", Ranks: 16, Seed: 7, Tracing: true}
-	cfg := apps.DefaultTranspose(4, 4)
-	cfg.Steps = 40
+	// the default 16 ranks span two SMP nodes, so clocks genuinely disagree
+	job := tsync.Job{Machine: "xeon", Timer: "tsc", Ranks: ranks, Seed: 7, Tracing: true}
+	cfg := apps.DefaultTranspose(px, py)
+	cfg.Steps = steps
 	body := apps.Transpose(cfg)
 	m, err := job.Run(func(r *mpi.Rank) {
 		body(r)
 		n := r.Size()
-		for i := 0; i < 40; i++ {
+		for i := 0; i < steps; i++ {
 			r.Sendrecv((r.Rank()+1)%n, i, 512, nil, (r.Rank()-1+n)%n, i)
 			r.Compute(0.25)
 		}
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// round-trip through the binary codec (a file in real life)
 	var file bytes.Buffer
 	if err := tsync.WriteTrace(&file, m.Trace); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("trace serialized to %d bytes\n", file.Len())
+	fmt.Fprintf(w, "trace serialized to %d bytes\n", file.Len())
 	tr, err := tsync.ReadTrace(&file)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Print(trace.Summarize(tr).String())
+	fmt.Fprint(w, trace.Summarize(tr).String())
 
 	// window the middle half of the run, keeping communication consistent
 	s := trace.Summarize(tr)
@@ -61,36 +69,37 @@ func main() {
 	}
 	mid, err := trace.Window(tr, t0+s.SpanTrue/4, t0+3*s.SpanTrue/4)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("\nmiddle-half window keeps %d of %d events (all messages fully paired)\n",
+	fmt.Fprintf(w, "\nmiddle-half window keeps %d of %d events (all messages fully paired)\n",
 		mid.EventCount(), tr.EventCount())
 
 	// profile the regions; with raw unaligned clocks some metrics lie
 	prof, err := analysis.ProfileRegions(tr, false)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	for _, rp := range prof {
-		fmt.Printf("region %-14q %4d visits, exclusive %10.1f µs\n",
+		fmt.Fprintf(w, "region %-14q %4d visits, exclusive %10.1f µs\n",
 			rp.Region, rp.Visits, rp.Exclusive*1e6)
 	}
 	lat, err := analysis.MessageLatencies(tr, false)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("\napparent message latencies: mean %.2f µs, min %.2f µs, %d of %d negative — raw clocks lie\n",
+	fmt.Fprintf(w, "\napparent message latencies: mean %.2f µs, min %.2f µs, %d of %d negative — raw clocks lie\n",
 		lat.Stats.Mean()*1e6, lat.Stats.Min()*1e6, lat.Negative, lat.Stats.N())
 
 	// repair with the recommended pipeline and recheck
 	res, err := tsync.Synchronize(m, "interp", true)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fixedLat, err := analysis.MessageLatencies(res.Trace, false)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("after interp+CLC:           mean %.2f µs, min %.2f µs, %d negative\n",
+	fmt.Fprintf(w, "after interp+CLC:           mean %.2f µs, min %.2f µs, %d negative\n",
 		fixedLat.Stats.Mean()*1e6, fixedLat.Stats.Min()*1e6, fixedLat.Negative)
+	return nil
 }

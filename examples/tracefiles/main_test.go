@@ -1,0 +1,28 @@
+package main
+
+// Run the trace-file walkthrough end to end at a reduced size under
+// go test ./... so the example keeps compiling and running as the
+// library evolves.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTracefilesRuns(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, 8, 4, 2, 12); err != nil {
+		t.Fatalf("tracefiles: %v", err)
+	}
+	for _, want := range []string{
+		"trace serialized to ",
+		"middle-half window keeps ",
+		"apparent message latencies:",
+		"after interp+CLC:",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output lacks %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -116,6 +116,15 @@ func edgeLMin(t *trace.Trace, e lclock.Edge, gamma float64) float64 {
 	return gamma * t.MinLatencyBetween(e.From.Rank, e.To.Rank)
 }
 
+// Violated reports whether one happened-before edge violates the
+// γ-scaled clock condition, with the small tolerance used by violation
+// counting throughout. lmin is the unscaled minimum latency of the edge.
+// Shared with the streaming replay (internal/stream) so both paths apply
+// bit-identical arithmetic.
+func Violated(from, to, lmin, gamma float64) bool {
+	return to < from+gamma*lmin-1e-12
+}
+
 // countViolations counts edges whose Time stamps violate the γ-scaled
 // clock condition.
 func countViolations(t *trace.Trace, edges []lclock.Edge, gamma float64) int {
@@ -123,7 +132,7 @@ func countViolations(t *trace.Trace, edges []lclock.Edge, gamma float64) int {
 	for _, e := range edges {
 		from := t.Procs[e.From.Rank].Events[e.From.Idx].Time
 		to := t.Procs[e.To.Rank].Events[e.To.Idx].Time
-		if to < from+edgeLMin(t, e, gamma)-1e-12 {
+		if Violated(from, to, t.MinLatencyBetween(e.From.Rank, e.To.Rank), gamma) {
 			n++
 		}
 	}
@@ -218,6 +227,19 @@ func correct(t *trace.Trace, opt Options, parallel bool, _ int) (*trace.Trace, R
 	rep.ViolationsAfter = countViolations(out, edges, opt.Gamma)
 	return out, rep, nil
 }
+
+// ForwardCore exposes the forward-amortization step for the streaming
+// replay in internal/stream: sharing the arithmetic keeps the two paths
+// bit-identical. Because the step is a max of monotone bounds, its
+// fixpoint over the happened-before graph is the same for every
+// topological processing order.
+func ForwardCore(orig, prevOrig, prevCorr, inBound float64, first bool, opt Options) float64 {
+	return forwardCore(orig, prevOrig, prevCorr, inBound, first, opt)
+}
+
+// Validate checks the option values, exposed for callers (the streaming
+// pipeline) that bypass Correct.
+func (o Options) Validate() error { return o.validate() }
 
 // forwardCore computes one event's corrected time from its original time,
 // the process's previous event (original and corrected), and the maximal

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"hash"
 	"hash/fnv"
+	"io"
 	"math"
 
 	"tsync/internal/measure"
@@ -44,6 +45,28 @@ func sumOffsets(h hash.Hash, tab []measure.Offset) {
 		sumF64(h, o.Offset)
 		sumF64(h, o.RTT)
 	}
+}
+
+// ChecksumTrace digests a trace via its codec encoding (FNV-64a over the
+// exact output bytes), so two traces have equal checksums iff trace.Write
+// would produce identical files.
+func ChecksumTrace(t *trace.Trace) (string, error) {
+	h := fnv.New64a()
+	if err := sumTrace(h, t); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%016x", h.Sum64()), nil
+}
+
+// ChecksumTraceFile digests an already-encoded trace file byte for byte
+// with the same hash as ChecksumTrace, pinning streaming writers to the
+// in-memory codec path.
+func ChecksumTraceFile(r io.Reader) (string, error) {
+	h := fnv.New64a()
+	if _, err := io.Copy(h, r); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%016x", h.Sum64()), nil
 }
 
 // Checksum digests every field of the result, including the retained

@@ -90,3 +90,118 @@ func TestHarnessCatchesUnexpectedDiagnostic(t *testing.T) {
 		t.Fatalf("expected an unexpected-diagnostic failure, got: %v", rec.errs)
 	}
 }
+
+// errAnalyzer fails outright, the shape of an analyzer bug.
+var errAnalyzer = &analysis.Analyzer{
+	Name: "err",
+	Doc:  "always errors",
+	Run:  func(pass *analysis.Pass) (any, error) { return nil, fmt.Errorf("deliberate failure") },
+}
+
+// base/mid/top form a diamond of Requires: top needs base both directly
+// and through mid, so the harness's prerequisite memoization must run
+// base exactly once and hand each dependent its result.
+var baseAnalyzer = &analysis.Analyzer{
+	Name: "base",
+	Doc:  "produces a result",
+	Run:  func(pass *analysis.Pass) (any, error) { return 7, nil },
+}
+
+var midAnalyzer = &analysis.Analyzer{
+	Name:     "mid",
+	Doc:      "doubles base's result",
+	Requires: []*analysis.Analyzer{baseAnalyzer},
+	Run: func(pass *analysis.Pass) (any, error) {
+		return pass.ResultOf[baseAnalyzer].(int) * 2, nil
+	},
+}
+
+var topAnalyzer = &analysis.Analyzer{
+	Name:     "top",
+	Doc:      "checks both prerequisite results",
+	Requires: []*analysis.Analyzer{baseAnalyzer, midAnalyzer},
+	Run: func(pass *analysis.Pass) (any, error) {
+		if pass.ResultOf[baseAnalyzer].(int) != 7 || pass.ResultOf[midAnalyzer].(int) != 14 {
+			return nil, fmt.Errorf("prerequisite results not propagated: %v", pass.ResultOf)
+		}
+		return nil, nil
+	},
+}
+
+var needsErrAnalyzer = &analysis.Analyzer{
+	Name:     "needserr",
+	Doc:      "depends on a failing analyzer",
+	Requires: []*analysis.Analyzer{errAnalyzer},
+	Run:      func(pass *analysis.Pass) (any, error) { return nil, nil },
+}
+
+// TestRunPublic drives the exported entry point against the reference
+// fixture with the real *testing.T.
+func TestRunPublic(t *testing.T) {
+	Run(t, boomAnalyzer, "self")
+}
+
+// TestHarnessResolvesImports: fixtures may import other fixture packages
+// (resolved from testdata/src) and the standard library (resolved by the
+// fallback importer).
+func TestHarnessResolvesImports(t *testing.T) {
+	rec := &recorder{}
+	run(rec, boomAnalyzer, "importer")
+	if len(rec.errs) != 0 {
+		t.Fatalf("expected clean run, got: %v", rec.errs)
+	}
+}
+
+// TestHarnessReportsLoadErrors: a missing package, a package that does
+// not type-check, and a directory without Go files each surface as a
+// loading failure rather than a crash.
+func TestHarnessReportsLoadErrors(t *testing.T) {
+	cases := []struct{ path, want string }{
+		{"definitely-missing", "loading definitely-missing"},
+		{"broken", "type-checking"},
+		{"nogo", "no Go files"},
+	}
+	for _, c := range cases {
+		rec := &recorder{}
+		run(rec, boomAnalyzer, c.path)
+		if len(rec.errs) != 1 || !strings.Contains(rec.errs[0], c.want) {
+			t.Errorf("%s: want one error containing %q, got %v", c.path, c.want, rec.errs)
+		}
+	}
+}
+
+// TestHarnessPropagatesResults: Requires chains run once per
+// prerequisite with results visible to dependents.
+func TestHarnessPropagatesResults(t *testing.T) {
+	rec := &recorder{}
+	run(rec, topAnalyzer, "importer")
+	if len(rec.errs) != 0 {
+		t.Fatalf("expected clean run, got: %v", rec.errs)
+	}
+}
+
+// TestHarnessReportsAnalyzerErrors: failures of the analyzer itself and
+// of its prerequisites surface as running failures.
+func TestHarnessReportsAnalyzerErrors(t *testing.T) {
+	rec := &recorder{}
+	run(rec, errAnalyzer, "importer")
+	if len(rec.errs) != 1 || !strings.Contains(rec.errs[0], "running err") {
+		t.Fatalf("want one 'running err' failure, got %v", rec.errs)
+	}
+	rec = &recorder{}
+	run(rec, needsErrAnalyzer, "importer")
+	if len(rec.errs) != 1 || !strings.Contains(rec.errs[0], "prerequisite err") {
+		t.Fatalf("want one 'prerequisite err' failure, got %v", rec.errs)
+	}
+}
+
+// TestHarnessBadWantRegexp: an unparsable want pattern fails the test
+// with a pointer at the offending comment while valid double-quoted
+// wants on the same line still match.
+func TestHarnessBadWantRegexp(t *testing.T) {
+	rec := &recorder{}
+	run(rec, boomAnalyzer, "badwant")
+	if len(rec.errs) != 1 || !strings.Contains(rec.errs[0], "bad want regexp") {
+		t.Fatalf("want one 'bad want regexp' failure, got %v", rec.errs)
+	}
+}

@@ -1,0 +1,10 @@
+// Package badwant carries a double-quoted want (valid) next to an
+// unparsable want regexp, so the harness's error path is exercised while
+// the diagnostic itself still matches.
+package badwant
+
+func boom() {}
+
+func use() {
+	boom() // want "call to boom" `(`
+}

@@ -1,0 +1,5 @@
+// Package broken does not type-check: the harness must surface the
+// loader's type-checking error instead of crashing.
+package broken
+
+var x int = "not an int"

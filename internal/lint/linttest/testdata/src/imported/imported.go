@@ -1,0 +1,6 @@
+// Package imported exists to be imported by the importer fixture,
+// proving the loader resolves fixture-tree imports.
+package imported
+
+// Name is read by the importing fixture.
+const Name = "imported"

@@ -1,0 +1,12 @@
+// Package importer pulls in another fixture package and a stdlib package,
+// exercising both arms of the loader's import resolution.
+package importer
+
+import (
+	"strings"
+
+	"imported"
+)
+
+// Upper combines the two imports so neither is unused.
+func Upper() string { return strings.ToUpper(imported.Name) }

@@ -8,5 +8,5 @@ import (
 )
 
 func TestLocked(t *testing.T) {
-	linttest.Run(t, locked.Analyzer, "a")
+	linttest.Run(t, locked.Analyzer, "a", "b")
 }

@@ -1,0 +1,100 @@
+// Package b is the second fixture for the locked analyzer: the syntactic
+// corners package a leaves out — three-clause for loops, range-assignment
+// to captured variables, parenthesized/deref lvalues, pointer-typed
+// WaitGroups, Add on non-WaitGroup types, and lvalues with no root
+// identifier.
+package b
+
+import "sync"
+
+// gauge has an Add method but is not a sync.WaitGroup, so Add calls on a
+// captured gauge are not the Add/Wait race.
+type gauge struct{ n int }
+
+func (g *gauge) Add(d int) { g.n += d }
+
+// ForLoopBad captures a three-clause loop's iteration variable.
+func ForLoopBad(n int, out []int) {
+	for j := 0; j < n; j++ {
+		go func() {
+			out[j] = j // want `goroutine captures loop variable "j"` `write to captured "out" inside goroutine`
+		}()
+	}
+}
+
+// NonLiteralGo spawns a named function: there is no literal to inspect.
+func NonLiteralGo(f func()) {
+	go f()
+}
+
+// RangeAssignBad range-assigns into variables declared outside the
+// goroutine.
+func RangeAssignBad(pairs map[int]int) (int, int) {
+	var k, v int
+	go func() {
+		for k, v = range pairs { // want `write to captured "k" inside goroutine` `write to captured "v" inside goroutine`
+			_ = v
+		}
+	}()
+	return k, v
+}
+
+// NestedGo: the inner go statement is checked by its own visit, not by
+// the outer literal's walk.
+func NestedGo(out []int, x int) {
+	go func() {
+		go func() {
+			out[0] = x // want `write to captured "out" inside goroutine`
+		}()
+	}()
+}
+
+// DerefBad writes through a parenthesized pointer deref rooted at a
+// captured variable.
+func DerefBad(p *int) {
+	go func() {
+		(*p) = 3 // want `write to captured "p" inside goroutine`
+	}()
+}
+
+func sink() []int { return nil }
+
+// NoRootWrite has no root identifier to blame: not reported.
+func NoRootWrite() {
+	go func() {
+		sink()[0] = 1
+	}()
+}
+
+// PtrWaitGroupBad races Add against Wait through a captured *WaitGroup.
+func PtrWaitGroupBad(wg *sync.WaitGroup) {
+	go func() {
+		wg.Add(1) // want `sync.WaitGroup.Add inside the goroutine it accounts for`
+		wg.Done()
+	}()
+}
+
+// LocalWaitGroupOK: a WaitGroup declared inside the goroutine is private.
+func LocalWaitGroupOK() {
+	go func() {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		wg.Done()
+	}()
+}
+
+// GaugeOK: Add on a captured non-WaitGroup is not the Add/Wait race.
+func GaugeOK(g *gauge) {
+	go func() {
+		g.Add(1)
+	}()
+}
+
+func wgf() *sync.WaitGroup { return new(sync.WaitGroup) }
+
+// NoRootAdd: Add on a call result has no captured root to report.
+func NoRootAdd() {
+	go func() {
+		wgf().Add(1)
+	}()
+}

@@ -1,0 +1,65 @@
+package stream
+
+import (
+	"tsync/internal/analysis"
+	"tsync/internal/clc"
+	"tsync/internal/trace"
+)
+
+// censusSink accumulates two analysis.Census records in one walk — one
+// over the tail/head Raw timestamps, one over the Mapped ones — plus the
+// γ-scaled violation count clc.Correct would report on the mapped trace.
+// All its quantities are sums, counts, or maxima over edges and events,
+// so they do not depend on the processing order and match the in-memory
+// analysis bit for bit.
+type censusSink struct {
+	gamma      float64
+	raw        analysis.Census
+	mapped     analysis.Census
+	violations int
+}
+
+func (s *censusSink) event(rank, idx int, ev *trace.Event, mapped float64, in []InEdge) (EdgeData, error) {
+	s.raw.TotalEvents++
+	s.mapped.TotalEvents++
+	if ev.Kind == trace.Send || ev.Kind == trace.Recv {
+		s.raw.MessageEvents++
+		s.mapped.MessageEvents++
+	}
+	for _, e := range in {
+		lmin := e.LMin
+		if e.Logical {
+			s.raw.LogicalMessages++
+			s.mapped.LogicalMessages++
+			if ev.Time < e.Data.Raw {
+				s.raw.ReversedLogical++
+			}
+			if mapped < e.Data.Mapped {
+				s.mapped.ReversedLogical++
+			}
+		} else {
+			s.raw.Messages++
+			s.mapped.Messages++
+			if ev.Time < e.Data.Raw {
+				s.raw.Reversed++
+			}
+			if ev.Time < e.Data.Raw+lmin {
+				s.raw.ClockCondition++
+			}
+			if mapped < e.Data.Mapped {
+				s.mapped.Reversed++
+			}
+			if mapped < e.Data.Mapped+lmin {
+				s.mapped.ClockCondition++
+			}
+		}
+		if clc.Violated(e.Data.Mapped, mapped, lmin, s.gamma) {
+			s.violations++
+		}
+	}
+	return EdgeData{Raw: ev.Time, Mapped: mapped}, nil
+}
+
+func (s *censusSink) final(EventRef) error { return nil }
+func (s *censusSink) rankDone(int) error   { return nil }
+func (s *censusSink) flush() error         { return nil }

@@ -1,0 +1,284 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+
+	"tsync/internal/clc"
+	"tsync/internal/trace"
+)
+
+// clcSink replays the controlled logical clock online.
+//
+// Forward amortization is clc.ForwardCore verbatim: it only needs the
+// previous event's original and corrected times (two scalars per rank)
+// plus the incoming-edge bound, which the engine delivers resolved. The
+// forward value t1 is a max of monotone bounds, so any topological
+// processing order yields the same fixpoint as the in-memory replay.
+//
+// Backward amortization needs look-back: each forward jump at event k
+// ramps events j < k whose corrected time lies within BackwardWindow
+// before t1[k], capped by per-event upper bounds derived from outgoing
+// edges. The sink keeps a per-rank deque of not-yet-emitted entries and
+// a FIFO of pending ramp jobs, and applies a job only once every entry
+// the ramp can reach has its upper bound finalized (the engine's final
+// notification: all out-edge heads delivered). Entries leave the deque
+// once no future ramp or clamp can move them:
+//
+//   - no job is pending on the rank (jobs apply strictly in order);
+//   - cur <= latestT1 - BackwardWindow, so any later jump's ramp —
+//     whose rampStart is t1[k] - BackwardWindow >= latestT1's successor
+//     minus the window — starts above the entry (t1 grows by at least
+//     MinSpacing per event);
+//   - cur <= t1[next] - MinSpacing, so the order-restoring clamp, which
+//     never pushes an entry below its own t1 floor, stops at the
+//     successor.
+//
+// The emitted value is therefore the entry's settled backward-amortized
+// time, bit-identical to the in-memory two-pass result: jump detection
+// reads exactly times[k-1] and times[k] before any later ramp touches
+// them, jobs apply in the same ascending order over the same current
+// values, and the clamp sweep can never reach below the deque front.
+type clcSink struct {
+	opt    clc.Options
+	acct   *accounting
+	ranks  []clcRank
+	rep    *clc.Report // EventsMoved / MaxAdvance accumulate here
+	spills *spillSet
+}
+
+type clcEntry struct {
+	orig, t1, cur, ub float64
+	final             bool
+}
+
+type rampJob struct {
+	k                        int // event index of the jump
+	rampStart, rampEnd, jump float64
+}
+
+type clcRank struct {
+	started          bool
+	prevOrig, prevT1 float64
+	deque            []clcEntry
+	base             int // event index of deque[0]
+	jobs             []rampJob
+	closed           bool
+	w                *spillWriter
+}
+
+func newCLCSink(ranks int, opt clc.Options, acct *accounting, rep *clc.Report, spills *spillSet) (*clcSink, error) {
+	s := &clcSink{opt: opt, acct: acct, ranks: make([]clcRank, ranks), rep: rep, spills: spills}
+	for r := range s.ranks {
+		w, err := spills.writer(r)
+		if err != nil {
+			return nil, err
+		}
+		s.ranks[r].w = w
+	}
+	return s, nil
+}
+
+func (s *clcSink) event(rank, idx int, ev *trace.Event, mapped float64, in []InEdge) (EdgeData, error) {
+	r := &s.ranks[rank]
+	inBound := math.Inf(-1)
+	for _, e := range in {
+		if b := e.Data.Value + s.opt.Gamma*e.LMin; b > inBound {
+			inBound = b
+		}
+	}
+	t1 := clc.ForwardCore(mapped, r.prevOrig, r.prevT1, inBound, !r.started, s.opt)
+
+	if r.started && s.opt.BackwardWindow > 0 {
+		deltaPrev := r.prevT1 - r.prevOrig
+		deltaCur := t1 - mapped
+		jump := deltaCur - deltaPrev
+		if jump > s.opt.MinSpacing {
+			rampEnd := t1
+			rampStart := rampEnd - s.opt.BackwardWindow
+			if rampStart < rampEnd {
+				r.jobs = append(r.jobs, rampJob{k: idx, rampStart: rampStart, rampEnd: rampEnd, jump: jump})
+			}
+		}
+	}
+
+	r.deque = append(r.deque, clcEntry{orig: mapped, t1: t1, cur: t1, ub: math.Inf(1)})
+	if err := s.acct.add(rank, 1); err != nil {
+		return EdgeData{}, err
+	}
+	for _, e := range in {
+		s.resolveUB(e.From, t1-s.opt.Gamma*e.LMin)
+	}
+	r.prevOrig, r.prevT1, r.started = mapped, t1, true
+	if err := s.pump(rank); err != nil {
+		return EdgeData{}, err
+	}
+	return EdgeData{Raw: ev.Time, Mapped: mapped, Value: t1}, nil
+}
+
+// resolveUB lowers the upper bound of an edge tail: it may not be pushed
+// past head_t1 - γ·l_min (the same conservative bound the in-memory
+// backward pass computes from post-forward times).
+func (s *clcSink) resolveUB(ref EventRef, bound float64) {
+	r := &s.ranks[ref.Rank]
+	pos := ref.Idx - r.base
+	if pos < 0 {
+		// already emitted: only entries never reached by any ramp are
+		// emitted before their bounds settle, so the bound is moot
+		return
+	}
+	if bound < r.deque[pos].ub {
+		r.deque[pos].ub = bound
+	}
+}
+
+// final marks an entry's out-edges complete, possibly unblocking jobs.
+func (s *clcSink) final(ref EventRef) error {
+	r := &s.ranks[ref.Rank]
+	pos := ref.Idx - r.base
+	if pos < 0 {
+		return nil
+	}
+	r.deque[pos].final = true
+	return s.pump(ref.Rank)
+}
+
+func (s *clcSink) rankDone(rank int) error {
+	s.ranks[rank].closed = true
+	return s.pump(rank)
+}
+
+// pump applies every ready ramp job in order, then emits settled
+// entries from the deque front.
+func (s *clcSink) pump(rank int) error {
+	r := &s.ranks[rank]
+	for len(r.jobs) > 0 {
+		job := r.jobs[0]
+		pos := job.k - 1 - r.base
+		if pos < 0 {
+			return fmt.Errorf("stream: clc ramp target below deque base (rank %d)", rank)
+		}
+		ready := true
+		for j := pos; j >= 0; j-- {
+			if r.deque[j].cur <= job.rampStart {
+				break
+			}
+			if !r.deque[j].final {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			break
+		}
+		for j := pos; j >= 0; j-- {
+			e := &r.deque[j]
+			if e.cur <= job.rampStart {
+				break
+			}
+			desired := job.jump * (e.cur - job.rampStart) / (job.rampEnd - job.rampStart)
+			if desired <= 0 {
+				continue
+			}
+			allowed := desired
+			if slack := e.ub - e.cur; slack < allowed {
+				allowed = slack
+			}
+			if allowed > 0 {
+				e.cur += allowed
+			}
+		}
+		for j := pos; j >= 0; j-- {
+			if m := r.deque[j+1].cur - s.opt.MinSpacing; r.deque[j].cur > m {
+				r.deque[j].cur = m
+			}
+			if r.deque[j].cur < r.deque[j].t1 {
+				r.deque[j].cur = r.deque[j].t1
+			}
+		}
+		r.jobs = r.jobs[1:]
+	}
+
+	for len(r.jobs) == 0 && len(r.deque) > 0 {
+		if !r.closed {
+			if len(r.deque) < 2 {
+				// the newest entry may still be ramped by the next jump
+				break
+			}
+			front := r.deque[0]
+			if front.cur > r.prevT1-s.opt.BackwardWindow {
+				break
+			}
+			if front.cur > r.deque[1].t1-s.opt.MinSpacing {
+				break
+			}
+		}
+		front := r.deque[0]
+		if err := r.w.write(front.cur); err != nil {
+			return err
+		}
+		if front.cur != front.orig { //tsync:exact — EventsMoved counts bit-level changes, mirroring clc.Correct
+			s.rep.EventsMoved++
+			if adv := front.cur - front.orig; adv > s.rep.MaxAdvance {
+				s.rep.MaxAdvance = adv
+			}
+		}
+		r.deque = r.deque[1:]
+		r.base++
+		if err := s.acct.add(rank, -1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *clcSink) flush() error {
+	for rank := range s.ranks {
+		r := &s.ranks[rank]
+		if !r.closed {
+			return fmt.Errorf("stream: clc flush with rank %d still open", rank)
+		}
+		if err := s.pump(rank); err != nil {
+			return err
+		}
+		if len(r.jobs) > 0 || len(r.deque) > 0 {
+			return fmt.Errorf("stream: clc flush left rank %d with %d jobs, %d entries (missing finality)", rank, len(r.jobs), len(r.deque))
+		}
+		if err := r.w.close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// teeSink fans one engine walk out to two sinks; the second sink's edge
+// data is what travels along the graph.
+type teeSink struct{ a, b sink }
+
+func (t teeSink) event(rank, idx int, ev *trace.Event, mapped float64, in []InEdge) (EdgeData, error) {
+	if _, err := t.a.event(rank, idx, ev, mapped, in); err != nil {
+		return EdgeData{}, err
+	}
+	return t.b.event(rank, idx, ev, mapped, in)
+}
+
+func (t teeSink) final(ref EventRef) error {
+	if err := t.a.final(ref); err != nil {
+		return err
+	}
+	return t.b.final(ref)
+}
+
+func (t teeSink) rankDone(rank int) error {
+	if err := t.a.rankDone(rank); err != nil {
+		return err
+	}
+	return t.b.rankDone(rank)
+}
+
+func (t teeSink) flush() error {
+	if err := t.a.flush(); err != nil {
+		return err
+	}
+	return t.b.flush()
+}

@@ -1,0 +1,280 @@
+package stream_test
+
+// Differential property tests pinning the streaming pipeline to the
+// in-memory one: for randomized synthetic traces, every window size and
+// worker count must yield bit-identical output event bytes, experiment
+// checksums, censuses, CLC reports, and distortion figures.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"tsync/internal/analysis"
+	"tsync/internal/clc"
+	"tsync/internal/core"
+	"tsync/internal/experiments"
+	"tsync/internal/lclock"
+	"tsync/internal/measure"
+	"tsync/internal/stream"
+	"tsync/internal/trace"
+	"tsync/internal/xrand"
+)
+
+const diffSeed = 0xd1ff5eed
+
+var diffWindows = []int{1, 16, 4096}
+var diffWorkers = []int{1, 4}
+
+// synthFile writes a synthetic trace to a temp file and returns its path
+// with the exact offset tables.
+func synthFile(t *testing.T, spec stream.SynthSpec) (string, []measure.Offset, []measure.Offset) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "synth.etr")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init, fin, err := stream.Synth(spec, f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatalf("Synth: %v", err)
+	}
+	return path, init, fin
+}
+
+func openSource(t *testing.T, path string) *stream.Source {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	src, err := stream.NewSource(f)
+	if err != nil {
+		t.Fatalf("NewSource: %v", err)
+	}
+	return src
+}
+
+func readTrace(t *testing.T, path string) *trace.Trace {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	return tr
+}
+
+func diffSpecs() []stream.SynthSpec {
+	return []stream.SynthSpec{
+		{Ranks: 2, Steps: 30, CollEvery: 0, Seed: xrand.SeedAt(diffSeed, 0)},
+		{Ranks: 3, Steps: 25, CollEvery: 3, Seed: xrand.SeedAt(diffSeed, 1)},
+		{Ranks: 5, Steps: 20, CollEvery: 4, Seed: xrand.SeedAt(diffSeed, 2)},
+	}
+}
+
+func TestDifferentialPipeline(t *testing.T) {
+	narrow := clc.DefaultOptions()
+	narrow.BackwardWindow = 2e-3
+	noBackward := clc.DefaultOptions()
+	noBackward.BackwardWindow = 0
+	pipes := []struct {
+		name string
+		base core.Base
+		clc  bool
+		opts clc.Options
+	}{
+		{"none", core.BaseNone, false, clc.Options{}},
+		{"interp-clc", core.BaseInterp, true, clc.Options{}},
+		{"align-clc-narrow", core.BaseAlign, true, narrow},
+		{"interp-clc-noback", core.BaseInterp, true, noBackward},
+	}
+	for si, spec := range diffSpecs() {
+		path, init, fin := synthFile(t, spec)
+		raw := readTrace(t, path)
+		src := openSource(t, path)
+		for _, pipe := range pipes {
+			mem, err := core.Pipeline{Base: pipe.base, CLC: pipe.clc, CLCOptions: pipe.opts}.Run(raw, init, fin)
+			if err != nil {
+				t.Fatalf("spec %d %s: in-memory: %v", si, pipe.name, err)
+			}
+			var memBuf bytes.Buffer
+			if _, err := trace.Write(&memBuf, mem.Trace); err != nil {
+				t.Fatal(err)
+			}
+			memSum, err := experiments.ChecksumTrace(mem.Trace)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, window := range diffWindows {
+				for _, workers := range diffWorkers {
+					name := fmt.Sprintf("spec%d/%s/w%d/k%d", si, pipe.name, window, workers)
+					t.Run(name, func(t *testing.T) {
+						var out bytes.Buffer
+						p := stream.Pipeline{
+							Base: pipe.base, CLC: pipe.clc, CLCOptions: pipe.opts,
+							Options: stream.Options{Window: window, Workers: workers},
+						}
+						res, err := p.Run(src, &out, init, fin)
+						if err != nil {
+							t.Fatalf("streaming: %v", err)
+						}
+						if !bytes.Equal(out.Bytes(), memBuf.Bytes()) {
+							t.Fatalf("output bytes differ: %d vs %d bytes", out.Len(), memBuf.Len())
+						}
+						gotSum, err := experiments.ChecksumTraceFile(bytes.NewReader(out.Bytes()))
+						if err != nil {
+							t.Fatal(err)
+						}
+						if gotSum != memSum {
+							t.Fatalf("trace checksum %s != in-memory %s", gotSum, memSum)
+						}
+						if !reflect.DeepEqual(res.Before, mem.Before) {
+							t.Errorf("Before census differs:\n stream %+v\n memory %+v", res.Before, mem.Before)
+						}
+						if !reflect.DeepEqual(res.After, mem.After) {
+							t.Errorf("After census differs:\n stream %+v\n memory %+v", res.After, mem.After)
+						}
+						if res.CLCReport != mem.CLCReport {
+							t.Errorf("CLC report differs:\n stream %+v\n memory %+v", res.CLCReport, mem.CLCReport)
+						}
+						if res.Distortion != mem.Distortion {
+							t.Errorf("distortion differs:\n stream %+v\n memory %+v", res.Distortion, mem.Distortion)
+						}
+						if res.Stats.Events != src.Events() {
+							t.Errorf("stats counted %d events, source has %d", res.Stats.Events, src.Events())
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialIdentity: with no correction at all, the streamed
+// output must reproduce the input file byte for byte.
+func TestDifferentialIdentity(t *testing.T) {
+	path, _, _ := synthFile(t, stream.SynthSpec{Ranks: 3, Steps: 10, CollEvery: 2, Seed: xrand.SeedAt(diffSeed, 7)})
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := openSource(t, path)
+	var out bytes.Buffer
+	if _, err := (stream.Pipeline{Base: core.BaseNone}).Run(src, &out, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Fatalf("identity pipeline rewrote bytes: %d vs %d", out.Len(), len(want))
+	}
+}
+
+func TestDifferentialCensus(t *testing.T) {
+	path, _, _ := synthFile(t, stream.SynthSpec{Ranks: 4, Steps: 15, CollEvery: 3, Seed: xrand.SeedAt(diffSeed, 3)})
+	raw := readTrace(t, path)
+	want, err := analysis.CensusOf(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := openSource(t, path)
+	got, stats, err := stream.Census(src, stream.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("census differs:\n stream %+v\n memory %+v", got, want)
+	}
+	if stats.Events != src.Events() {
+		t.Errorf("stats counted %d events, source has %d", stats.Events, src.Events())
+	}
+}
+
+func TestDifferentialLamport(t *testing.T) {
+	path, _, _ := synthFile(t, stream.SynthSpec{Ranks: 3, Steps: 12, CollEvery: 4, Seed: xrand.SeedAt(diffSeed, 4)})
+	raw := readTrace(t, path)
+	const delta = 1e-6
+	want, err := lclock.LamportSchedule(raw, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantBuf bytes.Buffer
+	if _, err := trace.Write(&wantBuf, want); err != nil {
+		t.Fatal(err)
+	}
+	src := openSource(t, path)
+	for _, workers := range diffWorkers {
+		var out bytes.Buffer
+		if _, err := stream.LamportSchedule(src, delta, &out, stream.Options{Workers: workers}); err != nil {
+			t.Fatalf("workers %d: %v", workers, err)
+		}
+		if !bytes.Equal(out.Bytes(), wantBuf.Bytes()) {
+			t.Fatalf("workers %d: Lamport schedule bytes differ", workers)
+		}
+	}
+}
+
+func TestWindowPolicyError(t *testing.T) {
+	// a collective holds two pending items per rank, so window 1 under
+	// PolicyError must fail fast
+	path, _, _ := synthFile(t, stream.SynthSpec{Ranks: 3, Steps: 6, CollEvery: 1, Seed: xrand.SeedAt(diffSeed, 5)})
+	src := openSource(t, path)
+	_, err := (stream.Pipeline{
+		Base:    core.BaseNone,
+		Options: stream.Options{Window: 1, Policy: stream.PolicyError},
+	}).Run(src, nil, nil, nil)
+	if !errors.Is(err, stream.ErrWindowExceeded) {
+		t.Fatalf("want ErrWindowExceeded, got %v", err)
+	}
+	// the same run under PolicySpill completes and records the overflow
+	var out bytes.Buffer
+	res, err := (stream.Pipeline{
+		Base:    core.BaseNone,
+		Options: stream.Options{Window: 1, Policy: stream.PolicySpill},
+	}).Run(src, &out, nil, nil)
+	if err != nil {
+		t.Fatalf("PolicySpill: %v", err)
+	}
+	if res.Stats.SpilledEvents == 0 {
+		t.Error("PolicySpill recorded no spilled events despite window 1")
+	}
+	if res.Stats.MaxPending <= 1 {
+		t.Errorf("MaxPending = %d, want > window", res.Stats.MaxPending)
+	}
+}
+
+func TestStreamingUnsupported(t *testing.T) {
+	path, init, fin := synthFile(t, stream.SynthSpec{Ranks: 2, Steps: 4, Seed: xrand.SeedAt(diffSeed, 6)})
+	src := openSource(t, path)
+	cases := []stream.Pipeline{
+		{Base: core.BaseRegression},
+		{Base: core.BaseConvexHull},
+		{Base: core.BaseMinMax},
+		{Base: core.BaseNone, CLC: true, CLCOptions: func() clc.Options {
+			o := clc.DefaultOptions()
+			o.SharedMemory = true
+			return o
+		}()},
+		{Base: core.BaseNone, CLC: true, CLCOptions: func() clc.Options {
+			o := clc.DefaultOptions()
+			o.Domains = [][]int{{0, 1}}
+			return o
+		}()},
+	}
+	for i, p := range cases {
+		if _, err := p.Run(src, nil, init, fin); !errors.Is(err, stream.ErrUnsupported) {
+			t.Errorf("case %d: want ErrUnsupported, got %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,434 @@
+package stream
+
+import (
+	"container/heap"
+	"fmt"
+	"io"
+
+	"tsync/internal/topology"
+	"tsync/internal/trace"
+)
+
+// EventRef names one event in a trace (mirrors lclock.EventRef without
+// importing it, so the dependency points analysis-ward only).
+type EventRef struct {
+	Rank, Idx int
+}
+
+// EdgeData is the payload carried along a happened-before edge from its
+// tail to its head: the tail's timestamps plus one sink-defined value
+// (the CLC forward time, a Lamport clock, ...).
+type EdgeData struct {
+	Raw    float64 // original local timestamp of the tail event
+	Mapped float64 // tail timestamp after this pass's time mapper
+	Value  float64 // sink-carried value
+}
+
+// InEdge is one resolved incoming happened-before edge of an event.
+type InEdge struct {
+	From EventRef
+	Data EdgeData
+	// LMin is the unscaled minimum message latency between the two
+	// cores (Eq. 1's l_min); sinks apply their own γ.
+	LMin float64
+	// Logical marks collective-derived edges ("logical messages").
+	Logical bool
+}
+
+// sink consumes the merged event stream. The engine guarantees: event is
+// called exactly once per event, in a topological order of the
+// happened-before graph, with every incoming cross edge resolved; final
+// is called exactly once per event, after every out-edge's head has been
+// delivered (immediately for events with no cross out-edges); rankDone
+// after a rank's last event; flush after everything.
+type sink interface {
+	event(rank, idx int, ev *trace.Event, mapped float64, in []InEdge) (EdgeData, error)
+	final(ref EventRef) error
+	rankDone(rank int) error
+	flush() error
+}
+
+// chanKey identifies a FIFO message channel (MPI non-overtaking rule),
+// exactly like trace.Messages.
+type chanKey struct {
+	from, to, tag, comm int32
+}
+
+type sendEntry struct {
+	ref  EventRef
+	data EdgeData
+}
+
+type instKey struct {
+	comm, inst int32
+}
+
+// instance is one open collective operation.
+type instance struct {
+	key    instKey
+	op     trace.CollOp
+	root   int32
+	begins map[int]sendEntry
+	ends   map[int]bool
+	// endsSeen guards against orderings the oracle-time merge cannot
+	// support (an edge tail arriving after one of its heads).
+	endsSeen int
+}
+
+// collClass partitions collective ops by their edge semantics.
+type collClass int
+
+const (
+	oneToN collClass = iota // Bcast, Scatter: root begin → member ends
+	nToOne                  // Reduce, Gather: member begins → root end
+	nToN                    // Barrier, Allreduce, Allgather, Alltoall
+)
+
+func classOf(op trace.CollOp) collClass {
+	switch op {
+	case trace.OpBcast, trace.OpScatter:
+		return oneToN
+	case trace.OpReduce, trace.OpGather:
+		return nToOne
+	}
+	return nToN
+}
+
+// engine merges the per-rank event streams in (True, rank) order — a
+// topological order of the happened-before graph under the simulator's
+// oracle-time guarantee — matching messages and collectives on the fly
+// and feeding the sink.
+type engine struct {
+	src    *Source
+	mapper timeMapper
+	snk    sink
+	opt    Options
+	acct   *accounting
+
+	cursors []*Cursor
+	heads   []trace.Event
+	idx     []int
+	done    []bool
+	h       mergeHeap
+
+	fifos map[chanKey][]sendEntry
+	insts map[instKey]*instance
+	// open[comm] lists open instances of one communicator in arrival
+	// order; lastColl[comm][rank] is the highest instance rank has
+	// touched on it (-1 = never).
+	open     map[int32][]*instance
+	lastColl map[int32][]int32
+
+	inBuf []InEdge
+}
+
+// mergeHeap orders ranks by their head event's (True, rank).
+type mergeHeap struct {
+	e *engine
+	r []int
+}
+
+func (m *mergeHeap) Len() int { return len(m.r) }
+func (m *mergeHeap) Less(i, j int) bool {
+	a, b := m.r[i], m.r[j]
+	ta, tb := m.e.heads[a].True, m.e.heads[b].True
+	if ta != tb { //tsync:exact — heap order on oracle times; ties break by rank below
+		return ta < tb
+	}
+	return a < b
+}
+func (m *mergeHeap) Swap(i, j int) { m.r[i], m.r[j] = m.r[j], m.r[i] }
+func (m *mergeHeap) Push(x any)    { m.r = append(m.r, x.(int)) }
+func (m *mergeHeap) Pop() any      { v := m.r[len(m.r)-1]; m.r = m.r[:len(m.r)-1]; return v }
+
+func walk(src *Source, m timeMapper, snk sink, opt Options, acct *accounting) error {
+	n := src.Ranks()
+	e := &engine{
+		src: src, mapper: m, snk: snk, opt: opt,
+		acct:     acct,
+		cursors:  make([]*Cursor, n),
+		heads:    make([]trace.Event, n),
+		idx:      make([]int, n),
+		done:     make([]bool, n),
+		fifos:    map[chanKey][]sendEntry{},
+		insts:    map[instKey]*instance{},
+		open:     map[int32][]*instance{},
+		lastColl: map[int32][]int32{},
+	}
+	e.h.e = e
+	for r := 0; r < n; r++ {
+		e.cursors[r] = src.Cursor(r)
+		if err := e.advance(r); err != nil {
+			return err
+		}
+	}
+	for e.h.Len() > 0 {
+		r := heap.Pop(&e.h).(int)
+		if err := e.process(r); err != nil {
+			return err
+		}
+		e.idx[r]++
+		if err := e.advance(r); err != nil {
+			return err
+		}
+	}
+	for k, q := range e.fifos {
+		if len(q) > 0 {
+			return fmt.Errorf("stream: %d unmatched Sends from %d to %d tag %d", len(q), k.from, k.to, k.tag)
+		}
+	}
+	for _, ins := range e.insts {
+		return fmt.Errorf("stream: collective comm %d instance %d incomplete at end of trace (%d begins, %d ends)",
+			ins.key.comm, ins.key.inst, len(ins.begins), len(ins.ends))
+	}
+	return e.snk.flush()
+}
+
+// advance loads rank's next event into the merge heap, handling rank
+// exhaustion.
+func (e *engine) advance(r int) error {
+	err := e.cursors[r].Next(&e.heads[r])
+	if err == io.EOF {
+		e.done[r] = true
+		if err := e.snk.rankDone(r); err != nil {
+			return err
+		}
+		// a finished rank can complete instances it will never join
+		for comm := range e.open {
+			if err := e.completeInstances(comm); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	heap.Push(&e.h, r)
+	return nil
+}
+
+// lmin returns the unscaled minimum latency between two ranks' cores.
+func (e *engine) lmin(a, b int) float64 {
+	if a < 0 || a >= len(e.src.procs) || b < 0 || b >= len(e.src.procs) {
+		return 0
+	}
+	return e.src.head.MinLatency[topology.Relate(e.src.procs[a].Core, e.src.procs[b].Core)]
+}
+
+func (e *engine) process(r int) error {
+	ev := &e.heads[r]
+	idx := e.idx[r]
+	mapped, err := e.mapper.mapTime(r, idx, ev)
+	if err != nil {
+		return err
+	}
+	in := e.inBuf[:0]
+	var matchedSend EventRef
+	var haveMatch bool
+
+	switch ev.Kind {
+	case trace.Recv:
+		k := chanKey{from: ev.Partner, to: int32(r), tag: ev.Tag, comm: ev.Comm}
+		q := e.fifos[k]
+		if len(q) == 0 {
+			return fmt.Errorf("stream: rank %d event %d: Recv from %d tag %d has no matching Send processed (unmatched message or oracle-order violation)", r, idx, ev.Partner, ev.Tag)
+		}
+		se := q[0]
+		if len(q) == 1 {
+			delete(e.fifos, k)
+		} else {
+			e.fifos[k] = q[1:]
+		}
+		if err := e.acct.add(se.ref.Rank, -1); err != nil {
+			return err
+		}
+		in = append(in, InEdge{From: se.ref, Data: se.data, LMin: e.lmin(se.ref.Rank, r)})
+		matchedSend, haveMatch = se.ref, true
+	case trace.CollEnd:
+		ins, err := e.instanceFor(r, ev, false)
+		if err != nil {
+			return err
+		}
+		if _, ok := ins.begins[r]; !ok {
+			return fmt.Errorf("stream: rank %d ended collective comm %d instance %d without beginning it", r, ev.Comm, ev.Instance)
+		}
+		root := int(ins.root)
+		switch classOf(ins.op) {
+		case oneToN:
+			if r != root {
+				if rb, ok := ins.begins[root]; ok {
+					in = append(in, InEdge{From: rb.ref, Data: rb.data, LMin: e.lmin(root, r), Logical: true})
+				}
+			}
+		case nToOne:
+			if r == root {
+				for q, rec := range ins.begins {
+					if q == r {
+						continue
+					}
+					in = append(in, InEdge{From: rec.ref, Data: rec.data, LMin: e.lmin(q, r), Logical: true})
+				}
+			}
+		case nToN:
+			for q, rec := range ins.begins {
+				if q == r {
+					continue
+				}
+				in = append(in, InEdge{From: rec.ref, Data: rec.data, LMin: e.lmin(q, r), Logical: true})
+			}
+		}
+	}
+
+	data, err := e.snk.event(r, idx, ev, mapped, in)
+	if err != nil {
+		return err
+	}
+	e.inBuf = in[:0]
+	ref := EventRef{Rank: r, Idx: idx}
+
+	switch ev.Kind {
+	case trace.Send:
+		k := chanKey{from: int32(r), to: ev.Partner, tag: ev.Tag, comm: ev.Comm}
+		e.fifos[k] = append(e.fifos[k], sendEntry{ref: ref, data: data})
+		if err := e.acct.add(r, 1); err != nil {
+			return err
+		}
+	case trace.Recv:
+		if haveMatch {
+			// the send's only out-edge has been delivered
+			if err := e.snk.final(matchedSend); err != nil {
+				return err
+			}
+		}
+		if err := e.snk.final(ref); err != nil {
+			return err
+		}
+	case trace.CollBegin:
+		ins, err := e.instanceFor(r, ev, true)
+		if err != nil {
+			return err
+		}
+		if _, dup := ins.begins[r]; dup {
+			return fmt.Errorf("stream: rank %d has duplicate CollBegin for comm %d instance %d", r, ev.Comm, ev.Instance)
+		}
+		if ins.endsSeen > 0 && classOf(ins.op) != oneToN {
+			return fmt.Errorf("stream: rank %d began collective comm %d instance %d after an end was processed (oracle-order violation)", r, ev.Comm, ev.Instance)
+		}
+		ins.begins[r] = sendEntry{ref: ref, data: data}
+		if err := e.acct.add(r, 1); err != nil {
+			return err
+		}
+		if err := e.touchColl(r, ev.Comm, ev.Instance); err != nil {
+			return err
+		}
+	case trace.CollEnd:
+		ins := e.insts[instKey{ev.Comm, ev.Instance}]
+		if ins.ends[r] {
+			return fmt.Errorf("stream: rank %d has duplicate CollEnd for comm %d instance %d", r, ev.Comm, ev.Instance)
+		}
+		ins.ends[r] = true
+		ins.endsSeen++
+		if err := e.acct.add(r, 1); err != nil {
+			return err
+		}
+		if err := e.snk.final(ref); err != nil {
+			return err
+		}
+		if err := e.touchColl(r, ev.Comm, ev.Instance); err != nil {
+			return err
+		}
+	default:
+		if err := e.snk.final(ref); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// instanceFor finds (or, for begins, creates) the collective instance of
+// an event, validating op consistency.
+func (e *engine) instanceFor(r int, ev *trace.Event, create bool) (*instance, error) {
+	k := instKey{ev.Comm, ev.Instance}
+	ins, ok := e.insts[k]
+	if !ok {
+		if !create {
+			return nil, fmt.Errorf("stream: rank %d ended collective comm %d instance %d without beginning it", r, ev.Comm, ev.Instance)
+		}
+		ins = &instance{key: k, op: ev.Op, root: ev.Root, begins: map[int]sendEntry{}, ends: map[int]bool{}}
+		e.insts[k] = ins
+		e.open[ev.Comm] = append(e.open[ev.Comm], ins)
+	}
+	if ins.op != ev.Op {
+		return nil, fmt.Errorf("stream: collective comm %d instance %d mixes ops %v and %v", ev.Comm, ev.Instance, ins.op, ev.Op)
+	}
+	return ins, nil
+}
+
+// touchColl records that rank has reached instance inst on comm,
+// enforcing per-communicator instance monotonicity, then re-checks the
+// communicator's open instances for completion.
+func (e *engine) touchColl(r int, comm, inst int32) error {
+	seen, ok := e.lastColl[comm]
+	if !ok {
+		seen = make([]int32, e.src.Ranks())
+		for i := range seen {
+			seen[i] = -1
+		}
+		e.lastColl[comm] = seen
+	}
+	if inst < seen[r] {
+		return fmt.Errorf("%w: rank %d revisits instance %d on comm %d after instance %d (collectives out of per-communicator order)", ErrUnsupported, r, inst, comm, seen[r])
+	}
+	seen[r] = inst
+	return e.completeInstances(comm)
+}
+
+// completeInstances finalizes every open instance of comm that no rank
+// can join or extend anymore: each rank has either delivered its end,
+// moved past the instance on this communicator, or finished its stream.
+func (e *engine) completeInstances(comm int32) error {
+	openList := e.open[comm]
+	kept := openList[:0]
+	seen := e.lastColl[comm]
+	for _, ins := range openList {
+		complete := true
+		for r := 0; r < e.src.Ranks(); r++ {
+			if ins.ends[r] {
+				continue
+			}
+			past := e.done[r] || (seen != nil && seen[r] > ins.key.inst)
+			if !past {
+				complete = false
+				break
+			}
+			if _, begun := ins.begins[r]; begun {
+				return fmt.Errorf("stream: rank %d began collective comm %d instance %d but never ended it", r, comm, ins.key.inst)
+			}
+		}
+		if !complete {
+			kept = append(kept, ins)
+			continue
+		}
+		for r, rec := range ins.begins {
+			if err := e.snk.final(rec.ref); err != nil {
+				return err
+			}
+			if err := e.acct.add(r, -1); err != nil {
+				return err
+			}
+		}
+		for r := range ins.ends {
+			if err := e.acct.add(r, -1); err != nil {
+				return err
+			}
+		}
+		delete(e.insts, ins.key)
+	}
+	if len(kept) == 0 {
+		delete(e.open, comm)
+	} else {
+		e.open[comm] = kept
+	}
+	return nil
+}

@@ -1,0 +1,310 @@
+package stream
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"tsync/internal/analysis"
+	"tsync/internal/clc"
+	"tsync/internal/core"
+	"tsync/internal/interp"
+	"tsync/internal/measure"
+	"tsync/internal/runner"
+	"tsync/internal/trace"
+)
+
+// Pipeline is the streaming counterpart of core.Pipeline: the same base
+// correction and CLC stages, run over an indexed trace file in bounded
+// memory. Its censuses, CLC report, distortion figures, and output trace
+// bytes are bit-identical to the in-memory path; the differential tests
+// in this package enforce that.
+type Pipeline struct {
+	// Base selects the base correction. The error-estimation bases need
+	// the full trace in memory and return ErrUnsupported.
+	Base core.Base
+	// CLC enables the controlled logical clock stage.
+	CLC bool
+	// CLCOptions tunes the CLC stage; zero value selects defaults.
+	// SharedMemory and Domains need the in-memory path.
+	CLCOptions clc.Options
+	// Options tune the streaming engine itself.
+	Options Options
+}
+
+// Result mirrors core.Result without the materialized trace.
+type Result struct {
+	Before, After analysis.Census
+	CLCReport     clc.Report
+	Distortion    analysis.Distortion
+	Stats         Stats
+}
+
+// baseMapper builds the base-correction time mapper, or ErrUnsupported
+// for bases that need the full trace.
+func (p Pipeline) baseMapper(init, fin []measure.Offset) (timeMapper, error) {
+	switch p.Base {
+	case core.BaseNone, "":
+		return identityMapper{}, nil
+	case core.BaseAlign:
+		corr, err := interp.AlignOnly(init)
+		if err != nil {
+			return nil, err
+		}
+		return corrMapper{corr}, nil
+	case core.BaseInterp:
+		corr, err := interp.Linear(init, fin)
+		if err != nil {
+			return nil, err
+		}
+		return corrMapper{corr}, nil
+	case core.BaseRegression, core.BaseConvexHull, core.BaseMinMax:
+		return nil, fmt.Errorf("%w: base %q fits pairwise maps over the full trace", ErrUnsupported, p.Base)
+	}
+	return nil, fmt.Errorf("stream: unknown base correction %q", p.Base)
+}
+
+// Run executes the pipeline over src, writing the corrected trace to out
+// unless out is nil (analysis only). The offset tables serve BaseAlign
+// (init) and BaseInterp (both), exactly as in core.Pipeline.Run.
+func (p Pipeline) Run(src *Source, out io.Writer, init, fin []measure.Offset) (*Result, error) {
+	opt := p.Options.withDefaults()
+	mapper, err := p.baseMapper(init, fin)
+	if err != nil {
+		return nil, err
+	}
+	opts := p.CLCOptions
+	if opts.Gamma == 0 {
+		opts = clc.DefaultOptions()
+	}
+	if p.CLC {
+		if opts.SharedMemory {
+			return nil, fmt.Errorf("%w: shared-memory CLC", ErrUnsupported)
+		}
+		if len(opts.Domains) > 0 {
+			return nil, fmt.Errorf("%w: clock domains", ErrUnsupported)
+		}
+		if err := opts.Validate(); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{}
+	res.Stats.Events = src.Events()
+	first := &censusSink{gamma: opts.Gamma}
+	var spills *spillSet
+
+	if p.CLC {
+		spills, err = newSpillSet(src.Ranks())
+		if err != nil {
+			return nil, err
+		}
+		defer spills.Close()
+		acct := newAccounting(src.Ranks(), opt, &res.Stats)
+		clcS, err := newCLCSink(src.Ranks(), opts, acct, &res.CLCReport, spills)
+		if err != nil {
+			return nil, err
+		}
+		if err := walk(src, mapper, teeSink{a: first, b: clcS}, opt, acct); err != nil {
+			return nil, err
+		}
+		res.CLCReport.ViolationsBefore = first.violations
+
+		second := &censusSink{gamma: opts.Gamma}
+		sm := spills.mapper()
+		err = walk(src, sm, second, opt, newAccounting(src.Ranks(), opt, &res.Stats))
+		if cerr := sm.close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.CLCReport.ViolationsAfter = second.violations
+		res.Before = first.raw
+		res.After = second.mapped
+	} else {
+		if err := walk(src, mapper, first, opt, newAccounting(src.Ranks(), opt, &res.Stats)); err != nil {
+			return nil, err
+		}
+		res.Before = first.raw
+		res.After = first.mapped
+	}
+
+	finalMapper := func() (timeMapper, func() error) {
+		if spills != nil {
+			m := spills.mapper()
+			return m, m.close
+		}
+		return mapper, func() error { return nil }
+	}
+
+	dm, closeDM := finalMapper()
+	res.Distortion, err = distortion(src, dm)
+	if cerr := closeDM(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if out != nil {
+		am, closeAM := finalMapper()
+		err = assemble(src, am, out, opt.Workers)
+		if cerr := closeAM(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// Census scans src's raw timestamps in one streaming pass, matching
+// analysis.CensusOf on the materialized trace bit for bit.
+func Census(src *Source, opt Options) (analysis.Census, Stats, error) {
+	opt = opt.withDefaults()
+	var stats Stats
+	stats.Events = src.Events()
+	s := &censusSink{gamma: clc.DefaultOptions().Gamma}
+	if err := walk(src, identityMapper{}, s, opt, newAccounting(src.Ranks(), opt, &stats)); err != nil {
+		return analysis.Census{}, stats, err
+	}
+	return s.raw, stats, nil
+}
+
+// distortion replicates analysis.DistortionBetween over (raw, mapped)
+// timestamp pairs: one sequential rank-major sweep, so the float
+// accumulation order — and therefore every bit of MeanAbs — matches the
+// in-memory comparison.
+func distortion(src *Source, final timeMapper) (analysis.Distortion, error) {
+	var d analysis.Distortion
+	var sum float64
+	var ev trace.Event
+	for rank := 0; rank < src.Ranks(); rank++ {
+		cur := src.Cursor(rank)
+		var prevRaw, prevFin float64
+		for idx := 0; idx < src.Procs()[rank].EventCount; idx++ {
+			if err := cur.Next(&ev); err != nil {
+				return d, err
+			}
+			ft, err := final.mapTime(rank, idx, &ev)
+			if err != nil {
+				return d, err
+			}
+			if idx > 0 {
+				origIv := ev.Time - prevRaw
+				corrIv := ft - prevFin
+				delta := corrIv - origIv
+				if math.Abs(delta) > d.MaxAbs {
+					d.MaxAbs = math.Abs(delta)
+				}
+				if corrIv < origIv {
+					d.Shrunk++
+				}
+				sum += math.Abs(delta)
+				d.N++
+			}
+			prevRaw, prevFin = ev.Time, ft
+		}
+	}
+	if d.N > 0 {
+		d.MeanAbs = sum / float64(d.N)
+	}
+	return d, nil
+}
+
+// assemble writes the output trace: src's events with their mapped
+// timestamps, through the same encoder the in-memory trace.Write uses,
+// so the bytes are identical. With workers > 1 the per-rank event blocks
+// are encoded concurrently into temp files and spliced in rank order —
+// the bytes cannot differ, only the wall time.
+func assemble(src *Source, m timeMapper, out io.Writer, workers int) error {
+	ew, err := trace.NewEventWriter(out, src.Header())
+	if err != nil {
+		return err
+	}
+	if workers > 1 && src.Ranks() > 1 {
+		return assembleParallel(src, m, ew, workers)
+	}
+	var ev trace.Event
+	for rank := 0; rank < src.Ranks(); rank++ {
+		ph := src.Procs()[rank]
+		if err := ew.BeginProc(ph); err != nil {
+			return err
+		}
+		cur := src.Cursor(rank)
+		for idx := 0; idx < ph.EventCount; idx++ {
+			if err := cur.Next(&ev); err != nil {
+				return err
+			}
+			ft, err := m.mapTime(rank, idx, &ev)
+			if err != nil {
+				return err
+			}
+			ev.SetTime(ft)
+			if err := ew.Write(&ev); err != nil {
+				return err
+			}
+		}
+	}
+	return ew.Close()
+}
+
+func assembleParallel(src *Source, m timeMapper, ew *trace.EventWriter, workers int) error {
+	dir, err := os.MkdirTemp("", "tsync-asm-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	paths, err := runner.Map(runner.New(workers), src.Ranks(), func(rank int) (string, error) {
+		path := filepath.Join(dir, fmt.Sprintf("rank%06d.e", rank))
+		f, err := os.Create(path)
+		if err != nil {
+			return "", err
+		}
+		defer f.Close()
+		enc := trace.NewEventEncoder(f)
+		cur := src.Cursor(rank)
+		var ev trace.Event
+		for idx := 0; idx < src.Procs()[rank].EventCount; idx++ {
+			if err := cur.Next(&ev); err != nil {
+				return "", err
+			}
+			ft, err := m.mapTime(rank, idx, &ev)
+			if err != nil {
+				return "", err
+			}
+			ev.SetTime(ft)
+			if err := enc.Encode(&ev); err != nil {
+				return "", err
+			}
+		}
+		if err := enc.Flush(); err != nil {
+			return "", err
+		}
+		return path, f.Close()
+	})
+	if err != nil {
+		return err
+	}
+	for rank, path := range paths {
+		if err := ew.BeginProc(src.Procs()[rank]); err != nil {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		err = ew.CopyEvents(f, src.Procs()[rank].EventCount)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return ew.Close()
+}

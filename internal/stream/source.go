@@ -1,0 +1,115 @@
+package stream
+
+import (
+	"fmt"
+	"io"
+
+	"tsync/internal/trace"
+)
+
+// Source is an indexed .etr file: the header and per-process metadata
+// are held in memory (O(ranks + regions)), while events stay on disk and
+// are decoded on demand through per-rank cursors. The index is built by
+// one linear decode pass, so a corrupt or truncated file fails here with
+// trace.ErrBadFormat before any analysis starts.
+type Source struct {
+	r     io.ReaderAt
+	head  trace.Header
+	procs []trace.ProcHeader
+	// eventOff[i] and endOff[i] bound proc i's event bytes.
+	eventOff, endOff []int64
+	// firstRaw[i] is proc i's first event Time (0 when it has none);
+	// the Lamport schedule and summary passes need it without a decode.
+	firstRaw []float64
+	events   int64
+}
+
+// NewSource indexes a trace readable at r. The reader must cover the
+// whole encoded trace.
+func NewSource(r io.ReaderAt) (*Source, error) {
+	const probe = 1 << 62 // section length; reads stop at EOF
+	er, err := trace.NewEventReader(io.NewSectionReader(r, 0, probe))
+	if err != nil {
+		return nil, err
+	}
+	s := &Source{r: r, head: er.Header()}
+	for {
+		ph, err := er.NextProc()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if ph.Rank != len(s.procs) {
+			return nil, fmt.Errorf("stream: proc %d has rank %d", len(s.procs), ph.Rank)
+		}
+		s.procs = append(s.procs, ph)
+		s.eventOff = append(s.eventOff, er.Offset())
+		first := 0.0
+		prevTrue := 0.0
+		var ev trace.Event
+		for j := 0; j < ph.EventCount; j++ {
+			if err := er.Read(&ev); err != nil {
+				return nil, err
+			}
+			if j == 0 {
+				first = ev.Time
+				prevTrue = ev.True
+			} else if ev.True < prevTrue {
+				return nil, fmt.Errorf("stream: rank %d event %d: oracle time regressed", ph.Rank, j)
+			} else {
+				prevTrue = ev.True
+			}
+			s.events++
+		}
+		s.firstRaw = append(s.firstRaw, first)
+		s.endOff = append(s.endOff, er.Offset())
+	}
+	return s, nil
+}
+
+// Header returns the file header.
+func (s *Source) Header() trace.Header { return s.head }
+
+// Procs returns the per-process headers.
+func (s *Source) Procs() []trace.ProcHeader { return s.procs }
+
+// Ranks returns the process count.
+func (s *Source) Ranks() int { return len(s.procs) }
+
+// Events returns the total event count.
+func (s *Source) Events() int64 { return s.events }
+
+// FirstTime returns rank's first event timestamp (its raw local Time),
+// or 0 when the rank recorded no events.
+func (s *Source) FirstTime(rank int) float64 { return s.firstRaw[rank] }
+
+// Cursor is a sequential decoder over one rank's events.
+type Cursor struct {
+	d         *trace.EventDecoder
+	remaining int
+}
+
+// Cursor opens a fresh decoder over rank's events. Cursors are
+// independent; any number may be open at once.
+func (s *Source) Cursor(rank int) *Cursor {
+	sec := io.NewSectionReader(s.r, s.eventOff[rank], s.endOff[rank]-s.eventOff[rank])
+	return &Cursor{d: trace.NewEventDecoder(sec), remaining: s.procs[rank].EventCount}
+}
+
+// Next decodes the rank's next event into ev, returning io.EOF after the
+// last one.
+func (c *Cursor) Next(ev *trace.Event) error {
+	if c.remaining == 0 {
+		return io.EOF
+	}
+	if err := c.d.Decode(ev); err != nil {
+		if err == io.EOF {
+			return io.ErrUnexpectedEOF
+		}
+		return err
+	}
+	c.remaining--
+	return nil
+}

@@ -1,0 +1,138 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"tsync/internal/interp"
+	"tsync/internal/trace"
+)
+
+// timeMapper produces the pipeline's current timestamp for an event. The
+// engine and the assembly/distortion passes consume events of each rank
+// strictly in order, so mappers may be sequential readers.
+type timeMapper interface {
+	// mapTime returns the mapped timestamp of rank's idx-th event.
+	mapTime(rank, idx int, ev *trace.Event) (float64, error)
+}
+
+// identityMapper keeps raw local timestamps (BaseNone).
+type identityMapper struct{}
+
+func (identityMapper) mapTime(_, _ int, ev *trace.Event) (float64, error) { return ev.Time, nil }
+
+// corrMapper applies an interp correction — the exact mapTime calls the
+// in-memory Correction.Apply makes, so values are bit-identical.
+type corrMapper struct{ c *interp.Correction }
+
+func (m corrMapper) mapTime(rank, _ int, ev *trace.Event) (float64, error) {
+	return m.c.Map(rank, ev.Time), nil
+}
+
+// spillSet is a directory of per-rank float64 streams holding finalized
+// corrected timestamps: the CLC and Lamport sinks write them as entries
+// finalize, and later passes read them back in lockstep with the events.
+type spillSet struct {
+	dir   string
+	paths []string
+}
+
+func newSpillSet(ranks int) (*spillSet, error) {
+	dir, err := os.MkdirTemp("", "tsync-stream-")
+	if err != nil {
+		return nil, err
+	}
+	s := &spillSet{dir: dir, paths: make([]string, ranks)}
+	for i := range s.paths {
+		s.paths[i] = filepath.Join(dir, fmt.Sprintf("rank%06d.t", i))
+	}
+	return s, nil
+}
+
+func (s *spillSet) Close() error { return os.RemoveAll(s.dir) }
+
+// spillWriter appends float64s to one rank's stream.
+type spillWriter struct {
+	f  *os.File
+	bw *bufio.Writer
+	n  int64
+}
+
+func (s *spillSet) writer(rank int) (*spillWriter, error) {
+	f, err := os.Create(s.paths[rank])
+	if err != nil {
+		return nil, err
+	}
+	return &spillWriter{f: f, bw: bufio.NewWriter(f)}, nil
+}
+
+func (w *spillWriter) write(v float64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+	_, err := w.bw.Write(buf[:])
+	w.n++
+	return err
+}
+
+func (w *spillWriter) close() error {
+	err := w.bw.Flush()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// spillMapper replays a spillSet as a timeMapper: each rank's floats are
+// read sequentially, one per event.
+type spillMapper struct {
+	set     *spillSet
+	readers []*bufio.Reader
+	files   []*os.File
+	next    []int
+}
+
+func (s *spillSet) mapper() *spillMapper {
+	return &spillMapper{
+		set:     s,
+		readers: make([]*bufio.Reader, len(s.paths)),
+		files:   make([]*os.File, len(s.paths)),
+		next:    make([]int, len(s.paths)),
+	}
+}
+
+func (m *spillMapper) mapTime(rank, idx int, _ *trace.Event) (float64, error) {
+	if m.readers[rank] == nil {
+		f, err := os.Open(m.set.paths[rank])
+		if err != nil {
+			return 0, err
+		}
+		m.files[rank] = f
+		m.readers[rank] = bufio.NewReader(f)
+	}
+	if idx != m.next[rank] {
+		return 0, fmt.Errorf("stream: spill read out of order: rank %d idx %d (want %d)", rank, idx, m.next[rank])
+	}
+	m.next[rank]++
+	var buf [8]byte
+	if _, err := io.ReadFull(m.readers[rank], buf[:]); err != nil {
+		return 0, fmt.Errorf("stream: spill read rank %d idx %d: %w", rank, idx, err)
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+}
+
+func (m *spillMapper) close() error {
+	var err error
+	for _, f := range m.files {
+		if f != nil {
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+	}
+	return err
+}

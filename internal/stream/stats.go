@@ -1,0 +1,73 @@
+package stream
+
+import (
+	"io"
+
+	"tsync/internal/trace"
+)
+
+// Summarize computes the same trace.Summary as trace.Summarize without
+// materializing the trace: one rank-major pass over the source, holding a
+// single event at a time. Every Summary field is either an integer count
+// or a running min/max, so the result is bit-identical to the in-memory
+// one regardless of traversal order; rank-major is used anyway to mirror
+// trace.Summarize exactly.
+func Summarize(src *Source) (trace.Summary, error) {
+	h := src.Header()
+	s := trace.Summary{
+		Machine: h.Machine,
+		Timer:   h.Timer,
+		Procs:   src.Ranks(),
+		ByKind:  map[string]int{},
+		Regions: map[string]int{},
+	}
+	regionName := func(id int32) string {
+		if id >= 0 && int(id) < len(h.Regions) {
+			return h.Regions[id]
+		}
+		return "?"
+	}
+	minT, maxT := 0.0, 0.0
+	minTrue, maxTrue := 0.0, 0.0
+	first := true
+	for rank := 0; rank < src.Ranks(); rank++ {
+		cur := src.Cursor(rank)
+		for {
+			var ev trace.Event
+			if err := cur.Next(&ev); err == io.EOF {
+				break
+			} else if err != nil {
+				return trace.Summary{}, err
+			}
+			s.Events++
+			s.ByKind[ev.Kind.String()]++
+			if ev.Kind == trace.Enter {
+				s.Regions[regionName(ev.Region)]++
+			}
+			if ev.Kind == trace.Send {
+				s.Bytes += int64(ev.Bytes)
+			}
+			if first {
+				minT, maxT = ev.Time, ev.Time
+				minTrue, maxTrue = ev.True, ev.True
+				first = false
+				continue
+			}
+			if ev.Time < minT {
+				minT = ev.Time
+			}
+			if ev.Time > maxT {
+				maxT = ev.Time
+			}
+			if ev.True < minTrue {
+				minTrue = ev.True
+			}
+			if ev.True > maxTrue {
+				maxTrue = ev.True
+			}
+		}
+	}
+	s.SpanTime = maxT - minT
+	s.SpanTrue = maxTrue - minTrue
+	return s, nil
+}

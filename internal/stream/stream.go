@@ -1,0 +1,148 @@
+// Package stream runs the paper's postmortem analyses over trace files
+// without materializing them: events are decoded incrementally
+// (trace.EventReader), merged across ranks in oracle-time order, and the
+// per-rank corrections — offset alignment and linear interpolation
+// (Eq. 2/3), clock-condition violation scanning (Eq. 1), Lamport
+// schedules, and the controlled logical clock with its forward and
+// backward amortization — are computed online. Memory is bounded by the
+// reorder window (in-flight messages, open collective instances, and the
+// CLC backward-amortization look-back), not by the trace length;
+// finalized per-rank results spill to temporary files and are assembled
+// into the output trace rank-major.
+//
+// The streaming path is pinned to the in-memory one (internal/core,
+// internal/clc, internal/interp, internal/analysis) by differential
+// property tests: output event bytes and experiment checksums are
+// required to be bit-identical. That works because both paths share one
+// codec (trace.EventWriter), the same interp mapping calls, and because
+// the CLC forward recurrence is a max-based fixpoint whose value is
+// independent of the topological processing order.
+//
+// Ordering contract: the engine processes events in merged (True, rank)
+// order. The simulator guarantees strictly increasing oracle time along
+// every happened-before edge, which makes that merge a topological order
+// of the happened-before graph. Traces violating it (which the simulator
+// never produces) fail with an explicit error instead of silently
+// computing garbage; the legacy in-memory path remains available for
+// them.
+package stream
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DefaultWindow is the per-rank reorder-window capacity (in pending
+// items) used when Options.Window is zero: 64Ki entries, a few MiB per
+// rank in the worst case.
+const DefaultWindow = 1 << 16
+
+// ErrUnsupported reports a request the streaming path cannot serve
+// (error-estimation bases, shared-memory CLC, clock domains, JSON
+// traces). Callers fall back to the in-memory path.
+var ErrUnsupported = errors.New("stream: unsupported by the streaming path")
+
+// ErrWindowExceeded reports that a rank's pending state outgrew the
+// reorder window under PolicyError: typically a message whose send
+// outlives the window before its receive shows up, or a collective
+// instance held open across too many events.
+var ErrWindowExceeded = errors.New("stream: reorder window exceeded")
+
+// Policy selects what happens when a rank's pending state outgrows the
+// window.
+type Policy int
+
+const (
+	// PolicySpill releases the bound: pending state grows past the
+	// window (the overflow is recorded in Stats) and the run completes.
+	// Finalized results always stream to per-rank temp files, so only
+	// the pending set itself grows.
+	PolicySpill Policy = iota
+	// PolicyError fails fast with ErrWindowExceeded, keeping the memory
+	// guarantee hard.
+	PolicyError
+)
+
+// String names the policy (flag value spelling).
+func (p Policy) String() string {
+	switch p {
+	case PolicySpill:
+		return "spill"
+	case PolicyError:
+		return "error"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// ParsePolicy maps a flag spelling onto a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "spill":
+		return PolicySpill, nil
+	case "error":
+		return PolicyError, nil
+	}
+	return 0, fmt.Errorf("stream: unknown window policy %q (want spill or error)", s)
+}
+
+// Options tune the streaming engine.
+type Options struct {
+	// Window caps each rank's pending items: unmatched sends, open
+	// collective-instance records, and backward-amortization look-back
+	// entries. Zero selects DefaultWindow.
+	Window int
+	// Policy selects spill-or-error behavior at the window boundary.
+	Policy Policy
+	// Workers bounds the per-rank fan-out of the output assembly pass
+	// (event re-encoding); values below 1 mean serial. The merge engine
+	// itself is sequential by design — determinism is its contract.
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Window <= 0 {
+		o.Window = DefaultWindow
+	}
+	return o
+}
+
+// Stats reports what a streaming run buffered and processed.
+type Stats struct {
+	// Events is the total number of events processed per pass (the
+	// maximum over passes, so it equals the trace's event count).
+	Events int64
+	// MaxPending is the high-water mark of any single rank's pending
+	// items.
+	MaxPending int
+	// SpilledEvents counts pending-item insertions beyond the window
+	// under PolicySpill (zero means the window was never exceeded).
+	SpilledEvents int64
+}
+
+// accounting enforces the window policy over per-rank pending items.
+type accounting struct {
+	opt     Options
+	stats   *Stats
+	pending []int
+}
+
+func newAccounting(ranks int, opt Options, stats *Stats) *accounting {
+	return &accounting{opt: opt, stats: stats, pending: make([]int, ranks)}
+}
+
+// add charges n pending items (n may be negative) to rank and applies
+// the window policy.
+func (a *accounting) add(rank, n int) error {
+	a.pending[rank] += n
+	p := a.pending[rank]
+	if p > a.stats.MaxPending {
+		a.stats.MaxPending = p
+	}
+	if n > 0 && p > a.opt.Window {
+		if a.opt.Policy == PolicyError {
+			return fmt.Errorf("%w: rank %d holds %d pending items (window %d)", ErrWindowExceeded, rank, p, a.opt.Window)
+		}
+		a.stats.SpilledEvents += int64(n)
+	}
+	return nil
+}

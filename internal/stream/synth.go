@@ -1,0 +1,163 @@
+package stream
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"tsync/internal/measure"
+	"tsync/internal/topology"
+	"tsync/internal/trace"
+	"tsync/internal/xrand"
+)
+
+// SynthSpec parameterizes the synthetic ring workload.
+type SynthSpec struct {
+	Ranks int
+	// Steps is the number of ring steps; each contributes four events per
+	// rank (Enter, Send to the right neighbor, Recv from the left one,
+	// Exit).
+	Steps int
+	// CollEvery inserts a collective round (op and root rotate) after
+	// every n-th step; zero disables collectives.
+	CollEvery int
+	Seed      uint64
+}
+
+// Synth streams a deterministic synthetic trace to w in O(ranks) memory:
+// a ring of point-to-point messages with optional collective rounds,
+// timestamped by per-rank clocks with constant drift plus a small
+// sinusoidal modulation (the paper's non-constant drift model). Rank 0
+// keeps the identity clock. It returns exact initialization and
+// finalization offset tables (sampled from the closed-form clocks), so
+// base corrections have the same inputs the measurement phase would
+// produce. The generated schedule strictly increases oracle time along
+// every happened-before edge, satisfying the streaming engine's ordering
+// contract by construction.
+func Synth(spec SynthSpec, w io.Writer) (init, fin []measure.Offset, err error) {
+	if spec.Ranks < 2 {
+		return nil, nil, fmt.Errorf("stream: Synth needs at least 2 ranks, got %d", spec.Ranks)
+	}
+	if spec.Steps < 1 {
+		return nil, nil, fmt.Errorf("stream: Synth needs at least 1 step, got %d", spec.Steps)
+	}
+	nRanks, steps := spec.Ranks, spec.Steps
+	rounds := 0
+	if spec.CollEvery > 0 {
+		rounds = steps / spec.CollEvery
+	}
+	const (
+		stepDur = 1e-3  // one ring step (or collective round) of oracle time
+		eps     = 1e-6  // per-rank skew within a step
+		compute = 50e-6 // local work between Enter and Send / Recv and Exit
+	)
+
+	type clockParam struct{ b, a, amp, om, ph float64 }
+	params := make([]clockParam, nRanks)
+	for r := 1; r < nRanks; r++ {
+		rng := xrand.NewSource(xrand.SeedAt(spec.Seed, uint64(r)))
+		params[r] = clockParam{
+			b:   rng.Uniform(-5e-5, 5e-5),
+			a:   rng.Uniform(-1e-3, 1e-3),
+			amp: rng.Uniform(0, 2e-6),
+			om:  2 * math.Pi / rng.Uniform(5, 20),
+			ph:  rng.Uniform(0, 2*math.Pi),
+		}
+	}
+	clock := func(r int, t float64) float64 {
+		p := params[r]
+		return (1+p.b)*t + p.a + p.amp*math.Sin(p.om*t+p.ph)
+	}
+
+	ops := make([]trace.CollOp, rounds)
+	opRng := xrand.NewSource(xrand.SeedAt(spec.Seed, 1<<20))
+	allOps := []trace.CollOp{
+		trace.OpBarrier, trace.OpBcast, trace.OpReduce, trace.OpAllreduce,
+		trace.OpGather, trace.OpScatter, trace.OpAllgather, trace.OpAlltoall,
+	}
+	for i := range ops {
+		ops[i] = allOps[opRng.Intn(len(allOps))]
+	}
+
+	ew, err := trace.NewEventWriter(w, trace.Header{
+		Machine:    fmt.Sprintf("synth[%d]", nRanks),
+		Timer:      "synth-sin",
+		MinLatency: [4]float64{0, 1e-6, 2e-6, 5e-6},
+		Regions:    []string{"ring"},
+		ProcCount:  nRanks,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	slots := 0
+	for r := 0; r < nRanks; r++ {
+		ph := trace.ProcHeader{
+			Rank:       r,
+			Core:       topology.CoreID{Node: r},
+			Clock:      "synth-sin",
+			EventCount: steps*4 + rounds*2,
+		}
+		if err := ew.BeginProc(ph); err != nil {
+			return nil, nil, err
+		}
+		emit := func(ev trace.Event, t float64) error {
+			ev.True = t
+			ev.SetTime(clock(r, t))
+			return ew.Write(&ev)
+		}
+		slot, round := 0, 0
+		to := int32((r + 1) % nRanks)
+		from := int32((r - 1 + nRanks) % nRanks)
+		for s := 0; s < steps; s++ {
+			base := float64(slot) * stepDur
+			rs := float64(r) * eps
+			if err := emit(trace.Event{Kind: trace.Enter, Region: 0}, base+rs); err != nil {
+				return nil, nil, err
+			}
+			if err := emit(trace.Event{Kind: trace.Send, Partner: to, Bytes: 1 << 10}, base+rs+compute); err != nil {
+				return nil, nil, err
+			}
+			if err := emit(trace.Event{Kind: trace.Recv, Partner: from, Bytes: 1 << 10}, base+stepDur/2+rs); err != nil {
+				return nil, nil, err
+			}
+			if err := emit(trace.Event{Kind: trace.Exit, Region: 0}, base+stepDur/2+rs+compute); err != nil {
+				return nil, nil, err
+			}
+			slot++
+			if spec.CollEvery > 0 && (s+1)%spec.CollEvery == 0 && round < rounds {
+				cb := float64(slot) * stepDur
+				root := round % nRanks
+				ev := trace.Event{
+					Op: ops[round], Instance: int32(round), Root: int32(root), Bytes: 1 << 9,
+				}
+				ev.Kind = trace.CollBegin
+				// the root begins first, so rooted 1-to-N edges strictly
+				// increase oracle time
+				if err := emit(ev, cb+float64((r-root+nRanks)%nRanks)*eps); err != nil {
+					return nil, nil, err
+				}
+				ev.Kind = trace.CollEnd
+				if err := emit(ev, cb+stepDur/2+rs); err != nil {
+					return nil, nil, err
+				}
+				slot++
+				round++
+			}
+		}
+		slots = slot
+	}
+	if err := ew.Close(); err != nil {
+		return nil, nil, err
+	}
+
+	tInit := -1e-2
+	tFin := float64(slots)*stepDur + 1e-2
+	init = make([]measure.Offset, nRanks)
+	fin = make([]measure.Offset, nRanks)
+	for r := 0; r < nRanks; r++ {
+		wi, wf := clock(r, tInit), clock(r, tFin)
+		init[r] = measure.Offset{Rank: r, WorkerTime: wi, Offset: clock(0, tInit) - wi, RTT: 2e-6}
+		fin[r] = measure.Offset{Rank: r, WorkerTime: wf, Offset: clock(0, tFin) - wf, RTT: 2e-6}
+	}
+	return init, fin, nil
+}

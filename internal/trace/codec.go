@@ -7,8 +7,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-
-	"tsync/internal/topology"
 )
 
 // Binary trace format (".etr"):
@@ -98,59 +96,28 @@ func writeFloat(w *bufio.Writer, f float64) error {
 }
 
 // Write encodes the trace to w. It returns the number of bytes written.
+// It is a thin wrapper over EventWriter, so the bytes are identical to
+// streaming the same events incrementally.
 func Write(w io.Writer, t *Trace) (int64, error) {
-	cw := &countingWriter{w: w}
-	bw := bufio.NewWriter(cw)
-	if _, err := bw.WriteString(codecMagic); err != nil {
-		return cw.n, err
-	}
-	if err := bw.WriteByte(codecVersion); err != nil {
-		return cw.n, err
-	}
-	if err := writeString(bw, t.Machine); err != nil {
-		return cw.n, err
-	}
-	if err := writeString(bw, t.Timer); err != nil {
-		return cw.n, err
-	}
-	for _, l := range t.MinLatency {
-		if err := writeFloat(bw, l); err != nil {
-			return cw.n, err
+	ew, err := NewEventWriter(w, HeaderOf(t))
+	if err != nil {
+		if ew == nil {
+			return 0, err
 		}
-	}
-	if err := writeUvarint(bw, uint64(len(t.Regions))); err != nil {
-		return cw.n, err
-	}
-	for _, r := range t.Regions {
-		if err := writeString(bw, r); err != nil {
-			return cw.n, err
-		}
-	}
-	if err := writeUvarint(bw, uint64(len(t.Procs))); err != nil {
-		return cw.n, err
+		return ew.cw.n, err
 	}
 	for _, p := range t.Procs {
-		if err := writeUvarint(bw, uint64(p.Rank)); err != nil {
-			return cw.n, err
-		}
-		for _, c := range [3]int{p.Core.Node, p.Core.Chip, p.Core.Core} {
-			if err := writeUvarint(bw, uint64(c)); err != nil {
-				return cw.n, err
-			}
-		}
-		if err := writeString(bw, p.Clock); err != nil {
-			return cw.n, err
-		}
-		if err := writeUvarint(bw, uint64(len(p.Events))); err != nil {
-			return cw.n, err
+		ph := ProcHeader{Rank: p.Rank, Core: p.Core, Clock: p.Clock, EventCount: len(p.Events)}
+		if err := ew.BeginProc(ph); err != nil {
+			return ew.cw.n, err
 		}
 		for i := range p.Events {
-			if err := writeEvent(bw, &p.Events[i]); err != nil {
-				return cw.n, err
+			if err := ew.Write(&p.Events[i]); err != nil {
+				return ew.cw.n, err
 			}
 		}
 	}
-	return cw.n, bw.Flush()
+	return ew.cw.n, ew.Close()
 }
 
 func writeEvent(w *bufio.Writer, ev *Event) error {
@@ -197,101 +164,49 @@ func readFloat(r *bufio.Reader) (float64, error) {
 	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
 }
 
-// Read decodes a trace from r.
+// Read decodes a trace from r. It is a thin wrapper over EventReader, so
+// the accepted inputs and failure modes are identical to decoding the
+// same stream incrementally.
 func Read(r io.Reader) (*Trace, error) {
-	br := bufio.NewReader(r)
-	magic := make([]byte, len(codecMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
-	}
-	if string(magic) != codecMagic {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, magic)
-	}
-	ver, err := br.ReadByte()
+	er, err := NewEventReader(r)
 	if err != nil {
 		return nil, err
 	}
-	if ver != codecVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, ver)
+	h := er.Header()
+	t := &Trace{
+		Machine:    h.Machine,
+		Timer:      h.Timer,
+		Regions:    h.Regions,
+		MinLatency: h.MinLatency,
+		Procs:      make([]Proc, 0, min(h.ProcCount, decodeChunk)),
 	}
-	t := &Trace{}
-	if t.Machine, err = readString(br, 1<<16); err != nil {
-		return nil, err
-	}
-	if t.Timer, err = readString(br, 1<<16); err != nil {
-		return nil, err
-	}
-	for i := range t.MinLatency {
-		if t.MinLatency[i], err = readFloat(br); err != nil {
+	for {
+		ph, err := er.NextProc()
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
 			return nil, err
 		}
-	}
-	nRegions, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, err
-	}
-	if nRegions > 1<<24 {
-		return nil, fmt.Errorf("%w: region table too large", ErrBadFormat)
-	}
-	t.Regions = make([]string, 0, min(nRegions, decodeChunk))
-	for i := uint64(0); i < nRegions; i++ {
-		s, err := readString(br, 1<<16)
-		if err != nil {
-			return nil, badFormat("region table", err)
-		}
-		t.Regions = append(t.Regions, s)
-	}
-	nProcs, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, err
-	}
-	if nProcs > 1<<24 {
-		return nil, fmt.Errorf("%w: process count too large", ErrBadFormat)
-	}
-	t.Procs = make([]Proc, 0, min(nProcs, decodeChunk))
-	for i := uint64(0); i < nProcs; i++ {
-		var p Proc
-		rank, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, badFormat("process header", err)
-		}
-		p.Rank = int(rank)
-		var core [3]uint64
-		for j := range core {
-			if core[j], err = binary.ReadUvarint(br); err != nil {
-				return nil, badFormat("process header", err)
-			}
-		}
-		p.Core = topology.CoreID{Node: int(core[0]), Chip: int(core[1]), Core: int(core[2])}
-		if p.Clock, err = readString(br, 1<<16); err != nil {
-			return nil, badFormat("process header", err)
-		}
-		nEvents, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, badFormat("event count", err)
-		}
-		if nEvents > 1<<30 {
-			return nil, fmt.Errorf("%w: event count too large", ErrBadFormat)
-		}
-		if p.Events, err = readEvents(br, nEvents); err != nil {
+		p := Proc{Rank: ph.Rank, Core: ph.Core, Clock: ph.Clock}
+		if p.Events, err = readEvents(er, ph.EventCount); err != nil {
 			return nil, err
 		}
 		t.Procs = append(t.Procs, p)
 	}
-	return t, nil
 }
 
 // readEvents decodes nEvents events, growing the slice one decodeChunk at
 // a time so the allocation never runs ahead of the bytes actually read.
-func readEvents(br *bufio.Reader, nEvents uint64) ([]Event, error) {
+func readEvents(er *EventReader, nEvents int) ([]Event, error) {
 	var events []Event
 	for remaining := nEvents; remaining > 0; {
 		n := min(remaining, decodeChunk)
 		start := len(events)
 		events = append(events, make([]Event, n)...)
 		for j := start; j < len(events); j++ {
-			if err := readEvent(br, &events[j]); err != nil {
-				return nil, badFormat("events", err)
+			if err := er.Read(&events[j]); err != nil {
+				return nil, err
 			}
 		}
 		remaining -= n

@@ -1,0 +1,394 @@
+package trace
+
+// Incremental codec access. Read and Write materialize whole traces; the
+// types here expose the same .etr encoding one process and one event at a
+// time, so million-event traces can flow through analyses in O(1) memory
+// per rank (internal/stream). Read and Write are thin wrappers over
+// EventReader and EventWriter — both paths share a single encoder and
+// decoder, which is what makes the streaming pipeline's output
+// bit-identical to the in-memory one by construction rather than by
+// testing alone.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"tsync/internal/topology"
+)
+
+// Format limits enforced by the decoder (see decodeChunk for why counts
+// are never trusted with pre-allocations).
+const (
+	maxStringLen  = 1 << 16
+	maxRegions    = 1 << 24
+	maxProcs      = 1 << 24
+	maxProcEvents = 1 << 30
+)
+
+// Header is a trace file's global metadata: everything before the first
+// per-process stream.
+type Header struct {
+	Machine    string
+	Timer      string
+	MinLatency [4]float64
+	Regions    []string
+	ProcCount  int
+}
+
+// HeaderOf extracts the header of an in-memory trace.
+func HeaderOf(t *Trace) Header {
+	return Header{
+		Machine:    t.Machine,
+		Timer:      t.Timer,
+		MinLatency: t.MinLatency,
+		Regions:    t.Regions,
+		ProcCount:  len(t.Procs),
+	}
+}
+
+// MinLatencyBetween returns l_min for a message between two cores, as
+// Trace.MinLatencyBetween does for ranks.
+func (h *Header) MinLatencyBetween(a, b topology.CoreID) float64 {
+	return h.MinLatency[topology.Relate(a, b)]
+}
+
+// ProcHeader is one process's stream metadata: the fields of Proc minus
+// the events themselves.
+type ProcHeader struct {
+	Rank       int
+	Core       topology.CoreID
+	Clock      string
+	EventCount int
+}
+
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += int64(n)
+	return n, err
+}
+
+// EventReader decodes a .etr stream incrementally: the header up front,
+// then one process at a time, then one event at a time. It never
+// allocates ahead of the bytes actually consumed, and reports truncated
+// or corrupt input as ErrBadFormat exactly like Read (whose
+// implementation it is).
+type EventReader struct {
+	br        *bufio.Reader
+	cr        *countingReader
+	header    Header
+	procsRead int // processes whose header has been returned
+	remaining int // events left in the current process
+	inProc    bool
+}
+
+// NewEventReader reads and validates the file header.
+func NewEventReader(r io.Reader) (*EventReader, error) {
+	cr := &countingReader{r: r}
+	br := bufio.NewReader(cr)
+	er := &EventReader{br: br, cr: cr}
+	magic := make([]byte, len(codecMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if string(magic) != codecMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, magic)
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != codecVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, ver)
+	}
+	h := &er.header
+	if h.Machine, err = readString(br, maxStringLen); err != nil {
+		return nil, badFormat("header", err)
+	}
+	if h.Timer, err = readString(br, maxStringLen); err != nil {
+		return nil, badFormat("header", err)
+	}
+	for i := range h.MinLatency {
+		if h.MinLatency[i], err = readFloat(br); err != nil {
+			return nil, badFormat("header", err)
+		}
+	}
+	nRegions, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, badFormat("header", err)
+	}
+	if nRegions > maxRegions {
+		return nil, fmt.Errorf("%w: region table too large", ErrBadFormat)
+	}
+	h.Regions = make([]string, 0, min(nRegions, decodeChunk))
+	for i := uint64(0); i < nRegions; i++ {
+		s, err := readString(br, maxStringLen)
+		if err != nil {
+			return nil, badFormat("region table", err)
+		}
+		h.Regions = append(h.Regions, s)
+	}
+	nProcs, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, badFormat("header", err)
+	}
+	if nProcs > maxProcs {
+		return nil, fmt.Errorf("%w: process count too large", ErrBadFormat)
+	}
+	h.ProcCount = int(nProcs)
+	return er, nil
+}
+
+// Header returns the file header. The Regions slice is shared, not
+// copied.
+func (er *EventReader) Header() Header { return er.header }
+
+// Offset reports how many bytes of the underlying stream have been
+// consumed by what the reader has returned so far — the file position of
+// the next unread element, independent of internal buffering.
+func (er *EventReader) Offset() int64 {
+	return er.cr.n - int64(er.br.Buffered())
+}
+
+// NextProc advances to the next process, skipping any events of the
+// current one that were not read. It returns io.EOF after the last
+// process.
+func (er *EventReader) NextProc() (ProcHeader, error) {
+	for er.remaining > 0 {
+		var ev Event
+		if err := er.Read(&ev); err != nil {
+			return ProcHeader{}, err
+		}
+	}
+	if er.procsRead == er.header.ProcCount {
+		er.inProc = false
+		return ProcHeader{}, io.EOF
+	}
+	var ph ProcHeader
+	rank, err := binary.ReadUvarint(er.br)
+	if err != nil {
+		return ProcHeader{}, badFormat("process header", err)
+	}
+	ph.Rank = int(rank)
+	var core [3]uint64
+	for j := range core {
+		if core[j], err = binary.ReadUvarint(er.br); err != nil {
+			return ProcHeader{}, badFormat("process header", err)
+		}
+	}
+	ph.Core = topology.CoreID{Node: int(core[0]), Chip: int(core[1]), Core: int(core[2])}
+	if ph.Clock, err = readString(er.br, maxStringLen); err != nil {
+		return ProcHeader{}, badFormat("process header", err)
+	}
+	nEvents, err := binary.ReadUvarint(er.br)
+	if err != nil {
+		return ProcHeader{}, badFormat("event count", err)
+	}
+	if nEvents > maxProcEvents {
+		return ProcHeader{}, fmt.Errorf("%w: event count too large", ErrBadFormat)
+	}
+	ph.EventCount = int(nEvents)
+	er.procsRead++
+	er.remaining = ph.EventCount
+	er.inProc = true
+	return ph, nil
+}
+
+// Read decodes the current process's next event into ev. It returns
+// io.EOF when the process's declared events are exhausted (call NextProc
+// to continue) and ErrBadFormat when the stream ends or corrupts
+// mid-event.
+func (er *EventReader) Read(ev *Event) error {
+	if !er.inProc {
+		return fmt.Errorf("trace: EventReader.Read before NextProc")
+	}
+	if er.remaining == 0 {
+		return io.EOF
+	}
+	if err := readEvent(er.br, ev); err != nil {
+		return badFormat("events", err)
+	}
+	er.remaining--
+	return nil
+}
+
+// EventWriter encodes a .etr stream incrementally, mirroring EventReader.
+// The codec stores each process's event count before its events, so
+// BeginProc must be told the count up front; Close verifies every
+// declared process and event was actually written.
+type EventWriter struct {
+	bw        *bufio.Writer
+	cw        *countingWriter
+	procCount int
+	begun     int
+	remaining int // events still owed to the current process
+}
+
+// NewEventWriter writes the file header and returns a writer positioned
+// before the first process.
+func NewEventWriter(w io.Writer, h Header) (*EventWriter, error) {
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	ew := &EventWriter{bw: bw, cw: cw, procCount: h.ProcCount}
+	if _, err := bw.WriteString(codecMagic); err != nil {
+		return nil, err
+	}
+	if err := bw.WriteByte(codecVersion); err != nil {
+		return nil, err
+	}
+	if err := writeString(bw, h.Machine); err != nil {
+		return nil, err
+	}
+	if err := writeString(bw, h.Timer); err != nil {
+		return nil, err
+	}
+	for _, l := range h.MinLatency {
+		if err := writeFloat(bw, l); err != nil {
+			return nil, err
+		}
+	}
+	if err := writeUvarint(bw, uint64(len(h.Regions))); err != nil {
+		return nil, err
+	}
+	for _, r := range h.Regions {
+		if err := writeString(bw, r); err != nil {
+			return nil, err
+		}
+	}
+	if err := writeUvarint(bw, uint64(h.ProcCount)); err != nil {
+		return nil, err
+	}
+	return ew, nil
+}
+
+// Offset reports how many bytes have reached the underlying writer plus
+// what is buffered — the file position after everything written so far.
+func (ew *EventWriter) Offset() int64 {
+	return ew.cw.n + int64(ew.bw.Buffered())
+}
+
+// BeginProc writes the next process header. The previous process must
+// have received exactly its declared events.
+func (ew *EventWriter) BeginProc(ph ProcHeader) error {
+	if ew.remaining != 0 {
+		return fmt.Errorf("trace: BeginProc with %d events still owed to the previous process", ew.remaining)
+	}
+	if ew.begun == ew.procCount {
+		return fmt.Errorf("trace: BeginProc beyond the declared %d processes", ew.procCount)
+	}
+	if err := writeUvarint(ew.bw, uint64(ph.Rank)); err != nil {
+		return err
+	}
+	for _, c := range [3]int{ph.Core.Node, ph.Core.Chip, ph.Core.Core} {
+		if err := writeUvarint(ew.bw, uint64(c)); err != nil {
+			return err
+		}
+	}
+	if err := writeString(ew.bw, ph.Clock); err != nil {
+		return err
+	}
+	if err := writeUvarint(ew.bw, uint64(ph.EventCount)); err != nil {
+		return err
+	}
+	ew.begun++
+	ew.remaining = ph.EventCount
+	return nil
+}
+
+// Write encodes one event of the current process.
+func (ew *EventWriter) Write(ev *Event) error {
+	if ew.remaining == 0 {
+		return fmt.Errorf("trace: Write beyond the process's declared event count")
+	}
+	if err := writeEvent(ew.bw, ev); err != nil {
+		return err
+	}
+	ew.remaining--
+	return nil
+}
+
+// CopyEvents splices n already-encoded events (as produced by an
+// EventEncoder) from r into the current process, without re-decoding
+// them. The caller owns the invariant that r really carries n canonical
+// event encodings.
+func (ew *EventWriter) CopyEvents(r io.Reader, n int) error {
+	if n > ew.remaining {
+		return fmt.Errorf("trace: CopyEvents of %d events exceeds the %d still declared", n, ew.remaining)
+	}
+	if err := ew.bw.Flush(); err != nil {
+		return err
+	}
+	if _, err := io.Copy(ew.cw, r); err != nil {
+		return err
+	}
+	ew.remaining -= n
+	return nil
+}
+
+// Close flushes the stream after verifying that every declared process
+// and event was written. It does not close the underlying writer.
+func (ew *EventWriter) Close() error {
+	if ew.remaining != 0 {
+		return fmt.Errorf("trace: Close with %d events still owed to the current process", ew.remaining)
+	}
+	if ew.begun != ew.procCount {
+		return fmt.Errorf("trace: Close after %d of %d declared processes", ew.begun, ew.procCount)
+	}
+	return ew.bw.Flush()
+}
+
+// EventEncoder writes bare event encodings (no header) to a stream — the
+// spill-file format of internal/stream, byte-identical to the event
+// bytes inside a .etr file.
+type EventEncoder struct {
+	bw *bufio.Writer
+	n  int
+}
+
+// NewEventEncoder returns an encoder over w.
+func NewEventEncoder(w io.Writer) *EventEncoder {
+	return &EventEncoder{bw: bufio.NewWriter(w)}
+}
+
+// Encode appends one event.
+func (e *EventEncoder) Encode(ev *Event) error {
+	err := writeEvent(e.bw, ev)
+	if err == nil {
+		e.n++
+	}
+	return err
+}
+
+// Count reports how many events have been encoded.
+func (e *EventEncoder) Count() int { return e.n }
+
+// Flush flushes buffered bytes to the underlying writer.
+func (e *EventEncoder) Flush() error { return e.bw.Flush() }
+
+// EventDecoder reads bare event encodings (no header) from a stream. It
+// returns io.EOF at a clean boundary and ErrBadFormat mid-event.
+type EventDecoder struct {
+	br *bufio.Reader
+}
+
+// NewEventDecoder returns a decoder over r.
+func NewEventDecoder(r io.Reader) *EventDecoder {
+	return &EventDecoder{br: bufio.NewReader(r)}
+}
+
+// Decode reads the next event into ev.
+func (d *EventDecoder) Decode(ev *Event) error {
+	if _, err := d.br.Peek(1); err == io.EOF {
+		return io.EOF
+	}
+	if err := readEvent(d.br, ev); err != nil {
+		return badFormat("events", err)
+	}
+	return nil
+}

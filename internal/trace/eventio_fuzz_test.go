@@ -1,0 +1,115 @@
+package trace
+
+// Fuzzing for the incremental decoder. EventReader must classify every
+// corrupt input — truncation mid-varint, mid-event, or an overlong count
+// — as ErrBadFormat (or a truncation error), never panic, and never
+// allocate ahead of the bytes actually decoded. On accepted inputs it
+// must agree with the in-memory Read byte for byte.
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// readStreaming decodes data through the incremental EventReader the way
+// a streaming consumer would: one proc and one event at a time, growing
+// buffers only as bytes are consumed.
+func readStreaming(data []byte) (*Trace, error) {
+	er, err := NewEventReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	h := er.Header()
+	t := &Trace{Machine: h.Machine, Timer: h.Timer, Regions: h.Regions, MinLatency: h.MinLatency}
+	for {
+		ph, err := er.NextProc()
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		p := Proc{Rank: ph.Rank, Core: ph.Core, Clock: ph.Clock}
+		for j := 0; j < ph.EventCount; j++ {
+			var ev Event
+			if err := er.Read(&ev); err != nil {
+				return nil, err
+			}
+			p.Events = append(p.Events, ev)
+		}
+		t.Procs = append(t.Procs, p)
+	}
+}
+
+// classified reports whether a decode error is one callers can act on.
+func classified(err error) bool {
+	return errors.Is(err, ErrBadFormat) || errors.Is(err, io.ErrUnexpectedEOF) || err == io.EOF
+}
+
+func FuzzEventReader(f *testing.F) {
+	var buf bytes.Buffer
+	if _, err := Write(&buf, tinyTrace()); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	// truncations at awkward places: mid-header, mid-varint, mid-event
+	for _, cut := range []int{1, 4, 5, len(valid) / 3, len(valid) / 2, len(valid) - 9, len(valid) - 1} {
+		if cut >= 0 && cut < len(valid) {
+			f.Add(valid[:cut])
+		}
+	}
+	// FuzzRead's crashers double as seeds here
+	f.Add([]byte{})
+	f.Add([]byte("NOPE"))
+	f.Add([]byte("ETRC\x07"))
+	f.Add(append([]byte(nil), "ETRC\x01\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"...))
+	f.Add(overlongCountFile())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, serr := readStreaming(data)
+		mt, merr := Read(bytes.NewReader(data))
+		if (serr == nil) != (merr == nil) {
+			t.Fatalf("EventReader err = %v, Read err = %v", serr, merr)
+		}
+		if serr != nil {
+			if !classified(serr) {
+				t.Fatalf("unclassified streaming error: %v", serr)
+			}
+			return
+		}
+		var b1, b2 bytes.Buffer
+		if _, err := Write(&b1, st); err != nil {
+			t.Fatalf("re-encode of streamed trace: %v", err)
+		}
+		if _, err := Write(&b2, mt); err != nil {
+			t.Fatalf("re-encode of in-memory trace: %v", err)
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Fatalf("streaming and in-memory decodes disagree: %d vs %d bytes", b1.Len(), b2.Len())
+		}
+
+		// the proc-skipping path (NextProc without reading events) must
+		// accept the same input, with non-decreasing offsets
+		er, err := NewEventReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("second NewEventReader rejected accepted input: %v", err)
+		}
+		last := er.Offset()
+		for {
+			_, err := er.NextProc()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("NextProc skip pass rejected accepted input: %v", err)
+			}
+			if off := er.Offset(); off < last {
+				t.Fatalf("Offset went backward: %d after %d", off, last)
+			} else {
+				last = off
+			}
+		}
+	})
+}
