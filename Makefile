@@ -34,16 +34,20 @@ cover-check:
 
 # the parallel-runner and streaming evaluation: FIG7/FIG8/§V drivers at
 # workers=1 vs workers=4 with bit-identical-result verification, plus the
-# streaming pipeline cases — streaming-vs-in-memory checksum equality and
-# the 1M-event bounded-memory assertion (see cmd/bench)
+# streaming pipeline cases — streaming-vs-in-memory checksum equality,
+# the 1M-event bounded-memory assertion, and the batched-vs-legacy
+# (batch=1) checksum comparison with allocs/event (see cmd/bench)
 bench:
-	$(GO) run ./cmd/bench -workers 4 -o BENCH_PR3.json
+	$(GO) run ./cmd/bench -workers 4 -o BENCH_PR4.json
 
 # CI-sized bench: 1 rep, tiny workloads, 2 workers — still checks that
 # parallel checksums match serial, that the streaming pipeline reproduces
-# the in-memory checksums, and that its peak heap stays window-bounded
+# the in-memory checksums (batched and batch=1 legacy configurations),
+# and that its peak heap stays window-bounded; then one iteration of the
+# hot-path microbenchmarks so their harness code cannot rot
 bench-smoke:
-	$(GO) run ./cmd/bench -smoke -workers 2 -o BENCH_PR3.json
+	$(GO) run ./cmd/bench -smoke -workers 2 -o BENCH_PR4.json
+	$(GO) test -run XXX -bench 'BenchmarkStreamPipeline|BenchmarkEventCodec|BenchmarkMapTimeMonotone' -benchtime=1x .
 
 # the full evaluation: one go-test benchmark per table and figure of the
 # paper
@@ -64,4 +68,4 @@ figures:
 	$(GO) run ./cmd/ompstudy -timeline
 
 clean:
-	rm -f trace.etr trace.etr.offsets.json test_output.txt bench_output.txt BENCH_SMOKE.json
+	rm -f trace.etr trace.etr.offsets.json test_output.txt bench_output.txt BENCH_SMOKE.json cpu.pprof mem.pprof

@@ -12,6 +12,8 @@
 package tsync
 
 import (
+	"bytes"
+	"io"
 	"testing"
 
 	"tsync/internal/analysis"
@@ -25,6 +27,7 @@ import (
 	"tsync/internal/measure"
 	"tsync/internal/mpi"
 	"tsync/internal/render"
+	"tsync/internal/stream"
 	"tsync/internal/topology"
 	"tsync/internal/trace"
 	"tsync/internal/xrand"
@@ -492,6 +495,120 @@ func BenchmarkAblationDomainCLC(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkStreamPipeline: the full streaming correction engine
+// (interp + CLC + amortization + encode) over a synthetic binary trace,
+// the hot path cmd/bench measures at scale; reports corrected events per
+// second.
+func BenchmarkStreamPipeline(b *testing.B) {
+	var buf bytes.Buffer
+	init, fin, err := stream.Synth(stream.SynthSpec{Ranks: 4, Steps: 2000, CollEvery: 10, Seed: 7}, &buf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, err := stream.NewSource(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := stream.Pipeline{Base: core.BaseInterp, CLC: true}
+	b.SetBytes(int64(buf.Len()))
+	b.ResetTimer()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		res, err := p.Run(src, io.Discard, init, fin)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = res.Stats.Events
+	}
+	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkEventCodec: decode+re-encode round trip of the binary event
+// format through the batched public codec, the inner loop of every
+// streaming pass.
+func BenchmarkEventCodec(b *testing.B) {
+	const n = 4096
+	evs := make([]trace.Event, n)
+	for i := range evs {
+		evs[i] = trace.Event{
+			Kind: trace.Kind(i % 6), Op: trace.CollOp(i % 4),
+			Time: float64(i) * 1e-3, True: float64(i) * 1e-3,
+			Region: int32(i % 4), Instance: int32(i / 64),
+			Partner: int32(i % 8), Tag: int32(i % 100), Bytes: 1 << 10,
+		}
+	}
+	var raw bytes.Buffer
+	enc := trace.NewEventEncoder(&raw)
+	for i := range evs {
+		if err := enc.Encode(&evs[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	rd := bytes.NewReader(raw.Bytes())
+	sink := trace.NewEventEncoder(io.Discard)
+	out := make([]trace.Event, n)
+	b.SetBytes(int64(raw.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rd.Seek(0, io.SeekStart); err != nil {
+			b.Fatal(err)
+		}
+		dec := trace.NewEventDecoder(rd)
+		got, err := dec.DecodeBatch(out)
+		if err != nil && err != io.EOF {
+			b.Fatal(err)
+		}
+		if got != n {
+			b.Fatalf("decoded %d of %d events", got, n)
+		}
+		for j := 0; j < got; j++ {
+			if err := sink.Encode(&out[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkMapTimeMonotone: the amortized-O(1) monotone cursor over a
+// many-piece interpolation, the per-event time mapping of the streaming
+// engine (compare with the binary-search Correction.Map it replaces).
+func BenchmarkMapTimeMonotone(b *testing.B) {
+	const ranks, points = 4, 65
+	tables := make([][]measure.Offset, points)
+	for k := range tables {
+		t := float64(k) * 10
+		tab := make([]measure.Offset, ranks)
+		for r := range tab {
+			tab[r] = measure.Offset{
+				Rank:       r,
+				WorkerTime: t * (1 + 1e-5*float64(r)),
+				Offset:     1e-4*float64(r) + 1e-6*t*float64(r%3),
+			}
+		}
+		tables[k] = tab
+	}
+	corr, err := interp.Piecewise(tables...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cur := corr.NewCursor()
+	const steps = 4096
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < ranks; r++ {
+			for s := 0; s < steps; s++ {
+				cur.Map(r, float64(s)*(points*10.0/steps))
+			}
+		}
+	}
+	b.ReportMetric(float64(ranks*steps), "maps/op")
 }
 
 // BenchmarkRendezvousTransfer: large-message handshake round trips.

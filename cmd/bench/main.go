@@ -28,6 +28,7 @@ import (
 	"tsync/internal/core"
 	"tsync/internal/experiments"
 	"tsync/internal/measure"
+	"tsync/internal/prof"
 	"tsync/internal/stream"
 	"tsync/internal/topology"
 	"tsync/internal/trace"
@@ -53,8 +54,10 @@ type streamCase struct {
 	Name           string  `json:"name"`
 	Events         int64   `json:"events"`
 	Window         int     `json:"window"`
+	Batch          int     `json:"batch,omitempty"`
 	StreamSeconds  float64 `json:"stream_seconds"`
 	EventsPerSec   float64 `json:"events_per_sec"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
 	PeakHeapBytes  uint64  `json:"peak_heap_bytes"`
 	PeakRSSBytes   uint64  `json:"peak_rss_bytes"`
 	BoundBytes     int64   `json:"bound_bytes,omitempty"`
@@ -188,22 +191,33 @@ func synthToFile(dir string, spec stream.SynthSpec) (string, []measure.Offset, [
 	return path, init, fin, nil
 }
 
+// runMetrics is what one streaming measurement produces.
+type runMetrics struct {
+	secs           float64
+	peakHeap       uint64
+	events         int64
+	allocsPerEvent float64
+	sum            string
+}
+
 // streamRun streams path through the pipeline into outPath, measuring
-// wall clock and peak heap over a post-GC baseline. It returns the
-// output checksum (same digest as experiments.ChecksumTrace).
-func streamRun(path, outPath string, p stream.Pipeline, init, fin []measure.Offset) (secs float64, peakHeap uint64, events int64, sum string, err error) {
+// wall clock, peak heap over a post-GC baseline, and heap allocations
+// per event (runtime Mallocs delta over the run). It returns the output
+// checksum (same digest as experiments.ChecksumTrace).
+func streamRun(path, outPath string, p stream.Pipeline, init, fin []measure.Offset) (runMetrics, error) {
+	var m runMetrics
 	f, err := os.Open(path)
 	if err != nil {
-		return 0, 0, 0, "", err
+		return m, err
 	}
 	defer f.Close()
 	src, err := stream.NewSource(f)
 	if err != nil {
-		return 0, 0, 0, "", err
+		return m, err
 	}
 	out, err := os.Create(outPath)
 	if err != nil {
-		return 0, 0, 0, "", err
+		return m, err
 	}
 	runtime.GC()
 	var base runtime.MemStats
@@ -211,24 +225,30 @@ func streamRun(path, outPath string, p stream.Pipeline, init, fin []measure.Offs
 	watch := watchHeap()
 	start := time.Now()
 	_, err = p.Run(src, out, init, fin)
-	secs = time.Since(start).Seconds()
+	m.secs = time.Since(start).Seconds()
 	peak := watch.Peak()
+	var end runtime.MemStats
+	runtime.ReadMemStats(&end)
 	if cerr := out.Close(); err == nil {
 		err = cerr
 	}
 	if err != nil {
-		return 0, 0, 0, "", err
+		return m, err
 	}
 	if peak > base.HeapAlloc {
-		peakHeap = peak - base.HeapAlloc
+		m.peakHeap = peak - base.HeapAlloc
+	}
+	m.events = src.Events()
+	if m.events > 0 {
+		m.allocsPerEvent = float64(end.Mallocs-base.Mallocs) / float64(m.events)
 	}
 	g, err := os.Open(outPath)
 	if err != nil {
-		return 0, 0, 0, "", err
+		return m, err
 	}
 	defer g.Close()
-	sum, err = experiments.ChecksumTraceFile(g)
-	return secs, peakHeap, src.Events(), sum, err
+	m.sum, err = experiments.ChecksumTraceFile(g)
+	return m, err
 }
 
 // memRun loads path into memory, runs the in-memory pipeline, and
@@ -270,47 +290,48 @@ func runStreamDiff(dir string, spec stream.SynthSpec, window int) (streamCase, e
 	}
 
 	p := stream.Pipeline{Base: core.BaseInterp, CLC: true, Options: stream.Options{Window: window}}
-	secs, peakHeap, events, sum, err := streamRun(path, filepath.Join(dir, "diff-out.etr"), p, init, fin)
+	m, err := streamRun(path, filepath.Join(dir, "diff-out.etr"), p, init, fin)
 	if err != nil {
 		return streamCase{}, err
 	}
 	c := streamCase{
-		Name: "stream-diff", Events: events, Window: window,
-		StreamSeconds: secs, MemorySeconds: memSecs,
-		PeakHeapBytes: peakHeap, PeakRSSBytes: peakRSS(),
-		StreamChecksum: sum, MemoryChecksum: memSum,
-		Match: sum == memSum, Bounded: true,
+		Name: "stream-diff", Events: m.events, Window: window, Batch: stream.DefaultBatch,
+		StreamSeconds: m.secs, MemorySeconds: memSecs,
+		AllocsPerEvent: m.allocsPerEvent,
+		PeakHeapBytes:  m.peakHeap, PeakRSSBytes: peakRSS(),
+		StreamChecksum: m.sum, MemoryChecksum: memSum,
+		Match: m.sum == memSum, Bounded: true,
 	}
-	if secs > 0 {
-		c.EventsPerSec = float64(events) / secs
+	if m.secs > 0 {
+		c.EventsPerSec = float64(m.events) / m.secs
 	}
 	return c, nil
 }
 
-// runStreamBounded streams a large trace through the full pipeline and
-// requires peak heap to stay under a quarter of the events' in-memory
-// footprint (~96 bytes each): memory bounded by the window, not the
-// trace length.
-func runStreamBounded(dir string, spec stream.SynthSpec, window int) (streamCase, error) {
-	path, init, fin, err := synthToFile(dir, spec)
+// runStreamBounded streams a large trace through the full pipeline at
+// one slab size and requires peak heap to stay under a quarter of the
+// events' in-memory footprint (~96 bytes each): memory bounded by the
+// window, not the trace length.
+func runStreamBounded(dir, name, path string, init, fin []measure.Offset, window, batch int) (streamCase, error) {
+	p := stream.Pipeline{Base: core.BaseInterp, CLC: true, Options: stream.Options{Window: window, Batch: batch}}
+	m, err := streamRun(path, filepath.Join(dir, name+"-out.etr"), p, init, fin)
 	if err != nil {
 		return streamCase{}, err
 	}
-	p := stream.Pipeline{Base: core.BaseInterp, CLC: true, Options: stream.Options{Window: window}}
-	secs, peakHeap, events, sum, err := streamRun(path, filepath.Join(dir, "bounded-out.etr"), p, init, fin)
-	if err != nil {
-		return streamCase{}, err
+	if batch == 0 {
+		batch = stream.DefaultBatch
 	}
-	bound := events * 96 / 4
+	bound := m.events * 96 / 4
 	c := streamCase{
-		Name: "stream-1m", Events: events, Window: window,
-		StreamSeconds: secs,
-		PeakHeapBytes: peakHeap, PeakRSSBytes: peakRSS(),
-		BoundBytes: bound, Bounded: int64(peakHeap) < bound,
-		StreamChecksum: sum, Match: true,
+		Name: name, Events: m.events, Window: window, Batch: batch,
+		StreamSeconds:  m.secs,
+		AllocsPerEvent: m.allocsPerEvent,
+		PeakHeapBytes:  m.peakHeap, PeakRSSBytes: peakRSS(),
+		BoundBytes: bound, Bounded: int64(m.peakHeap) < bound,
+		StreamChecksum: m.sum, Match: true,
 	}
-	if secs > 0 {
-		c.EventsPerSec = float64(events) / secs
+	if m.secs > 0 {
+		c.EventsPerSec = float64(m.events) / m.secs
 	}
 	return c, nil
 }
@@ -332,15 +353,26 @@ func runStreamCases(smoke bool) ([]streamCase, error) {
 	if err != nil {
 		return nil, fmt.Errorf("stream-diff: %w", err)
 	}
-	big, err := runStreamBounded(dir, bigSpec, 0)
+	bigPath, init, fin, err := synthToFile(dir, bigSpec)
 	if err != nil {
 		return nil, fmt.Errorf("stream-1m: %w", err)
 	}
-	return []streamCase{diff, big}, nil
+	big, err := runStreamBounded(dir, "stream-1m", bigPath, init, fin, 0, 0)
+	if err != nil {
+		return nil, fmt.Errorf("stream-1m: %w", err)
+	}
+	// the same trace with one-event slabs: the legacy (unbatched)
+	// configuration must produce byte-identical output
+	legacy, err := runStreamBounded(dir, "stream-1m-batch1", bigPath, init, fin, 0, 1)
+	if err != nil {
+		return nil, fmt.Errorf("stream-1m-batch1: %w", err)
+	}
+	legacy.Match = legacy.StreamChecksum == big.StreamChecksum
+	return []streamCase{diff, big, legacy}, nil
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR3.json", "output JSON report path")
+	out := flag.String("o", "BENCH_PR4.json", "output JSON report path")
 	workers := flag.Int("workers", 0, "parallel worker bound to compare against workers=1 (0 = all CPUs)")
 	reps := flag.Int("reps", 3, "repetitions per driver (the paper used 3)")
 	ranks := flag.Int("ranks", 16, "MPI ranks for the Fig. 7 runs")
@@ -348,17 +380,35 @@ func main() {
 	threads := flag.Int("threads", 4, "OpenMP threads for the Fig. 8 runs")
 	regions := flag.Int("regions", 50, "parallel regions for the Fig. 8 runs")
 	smoke := flag.Bool("smoke", false, "CI smoke mode: 1 rep, tiny workloads")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile (runtime/pprof) to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file after the run")
 	flag.Parse()
 
-	w := *workers
+	stop, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	err = benchMain(*out, *workers, *reps, *ranks, *threads, *regions, *scale, *smoke)
+	if perr := stop(); err == nil {
+		err = perr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func benchMain(out string, workers, reps, ranks, threads, regions int, scale float64, smoke bool) error {
+	w := workers
 	if w <= 0 {
 		w = runtime.NumCPU()
 	}
-	if *smoke {
-		*reps = 1
-		*ranks = 8
-		*scale = 0.05
-		*regions = 10
+	if smoke {
+		reps = 1
+		ranks = 8
+		scale = 0.05
+		regions = 10
 	}
 
 	const seed = 42
@@ -368,28 +418,27 @@ func main() {
 		Workers:    w,
 		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Reps:       *reps,
-		Ranks:      *ranks,
-		Threads:    *threads,
-		Regions:    *regions,
-		Scale:      *scale,
-		Smoke:      *smoke,
+		Reps:       reps,
+		Ranks:      ranks,
+		Threads:    threads,
+		Regions:    regions,
+		Scale:      scale,
+		Smoke:      smoke,
 		AllMatch:   true,
 	}
 
 	// the streaming cases run first, before the §V base trace is pinned
 	// live in the heap, so their peak-memory figures are not polluted
 	fmt.Fprintf(os.Stderr, "bench: streaming pipeline (diff + bounded-memory)...\n")
-	streamCases, err := runStreamCases(*smoke)
+	streamCases, err := runStreamCases(smoke)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	for _, sc := range streamCases {
 		rep.StreamCases = append(rep.StreamCases, sc)
 		rep.AllMatch = rep.AllMatch && sc.Match && sc.Bounded
-		fmt.Fprintf(os.Stderr, "bench: %s: %d events in %.2fs (%.0f ev/s), peak heap %.1f MiB, peak RSS %.1f MiB, match=%v bounded=%v\n",
-			sc.Name, sc.Events, sc.StreamSeconds, sc.EventsPerSec,
+		fmt.Fprintf(os.Stderr, "bench: %s: %d events in %.2fs (%.0f ev/s, %.2f allocs/ev), peak heap %.1f MiB, peak RSS %.1f MiB, match=%v bounded=%v\n",
+			sc.Name, sc.Events, sc.StreamSeconds, sc.EventsPerSec, sc.AllocsPerEvent,
 			float64(sc.PeakHeapBytes)/(1<<20), float64(sc.PeakRSSBytes)/(1<<20), sc.Match, sc.Bounded)
 	}
 
@@ -397,11 +446,10 @@ func main() {
 	// so the CompareCorrections case times only the correction fan-out.
 	base, err := experiments.AppViolations(experiments.AppViolationsConfig{
 		App: experiments.AppPOP, Machine: m, Timer: clock.TSC,
-		Ranks: *ranks, Reps: 1, Seed: seed, Scale: *scale,
+		Ranks: ranks, Reps: 1, Seed: seed, Scale: scale,
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "bench: tracing §V input: %v\n", err)
-		os.Exit(1)
+		return fmt.Errorf("tracing §V input: %w", err)
 	}
 
 	cases := []struct {
@@ -411,7 +459,7 @@ func main() {
 		{"fig7-pop-appviolations", func(workers int) (string, error) {
 			res, err := experiments.AppViolations(experiments.AppViolationsConfig{
 				App: experiments.AppPOP, Machine: m, Timer: clock.TSC,
-				Ranks: *ranks, Reps: *reps, Seed: seed, Scale: *scale,
+				Ranks: ranks, Reps: reps, Seed: seed, Scale: scale,
 				Workers: workers,
 			})
 			if err != nil {
@@ -422,7 +470,7 @@ func main() {
 		{"fig8-ompstudy", func(workers int) (string, error) {
 			res, err := experiments.OMPStudy(experiments.OMPStudyConfig{
 				Machine: m, Timer: clock.TSC,
-				Threads: *threads, Regions: *regions, Reps: *reps,
+				Threads: threads, Regions: regions, Reps: reps,
 				Seed: seed, Workers: workers,
 			})
 			if err != nil {
@@ -444,8 +492,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bench: %s (workers 1 vs %d)...\n", c.name, w)
 		bc, err := runCase(c.name, w, c.f)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		rep.Cases = append(rep.Cases, bc)
 		rep.AllMatch = rep.AllMatch && bc.Match
@@ -455,17 +502,15 @@ func main() {
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
-		os.Exit(1)
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
 	}
-	fmt.Fprintf(os.Stderr, "bench: wrote %s\n", *out)
+	fmt.Fprintf(os.Stderr, "bench: wrote %s\n", out)
 	if !rep.AllMatch {
-		fmt.Fprintln(os.Stderr, "bench: FAIL: checksum mismatch or streaming memory bound exceeded")
-		os.Exit(1)
+		return fmt.Errorf("FAIL: checksum mismatch or streaming memory bound exceeded")
 	}
+	return nil
 }

@@ -25,6 +25,7 @@ import (
 	"tsync/internal/core"
 	"tsync/internal/experiments"
 	"tsync/internal/measure"
+	"tsync/internal/prof"
 	"tsync/internal/render"
 	"tsync/internal/stream"
 	"tsync/internal/trace"
@@ -41,8 +42,11 @@ type options struct {
 	all           bool
 	legacy        bool
 	window        int
+	batch         int
 	spill         string
 	workers       int
+	cpuprofile    string
+	memprofile    string
 }
 
 func main() {
@@ -54,11 +58,23 @@ func main() {
 	flag.BoolVar(&o.all, "all", false, "compare all correction methods instead (in-memory)")
 	flag.BoolVar(&o.legacy, "legacy", false, "force the in-memory path instead of streaming")
 	flag.IntVar(&o.window, "window", 0, "streaming reorder window: max pending items per rank (0 = default 65536)")
+	flag.IntVar(&o.batch, "batch", 0, "streaming slab size in events per stage hand-off (0 = default 4096); output is identical for any value")
 	flag.StringVar(&o.spill, "spill", "spill", "streaming window overflow policy: spill (unbounded, recorded) or error (fail fast)")
 	flag.IntVar(&o.workers, "workers", 0, "parallel worker bound for -all and streaming assembly (0 = all CPUs); results are identical for any value")
+	flag.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile (runtime/pprof) to this file")
+	flag.StringVar(&o.memprofile, "memprofile", "", "write an allocation profile to this file after the run")
 	flag.Parse()
 
-	if err := run(o); err != nil {
+	stop, err := prof.Start(o.cpuprofile, o.memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracesync:", err)
+		os.Exit(1)
+	}
+	err = run(o)
+	if perr := stop(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracesync:", err)
 		os.Exit(1)
 	}
@@ -132,7 +148,7 @@ func runStreaming(o options, side sidecar) error {
 	}
 	p := stream.Pipeline{
 		Base: b, CLC: o.withCLC,
-		Options: stream.Options{Window: o.window, Policy: policy, Workers: o.workers},
+		Options: stream.Options{Window: o.window, Policy: policy, Workers: o.workers, Batch: o.batch},
 	}
 	var outW *os.File
 	if o.out != "" {

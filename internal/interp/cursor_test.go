@@ -1,0 +1,186 @@
+package interp
+
+// Tests for the monotone-cursor mapper: it must agree with
+// Correction.Map bit-for-bit on every input sequence — monotone,
+// regressing, repeated, or out of range — and must not allocate in
+// steady state.
+
+import (
+	"math"
+	"testing"
+
+	"tsync/internal/measure"
+	"tsync/internal/stats"
+	"tsync/internal/xrand"
+)
+
+// cursorCorrections builds a spread of correction shapes: single piece,
+// many pieces, identity, and a dense piecewise map with discontinuities.
+func cursorCorrections(t *testing.T) map[string]*Correction {
+	t.Helper()
+	out := map[string]*Correction{}
+
+	init := offsetTable([2]float64{0, 0}, [2]float64{0, 1e-3}, [2]float64{0, -2e-3})
+	fin := offsetTable([2]float64{1000, 0}, [2]float64{1000, 3e-3}, [2]float64{1000, 5e-4})
+	lin, err := Linear(init, fin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["linear"] = lin
+
+	align, err := AlignOnly(init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["align"] = align
+
+	tables := make([][]measure.Offset, 9)
+	for k := range tables {
+		w := float64(k) * 125
+		tables[k] = offsetTable(
+			[2]float64{w, 0},
+			[2]float64{w, 1e-4 * float64(k*k)},
+			[2]float64{w, -3e-4 * float64(k)},
+		)
+	}
+	pw, err := Piecewise(tables...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["piecewise"] = pw
+
+	// Discontinuous pieces: each window has an unrelated affine map, so
+	// landing on the wrong piece changes the result by a lot.
+	knots := []float64{0, 10, 20, 30, 40, 50}
+	perRank := make([][]stats.Line, 3)
+	for r := range perRank {
+		lines := make([]stats.Line, len(knots))
+		for i := range lines {
+			lines[i] = stats.Line{Slope: 1 + 0.01*float64(i*r), Intercept: float64(100*i - 7*r)}
+		}
+		perRank[r] = lines
+	}
+	disc, err := FromPiecewiseLines(knots, perRank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["discontinuous"] = disc
+
+	out["identity"] = Identity(3)
+	return out
+}
+
+// TestCursorMatchesMapMonotone feeds nondecreasing times per rank — the
+// streaming merge's access pattern — and requires bit equality with Map.
+func TestCursorMatchesMapMonotone(t *testing.T) {
+	for name, c := range cursorCorrections(t) {
+		t.Run(name, func(t *testing.T) {
+			rng := xrand.NewSource(11)
+			cur := c.NewCursor()
+			ts := make([]float64, c.Ranks())
+			for i := range ts {
+				ts[i] = -50
+			}
+			for i := 0; i < 5000; i++ {
+				r := rng.Intn(c.Ranks())
+				ts[r] += rng.Uniform(0, 2) // includes zero-step repeats
+				want := c.Map(r, ts[r])
+				got := cur.Map(r, ts[r])
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("step %d rank %d t=%v: cursor %v, Map %v", i, r, ts[r], got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestCursorMatchesMapArbitrary feeds arbitrary (regressing) times; the
+// cursor must fall back to the exact search and still match Map.
+func TestCursorMatchesMapArbitrary(t *testing.T) {
+	for name, c := range cursorCorrections(t) {
+		t.Run(name, func(t *testing.T) {
+			rng := xrand.NewSource(23)
+			cur := c.NewCursor()
+			for i := 0; i < 5000; i++ {
+				r := rng.Intn(c.Ranks())
+				tt := rng.Uniform(-200, 1400)
+				want := c.Map(r, tt)
+				got := cur.Map(r, tt)
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("step %d rank %d t=%v: cursor %v, Map %v", i, r, tt, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestCursorKnotBoundaries hits every knot exactly, plus the adjacent
+// representable floats, where picking the wrong piece is most likely.
+func TestCursorKnotBoundaries(t *testing.T) {
+	c := cursorCorrections(t)["discontinuous"]
+	cur := c.NewCursor()
+	for r := 0; r < c.Ranks(); r++ {
+		for _, k := range []float64{0, 10, 20, 30, 40, 50} {
+			for _, tt := range []float64{math.Nextafter(k, -1e9), k, math.Nextafter(k, 1e9)} {
+				want := c.Map(r, tt)
+				if got := cur.Map(r, tt); math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("rank %d t=%v: cursor %v, Map %v", r, tt, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCursorOutOfRange mirrors Map's out-of-range behavior: unknown
+// ranks pass times through unchanged.
+func TestCursorOutOfRange(t *testing.T) {
+	c := Identity(2)
+	cur := c.NewCursor()
+	for _, r := range []int{-1, 2, 100} {
+		if got := cur.Map(r, 3.5); got != 3.5 {
+			t.Fatalf("Map(%d, 3.5) = %v, want 3.5", r, got)
+		}
+	}
+}
+
+// TestCursorEmptyRank mirrors Map on a rank with no pieces (a correction
+// that covers the rank but never measured it): times pass through.
+func TestCursorEmptyRank(t *testing.T) {
+	c := &Correction{perRank: make([]pieces, 2)}
+	cur := c.NewCursor()
+	for _, tt := range []float64{-1, 0, 3.5} {
+		if got := cur.Map(1, tt); got != tt {
+			t.Fatalf("Map(1, %v) = %v, want pass-through", tt, got)
+		}
+		if got := c.Map(1, tt); got != tt {
+			t.Fatalf("Correction.Map(1, %v) = %v, want pass-through", tt, got)
+		}
+	}
+}
+
+// TestConstructorErrors covers the table-shape rejections shared by the
+// cursor's underlying corrections.
+func TestConstructorErrors(t *testing.T) {
+	if _, err := AlignOnly(nil); err == nil {
+		t.Error("AlignOnly(nil): want error")
+	}
+	good := offsetTable([2]float64{0, 0}, [2]float64{0, 1e-3})
+	bad := offsetTable([2]float64{10, 0}, [2]float64{10, 2e-3})
+	bad[1].Rank = 5
+	if _, err := Piecewise(good, bad); err == nil {
+		t.Error("Piecewise with mislabeled rank: want error")
+	}
+}
+
+// TestCursorAllocs pins the mapper hot path to zero allocations.
+func TestCursorAllocs(t *testing.T) {
+	c := cursorCorrections(t)["piecewise"]
+	cur := c.NewCursor()
+	tt := 0.0
+	if avg := testing.AllocsPerRun(5000, func() {
+		tt += 0.25
+		cur.Map(1, tt)
+	}); avg != 0 {
+		t.Errorf("MonotoneCursor.Map allocates %.2f per call, want 0", avg)
+	}
+}

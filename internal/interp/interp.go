@@ -9,6 +9,7 @@ package interp
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"tsync/internal/measure"
@@ -31,7 +32,7 @@ type pieces struct {
 	lines []stats.Line
 }
 
-// mapTime applies the correction to one local time value: the last piece
+// search returns the index of the piece covering t: the last piece
 // whose knot is <= t, per the contract "pieces[i] applies for t >=
 // knots[i]". SearchFloat64s returns the first knot >= t, so when t hits a
 // knot exactly that index is already the piece that starts there and must
@@ -39,17 +40,23 @@ type pieces struct {
 // which disagrees at any discontinuous breakpoint (e.g. the windowed
 // error-estimation corrections). Times before the first knot extrapolate
 // the first piece; times past the last knot extrapolate the last.
-func (p pieces) mapTime(t float64) float64 {
-	if len(p.lines) == 0 {
-		return t
-	}
+func (p pieces) search(t float64) int {
 	i := sort.SearchFloat64s(p.knots, t)
 	if i == len(p.knots) || p.knots[i] > t {
 		if i > 0 {
 			i--
 		}
 	}
-	return p.lines[i].At(t)
+	return i
+}
+
+// mapTime applies the correction to one local time value via a fresh
+// O(log k) piece lookup.
+func (p pieces) mapTime(t float64) float64 {
+	if len(p.lines) == 0 {
+		return t
+	}
+	return p.lines[p.search(t)].At(t)
 }
 
 // Ranks returns the number of ranks the correction covers.
@@ -61,6 +68,58 @@ func (c *Correction) Map(rank int, t float64) float64 {
 		return t
 	}
 	return c.perRank[rank].mapTime(t)
+}
+
+// MonotoneCursor maps local times to master time like Correction.Map,
+// but remembers the last piece used per rank. Callers that feed each
+// rank's times in nondecreasing order (the streaming merge does: every
+// rank's events are validated nondecreasing in local time) pay an
+// amortized O(1) forward scan instead of an O(log k) binary search per
+// lookup. A time that regresses below the previous one falls back to the
+// exact binary search, so the cursor returns bit-identical results to
+// Correction.Map for every input sequence, monotone or not.
+//
+// A cursor is not safe for concurrent use; create one per goroutine.
+type MonotoneCursor struct {
+	c    *Correction
+	idx  []int
+	last []float64
+}
+
+// NewCursor returns a fresh cursor over c with all ranks positioned
+// before the first piece.
+func (c *Correction) NewCursor() *MonotoneCursor {
+	n := len(c.perRank)
+	m := &MonotoneCursor{c: c, idx: make([]int, n), last: make([]float64, n)}
+	for i := range m.last {
+		m.last[i] = math.Inf(-1)
+	}
+	return m
+}
+
+// Map converts rank's local time t to master time. It returns the same
+// bits Correction.Map would for any call sequence.
+func (m *MonotoneCursor) Map(rank int, t float64) float64 {
+	if rank < 0 || rank >= len(m.c.perRank) {
+		return t
+	}
+	p := &m.c.perRank[rank]
+	if len(p.lines) == 0 {
+		return t
+	}
+	i := m.idx[rank]
+	if t < m.last[rank] {
+		// Regression: the remembered piece may lie past t; redo the
+		// exact lookup so non-monotone callers still get Map's answer.
+		i = p.search(t)
+	} else {
+		for i+1 < len(p.knots) && p.knots[i+1] <= t {
+			i++
+		}
+	}
+	m.idx[rank] = i
+	m.last[rank] = t
+	return p.lines[i].At(t)
 }
 
 // Apply returns a corrected copy of the trace with every event's Time

@@ -1,0 +1,62 @@
+// Package prof wires the runtime/pprof profilers into command-line
+// tools: one call enables CPU and heap profiling from flag values, and
+// the returned stop function finalizes both files. It exists so every
+// cmd/ binary exposes identical -cpuprofile/-memprofile behavior for
+// in-container performance work.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath unless it is empty. The
+// returned stop function ends the CPU profile and, when memPath is
+// non-empty, writes an allocs profile there (after a GC, so live-heap
+// figures are accurate). Callers must invoke stop exactly once, after
+// the workload, even if only memPath was set.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		cpuFile = f
+	}
+	return func() error {
+		var err error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			err = cpuFile.Close()
+		}
+		if memPath != "" {
+			if werr := writeHeapProfile(memPath); err == nil {
+				err = werr
+			}
+		}
+		return err
+	}, nil
+}
+
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	err = pprof.Lookup("allocs").WriteTo(f, 0)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("heap profile: %w", err)
+	}
+	return nil
+}

@@ -30,6 +30,10 @@ const diffSeed = 0xd1ff5eed
 var diffWindows = []int{1, 16, 4096}
 var diffWorkers = []int{1, 4}
 
+// diffBatches exercises the slab pipeline at both extremes: one-event
+// slabs (maximal stage hand-offs) and the default production size.
+var diffBatches = []int{1, 4096}
+
 // synthFile writes a synthetic trace to a temp file and returns its path
 // with the exact offset tables.
 func synthFile(t *testing.T, spec stream.SynthSpec) (string, []measure.Offset, []measure.Offset) {
@@ -120,43 +124,45 @@ func TestDifferentialPipeline(t *testing.T) {
 			}
 			for _, window := range diffWindows {
 				for _, workers := range diffWorkers {
-					name := fmt.Sprintf("spec%d/%s/w%d/k%d", si, pipe.name, window, workers)
-					t.Run(name, func(t *testing.T) {
-						var out bytes.Buffer
-						p := stream.Pipeline{
-							Base: pipe.base, CLC: pipe.clc, CLCOptions: pipe.opts,
-							Options: stream.Options{Window: window, Workers: workers},
-						}
-						res, err := p.Run(src, &out, init, fin)
-						if err != nil {
-							t.Fatalf("streaming: %v", err)
-						}
-						if !bytes.Equal(out.Bytes(), memBuf.Bytes()) {
-							t.Fatalf("output bytes differ: %d vs %d bytes", out.Len(), memBuf.Len())
-						}
-						gotSum, err := experiments.ChecksumTraceFile(bytes.NewReader(out.Bytes()))
-						if err != nil {
-							t.Fatal(err)
-						}
-						if gotSum != memSum {
-							t.Fatalf("trace checksum %s != in-memory %s", gotSum, memSum)
-						}
-						if !reflect.DeepEqual(res.Before, mem.Before) {
-							t.Errorf("Before census differs:\n stream %+v\n memory %+v", res.Before, mem.Before)
-						}
-						if !reflect.DeepEqual(res.After, mem.After) {
-							t.Errorf("After census differs:\n stream %+v\n memory %+v", res.After, mem.After)
-						}
-						if res.CLCReport != mem.CLCReport {
-							t.Errorf("CLC report differs:\n stream %+v\n memory %+v", res.CLCReport, mem.CLCReport)
-						}
-						if res.Distortion != mem.Distortion {
-							t.Errorf("distortion differs:\n stream %+v\n memory %+v", res.Distortion, mem.Distortion)
-						}
-						if res.Stats.Events != src.Events() {
-							t.Errorf("stats counted %d events, source has %d", res.Stats.Events, src.Events())
-						}
-					})
+					for _, batch := range diffBatches {
+						name := fmt.Sprintf("spec%d/%s/w%d/k%d/b%d", si, pipe.name, window, workers, batch)
+						t.Run(name, func(t *testing.T) {
+							var out bytes.Buffer
+							p := stream.Pipeline{
+								Base: pipe.base, CLC: pipe.clc, CLCOptions: pipe.opts,
+								Options: stream.Options{Window: window, Workers: workers, Batch: batch},
+							}
+							res, err := p.Run(src, &out, init, fin)
+							if err != nil {
+								t.Fatalf("streaming: %v", err)
+							}
+							if !bytes.Equal(out.Bytes(), memBuf.Bytes()) {
+								t.Fatalf("output bytes differ: %d vs %d bytes", out.Len(), memBuf.Len())
+							}
+							gotSum, err := experiments.ChecksumTraceFile(bytes.NewReader(out.Bytes()))
+							if err != nil {
+								t.Fatal(err)
+							}
+							if gotSum != memSum {
+								t.Fatalf("trace checksum %s != in-memory %s", gotSum, memSum)
+							}
+							if !reflect.DeepEqual(res.Before, mem.Before) {
+								t.Errorf("Before census differs:\n stream %+v\n memory %+v", res.Before, mem.Before)
+							}
+							if !reflect.DeepEqual(res.After, mem.After) {
+								t.Errorf("After census differs:\n stream %+v\n memory %+v", res.After, mem.After)
+							}
+							if res.CLCReport != mem.CLCReport {
+								t.Errorf("CLC report differs:\n stream %+v\n memory %+v", res.CLCReport, mem.CLCReport)
+							}
+							if res.Distortion != mem.Distortion {
+								t.Errorf("distortion differs:\n stream %+v\n memory %+v", res.Distortion, mem.Distortion)
+							}
+							if res.Stats.Events != src.Events() {
+								t.Errorf("stats counted %d events, source has %d", res.Stats.Events, src.Events())
+							}
+						})
+					}
 				}
 			}
 		}

@@ -1,7 +1,6 @@
 package stream
 
 import (
-	"container/heap"
 	"fmt"
 	"io"
 
@@ -105,8 +104,8 @@ type engine struct {
 	opt    Options
 	acct   *accounting
 
-	cursors []*Cursor
-	heads   []trace.Event
+	cursors []*slabCursor
+	heads   []*trace.Event
 	idx     []int
 	done    []bool
 	h       mergeHeap
@@ -122,32 +121,71 @@ type engine struct {
 	inBuf []InEdge
 }
 
-// mergeHeap orders ranks by their head event's (True, rank).
+// mergeHeap orders ranks by their head event's (True, rank). It is a
+// hand-rolled binary heap over rank numbers: the comparison is two loads
+// and a float compare, cheap enough that container/heap's interface
+// dispatch used to dominate it. The pop order cannot differ from the
+// generic heap's: (True, rank) is a strict total order over the live
+// ranks, so the minimum is unique at every step.
 type mergeHeap struct {
 	e *engine
 	r []int
 }
 
-func (m *mergeHeap) Len() int { return len(m.r) }
-func (m *mergeHeap) Less(i, j int) bool {
-	a, b := m.r[i], m.r[j]
+func (m *mergeHeap) less(a, b int) bool {
 	ta, tb := m.e.heads[a].True, m.e.heads[b].True
 	if ta != tb { //tsync:exact — heap order on oracle times; ties break by rank below
 		return ta < tb
 	}
 	return a < b
 }
-func (m *mergeHeap) Swap(i, j int) { m.r[i], m.r[j] = m.r[j], m.r[i] }
-func (m *mergeHeap) Push(x any)    { m.r = append(m.r, x.(int)) }
-func (m *mergeHeap) Pop() any      { v := m.r[len(m.r)-1]; m.r = m.r[:len(m.r)-1]; return v }
+
+func (m *mergeHeap) push(r int) {
+	m.r = append(m.r, r)
+	for i := len(m.r) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !m.less(m.r[i], m.r[p]) {
+			break
+		}
+		m.r[i], m.r[p] = m.r[p], m.r[i]
+		i = p
+	}
+}
+
+func (m *mergeHeap) pop() int {
+	top := m.r[0]
+	last := len(m.r) - 1
+	m.r[0] = m.r[last]
+	m.r = m.r[:last]
+	for i := 0; ; {
+		c := 2*i + 1
+		if c >= last {
+			break
+		}
+		if rgt := c + 1; rgt < last && m.less(m.r[rgt], m.r[c]) {
+			c = rgt
+		}
+		if !m.less(m.r[c], m.r[i]) {
+			break
+		}
+		m.r[i], m.r[c] = m.r[c], m.r[i]
+		i = c
+	}
+	return top
+}
 
 func walk(src *Source, m timeMapper, snk sink, opt Options, acct *accounting) error {
 	n := src.Ranks()
+	// stop tears the decode stages down if the walk exits before
+	// draining them (sink error, malformed trace).
+	stop := make(chan struct{})
+	defer close(stop)
+	pool := newSlabPool(opt.Batch)
 	e := &engine{
 		src: src, mapper: m, snk: snk, opt: opt,
 		acct:     acct,
-		cursors:  make([]*Cursor, n),
-		heads:    make([]trace.Event, n),
+		cursors:  make([]*slabCursor, n),
+		heads:    make([]*trace.Event, n),
 		idx:      make([]int, n),
 		done:     make([]bool, n),
 		fifos:    map[chanKey][]sendEntry{},
@@ -157,13 +195,15 @@ func walk(src *Source, m timeMapper, snk sink, opt Options, acct *accounting) er
 	}
 	e.h.e = e
 	for r := 0; r < n; r++ {
-		e.cursors[r] = src.Cursor(r)
+		e.cursors[r] = src.slabCursor(r, pool, stop)
+	}
+	for r := 0; r < n; r++ {
 		if err := e.advance(r); err != nil {
 			return err
 		}
 	}
-	for e.h.Len() > 0 {
-		r := heap.Pop(&e.h).(int)
+	for len(e.h.r) > 0 {
+		r := e.h.pop()
 		if err := e.process(r); err != nil {
 			return err
 		}
@@ -185,9 +225,10 @@ func walk(src *Source, m timeMapper, snk sink, opt Options, acct *accounting) er
 }
 
 // advance loads rank's next event into the merge heap, handling rank
-// exhaustion.
+// exhaustion. The head is a pointer into the rank's current slab — valid
+// until this rank's next advance, which is exactly its lifetime here.
 func (e *engine) advance(r int) error {
-	err := e.cursors[r].Next(&e.heads[r])
+	ev, err := e.cursors[r].nextRef()
 	if err == io.EOF {
 		e.done[r] = true
 		if err := e.snk.rankDone(r); err != nil {
@@ -204,7 +245,8 @@ func (e *engine) advance(r int) error {
 	if err != nil {
 		return err
 	}
-	heap.Push(&e.h, r)
+	e.heads[r] = ev
+	e.h.push(r)
 	return nil
 }
 
@@ -217,7 +259,7 @@ func (e *engine) lmin(a, b int) float64 {
 }
 
 func (e *engine) process(r int) error {
-	ev := &e.heads[r]
+	ev := e.heads[r]
 	idx := e.idx[r]
 	mapped, err := e.mapper.mapTime(r, idx, ev)
 	if err != nil {

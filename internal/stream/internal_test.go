@@ -1,0 +1,50 @@
+package stream
+
+// White-box tests for the engine's tunables and slab plumbing: option
+// normalization must be the single clamping point, and the slab pool
+// must recycle without per-event (or per-slab) allocations.
+
+import (
+	"testing"
+
+	"tsync/internal/trace"
+)
+
+func TestOptionsNormalize(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Options
+		want Options
+	}{
+		{"zero", Options{}, Options{Window: DefaultWindow, Workers: 1, Batch: DefaultBatch}},
+		{"negative", Options{Window: -5, Workers: -2, Batch: -1}, Options{Window: DefaultWindow, Workers: 1, Batch: DefaultBatch}},
+		{"kept", Options{Window: 7, Workers: 3, Batch: 9, Policy: PolicyError},
+			Options{Window: 7, Workers: 3, Batch: 9, Policy: PolicyError}},
+		{"worker-floor", Options{Window: 1, Workers: 0, Batch: 1}, Options{Window: 1, Workers: 1, Batch: 1}},
+	}
+	for _, tc := range cases {
+		if got := tc.in.Normalize(); got != tc.want {
+			t.Errorf("%s: Normalize(%+v) = %+v, want %+v", tc.name, tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestSlabRecycleAllocs pins the steady-state slab cycle — get, fill to
+// capacity, put — to zero allocations once the pool is warm.
+func TestSlabRecycleAllocs(t *testing.T) {
+	pool := newSlabPool(64)
+	warm := pool.get()
+	pool.put(warm)
+	ev := trace.Event{Kind: trace.Send, Time: 1, True: 2}
+	if avg := testing.AllocsPerRun(1000, func() {
+		s := pool.get()
+		for len(s.evs) < cap(s.evs) {
+			s.evs = append(s.evs, ev)
+		}
+		pool.put(s)
+	}); avg > 0.02 {
+		// sync.Pool may drop items across GC cycles; anything beyond
+		// that noise means the cycle itself allocates.
+		t.Errorf("slab recycle allocates %.3f per cycle, want ~0", avg)
+	}
+}

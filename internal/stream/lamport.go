@@ -73,7 +73,7 @@ func LamportSchedule(src *Source, delta float64, out io.Writer, opt Options) (St
 	if delta <= 0 {
 		return Stats{}, fmt.Errorf("stream: LamportSchedule needs positive delta, got %v", delta)
 	}
-	opt = opt.withDefaults()
+	opt = opt.Normalize()
 	var stats Stats
 	stats.Events = src.Events()
 	spills, err := newSpillSet(src.Ranks())

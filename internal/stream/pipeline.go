@@ -53,13 +53,13 @@ func (p Pipeline) baseMapper(init, fin []measure.Offset) (timeMapper, error) {
 		if err != nil {
 			return nil, err
 		}
-		return corrMapper{corr}, nil
+		return newCorrMapper(corr), nil
 	case core.BaseInterp:
 		corr, err := interp.Linear(init, fin)
 		if err != nil {
 			return nil, err
 		}
-		return corrMapper{corr}, nil
+		return newCorrMapper(corr), nil
 	case core.BaseRegression, core.BaseConvexHull, core.BaseMinMax:
 		return nil, fmt.Errorf("%w: base %q fits pairwise maps over the full trace", ErrUnsupported, p.Base)
 	}
@@ -70,7 +70,7 @@ func (p Pipeline) baseMapper(init, fin []measure.Offset) (timeMapper, error) {
 // unless out is nil (analysis only). The offset tables serve BaseAlign
 // (init) and BaseInterp (both), exactly as in core.Pipeline.Run.
 func (p Pipeline) Run(src *Source, out io.Writer, init, fin []measure.Offset) (*Result, error) {
-	opt := p.Options.withDefaults()
+	opt := p.Options.Normalize()
 	mapper, err := p.baseMapper(init, fin)
 	if err != nil {
 		return nil, err
@@ -140,6 +140,24 @@ func (p Pipeline) Run(src *Source, out io.Writer, init, fin []measure.Offset) (*
 		return mapper, func() error { return nil }
 	}
 
+	if out != nil && (opt.Workers <= 1 || src.Ranks() <= 1) {
+		// Serial output: fuse the distortion and assembly sweeps into one
+		// pass — both walk the trace rank-major calling the final mapper
+		// once per event, so a single traversal feeds the distortion
+		// accumulators and the encode stage while saving a full decode of
+		// the trace. The accumulation order, mapper call sequence, and
+		// output bytes are exactly those of the separate passes.
+		dm, closeDM := finalMapper()
+		res.Distortion, err = assembleMeasure(src, dm, out, opt)
+		if cerr := closeDM(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+
 	dm, closeDM := finalMapper()
 	res.Distortion, err = distortion(src, dm)
 	if cerr := closeDM(); err == nil {
@@ -165,7 +183,7 @@ func (p Pipeline) Run(src *Source, out io.Writer, init, fin []measure.Offset) (*
 // Census scans src's raw timestamps in one streaming pass, matching
 // analysis.CensusOf on the materialized trace bit for bit.
 func Census(src *Source, opt Options) (analysis.Census, Stats, error) {
-	opt = opt.withDefaults()
+	opt = opt.Normalize()
 	var stats Stats
 	stats.Events = src.Events()
 	s := &censusSink{gamma: clc.DefaultOptions().Gamma}
@@ -214,6 +232,120 @@ func distortion(src *Source, final timeMapper) (analysis.Distortion, error) {
 		d.MeanAbs = sum / float64(d.N)
 	}
 	return d, nil
+}
+
+// encMsg is one unit of the encode stage's input: a process header
+// opening a rank's block, or a slab of already-mapped events to append
+// to it.
+type encMsg struct {
+	ph *trace.ProcHeader
+	s  *slab
+}
+
+// encodeStage is the pipeline's encode stage: it owns the EventWriter,
+// consuming headers and slabs in arrival order (one bounded channel, so
+// rank order is preserved) while the producer decodes and maps the next
+// slab. After a failure it keeps draining — recycling slabs — so the
+// producer never blocks, and reports the first error on res.
+func encodeStage(ew *trace.EventWriter, pool *slabPool, in <-chan encMsg, res chan<- error) {
+	var err error
+	for msg := range in {
+		if msg.s == nil {
+			if err == nil {
+				err = ew.BeginProc(*msg.ph)
+			}
+			continue
+		}
+		if err == nil {
+			for i := range msg.s.evs {
+				if werr := ew.Write(&msg.s.evs[i]); werr != nil {
+					err = werr
+					break
+				}
+			}
+		}
+		pool.put(msg.s)
+	}
+	if err == nil {
+		err = ew.Close()
+	}
+	res <- err
+}
+
+// assembleMeasure runs the fused final pass: one rank-major decode whose
+// slabs are timestamp-mapped in place, measured for distortion, and
+// handed to the concurrent encode stage. Bit-equality with the separate
+// distortion + assemble passes holds because the traversal order, the
+// mapper call per event, the float accumulation order of the distortion
+// sums, and the encoder are all identical — only the number of decode
+// passes changes.
+func assembleMeasure(src *Source, m timeMapper, out io.Writer, opt Options) (analysis.Distortion, error) {
+	var d analysis.Distortion
+	ew, err := trace.NewEventWriter(out, src.Header())
+	if err != nil {
+		return d, err
+	}
+	pool := newSlabPool(opt.Batch)
+	in := make(chan encMsg, 1)
+	res := make(chan error, 1)
+	go encodeStage(ew, pool, in, res)
+	finish := func(err error) (analysis.Distortion, error) {
+		close(in)
+		if werr := <-res; err == nil {
+			err = werr
+		}
+		return d, err
+	}
+	var sum float64
+	for rank := 0; rank < src.Ranks(); rank++ {
+		ph := src.Procs()[rank]
+		in <- encMsg{ph: &ph}
+		cur := src.Cursor(rank)
+		var prevRaw, prevFin float64
+		for idx := 0; idx < ph.EventCount; {
+			s := pool.get()
+			if ferr := cur.fill(s); ferr != nil {
+				pool.put(s)
+				if ferr == io.EOF {
+					ferr = io.ErrUnexpectedEOF
+				}
+				return finish(ferr)
+			}
+			for i := range s.evs {
+				ev := &s.evs[i]
+				ft, merr := m.mapTime(rank, idx, ev)
+				if merr != nil {
+					pool.put(s)
+					return finish(merr)
+				}
+				if idx > 0 {
+					origIv := ev.Time - prevRaw
+					corrIv := ft - prevFin
+					delta := corrIv - origIv
+					if math.Abs(delta) > d.MaxAbs {
+						d.MaxAbs = math.Abs(delta)
+					}
+					if corrIv < origIv {
+						d.Shrunk++
+					}
+					sum += math.Abs(delta)
+					d.N++
+				}
+				prevRaw, prevFin = ev.Time, ft
+				ev.SetTime(ft)
+				idx++
+			}
+			in <- encMsg{s: s}
+		}
+	}
+	d2, err := finish(nil)
+	if err != nil {
+		return d2, err
+	}
+	if d2.N > 0 {
+		d2.MeanAbs = sum / float64(d2.N)
+	}
+	return d2, nil
 }
 
 // assemble writes the output trace: src's events with their mapped

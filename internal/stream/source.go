@@ -3,6 +3,7 @@ package stream
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"tsync/internal/trace"
 )
@@ -112,4 +113,129 @@ func (c *Cursor) Next(ev *trace.Event) error {
 	}
 	c.remaining--
 	return nil
+}
+
+// slab is one fixed-capacity batch of decoded events — the unit of work
+// the staged pipeline hands between decode, merge, and encode.
+type slab struct {
+	evs []trace.Event
+}
+
+// slabPool recycles slabs of one batch size, so the steady state of a
+// pass allocates no event storage at all: the working set is the handful
+// of slabs in flight between stages.
+type slabPool struct {
+	p sync.Pool
+}
+
+func newSlabPool(batch int) *slabPool {
+	sp := &slabPool{}
+	sp.p.New = func() any { return &slab{evs: make([]trace.Event, 0, batch)} }
+	return sp
+}
+
+func (sp *slabPool) get() *slab { return sp.p.Get().(*slab) }
+
+func (sp *slabPool) put(s *slab) {
+	s.evs = s.evs[:0]
+	sp.p.Put(s)
+}
+
+// fill decodes the rank's next batch of events into s, up to its
+// capacity. It returns io.EOF (with an empty slab) once the rank is
+// exhausted, and classifies a short batch exactly like Next would: a
+// stream that ends while events are still owed is a truncation.
+func (c *Cursor) fill(s *slab) error {
+	n := min(cap(s.evs), c.remaining)
+	if n == 0 {
+		s.evs = s.evs[:0]
+		return io.EOF
+	}
+	s.evs = s.evs[:n]
+	m, err := c.d.DecodeBatch(s.evs)
+	s.evs = s.evs[:m]
+	c.remaining -= m
+	if m < n {
+		if err == nil || err == io.EOF {
+			return io.ErrUnexpectedEOF
+		}
+		return err
+	}
+	return nil
+}
+
+// slabMsg carries one decoded slab downstream; a non-nil err means the
+// decode failed after s's events (which are still valid).
+type slabMsg struct {
+	s   *slab
+	err error
+}
+
+// decodeRank is the per-rank decode stage: it fills pooled slabs ahead
+// of the merge and sends them over a bounded channel. It exits when the
+// rank is exhausted (closing ch), after sending a decode error, or when
+// stop closes (the engine quit early). All state arrives as arguments —
+// the goroutine captures nothing.
+func decodeRank(cur *Cursor, pool *slabPool, ch chan<- slabMsg, stop <-chan struct{}) {
+	defer close(ch)
+	for {
+		s := pool.get()
+		err := cur.fill(s)
+		if err == io.EOF {
+			pool.put(s)
+			return
+		}
+		select {
+		case ch <- slabMsg{s: s, err: err}:
+		case <-stop:
+			pool.put(s)
+			return
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// slabCursor drains a decode stage one event at a time, recycling each
+// slab as it empties.
+type slabCursor struct {
+	ch   <-chan slabMsg
+	pool *slabPool
+	s    *slab
+	pos  int
+	err  error
+}
+
+// slabCursor starts a decode-ahead stage over rank's events. Closing
+// stop releases the stage's goroutine if the caller quits before
+// draining it.
+func (s *Source) slabCursor(rank int, pool *slabPool, stop <-chan struct{}) *slabCursor {
+	ch := make(chan slabMsg, 1)
+	go decodeRank(s.Cursor(rank), pool, ch, stop)
+	return &slabCursor{ch: ch, pool: pool}
+}
+
+// nextRef returns a pointer to the rank's next event, or io.EOF after
+// the last one. The pointee lives in the current slab: it stays valid
+// until the slab drains (at most cap(evs) further nextRef calls), which
+// is exactly as long as the merge engine holds a rank's head.
+func (c *slabCursor) nextRef() (*trace.Event, error) {
+	for c.s == nil || c.pos == len(c.s.evs) {
+		if c.s != nil {
+			c.pool.put(c.s)
+			c.s = nil
+		}
+		if c.err != nil {
+			return nil, c.err
+		}
+		msg, ok := <-c.ch
+		if !ok {
+			return nil, io.EOF
+		}
+		c.s, c.pos, c.err = msg.s, 0, msg.err
+	}
+	ev := &c.s.evs[c.pos]
+	c.pos++
+	return ev, nil
 }

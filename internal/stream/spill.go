@@ -26,12 +26,22 @@ type identityMapper struct{}
 
 func (identityMapper) mapTime(_, _ int, ev *trace.Event) (float64, error) { return ev.Time, nil }
 
-// corrMapper applies an interp correction — the exact mapTime calls the
-// in-memory Correction.Apply makes, so values are bit-identical.
-type corrMapper struct{ c *interp.Correction }
+// corrMapper applies an interp correction through a monotone cursor:
+// every pass feeds each rank's events in file order, whose local times
+// are (in practice) nondecreasing, so the piece lookup is amortized O(1)
+// instead of a binary search per event. The cursor falls back to the
+// exact search whenever a time regresses — including the restart between
+// passes that share one mapper — so its values are bit-identical to the
+// in-memory Correction.Apply on every input. Concurrent per-rank use
+// (assembleParallel) is safe: the cursor state is per-rank.
+type corrMapper struct{ cur *interp.MonotoneCursor }
+
+func newCorrMapper(c *interp.Correction) corrMapper {
+	return corrMapper{cur: c.NewCursor()}
+}
 
 func (m corrMapper) mapTime(rank, _ int, ev *trace.Event) (float64, error) {
-	return m.c.Map(rank, ev.Time), nil
+	return m.cur.Map(rank, ev.Time), nil
 }
 
 // spillSet is a directory of per-rank float64 streams holding finalized
@@ -56,11 +66,14 @@ func newSpillSet(ranks int) (*spillSet, error) {
 
 func (s *spillSet) Close() error { return os.RemoveAll(s.dir) }
 
-// spillWriter appends float64s to one rank's stream.
+// spillWriter appends float64s to one rank's stream. The scratch field
+// keeps the hot path allocation-free: a stack buffer passed to the
+// io.Writer interface would escape on every call.
 type spillWriter struct {
-	f  *os.File
-	bw *bufio.Writer
-	n  int64
+	f       *os.File
+	bw      *bufio.Writer
+	n       int64
+	scratch [8]byte
 }
 
 func (s *spillSet) writer(rank int) (*spillWriter, error) {
@@ -72,9 +85,8 @@ func (s *spillSet) writer(rank int) (*spillWriter, error) {
 }
 
 func (w *spillWriter) write(v float64) error {
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
-	_, err := w.bw.Write(buf[:])
+	binary.LittleEndian.PutUint64(w.scratch[:], math.Float64bits(v))
+	_, err := w.bw.Write(w.scratch[:])
 	w.n++
 	return err
 }
@@ -94,6 +106,10 @@ type spillMapper struct {
 	readers []*bufio.Reader
 	files   []*os.File
 	next    []int
+	// scratch holds one read buffer per rank (not one shared one):
+	// assembleParallel maps different ranks from different goroutines,
+	// and a per-rank slot keeps that race-free and allocation-free.
+	scratch [][8]byte
 }
 
 func (s *spillSet) mapper() *spillMapper {
@@ -102,6 +118,7 @@ func (s *spillSet) mapper() *spillMapper {
 		readers: make([]*bufio.Reader, len(s.paths)),
 		files:   make([]*os.File, len(s.paths)),
 		next:    make([]int, len(s.paths)),
+		scratch: make([][8]byte, len(s.paths)),
 	}
 }
 
@@ -118,11 +135,11 @@ func (m *spillMapper) mapTime(rank, idx int, _ *trace.Event) (float64, error) {
 		return 0, fmt.Errorf("stream: spill read out of order: rank %d idx %d (want %d)", rank, idx, m.next[rank])
 	}
 	m.next[rank]++
-	var buf [8]byte
-	if _, err := io.ReadFull(m.readers[rank], buf[:]); err != nil {
+	buf := m.scratch[rank][:]
+	if _, err := io.ReadFull(m.readers[rank], buf); err != nil {
 		return 0, fmt.Errorf("stream: spill read rank %d idx %d: %w", rank, idx, err)
 	}
-	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf)), nil
 }
 
 func (m *spillMapper) close() error {

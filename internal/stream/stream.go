@@ -37,6 +37,12 @@ import (
 // rank in the worst case.
 const DefaultWindow = 1 << 16
 
+// DefaultBatch is the slab size (events per batch) used when
+// Options.Batch is zero: large enough to amortize per-slab channel and
+// pool traffic to noise, small enough that a rank's in-flight slabs stay
+// a few hundred KiB.
+const DefaultBatch = 4096
+
 // ErrUnsupported reports a request the streaming path cannot serve
 // (error-estimation bases, shared-memory CLC, clock domains, JSON
 // traces). Callers fall back to the in-memory path.
@@ -97,11 +103,26 @@ type Options struct {
 	// (event re-encoding); values below 1 mean serial. The merge engine
 	// itself is sequential by design — determinism is its contract.
 	Workers int
+	// Batch is the slab size of the staged pipeline: how many events
+	// flow between the decode, merge, and encode stages per hand-off.
+	// Zero selects DefaultBatch. Batch only affects wall time, never
+	// output: the differential suite runs across batch sizes.
+	Batch int
 }
 
-func (o Options) withDefaults() Options {
+// Normalize clamps every tunable to its usable range: non-positive
+// Window and Batch select their defaults, non-positive Workers means
+// serial. All entry points normalize exactly once, up front, so the rest
+// of the package can assume sane values instead of re-checking per use.
+func (o Options) Normalize() Options {
 	if o.Window <= 0 {
 		o.Window = DefaultWindow
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
+	if o.Batch <= 0 {
+		o.Batch = DefaultBatch
 	}
 	return o
 }

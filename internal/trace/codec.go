@@ -29,6 +29,12 @@ const (
 	codecVersion = 1
 )
 
+// maxEventSize bounds one event's encoding: kind and op bytes, two
+// 8-byte floats, and seven varints of at most MaxVarintLen64 bytes.
+// The fast codec paths use it to decide when a peeked or scratch buffer
+// is guaranteed to hold a whole event.
+const maxEventSize = 2 + 16 + 7*binary.MaxVarintLen64
+
 // ErrBadFormat reports a malformed or truncated trace file.
 var ErrBadFormat = errors.New("trace: bad file format")
 
@@ -73,13 +79,6 @@ func writeUvarint(w *bufio.Writer, v uint64) error {
 	return err
 }
 
-func writeVarint(w *bufio.Writer, v int64) error {
-	var buf [binary.MaxVarintLen64]byte
-	n := binary.PutVarint(buf[:], v)
-	_, err := w.Write(buf[:n])
-	return err
-}
-
 func writeString(w *bufio.Writer, s string) error {
 	if err := writeUvarint(w, uint64(len(s))); err != nil {
 		return err
@@ -120,25 +119,62 @@ func Write(w io.Writer, t *Trace) (int64, error) {
 	return ew.cw.n, ew.Close()
 }
 
-func writeEvent(w *bufio.Writer, ev *Event) error {
-	if err := w.WriteByte(byte(ev.Kind)); err != nil {
-		return err
-	}
-	if err := w.WriteByte(byte(ev.Op)); err != nil {
-		return err
-	}
-	if err := writeFloat(w, ev.Time); err != nil {
-		return err
-	}
-	if err := writeFloat(w, ev.True); err != nil {
-		return err
-	}
+// appendEvent appends ev's canonical encoding to dst and returns the
+// extended slice. It is the single source of truth for event bytes:
+// every writer encodes through it (into a reused scratch buffer, so the
+// steady-state hot path allocates nothing per event).
+func appendEvent(dst []byte, ev *Event) []byte {
+	dst = append(dst, byte(ev.Kind), byte(ev.Op))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(ev.Time))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(ev.True))
 	for _, v := range [7]int32{ev.Region, ev.Instance, ev.Partner, ev.Tag, ev.Bytes, ev.Comm, ev.Root} {
-		if err := writeVarint(w, int64(v)); err != nil {
+		dst = binary.AppendVarint(dst, int64(v))
+	}
+	return dst
+}
+
+// decodeEvent decodes one event from the front of buf, returning the
+// bytes consumed. ok is false when buf may be too short, a varint is
+// malformed, or a field overflows int32 — the caller falls back to the
+// reader-based slow path, which classifies the failure exactly. A true
+// return consumed the same bytes readEvent would have.
+func decodeEvent(buf []byte, ev *Event) (n int, ok bool) {
+	if len(buf) < 18 {
+		return 0, false
+	}
+	ev.Kind = Kind(buf[0])
+	ev.Op = CollOp(buf[1])
+	ev.Time = math.Float64frombits(binary.LittleEndian.Uint64(buf[2:]))
+	ev.True = math.Float64frombits(binary.LittleEndian.Uint64(buf[10:]))
+	pos := 18
+	var fields [7]int32
+	for i := range fields {
+		v, vn := binary.Varint(buf[pos:])
+		if vn <= 0 || v > math.MaxInt32 || v < math.MinInt32 {
+			return 0, false
+		}
+		fields[i] = int32(v)
+		pos += vn
+	}
+	ev.Region, ev.Instance, ev.Partner = fields[0], fields[1], fields[2]
+	ev.Tag, ev.Bytes, ev.Comm, ev.Root = fields[3], fields[4], fields[5], fields[6]
+	return pos, true
+}
+
+// readEventFast decodes one event through a peek at the reader's buffer,
+// avoiding the per-field reader calls (and the heap-escaping scratch
+// arrays they need) of readEvent. Any shortfall — fewer buffered bytes
+// than maxEventSize near EOF with an incomplete event, or a malformed
+// varint — falls back to readEvent for bit-identical error behavior.
+func readEventFast(r *bufio.Reader, ev *Event) error {
+	buf, perr := r.Peek(maxEventSize)
+	if perr == nil || len(buf) >= 18 {
+		if n, ok := decodeEvent(buf, ev); ok {
+			_, err := r.Discard(n)
 			return err
 		}
 	}
-	return nil
+	return readEvent(r, ev)
 }
 
 func readString(r *bufio.Reader, maxLen uint64) (string, error) {

@@ -211,7 +211,7 @@ func (er *EventReader) Read(ev *Event) error {
 	if er.remaining == 0 {
 		return io.EOF
 	}
-	if err := readEvent(er.br, ev); err != nil {
+	if err := readEventFast(er.br, ev); err != nil {
 		return badFormat("events", err)
 	}
 	er.remaining--
@@ -228,6 +228,7 @@ type EventWriter struct {
 	procCount int
 	begun     int
 	remaining int // events still owed to the current process
+	scratch   []byte
 }
 
 // NewEventWriter writes the file header and returns a writer positioned
@@ -235,7 +236,7 @@ type EventWriter struct {
 func NewEventWriter(w io.Writer, h Header) (*EventWriter, error) {
 	cw := &countingWriter{w: w}
 	bw := bufio.NewWriter(cw)
-	ew := &EventWriter{bw: bw, cw: cw, procCount: h.ProcCount}
+	ew := &EventWriter{bw: bw, cw: cw, procCount: h.ProcCount, scratch: make([]byte, 0, maxEventSize)}
 	if _, err := bw.WriteString(codecMagic); err != nil {
 		return nil, err
 	}
@@ -301,12 +302,14 @@ func (ew *EventWriter) BeginProc(ph ProcHeader) error {
 	return nil
 }
 
-// Write encodes one event of the current process.
+// Write encodes one event of the current process. The encoding goes
+// through a writer-owned scratch buffer, so the call allocates nothing.
 func (ew *EventWriter) Write(ev *Event) error {
 	if ew.remaining == 0 {
 		return fmt.Errorf("trace: Write beyond the process's declared event count")
 	}
-	if err := writeEvent(ew.bw, ev); err != nil {
+	ew.scratch = appendEvent(ew.scratch[:0], ev)
+	if _, err := ew.bw.Write(ew.scratch); err != nil {
 		return err
 	}
 	ew.remaining--
@@ -347,18 +350,21 @@ func (ew *EventWriter) Close() error {
 // spill-file format of internal/stream, byte-identical to the event
 // bytes inside a .etr file.
 type EventEncoder struct {
-	bw *bufio.Writer
-	n  int
+	bw      *bufio.Writer
+	n       int
+	scratch []byte
 }
 
 // NewEventEncoder returns an encoder over w.
 func NewEventEncoder(w io.Writer) *EventEncoder {
-	return &EventEncoder{bw: bufio.NewWriter(w)}
+	return &EventEncoder{bw: bufio.NewWriter(w), scratch: make([]byte, 0, maxEventSize)}
 }
 
-// Encode appends one event.
+// Encode appends one event. Like EventWriter.Write, it encodes into an
+// encoder-owned scratch buffer and allocates nothing per call.
 func (e *EventEncoder) Encode(ev *Event) error {
-	err := writeEvent(e.bw, ev)
+	e.scratch = appendEvent(e.scratch[:0], ev)
+	_, err := e.bw.Write(e.scratch)
 	if err == nil {
 		e.n++
 	}
@@ -371,6 +377,11 @@ func (e *EventEncoder) Count() int { return e.n }
 // Flush flushes buffered bytes to the underlying writer.
 func (e *EventEncoder) Flush() error { return e.bw.Flush() }
 
+// decoderBufSize sizes the decoder's read buffer: large enough that the
+// per-event Peek refill (a memmove plus a read) amortizes over a few
+// hundred events.
+const decoderBufSize = 1 << 15
+
 // EventDecoder reads bare event encodings (no header) from a stream. It
 // returns io.EOF at a clean boundary and ErrBadFormat mid-event.
 type EventDecoder struct {
@@ -379,7 +390,7 @@ type EventDecoder struct {
 
 // NewEventDecoder returns a decoder over r.
 func NewEventDecoder(r io.Reader) *EventDecoder {
-	return &EventDecoder{br: bufio.NewReader(r)}
+	return &EventDecoder{br: bufio.NewReaderSize(r, decoderBufSize)}
 }
 
 // Decode reads the next event into ev.
@@ -387,8 +398,22 @@ func (d *EventDecoder) Decode(ev *Event) error {
 	if _, err := d.br.Peek(1); err == io.EOF {
 		return io.EOF
 	}
-	if err := readEvent(d.br, ev); err != nil {
+	if err := readEventFast(d.br, ev); err != nil {
 		return badFormat("events", err)
 	}
 	return nil
+}
+
+// DecodeBatch decodes up to len(evs) events into evs, returning how many
+// were filled. A clean end of stream surfaces as (n, io.EOF) with n
+// possibly zero; corruption mid-event reports ErrBadFormat. The tight
+// loop exists for the slab stages of internal/stream: one call decodes a
+// whole slab without per-event interface dispatch in the caller.
+func (d *EventDecoder) DecodeBatch(evs []Event) (int, error) {
+	for i := range evs {
+		if err := d.Decode(&evs[i]); err != nil {
+			return i, err
+		}
+	}
+	return len(evs), nil
 }
