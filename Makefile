@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-smoke microbench vet lint race cover-check figures clean
+.PHONY: all build test bench bench-smoke microbench vet lint race cover-check faults figures clean
 
 all: build vet lint test
 
@@ -35,19 +35,27 @@ cover-check:
 # the parallel-runner and streaming evaluation: FIG7/FIG8/§V drivers at
 # workers=1 vs workers=4 with bit-identical-result verification, plus the
 # streaming pipeline cases — streaming-vs-in-memory checksum equality,
-# the 1M-event bounded-memory assertion, and the batched-vs-legacy
-# (batch=1) checksum comparison with allocs/event (see cmd/bench)
+# the 1M-event bounded-memory assertion, the batched-vs-legacy (batch=1)
+# checksum comparison with allocs/event, and the stream-faults salvage
+# case (recovery ratio + cross-worker determinism) (see cmd/bench)
 bench:
-	$(GO) run ./cmd/bench -workers 4 -o BENCH_PR4.json
+	$(GO) run ./cmd/bench -workers 4 -o BENCH_PR5.json
 
 # CI-sized bench: 1 rep, tiny workloads, 2 workers — still checks that
 # parallel checksums match serial, that the streaming pipeline reproduces
 # the in-memory checksums (batched and batch=1 legacy configurations),
-# and that its peak heap stays window-bounded; then one iteration of the
-# hot-path microbenchmarks so their harness code cannot rot
+# that its peak heap stays window-bounded, and that the stream-faults
+# salvage case recovers >=99% deterministically; then one iteration of
+# the hot-path microbenchmarks so their harness code cannot rot
 bench-smoke:
-	$(GO) run ./cmd/bench -smoke -workers 2 -o BENCH_PR4.json
+	$(GO) run ./cmd/bench -smoke -workers 2 -o BENCH_PR5.json
 	$(GO) test -run XXX -bench 'BenchmarkStreamPipeline|BenchmarkEventCodec|BenchmarkMapTimeMonotone' -benchtime=1x .
+
+# the fault-tolerance suite on its own: resync framing, salvage,
+# cancellation, and fault-injection tests under the race detector
+faults:
+	$(GO) test -race -run 'Salvage|Cancel|Resync|Corrupt|Frame' ./internal/trace/ ./internal/stream/
+	$(GO) test -race ./internal/faultinject/
 
 # the full evaluation: one go-test benchmark per table and figure of the
 # paper

@@ -11,9 +11,16 @@
 // streams a large trace (1M events outside smoke mode) and fails unless
 // peak heap stays under a fraction of what materializing the events would
 // take — memory must scale with the reorder window, not the trace.
+//
+// The stream-faults case corrupts a v2-framed trace with a fixed burst
+// fault mix (0.01% of bytes) and salvages it at workers 1 and 4: it
+// records events/sec and the recovery ratio, and fails unless both
+// worker counts produce identical salvaged output and the ratio stays
+// at or above 99%.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -27,6 +34,7 @@ import (
 	"tsync/internal/clock"
 	"tsync/internal/core"
 	"tsync/internal/experiments"
+	"tsync/internal/faultinject"
 	"tsync/internal/measure"
 	"tsync/internal/prof"
 	"tsync/internal/stream"
@@ -66,6 +74,10 @@ type streamCase struct {
 	StreamChecksum string  `json:"stream_checksum"`
 	MemoryChecksum string  `json:"memory_checksum,omitempty"`
 	Match          bool    `json:"match"`
+	// fault-injection fields (stream-faults case only)
+	CorruptBytes  int64   `json:"corrupt_bytes,omitempty"`
+	Incidents     int     `json:"incidents,omitempty"`
+	RecoveryRatio float64 `json:"recovery_ratio,omitempty"`
 }
 
 type report struct {
@@ -336,6 +348,63 @@ func runStreamBounded(dir, name, path string, init, fin []measure.Offset, window
 	return c, nil
 }
 
+// runStreamFaults streams a v2 trace corrupted by a fixed burst-fault
+// mix through the salvage pipeline at workers 1 and 4, reporting the
+// recovery ratio and demanding identical salvaged output checksums at
+// both worker counts — fault recovery must be as deterministic as the
+// clean path.
+func runStreamFaults(spec stream.SynthSpec, totalEvents int64) (streamCase, error) {
+	var buf bytes.Buffer
+	if _, _, err := stream.Synth(spec, &buf); err != nil {
+		return streamCase{}, err
+	}
+	data := buf.Bytes()
+	const burstLen = 256
+	corrupt := int64(len(data)) / 10000 // 0.01% of bytes
+	bursts := int(corrupt / burstLen)
+	if bursts < 2 {
+		bursts = 2
+	}
+	flips := faultinject.NewBurstFlips(spec.Seed^0xfa017, int64(len(data)), bursts, burstLen)
+
+	var c streamCase
+	var sums [2]string
+	for i, workers := range []int{1, 4} {
+		r := &faultinject.ReaderAt{R: bytes.NewReader(data), F: flips}
+		src, err := stream.NewSourceOpts(r, stream.SourceOptions{Salvage: true})
+		if err != nil {
+			return c, err
+		}
+		var out bytes.Buffer
+		start := time.Now()
+		_, err = (stream.Pipeline{
+			Base: core.BaseNone, CLC: true,
+			Options: stream.Options{Workers: workers, Salvage: true},
+		}).Run(src, &out, nil, nil)
+		secs := time.Since(start).Seconds()
+		if err != nil {
+			return c, err
+		}
+		sums[i], err = experiments.ChecksumTraceFile(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			return c, err
+		}
+		if workers == 1 {
+			c = streamCase{
+				Name: "stream-faults", Events: src.Events(), Window: stream.DefaultWindow,
+				StreamSeconds: secs, StreamChecksum: sums[i], Bounded: true,
+				CorruptBytes: int64(flips.Count()), Incidents: len(src.Report().Incidents),
+				RecoveryRatio: float64(src.Events()) / float64(totalEvents),
+			}
+			if secs > 0 {
+				c.EventsPerSec = float64(src.Events()) / secs
+			}
+		}
+	}
+	c.Match = sums[0] == sums[1] && c.RecoveryRatio >= 0.99
+	return c, nil
+}
+
 func runStreamCases(smoke bool) ([]streamCase, error) {
 	dir, err := os.MkdirTemp("", "tsync-bench-")
 	if err != nil {
@@ -368,11 +437,23 @@ func runStreamCases(smoke bool) ([]streamCase, error) {
 		return nil, fmt.Errorf("stream-1m-batch1: %w", err)
 	}
 	legacy.Match = legacy.StreamChecksum == big.StreamChecksum
-	return []streamCase{diff, big, legacy}, nil
+
+	// a fixed fault mix over the v2 framing: 0.01% of bytes corrupted in
+	// bursts, salvaged deterministically at both worker counts
+	faultSpec := stream.SynthSpec{Ranks: 4, Steps: 62500, Seed: seed + 2, Version: trace.Version2}
+	if smoke {
+		faultSpec.Steps = 12500
+	}
+	faultEvents := int64(faultSpec.Ranks) * int64(faultSpec.Steps) * 4
+	faults, err := runStreamFaults(faultSpec, faultEvents)
+	if err != nil {
+		return nil, fmt.Errorf("stream-faults: %w", err)
+	}
+	return []streamCase{diff, big, legacy, faults}, nil
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR4.json", "output JSON report path")
+	out := flag.String("o", "BENCH_PR5.json", "output JSON report path")
 	workers := flag.Int("workers", 0, "parallel worker bound to compare against workers=1 (0 = all CPUs)")
 	reps := flag.Int("reps", 3, "repetitions per driver (the paper used 3)")
 	ranks := flag.Int("ranks", 16, "MPI ranks for the Fig. 7 runs")

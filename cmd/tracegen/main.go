@@ -43,14 +43,20 @@ func main() {
 		synth     = flag.Bool("synth", false, "stream a synthetic ring workload to disk instead of simulating (-app/-machine/-timer/-scale ignored)")
 		steps     = flag.Int("steps", 1000, "ring steps per rank (with -synth)")
 		collEvery = flag.Int("collevery", 10, "collective round every N steps, 0 for none (with -synth)")
+		v2        = flag.Bool("v2", false, "write the checksummed v2 framing (self-synchronizing; tracesync/tracestat -salvage can recover around corruption)")
+		frame     = flag.Int("frame", 0, "v2 frame size in events (0 = default)")
 	)
 	flag.Parse()
 
+	wopt := trace.WriterOptions{FrameEvents: *frame}
+	if *v2 {
+		wopt.Version = trace.Version2
+	}
 	var err error
 	if *synth {
-		err = runSynth(*ranks, *steps, *collEvery, *seed, *out)
+		err = runSynth(*ranks, *steps, *collEvery, *seed, *out, wopt)
 	} else {
-		err = run(*app, *machine, *timer, *ranks, *seed, *scale, *out)
+		err = run(*app, *machine, *timer, *ranks, *seed, *scale, *out, wopt)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
@@ -60,13 +66,14 @@ func main() {
 
 // runSynth streams a synthetic trace to disk: events are encoded as they
 // are generated, one at a time, so peak memory does not depend on -steps.
-func runSynth(ranks, steps, collEvery int, seed uint64, out string) error {
+func runSynth(ranks, steps, collEvery int, seed uint64, out string, wopt trace.WriterOptions) error {
 	f, err := os.Create(out)
 	if err != nil {
 		return err
 	}
 	init, fin, err := stream.Synth(stream.SynthSpec{
 		Ranks: ranks, Steps: steps, CollEvery: collEvery, Seed: seed,
+		Version: wopt.Version, FrameEvents: wopt.FrameEvents,
 	}, f)
 	if cerr := f.Close(); err == nil {
 		err = cerr
@@ -98,7 +105,7 @@ func writeSidecar(out string, side sidecar) error {
 	return os.WriteFile(out+".offsets.json", blob, 0o644)
 }
 
-func run(app, machine, timer string, ranks int, seed uint64, scale float64, out string) error {
+func run(app, machine, timer string, ranks int, seed uint64, scale float64, out string, wopt trace.WriterOptions) error {
 	m, err := topology.ParseMachine(machine)
 	if err != nil {
 		return err
@@ -168,7 +175,7 @@ func run(app, machine, timer string, ranks int, seed uint64, scale float64, out 
 	if err != nil {
 		return err
 	}
-	n, err := trace.Write(f, tr)
+	n, err := trace.WriteOpts(f, tr, wopt)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}

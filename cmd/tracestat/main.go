@@ -12,10 +12,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"tsync/internal/analysis"
 	"tsync/internal/render"
@@ -30,7 +32,15 @@ type options struct {
 	legacy   bool
 	window   int
 	spill    string
+	salvage  bool
+	maxSkip  int64
+	timeout  time.Duration
 }
+
+// exitPartial is the exit status when salvage produced output from a
+// damaged trace: the numbers are real but incomplete, and scripts must
+// be able to tell.
+const exitPartial = 3
 
 func main() {
 	var o options
@@ -40,11 +50,65 @@ func main() {
 	flag.BoolVar(&o.legacy, "legacy", false, "force the in-memory path (adds wait-state, latency, and region-profile analyses)")
 	flag.IntVar(&o.window, "window", 0, "streaming reorder window: max pending items per rank (0 = default 65536)")
 	flag.StringVar(&o.spill, "spill", "spill", "streaming window overflow policy: spill or error")
+	flag.BoolVar(&o.salvage, "salvage", false, "resynchronize past corruption in v2 traces; exits 3 when data was lost")
+	flag.Int64Var(&o.maxSkip, "max-skip", 0, "salvage budget: max bytes to skip before giving up (0 = unlimited)")
+	flag.DurationVar(&o.timeout, "timeout", 0, "abort the run after this long (0 = no limit)")
 	flag.Parse()
 
-	if err := run(o); err != nil {
+	partial, err := run(o)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracestat:", err)
 		os.Exit(1)
+	}
+	if partial {
+		fmt.Fprintln(os.Stderr, "tracestat: output is partial (salvaged from a damaged trace)")
+		os.Exit(exitPartial)
+	}
+}
+
+// withTimeout derives the run context from the -timeout flag.
+func withTimeout(o options) (context.Context, context.CancelFunc) {
+	if o.timeout > 0 {
+		return context.WithTimeout(context.Background(), o.timeout)
+	}
+	return context.WithCancel(context.Background())
+}
+
+// printLoss reports what salvage could not recover, one line per
+// affected rank.
+func printLoss(rep *trace.CorruptionReport, loss []stream.RankLoss) {
+	fmt.Printf("\nsalvage: %d incidents, %d bytes skipped", len(rep.Incidents), rep.SkippedBytes)
+	if rep.LostEvents > 0 {
+		fmt.Printf(", %d events known lost", rep.LostEvents)
+	}
+	if rep.UnknownLoss {
+		fmt.Printf(", further loss uncountable")
+	}
+	fmt.Println()
+	for _, l := range loss {
+		if !l.Any() {
+			continue
+		}
+		fmt.Printf("  rank %d:", l.Rank)
+		if l.LostEvents > 0 {
+			fmt.Printf(" %d events lost", l.LostEvents)
+		}
+		if l.Unknown {
+			fmt.Printf(" unknown loss")
+		}
+		if l.SkippedBytes > 0 {
+			fmt.Printf(" %d bytes skipped (%d incidents)", l.SkippedBytes, l.Incidents)
+		}
+		if l.DroppedSends > 0 {
+			fmt.Printf(" %d sends dropped", l.DroppedSends)
+		}
+		if l.OrphanRecvs > 0 {
+			fmt.Printf(" %d receives orphaned", l.OrphanRecvs)
+		}
+		if l.BrokenCollectives > 0 {
+			fmt.Printf(" %d collective records broken", l.BrokenCollectives)
+		}
+		fmt.Println()
 	}
 }
 
@@ -56,35 +120,37 @@ func printCensus(c analysis.Census) {
 		c.LogicalMessages, c.ReversedLogical)
 }
 
-func run(o options) error {
+func run(o options) (bool, error) {
 	if o.legacy || o.jsonOut || o.timeline || strings.HasSuffix(o.in, ".json") {
-		return runLegacy(o)
+		return false, runLegacy(o)
 	}
 	return runStreaming(o)
 }
 
-func runStreaming(o options) error {
+func runStreaming(o options) (bool, error) {
 	policy, err := stream.ParsePolicy(o.spill)
 	if err != nil {
-		return err
+		return false, err
 	}
+	ctx, cancel := withTimeout(o)
+	defer cancel()
 	f, err := os.Open(o.in)
 	if err != nil {
-		return err
+		return false, err
 	}
 	defer f.Close()
-	src, err := stream.NewSource(f)
+	src, err := stream.NewSourceOpts(f, stream.SourceOptions{Salvage: o.salvage, MaxSkipBytes: o.maxSkip})
 	if err != nil {
-		return err
+		return false, err
 	}
-	sum, err := stream.Summarize(src)
+	sum, _, err := stream.SummarizeContext(ctx, src)
 	if err != nil {
-		return err
+		return false, err
 	}
 	fmt.Print(sum.String())
-	census, stats, err := stream.Census(src, stream.Options{Window: o.window, Policy: policy})
+	census, stats, err := stream.CensusContext(ctx, src, stream.Options{Window: o.window, Policy: policy, Salvage: o.salvage})
 	if err != nil {
-		return err
+		return false, err
 	}
 	printCensus(census)
 	fmt.Printf("\nstreaming: peak %d pending items on one rank", stats.MaxPending)
@@ -92,7 +158,11 @@ func runStreaming(o options) error {
 		fmt.Printf(", %d insertions spilled past the window", stats.SpilledEvents)
 	}
 	fmt.Println("; run with -legacy for wait-state, latency, and region-profile analyses")
-	return nil
+	if src.Salvaged() {
+		printLoss(src.Report(), stats.Loss)
+		return true, nil
+	}
+	return false, nil
 }
 
 func runLegacy(o options) error {

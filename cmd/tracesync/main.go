@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -19,6 +20,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"tsync/internal/analysis"
 	"tsync/internal/clc"
@@ -45,9 +47,17 @@ type options struct {
 	batch         int
 	spill         string
 	workers       int
+	salvage       bool
+	maxSkip       int64
+	timeout       time.Duration
 	cpuprofile    string
 	memprofile    string
 }
+
+// exitPartial is the exit status when salvage produced output from a
+// damaged trace: the results are real but incomplete, and scripts must
+// be able to tell.
+const exitPartial = 3
 
 func main() {
 	var o options
@@ -61,6 +71,9 @@ func main() {
 	flag.IntVar(&o.batch, "batch", 0, "streaming slab size in events per stage hand-off (0 = default 4096); output is identical for any value")
 	flag.StringVar(&o.spill, "spill", "spill", "streaming window overflow policy: spill (unbounded, recorded) or error (fail fast)")
 	flag.IntVar(&o.workers, "workers", 0, "parallel worker bound for -all and streaming assembly (0 = all CPUs); results are identical for any value")
+	flag.BoolVar(&o.salvage, "salvage", false, "resynchronize past corruption in v2 traces (streaming only); exits 3 when data was lost")
+	flag.Int64Var(&o.maxSkip, "max-skip", 0, "salvage budget: max bytes to skip before giving up (0 = unlimited)")
+	flag.DurationVar(&o.timeout, "timeout", 0, "abort the run after this long (0 = no limit)")
 	flag.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile (runtime/pprof) to this file")
 	flag.StringVar(&o.memprofile, "memprofile", "", "write an allocation profile to this file after the run")
 	flag.Parse()
@@ -70,13 +83,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tracesync:", err)
 		os.Exit(1)
 	}
-	err = run(o)
+	partial, err := run(o)
 	if perr := stop(); err == nil {
 		err = perr
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracesync:", err)
 		os.Exit(1)
+	}
+	if partial {
+		fmt.Fprintln(os.Stderr, "tracesync: output is partial (salvaged from a damaged trace)")
+		os.Exit(exitPartial)
 	}
 }
 
@@ -108,62 +125,109 @@ func printReport(before, after analysis.Census, rep clc.Report, dist analysis.Di
 		render.Micro(dist.MaxAbs), render.Micro(dist.MeanAbs), dist.Shrunk, dist.N)
 }
 
-func run(o options) error {
+func run(o options) (bool, error) {
 	side, haveOffsets, err := loadSidecar(o.in)
 	if err != nil {
-		return err
+		return false, err
 	}
 	needsOffsets := o.all || o.base == "align" || o.base == "interp"
 	if needsOffsets && !haveOffsets {
-		return fmt.Errorf("no %s.offsets.json sidecar: alignment/interpolation need the offset tables (generate traces with tracegen, or use -base none/duda-*/hofmann-minmax)", o.in)
+		return false, fmt.Errorf("no %s.offsets.json sidecar: alignment/interpolation need the offset tables (generate traces with tracegen, or use -base none/duda-*/hofmann-minmax)", o.in)
 	}
 
 	if !o.legacy && !o.all && !strings.HasSuffix(o.in, ".json") {
-		err := runStreaming(o, side)
+		partial, err := runStreaming(o, side)
 		if err == nil || !errors.Is(err, stream.ErrUnsupported) {
-			return err
+			return partial, err
 		}
 		fmt.Fprintf(os.Stderr, "tracesync: falling back to the in-memory path: %v\n", err)
 	}
-	return runLegacy(o, side)
+	if o.salvage {
+		return false, errors.New("-salvage needs the streaming path; it cannot combine with -legacy, -all, or JSON input")
+	}
+	return false, runLegacy(o, side)
 }
 
-func runStreaming(o options, side sidecar) error {
+// printLoss reports what salvage could not recover, one line per
+// affected rank.
+func printLoss(rep *trace.CorruptionReport, loss []stream.RankLoss) {
+	fmt.Printf("\nsalvage: %d incidents, %d bytes skipped", len(rep.Incidents), rep.SkippedBytes)
+	if rep.LostEvents > 0 {
+		fmt.Printf(", %d events known lost", rep.LostEvents)
+	}
+	if rep.UnknownLoss {
+		fmt.Printf(", further loss uncountable")
+	}
+	fmt.Println()
+	for _, l := range loss {
+		if !l.Any() {
+			continue
+		}
+		fmt.Printf("  rank %d:", l.Rank)
+		if l.LostEvents > 0 {
+			fmt.Printf(" %d events lost", l.LostEvents)
+		}
+		if l.Unknown {
+			fmt.Printf(" unknown loss")
+		}
+		if l.SkippedBytes > 0 {
+			fmt.Printf(" %d bytes skipped (%d incidents)", l.SkippedBytes, l.Incidents)
+		}
+		if l.DroppedSends > 0 {
+			fmt.Printf(" %d sends dropped", l.DroppedSends)
+		}
+		if l.OrphanRecvs > 0 {
+			fmt.Printf(" %d receives orphaned", l.OrphanRecvs)
+		}
+		if l.BrokenCollectives > 0 {
+			fmt.Printf(" %d collective records broken", l.BrokenCollectives)
+		}
+		fmt.Println()
+	}
+}
+
+func runStreaming(o options, side sidecar) (bool, error) {
 	b, err := core.ParseBase(o.base)
 	if err != nil {
-		return err
+		return false, err
 	}
 	policy, err := stream.ParsePolicy(o.spill)
 	if err != nil {
-		return err
+		return false, err
+	}
+	ctx := context.Background()
+	if o.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.timeout)
+		defer cancel()
 	}
 	f, err := os.Open(o.in)
 	if err != nil {
-		return err
+		return false, err
 	}
 	defer f.Close()
-	src, err := stream.NewSource(f)
+	src, err := stream.NewSourceOpts(f, stream.SourceOptions{Salvage: o.salvage, MaxSkipBytes: o.maxSkip})
 	if err != nil {
-		return err
+		return false, err
 	}
 	p := stream.Pipeline{
 		Base: b, CLC: o.withCLC,
-		Options: stream.Options{Window: o.window, Policy: policy, Workers: o.workers, Batch: o.batch},
+		Options: stream.Options{Window: o.window, Policy: policy, Workers: o.workers, Batch: o.batch, Salvage: o.salvage},
 	}
 	var outW *os.File
 	if o.out != "" {
 		if outW, err = os.Create(o.out); err != nil {
-			return err
+			return false, err
 		}
 	}
-	res, err := p.Run(src, writerOrNil(outW), side.Init, side.Fin)
+	res, err := p.RunContext(ctx, src, writerOrNil(outW), side.Init, side.Fin)
 	if outW != nil {
 		if cerr := outW.Close(); err == nil {
 			err = cerr
 		}
 	}
 	if err != nil {
-		return err
+		return false, err
 	}
 	h := src.Header()
 	window := o.window
@@ -181,7 +245,11 @@ func runStreaming(o options, side sidecar) error {
 	if o.out != "" {
 		fmt.Printf("corrected trace written to %s\n", o.out)
 	}
-	return nil
+	if src.Salvaged() {
+		printLoss(src.Report(), res.Stats.Loss)
+		return true, nil
+	}
+	return false, nil
 }
 
 // writerOrNil keeps the nil check on the interface value honest: a nil

@@ -1,0 +1,63 @@
+package faultinject
+
+// ClockFaultKind selects the distortion a ClockFault applies to a
+// rank's clock readings.
+type ClockFaultKind int
+
+const (
+	// Step adds a constant offset from the fault time on: the signature
+	// of an NTP step adjustment yanking the clock.
+	Step ClockFaultKind = iota
+	// FreqJump adds drift accumulating at rate Delta from the fault
+	// time on: a thermal event or a CPU frequency change altering the
+	// oscillator rate.
+	FreqJump
+	// Reset restarts the clock at value Delta at the fault time,
+	// ticking at the nominal rate afterwards: a counter reset or
+	// rollover. The pre-fault history is discarded entirely, the
+	// harshest case for interpolation.
+	Reset
+)
+
+// ClockFault is one distortion of a recorded clock. Faults model what
+// the paper's non-constant-drift analysis must survive: clocks that do
+// not merely drift smoothly but step, change rate, or start over.
+type ClockFault struct {
+	// Rank the fault hits; -1 hits every rank.
+	Rank int
+	// Kind of distortion.
+	Kind ClockFaultKind
+	// At is the oracle time at which the fault takes effect; readings
+	// before it are untouched.
+	At float64
+	// Delta parameterizes the fault: the step size (s) for Step, the
+	// added drift rate (s/s) for FreqJump, the restart value (s) for
+	// Reset.
+	Delta float64
+}
+
+// Distort composes faults into a SynthSpec.DistortClock callback.
+// Faults apply in order, each seeing the previous one's output, so a
+// Reset after a Step discards the step as a real reset would.
+func Distort(faults []ClockFault) func(rank int, t, c float64) float64 {
+	fs := append([]ClockFault(nil), faults...)
+	return func(rank int, t, c float64) float64 {
+		for _, f := range fs {
+			if f.Rank >= 0 && f.Rank != rank {
+				continue
+			}
+			if t < f.At {
+				continue
+			}
+			switch f.Kind {
+			case Step:
+				c += f.Delta
+			case FreqJump:
+				c += f.Delta * (t - f.At)
+			case Reset:
+				c = f.Delta + (t - f.At)
+			}
+		}
+		return c
+	}
+}

@@ -1,0 +1,213 @@
+// Package faultinject provides deterministic fault models for testing
+// the trace codec, the streaming engine, and the CLIs against damaged
+// inputs and failing infrastructure. Every fault is derived from an
+// explicit xrand seed, so a failing run reproduces byte-for-byte: the
+// same seed produces the same flipped bits, the same short reads, and
+// the same write failures, independent of scheduling or worker count.
+//
+// The package deliberately has no notion of wall-clock time. "Latency
+// stall" faults are modeled by HookReaderAt with a blocking callback:
+// the test decides when the stall ends by releasing a channel, which
+// keeps the fault schedule deterministic under -race and on loaded CI
+// machines.
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"sort"
+	"sync"
+
+	"tsync/internal/xrand"
+)
+
+// Flips is a precomputed set of single-byte corruptions: at each offset
+// the stored mask is XORed into the byte read. The set is immutable
+// after construction and safe for concurrent use, so one Flips can back
+// an io.ReaderAt shared by parallel pipeline workers.
+type Flips struct {
+	offs  []int64
+	masks []byte
+}
+
+// NewFlips corrupts each byte of a size-byte stream independently with
+// probability rate. Masks are never zero, so every listed offset is a
+// real corruption.
+func NewFlips(seed uint64, size int64, rate float64) *Flips {
+	rng := xrand.NewSource(seed)
+	f := &Flips{}
+	for off := int64(0); off < size; off++ {
+		if rng.Bool(rate) {
+			f.offs = append(f.offs, off)
+			f.masks = append(f.masks, byte(1+rng.Intn(255)))
+		}
+	}
+	return f
+}
+
+// NewBurstFlips corrupts `bursts` contiguous runs of burstLen bytes at
+// uniformly chosen start offsets: the model for a lost disk sector or a
+// mangled network packet, where damage clusters instead of scattering.
+func NewBurstFlips(seed uint64, size int64, bursts, burstLen int) *Flips {
+	rng := xrand.NewSource(seed)
+	hit := make(map[int64]byte)
+	for b := 0; b < bursts; b++ {
+		start := int64(rng.Intn(int(size)))
+		for i := 0; i < burstLen; i++ {
+			off := start + int64(i)
+			if off >= size {
+				break
+			}
+			hit[off] = byte(1 + rng.Intn(255))
+		}
+	}
+	f := &Flips{offs: make([]int64, 0, len(hit)), masks: make([]byte, 0, len(hit))}
+	for off := range hit {
+		f.offs = append(f.offs, off)
+	}
+	sort.Slice(f.offs, func(i, j int) bool { return f.offs[i] < f.offs[j] })
+	for _, off := range f.offs {
+		f.masks = append(f.masks, hit[off])
+	}
+	return f
+}
+
+// Count reports how many bytes the set corrupts.
+func (f *Flips) Count() int { return len(f.offs) }
+
+// Apply XORs the masks of all flips that land inside [off, off+len(p))
+// into p.
+func (f *Flips) Apply(p []byte, off int64) {
+	end := off + int64(len(p))
+	i := sort.Search(len(f.offs), func(i int) bool { return f.offs[i] >= off })
+	for ; i < len(f.offs) && f.offs[i] < end; i++ {
+		p[f.offs[i]-off] ^= f.masks[i]
+	}
+}
+
+// ReaderAt serves R's bytes with F's corruptions applied. Reads at
+// different offsets see a consistent corrupted image, as a damaged file
+// on disk would present.
+type ReaderAt struct {
+	R io.ReaderAt
+	F *Flips
+}
+
+func (r *ReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	n, err := r.R.ReadAt(p, off)
+	r.F.Apply(p[:n], off)
+	return n, err
+}
+
+// Reader is the sequential counterpart of ReaderAt.
+type Reader struct {
+	R   io.Reader
+	F   *Flips
+	off int64
+}
+
+func (r *Reader) Read(p []byte) (int, error) {
+	n, err := r.R.Read(p)
+	r.F.Apply(p[:n], r.off)
+	r.off += int64(n)
+	return n, err
+}
+
+// TruncatedReaderAt presents only the first N bytes of R, as if the
+// file had been cut off mid-write.
+type TruncatedReaderAt struct {
+	R io.ReaderAt
+	N int64
+}
+
+func (t *TruncatedReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if off >= t.N {
+		return 0, io.EOF
+	}
+	if off+int64(len(p)) > t.N {
+		p = p[:t.N-off]
+		n, err := t.R.ReadAt(p, off)
+		if err == nil {
+			err = io.EOF
+		}
+		return n, err
+	}
+	return t.R.ReadAt(p, off)
+}
+
+// ShortReader delivers each Read in deterministically sized partial
+// chunks (1..maxChunk bytes), exercising the resynchronization and
+// buffering logic that full-buffer reads never reach.
+type ShortReader struct {
+	R   io.Reader
+	rng *xrand.Source
+	max int
+}
+
+// NewShortReader wraps r; maxChunk <= 0 selects 7, an awkward prime
+// that misaligns every fixed-width field.
+func NewShortReader(r io.Reader, seed uint64, maxChunk int) *ShortReader {
+	if maxChunk <= 0 {
+		maxChunk = 7
+	}
+	return &ShortReader{R: r, rng: xrand.NewSource(seed), max: maxChunk}
+}
+
+func (s *ShortReader) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return s.R.Read(p)
+	}
+	n := 1 + s.rng.Intn(s.max)
+	if n > len(p) {
+		n = len(p)
+	}
+	return s.R.Read(p[:n])
+}
+
+// ErrNoSpace is the error QuotaWriter and FS return once their byte
+// budget is exhausted, standing in for ENOSPC.
+var ErrNoSpace = errors.New("faultinject: no space left on device")
+
+// QuotaWriter passes writes through to W until Remaining bytes have
+// been written, then fails with ErrNoSpace; the failing write is
+// partial, as a real full filesystem produces.
+type QuotaWriter struct {
+	W         io.Writer
+	Remaining int64
+}
+
+func (q *QuotaWriter) Write(p []byte) (int, error) {
+	if q.Remaining <= 0 {
+		return 0, ErrNoSpace
+	}
+	if int64(len(p)) > q.Remaining {
+		n, err := q.W.Write(p[:q.Remaining])
+		q.Remaining -= int64(n)
+		if err == nil {
+			err = ErrNoSpace
+		}
+		return n, err
+	}
+	n, err := q.W.Write(p)
+	q.Remaining -= int64(n)
+	return n, err
+}
+
+// HookReaderAt invokes Fn exactly once, before the first read that
+// touches byte Offset or beyond. Tests use it to trigger a context
+// cancellation at a precise point in the input, or — with an Fn that
+// blocks on a channel — to model a latency stall whose end the test
+// controls.
+type HookReaderAt struct {
+	R      io.ReaderAt
+	Offset int64
+	Fn     func()
+	once   sync.Once
+}
+
+func (h *HookReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if off+int64(len(p)) > h.Offset {
+		h.once.Do(h.Fn)
+	}
+	return h.R.ReadAt(p, off)
+}

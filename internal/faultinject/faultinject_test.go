@@ -1,0 +1,235 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+)
+
+func TestFlipsDeterministic(t *testing.T) {
+	a := NewFlips(42, 1<<16, 1e-3)
+	b := NewFlips(42, 1<<16, 1e-3)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different flip sets")
+	}
+	c := NewFlips(43, 1<<16, 1e-3)
+	if reflect.DeepEqual(a.offs, c.offs) {
+		t.Fatal("different seeds produced identical flip offsets")
+	}
+	if a.Count() == 0 {
+		t.Fatal("rate 1e-3 over 64 KiB produced no flips")
+	}
+	for i, m := range a.masks {
+		if m == 0 {
+			t.Fatalf("flip %d has zero mask", i)
+		}
+	}
+	for i := 1; i < len(a.offs); i++ {
+		if a.offs[i] <= a.offs[i-1] {
+			t.Fatalf("offsets not strictly increasing at %d", i)
+		}
+	}
+}
+
+func TestBurstFlips(t *testing.T) {
+	f := NewBurstFlips(7, 4096, 3, 16)
+	if f.Count() == 0 || f.Count() > 3*16 {
+		t.Fatalf("burst flip count %d out of range", f.Count())
+	}
+	for i := 1; i < len(f.offs); i++ {
+		if f.offs[i] <= f.offs[i-1] {
+			t.Fatalf("offsets not strictly increasing at %d", i)
+		}
+	}
+}
+
+// TestApplyWindows checks that applying flips window-by-window at any
+// window size produces the same corrupted image as one whole-buffer
+// application — the property that makes ReaderAt consistent across
+// readers with different chunk sizes.
+func TestApplyWindows(t *testing.T) {
+	const size = 1 << 12
+	clean := make([]byte, size)
+	for i := range clean {
+		clean[i] = byte(i)
+	}
+	f := NewFlips(99, size, 0.01)
+	whole := append([]byte(nil), clean...)
+	f.Apply(whole, 0)
+	if bytes.Equal(whole, clean) {
+		t.Fatal("flips changed nothing")
+	}
+	for _, win := range []int{1, 3, 64, 1000} {
+		img := append([]byte(nil), clean...)
+		for off := 0; off < size; off += win {
+			end := off + win
+			if end > size {
+				end = size
+			}
+			f.Apply(img[off:end], int64(off))
+		}
+		if !bytes.Equal(img, whole) {
+			t.Fatalf("window size %d produced a different image", win)
+		}
+	}
+}
+
+func TestReaderAt(t *testing.T) {
+	clean := make([]byte, 1024)
+	for i := range clean {
+		clean[i] = 0xAA
+	}
+	f := NewFlips(5, 1024, 0.05)
+	r := &ReaderAt{R: bytes.NewReader(clean), F: f}
+	got := make([]byte, 1024)
+	if _, err := r.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), clean...)
+	f.Apply(want, 0)
+	if !bytes.Equal(got, want) {
+		t.Fatal("ReaderAt image differs from direct Apply")
+	}
+	// sequential Reader sees the same image
+	sr := &Reader{R: bytes.NewReader(clean), F: f}
+	seq, err := io.ReadAll(sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seq, want) {
+		t.Fatal("Reader image differs from ReaderAt image")
+	}
+}
+
+func TestTruncatedReaderAt(t *testing.T) {
+	data := []byte("0123456789")
+	r := &TruncatedReaderAt{R: bytes.NewReader(data), N: 4}
+	p := make([]byte, 10)
+	n, err := r.ReadAt(p, 0)
+	if n != 4 || (err != nil && err != io.EOF) {
+		t.Fatalf("got n=%d err=%v, want 4 bytes and EOF", n, err)
+	}
+	if string(p[:n]) != "0123" {
+		t.Fatalf("got %q", p[:n])
+	}
+	if _, err := r.ReadAt(p, 4); err != io.EOF {
+		t.Fatalf("read past truncation: %v, want EOF", err)
+	}
+}
+
+func TestShortReader(t *testing.T) {
+	data := bytes.Repeat([]byte("abc"), 1000)
+	sr := NewShortReader(bytes.NewReader(data), 11, 0)
+	got, err := io.ReadAll(sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("short reads corrupted the stream")
+	}
+}
+
+func TestQuotaWriter(t *testing.T) {
+	var buf bytes.Buffer
+	w := &QuotaWriter{W: &buf, Remaining: 10}
+	if n, err := w.Write([]byte("0123456")); n != 7 || err != nil {
+		t.Fatalf("first write: n=%d err=%v", n, err)
+	}
+	n, err := w.Write([]byte("789AB"))
+	if n != 3 || !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("overflowing write: n=%d err=%v, want 3, ErrNoSpace", n, err)
+	}
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("post-quota write: %v, want ErrNoSpace", err)
+	}
+	if buf.String() != "0123456789" {
+		t.Fatalf("wrote %q", buf.String())
+	}
+}
+
+func TestFS(t *testing.T) {
+	fs := NewFS(8)
+	w, err := fs.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := w.Write([]byte("0123")); n != 4 || err != nil {
+		t.Fatalf("write: n=%d err=%v", n, err)
+	}
+	if n, err := w.Write([]byte("456789")); n != 4 || !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("quota write: n=%d err=%v, want 4, ErrNoSpace", n, err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := fs.Open("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(r)
+	if string(got) != "01234567" {
+		t.Fatalf("read back %q", got)
+	}
+	if _, err := fs.Open("missing"); err == nil {
+		t.Fatal("Open of a missing file succeeded")
+	}
+	fs.FailCreates(1)
+	if _, err := fs.Create("b"); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("failed create: %v, want ErrNoSpace", err)
+	}
+	if _, err := fs.Create("b"); err != nil {
+		t.Fatalf("create after fail budget: %v", err)
+	}
+}
+
+func TestHookReaderAt(t *testing.T) {
+	data := make([]byte, 100)
+	fired := 0
+	h := &HookReaderAt{R: bytes.NewReader(data), Offset: 50, Fn: func() { fired++ }}
+	p := make([]byte, 10)
+	if _, err := h.ReadAt(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 0 {
+		t.Fatal("hook fired before its offset")
+	}
+	if _, err := h.ReadAt(p, 45); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("hook fired %d times after crossing offset, want 1", fired)
+	}
+	if _, err := h.ReadAt(p, 60); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("hook fired %d times total, want exactly 1", fired)
+	}
+}
+
+func TestDistort(t *testing.T) {
+	d := Distort([]ClockFault{
+		{Rank: 1, Kind: Step, At: 1.0, Delta: 0.5},
+		{Rank: -1, Kind: FreqJump, At: 2.0, Delta: 1e-3},
+		{Rank: 2, Kind: Reset, At: 3.0, Delta: 0.0},
+	})
+	if got := d(1, 0.5, 0.5); got != 0.5 {
+		t.Fatalf("pre-fault reading distorted: %v", got) //tsync:exact
+	}
+	if got := d(1, 1.5, 1.5); got != 2.0 {
+		t.Fatalf("step: got %v, want 2.0", got) //tsync:exact
+	}
+	if got := d(0, 1.5, 1.5); got != 1.5 {
+		t.Fatalf("step leaked to rank 0: %v", got) //tsync:exact
+	}
+	if got := d(0, 3.0, 3.0); got != 3.0+1e-3 {
+		t.Fatalf("freq jump: got %v", got) //tsync:exact
+	}
+	// rank 2 at t=4: step skipped (rank 1 only), freq jump applies, then
+	// reset discards everything → 0 + (4-3) = 1
+	if got := d(2, 4.0, 4.0); got != 1.0 {
+		t.Fatalf("reset: got %v, want 1.0", got) //tsync:exact
+	}
+}

@@ -1,0 +1,181 @@
+package stream_test
+
+// Cancellation tests: a canceled context must surface promptly as
+// ctx.Err(), release every decode goroutine, and leave no spill temp
+// files behind. The trigger is a deterministic read hook, not a timer —
+// the tests contain no wall-clock sleeps at all.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"tsync/internal/core"
+	"tsync/internal/faultinject"
+	"tsync/internal/stream"
+	"tsync/internal/xrand"
+)
+
+const cancelSeed = 0xcafe1e7e
+
+// waitGoroutines yields until the goroutine count drops back to base,
+// bounded by a generous retry budget instead of a timer.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	for i := 0; i < 1_000_000; i++ {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		runtime.Gosched()
+	}
+	t.Errorf("goroutine leak: %d running, baseline %d", runtime.NumGoroutine(), base)
+}
+
+// TestCancelPipeline: canceling mid-decode stops the run with
+// context.Canceled, releases the decode goroutines, and removes the
+// spill directory.
+func TestCancelPipeline(t *testing.T) {
+	var buf bytes.Buffer
+	if _, _, err := stream.Synth(stream.SynthSpec{
+		Ranks: 3, Steps: 2000, CollEvery: 4, Seed: xrand.SeedAt(cancelSeed, 0),
+	}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, workers := range []int{1, 4} {
+		tmp := t.TempDir()
+		t.Setenv("TMPDIR", tmp)
+		base := runtime.NumGoroutine()
+
+		var cancel context.CancelFunc
+		hook := &faultinject.HookReaderAt{
+			R:      bytes.NewReader(data),
+			Offset: math.MaxInt64, // inert while the index pass scans the file
+			Fn:     func() { cancel() },
+		}
+		src, err := stream.NewSource(hook)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// arm the hook: the walk's cursors re-read the event sections, so
+		// the first decode to cross the middle of the file cancels the run
+		hook.Offset = int64(len(data)) / 2
+		var ctx context.Context
+		ctx, cancel = context.WithCancel(context.Background())
+
+		var out bytes.Buffer
+		_, err = (stream.Pipeline{
+			Base:    core.BaseNone,
+			CLC:     true,
+			Options: stream.Options{Workers: workers},
+		}).RunContext(ctx, src, &out, nil, nil)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers %d: want context.Canceled, got %v", workers, err)
+		}
+		cancel()
+		waitGoroutines(t, base)
+		ents, rerr := os.ReadDir(tmp)
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		for _, e := range ents {
+			t.Errorf("workers %d: leftover spill entry after cancellation: %s", workers, e.Name())
+		}
+	}
+}
+
+// TestCancelBeforeStart: an already-canceled context fails every
+// streaming entry point without doing any work.
+func TestCancelBeforeStart(t *testing.T) {
+	path, _, _ := synthFile(t, stream.SynthSpec{
+		Ranks: 2, Steps: 20, Seed: xrand.SeedAt(cancelSeed, 1),
+	})
+	src := openSource(t, path)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, err := (stream.Pipeline{Base: core.BaseNone}).RunContext(ctx, src, nil, nil, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunContext: want context.Canceled, got %v", err)
+	}
+	if _, _, err := stream.SummarizeContext(ctx, src); !errors.Is(err, context.Canceled) {
+		t.Errorf("SummarizeContext: want context.Canceled, got %v", err)
+	}
+	if _, _, err := stream.CensusContext(ctx, src, stream.Options{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("CensusContext: want context.Canceled, got %v", err)
+	}
+	var out bytes.Buffer
+	if _, err := stream.LamportScheduleContext(ctx, src, 1e-6, &out, stream.Options{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("LamportScheduleContext: want context.Canceled, got %v", err)
+	}
+}
+
+// cancelWriter cancels a context on its first Write, putting the
+// cancellation inside the fused assemble/encode stage.
+type cancelWriter struct {
+	out  bytes.Buffer
+	fn   func()
+	once sync.Once
+}
+
+func (w *cancelWriter) Write(p []byte) (int, error) {
+	w.once.Do(w.fn)
+	return w.out.Write(p)
+}
+
+// cancelFS cancels a context on its first Create, putting the
+// cancellation inside the parallel assembly stage.
+type cancelFS struct {
+	*faultinject.FS
+	fn   func()
+	once *sync.Once
+}
+
+func (c cancelFS) Create(name string) (io.WriteCloser, error) {
+	c.once.Do(c.fn)
+	return c.FS.Create(name)
+}
+
+// TestCancelAssemble: cancellation that first lands during the
+// output-assembly sweep — after the analysis walk already finished —
+// still aborts with ctx.Err(), serial (fused measure+encode) and
+// parallel (per-rank temp blocks) alike.
+func TestCancelAssemble(t *testing.T) {
+	path, _, _ := synthFile(t, stream.SynthSpec{
+		Ranks: 3, Steps: 3000, Seed: xrand.SeedAt(cancelSeed, 2),
+	})
+	src := openSource(t, path)
+
+	// serial: the encode stage's first header write cancels; the next
+	// slab boundary notices
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	w := &cancelWriter{fn: cancel}
+	_, err := (stream.Pipeline{Base: core.BaseNone}).RunContext(ctx, src, w, nil, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("serial: want context.Canceled, got %v", err)
+	}
+	cancel()
+	waitGoroutines(t, base)
+
+	// parallel: the first per-rank block Create cancels; the per-event
+	// context checks in the rank workers notice
+	base = runtime.NumGoroutine()
+	ctx, cancel = context.WithCancel(context.Background())
+	fs := cancelFS{FS: faultinject.NewFS(-1), fn: cancel, once: &sync.Once{}}
+	var out bytes.Buffer
+	_, err = (stream.Pipeline{
+		Base:    core.BaseNone,
+		Options: stream.Options{Workers: 4, SpillFS: fs},
+	}).RunContext(ctx, src, &out, nil, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("parallel: want context.Canceled, got %v", err)
+	}
+	cancel()
+	waitGoroutines(t, base)
+}

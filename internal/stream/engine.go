@@ -1,8 +1,10 @@
 package stream
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"sort"
 
 	"tsync/internal/topology"
 	"tsync/internal/trace"
@@ -56,6 +58,10 @@ type chanKey struct {
 type sendEntry struct {
 	ref  EventRef
 	data EdgeData
+	// tru is the send's oracle time: under salvage it guards FIFO
+	// matching against pairing a receive with a send that happens later
+	// (the real sender having been lost in a gap).
+	tru float64
 }
 
 type instKey struct {
@@ -103,6 +109,14 @@ type engine struct {
 	snk    sink
 	opt    Options
 	acct   *accounting
+
+	// sal tolerates salvage fallout (see Options.Salvage); loss receives
+	// the per-rank counters when non-nil (the first walk of a pipeline —
+	// later walks over the same source see the same conditions and must
+	// not double-count). lossSink absorbs counts when loss is nil.
+	sal      bool
+	loss     []RankLoss
+	lossSink RankLoss
 
 	cursors []*slabCursor
 	heads   []*trace.Event
@@ -174,16 +188,23 @@ func (m *mergeHeap) pop() int {
 	return top
 }
 
-func walk(src *Source, m timeMapper, snk sink, opt Options, acct *accounting) error {
+// walk merges src's ranks and feeds snk. ctx is checked between events
+// (every ctxCheckEvery merge pops), so cancellation surfaces within one
+// slab's worth of work; the deferred stop release makes every decode
+// goroutine exit before walk returns. loss, when non-nil, receives the
+// engine-side salvage counters (one entry per rank).
+func walk(ctx context.Context, src *Source, m timeMapper, snk sink, opt Options, acct *accounting, loss []RankLoss) error {
 	n := src.Ranks()
 	// stop tears the decode stages down if the walk exits before
-	// draining them (sink error, malformed trace).
+	// draining them (sink error, malformed trace, cancellation).
 	stop := make(chan struct{})
 	defer close(stop)
 	pool := newSlabPool(opt.Batch)
 	e := &engine{
 		src: src, mapper: m, snk: snk, opt: opt,
 		acct:     acct,
+		sal:      opt.Salvage || src.Salvaged(),
+		loss:     loss,
 		cursors:  make([]*slabCursor, n),
 		heads:    make([]*trace.Event, n),
 		idx:      make([]int, n),
@@ -202,7 +223,14 @@ func walk(src *Source, m timeMapper, snk sink, opt Options, acct *accounting) er
 			return err
 		}
 	}
+	ticks := 0
 	for len(e.h.r) > 0 {
+		if ticks&(ctxCheckEvery-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		ticks++
 		r := e.h.pop()
 		if err := e.process(r); err != nil {
 			return err
@@ -212,16 +240,112 @@ func walk(src *Source, m timeMapper, snk sink, opt Options, acct *accounting) er
 			return err
 		}
 	}
-	for k, q := range e.fifos {
-		if len(q) > 0 {
-			return fmt.Errorf("stream: %d unmatched Sends from %d to %d tag %d", len(q), k.from, k.to, k.tag)
+	if e.sal {
+		if err := e.cleanupSalvage(); err != nil {
+			return err
+		}
+	} else {
+		for k, q := range e.fifos {
+			if len(q) > 0 {
+				return fmt.Errorf("stream: %d unmatched Sends from %d to %d tag %d", len(q), k.from, k.to, k.tag)
+			}
+		}
+		for _, ins := range e.insts {
+			return fmt.Errorf("stream: collective comm %d instance %d incomplete at end of trace (%d begins, %d ends)",
+				ins.key.comm, ins.key.inst, len(ins.begins), len(ins.ends))
 		}
 	}
-	for _, ins := range e.insts {
-		return fmt.Errorf("stream: collective comm %d instance %d incomplete at end of trace (%d begins, %d ends)",
-			ins.key.comm, ins.key.inst, len(ins.begins), len(ins.ends))
-	}
 	return e.snk.flush()
+}
+
+// ctxCheckEvery is how many merge pops (or encoded events, in the
+// assembly passes) go between context checks: frequent enough that
+// cancellation lands within a slab's worth of work, rare enough that
+// the atomic load disappears in the merge cost.
+const ctxCheckEvery = 1024
+
+// lossAt returns the rank's loss record, or a discard slot when the
+// walk does not collect counters.
+func (e *engine) lossAt(r int) *RankLoss {
+	if e.loss == nil || r < 0 || r >= len(e.loss) {
+		return &e.lossSink
+	}
+	return &e.loss[r]
+}
+
+// cleanupSalvage releases the pending state a damaged trace legitimately
+// leaves behind — sends whose receive was lost, collectives missing
+// participants — finalizing every held entry so sinks with finality
+// bookkeeping (the CLC deque) can drain. Iteration is over sorted keys:
+// the per-rank finalization order must not depend on map order.
+func (e *engine) cleanupSalvage() error {
+	keys := make([]chanKey, 0, len(e.fifos))
+	for k := range e.fifos {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.from != b.from {
+			return a.from < b.from
+		}
+		if a.to != b.to {
+			return a.to < b.to
+		}
+		if a.tag != b.tag {
+			return a.tag < b.tag
+		}
+		return a.comm < b.comm
+	})
+	for _, k := range keys {
+		for _, se := range e.fifos[k] {
+			e.lossAt(se.ref.Rank).DroppedSends++
+			if err := e.snk.final(se.ref); err != nil {
+				return err
+			}
+			if err := e.acct.add(se.ref.Rank, -1); err != nil {
+				return err
+			}
+		}
+		delete(e.fifos, k)
+	}
+	iks := make([]instKey, 0, len(e.insts))
+	for k := range e.insts {
+		iks = append(iks, k)
+	}
+	sort.Slice(iks, func(i, j int) bool {
+		if iks[i].comm != iks[j].comm {
+			return iks[i].comm < iks[j].comm
+		}
+		return iks[i].inst < iks[j].inst
+	})
+	for _, ik := range iks {
+		ins := e.insts[ik]
+		rs := make([]int, 0, len(ins.begins))
+		for r := range ins.begins {
+			rs = append(rs, r)
+		}
+		sort.Ints(rs)
+		for _, r := range rs {
+			e.lossAt(r).BrokenCollectives++
+			if err := e.snk.final(ins.begins[r].ref); err != nil {
+				return err
+			}
+			if err := e.acct.add(r, -1); err != nil {
+				return err
+			}
+		}
+		for r := range ins.ends {
+			e.lossAt(r).BrokenCollectives++
+			if err := e.acct.add(r, -1); err != nil {
+				return err
+			}
+		}
+		delete(e.insts, ik)
+	}
+	for comm := range e.open {
+		delete(e.open, comm)
+	}
+	return nil
 }
 
 // advance loads rank's next event into the merge heap, handling rank
@@ -268,13 +392,27 @@ func (e *engine) process(r int) error {
 	in := e.inBuf[:0]
 	var matchedSend EventRef
 	var haveMatch bool
+	// orphanEnd marks a CollEnd that cannot join any instance (salvage
+	// only): it is treated as a local event, bypassing the collective
+	// bookkeeping below.
+	var orphanEnd bool
 
 	switch ev.Kind {
 	case trace.Recv:
 		k := chanKey{from: ev.Partner, to: int32(r), tag: ev.Tag, comm: ev.Comm}
 		q := e.fifos[k]
-		if len(q) == 0 {
-			return fmt.Errorf("stream: rank %d event %d: Recv from %d tag %d has no matching Send processed (unmatched message or oracle-order violation)", r, idx, ev.Partner, ev.Tag)
+		matched := len(q) > 0
+		if matched && e.sal && q[0].tru >= ev.True { //tsync:exact — genuine pairs strictly increase oracle time; a head at or past the receive belongs to a later message whose real receive is still ahead
+			matched = false
+		}
+		if !matched {
+			if !e.sal {
+				return fmt.Errorf("stream: rank %d event %d: Recv from %d tag %d has no matching Send processed (unmatched message or oracle-order violation)", r, idx, ev.Partner, ev.Tag)
+			}
+			// the send was lost in a gap: keep the receive as a local
+			// event with no incoming edge
+			e.lossAt(r).OrphanRecvs++
+			break
 		}
 		se := q[0]
 		if len(q) == 1 {
@@ -289,11 +427,22 @@ func (e *engine) process(r int) error {
 		matchedSend, haveMatch = se.ref, true
 	case trace.CollEnd:
 		ins, err := e.instanceFor(r, ev, false)
-		if err != nil {
-			return err
+		if err == nil {
+			if _, ok := ins.begins[r]; !ok {
+				err = fmt.Errorf("stream: rank %d ended collective comm %d instance %d without beginning it", r, ev.Comm, ev.Instance)
+			} else if ins.ends[r] {
+				err = fmt.Errorf("stream: rank %d has duplicate CollEnd for comm %d instance %d", r, ev.Comm, ev.Instance)
+			}
 		}
-		if _, ok := ins.begins[r]; !ok {
-			return fmt.Errorf("stream: rank %d ended collective comm %d instance %d without beginning it", r, ev.Comm, ev.Instance)
+		if err != nil {
+			if !e.sal {
+				return err
+			}
+			// the begin (or the whole instance) was lost in a gap: keep
+			// the end as a local event
+			e.lossAt(r).BrokenCollectives++
+			orphanEnd = true
+			break
 		}
 		root := int(ins.root)
 		switch classOf(ins.op) {
@@ -332,7 +481,7 @@ func (e *engine) process(r int) error {
 	switch ev.Kind {
 	case trace.Send:
 		k := chanKey{from: int32(r), to: ev.Partner, tag: ev.Tag, comm: ev.Comm}
-		e.fifos[k] = append(e.fifos[k], sendEntry{ref: ref, data: data})
+		e.fifos[k] = append(e.fifos[k], sendEntry{ref: ref, data: data, tru: ev.True})
 		if err := e.acct.add(r, 1); err != nil {
 			return err
 		}
@@ -348,16 +497,26 @@ func (e *engine) process(r int) error {
 		}
 	case trace.CollBegin:
 		ins, err := e.instanceFor(r, ev, true)
+		if err == nil {
+			if _, dup := ins.begins[r]; dup {
+				err = fmt.Errorf("stream: rank %d has duplicate CollBegin for comm %d instance %d", r, ev.Comm, ev.Instance)
+			} else if ins.endsSeen > 0 && classOf(ins.op) != oneToN && !e.sal {
+				err = fmt.Errorf("stream: rank %d began collective comm %d instance %d after an end was processed (oracle-order violation)", r, ev.Comm, ev.Instance)
+			}
+		}
 		if err != nil {
-			return err
+			if !e.sal {
+				return err
+			}
+			// an unjoinable begin (duplicate, or op mismatch from a
+			// half-lost instance) stays a local event
+			e.lossAt(r).BrokenCollectives++
+			if ferr := e.snk.final(ref); ferr != nil {
+				return ferr
+			}
+			break
 		}
-		if _, dup := ins.begins[r]; dup {
-			return fmt.Errorf("stream: rank %d has duplicate CollBegin for comm %d instance %d", r, ev.Comm, ev.Instance)
-		}
-		if ins.endsSeen > 0 && classOf(ins.op) != oneToN {
-			return fmt.Errorf("stream: rank %d began collective comm %d instance %d after an end was processed (oracle-order violation)", r, ev.Comm, ev.Instance)
-		}
-		ins.begins[r] = sendEntry{ref: ref, data: data}
+		ins.begins[r] = sendEntry{ref: ref, data: data, tru: ev.True}
 		if err := e.acct.add(r, 1); err != nil {
 			return err
 		}
@@ -365,10 +524,13 @@ func (e *engine) process(r int) error {
 			return err
 		}
 	case trace.CollEnd:
-		ins := e.insts[instKey{ev.Comm, ev.Instance}]
-		if ins.ends[r] {
-			return fmt.Errorf("stream: rank %d has duplicate CollEnd for comm %d instance %d", r, ev.Comm, ev.Instance)
+		if orphanEnd {
+			if err := e.snk.final(ref); err != nil {
+				return err
+			}
+			break
 		}
+		ins := e.insts[instKey{ev.Comm, ev.Instance}]
 		ins.ends[r] = true
 		ins.endsSeen++
 		if err := e.acct.add(r, 1); err != nil {
@@ -444,7 +606,7 @@ func (e *engine) completeInstances(comm int32) error {
 				complete = false
 				break
 			}
-			if _, begun := ins.begins[r]; begun {
+			if _, begun := ins.begins[r]; begun && !e.sal {
 				return fmt.Errorf("stream: rank %d began collective comm %d instance %d but never ended it", r, comm, ins.key.inst)
 			}
 		}
@@ -453,6 +615,10 @@ func (e *engine) completeInstances(comm int32) error {
 			continue
 		}
 		for r, rec := range ins.begins {
+			if e.sal && !ins.ends[r] {
+				// the rank's end was lost in a gap; release the begin
+				e.lossAt(r).BrokenCollectives++
+			}
 			if err := e.snk.final(rec.ref); err != nil {
 				return err
 			}

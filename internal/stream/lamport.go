@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -70,13 +71,21 @@ func (s *lamportSink) flush() error {
 // Time = firstTime + LC·delta) from src to out, bit-identical to
 // lclock.LamportSchedule followed by trace.Write.
 func LamportSchedule(src *Source, delta float64, out io.Writer, opt Options) (Stats, error) {
+	return LamportScheduleContext(context.Background(), src, delta, out, opt)
+}
+
+// LamportScheduleContext is LamportSchedule under a context.
+func LamportScheduleContext(ctx context.Context, src *Source, delta float64, out io.Writer, opt Options) (Stats, error) {
 	if delta <= 0 {
 		return Stats{}, fmt.Errorf("stream: LamportSchedule needs positive delta, got %v", delta)
 	}
 	opt = opt.Normalize()
 	var stats Stats
 	stats.Events = src.Events()
-	spills, err := newSpillSet(src.Ranks())
+	if opt.Salvage || src.Salvaged() {
+		stats.Loss = src.Losses()
+	}
+	spills, err := newSpillSet(src.Ranks(), opt.SpillFS)
 	if err != nil {
 		return stats, err
 	}
@@ -85,10 +94,10 @@ func LamportSchedule(src *Source, delta float64, out io.Writer, opt Options) (St
 	if err != nil {
 		return stats, err
 	}
-	if err := walk(src, identityMapper{}, snk, opt, newAccounting(src.Ranks(), opt, &stats)); err != nil {
+	if err := walk(ctx, src, identityMapper{}, snk, opt, newAccounting(src.Ranks(), opt, &stats), stats.Loss); err != nil {
 		return stats, err
 	}
 	m := spills.mapper()
 	defer m.close()
-	return stats, assemble(src, m, out, opt.Workers)
+	return stats, assemble(ctx, src, m, out, opt)
 }

@@ -1,11 +1,11 @@
 package stream
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"os"
-	"path/filepath"
 
 	"tsync/internal/analysis"
 	"tsync/internal/clc"
@@ -70,6 +70,14 @@ func (p Pipeline) baseMapper(init, fin []measure.Offset) (timeMapper, error) {
 // unless out is nil (analysis only). The offset tables serve BaseAlign
 // (init) and BaseInterp (both), exactly as in core.Pipeline.Run.
 func (p Pipeline) Run(src *Source, out io.Writer, init, fin []measure.Offset) (*Result, error) {
+	return p.RunContext(context.Background(), src, out, init, fin)
+}
+
+// RunContext is Run under a context: cancellation surfaces (as
+// ctx.Err()) within about one slab's worth of work, the decode
+// goroutines are released before it returns, and the deferred spill
+// teardown closes and removes every temp file even on that path.
+func (p Pipeline) RunContext(ctx context.Context, src *Source, out io.Writer, init, fin []measure.Offset) (*Result, error) {
 	opt := p.Options.Normalize()
 	mapper, err := p.baseMapper(init, fin)
 	if err != nil {
@@ -93,11 +101,16 @@ func (p Pipeline) Run(src *Source, out io.Writer, init, fin []measure.Offset) (*
 
 	res := &Result{}
 	res.Stats.Events = src.Events()
+	if opt.Salvage || src.Salvaged() {
+		// start from the decode-side losses; the first walk adds the
+		// engine-side counters in place
+		res.Stats.Loss = src.Losses()
+	}
 	first := &censusSink{gamma: opts.Gamma}
 	var spills *spillSet
 
 	if p.CLC {
-		spills, err = newSpillSet(src.Ranks())
+		spills, err = newSpillSet(src.Ranks(), opt.SpillFS)
 		if err != nil {
 			return nil, err
 		}
@@ -107,14 +120,14 @@ func (p Pipeline) Run(src *Source, out io.Writer, init, fin []measure.Offset) (*
 		if err != nil {
 			return nil, err
 		}
-		if err := walk(src, mapper, teeSink{a: first, b: clcS}, opt, acct); err != nil {
+		if err := walk(ctx, src, mapper, teeSink{a: first, b: clcS}, opt, acct, res.Stats.Loss); err != nil {
 			return nil, err
 		}
 		res.CLCReport.ViolationsBefore = first.violations
 
 		second := &censusSink{gamma: opts.Gamma}
 		sm := spills.mapper()
-		err = walk(src, sm, second, opt, newAccounting(src.Ranks(), opt, &res.Stats))
+		err = walk(ctx, src, sm, second, opt, newAccounting(src.Ranks(), opt, &res.Stats), nil)
 		if cerr := sm.close(); err == nil {
 			err = cerr
 		}
@@ -125,7 +138,7 @@ func (p Pipeline) Run(src *Source, out io.Writer, init, fin []measure.Offset) (*
 		res.Before = first.raw
 		res.After = second.mapped
 	} else {
-		if err := walk(src, mapper, first, opt, newAccounting(src.Ranks(), opt, &res.Stats)); err != nil {
+		if err := walk(ctx, src, mapper, first, opt, newAccounting(src.Ranks(), opt, &res.Stats), res.Stats.Loss); err != nil {
 			return nil, err
 		}
 		res.Before = first.raw
@@ -148,7 +161,7 @@ func (p Pipeline) Run(src *Source, out io.Writer, init, fin []measure.Offset) (*
 		// the trace. The accumulation order, mapper call sequence, and
 		// output bytes are exactly those of the separate passes.
 		dm, closeDM := finalMapper()
-		res.Distortion, err = assembleMeasure(src, dm, out, opt)
+		res.Distortion, err = assembleMeasure(ctx, src, dm, out, opt)
 		if cerr := closeDM(); err == nil {
 			err = cerr
 		}
@@ -159,7 +172,7 @@ func (p Pipeline) Run(src *Source, out io.Writer, init, fin []measure.Offset) (*
 	}
 
 	dm, closeDM := finalMapper()
-	res.Distortion, err = distortion(src, dm)
+	res.Distortion, err = distortion(ctx, src, dm)
 	if cerr := closeDM(); err == nil {
 		err = cerr
 	}
@@ -169,7 +182,7 @@ func (p Pipeline) Run(src *Source, out io.Writer, init, fin []measure.Offset) (*
 
 	if out != nil {
 		am, closeAM := finalMapper()
-		err = assemble(src, am, out, opt.Workers)
+		err = assemble(ctx, src, am, out, opt)
 		if cerr := closeAM(); err == nil {
 			err = cerr
 		}
@@ -183,11 +196,19 @@ func (p Pipeline) Run(src *Source, out io.Writer, init, fin []measure.Offset) (*
 // Census scans src's raw timestamps in one streaming pass, matching
 // analysis.CensusOf on the materialized trace bit for bit.
 func Census(src *Source, opt Options) (analysis.Census, Stats, error) {
+	return CensusContext(context.Background(), src, opt)
+}
+
+// CensusContext is Census under a context.
+func CensusContext(ctx context.Context, src *Source, opt Options) (analysis.Census, Stats, error) {
 	opt = opt.Normalize()
 	var stats Stats
 	stats.Events = src.Events()
+	if opt.Salvage || src.Salvaged() {
+		stats.Loss = src.Losses()
+	}
 	s := &censusSink{gamma: clc.DefaultOptions().Gamma}
-	if err := walk(src, identityMapper{}, s, opt, newAccounting(src.Ranks(), opt, &stats)); err != nil {
+	if err := walk(ctx, src, identityMapper{}, s, opt, newAccounting(src.Ranks(), opt, &stats), stats.Loss); err != nil {
 		return analysis.Census{}, stats, err
 	}
 	return s.raw, stats, nil
@@ -197,14 +218,21 @@ func Census(src *Source, opt Options) (analysis.Census, Stats, error) {
 // timestamp pairs: one sequential rank-major sweep, so the float
 // accumulation order — and therefore every bit of MeanAbs — matches the
 // in-memory comparison.
-func distortion(src *Source, final timeMapper) (analysis.Distortion, error) {
+func distortion(ctx context.Context, src *Source, final timeMapper) (analysis.Distortion, error) {
 	var d analysis.Distortion
 	var sum float64
 	var ev trace.Event
+	ticks := 0
 	for rank := 0; rank < src.Ranks(); rank++ {
 		cur := src.Cursor(rank)
 		var prevRaw, prevFin float64
 		for idx := 0; idx < src.Procs()[rank].EventCount; idx++ {
+			if ticks&(ctxCheckEvery-1) == 0 {
+				if err := ctx.Err(); err != nil {
+					return d, err
+				}
+			}
+			ticks++
 			if err := cur.Next(&ev); err != nil {
 				return d, err
 			}
@@ -279,7 +307,7 @@ func encodeStage(ew *trace.EventWriter, pool *slabPool, in <-chan encMsg, res ch
 // mapper call per event, the float accumulation order of the distortion
 // sums, and the encoder are all identical — only the number of decode
 // passes changes.
-func assembleMeasure(src *Source, m timeMapper, out io.Writer, opt Options) (analysis.Distortion, error) {
+func assembleMeasure(ctx context.Context, src *Source, m timeMapper, out io.Writer, opt Options) (analysis.Distortion, error) {
 	var d analysis.Distortion
 	ew, err := trace.NewEventWriter(out, src.Header())
 	if err != nil {
@@ -303,6 +331,9 @@ func assembleMeasure(src *Source, m timeMapper, out io.Writer, opt Options) (ana
 		cur := src.Cursor(rank)
 		var prevRaw, prevFin float64
 		for idx := 0; idx < ph.EventCount; {
+			if cerr := ctx.Err(); cerr != nil {
+				return finish(cerr)
+			}
 			s := pool.get()
 			if ferr := cur.fill(s); ferr != nil {
 				pool.put(s)
@@ -353,15 +384,16 @@ func assembleMeasure(src *Source, m timeMapper, out io.Writer, opt Options) (ana
 // so the bytes are identical. With workers > 1 the per-rank event blocks
 // are encoded concurrently into temp files and spliced in rank order —
 // the bytes cannot differ, only the wall time.
-func assemble(src *Source, m timeMapper, out io.Writer, workers int) error {
+func assemble(ctx context.Context, src *Source, m timeMapper, out io.Writer, opt Options) error {
 	ew, err := trace.NewEventWriter(out, src.Header())
 	if err != nil {
 		return err
 	}
-	if workers > 1 && src.Ranks() > 1 {
-		return assembleParallel(src, m, ew, workers)
+	if opt.Workers > 1 && src.Ranks() > 1 {
+		return assembleParallel(ctx, src, m, ew, opt)
 	}
 	var ev trace.Event
+	ticks := 0
 	for rank := 0; rank < src.Ranks(); rank++ {
 		ph := src.Procs()[rank]
 		if err := ew.BeginProc(ph); err != nil {
@@ -369,6 +401,12 @@ func assemble(src *Source, m timeMapper, out io.Writer, workers int) error {
 		}
 		cur := src.Cursor(rank)
 		for idx := 0; idx < ph.EventCount; idx++ {
+			if ticks&(ctxCheckEvery-1) == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			ticks++
 			if err := cur.Next(&ev); err != nil {
 				return err
 			}
@@ -385,15 +423,29 @@ func assemble(src *Source, m timeMapper, out io.Writer, workers int) error {
 	return ew.Close()
 }
 
-func assembleParallel(src *Source, m timeMapper, ew *trace.EventWriter, workers int) error {
-	dir, err := os.MkdirTemp("", "tsync-asm-")
+// asmFS returns the temp store for parallel assembly blocks: the
+// injected SpillFS when one is set (with a cleanup that closes nothing —
+// the FS owner removes its files), or a dedicated OS temp directory.
+func asmFS(opt Options) (SpillFS, func(), error) {
+	if opt.SpillFS != nil {
+		return opt.SpillFS, func() {}, nil
+	}
+	fs, err := newOSFS()
+	if err != nil {
+		return nil, nil, err
+	}
+	return fs, func() { os.RemoveAll(fs.dir) }, nil
+}
+
+func assembleParallel(ctx context.Context, src *Source, m timeMapper, ew *trace.EventWriter, opt Options) error {
+	fs, cleanup, err := asmFS(opt)
 	if err != nil {
 		return err
 	}
-	defer os.RemoveAll(dir)
-	paths, err := runner.Map(runner.New(workers), src.Ranks(), func(rank int) (string, error) {
-		path := filepath.Join(dir, fmt.Sprintf("rank%06d.e", rank))
-		f, err := os.Create(path)
+	defer cleanup()
+	names, err := runner.Map(runner.New(opt.Workers), src.Ranks(), func(rank int) (string, error) {
+		name := fmt.Sprintf("asm%06d.e", rank)
+		f, err := fs.Create(name)
 		if err != nil {
 			return "", err
 		}
@@ -402,6 +454,11 @@ func assembleParallel(src *Source, m timeMapper, ew *trace.EventWriter, workers 
 		cur := src.Cursor(rank)
 		var ev trace.Event
 		for idx := 0; idx < src.Procs()[rank].EventCount; idx++ {
+			if idx&(ctxCheckEvery-1) == 0 {
+				if err := ctx.Err(); err != nil {
+					return "", err
+				}
+			}
 			if err := cur.Next(&ev); err != nil {
 				return "", err
 			}
@@ -417,16 +474,16 @@ func assembleParallel(src *Source, m timeMapper, ew *trace.EventWriter, workers 
 		if err := enc.Flush(); err != nil {
 			return "", err
 		}
-		return path, f.Close()
+		return name, f.Close()
 	})
 	if err != nil {
 		return err
 	}
-	for rank, path := range paths {
+	for rank, name := range names {
 		if err := ew.BeginProc(src.Procs()[rank]); err != nil {
 			return err
 		}
-		f, err := os.Open(path)
+		f, err := fs.Open(name)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,8 @@
+//go:build race
+
+package stream_test
+
+// raceEnabled lets heavyweight tests (the 1M-event salvage ratio) skip
+// under the race detector, whose ~20x slowdown would dominate the CI
+// race sweep; the small deterministic salvage tests still race.
+const raceEnabled = true

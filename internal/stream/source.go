@@ -8,11 +8,29 @@ import (
 	"tsync/internal/trace"
 )
 
+// SourceOptions tune how a trace file is indexed.
+type SourceOptions struct {
+	// Salvage enables resynchronizing decode for v2 framed traces: on a
+	// checksum or structure failure the index pass scans forward to the
+	// next valid block instead of failing, records the damage per rank,
+	// and keeps every event that survived intact. v1 traces carry no
+	// checksums, so for them Salvage changes nothing — corruption still
+	// fails the index pass.
+	Salvage bool
+	// MaxSkipBytes bounds the total bytes salvage may discard before the
+	// run fails with trace.ErrSalvageBudget; zero means unlimited.
+	MaxSkipBytes int64
+	// MaxSkipEvents bounds the known-lost event count the same way.
+	MaxSkipEvents int64
+}
+
 // Source is an indexed .etr file: the header and per-process metadata
 // are held in memory (O(ranks + regions)), while events stay on disk and
 // are decoded on demand through per-rank cursors. The index is built by
 // one linear decode pass, so a corrupt or truncated file fails here with
-// trace.ErrBadFormat before any analysis starts.
+// trace.ErrBadFormat before any analysis starts — unless salvage is
+// enabled, in which case the damage is recorded instead and the index
+// covers exactly the events that survived.
 type Source struct {
 	r     io.ReaderAt
 	head  trace.Header
@@ -23,17 +41,33 @@ type Source struct {
 	// the Lamport schedule and summary passes need it without a decode.
 	firstRaw []float64
 	events   int64
+
+	version  int
+	pol      trace.ResyncPolicy
+	rep      trace.CorruptionReport
+	loss     []RankLoss
+	salvaged bool
 }
 
-// NewSource indexes a trace readable at r. The reader must cover the
-// whole encoded trace.
+// NewSource indexes a trace readable at r with strict (no salvage)
+// decoding. The reader must cover the whole encoded trace.
 func NewSource(r io.ReaderAt) (*Source, error) {
+	return NewSourceOpts(r, SourceOptions{})
+}
+
+// NewSourceOpts indexes a trace readable at r under the given options.
+func NewSourceOpts(r io.ReaderAt, o SourceOptions) (*Source, error) {
 	const probe = 1 << 62 // section length; reads stop at EOF
-	er, err := trace.NewEventReader(io.NewSectionReader(r, 0, probe))
+	pol := trace.ResyncPolicy{Enabled: o.Salvage, MaxSkipBytes: o.MaxSkipBytes, MaxSkipEvents: o.MaxSkipEvents}
+	er, err := trace.NewEventReaderOpts(io.NewSectionReader(r, 0, probe), pol)
 	if err != nil {
 		return nil, err
 	}
-	s := &Source{r: r, head: er.Header()}
+	s := &Source{r: r, head: er.Header(), pol: pol, version: er.Version()}
+	s.loss = make([]RankLoss, s.head.ProcCount)
+	for i := range s.loss {
+		s.loss[i].Rank = i
+	}
 	for {
 		ph, err := er.NextProc()
 		if err == io.EOF {
@@ -42,61 +76,172 @@ func NewSource(r io.ReaderAt) (*Source, error) {
 		if err != nil {
 			return nil, err
 		}
-		if ph.Rank != len(s.procs) {
-			return nil, fmt.Errorf("stream: proc %d has rank %d", len(s.procs), ph.Rank)
+		if err := s.admitRank(ph.Rank, o.Salvage); err != nil {
+			return nil, err
 		}
-		s.procs = append(s.procs, ph)
-		s.eventOff = append(s.eventOff, er.Offset())
+		declared := ph.EventCount
+		start := er.SectionStart()
 		first := 0.0
 		prevTrue := 0.0
+		n := 0
 		var ev trace.Event
-		for j := 0; j < ph.EventCount; j++ {
-			if err := er.Read(&ev); err != nil {
+		for {
+			err := er.Read(&ev)
+			if err == io.EOF {
+				er.TookGap() // a trailing gap severs nothing further
+				break
+			}
+			if err != nil {
 				return nil, err
 			}
-			if j == 0 {
+			gap := er.TookGap()
+			if n == 0 {
 				first = ev.Time
+			}
+			if n == 0 || gap {
+				// a gap severs the monotonicity chain: the events on
+				// either side are each internally ordered, but the lost
+				// span between them is gone
 				prevTrue = ev.True
 			} else if ev.True < prevTrue {
-				return nil, fmt.Errorf("stream: rank %d event %d: oracle time regressed", ph.Rank, j)
+				return nil, fmt.Errorf("stream: rank %d event %d: oracle time regressed", ph.Rank, n)
 			} else {
 				prevTrue = ev.True
 			}
+			n++
 			s.events++
 		}
+		ph.EventCount = n
+		s.procs = append(s.procs, ph)
+		s.eventOff = append(s.eventOff, start)
+		s.endOff = append(s.endOff, er.Position())
 		s.firstRaw = append(s.firstRaw, first)
-		s.endOff = append(s.endOff, er.Offset())
+		if ph.Rank < len(s.loss) {
+			l := &s.loss[ph.Rank]
+			switch {
+			case declared < 0:
+				l.Unknown = true
+			case declared > n:
+				l.LostEvents += int64(declared - n)
+			}
+		}
 	}
+	// ranks missing at the tail (their headers and frames all lost)
+	for r := len(s.procs); r < s.head.ProcCount; r++ {
+		if !o.Salvage {
+			return nil, fmt.Errorf("stream: trace declares %d processes, found %d", s.head.ProcCount, len(s.procs))
+		}
+		s.placeholderRank(r)
+	}
+	s.rep = *er.Report()
+	for _, inc := range s.rep.Incidents {
+		if inc.Rank >= 0 && inc.Rank < len(s.loss) {
+			s.loss[inc.Rank].Incidents++
+			s.loss[inc.Rank].SkippedBytes += inc.SkippedBytes
+		}
+	}
+	s.salvaged = len(s.rep.Incidents) > 0 || s.rep.LostEvents > 0 || s.rep.UnknownLoss
 	return s, nil
+}
+
+// admitRank enforces that processes appear in contiguous rank order,
+// filling ranks whose sections were lost entirely with empty
+// placeholders under salvage.
+func (s *Source) admitRank(rank int, salvage bool) error {
+	next := len(s.procs)
+	if rank < next || rank >= s.head.ProcCount {
+		return fmt.Errorf("stream: proc %d has rank %d", next, rank)
+	}
+	if rank == next {
+		return nil
+	}
+	if !salvage {
+		return fmt.Errorf("stream: proc %d has rank %d", next, rank)
+	}
+	for r := next; r < rank; r++ {
+		s.placeholderRank(r)
+	}
+	return nil
+}
+
+// placeholderRank stands in for a rank whose whole section was lost: no
+// events, unknown loss.
+func (s *Source) placeholderRank(r int) {
+	s.procs = append(s.procs, trace.ProcHeader{Rank: r, Clock: "?"})
+	s.eventOff = append(s.eventOff, 0)
+	s.endOff = append(s.endOff, 0)
+	s.firstRaw = append(s.firstRaw, 0)
+	if r < len(s.loss) {
+		s.loss[r].Unknown = true
+	}
 }
 
 // Header returns the file header.
 func (s *Source) Header() trace.Header { return s.head }
 
-// Procs returns the per-process headers.
+// Procs returns the per-process headers. Under salvage, EventCount is
+// the retained count, not the (possibly lost) declared one.
 func (s *Source) Procs() []trace.ProcHeader { return s.procs }
 
 // Ranks returns the process count.
 func (s *Source) Ranks() int { return len(s.procs) }
 
-// Events returns the total event count.
+// Events returns the total (retained) event count.
 func (s *Source) Events() int64 { return s.events }
+
+// Version reports the codec version of the file (trace.Version1 or
+// trace.Version2).
+func (s *Source) Version() int { return s.version }
+
+// Salvaged reports whether the index pass recovered from corruption:
+// some bytes were skipped, events lost, or loss left uncountable. A
+// salvage-enabled source over an intact file reports false.
+func (s *Source) Salvaged() bool { return s.salvaged }
+
+// Report returns the corruption report of the index pass.
+func (s *Source) Report() *trace.CorruptionReport { return &s.rep }
+
+// Losses returns per-rank decode-loss records (index 0..Ranks-1). The
+// engine-side counters (dropped sends, orphaned receives, broken
+// collectives) are zero here; Pipeline.Run fills them in its Stats. The
+// slice is a copy — callers own it.
+func (s *Source) Losses() []RankLoss {
+	out := make([]RankLoss, len(s.loss))
+	copy(out, s.loss)
+	return out
+}
 
 // FirstTime returns rank's first event timestamp (its raw local Time),
 // or 0 when the rank recorded no events.
 func (s *Source) FirstTime(rank int) float64 { return s.firstRaw[rank] }
 
+// eventDecoder is the per-rank section decoder: EventDecoder for v1
+// bare event bytes, FrameDecoder for v2 framed blocks. Both deliver the
+// same events the index pass retained, in the same order.
+type eventDecoder interface {
+	Decode(*trace.Event) error
+	DecodeBatch([]trace.Event) (int, error)
+}
+
 // Cursor is a sequential decoder over one rank's events.
 type Cursor struct {
-	d         *trace.EventDecoder
+	d         eventDecoder
 	remaining int
 }
 
 // Cursor opens a fresh decoder over rank's events. Cursors are
-// independent; any number may be open at once.
+// independent; any number may be open at once. For salvaged v2 sources
+// the cursor re-resynchronizes over the same section with the same
+// policy, so it retains exactly the events the index pass counted.
 func (s *Source) Cursor(rank int) *Cursor {
 	sec := io.NewSectionReader(s.r, s.eventOff[rank], s.endOff[rank]-s.eventOff[rank])
-	return &Cursor{d: trace.NewEventDecoder(sec), remaining: s.procs[rank].EventCount}
+	var d eventDecoder
+	if s.version == trace.Version2 {
+		d = trace.NewFrameDecoder(sec, rank, s.pol)
+	} else {
+		d = trace.NewEventDecoder(sec)
+	}
+	return &Cursor{d: d, remaining: s.procs[rank].EventCount}
 }
 
 // Next decodes the rank's next event into ev, returning io.EOF after the

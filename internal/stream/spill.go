@@ -8,6 +8,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"tsync/internal/interp"
 	"tsync/internal/trace"
@@ -44,44 +45,151 @@ func (m corrMapper) mapTime(rank, _ int, ev *trace.Event) (float64, error) {
 	return m.cur.Map(rank, ev.Time), nil
 }
 
-// spillSet is a directory of per-rank float64 streams holding finalized
-// corrected timestamps: the CLC and Lamport sinks write them as entries
-// finalize, and later passes read them back in lockstep with the events.
-type spillSet struct {
-	dir   string
-	paths []string
+// SpillFS is where the pipeline parks its temporary per-rank streams
+// (finalized CLC timestamps, parallel-assembly event blocks). The
+// default implementation is an OS temp directory the pipeline removes
+// when done; tests substitute fault-injecting implementations to
+// exercise ENOSPC-style failures on the spill path. Create and Open may
+// be called from multiple goroutines for different names.
+type SpillFS interface {
+	Create(name string) (io.WriteCloser, error)
+	Open(name string) (io.ReadCloser, error)
 }
 
-func newSpillSet(ranks int) (*spillSet, error) {
+// osFS is the default SpillFS: plain files under one temp directory.
+type osFS struct{ dir string }
+
+func newOSFS() (*osFS, error) {
 	dir, err := os.MkdirTemp("", "tsync-stream-")
 	if err != nil {
 		return nil, err
 	}
-	s := &spillSet{dir: dir, paths: make([]string, ranks)}
-	for i := range s.paths {
-		s.paths[i] = filepath.Join(dir, fmt.Sprintf("rank%06d.t", i))
+	return &osFS{dir: dir}, nil
+}
+
+func (fs *osFS) Create(name string) (io.WriteCloser, error) {
+	return os.Create(filepath.Join(fs.dir, name))
+}
+
+func (fs *osFS) Open(name string) (io.ReadCloser, error) {
+	return os.Open(filepath.Join(fs.dir, name))
+}
+
+// spillSet is a set of per-rank float64 streams holding finalized
+// corrected timestamps: the CLC and Lamport sinks write them as entries
+// finalize, and later passes read them back in lockstep with the events.
+//
+// Every file handle the set hands out is tracked, and Close is
+// idempotent: whatever path a run takes out of the pipeline — success,
+// decode error, cancellation — the deferred Close closes every
+// outstanding handle and, when the set owns its directory, removes it.
+// No abort path may leak a temp file or descriptor.
+type spillSet struct {
+	fs    SpillFS
+	owned *osFS // non-nil when the set created (and must remove) the dir
+	names []string
+
+	mu      sync.Mutex
+	handles []*spillHandle
+	closed  bool
+}
+
+// newSpillSet creates the per-rank stream set on fs, or on a fresh OS
+// temp directory when fs is nil.
+func newSpillSet(ranks int, fs SpillFS) (*spillSet, error) {
+	s := &spillSet{fs: fs, names: make([]string, ranks)}
+	if fs == nil {
+		ofs, err := newOSFS()
+		if err != nil {
+			return nil, err
+		}
+		s.fs, s.owned = ofs, ofs
+	}
+	for i := range s.names {
+		s.names[i] = fmt.Sprintf("rank%06d.t", i)
 	}
 	return s, nil
 }
 
-func (s *spillSet) Close() error { return os.RemoveAll(s.dir) }
+// spillHandle wraps one created or opened file with an idempotent Close,
+// so the set's teardown and the normal read/write paths can both close
+// it without double-close errors.
+type spillHandle struct {
+	c      io.Closer
+	mu     sync.Mutex
+	closed bool
+}
+
+func (h *spillHandle) Close() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil
+	}
+	h.closed = true
+	return h.c.Close()
+}
+
+// track registers a handle for teardown. It fails if the set is already
+// closed (a late Create after abort would otherwise leak).
+func (s *spillSet) track(c io.Closer) (*spillHandle, error) {
+	h := &spillHandle{c: c}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		c.Close()
+		return nil, fmt.Errorf("stream: spill set already closed")
+	}
+	s.handles = append(s.handles, h)
+	return h, nil
+}
+
+// Close closes every outstanding handle and removes the owned directory.
+// It is idempotent and safe to defer alongside normal close paths.
+func (s *spillSet) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	handles := s.handles
+	s.handles = nil
+	s.mu.Unlock()
+	var err error
+	for _, h := range handles {
+		if cerr := h.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if s.owned != nil {
+		if rerr := os.RemoveAll(s.owned.dir); err == nil {
+			err = rerr
+		}
+	}
+	return err
+}
 
 // spillWriter appends float64s to one rank's stream. The scratch field
 // keeps the hot path allocation-free: a stack buffer passed to the
 // io.Writer interface would escape on every call.
 type spillWriter struct {
-	f       *os.File
+	h       *spillHandle
 	bw      *bufio.Writer
 	n       int64
 	scratch [8]byte
 }
 
 func (s *spillSet) writer(rank int) (*spillWriter, error) {
-	f, err := os.Create(s.paths[rank])
+	f, err := s.fs.Create(s.names[rank])
 	if err != nil {
 		return nil, err
 	}
-	return &spillWriter{f: f, bw: bufio.NewWriter(f)}, nil
+	h, err := s.track(f)
+	if err != nil {
+		return nil, err
+	}
+	return &spillWriter{h: h, bw: bufio.NewWriter(f)}, nil
 }
 
 func (w *spillWriter) write(v float64) error {
@@ -93,7 +201,7 @@ func (w *spillWriter) write(v float64) error {
 
 func (w *spillWriter) close() error {
 	err := w.bw.Flush()
-	if cerr := w.f.Close(); err == nil {
+	if cerr := w.h.Close(); err == nil {
 		err = cerr
 	}
 	return err
@@ -104,7 +212,7 @@ func (w *spillWriter) close() error {
 type spillMapper struct {
 	set     *spillSet
 	readers []*bufio.Reader
-	files   []*os.File
+	handles []*spillHandle
 	next    []int
 	// scratch holds one read buffer per rank (not one shared one):
 	// assembleParallel maps different ranks from different goroutines,
@@ -115,20 +223,24 @@ type spillMapper struct {
 func (s *spillSet) mapper() *spillMapper {
 	return &spillMapper{
 		set:     s,
-		readers: make([]*bufio.Reader, len(s.paths)),
-		files:   make([]*os.File, len(s.paths)),
-		next:    make([]int, len(s.paths)),
-		scratch: make([][8]byte, len(s.paths)),
+		readers: make([]*bufio.Reader, len(s.names)),
+		handles: make([]*spillHandle, len(s.names)),
+		next:    make([]int, len(s.names)),
+		scratch: make([][8]byte, len(s.names)),
 	}
 }
 
 func (m *spillMapper) mapTime(rank, idx int, _ *trace.Event) (float64, error) {
 	if m.readers[rank] == nil {
-		f, err := os.Open(m.set.paths[rank])
+		f, err := m.set.fs.Open(m.set.names[rank])
 		if err != nil {
 			return 0, err
 		}
-		m.files[rank] = f
+		h, err := m.set.track(f)
+		if err != nil {
+			return 0, err
+		}
+		m.handles[rank] = h
 		m.readers[rank] = bufio.NewReader(f)
 	}
 	if idx != m.next[rank] {
@@ -144,9 +256,9 @@ func (m *spillMapper) mapTime(rank, idx int, _ *trace.Event) (float64, error) {
 
 func (m *spillMapper) close() error {
 	var err error
-	for _, f := range m.files {
-		if f != nil {
-			if cerr := f.Close(); err == nil {
+	for _, h := range m.handles {
+		if h != nil {
+			if cerr := h.Close(); err == nil {
 				err = cerr
 			}
 		}

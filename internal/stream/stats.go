@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"io"
 
 	"tsync/internal/trace"
@@ -11,8 +12,15 @@ import (
 // single event at a time. Every Summary field is either an integer count
 // or a running min/max, so the result is bit-identical to the in-memory
 // one regardless of traversal order; rank-major is used anyway to mirror
-// trace.Summarize exactly.
-func Summarize(src *Source) (trace.Summary, error) {
+// trace.Summarize exactly. For salvaged sources the summary covers the
+// retained events, and the returned loss records say what is missing
+// (nil for clean sources).
+func Summarize(src *Source) (trace.Summary, []RankLoss, error) {
+	return SummarizeContext(context.Background(), src)
+}
+
+// SummarizeContext is Summarize under a context.
+func SummarizeContext(ctx context.Context, src *Source) (trace.Summary, []RankLoss, error) {
 	h := src.Header()
 	s := trace.Summary{
 		Machine: h.Machine,
@@ -30,14 +38,21 @@ func Summarize(src *Source) (trace.Summary, error) {
 	minT, maxT := 0.0, 0.0
 	minTrue, maxTrue := 0.0, 0.0
 	first := true
+	ticks := 0
 	for rank := 0; rank < src.Ranks(); rank++ {
 		cur := src.Cursor(rank)
 		for {
+			if ticks&(ctxCheckEvery-1) == 0 {
+				if err := ctx.Err(); err != nil {
+					return trace.Summary{}, nil, err
+				}
+			}
+			ticks++
 			var ev trace.Event
 			if err := cur.Next(&ev); err == io.EOF {
 				break
 			} else if err != nil {
-				return trace.Summary{}, err
+				return trace.Summary{}, nil, err
 			}
 			s.Events++
 			s.ByKind[ev.Kind.String()]++
@@ -69,5 +84,9 @@ func Summarize(src *Source) (trace.Summary, error) {
 	}
 	s.SpanTime = maxT - minT
 	s.SpanTrue = maxTrue - minTrue
-	return s, nil
+	var loss []RankLoss
+	if src.Salvaged() {
+		loss = src.Losses()
+	}
+	return s, loss, nil
 }

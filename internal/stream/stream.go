@@ -108,6 +108,18 @@ type Options struct {
 	// Zero selects DefaultBatch. Batch only affects wall time, never
 	// output: the differential suite runs across batch sizes.
 	Batch int
+	// Salvage makes the engine tolerate the happened-before breakage a
+	// salvaged source implies — receives whose send was lost, collective
+	// ends whose begin was lost, sends whose receive never arrives — and
+	// count them in Stats.Loss instead of failing the run. It is implied
+	// whenever the source itself recovered from corruption; setting it on
+	// an intact source changes nothing (the tolerated conditions cannot
+	// occur there).
+	Salvage bool
+	// SpillFS overrides the filesystem used for spill and assembly temp
+	// files; nil selects OS temp directories. Tests inject fault-heavy
+	// implementations here.
+	SpillFS SpillFS
 }
 
 // Normalize clamps every tunable to its usable range: non-positive
@@ -127,6 +139,41 @@ func (o Options) Normalize() Options {
 	return o
 }
 
+// RankLoss records what salvage could not preserve for one rank: the
+// decode-side damage (events lost to corruption, bytes skipped while
+// resynchronizing) and the engine-side fallout (happened-before edges
+// that had to be dropped because one endpoint was lost).
+type RankLoss struct {
+	Rank int
+	// LostEvents counts events the rank's intact header declared but the
+	// decode could not deliver. When the header itself was lost the
+	// count is unknowable: Unknown is set instead.
+	LostEvents int64
+	// Unknown reports loss that cannot be counted (a destroyed process
+	// header took its declared event count with it).
+	Unknown bool
+	// SkippedBytes and Incidents attribute the resync scans that
+	// happened while this rank's section was being read.
+	SkippedBytes int64
+	Incidents    int
+	// DroppedSends counts sends whose matching receive never arrived
+	// (lost in a gap); their out-edge was abandoned at end of trace.
+	DroppedSends int64
+	// OrphanRecvs counts receives processed without a plausible matching
+	// send; they were kept as local events with no incoming edge.
+	OrphanRecvs int64
+	// BrokenCollectives counts collective participations that could not
+	// be completed normally: ends without begins, begins without ends,
+	// duplicate or inconsistent records.
+	BrokenCollectives int64
+}
+
+// Any reports whether the record registers any loss at all.
+func (l RankLoss) Any() bool {
+	return l.LostEvents != 0 || l.Unknown || l.SkippedBytes != 0 || l.Incidents != 0 ||
+		l.DroppedSends != 0 || l.OrphanRecvs != 0 || l.BrokenCollectives != 0
+}
+
 // Stats reports what a streaming run buffered and processed.
 type Stats struct {
 	// Events is the total number of events processed per pass (the
@@ -138,6 +185,9 @@ type Stats struct {
 	// SpilledEvents counts pending-item insertions beyond the window
 	// under PolicySpill (zero means the window was never exceeded).
 	SpilledEvents int64
+	// Loss holds one record per rank when the run salvaged a damaged
+	// trace (nil for clean strict runs).
+	Loss []RankLoss
 }
 
 // accounting enforces the window policy over per-rank pending items.

@@ -22,6 +22,18 @@ type SynthSpec struct {
 	// every n-th step; zero disables collectives.
 	CollEvery int
 	Seed      uint64
+	// Version selects the output codec (trace.Version1 or
+	// trace.Version2); zero means v1, matching the historical bytes.
+	Version int
+	// FrameEvents sets the v2 frame size; zero selects the default.
+	FrameEvents int
+	// DistortClock, when set, post-processes every clock reading: it
+	// receives the rank, the oracle time t, and the clean clock value c,
+	// and returns the value actually recorded. Fault-injection tests use
+	// it to model NTP steps, counter resets, and frequency jumps. It
+	// distorts the offset-table samples too — a real measurement phase
+	// would read the same broken clock.
+	DistortClock func(rank int, t, c float64) float64
 }
 
 // Synth streams a deterministic synthetic trace to w in O(ranks) memory:
@@ -66,7 +78,11 @@ func Synth(spec SynthSpec, w io.Writer) (init, fin []measure.Offset, err error) 
 	}
 	clock := func(r int, t float64) float64 {
 		p := params[r]
-		return (1+p.b)*t + p.a + p.amp*math.Sin(p.om*t+p.ph)
+		c := (1+p.b)*t + p.a + p.amp*math.Sin(p.om*t+p.ph)
+		if spec.DistortClock != nil {
+			c = spec.DistortClock(r, t, c)
+		}
+		return c
 	}
 
 	ops := make([]trace.CollOp, rounds)
@@ -79,13 +95,13 @@ func Synth(spec SynthSpec, w io.Writer) (init, fin []measure.Offset, err error) 
 		ops[i] = allOps[opRng.Intn(len(allOps))]
 	}
 
-	ew, err := trace.NewEventWriter(w, trace.Header{
+	ew, err := trace.NewEventWriterOpts(w, trace.Header{
 		Machine:    fmt.Sprintf("synth[%d]", nRanks),
 		Timer:      "synth-sin",
 		MinLatency: [4]float64{0, 1e-6, 2e-6, 5e-6},
 		Regions:    []string{"ring"},
 		ProcCount:  nRanks,
-	})
+	}, trace.WriterOptions{Version: spec.Version, FrameEvents: spec.FrameEvents})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -94,11 +94,16 @@ func writeFloat(w *bufio.Writer, f float64) error {
 	return err
 }
 
-// Write encodes the trace to w. It returns the number of bytes written.
-// It is a thin wrapper over EventWriter, so the bytes are identical to
-// streaming the same events incrementally.
+// Write encodes the trace to w in the v1 codec. It returns the number of
+// bytes written. It is a thin wrapper over EventWriter, so the bytes are
+// identical to streaming the same events incrementally.
 func Write(w io.Writer, t *Trace) (int64, error) {
-	ew, err := NewEventWriter(w, HeaderOf(t))
+	return WriteOpts(w, t, WriterOptions{})
+}
+
+// WriteOpts is Write with an explicit codec version and frame geometry.
+func WriteOpts(w io.Writer, t *Trace, o WriterOptions) (int64, error) {
+	ew, err := NewEventWriterOpts(w, HeaderOf(t), o)
 	if err != nil {
 		if ew == nil {
 			return 0, err

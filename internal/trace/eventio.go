@@ -12,6 +12,7 @@ package trace
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 
@@ -78,21 +79,49 @@ func (cr *countingReader) Read(p []byte) (int, error) {
 // then one process at a time, then one event at a time. It never
 // allocates ahead of the bytes actually consumed, and reports truncated
 // or corrupt input as ErrBadFormat exactly like Read (whose
-// implementation it is).
+// implementation it is). Both codec versions are read through the same
+// interface; v2 streams additionally support resynchronizing past
+// corruption under a ResyncPolicy (see NewEventReaderOpts).
 type EventReader struct {
 	br        *bufio.Reader
 	cr        *countingReader
 	header    Header
 	procsRead int // processes whose header has been returned
-	remaining int // events left in the current process
+	remaining int // events left in the current process (-1: unknown, v2 salvage)
 	inProc    bool
+	version   int
+	curRank   int // rank of the current process, -1 before the first
+
+	// v2 state
+	pol          ResyncPolicy
+	blk          blockReader
+	rep          CorruptionReport
+	frameEvents  []byte // undecoded remainder of the current frame
+	pending      parsed // block that ended the current section, not yet consumed
+	pendingStart int64
+	hasPending   bool
+	sectionStart int64 // where the current process's event bytes begin
+	gap          bool  // a resync gap precedes the next event (see TookGap)
 }
 
-// NewEventReader reads and validates the file header.
+// NewEventReader reads and validates the file header with a strict (no
+// resync) policy.
 func NewEventReader(r io.Reader) (*EventReader, error) {
+	return NewEventReaderOpts(r, ResyncPolicy{})
+}
+
+// NewEventReaderOpts reads and validates the file header. The policy
+// governs corruption handling for v2 streams; the header itself must be
+// intact regardless — it is the trust root resync depends on.
+func NewEventReaderOpts(r io.Reader, pol ResyncPolicy) (*EventReader, error) {
 	cr := &countingReader{r: r}
-	br := bufio.NewReader(cr)
-	er := &EventReader{br: br, cr: cr}
+	var br *bufio.Reader
+	if pol.Enabled {
+		br = bufio.NewReaderSize(cr, scanWindow)
+	} else {
+		br = bufio.NewReader(cr)
+	}
+	er := &EventReader{br: br, cr: cr, pol: pol, curRank: -1}
 	magic := make([]byte, len(codecMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
@@ -104,9 +133,10 @@ func NewEventReader(r io.Reader) (*EventReader, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ver != codecVersion {
+	if ver != codecVersion && ver != codecVersion2 {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, ver)
 	}
+	er.version = int(ver)
 	h := &er.header
 	if h.Machine, err = readString(br, maxStringLen); err != nil {
 		return nil, badFormat("header", err)
@@ -142,12 +172,46 @@ func NewEventReader(r io.Reader) (*EventReader, error) {
 		return nil, fmt.Errorf("%w: process count too large", ErrBadFormat)
 	}
 	h.ProcCount = int(nProcs)
+	if er.version == codecVersion2 {
+		er.blk = blockReader{
+			br:     br,
+			pos:    er.Offset,
+			rank:   func() int { return er.curRank },
+			accept: er.acceptBlock,
+			pol:    pol,
+			rep:    &er.rep,
+		}
+	}
 	return er, nil
+}
+
+// acceptBlock is the EventReader's semantic filter for v2 blocks:
+// process headers must advance the rank, frames may only belong to the
+// current or a later rank (an earlier rank's frame after this point is a
+// stale duplicate — misleading if trusted). Blocks that fail it are
+// corruption, handled by the caller's policy like any other.
+func (er *EventReader) acceptBlock(p *parsed) bool {
+	if p.rank >= er.header.ProcCount {
+		return false
+	}
+	if p.typ == blockFrame {
+		return p.rank >= er.curRank
+	}
+	return p.rank > er.curRank
 }
 
 // Header returns the file header. The Regions slice is shared, not
 // copied.
 func (er *EventReader) Header() Header { return er.header }
+
+// Version reports the codec version of the stream (Version1 or
+// Version2).
+func (er *EventReader) Version() int { return er.version }
+
+// Report exposes the corruption incidents recovered from so far. The
+// pointer stays valid and updates as reading proceeds; it is empty for
+// v1 streams and strict-mode readers (which fail instead).
+func (er *EventReader) Report() *CorruptionReport { return &er.rep }
 
 // Offset reports how many bytes of the underlying stream have been
 // consumed by what the reader has returned so far — the file position of
@@ -156,10 +220,45 @@ func (er *EventReader) Offset() int64 {
 	return er.cr.n - int64(er.br.Buffered())
 }
 
+// Position is Offset adjusted for look-ahead: when the reader has peeked
+// at (but not yet delivered) the block that ends the current process's
+// section, Position reports where that block starts. After draining a
+// process it is the exclusive end of the process's byte section.
+func (er *EventReader) Position() int64 {
+	if er.hasPending {
+		return er.pendingStart
+	}
+	return er.Offset()
+}
+
+// SectionStart reports where the current process's event bytes begin —
+// after its process header, or at its first salvaged frame when the
+// header itself was lost.
+func (er *EventReader) SectionStart() int64 { return er.sectionStart }
+
+// TookGap reports — and clears — whether a resync gap (skipped bytes or
+// known-lost events) precedes the next event of the current process.
+// Callers indexing a stream poll it after every read to record where
+// happened-before knowledge was severed.
+func (er *EventReader) TookGap() bool {
+	g := er.gap
+	er.gap = false
+	return g
+}
+
+// bad wraps a decode error with the stream position and rank being read,
+// so corruption reports are actionable without a hex dump.
+func (er *EventReader) bad(what string, err error) error {
+	return badFormat(fmt.Sprintf("%s (at byte %d, rank %d)", what, er.Offset(), er.curRank), err)
+}
+
 // NextProc advances to the next process, skipping any events of the
 // current one that were not read. It returns io.EOF after the last
 // process.
 func (er *EventReader) NextProc() (ProcHeader, error) {
+	if er.version == codecVersion2 {
+		return er.nextProcV2()
+	}
 	for er.remaining > 0 {
 		var ev Event
 		if err := er.Read(&ev); err != nil {
@@ -173,49 +272,209 @@ func (er *EventReader) NextProc() (ProcHeader, error) {
 	var ph ProcHeader
 	rank, err := binary.ReadUvarint(er.br)
 	if err != nil {
-		return ProcHeader{}, badFormat("process header", err)
+		return ProcHeader{}, er.bad("process header", err)
 	}
 	ph.Rank = int(rank)
 	var core [3]uint64
 	for j := range core {
 		if core[j], err = binary.ReadUvarint(er.br); err != nil {
-			return ProcHeader{}, badFormat("process header", err)
+			return ProcHeader{}, er.bad("process header", err)
 		}
 	}
 	ph.Core = topology.CoreID{Node: int(core[0]), Chip: int(core[1]), Core: int(core[2])}
 	if ph.Clock, err = readString(er.br, maxStringLen); err != nil {
-		return ProcHeader{}, badFormat("process header", err)
+		return ProcHeader{}, er.bad("process header", err)
 	}
 	nEvents, err := binary.ReadUvarint(er.br)
 	if err != nil {
-		return ProcHeader{}, badFormat("event count", err)
+		return ProcHeader{}, er.bad("event count", err)
 	}
 	if nEvents > maxProcEvents {
 		return ProcHeader{}, fmt.Errorf("%w: event count too large", ErrBadFormat)
 	}
 	ph.EventCount = int(nEvents)
 	er.procsRead++
+	er.curRank = ph.Rank
 	er.remaining = ph.EventCount
 	er.inProc = true
+	er.sectionStart = er.Offset()
+	return ph, nil
+}
+
+// nextProcV2 is NextProc for framed streams: it drains the current
+// section, then consumes either the stashed boundary block or the next
+// block from the stream. A proc block starts the next process normally;
+// a frame block where a header was expected means the header was
+// destroyed — strict readers fail, resync readers synthesize a
+// placeholder header (EventCount -1, unknown) and salvage the frames.
+func (er *EventReader) nextProcV2() (ProcHeader, error) {
+	var ev Event
+	for er.inProc {
+		err := er.readV2(&ev)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return ProcHeader{}, err
+		}
+	}
+	if er.procsRead == er.header.ProcCount {
+		er.inProc = false
+		return ProcHeader{}, io.EOF
+	}
+	var p parsed
+	var pstart int64
+	if er.hasPending {
+		p, pstart = er.pending, er.pendingStart
+		er.hasPending = false
+	} else {
+		nInc := len(er.rep.Incidents)
+		var err error
+		p, pstart, err = er.blk.nextBlock()
+		if err == io.EOF {
+			er.inProc = false
+			if er.procsRead < er.header.ProcCount {
+				if !er.pol.Enabled {
+					return ProcHeader{}, er.bad("process header", io.ErrUnexpectedEOF)
+				}
+				if len(er.rep.Incidents) == nInc {
+					er.rep.note(er.Offset(), er.curRank, 0,
+						fmt.Sprintf("%d declared processes missing at end of stream", er.header.ProcCount-er.procsRead))
+				}
+				er.rep.UnknownLoss = true
+			}
+			return ProcHeader{}, io.EOF
+		}
+		if err != nil {
+			return ProcHeader{}, err
+		}
+	}
+	if p.typ == blockProc {
+		ph := p.ph
+		er.procsRead++
+		er.curRank = ph.Rank
+		er.remaining = ph.EventCount
+		er.inProc = true
+		er.gap = false
+		er.frameEvents = nil
+		er.sectionStart = er.Offset()
+		return ph, nil
+	}
+	if !er.pol.Enabled {
+		return ProcHeader{}, er.bad("process header", errors.New("frame block where a process header was expected"))
+	}
+	ph := ProcHeader{Rank: p.rank, Clock: "?", EventCount: -1}
+	er.rep.UnknownLoss = true
+	er.procsRead++
+	er.curRank = p.rank
+	er.remaining = -1
+	er.inProc = true
+	er.gap = true
+	er.frameEvents = p.events
+	er.sectionStart = pstart
 	return ph, nil
 }
 
 // Read decodes the current process's next event into ev. It returns
 // io.EOF when the process's declared events are exhausted (call NextProc
 // to continue) and ErrBadFormat when the stream ends or corrupts
-// mid-event.
+// mid-event — unless a resync policy turns the corruption into a
+// reported gap instead.
 func (er *EventReader) Read(ev *Event) error {
 	if !er.inProc {
 		return fmt.Errorf("trace: EventReader.Read before NextProc")
+	}
+	if er.version == codecVersion2 {
+		return er.readV2(ev)
 	}
 	if er.remaining == 0 {
 		return io.EOF
 	}
 	if err := readEventFast(er.br, ev); err != nil {
-		return badFormat("events", err)
+		return er.bad("events", err)
 	}
 	er.remaining--
 	return nil
+}
+
+// readV2 delivers the next event of the current process from its
+// frames. The current section ends — io.EOF — when the declared events
+// are exhausted, or at the first block belonging to a later process
+// (stashed for NextProc), or at end of stream.
+func (er *EventReader) readV2(ev *Event) error {
+	for {
+		if len(er.frameEvents) > 0 {
+			n, ok := decodeEvent(er.frameEvents, ev)
+			if !ok {
+				// A CRC-valid frame with undecodable events: strict mode
+				// only — resync deep-validates before accepting a block.
+				er.frameEvents = nil
+				return er.bad("frame events", errors.New("malformed event"))
+			}
+			er.frameEvents = er.frameEvents[n:]
+			if er.remaining > 0 {
+				er.remaining--
+			}
+			return nil
+		}
+		if er.remaining == 0 || er.hasPending {
+			return io.EOF
+		}
+		nInc := len(er.rep.Incidents)
+		p, pstart, err := er.blk.nextBlock()
+		if err == io.EOF {
+			if er.remaining > 0 {
+				if !er.pol.Enabled {
+					return er.bad("events", io.ErrUnexpectedEOF)
+				}
+				if lerr := er.rep.lost(int64(er.remaining), er.pol); lerr != nil {
+					return lerr
+				}
+				if len(er.rep.Incidents) == nInc {
+					er.rep.note(er.Offset(), er.curRank, 0, "declared events missing at end of stream")
+				}
+				er.gap = true
+			}
+			er.remaining = 0
+			return io.EOF
+		}
+		if err != nil {
+			return err
+		}
+		if len(er.rep.Incidents) > nInc {
+			er.gap = true
+		}
+		if p.typ == blockFrame && p.rank == er.curRank {
+			if er.remaining > 0 && p.count > er.remaining {
+				if !er.pol.Enabled {
+					return er.bad("frame", fmt.Errorf("frame of %d events exceeds the %d still declared", p.count, er.remaining))
+				}
+				// The declared count and the frames disagree; the frames
+				// are checksummed, the count may not be. Keep the events,
+				// stop trusting the count.
+				er.rep.UnknownLoss = true
+				er.remaining = -1
+			}
+			er.frameEvents = p.events
+			continue
+		}
+		// A block of a later process: the current section ends here.
+		if er.remaining > 0 {
+			if !er.pol.Enabled {
+				return er.bad("events", fmt.Errorf("process ended with %d declared events missing", er.remaining))
+			}
+			if lerr := er.rep.lost(int64(er.remaining), er.pol); lerr != nil {
+				return lerr
+			}
+			if len(er.rep.Incidents) == nInc {
+				er.rep.note(pstart, er.curRank, 0, "declared events missing before next block")
+			}
+			er.gap = true
+		}
+		er.pending, er.pendingStart, er.hasPending = p, pstart, true
+		er.remaining = 0
+		return io.EOF
+	}
 }
 
 // EventWriter encodes a .etr stream incrementally, mirroring EventReader.
@@ -229,18 +488,33 @@ type EventWriter struct {
 	begun     int
 	remaining int // events still owed to the current process
 	scratch   []byte
+	fw        *frameWriter // non-nil when writing v2 framed blocks
 }
 
-// NewEventWriter writes the file header and returns a writer positioned
+// NewEventWriter writes a v1 file header and returns a writer positioned
 // before the first process.
 func NewEventWriter(w io.Writer, h Header) (*EventWriter, error) {
+	return NewEventWriterOpts(w, h, WriterOptions{})
+}
+
+// NewEventWriterOpts is NewEventWriter with an explicit codec version
+// and frame geometry. The zero options produce bytes identical to
+// NewEventWriter.
+func NewEventWriterOpts(w io.Writer, h Header, o WriterOptions) (*EventWriter, error) {
+	o, err := o.normalize()
+	if err != nil {
+		return nil, err
+	}
 	cw := &countingWriter{w: w}
 	bw := bufio.NewWriter(cw)
 	ew := &EventWriter{bw: bw, cw: cw, procCount: h.ProcCount, scratch: make([]byte, 0, maxEventSize)}
+	if o.Version == Version2 {
+		ew.fw = newFrameWriter(bw, o.FrameEvents)
+	}
 	if _, err := bw.WriteString(codecMagic); err != nil {
 		return nil, err
 	}
-	if err := bw.WriteByte(codecVersion); err != nil {
+	if err := bw.WriteByte(byte(o.Version)); err != nil {
 		return nil, err
 	}
 	if err := writeString(bw, h.Machine); err != nil {
@@ -283,6 +557,14 @@ func (ew *EventWriter) BeginProc(ph ProcHeader) error {
 	if ew.begun == ew.procCount {
 		return fmt.Errorf("trace: BeginProc beyond the declared %d processes", ew.procCount)
 	}
+	if ew.fw != nil {
+		if err := ew.fw.beginProc(ph); err != nil {
+			return err
+		}
+		ew.begun++
+		ew.remaining = ph.EventCount
+		return nil
+	}
 	if err := writeUvarint(ew.bw, uint64(ph.Rank)); err != nil {
 		return err
 	}
@@ -308,6 +590,13 @@ func (ew *EventWriter) Write(ev *Event) error {
 	if ew.remaining == 0 {
 		return fmt.Errorf("trace: Write beyond the process's declared event count")
 	}
+	if ew.fw != nil {
+		if err := ew.fw.add(ev); err != nil {
+			return err
+		}
+		ew.remaining--
+		return nil
+	}
 	ew.scratch = appendEvent(ew.scratch[:0], ev)
 	if _, err := ew.bw.Write(ew.scratch); err != nil {
 		return err
@@ -323,6 +612,22 @@ func (ew *EventWriter) Write(ev *Event) error {
 func (ew *EventWriter) CopyEvents(r io.Reader, n int) error {
 	if n > ew.remaining {
 		return fmt.Errorf("trace: CopyEvents of %d events exceeds the %d still declared", n, ew.remaining)
+	}
+	if ew.fw != nil {
+		// v2 needs the events re-framed and checksummed, so the splice
+		// decodes and re-adds rather than copying bytes.
+		d := NewEventDecoder(r)
+		var ev Event
+		for i := 0; i < n; i++ {
+			if err := d.Decode(&ev); err != nil {
+				return badFormat("CopyEvents", err)
+			}
+			if err := ew.fw.add(&ev); err != nil {
+				return err
+			}
+		}
+		ew.remaining -= n
+		return nil
 	}
 	if err := ew.bw.Flush(); err != nil {
 		return err
@@ -342,6 +647,11 @@ func (ew *EventWriter) Close() error {
 	}
 	if ew.begun != ew.procCount {
 		return fmt.Errorf("trace: Close after %d of %d declared processes", ew.begun, ew.procCount)
+	}
+	if ew.fw != nil {
+		if err := ew.fw.flushFrame(); err != nil {
+			return err
+		}
 	}
 	return ew.bw.Flush()
 }
@@ -386,11 +696,15 @@ const decoderBufSize = 1 << 15
 // returns io.EOF at a clean boundary and ErrBadFormat mid-event.
 type EventDecoder struct {
 	br *bufio.Reader
+	cr countingReader
 }
 
 // NewEventDecoder returns a decoder over r.
 func NewEventDecoder(r io.Reader) *EventDecoder {
-	return &EventDecoder{br: bufio.NewReaderSize(r, decoderBufSize)}
+	d := &EventDecoder{}
+	d.cr = countingReader{r: r}
+	d.br = bufio.NewReaderSize(&d.cr, decoderBufSize)
+	return d
 }
 
 // Decode reads the next event into ev.
@@ -399,7 +713,7 @@ func (d *EventDecoder) Decode(ev *Event) error {
 		return io.EOF
 	}
 	if err := readEventFast(d.br, ev); err != nil {
-		return badFormat("events", err)
+		return badFormat(fmt.Sprintf("events (at byte %d)", d.cr.n-int64(d.br.Buffered())), err)
 	}
 	return nil
 }

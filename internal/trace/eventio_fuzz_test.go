@@ -10,6 +10,8 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"math"
+	"reflect"
 	"testing"
 )
 
@@ -48,6 +50,40 @@ func classified(err error) bool {
 	return errors.Is(err, ErrBadFormat) || errors.Is(err, io.ErrUnexpectedEOF) || err == io.EOF
 }
 
+// salvageRead decodes data with resync enabled (unlimited budgets),
+// reading each process to its section end regardless of declared counts.
+// Processes are returned in stream order: v1 files need not have unique
+// ranks, so keying by rank would conflate duplicates.
+func salvageRead(data []byte) ([]Proc, *CorruptionReport, error) {
+	er, err := NewEventReaderOpts(bytes.NewReader(data), ResyncPolicy{Enabled: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	var procs []Proc
+	for {
+		ph, err := er.NextProc()
+		if err == io.EOF {
+			return procs, er.Report(), nil
+		}
+		if err != nil {
+			return procs, er.Report(), err
+		}
+		p := Proc{Rank: ph.Rank, Core: ph.Core, Clock: ph.Clock}
+		for {
+			var ev Event
+			err := er.Read(&ev)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return procs, er.Report(), err
+			}
+			p.Events = append(p.Events, ev)
+		}
+		procs = append(procs, p)
+	}
+}
+
 func FuzzEventReader(f *testing.F) {
 	var buf bytes.Buffer
 	if _, err := Write(&buf, tinyTrace()); err != nil {
@@ -67,12 +103,81 @@ func FuzzEventReader(f *testing.F) {
 	f.Add([]byte("ETRC\x07"))
 	f.Add(append([]byte(nil), "ETRC\x01\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"...))
 	f.Add(overlongCountFile())
+
+	// v2 framed seeds: valid, corrupt-CRC, marker-collision payloads, and
+	// truncations. Resync must survive all of them.
+	var v2buf bytes.Buffer
+	if _, err := WriteOpts(&v2buf, tinyTrace(), WriterOptions{Version: Version2, FrameEvents: 2}); err != nil {
+		f.Fatal(err)
+	}
+	v2 := v2buf.Bytes()
+	f.Add(v2)
+	if i := bytes.Index(v2, frameMarker[:]); i >= 0 {
+		flipped := append([]byte(nil), v2...)
+		flipped[i+blockHeadMax] ^= 0xFF // inside the first block's payload
+		f.Add(flipped)
+		broken := append([]byte(nil), v2...)
+		broken[i] ^= 0x01 // destroy the first marker itself
+		f.Add(broken)
+	}
+	for _, cut := range []int{len(v2) / 3, len(v2) / 2, len(v2) - 5} {
+		if cut > 0 && cut < len(v2) {
+			f.Add(v2[:cut])
+		}
+	}
+	collide := tinyTrace()
+	collide.Procs[0].Events[1].Time = math.Float64frombits(uint64(frameMarker[0]) |
+		uint64(frameMarker[1])<<8 | uint64(frameMarker[2])<<16 | uint64(frameMarker[3])<<24)
+	var colBuf bytes.Buffer
+	if _, err := WriteOpts(&colBuf, collide, WriterOptions{Version: Version2, FrameEvents: 1}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(colBuf.Bytes())
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		st, serr := readStreaming(data)
 		mt, merr := Read(bytes.NewReader(data))
 		if (serr == nil) != (merr == nil) {
 			t.Fatalf("EventReader err = %v, Read err = %v", serr, merr)
 		}
+
+		// Resync mode must never panic, must terminate, must be
+		// deterministic, and on inputs the strict reader accepts must
+		// deliver exactly the strict result with an empty report.
+		encodeEvents := func(evs []Event) []byte {
+			var b []byte
+			for i := range evs {
+				b = appendEvent(b, &evs[i])
+			}
+			return b
+		}
+		sv1, rep1, rerr1 := salvageRead(data)
+		sv2, rep2, rerr2 := salvageRead(data)
+		if (rerr1 == nil) != (rerr2 == nil) || len(sv1) != len(sv2) || !reflect.DeepEqual(rep1, rep2) {
+			t.Fatalf("resync read nondeterministic: %v vs %v", rerr1, rerr2)
+		}
+		for i := range sv1 {
+			if sv1[i].Rank != sv2[i].Rank || !bytes.Equal(encodeEvents(sv1[i].Events), encodeEvents(sv2[i].Events)) {
+				t.Fatalf("resync read nondeterministic at proc %d", i)
+			}
+		}
+		if rerr1 != nil && !classified(rerr1) {
+			t.Fatalf("unclassified resync error: %v", rerr1)
+		}
+		if serr == nil && rerr1 == nil {
+			if len(rep1.Incidents) != 0 || rep1.LostEvents != 0 || rep1.UnknownLoss {
+				t.Fatalf("resync reported corruption on a strictly-valid input: %+v", rep1)
+			}
+			if len(sv1) != len(st.Procs) {
+				t.Fatalf("resync saw %d procs on a valid input with %d", len(sv1), len(st.Procs))
+			}
+			for i, p := range st.Procs {
+				if sv1[i].Rank != p.Rank || !bytes.Equal(encodeEvents(sv1[i].Events), encodeEvents(p.Events)) {
+					t.Fatalf("proc %d: resync fabricated or dropped events on a valid input", i)
+				}
+			}
+		}
+
 		if serr != nil {
 			if !classified(serr) {
 				t.Fatalf("unclassified streaming error: %v", serr)

@@ -1,0 +1,674 @@
+package trace
+
+// Self-synchronizing v2 framing. The v1 codec has no redundancy: one
+// flipped byte desynchronizes the varint stream and the rest of the file
+// is unreadable. Version 2 keeps the v1 header encoding (after a version
+// byte of 2) but groups everything that follows into checksummed blocks:
+//
+//	marker [4]byte | type u8 | payloadLen uvarint | crc32c u32le | payload
+//
+// with two block types. A proc block (type 0) carries one process
+// header, its payload encoded exactly as in v1 (rank, core, clock,
+// eventCount). A frame block (type 1) carries a run of one process's
+// events:
+//
+//	rank uvarint | count uvarint | count canonical event encodings
+//
+// The CRC-32C (Castagnoli, via the stdlib table) covers the payload
+// only; the marker makes the stream self-synchronizing: a reader that
+// loses its place scans forward for the next marker and validates the
+// candidate block by structure, checksum, and a full payload decode
+// before trusting a single byte of it. Writers cut a frame every
+// FrameEvents events (default 256, well under 1% byte overhead), so a
+// corrupt region costs at most the frames it touches, not the file.
+//
+// Resync mode (ResyncPolicy.Enabled) turns decode failures into
+// CorruptionReport incidents instead of errors: the reader skips forward
+// to the next fully-valid block, counting skipped bytes and lost events
+// against the policy's budgets. Salvage favors precision over recall —
+// a block is accepted only when everything about it validates, so
+// resync can drop events but never fabricate them. The file header
+// itself is the trust root: corruption before the first block is not
+// salvageable.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"tsync/internal/topology"
+)
+
+const (
+	codecVersion2 = 2
+
+	// Version1 and Version2 name the codec versions for WriterOptions.
+	Version1 = codecVersion
+	Version2 = codecVersion2
+
+	blockProc  = 0x00 // payload: one process header
+	blockFrame = 0x01 // payload: a run of one process's events
+
+	// DefaultFrameEvents is the writer's frame size when
+	// WriterOptions.FrameEvents is zero: small enough that one corrupt
+	// frame loses little, large enough that the ~13 framing bytes
+	// amortize to noise.
+	DefaultFrameEvents = 256
+
+	// maxFrameEvents and maxFramePayload bound what a reader buffers
+	// for a single block; counts or lengths beyond them are corruption
+	// by definition. They also size the resync scan window, so they are
+	// kept modest: a frame hits the payload ceiling long before a
+	// pathological FrameEvents setting could.
+	maxFrameEvents  = 1 << 16
+	maxFramePayload = 1 << 18
+
+	markerLen    = 4
+	blockHeadMax = markerLen + 1 + binary.MaxVarintLen64 + 4
+	maxBlockSize = blockHeadMax + maxFramePayload
+
+	// scanWindow is the resync peek size. Any candidate block starting
+	// in the first maxBlockSize bytes of a full window fits entirely
+	// inside it, so each scan round definitively accepts or rejects
+	// every candidate it considers and can discard maxBlockSize bytes
+	// when none survive — bounded progress, no rescanning.
+	scanWindow = 2 * maxBlockSize
+
+	// eventMinSize is the smallest canonical event encoding: kind and
+	// op bytes, two floats, and seven single-byte varints. Frame counts
+	// are sanity-checked against it before any event is decoded.
+	eventMinSize = 18 + 7
+)
+
+// frameMarker opens every v2 block. 0xF4 never appears in ASCII and is
+// an invalid UTF-8 start byte, keeping accidental collisions in
+// string-bearing payloads rare; real collisions are eliminated by
+// validation, not avoidance — a marker found mid-payload fails the
+// checksum of whatever follows it.
+var frameMarker = [markerLen]byte{0xF4, 'T', 'R', 'F'}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrSalvageBudget reports that resync skipped more bytes or lost more
+// events than the policy allows.
+var ErrSalvageBudget = errors.New("trace: salvage skip budget exceeded")
+
+// ResyncPolicy controls corruption recovery for v2 streams. The zero
+// value is strict: any corruption is ErrBadFormat. With Enabled set the
+// reader skips to the next valid block instead, within the skip budgets
+// (zero budgets mean unlimited). v1 streams have no redundancy to
+// resynchronize on; the policy does not affect them.
+type ResyncPolicy struct {
+	Enabled       bool
+	MaxSkipBytes  int64
+	MaxSkipEvents int64
+}
+
+// Incident is one corruption recovery: where the reader lost sync, how
+// many bytes it skipped to regain it, and why.
+type Incident struct {
+	// Offset is the stream position where the reader lost sync.
+	Offset int64
+	// Rank is the process being read at the time (-1 before the first
+	// process header).
+	Rank int
+	// SkippedBytes counts the bytes discarded before the next valid
+	// block (through end of stream for a final incident).
+	SkippedBytes int64
+	Reason       string
+}
+
+// CorruptionReport aggregates every incident of one reader's pass.
+type CorruptionReport struct {
+	Incidents    []Incident
+	SkippedBytes int64
+	// LostEvents counts events known to be lost: declared by an intact
+	// process header but never delivered. Losses that cannot be counted
+	// — a process header destroyed along with its declared count — set
+	// UnknownLoss instead.
+	LostEvents  int64
+	UnknownLoss bool
+}
+
+func (r *CorruptionReport) note(off int64, rank int, skipped int64, reason string) {
+	r.Incidents = append(r.Incidents, Incident{Offset: off, Rank: rank, SkippedBytes: skipped, Reason: reason})
+	r.SkippedBytes += skipped
+}
+
+// lost adds n known-lost events and enforces the event budget.
+func (r *CorruptionReport) lost(n int64, pol ResyncPolicy) error {
+	r.LostEvents += n
+	if pol.MaxSkipEvents > 0 && r.LostEvents > pol.MaxSkipEvents {
+		return fmt.Errorf("%w: lost %d events (limit %d)", ErrSalvageBudget, r.LostEvents, pol.MaxSkipEvents)
+	}
+	return nil
+}
+
+// WriterOptions selects the codec version and frame geometry for
+// NewEventWriterOpts. The zero value writes v1, bit-identical to
+// NewEventWriter.
+type WriterOptions struct {
+	Version     int // Version1 (default) or Version2
+	FrameEvents int // v2 events per frame; 0 = DefaultFrameEvents
+}
+
+func (o WriterOptions) normalize() (WriterOptions, error) {
+	switch o.Version {
+	case 0:
+		o.Version = Version1
+	case Version1, Version2:
+	default:
+		return o, fmt.Errorf("trace: unsupported codec version %d", o.Version)
+	}
+	if o.FrameEvents <= 0 {
+		o.FrameEvents = DefaultFrameEvents
+	}
+	if o.FrameEvents > maxFrameEvents {
+		o.FrameEvents = maxFrameEvents
+	}
+	return o, nil
+}
+
+// parsed is the payload-level view of one validated block.
+type parsed struct {
+	typ byte
+
+	// frame fields
+	rank   int
+	count  int
+	events []byte // the encoded events; aliases the reader's payload buffer
+	evOff  int    // offset of events within the payload, for re-slicing after a copy
+
+	// proc fields
+	ph ProcHeader
+}
+
+// parseBlockHead decodes the fixed block prefix from head, which may be
+// shorter than blockHeadMax near end of stream.
+func parseBlockHead(head []byte) (typ byte, plen, hlen int, crc uint32, err error) {
+	if len(head) < markerLen || !bytes.Equal(head[:markerLen], frameMarker[:]) {
+		return 0, 0, 0, 0, errors.New("no block marker")
+	}
+	if len(head) < markerLen+1 {
+		return 0, 0, 0, 0, errors.New("truncated block header")
+	}
+	typ = head[markerLen]
+	if typ != blockProc && typ != blockFrame {
+		return 0, 0, 0, 0, fmt.Errorf("unknown block type %d", typ)
+	}
+	v, n := binary.Uvarint(head[markerLen+1:])
+	if n <= 0 {
+		return 0, 0, 0, 0, errors.New("truncated block header")
+	}
+	if v == 0 || v > maxFramePayload {
+		return 0, 0, 0, 0, fmt.Errorf("block payload length %d out of range", v)
+	}
+	hlen = markerLen + 1 + n + 4
+	if len(head) < hlen {
+		return 0, 0, 0, 0, errors.New("truncated block header")
+	}
+	crc = binary.LittleEndian.Uint32(head[markerLen+1+n:])
+	return typ, int(v), hlen, crc, nil
+}
+
+// parsePayload validates a block payload whose checksum already matched.
+// With deep set it also decodes every event of a frame — required before
+// a resync candidate may be trusted; strict readers leave event decoding
+// to the consumer and let the checksum vouch for the bytes.
+func parsePayload(typ byte, p []byte, deep bool) (parsed, error) {
+	if typ == blockProc {
+		ph, err := parseProcPayload(p)
+		return parsed{typ: typ, rank: ph.Rank, ph: ph}, err
+	}
+	rank, n := binary.Uvarint(p)
+	if n <= 0 || rank > maxProcs {
+		return parsed{}, errors.New("bad frame rank")
+	}
+	count, m := binary.Uvarint(p[n:])
+	if m <= 0 || count == 0 || count > maxFrameEvents {
+		return parsed{}, errors.New("bad frame event count")
+	}
+	evOff := n + m
+	events := p[evOff:]
+	if int(count)*eventMinSize > len(events) {
+		return parsed{}, errors.New("frame too short for its event count")
+	}
+	if deep {
+		var ev Event
+		rest := events
+		for i := uint64(0); i < count; i++ {
+			k, ok := decodeEvent(rest, &ev)
+			if !ok {
+				return parsed{}, errors.New("malformed event in frame")
+			}
+			rest = rest[k:]
+		}
+		if len(rest) != 0 {
+			return parsed{}, errors.New("trailing bytes after frame events")
+		}
+	}
+	return parsed{typ: typ, rank: int(rank), count: int(count), events: events, evOff: evOff}, nil
+}
+
+// parseProcPayload decodes a proc block payload, which must be consumed
+// exactly. The field encodings match v1's in-line process header.
+func parseProcPayload(p []byte) (ProcHeader, error) {
+	var ph ProcHeader
+	var ints [4]uint64
+	for i := range ints {
+		v, n := binary.Uvarint(p)
+		if n <= 0 {
+			return ph, errors.New("bad process header varint")
+		}
+		ints[i] = v
+		p = p[n:]
+	}
+	if ints[0] > maxProcs {
+		return ph, errors.New("process rank out of range")
+	}
+	ph.Rank = int(ints[0])
+	ph.Core = topology.CoreID{Node: int(ints[1]), Chip: int(ints[2]), Core: int(ints[3])}
+	clen, n := binary.Uvarint(p)
+	if n <= 0 || clen > maxStringLen || uint64(len(p)-n) < clen {
+		return ph, errors.New("bad clock string")
+	}
+	ph.Clock = string(p[n : n+int(clen)])
+	p = p[n+int(clen):]
+	count, n := binary.Uvarint(p)
+	if n <= 0 || count > maxProcEvents {
+		return ph, errors.New("bad event count")
+	}
+	ph.EventCount = int(count)
+	if len(p) != n {
+		return ph, errors.New("trailing bytes in process header")
+	}
+	return ph, nil
+}
+
+// blockReader reads v2 blocks from a buffered stream, optionally
+// resynchronizing past corruption. It is shared by EventReader (whole
+// file) and FrameDecoder (one rank's section); the accept hook carries
+// each caller's rank-ordering rules, so both passes make identical
+// skip-or-accept decisions over identical bytes — the property that
+// keeps the index pass and the cursor pass of internal/stream agreeing
+// on what was salvaged.
+type blockReader struct {
+	br     *bufio.Reader
+	pos    func() int64       // stream position of the next unconsumed byte
+	rank   func() int         // rank to attribute incidents to
+	accept func(*parsed) bool // semantic validity beyond the payload itself
+	pol    ResyncPolicy
+	rep    *CorruptionReport
+
+	payload []byte // owned storage of the current block's payload
+}
+
+func (b *blockReader) budgetBytes() error {
+	if b.pol.MaxSkipBytes > 0 && b.rep.SkippedBytes > b.pol.MaxSkipBytes {
+		return fmt.Errorf("%w: skipped %d bytes (limit %d)", ErrSalvageBudget, b.rep.SkippedBytes, b.pol.MaxSkipBytes)
+	}
+	return nil
+}
+
+// take copies the current block's payload (known to be buffered) into
+// owned storage and consumes the whole block.
+func (b *blockReader) take(hlen, plen int) ([]byte, error) {
+	full, err := b.br.Peek(hlen + plen)
+	if err != nil {
+		return nil, err
+	}
+	if cap(b.payload) < plen {
+		b.payload = make([]byte, plen)
+	}
+	b.payload = b.payload[:plen]
+	copy(b.payload, full[hlen:])
+	_, err = b.br.Discard(hlen + plen)
+	return b.payload, err
+}
+
+// nextBlock returns the next accepted block and its start offset, io.EOF
+// at a clean end of stream, or — in strict mode — ErrBadFormat at the
+// first deviation. In resync mode deviations become incidents and the
+// scan finds the next block that validates completely.
+func (b *blockReader) nextBlock() (parsed, int64, error) {
+	start := b.pos()
+	p, err := b.readBlock(start)
+	if err == nil || err == io.EOF || !b.pol.Enabled {
+		return p, start, err
+	}
+	return b.scan(start, err)
+}
+
+// readBlock attempts a block at the current position. The resync path
+// consumes nothing unless the whole block validates, so a failure leaves
+// every byte in place for the scan; the strict path reads the payload
+// directly (the buffer may be smaller than a block) and fails hard.
+func (b *blockReader) readBlock(start int64) (parsed, error) {
+	head, herr := b.br.Peek(blockHeadMax)
+	if len(head) == 0 {
+		if herr == nil || herr == io.EOF {
+			return parsed{}, io.EOF
+		}
+		return parsed{}, herr
+	}
+	typ, plen, hlen, crc, err := parseBlockHead(head)
+	if err != nil {
+		return parsed{}, badFormat(fmt.Sprintf("block at byte %d", start), err)
+	}
+	if !b.pol.Enabled {
+		if _, err := b.br.Discard(hlen); err != nil {
+			return parsed{}, badFormat(fmt.Sprintf("block at byte %d", start), err)
+		}
+		if cap(b.payload) < plen {
+			b.payload = make([]byte, plen)
+		}
+		b.payload = b.payload[:plen]
+		if _, err := io.ReadFull(b.br, b.payload); err != nil {
+			return parsed{}, badFormat(fmt.Sprintf("block payload at byte %d", start), err)
+		}
+		if crc32.Checksum(b.payload, castagnoli) != crc {
+			return parsed{}, badFormat(fmt.Sprintf("block at byte %d", start), errors.New("checksum mismatch"))
+		}
+		p, perr := parsePayload(typ, b.payload, false)
+		if perr != nil {
+			return parsed{}, badFormat(fmt.Sprintf("block at byte %d", start), perr)
+		}
+		if b.accept != nil && !b.accept(&p) {
+			return parsed{}, badFormat(fmt.Sprintf("block at byte %d", start), errors.New("block out of rank order"))
+		}
+		return p, nil
+	}
+	full, _ := b.br.Peek(hlen + plen)
+	if len(full) < hlen+plen {
+		return parsed{}, badFormat(fmt.Sprintf("block at byte %d", start), errors.New("truncated block"))
+	}
+	if crc32.Checksum(full[hlen:], castagnoli) != crc {
+		return parsed{}, badFormat(fmt.Sprintf("block at byte %d", start), errors.New("checksum mismatch"))
+	}
+	p, perr := parsePayload(typ, full[hlen:], true)
+	if perr != nil {
+		return parsed{}, badFormat(fmt.Sprintf("block at byte %d", start), perr)
+	}
+	if b.accept != nil && !b.accept(&p) {
+		return parsed{}, badFormat(fmt.Sprintf("block at byte %d", start), errors.New("block out of rank order"))
+	}
+	payload, err := b.take(hlen, plen)
+	if err != nil {
+		return parsed{}, err
+	}
+	if p.typ == blockFrame {
+		p.events = payload[p.evOff:]
+	}
+	return p, nil
+}
+
+// scan recovers from cause: it searches forward for the next block whose
+// structure, checksum, full payload decode, and accept hook all pass,
+// recording the skipped span as one incident. Candidates are only
+// considered at offsets where the whole block provably fits in the
+// window, and every rejected full window discards maxBlockSize bytes, so
+// the scan always terminates after work linear in the stream length.
+func (b *blockReader) scan(start int64, cause error) (parsed, int64, error) {
+	rank := b.rank()
+	reason := cause.Error()
+	var skipped int64
+	for {
+		win, _ := b.br.Peek(scanWindow)
+		full := len(win) == scanWindow
+		searchEnd := maxBlockSize
+		if !full {
+			searchEnd = len(win)
+		}
+		from := 0
+		if skipped == 0 {
+			from = 1 // the failed position itself is corrupt
+		}
+		for from < searchEnd {
+			rel := bytes.Index(win[from:searchEnd], frameMarker[:])
+			if rel < 0 {
+				break
+			}
+			i := from + rel
+			p, hlen, plen, ok := b.validateCandidate(win[i:])
+			if !ok {
+				from = i + 1
+				continue
+			}
+			skipped += int64(i)
+			b.rep.note(start, rank, skipped, reason)
+			if err := b.budgetBytes(); err != nil {
+				return parsed{}, start, err
+			}
+			if _, err := b.br.Discard(i); err != nil {
+				return parsed{}, start, err
+			}
+			blockStart := b.pos()
+			payload, err := b.take(hlen, plen)
+			if err != nil {
+				return parsed{}, start, err
+			}
+			if p.typ == blockFrame {
+				p.events = payload[p.evOff:]
+			}
+			return p, blockStart, nil
+		}
+		if !full {
+			// End of stream with nothing salvageable left.
+			skipped += int64(len(win))
+			if _, err := b.br.Discard(len(win)); err != nil {
+				return parsed{}, start, err
+			}
+			b.rep.note(start, rank, skipped, reason)
+			if err := b.budgetBytes(); err != nil {
+				return parsed{}, start, err
+			}
+			return parsed{}, start, io.EOF
+		}
+		skipped += int64(searchEnd)
+		if _, err := b.br.Discard(searchEnd); err != nil {
+			return parsed{}, start, err
+		}
+		if b.pol.MaxSkipBytes > 0 && b.rep.SkippedBytes+skipped > b.pol.MaxSkipBytes {
+			b.rep.note(start, rank, skipped, reason)
+			return parsed{}, start, fmt.Errorf("%w: skipped %d bytes (limit %d)", ErrSalvageBudget, b.rep.SkippedBytes, b.pol.MaxSkipBytes)
+		}
+	}
+}
+
+// validateCandidate fully validates a candidate block at the front of
+// buf without consuming anything. ok requires the entire block to lie
+// within buf.
+func (b *blockReader) validateCandidate(buf []byte) (parsed, int, int, bool) {
+	head := buf
+	if len(head) > blockHeadMax {
+		head = head[:blockHeadMax]
+	}
+	typ, plen, hlen, crc, err := parseBlockHead(head)
+	if err != nil || hlen+plen > len(buf) {
+		return parsed{}, 0, 0, false
+	}
+	if crc32.Checksum(buf[hlen:hlen+plen], castagnoli) != crc {
+		return parsed{}, 0, 0, false
+	}
+	p, perr := parsePayload(typ, buf[hlen:hlen+plen], true)
+	if perr != nil {
+		return parsed{}, 0, 0, false
+	}
+	if b.accept != nil && !b.accept(&p) {
+		return parsed{}, 0, 0, false
+	}
+	return p, hlen, plen, true
+}
+
+// frameWriter is the v2 encoding layer under EventWriter: it batches
+// events into frames and emits checksummed blocks. All encoding goes
+// through writer-owned buffers, so the per-event hot path allocates
+// nothing once the buffers reach steady state.
+type frameWriter struct {
+	bw    *bufio.Writer
+	limit int // events per frame
+
+	rank   int
+	events []byte // pending frame's encoded events
+	count  int
+
+	blockHead []byte // scratch: marker | type | len | crc
+	payHead   []byte // scratch: frame/proc payload prefix
+}
+
+func newFrameWriter(bw *bufio.Writer, frameEvents int) *frameWriter {
+	return &frameWriter{
+		bw:        bw,
+		limit:     frameEvents,
+		events:    make([]byte, 0, min(frameEvents, 1024)*32),
+		blockHead: make([]byte, 0, blockHeadMax),
+		payHead:   make([]byte, 0, 64),
+	}
+}
+
+// writeBlock emits one block whose payload is the concatenation of
+// parts.
+func (fw *frameWriter) writeBlock(typ byte, parts ...[]byte) error {
+	total := 0
+	var crc uint32
+	for _, p := range parts {
+		total += len(p)
+		crc = crc32.Update(crc, castagnoli, p)
+	}
+	if total > maxFramePayload {
+		return fmt.Errorf("trace: block payload of %d bytes exceeds the format limit", total)
+	}
+	head := fw.blockHead[:0]
+	head = append(head, frameMarker[:]...)
+	head = append(head, typ)
+	head = binary.AppendUvarint(head, uint64(total))
+	head = binary.LittleEndian.AppendUint32(head, crc)
+	fw.blockHead = head
+	if _, err := fw.bw.Write(head); err != nil {
+		return err
+	}
+	for _, p := range parts {
+		if _, err := fw.bw.Write(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flushFrame emits the pending frame, if any.
+func (fw *frameWriter) flushFrame() error {
+	if fw.count == 0 {
+		return nil
+	}
+	head := fw.payHead[:0]
+	head = binary.AppendUvarint(head, uint64(fw.rank))
+	head = binary.AppendUvarint(head, uint64(fw.count))
+	fw.payHead = head
+	err := fw.writeBlock(blockFrame, head, fw.events)
+	fw.events = fw.events[:0]
+	fw.count = 0
+	return err
+}
+
+// add appends one event to the pending frame, cutting the frame at the
+// event limit or near the payload ceiling.
+func (fw *frameWriter) add(ev *Event) error {
+	fw.events = appendEvent(fw.events, ev)
+	fw.count++
+	if fw.count >= fw.limit || len(fw.events) >= maxFramePayload-maxEventSize-2*binary.MaxVarintLen64 {
+		return fw.flushFrame()
+	}
+	return nil
+}
+
+// beginProc flushes the previous process's tail frame and emits a proc
+// block.
+func (fw *frameWriter) beginProc(ph ProcHeader) error {
+	if err := fw.flushFrame(); err != nil {
+		return err
+	}
+	fw.rank = ph.Rank
+	p := fw.payHead[:0]
+	p = binary.AppendUvarint(p, uint64(ph.Rank))
+	p = binary.AppendUvarint(p, uint64(ph.Core.Node))
+	p = binary.AppendUvarint(p, uint64(ph.Core.Chip))
+	p = binary.AppendUvarint(p, uint64(ph.Core.Core))
+	p = binary.AppendUvarint(p, uint64(len(ph.Clock)))
+	p = append(p, ph.Clock...)
+	p = binary.AppendUvarint(p, uint64(ph.EventCount))
+	fw.payHead = p
+	return fw.writeBlock(blockProc, p)
+}
+
+// FrameDecoder reads the events of one process's v2 section — the byte
+// range internal/stream's index pass attributed to a single rank. It is
+// the v2 counterpart of EventDecoder: io.EOF at a clean section end,
+// ErrBadFormat (strict) or incident-and-continue (resync) on corruption.
+// The accept rule — frame blocks of exactly this rank — matches what the
+// index pass accepted inside the section, so both passes skip the same
+// bytes and deliver the same events.
+type FrameDecoder struct {
+	cr     countingReader
+	blk    blockReader
+	rank   int
+	rep    CorruptionReport
+	events []byte // undecoded remainder of the current frame
+}
+
+// NewFrameDecoder returns a decoder over r for the given rank's section.
+func NewFrameDecoder(r io.Reader, rank int, pol ResyncPolicy) *FrameDecoder {
+	d := &FrameDecoder{rank: rank}
+	d.cr = countingReader{r: r}
+	size := decoderBufSize
+	if pol.Enabled {
+		size = scanWindow
+	}
+	br := bufio.NewReaderSize(&d.cr, size)
+	d.blk = blockReader{
+		br:     br,
+		pos:    func() int64 { return d.cr.n - int64(br.Buffered()) },
+		rank:   func() int { return rank },
+		accept: func(p *parsed) bool { return p.typ == blockFrame && p.rank == rank },
+		pol:    pol,
+		rep:    &d.rep,
+	}
+	return d
+}
+
+// Report exposes the corruption incidents seen so far. The pointer stays
+// valid and updates as decoding proceeds.
+func (d *FrameDecoder) Report() *CorruptionReport { return &d.rep }
+
+// Decode reads the next event into ev.
+func (d *FrameDecoder) Decode(ev *Event) error {
+	for len(d.events) == 0 {
+		p, _, err := d.blk.nextBlock()
+		if err != nil {
+			return err
+		}
+		d.events = p.events
+	}
+	n, ok := decodeEvent(d.events, ev)
+	if !ok {
+		// Unreachable in resync mode: accepted blocks are deep-validated.
+		d.events = nil
+		return badFormat(fmt.Sprintf("frame events (at byte %d, rank %d)", d.blk.pos(), d.rank), errors.New("malformed event"))
+	}
+	d.events = d.events[n:]
+	return nil
+}
+
+// DecodeBatch decodes up to len(evs) events, returning how many were
+// filled; a clean section end surfaces as (n, io.EOF).
+func (d *FrameDecoder) DecodeBatch(evs []Event) (int, error) {
+	for i := range evs {
+		if err := d.Decode(&evs[i]); err != nil {
+			return i, err
+		}
+	}
+	return len(evs), nil
+}
