@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-smoke microbench vet lint race cover-check faults figures clean
+.PHONY: all build test bench bench-smoke microbench vet lint lint-test lint-json lint-fix-check race cover-check faults figures clean
 
 all: build vet lint test
 
@@ -12,11 +12,33 @@ build:
 vet:
 	$(GO) vet ./...
 
-# tsyncvet: the stock vet passes plus the repo's clock-correctness
-# analyzers (wallclock, floateq, tsmutate, locked) — see README
-# "Static analysis" and internal/lint
+# tsyncvet: the stock vet passes plus the repo's nine clock-correctness
+# and concurrency analyzers (wallclock, floateq, tsmutate, locked,
+# maporder, seedsrc, ctxflow, poolcheck, errform) — see README "Static
+# analysis" and internal/lint
 lint:
 	$(GO) run ./cmd/tsyncvet ./...
+
+# the analyzers' own unit tests (fixture packages under internal/lint)
+lint-test:
+	$(GO) test ./internal/lint/...
+
+# machine-readable sweep: one JSON object per diagnostic on stdout
+lint-json:
+	$(GO) run ./cmd/tsyncvet -json ./...
+
+# guard against stale suppressions: every tsync:* directive must carry a
+# justification ("—" separator) so a bare marker cannot silence a finding
+# without saying why
+lint-fix-check:
+	@bad=$$(grep -rn '//tsync:[a-z]' --include='*.go' internal cmd bench_test.go 2>/dev/null \
+		| grep -v '^internal/lint/' \
+		| grep -v '—'); \
+	if [ -n "$$bad" ]; then \
+		echo "unjustified tsync:* directives (add '— why' to each):"; \
+		echo "$$bad"; exit 1; \
+	fi
+	@echo "lint-fix-check: all suppression directives carry justifications"
 
 test:
 	$(GO) test ./...

@@ -14,6 +14,7 @@ package tsync
 import (
 	"bytes"
 	"io"
+	"sort"
 	"testing"
 
 	"tsync/internal/analysis"
@@ -480,14 +481,20 @@ func BenchmarkAblationDomainCLC(b *testing.B) {
 		b.Fatal(err)
 	}
 	pre := corr.Apply(raw)
-	// group ranks by node
+	// group ranks by node, domains in ascending node order so the
+	// benchmark corrects an identical input every run
 	byNode := map[int][]int{}
+	var nodes []int
 	for rank, p := range pre.Procs {
+		if _, ok := byNode[p.Core.Node]; !ok {
+			nodes = append(nodes, p.Core.Node)
+		}
 		byNode[p.Core.Node] = append(byNode[p.Core.Node], rank)
 	}
+	sort.Ints(nodes)
 	opts := clc.DefaultOptions()
-	for _, members := range byNode {
-		opts.Domains = append(opts.Domains, members)
+	for _, node := range nodes {
+		opts.Domains = append(opts.Domains, byNode[node])
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

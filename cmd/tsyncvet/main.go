@@ -1,10 +1,12 @@
-// Command tsyncvet runs the repository's clock-correctness analyzers
-// (wallclock, floateq, tsmutate, locked — see internal/lint) together
+// Command tsyncvet runs the repository's clock-correctness and
+// concurrency analyzers (wallclock, floateq, tsmutate, locked, maporder,
+// seedsrc, ctxflow, poolcheck, errform — see internal/lint) together
 // with the stock go/analysis vet passes.
 //
 // It is both a standalone driver and a `go vet` vettool:
 //
 //	go run ./cmd/tsyncvet ./...          # lint the whole module
+//	go run ./cmd/tsyncvet -json ./...    # machine-readable diagnostics
 //	go vet -vettool=$(which tsyncvet) ./...
 //
 // Given package patterns, tsyncvet re-executes itself through
@@ -13,12 +15,22 @@
 // build system. (The usual multichecker driver lives in parts of x/tools
 // that the Go distribution does not vendor; the unitchecker route needs
 // only what `go vet` itself ships with, and behaves identically in CI.)
+//
+// With -json, diagnostics are re-emitted as one JSON object per line on
+// stdout — {"file", "line", "col", "analyzer", "message"} — sorted by
+// position, so CI annotators and future tooling can consume findings
+// without scraping the human format. The exit code is 1 when any
+// diagnostic was reported, 0 on a clean sweep.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
 	"os/exec"
+	"sort"
+	"strconv"
 	"strings"
 
 	"golang.org/x/tools/go/analysis/unitchecker"
@@ -31,26 +43,45 @@ func main() {
 	if isVettoolInvocation(args) {
 		unitchecker.Main(suite.Analyzers()...) // exits
 	}
-	if len(args) == 0 {
-		args = []string{"./..."}
+	jsonOut := false
+	var patterns []string
+	for _, a := range args {
+		if a == "-json" || a == "--json" {
+			jsonOut = true
+			continue
+		}
+		patterns = append(patterns, a)
 	}
-	os.Exit(drive(args))
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	if jsonOut {
+		os.Exit(driveJSON(patterns))
+	}
+	os.Exit(drive(patterns))
 }
 
 // isVettoolInvocation reports whether the process was started by the go
-// command's vet machinery rather than by a human: every argument is a
-// flag (-V=full, -flags, analyzer flags) or a unitchecker *.cfg file.
-// Human invocations carry at least one package pattern.
+// command's vet machinery rather than by a human: the go command probes
+// the tool with -V=full and -flags, then runs it on unitchecker *.cfg
+// files; human invocations carry package patterns (or only driver flags
+// like -json, which the probe never passes).
 func isVettoolInvocation(args []string) bool {
 	if len(args) == 0 {
 		return false
 	}
+	probed := false
 	for _, a := range args {
-		if !strings.HasPrefix(a, "-") && !strings.HasSuffix(a, ".cfg") {
-			return false
+		switch {
+		case strings.HasSuffix(a, ".cfg"), strings.HasPrefix(a, "-V"), a == "-flags":
+			probed = true
+		case strings.HasPrefix(a, "-"):
+			// analyzer flag: compatible with either mode
+		default:
+			return false // a package pattern: human invocation
 		}
 	}
-	return true
+	return probed
 }
 
 // drive re-runs the analysis through `go vet -vettool=<self> patterns`,
@@ -73,4 +104,143 @@ func drive(patterns []string) int {
 		return 1
 	}
 	return 0
+}
+
+// diagnostic is one flattened finding, the -json output unit.
+type diagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// driveJSON runs `go vet -json -vettool=<self>` and re-emits the
+// per-package JSON as a flat, position-sorted stream of diagnostics.
+func driveJSON(patterns []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tsyncvet: cannot locate own binary: %v\n", err)
+		return 1
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-json", "-vettool=" + exe}, patterns...)...)
+	var out, errBuf bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errBuf
+	runErr := cmd.Run()
+
+	diags, perr := parseVetJSON(errBuf.String() + out.String())
+	if perr != nil {
+		// Build failures and driver errors arrive as plain text; pass
+		// them through so the cause is visible.
+		fmt.Fprint(os.Stderr, errBuf.String())
+		fmt.Fprintf(os.Stderr, "tsyncvet: parsing go vet -json output: %v\n", perr)
+		return 1
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].File != diags[j].File {
+			return diags[i].File < diags[j].File
+		}
+		if diags[i].Line != diags[j].Line {
+			return diags[i].Line < diags[j].Line
+		}
+		if diags[i].Col != diags[j].Col {
+			return diags[i].Col < diags[j].Col
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	enc := json.NewEncoder(os.Stdout)
+	for _, d := range diags {
+		if err := enc.Encode(d); err != nil {
+			fmt.Fprintf(os.Stderr, "tsyncvet: %v\n", err)
+			return 1
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	if runErr != nil {
+		if ee, ok := runErr.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "tsyncvet: running go vet: %v\n", runErr)
+		return 1
+	}
+	return 0
+}
+
+// parseVetJSON decodes the `go vet -json` stream: "# package" comment
+// lines separating one JSON object per package of the shape
+// {"pkg": {"analyzer": [{"posn": "file:line:col", "message": "..."}]}}.
+func parseVetJSON(s string) ([]diagnostic, error) {
+	var diags []diagnostic
+	dec := json.NewDecoder(strings.NewReader(stripComments(s)))
+	for dec.More() {
+		var perPkg map[string]map[string][]struct {
+			Posn    string `json:"posn"`
+			Message string `json:"message"`
+		}
+		if err := dec.Decode(&perPkg); err != nil {
+			return nil, err
+		}
+		for _, pkg := range sortedKeys(perPkg) {
+			byAnalyzer := perPkg[pkg]
+			for _, analyzer := range sortedKeys(byAnalyzer) {
+				for _, d := range byAnalyzer[analyzer] {
+					file, line, col := splitPosn(d.Posn)
+					diags = append(diags, diagnostic{
+						File: file, Line: line, Col: col,
+						Analyzer: analyzer, Message: d.Message,
+					})
+				}
+			}
+		}
+	}
+	return diags, nil
+}
+
+// stripComments drops the "# package" separator lines go vet interleaves
+// with the JSON objects.
+func stripComments(s string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "#") {
+			continue
+		}
+		b.WriteString(line)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// sortedKeys returns m's keys in sorted order, so diagnostics accumulate
+// deterministically regardless of map visit order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// splitPosn parses "file:line:col" (column optional).
+func splitPosn(posn string) (file string, line, col int) {
+	parts := strings.Split(posn, ":")
+	var nums []int
+	for len(parts) > 1 && len(nums) < 2 {
+		n, err := strconv.Atoi(parts[len(parts)-1])
+		if err != nil {
+			break
+		}
+		nums = append(nums, n)
+		parts = parts[:len(parts)-1]
+	}
+	switch len(nums) {
+	case 2: // trailing ...:line:col
+		line, col = nums[1], nums[0]
+	case 1: // trailing ...:line
+		line = nums[0]
+	}
+	return strings.Join(parts, ":"), line, col
 }

@@ -289,7 +289,7 @@ func EstimateWindowed(t *trace.Trace, method Method, windows int) (*interp.Corre
 	}
 	// the x range of all bound points (receiver/sender local times)
 	lo, hi := math.Inf(1), math.Inf(-1)
-	for _, pd := range pairs {
+	for _, pd := range pairs { //tsync:unordered — pure min/max reduction over exact float comparisons; every visit order yields the same extrema
 		for _, p := range append(append([]stats.Point(nil), pd.lower...), pd.upper...) {
 			if p.X < lo {
 				lo = p.X

@@ -216,20 +216,20 @@ func TestDistort(t *testing.T) {
 		{Rank: 2, Kind: Reset, At: 3.0, Delta: 0.0},
 	})
 	if got := d(1, 0.5, 0.5); got != 0.5 {
-		t.Fatalf("pre-fault reading distorted: %v", got) //tsync:exact
+		t.Fatalf("pre-fault reading distorted: %v", got) //tsync:exact — constants below the first fault's At; the distorter must return the reading bit-identically untouched
 	}
 	if got := d(1, 1.5, 1.5); got != 2.0 {
-		t.Fatalf("step: got %v, want 2.0", got) //tsync:exact
+		t.Fatalf("step: got %v, want 2.0", got) //tsync:exact — a Step fault adds Delta exactly once: 1.5 + 0.5 is exact in binary
 	}
 	if got := d(0, 1.5, 1.5); got != 1.5 {
-		t.Fatalf("step leaked to rank 0: %v", got) //tsync:exact
+		t.Fatalf("step leaked to rank 0: %v", got) //tsync:exact — fault targets rank 1 only; rank 0's reading must pass through bit-identical
 	}
 	if got := d(0, 3.0, 3.0); got != 3.0+1e-3 {
-		t.Fatalf("freq jump: got %v", got) //tsync:exact
+		t.Fatalf("freq jump: got %v", got) //tsync:exact — single rounding: 3.0 + 1e-3 is computed the same way by the distorter
 	}
 	// rank 2 at t=4: step skipped (rank 1 only), freq jump applies, then
 	// reset discards everything → 0 + (4-3) = 1
 	if got := d(2, 4.0, 4.0); got != 1.0 {
-		t.Fatalf("reset: got %v, want 1.0", got) //tsync:exact
+		t.Fatalf("reset: got %v, want 1.0", got) //tsync:exact — reset discards state then adds elapsed 1.0; both operands exact
 	}
 }

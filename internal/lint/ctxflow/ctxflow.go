@@ -1,0 +1,230 @@
+// Package ctxflow defines an analyzer that machine-checks the
+// cancellation contract PR 5 established for the streaming layer: every
+// long-running entry point is cancellable, promptly, and contexts flow
+// through call chains rather than hiding in state.
+//
+// The contract matters because the ROADMAP's production targets (a
+// resident tsyncd service, scale-out merge, live estimators) multiply
+// the places where an unbounded loop can wedge a worker: a pipeline pass
+// over a billion-event trace must stop when its caller gives up, and the
+// leak-free-teardown tests in internal/stream only stay meaningful if
+// new entry points keep accepting and polling a context.
+//
+// Three rules apply everywhere:
+//
+//   - a context.Context parameter, when present, comes first (the
+//     standard library convention; mixed positions break the mechanical
+//     "wrap the first argument" refactors that timeouts ride on);
+//   - contexts are not stored in struct fields — a stored context
+//     outlives the call it was scoped to and silently decouples
+//     cancellation from the work it governs;
+//
+// and two rules apply to the long-running packages (internal/stream,
+// internal/runner, and any future tsyncd code):
+//
+//   - an exported function whose body runs unbounded work — a `for` loop
+//     with no condition, a range over a channel, or a spawned
+//     goroutine — must accept a context.Context as its first parameter
+//     (convenience wrappers that delegate to a Context-taking variant
+//     are naturally exempt: the loop lives in the callee);
+//   - inside a function that does take a context, a `for` loop with no
+//     condition must mention the context somewhere in its body — polling
+//     ctx.Err() on a stride, selecting on ctx.Done(), or passing ctx to
+//     the callee that blocks. A loop that provably cannot observe
+//     cancellation is a leak in waiting.
+//
+// A bounded loop that intentionally ignores its context carries a
+// "tsync:nocancel" comment on the `for` line explaining why prompt
+// cancellation is not needed there.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"tsync/internal/lint"
+)
+
+const doc = `enforce the cancellation contract: ctx first, never stored, polled in unbounded loops
+
+Long-running exported entry points in internal/stream, internal/runner
+and tsyncd code must take a context.Context first; condition-less loops
+in context-taking functions must observe it; contexts never live in
+structs.`
+
+// Analyzer is the ctxflow analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:     "ctxflow",
+	Doc:      doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// directive is the per-line suppression marker.
+const directive = "tsync:nocancel"
+
+// longRunningPkg reports whether the package is one whose entry points
+// carry the cancellation contract.
+func longRunningPkg(path string) bool {
+	return lint.PathHasSuffix(path, "internal/stream") ||
+		lint.PathHasSuffix(path, "internal/runner") ||
+		lint.PathHasSegment(path, "tsyncd")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	target := longRunningPkg(pass.Pkg.Path())
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.StructType)(nil)}, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.StructType:
+			checkStructFields(pass, n)
+		case *ast.FuncDecl:
+			checkFunc(pass, n, target)
+		}
+	})
+	return nil, nil
+}
+
+// checkStructFields reports fields of type context.Context.
+func checkStructFields(pass *analysis.Pass, st *ast.StructType) {
+	for _, f := range st.Fields.List {
+		if isContextType(pass.TypesInfo.TypeOf(f.Type)) && !lint.IsTestFile(pass, f.Pos()) {
+			pass.Reportf(f.Pos(), "context.Context stored in a struct field: a stored context outlives the call it was scoped to; pass ctx as the first parameter of each method that needs it")
+		}
+	}
+}
+
+// checkFunc applies the parameter-position rule everywhere and, in
+// long-running packages, the entry-point and polling rules.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, target bool) {
+	if fd.Body == nil || lint.IsTestFile(pass, fd.Pos()) {
+		return
+	}
+	ctxParam, ctxIndex := contextParam(pass, fd.Type)
+	if ctxParam != nil && ctxIndex != 0 {
+		pass.Reportf(ctxParam.Pos(), "context.Context is parameter %d of %s: ctx comes first by convention so call sites and wrappers stay mechanical", ctxIndex+1, fd.Name.Name)
+	}
+	if !target {
+		return
+	}
+	if ctxParam == nil {
+		if fd.Name.IsExported() {
+			if pos, what := unboundedWork(pass, fd.Body); pos.IsValid() && !lint.HasLineDirective(pass, pos, directive) {
+				pass.Reportf(fd.Name.Pos(), "exported %s runs unbounded work (%s) without a context.Context: long-running entry points must be cancellable; accept ctx as the first parameter or delegate the loop to a Context-taking variant", fd.Name.Name, what)
+			}
+		}
+		return
+	}
+	checkLoopsPoll(pass, fd.Body, ctxParam)
+}
+
+// contextParam returns the context.Context parameter object of ft and
+// its position, or (nil, 0).
+func contextParam(pass *analysis.Pass, ft *ast.FuncType) (*ast.Ident, int) {
+	if ft.Params == nil {
+		return nil, 0
+	}
+	i := 0
+	for _, f := range ft.Params.List {
+		isCtx := isContextType(pass.TypesInfo.TypeOf(f.Type))
+		if len(f.Names) == 0 {
+			if isCtx {
+				return ast.NewIdent("_"), i // unnamed ctx param: position still checked
+			}
+			i++
+			continue
+		}
+		for _, name := range f.Names {
+			if isCtx {
+				return name, i
+			}
+			i++
+		}
+	}
+	return nil, 0
+}
+
+// unboundedWork finds the first construct in body that runs until told
+// to stop: a condition-less for loop, a range over a channel, or a
+// spawned goroutine.
+func unboundedWork(pass *analysis.Pass, body *ast.BlockStmt) (pos token.Pos, what string) {
+	var found token.Pos
+	var kind string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found.IsValid() {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			if n.Cond == nil {
+				found, kind = n.For, "a for loop with no condition"
+				return false
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found, kind = n.For, "a range over a channel"
+					return false
+				}
+			}
+		case *ast.GoStmt:
+			found, kind = n.Go, "a spawned goroutine"
+			return false
+		}
+		return true
+	})
+	return found, kind
+}
+
+// checkLoopsPoll reports condition-less for loops that never mention the
+// function's context.
+func checkLoopsPoll(pass *analysis.Pass, body *ast.BlockStmt, ctx *ast.Ident) {
+	obj := pass.TypesInfo.ObjectOf(ctx)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // literals have their own (captured or passed) discipline
+		}
+		fs, ok := n.(*ast.ForStmt)
+		if !ok || fs.Cond != nil {
+			return true
+		}
+		if lint.HasLineDirective(pass, fs.Pos(), directive) {
+			return true
+		}
+		if obj != nil && mentionsObject(pass, fs.Body, obj) {
+			return true
+		}
+		pass.Reportf(fs.Pos(), "condition-less loop never observes %s: poll ctx.Err() on a stride or select on ctx.Done() so cancellation stays prompt, or annotate the for line with a tsync:nocancel comment saying why the loop is bounded", ctx.Name)
+		return true
+	})
+}
+
+// mentionsObject reports whether obj is used anywhere under n.
+func mentionsObject(pass *analysis.Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

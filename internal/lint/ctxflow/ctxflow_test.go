@@ -1,0 +1,15 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"tsync/internal/lint/ctxflow"
+	"tsync/internal/lint/linttest"
+)
+
+func TestCtxflow(t *testing.T) {
+	linttest.Run(t, ctxflow.Analyzer,
+		"tsync/internal/stream", // target package: full contract + directive case
+		"b",                     // non-target: only the everywhere rules
+	)
+}

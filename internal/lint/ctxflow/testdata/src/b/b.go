@@ -1,0 +1,25 @@
+// Package b is outside the long-running packages: only the everywhere
+// rules (ctx first, never stored) apply; unbounded work without a
+// context is this package's own business.
+package b
+
+import "context"
+
+// Replay loops forever without a context — legal here.
+func Replay(next func() bool) {
+	for {
+		if !next() {
+			return
+		}
+	}
+}
+
+// Late still violates the position rule.
+func Late(n int, ctx context.Context) error { // want `context.Context is parameter 2 of Late`
+	return ctx.Err()
+}
+
+// holder still violates the storage rule.
+type holder struct {
+	ctx context.Context // want `context.Context stored in a struct field`
+}

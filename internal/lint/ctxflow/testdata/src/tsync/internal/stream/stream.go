@@ -1,0 +1,124 @@
+// Package stream models the long-running streaming layer for the
+// ctxflow analyzer: entry points here carry the PR 5 cancellation
+// contract.
+package stream
+
+import "context"
+
+// Pump runs until its input closes but cannot be told to stop early.
+func Pump(in chan int) int { // want `exported Pump runs unbounded work \(a range over a channel\) without a context.Context`
+	n := 0
+	for v := range in {
+		n += v
+	}
+	return n
+}
+
+// Index decodes until EOF with no way to abandon a huge file.
+func Index(next func() (int, bool)) int { // want `exported Index runs unbounded work \(a for loop with no condition\) without a context.Context`
+	n := 0
+	for {
+		v, ok := next()
+		if !ok {
+			return n
+		}
+		n += v
+	}
+}
+
+// FanOut spawns workers that outlive any caller deadline.
+func FanOut(task func(int)) { // want `exported FanOut runs unbounded work \(a spawned goroutine\) without a context.Context`
+	for i := 0; i < 4; i++ {
+		go task(i)
+	}
+}
+
+// Walk takes a context but its decode loop can never observe it.
+func Walk(ctx context.Context, next func() (int, bool)) (int, error) {
+	n := 0
+	for { // want `condition-less loop never observes ctx`
+		v, ok := next()
+		if !ok {
+			return n, nil
+		}
+		n += v
+	}
+}
+
+// MisplacedCtx buries the context mid-signature.
+func MisplacedCtx(n int, ctx context.Context) error { // want `context.Context is parameter 2 of MisplacedCtx`
+	return ctx.Err()
+}
+
+// engine stores the context it was started with: cancellation decouples
+// from the calls that follow.
+type engine struct {
+	ctx context.Context // want `context.Context stored in a struct field`
+	n   int
+}
+
+// --- negatives ---
+
+// IndexContext is the fixed Index: the loop polls on a stride.
+func IndexContext(ctx context.Context, next func() (int, bool)) (int, error) {
+	n := 0
+	for {
+		if n&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
+		v, ok := next()
+		if !ok {
+			return n, nil
+		}
+		n += v
+	}
+}
+
+// IndexCompat is the convenience wrapper: no loop in its own body, so no
+// contract applies — the callee enforces it.
+func IndexCompat(next func() (int, bool)) int {
+	n, _ := IndexContext(context.Background(), next)
+	return n
+}
+
+// WalkDelegating passes ctx to the blocking callee each iteration.
+func WalkDelegating(ctx context.Context, step func(context.Context) bool) {
+	for {
+		if !step(ctx) {
+			return
+		}
+	}
+}
+
+// drain is unexported: internal helpers inherit their caller's contract.
+func drain(in chan int) {
+	for range in {
+	}
+}
+
+// Bounded loops with conditions are not unbounded work.
+func Sum(ctx context.Context, xs []int) (int, error) {
+	n := 0
+	for i := 0; i < len(xs); i++ {
+		n += xs[i]
+	}
+	return n, ctx.Err()
+}
+
+// --- directive-suppressed ---
+
+// Retire runs a loop that is bounded by construction (the queue is
+// finite and closed before the call); the directive records why prompt
+// cancellation is not needed.
+func Retire(pop func() (int, bool)) int {
+	n := 0
+	for { //tsync:nocancel — the retire queue is closed and finite before Retire is called; the loop is bounded by its length
+		v, ok := pop()
+		if !ok {
+			return n
+		}
+		n += v
+	}
+}

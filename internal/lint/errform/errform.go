@@ -1,0 +1,201 @@
+// Package errform defines an analyzer that enforces the decode-error
+// discipline PR 5 standardized for the trace and streaming layers.
+//
+// A trace file that fails to decode is not one kind of failure but two:
+// structural damage (ErrBadFormat — the bytes are wrong) and exhausted
+// salvage (ErrSalvageBudget — the bytes were wrong too often). Callers
+// dispatch on that classification: cmd/tracestat picks its exit code
+// with errors.Is, the salvage path decides whether to resync or abort,
+// and the CI round-trip test asserts exit 3 on partial output. An error
+// born on the decode path that is neither classified nor wrapped breaks
+// every one of those dispatches silently — errors.Is sees a leaf error
+// and answers false.
+//
+// The second half of the discipline is context: "bad file format" alone
+// is useless against a 2 GB trace. PR 5's convention is that every
+// decode-path error carries the byte offset, rank, or offending value
+// alongside the classification.
+//
+// Within decode-path functions (by name: Read*, Decode*, Next*, Parse*,
+// Scan*, Resync*, Salvage*, Index*, *Source*, *Header*, *Frame*) of
+// internal/trace and internal/stream, the analyzer reports:
+//
+//   - errors.New(...) calls — the error can never satisfy errors.Is on a
+//     sentinel; use or wrap ErrBadFormat / ErrSalvageBudget;
+//   - fmt.Errorf with a format string that has no %w verb — the
+//     classification (or the underlying error) is dropped at this frame;
+//   - fmt.Errorf whose only verb is the %w — classified but context-free;
+//     include the byte offset, rank, or offending value.
+//
+// An error constructed directly as an argument to another call —
+// badFormat("header", errors.New("...")) — is exempt: the receiving
+// wrapper owns classification and context, and is itself checked when
+// its name is on the decode path.
+//
+// Suppression: a "tsync:rawerr" comment on the flagged line, naming why
+// an unclassified or context-free error is correct there (e.g. the
+// function validates arguments, not bytes).
+package errform
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"tsync/internal/lint"
+)
+
+const doc = `decode-path errors must wrap a classified sentinel (%w) and carry offset/rank context
+
+In internal/trace and internal/stream decode functions, errors.New and
+unwrapped fmt.Errorf break the errors.Is dispatch on ErrBadFormat /
+ErrSalvageBudget; a bare "%w" with no further verbs drops the byte
+offset and rank a 2 GB trace needs to be debuggable.`
+
+// Analyzer is the errform analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:     "errform",
+	Doc:      doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// directive is the per-line suppression marker.
+const directive = "tsync:rawerr"
+
+// decodeFuncRE matches function names on the decode path.
+var decodeFuncRE = regexp.MustCompile(`(?i)(read|decode|parse|next|scan|resync|salvage|index|source|header|frame)`)
+
+// decodePkg reports whether the package carries the discipline.
+func decodePkg(path string) bool {
+	return lint.PathHasSuffix(path, "internal/trace") || lint.PathHasSuffix(path, "internal/stream")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !decodePkg(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil || lint.IsTestFile(pass, fd.Pos()) {
+			return
+		}
+		if !decodeFuncRE.MatchString(fd.Name.Name) {
+			return
+		}
+		// An error constructed directly as an argument to another call is
+		// exempt: the receiving function (er.bad, badFormat, ...) owns
+		// classification and context, and its own constructors are
+		// checked when it is itself a decode-path function.
+		wrapped := map[*ast.CallExpr]bool{}
+		ast.Inspect(fd.Body, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, arg := range call.Args {
+				if inner, ok := ast.Unparen(arg).(*ast.CallExpr); ok {
+					wrapped[inner] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(fd.Body, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !wrapped[call] {
+				checkErrorCall(pass, fd.Name.Name, call)
+			}
+			return true
+		})
+	})
+	return nil, nil
+}
+
+// checkErrorCall applies the three rules to one call expression.
+func checkErrorCall(pass *analysis.Pass, fn string, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pn, ok := pass.TypesInfo.Uses[pkg].(*types.PkgName)
+	if !ok {
+		return
+	}
+	switch {
+	case pn.Imported().Path() == "errors" && sel.Sel.Name == "New":
+		if lint.HasLineDirective(pass, call.Pos(), directive) {
+			return
+		}
+		pass.Reportf(call.Pos(), "errors.New on the decode path (%s): callers dispatch with errors.Is on ErrBadFormat/ErrSalvageBudget and will not see this error; wrap a classified sentinel with fmt.Errorf(\"%%w: ...\") or annotate the line with a tsync:rawerr comment", fn)
+	case pn.Imported().Path() == "fmt" && sel.Sel.Name == "Errorf":
+		checkErrorf(pass, fn, call)
+	}
+}
+
+// checkErrorf inspects a fmt.Errorf call's literal format string.
+func checkErrorf(pass *analysis.Pass, fn string, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok {
+		return // non-literal formats are the printf analyzer's problem
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	wraps, verbs := countVerbs(format)
+	if lint.HasLineDirective(pass, call.Pos(), directive) {
+		return
+	}
+	if wraps == 0 {
+		pass.Reportf(call.Pos(), "fmt.Errorf without %%w on the decode path (%s): the classification or underlying error is dropped at this frame, so errors.Is(err, ErrBadFormat) fails upstream; wrap with %%w or annotate the line with a tsync:rawerr comment", fn)
+		return
+	}
+	if verbs == 0 {
+		pass.Reportf(call.Pos(), "classified but context-free decode error in %s: %%w alone does not say where; include the byte offset, rank, or offending value, or annotate the line with a tsync:rawerr comment", fn)
+	}
+}
+
+// countVerbs scans a printf format and returns the number of %w verbs
+// and the number of other formatting verbs (%% excluded).
+func countVerbs(format string) (wraps, verbs int) {
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		// scan past flags, width, precision, index
+		j := i + 1
+		for j < len(format) && strings.ContainsRune("+-# 0123456789.[]*", rune(format[j])) {
+			j++
+		}
+		if j >= len(format) {
+			break
+		}
+		switch format[j] {
+		case '%':
+			// literal percent
+		case 'w':
+			wraps++
+		default:
+			verbs++
+		}
+		i = j
+	}
+	return wraps, verbs
+}

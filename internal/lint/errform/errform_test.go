@@ -1,0 +1,15 @@
+package errform_test
+
+import (
+	"testing"
+
+	"tsync/internal/lint/errform"
+	"tsync/internal/lint/linttest"
+)
+
+func TestErrform(t *testing.T) {
+	linttest.Run(t, errform.Analyzer,
+		"tsync/internal/trace", // decode package: positive, negative, directive cases
+		"b",                    // non-decode package: exempt
+	)
+}

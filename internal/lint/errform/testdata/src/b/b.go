@@ -1,0 +1,13 @@
+// Package b is outside internal/trace and internal/stream: errform does
+// not apply, whatever the function names look like.
+package b
+
+import "errors"
+
+// ReadConfig may shape its errors however it likes.
+func ReadConfig(path string) error {
+	if path == "" {
+		return errors.New("empty path")
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+// Package trace models the decode path for the errform analyzer:
+// classified, contextual errors pass; ad-hoc, unwrapped, or context-free
+// ones are reported.
+package trace
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadFormat is the structural-damage sentinel (modelled).
+var ErrBadFormat = errors.New("trace: bad file format")
+
+// ErrSalvageBudget is the exhausted-salvage sentinel (modelled).
+var ErrSalvageBudget = errors.New("trace: salvage skip budget exceeded")
+
+// ReadHeader is on the decode path: every early return must classify
+// and locate.
+func ReadHeader(b []byte) (int, error) {
+	if len(b) < 8 {
+		return 0, errors.New("trace: short header") // want `errors.New on the decode path \(ReadHeader\)`
+	}
+	if b[0] != 'E' {
+		return 0, fmt.Errorf("trace: bad magic %q", b[0]) // want `fmt.Errorf without %w on the decode path \(ReadHeader\)`
+	}
+	if b[1] > 2 {
+		return 0, fmt.Errorf("%w: unsupported version", ErrBadFormat) // want `classified but context-free decode error in ReadHeader`
+	}
+	if b[2] == 0xFF {
+		// the full discipline: classified and located
+		return 0, fmt.Errorf("%w: reserved byte %#x at offset %d", ErrBadFormat, b[2], 2)
+	}
+	return 8, nil
+}
+
+// decodeEvent shows the passing shapes.
+func decodeEvent(b []byte, off int64) error {
+	if len(b) == 0 {
+		return fmt.Errorf("%w: empty event at offset %d", ErrBadFormat, off)
+	}
+	if b[0] == 0 {
+		return fmt.Errorf("%w: skipped %d bytes (limit %d)", ErrSalvageBudget, off, 16)
+	}
+	if err := validate(b); err != nil {
+		return fmt.Errorf("event at offset %d: %w", off, err)
+	}
+	return nil
+}
+
+func validate(b []byte) error { return nil }
+
+// Summarize is not on the decode path (name does not match): its errors
+// are its own business.
+func Summarize(n int) error {
+	if n < 0 {
+		return errors.New("trace: negative count")
+	}
+	return fmt.Errorf("trace: cannot summarize %d", n)
+}
+
+// ReadBlock hands raw details to a classifying wrapper: constructing the
+// inner error as a call argument is the sanctioned helper idiom, exempt.
+func ReadBlock(b []byte) error {
+	if len(b) == 0 {
+		return wrapBad("block", errors.New("empty block"))
+	}
+	if b[0] != 'B' {
+		return wrapBad("block", fmt.Errorf("bad tag %q", b[0]))
+	}
+	return nil
+}
+
+// wrapBad classifies and locates; not itself decode-named, so its own
+// constructor is out of scope.
+func wrapBad(what string, err error) error {
+	return fmt.Errorf("%w: %s: %v", ErrBadFormat, what, err)
+}
+
+// NextProc uses the directive for a genuine argument-validation error.
+func NextProc(rank int) error {
+	if rank < 0 {
+		return fmt.Errorf("trace: rank %d out of range", rank) //tsync:rawerr — argument validation, not byte-level damage: no sentinel applies
+	}
+	return nil
+}

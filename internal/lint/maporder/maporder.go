@@ -1,0 +1,370 @@
+// Package maporder defines an analyzer that flags iteration over a map
+// whose visit order can leak into the program's output.
+//
+// Go randomizes map iteration order on purpose, so any value that depends
+// on the order in which a `range m` loop visits its entries differs from
+// run to run. In this repository that is not a style nit but a
+// correctness bug: every correction pipeline must be a pure function of
+// its configuration, bit for bit, or the paper's tables stop being
+// checkable and replay debugging (à la replay clocks) is impossible. The
+// exact shape has shipped before — errest.propagate ranged over its
+// fitted-pair map while selecting the cheapest spanning-tree edge, ties
+// broke by iteration order, and every error-estimation correction was
+// nondeterministic until PR 2 rewrote the scan over sorted keys.
+//
+// Inside the body of a range over a map the analyzer reports:
+//
+//   - plain assignment to a variable declared outside the loop (the
+//     errest shape: last-write-wins and conditional selection are both
+//     visit-order-dependent);
+//   - op-assignment to an outside variable of non-integer type
+//     (float accumulation is non-associative, string building is
+//     order-dependent; integer counters and sums are commutative and
+//     exempt, as is ++/--);
+//   - writes through an index expression whose index does not mention a
+//     loop variable (compaction by an outer counter reorders entries;
+//     writes keyed by the iteration key, like out[k] = f(v), produce the
+//     same map or slice contents regardless of order and are exempt);
+//   - calls that emit into an outside sink: methods named
+//     Write*/Encode*/Append*/Push* on receivers declared outside, and
+//     fmt.Fprint* with an outside writer (bytes fed to a writer,
+//     checksum, or encoder in map order are different bytes every run);
+//   - return statements that mention a loop variable (which entry exits
+//     the loop first is itself visit-order-dependent).
+//
+// The one sanctioned iteration idiom needs no annotation: collecting the
+// keys into a slice that is sorted immediately after the loop
+// (`keys = append(keys, k)` … `sort.Slice(keys, …)`) is recognized and
+// exempt — it is precisely the PR 2 fix.
+//
+// Genuinely order-independent loops (a pure min/max reduction, an
+// any-element-will-do error) are suppressed with a "tsync:unordered"
+// comment on the flagged line, or on the range statement's line to cover
+// the whole loop; the comment must say why order cannot matter.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"tsync/internal/lint"
+)
+
+const doc = `flag map iteration whose visit order can leak into output
+
+Map iteration order is randomized; loops that write outside state,
+feed writers/checksums, or return early based on the visited entry make
+results differ run to run. Iterate sorted keys, or annotate the line
+with a tsync:unordered comment saying why order cannot matter.`
+
+// Analyzer is the maporder analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:     "maporder",
+	Doc:      doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// directive is the per-line suppression marker.
+const directive = "tsync:unordered"
+
+// sinkPrefixes are method-name prefixes that emit into their receiver:
+// writers, encoders, checksums, accumulating containers.
+var sinkPrefixes = []string{"Write", "Encode", "Append", "Push"}
+
+func run(pass *analysis.Pass) (any, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.RangeStmt)(nil)}, func(n ast.Node) {
+		rs := n.(*ast.RangeStmt)
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			return
+		}
+		if _, ok := t.Underlying().(*types.Map); !ok {
+			return
+		}
+		if lint.HasLineDirective(pass, rs.Pos(), directive) {
+			return
+		}
+		c := &checker{pass: pass, rs: rs, loopVars: loopVars(pass, rs)}
+		c.walk(rs.Body)
+	})
+	return nil, nil
+}
+
+// checker carries the state for one map-range loop.
+type checker struct {
+	pass     *analysis.Pass
+	rs       *ast.RangeStmt
+	loopVars map[*types.Var]bool
+}
+
+// loopVars collects the key/value iteration variables of rs.
+func loopVars(pass *analysis.Pass, rs *ast.RangeStmt) map[*types.Var]bool {
+	vars := map[*types.Var]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		if v, ok := pass.TypesInfo.ObjectOf(id).(*types.Var); ok {
+			vars[v] = true
+		}
+	}
+	return vars
+}
+
+// walk visits the loop body. Nested function literals are not entered:
+// a closure built inside the loop runs later, under its caller's
+// ordering discipline, and deferred/spawned work is the locked
+// analyzer's concern.
+func (c *checker) walk(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				}
+				c.checkWrite(n.Tok, lhs, rhs)
+			}
+		case *ast.CallExpr:
+			c.checkSinkCall(n)
+		case *ast.ReturnStmt:
+			c.checkReturn(n)
+		}
+		return true
+	})
+}
+
+// checkWrite reports an assignment inside the loop whose target is
+// declared outside it and whose shape makes the final value depend on
+// visit order.
+func (c *checker) checkWrite(tok token.Token, lhs, rhs ast.Expr) {
+	v, root := c.outsideTarget(lhs)
+	if v == nil {
+		return
+	}
+	if lint.HasLineDirective(c.pass, lhs.Pos(), directive) {
+		return
+	}
+	// Key-addressed writes (out[k] = ..., out[k] += ...) land each entry
+	// in its own cell: the aggregate contents are order-independent.
+	if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && c.mentionsLoopVar(idx.Index) {
+		return
+	}
+	if tok == token.ASSIGN {
+		// The collect-then-sort idiom: s = append(s, k) with a sort of s
+		// right after the loop is the sanctioned fix, not a finding.
+		if c.isSortedAppend(lhs, rhs) {
+			return
+		}
+		c.pass.Reportf(lhs.Pos(), "assignment to %q inside map iteration: visit order is randomized, so last-write-wins and tie-breaks are nondeterministic; iterate sorted keys or annotate the line with a tsync:unordered comment", root.Name)
+		return
+	}
+	// Op-assign: integer reductions (+=, |=, ^=, ...) are commutative;
+	// everything else (float accumulation, string building) is not.
+	if t := c.pass.TypesInfo.TypeOf(lhs); t != nil {
+		if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+			return
+		}
+	}
+	c.pass.Reportf(lhs.Pos(), "%s to %q inside map iteration: the reduction is order-sensitive (float addition is non-associative, string building is ordered); iterate sorted keys or annotate the line with a tsync:unordered comment", tok, root.Name)
+}
+
+// outsideTarget resolves lhs to (variable, root identifier) when its root
+// is a variable declared outside the range statement; otherwise nils.
+func (c *checker) outsideTarget(lhs ast.Expr) (*types.Var, *ast.Ident) {
+	id := rootIdent(lhs)
+	if id == nil || id.Name == "_" {
+		return nil, nil
+	}
+	v, ok := c.pass.TypesInfo.ObjectOf(id).(*types.Var)
+	if !ok || c.declaredWithin(v) {
+		return nil, nil
+	}
+	return v, id
+}
+
+// declaredWithin reports whether v is declared inside the range statement
+// (loop variables and body locals are loop-private).
+func (c *checker) declaredWithin(v *types.Var) bool {
+	return v.Pos() >= c.rs.Pos() && v.Pos() < c.rs.End()
+}
+
+// mentionsLoopVar reports whether e's subtree uses a loop variable.
+func (c *checker) mentionsLoopVar(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := c.pass.TypesInfo.ObjectOf(id).(*types.Var); ok && c.loopVars[v] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isSortedAppend recognizes `s = append(s, ...)` — where s may be a
+// selector path like f.offs — when s is sorted in a statement following
+// the range loop in the same enclosing block.
+func (c *checker) isSortedAppend(lhs, rhs ast.Expr) bool {
+	id := rootIdent(lhs)
+	if id == nil || rhs == nil {
+		return false
+	}
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fn.Name != "append" || len(call.Args) == 0 {
+		return false
+	}
+	if types.ExprString(ast.Unparen(call.Args[0])) != types.ExprString(ast.Unparen(lhs)) {
+		return false
+	}
+	target := c.pass.TypesInfo.ObjectOf(id)
+	f := lint.FileOf(c.pass, c.rs.Pos())
+	if f == nil {
+		return false
+	}
+	return sortFollowsLoop(c.pass, f, c.rs, target)
+}
+
+// sortFollowsLoop reports whether, in the block that contains rs, some
+// later statement sorts target (sort.Slice/Strings/Ints/..., sort.Sort,
+// or slices.Sort*).
+func sortFollowsLoop(pass *analysis.Pass, f *ast.File, rs *ast.RangeStmt, target types.Object) bool {
+	found := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if ok && !found {
+			for i, st := range block.List {
+				if st != ast.Stmt(rs) {
+					continue
+				}
+				for _, later := range block.List[i+1:] {
+					if stmtSorts(pass, later, target) {
+						found = true
+						return false
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// stmtSorts reports whether st is a call to a sort function whose first
+// argument is rooted at target.
+func stmtSorts(pass *analysis.Pass, st ast.Stmt, target types.Object) bool {
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.TypesInfo.Uses[pkg].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	switch pn.Imported().Path() {
+	case "sort":
+		// every sort.* entry point takes the data first
+	case "slices":
+		if !strings.HasPrefix(sel.Sel.Name, "Sort") {
+			return false
+		}
+	default:
+		return false
+	}
+	arg := rootIdent(call.Args[0])
+	return arg != nil && pass.TypesInfo.ObjectOf(arg) == target
+}
+
+// checkSinkCall reports calls that emit bytes or elements into a sink
+// declared outside the loop.
+func (c *checker) checkSinkCall(call *ast.CallExpr) {
+	// fmt.Fprint*(w, ...) with an outside writer
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if pkg, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := c.pass.TypesInfo.Uses[pkg].(*types.PkgName); ok {
+				if pn.Imported().Path() == "fmt" && strings.HasPrefix(sel.Sel.Name, "Fprint") && len(call.Args) > 0 {
+					if v, root := c.outsideTarget(call.Args[0]); v != nil && !lint.HasLineDirective(c.pass, call.Pos(), directive) {
+						c.pass.Reportf(call.Pos(), "fmt.%s to %q inside map iteration: bytes are written in randomized visit order; iterate sorted keys or annotate the line with a tsync:unordered comment", sel.Sel.Name, root.Name)
+					}
+					return
+				}
+			}
+		}
+		// method call on an outside receiver with an emitting name
+		for _, p := range sinkPrefixes {
+			if strings.HasPrefix(sel.Sel.Name, p) {
+				if v, root := c.outsideTarget(sel.X); v != nil && !lint.HasLineDirective(c.pass, call.Pos(), directive) {
+					c.pass.Reportf(call.Pos(), "%s.%s inside map iteration: the sink observes entries in randomized visit order; iterate sorted keys or annotate the line with a tsync:unordered comment", root.Name, sel.Sel.Name)
+				}
+				return
+			}
+		}
+	}
+}
+
+// checkReturn reports early returns whose value mentions a loop variable:
+// which entry triggers the return is itself order-dependent.
+func (c *checker) checkReturn(ret *ast.ReturnStmt) {
+	for _, res := range ret.Results {
+		if c.mentionsLoopVar(res) {
+			if lint.HasLineDirective(c.pass, ret.Pos(), directive) {
+				return
+			}
+			c.pass.Reportf(ret.Pos(), "return mentions map iteration variable: which entry is returned depends on randomized visit order; iterate sorted keys or annotate the line with a tsync:unordered comment")
+			return
+		}
+	}
+}
+
+// rootIdent unwraps selectors, indexing, derefs and parens down to the
+// base identifier of an expression.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,23 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"tsync/internal/lint/linttest"
+	"tsync/internal/lint/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	linttest.Run(t, maporder.Analyzer, "a")
+}
+
+// TestHistoricalPrePR2Finding runs maporder against a reconstruction of
+// errest.propagate as it shipped before PR 2 — the MST edge scan that
+// ranged over the fitted-pair map and broke weight ties by randomized
+// iteration order, making every errest correction nondeterministic. The
+// fixture's expectations assert the analyzer reports the exact
+// assignments that carried the bug, proving this wave would have caught
+// it at review time instead of by hand.
+func TestHistoricalPrePR2Finding(t *testing.T) {
+	linttest.Run(t, maporder.Analyzer, "errest_prepr2")
+}

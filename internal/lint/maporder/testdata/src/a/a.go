@@ -1,0 +1,191 @@
+// Package a exercises the maporder analyzer: order-dependent writes,
+// sinks and returns inside map iteration (positive), order-independent
+// shapes (negative), and directive-suppressed reductions.
+package a
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// lastWriteWins is the errest shape: a conditional selection whose
+// tie-breaks follow randomized visit order.
+func lastWriteWins(m map[string]int) string {
+	best := ""
+	bestN := -1
+	for k, n := range m {
+		if n > bestN {
+			bestN = n   // want `assignment to "bestN" inside map iteration`
+			best = k    // want `assignment to "best" inside map iteration`
+		}
+	}
+	return best
+}
+
+// floatAccumulate: float addition is non-associative, so the sum's bits
+// depend on visit order.
+func floatAccumulate(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // want `\+= to "sum" inside map iteration`
+	}
+	return sum
+}
+
+// stringBuild: concatenation order is visit order.
+func stringBuild(m map[string]bool) string {
+	out := ""
+	for k := range m {
+		out += k // want `\+= to "out" inside map iteration`
+	}
+	return out
+}
+
+// compaction writes through an outer counter index: entry positions
+// follow visit order.
+func compaction(m map[string]int, dst []string) {
+	j := 0
+	for k := range m {
+		dst[j] = k // want `assignment to "dst" inside map iteration`
+		j++
+	}
+}
+
+// sinkWriter streams entries into a writer in visit order.
+func sinkWriter(m map[string]int, sb *strings.Builder) {
+	for k := range m {
+		sb.WriteString(k) // want `sb.WriteString inside map iteration`
+	}
+}
+
+// sinkFprintf formats entries into a writer in visit order.
+func sinkFprintf(m map[string]int, sb *strings.Builder) {
+	for k, v := range m {
+		fmt.Fprintf(sb, "%s=%d\n", k, v) // want `fmt.Fprintf to "sb" inside map iteration`
+	}
+}
+
+// earlyReturn: which unmatched entry surfaces in the error is
+// order-dependent.
+func earlyReturn(pending map[string]int) error {
+	for k, n := range pending {
+		if n > 0 {
+			return fmt.Errorf("%d unmatched entries for %s", n, k) // want `return mentions map iteration variable`
+		}
+	}
+	return nil
+}
+
+// appendUnsorted collects keys but never sorts them: callers see a
+// random permutation.
+func appendUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `assignment to "keys" inside map iteration`
+	}
+	return keys
+}
+
+// --- negatives ---
+
+// collectThenSort is the sanctioned fix: the sort right after the loop
+// erases the visit order.
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// collectThenSortSlice uses sort.Slice, same idiom.
+func collectThenSortSlice(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// keyAddressed writes land each entry in its own cell: the final
+// contents are a set, not a sequence.
+func keyAddressed(m map[string]int) map[string]int {
+	out := map[string]int{}
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// intCounter: integer addition is commutative; the count is exact
+// whatever the order.
+func intCounter(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// localOnly writes loop-private state.
+func localOnly(m map[string]int) {
+	for _, v := range m {
+		x := v * 2
+		_ = x
+	}
+}
+
+// sliceRange is not a map: slices iterate in index order.
+func sliceRange(s []float64) float64 {
+	sum := 0.0
+	for _, v := range s {
+		sum += v
+	}
+	return sum
+}
+
+// --- directive-suppressed ---
+
+// pureMin is order-independent by algebra, not by shape: the minimum of
+// a set does not depend on the order the set is visited.
+func pureMin(m map[string]float64) float64 {
+	lo := 1e308
+	for _, v := range m {
+		if v < lo {
+			lo = v //tsync:unordered — pure min reduction: the selected value is the set minimum whatever the visit order
+		}
+	}
+	return lo
+}
+
+// wholeLoopDirective suppresses every finding in the loop from the range
+// statement's line.
+func wholeLoopDirective(m map[string]float64) (float64, float64) {
+	lo, hi := 1e308, -1e308
+	for _, v := range m { //tsync:unordered — pure min/max reduction over the whole loop
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// fieldBag holds the selector-path variant of the collect idiom.
+type fieldBag struct{ offs []int64 }
+
+// selectorCollectThenSort appends through a selector path and sorts
+// after the loop: same sanctioned idiom, exempt.
+func selectorCollectThenSort(m map[int64]byte) []int64 {
+	b := &fieldBag{}
+	for off := range m {
+		b.offs = append(b.offs, off)
+	}
+	sort.Slice(b.offs, func(i, j int) bool { return b.offs[i] < b.offs[j] })
+	return b.offs
+}

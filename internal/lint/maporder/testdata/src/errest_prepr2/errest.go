@@ -1,0 +1,60 @@
+// Package errest_prepr2 reconstructs the pre-PR-2 shape of
+// errest.propagate, the nondeterminism bug this analyzer wave exists to
+// catch: the minimum-spanning-tree edge scan ranged directly over the
+// fitted-pair map, pair weights tie frequently (equal bound counts), and
+// ties broke by randomized iteration order — so the spanning tree, and
+// with it every error-estimation correction, differed from run to run.
+// The bug shipped and was found by hand; TestHistoricalPrePR2Finding
+// proves maporder reports it mechanically.
+package errest_prepr2
+
+// line is an affine clock map (the shape of stats.Line).
+type line struct {
+	Slope, Intercept float64
+}
+
+type fitted struct {
+	line line
+	w    float64
+}
+
+func compose(g, f line) line {
+	return line{Slope: g.Slope * f.Slope, Intercept: g.Slope*f.Intercept + g.Intercept}
+}
+
+// propagate is the pre-PR-2 body: the inner edge scan ranges over the
+// fits map while selecting the cheapest edge crossing the reached
+// frontier into best/bestW/bestNew — a conditional selection whose
+// tie-breaks follow the randomized visit order.
+func propagate(n int, fits map[[2]int]fitted) []line {
+	toMaster := make([]line, n)
+	reached := make([]bool, n)
+	toMaster[0] = line{Slope: 1}
+	reached[0] = true
+	for {
+		best := [2]int{-1, -1}
+		bestW := 1e308
+		var bestNew int
+		for key, f := range fits {
+			a, b := key[0], key[1]
+			if reached[a] == reached[b] {
+				continue
+			}
+			if f.w < bestW {
+				bestW = f.w    // want `assignment to "bestW" inside map iteration`
+				best = key     // want `assignment to "best" inside map iteration`
+				if reached[a] {
+					bestNew = b // want `assignment to "bestNew" inside map iteration`
+				} else {
+					bestNew = a // want `assignment to "bestNew" inside map iteration`
+				}
+			}
+		}
+		if best[0] < 0 {
+			break
+		}
+		toMaster[bestNew] = compose(toMaster[best[0]], fits[best].line)
+		reached[bestNew] = true
+	}
+	return toMaster
+}

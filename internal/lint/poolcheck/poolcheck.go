@@ -1,0 +1,288 @@
+// Package poolcheck defines an analyzer for the slab-recycling contract
+// PR 4 established in the streaming hot path: once a slab goes back into
+// its sync.Pool, the caller no longer owns it.
+//
+// The batched pipeline keeps allocation at zero by recycling
+// fixed-capacity event slabs through sync.Pool. That discipline has a
+// sharp edge: after pool.Put(s), another goroutine's Get may already be
+// writing into s, so a read of s is a data race the race detector only
+// sees on schedules where the recycled slab is actually handed out —
+// i.e. rarely in tests, reliably in production. A double Put is worse:
+// the same slab gets handed to two goroutines at once.
+//
+// The analyzer performs a function-local reachability analysis on the
+// control-flow graph (golang.org/x/tools/go/cfg): from every
+// pool.Put(x) — the stdlib method, or a Put/put-named method on a type
+// wrapping a sync.Pool, with x a plain variable — it scans every path
+// forward and reports uses of x that can execute after the Put. A
+// reassignment of x (x = pool.Get(), x := ...) kills the path, which is
+// what makes the idiomatic get→fill→put loop clean: the back edge leads
+// to the Get that re-establishes ownership.
+//
+// Reported:
+//
+//   - any read of x reachable after Put(x) without an intervening
+//     reassignment (use after free, pool flavour);
+//   - a second Put(x) reachable the same way (double free).
+//
+// The analysis is intraprocedural and ignores aliasing: it will not see
+// a use through a second variable pointing at the same slab, and it may
+// flag a use that is in fact unreachable. For the rare justified case
+// a "tsync:reuse" comment on the flagged line names why the slab is
+// still owned (e.g. the Put target pool is private to this goroutine).
+package poolcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/cfg"
+
+	"tsync/internal/lint"
+)
+
+const doc = `flag slab use-after-Put and double-Put on sync.Pool-backed pools
+
+After pool.Put(s) the slab may already belong to another goroutine; any
+reachable read of s, or a second Put, is reported unless a reassignment
+re-establishes ownership first.`
+
+// Analyzer is the poolcheck analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:     "poolcheck",
+	Doc:      doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// directive is the per-line suppression marker.
+const directive = "tsync:reuse"
+
+func run(pass *analysis.Pass) (any, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
+		var body *ast.BlockStmt
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			body = n.Body
+		case *ast.FuncLit:
+			body = n.Body
+		}
+		if body == nil {
+			return
+		}
+		g := cfg.New(body, func(*ast.CallExpr) bool { return true })
+		checkCFG(pass, g)
+	})
+	return nil, nil
+}
+
+// putCall matches stmt as a statement whose top-level expression is a
+// pool Put of a plain variable, returning that variable.
+func putCall(pass *analysis.Pass, stmt ast.Node) *types.Var {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return nil
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return nil
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if sel.Sel.Name != "Put" && sel.Sel.Name != "put" {
+		return nil
+	}
+	if !poolBacked(pass.TypesInfo.TypeOf(sel.X)) {
+		return nil
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := pass.TypesInfo.ObjectOf(id).(*types.Var)
+	return v
+}
+
+// poolBacked reports whether t is sync.Pool, *sync.Pool, or a (pointer
+// to a) struct with a sync.Pool field — the wrapper shape slab pools use.
+func poolBacked(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	if isSyncPool(t) {
+		return true
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isSyncPool(types.Unalias(st.Field(i).Type())) {
+			return true
+		}
+	}
+	return false
+}
+
+func isSyncPool(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Pool" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// checkCFG scans each block for Put calls and walks the paths after them.
+func checkCFG(pass *analysis.Pass, g *cfg.CFG) {
+	for _, b := range g.Blocks {
+		for i, node := range b.Nodes {
+			v := putCall(pass, node)
+			if v == nil {
+				continue
+			}
+			w := &walker{pass: pass, v: v, visited: map[*cfg.Block]bool{}}
+			// rest of this block after the Put, then all successors
+			if w.scanNodes(b.Nodes[i+1:]) {
+				continue
+			}
+			for _, succ := range b.Succs {
+				if w.scanBlock(succ) {
+					break
+				}
+			}
+		}
+	}
+}
+
+// walker tracks one Put's forward scan.
+type walker struct {
+	pass    *analysis.Pass
+	v       *types.Var
+	visited map[*cfg.Block]bool
+}
+
+// scanBlock walks a block's nodes in order; returns true when the scan
+// is finished (a diagnostic was reported — one per Put keeps the output
+// readable).
+func (w *walker) scanBlock(b *cfg.Block) bool {
+	if w.visited[b] {
+		return false
+	}
+	w.visited[b] = true
+	if done := w.scanNodes(b.Nodes); done {
+		return true
+	}
+	for _, succ := range b.Succs {
+		if w.scanBlock(succ) {
+			return true
+		}
+	}
+	return false
+}
+
+// scanNodes visits statements in execution order. It returns true when
+// either a diagnostic was reported or the variable was reassigned (the
+// path is dead for this Put). A false return means the scan continues
+// into successors.
+func (w *walker) scanNodes(nodes []ast.Node) bool {
+	for _, n := range nodes {
+		if v := putCall(w.pass, n); v == w.v {
+			if !lint.HasLineDirective(w.pass, n.Pos(), directive) {
+				w.pass.Reportf(n.Pos(), "second Put of %q reachable after an earlier Put: the slab would be handed out twice; reassign (pool.Get) before re-Putting or annotate the line with a tsync:reuse comment", w.v.Name())
+			}
+			return true
+		}
+		if use := w.findUse(n); use != nil {
+			if !lint.HasLineDirective(w.pass, use.Pos(), directive) {
+				w.pass.Reportf(use.Pos(), "use of %q after it was returned to its pool: another goroutine's Get may already own it; use the value before Put, re-Get, or annotate the line with a tsync:reuse comment", w.v.Name())
+			}
+			return true
+		}
+		if w.kills(n) {
+			return true
+		}
+	}
+	return false
+}
+
+// findUse returns the first read of w.v inside n, ignoring identifiers
+// that are pure reassignment targets.
+func (w *walker) findUse(n ast.Node) *ast.Ident {
+	var use *ast.Ident
+	ast.Inspect(n, func(m ast.Node) bool {
+		if use != nil {
+			return false
+		}
+		if as, ok := m.(*ast.AssignStmt); ok {
+			// visit RHS fully; skip LHS idents that are w.v itself
+			for _, rhs := range as.Rhs {
+				if u := w.findUseExpr(rhs); u != nil {
+					use = u
+					return false
+				}
+			}
+			for _, lhs := range as.Lhs {
+				// a write through v (v.f = x, v[i] = x) is still a use of
+				// the freed slab; only the plain `v = ...` target is not
+				if _, plain := ast.Unparen(lhs).(*ast.Ident); plain {
+					continue
+				}
+				if u := w.findUseExpr(lhs); u != nil {
+					use = u
+					return false
+				}
+			}
+			return false
+		}
+		if id, ok := m.(*ast.Ident); ok {
+			if v, _ := w.pass.TypesInfo.ObjectOf(id).(*types.Var); v == w.v {
+				use = id
+			}
+		}
+		return use == nil
+	})
+	return use
+}
+
+// findUseExpr is findUse over a sub-expression.
+func (w *walker) findUseExpr(e ast.Expr) *ast.Ident {
+	var use *ast.Ident
+	ast.Inspect(e, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			if v, _ := w.pass.TypesInfo.ObjectOf(id).(*types.Var); v == w.v {
+				use = id
+			}
+		}
+		return use == nil
+	})
+	return use
+}
+
+// kills reports whether n reassigns w.v (plain `v = ...` or `v := ...`),
+// re-establishing ownership on this path.
+func (w *walker) kills(n ast.Node) bool {
+	as, ok := n.(*ast.AssignStmt)
+	if !ok || (as.Tok != token.ASSIGN && as.Tok != token.DEFINE) {
+		return false
+	}
+	for _, lhs := range as.Lhs {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			if v, _ := w.pass.TypesInfo.ObjectOf(id).(*types.Var); v == w.v {
+				return true
+			}
+		}
+	}
+	return false
+}

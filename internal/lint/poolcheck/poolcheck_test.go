@@ -1,0 +1,12 @@
+package poolcheck_test
+
+import (
+	"testing"
+
+	"tsync/internal/lint/linttest"
+	"tsync/internal/lint/poolcheck"
+)
+
+func TestPoolcheck(t *testing.T) {
+	linttest.Run(t, poolcheck.Analyzer, "a")
+}

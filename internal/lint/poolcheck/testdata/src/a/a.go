@@ -1,0 +1,114 @@
+// Package a exercises the poolcheck analyzer: use-after-Put and
+// double-Put on sync.Pool-backed slab pools (positive), the idiomatic
+// get→fill→put loop and reassignment kills (negative), and a directive
+// case.
+package a
+
+import "sync"
+
+// slab is the unit of pooled work.
+type slab struct {
+	evs []int
+}
+
+// slabPool wraps sync.Pool the way the streaming layer does.
+type slabPool struct {
+	p sync.Pool
+}
+
+func (sp *slabPool) get() *slab  { return sp.p.Get().(*slab) }
+func (sp *slabPool) put(s *slab) { sp.p.Put(s) }
+
+// useAfterPut reads the slab after surrendering it.
+func useAfterPut(sp *slabPool) int {
+	s := sp.get()
+	s.evs = append(s.evs, 1)
+	sp.put(s)
+	return len(s.evs) // want `use of "s" after it was returned to its pool`
+}
+
+// useAfterPutStdlib goes through sync.Pool directly.
+func useAfterPutStdlib(p *sync.Pool) int {
+	s := p.Get().(*slab)
+	p.Put(s)
+	return len(s.evs) // want `use of "s" after it was returned to its pool`
+}
+
+// useOnBranch: the use executes only on one path, but that path exists.
+func useOnBranch(sp *slabPool, cond bool) int {
+	s := sp.get()
+	sp.put(s)
+	if cond {
+		return len(s.evs) // want `use of "s" after it was returned to its pool`
+	}
+	return 0
+}
+
+// writeAfterPut mutates the surrendered slab through a field.
+func writeAfterPut(sp *slabPool) {
+	s := sp.get()
+	sp.put(s)
+	s.evs = nil // want `use of "s" after it was returned to its pool`
+}
+
+// doublePut hands the same slab out twice.
+func doublePut(sp *slabPool) {
+	s := sp.get()
+	sp.put(s)
+	sp.put(s) // want `second Put of "s" reachable after an earlier Put`
+}
+
+// --- negatives ---
+
+// pipelineLoop is the idiomatic shape: the back edge re-Gets before any
+// use, so every path from put leads through a reassignment.
+func pipelineLoop(sp *slabPool, fill func(*slab) bool) int {
+	n := 0
+	for {
+		s := sp.get()
+		if !fill(s) {
+			sp.put(s)
+			return n
+		}
+		n += len(s.evs)
+		sp.put(s)
+	}
+}
+
+// reassigned re-establishes ownership before the use.
+func reassigned(sp *slabPool) int {
+	s := sp.get()
+	sp.put(s)
+	s = sp.get()
+	return len(s.evs)
+}
+
+// lastUseBeforePut is the normal drain-then-recycle order.
+func lastUseBeforePut(sp *slabPool) int {
+	s := sp.get()
+	n := len(s.evs)
+	sp.put(s)
+	return n
+}
+
+// notAPool: Put on a non-pool type is someone else's protocol.
+type queue struct{ items []*slab }
+
+func (q *queue) Put(s *slab) { q.items = append(q.items, s) }
+
+func queuePut(q *queue) int {
+	s := &slab{}
+	q.Put(s)
+	return len(s.evs)
+}
+
+// --- directive-suppressed ---
+
+// privatePool owns its pool exclusively (never shared with another
+// goroutine), so reading after Put cannot race; the directive records
+// that argument.
+func privatePool(sp *slabPool) int {
+	s := sp.get()
+	sp.put(s)
+	return len(s.evs) //tsync:reuse — sp is goroutine-local (constructed and drained in this call); no concurrent Get can observe s
+}

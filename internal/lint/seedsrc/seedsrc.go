@@ -1,0 +1,162 @@
+// Package seedsrc defines an analyzer that keeps every stochastic path
+// splitmix64-reproducible.
+//
+// The repository's randomness flows through internal/xrand: splitmix64
+// seed derivation (xrand.SeedAt gives every task an order-independent
+// seed) and xoshiro256** streams that are stable across Go releases and
+// splittable per component. Any other randomness source breaks one of
+// those properties: math/rand's convenience functions draw from a
+// process-global stream whose consumption order depends on scheduling;
+// rand.New scatters generator construction so adding a consumer perturbs
+// its neighbours' streams; and a seed derived from the wall clock makes
+// the run a function of when it ran, which no replay can reproduce.
+//
+// The wallclock analyzer already bans math/rand imports from simulation
+// code but deliberately exempts cmd/ front-ends; seedsrc closes that
+// gap — a cmd/ tool may measure host wall time, but its stochastic
+// choices must still replay. The analyzer reports, everywhere except
+// internal/xrand itself:
+//
+//   - any use of a math/rand or math/rand/v2 function (Intn, Shuffle,
+//     Perm, Seed, ... draw from the ambient global stream; New, NewSource,
+//     NewPCG, NewChaCha8 construct generators outside the choke point);
+//   - any call whose name looks seed-like (Seed, NewSource, SeedAt, ...)
+//     with an argument derived from the wall clock (time.Now and the
+//     Unix* conversions).
+//
+// There is almost never a legitimate suppression; the escape hatch for a
+// justified exception is a "tsync:seeded" comment on the flagged line
+// naming where the seed's reproducibility comes from.
+package seedsrc
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"tsync/internal/lint"
+)
+
+const doc = `forbid math/rand and time-derived seeds; randomness flows through internal/xrand
+
+math/rand's global stream and ad-hoc rand.New generators are not
+order-independent or release-stable; wall-clock seeds make runs
+unreplayable. Derive seeds with xrand.SeedAt and draw from xrand streams.`
+
+// Analyzer is the seedsrc analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:     "seedsrc",
+	Doc:      doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// directive is the per-line suppression marker.
+const directive = "tsync:seeded"
+
+// constructors are the math/rand entry points that build generators or
+// sources rather than drawing from the global stream.
+var constructors = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true, "NewZipf": true,
+}
+
+// seedishRE matches call names that install or derive a seed.
+var seedishRE = regexp.MustCompile(`(?i)(seed|newsource|rng)`)
+
+func run(pass *analysis.Pass) (any, error) {
+	if lint.PathHasSuffix(pass.Pkg.Path(), "internal/xrand") {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.SelectorExpr)(nil), (*ast.CallExpr)(nil)}, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			checkRandUse(pass, n)
+		case *ast.CallExpr:
+			checkTimeSeed(pass, n)
+		}
+	})
+	return nil, nil
+}
+
+// checkRandUse reports references to math/rand package-level functions.
+func checkRandUse(pass *analysis.Pass, sel *ast.SelectorExpr) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return
+	}
+	path := pn.Imported().Path()
+	if path != "math/rand" && path != "math/rand/v2" {
+		return
+	}
+	if _, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); !ok {
+		return
+	}
+	if lint.HasLineDirective(pass, sel.Pos(), directive) {
+		return
+	}
+	if constructors[sel.Sel.Name] {
+		pass.Reportf(sel.Pos(), "rand.%s outside internal/xrand: construct generators through tsync/internal/xrand (NewSource/Sub) so streams stay splittable and release-stable", sel.Sel.Name)
+		return
+	}
+	pass.Reportf(sel.Pos(), "%s.%s draws from the ambient global stream: its consumption order depends on scheduling, so runs are not replayable; use a tsync/internal/xrand stream", path, sel.Sel.Name)
+}
+
+// checkTimeSeed reports seed-like calls fed from the wall clock.
+func checkTimeSeed(pass *analysis.Pass, call *ast.CallExpr) {
+	name := calleeName(call)
+	if name == "" || !seedishRE.MatchString(name) {
+		return
+	}
+	for _, arg := range call.Args {
+		if !mentionsWallClock(pass, arg) {
+			continue
+		}
+		if lint.HasLineDirective(pass, call.Pos(), directive) {
+			return
+		}
+		pass.Reportf(call.Pos(), "%s seeded from the wall clock: the run becomes a function of when it ran and no replay can reproduce it; derive the seed from configuration (xrand.SeedAt)", name)
+		return
+	}
+}
+
+// calleeName extracts the called function's name (the final selector
+// component or the identifier).
+func calleeName(call *ast.CallExpr) string {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return ""
+}
+
+// mentionsWallClock reports whether e's subtree calls time.Now.
+func mentionsWallClock(pass *analysis.Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return !found
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return !found
+		}
+		if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok &&
+			pn.Imported().Path() == "time" && sel.Sel.Name == "Now" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

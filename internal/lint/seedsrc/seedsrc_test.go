@@ -1,0 +1,24 @@
+package seedsrc_test
+
+import (
+	"testing"
+
+	"tsync/internal/lint/linttest"
+	"tsync/internal/lint/seedsrc"
+)
+
+func TestSeedsrc(t *testing.T) {
+	linttest.Run(t, seedsrc.Analyzer,
+		"a",                    // positive + directive cases
+		"tsync/internal/xrand", // negative: the sanctioned choke point
+	)
+}
+
+// TestHistoricalPrePR2Finding is seedsrc's half of the pre-PR-2 errest
+// check (maporder's fixture carries the map-range finding itself): the
+// era-appropriate "repair" for the randomized MST tie-break — shuffling
+// tied edges with a wall-clock-seeded math/rand generator — is flagged
+// on every count, while the real fix (sorted-key scan) passes clean.
+func TestHistoricalPrePR2Finding(t *testing.T) {
+	linttest.Run(t, seedsrc.Analyzer, "errest_prepr2")
+}

@@ -1,0 +1,58 @@
+// Package a exercises the seedsrc analyzer: ambient math/rand draws,
+// generator construction outside the choke point, wall-clock seeds
+// (positive), xrand-shaped seeding (negative), and a directive case.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+// globalDraws use the process-global stream: consumption order depends
+// on goroutine scheduling.
+func globalDraws(n int) int {
+	rand.Shuffle(n, func(i, j int) {}) // want `math/rand.Shuffle draws from the ambient global stream`
+	return rand.Intn(n)                // want `math/rand.Intn draws from the ambient global stream`
+}
+
+// construct builds a generator outside internal/xrand.
+func construct(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want `rand.New outside internal/xrand` `rand.NewSource outside internal/xrand`
+}
+
+// wallClockSeed derives a seed from the host clock: the run becomes a
+// function of when it ran.
+func wallClockSeed() int64 {
+	return deriveSeed(time.Now().UnixNano()) // want `deriveSeed seeded from the wall clock`
+}
+
+func deriveSeed(base int64) int64 { return base * 0x9e3779b9 }
+
+// --- negatives ---
+
+// configSeed derives per-task seeds from configuration, the xrand.SeedAt
+// way: reproducible and order-independent.
+func configSeed(base uint64, i uint64) uint64 {
+	return seedAt(base, i)
+}
+
+func seedAt(base, i uint64) uint64 {
+	state := base + i*0x9e3779b97f4a7c15
+	state ^= state >> 30
+	return state
+}
+
+// hostTiming may read the wall clock for benchmarking (wallclock exempts
+// cmd/; seedsrc never minds time.Now outside seeding positions).
+func hostTiming() time.Time {
+	return time.Now()
+}
+
+// --- directive-suppressed ---
+
+// justifiedEntropy shows the escape hatch; the comment must say where
+// reproducibility comes from (here: the seed is logged so the run can be
+// replayed by passing it back in).
+func justifiedEntropy() int64 {
+	return deriveSeed(time.Now().UnixNano()) //tsync:seeded — fallback when -seed is absent; the chosen seed is printed so the run is replayable by rerunning with -seed
+}

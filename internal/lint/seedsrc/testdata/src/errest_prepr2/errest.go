@@ -1,0 +1,52 @@
+// Package errest_prepr2 reconstructs the pre-PR-2 shape of
+// errest.propagate for the seedsrc half of the historical check. The
+// shipped bug was the map-range tie-break (maporder's fixture asserts
+// that finding); the tempting repair at the time — making the tie-break
+// *explicitly* random with a wall-clock-seeded generator instead of
+// removing the randomness — is the failure mode seedsrc exists to stop.
+// Run against this package, seedsrc flags every line of that repair.
+package errest_prepr2
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type line struct {
+	Slope, Intercept float64
+}
+
+type fitted struct {
+	line line
+	w    float64
+}
+
+// tieOrder is the repair that must never ship: shuffling the tied edges
+// "fairly" with entropy from the host clock. It replaces silent
+// nondeterminism with configured nondeterminism — every run still
+// produces a different spanning tree.
+func tieOrder(keys [][2]int) {
+	r := rand.New(rand.NewSource(time.Now().UnixNano())) // want `rand.New outside internal/xrand` `rand.NewSource outside internal/xrand` `NewSource seeded from the wall clock`
+	r.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+}
+
+// propagate is the post-PR-2 fix (sorted-key scan), which seedsrc and
+// maporder both accept: determinism comes from ordering, not from
+// re-rolling the dice.
+func propagate(n int, fits map[[2]int]fitted) []line {
+	keys := make([][2]int, 0, len(fits))
+	for key := range fits {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	toMaster := make([]line, n)
+	toMaster[0] = line{Slope: 1}
+	_ = keys
+	return toMaster
+}

@@ -1,0 +1,26 @@
+// Package xrand models the repository's sanctioned randomness choke
+// point: the one package allowed to touch math/rand (here: adapting an
+// xrand source to the stdlib interface for shuffling helpers). seedsrc
+// must stay silent on this whole package.
+package xrand
+
+import "math/rand"
+
+// Source is the xoshiro-backed generator (modelled).
+type Source struct{ s uint64 }
+
+// Uint64 advances the stream.
+func (s *Source) Uint64() uint64 {
+	s.s += 0x9e3779b97f4a7c15
+	return s.s
+}
+
+// Int63 adapts Source to math/rand.Source.
+func (s *Source) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// Seed is required by math/rand.Source; xrand sources are seeded at
+// construction.
+func (s *Source) Seed(seed int64) { s.s = uint64(seed) }
+
+// StdRand wraps a Source for stdlib helpers that want *rand.Rand.
+func StdRand(s *Source) *rand.Rand { return rand.New(s) }

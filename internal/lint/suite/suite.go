@@ -1,11 +1,30 @@
-// Package suite aggregates the tsyncvet analyzer set: the four
+// Package suite aggregates the tsyncvet analyzer set: the nine
 // domain-specific analyzers that machine-check the repository's
-// clock-correctness invariants, plus the stock go/analysis vet passes
-// that are useful on this codebase. cmd/tsyncvet runs the whole set; the
-// domain analyzers are also individually testable via their own packages.
+// clock-correctness and concurrency invariants, plus the stock
+// go/analysis vet passes that are useful on this codebase. cmd/tsyncvet
+// runs the whole set; the domain analyzers are also individually
+// testable via their own packages.
+//
+// The domain set comes in two waves. The first (PR 1) guards the
+// simulation substrate: wallclock, floateq, tsmutate, locked. The second
+// machine-enforces the contracts PRs 2–5 established by hand: maporder
+// (the errest MST tie-break bug class), seedsrc (splitmix64-only
+// randomness), ctxflow (the streaming cancellation contract), poolcheck
+// (the slab-recycling contract), and errform (classified, located decode
+// errors).
+//
+// Two stock passes are deliberately load-bearing rather than incidental:
+// lostcancel backs the ctxflow story (a context.WithCancel whose cancel
+// func is dropped leaks the very goroutines ctxflow exists to stop), and
+// unusedresult is configured below with the repository's own
+// must-consume functions (a discarded runner.Seed or xrand.SeedAt is a
+// determinism bug: the caller meant to derive a seed and silently kept
+// using another stream).
 package suite
 
 import (
+	"strings"
+
 	"golang.org/x/tools/go/analysis"
 	"golang.org/x/tools/go/analysis/passes/assign"
 	"golang.org/x/tools/go/analysis/passes/atomic"
@@ -29,19 +48,52 @@ import (
 	"golang.org/x/tools/go/analysis/passes/unreachable"
 	"golang.org/x/tools/go/analysis/passes/unusedresult"
 
+	"tsync/internal/lint/ctxflow"
+	"tsync/internal/lint/errform"
 	"tsync/internal/lint/floateq"
 	"tsync/internal/lint/locked"
+	"tsync/internal/lint/maporder"
+	"tsync/internal/lint/poolcheck"
+	"tsync/internal/lint/seedsrc"
 	"tsync/internal/lint/tsmutate"
 	"tsync/internal/lint/wallclock"
 )
 
-// Domain returns the four tsync-specific analyzers.
+// mustConsume lists repository functions whose discarded result is a
+// bug, appended to unusedresult's stock set: pure seed/offset derivation
+// helpers where dropping the result means the caller kept an unseeded or
+// stale stream.
+var mustConsume = []string{
+	"tsync/internal/xrand.SeedAt",
+	"tsync/internal/runner.Seed",
+	"tsync/internal/stats.ApproxEqual",
+}
+
+func init() {
+	f := unusedresult.Analyzer.Flags.Lookup("funcs")
+	if f == nil {
+		panic("suite: unusedresult lost its funcs flag")
+	}
+	// Set clobbers the previous set, so merge the stock list with ours in
+	// a single call.
+	merged := append([]string{f.Value.String()}, mustConsume...)
+	if err := f.Value.Set(strings.Join(merged, ",")); err != nil {
+		panic("suite: configuring unusedresult: " + err.Error())
+	}
+}
+
+// Domain returns the nine tsync-specific analyzers.
 func Domain() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		wallclock.Analyzer,
 		floateq.Analyzer,
 		tsmutate.Analyzer,
 		locked.Analyzer,
+		maporder.Analyzer,
+		seedsrc.Analyzer,
+		ctxflow.Analyzer,
+		poolcheck.Analyzer,
+		errform.Analyzer,
 	}
 }
 

@@ -1,0 +1,81 @@
+package suite_test
+
+import (
+	"strings"
+	"testing"
+
+	"tsync/internal/lint/suite"
+)
+
+// TestDomainWave asserts both analyzer waves are wired: the PR 1
+// substrate guards and the PR 2–5 contract enforcers.
+func TestDomainWave(t *testing.T) {
+	want := []string{
+		// wave 1: simulation substrate
+		"wallclock", "floateq", "tsmutate", "locked",
+		// wave 2: the PR 2–5 contracts
+		"maporder", "seedsrc", "ctxflow", "poolcheck", "errform",
+	}
+	got := map[string]bool{}
+	for _, a := range suite.Domain() {
+		got[a.Name] = true
+	}
+	for _, name := range want {
+		if !got[name] {
+			t.Errorf("suite.Domain missing analyzer %q", name)
+		}
+	}
+	if len(suite.Domain()) != len(want) {
+		t.Errorf("suite.Domain has %d analyzers, want %d", len(suite.Domain()), len(want))
+	}
+}
+
+// TestStockPassesRideAlong asserts the stock passes that back the
+// ctxflow story stay wired: lostcancel (dropped cancel funcs leak the
+// goroutines ctxflow exists to stop) and unusedresult (configured with
+// the repo's must-consume seed-derivation helpers).
+func TestStockPassesRideAlong(t *testing.T) {
+	var foundLost, foundUnused bool
+	for _, a := range suite.Analyzers() {
+		switch a.Name {
+		case "lostcancel":
+			foundLost = true
+		case "unusedresult":
+			foundUnused = true
+			funcs := a.Flags.Lookup("funcs")
+			if funcs == nil {
+				t.Fatal("unusedresult has no funcs flag")
+			}
+			for _, fn := range []string{
+				"tsync/internal/xrand.SeedAt",
+				"tsync/internal/runner.Seed",
+				"tsync/internal/stats.ApproxEqual",
+				// and the stock entries must have survived the merge
+				"errors.New",
+				"context.WithCancel",
+			} {
+				if !strings.Contains(funcs.Value.String(), fn) {
+					t.Errorf("unusedresult funcs missing %q (got %s)", fn, funcs.Value.String())
+				}
+			}
+		}
+	}
+	if !foundLost {
+		t.Error("suite.Analyzers missing lostcancel")
+	}
+	if !foundUnused {
+		t.Error("suite.Analyzers missing unusedresult")
+	}
+}
+
+// TestNoDuplicateNames guards against two analyzers sharing a name,
+// which the unitchecker protocol silently mangles.
+func TestNoDuplicateNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range suite.Analyzers() {
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}

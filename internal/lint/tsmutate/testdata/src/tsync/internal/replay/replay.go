@@ -25,3 +25,9 @@ func Legal(ev *trace.Event, t float64) trace.Event {
 	ev.SetTime(t)
 	return trace.Event{Time: t, Kind: ev.Kind}
 }
+
+// Corrupt forges clock-condition violations on purpose: the directive
+// suppresses the finding on its line.
+func Corrupt(ev *trace.Event, d float64) {
+	ev.Time -= d //tsync:tsmutate — fault injector: forging the violation is the point
+}

@@ -17,6 +17,10 @@
 // left-hand side is the Time field of internal/trace's Event, outside the
 // sanctioned packages and outside _test.go files (tests legitimately
 // forge broken timestamps to create the scenarios under test).
+//
+// Suppression: a "tsync:tsmutate" comment on the flagged line, naming
+// why the direct write is sound there (e.g. a fault injector that exists
+// to forge clock-condition violations).
 package tsmutate
 
 import (
@@ -43,6 +47,9 @@ var Analyzer = &analysis.Analyzer{
 	Requires: []*analysis.Analyzer{inspect.Analyzer},
 	Run:      run,
 }
+
+// directive is the per-line suppression marker.
+const directive = "tsync:tsmutate"
 
 // sanctioned lists the package-path suffixes allowed to assign to
 // Event.Time directly: the correction pipeline plus the owning package.
@@ -85,6 +92,9 @@ func checkLHS(pass *analysis.Pass, lhs ast.Expr) {
 		return
 	}
 	if lint.IsTestFile(pass, lhs.Pos()) {
+		return
+	}
+	if lint.HasLineDirective(pass, lhs.Pos(), directive) {
 		return
 	}
 	pass.Reportf(lhs.Pos(), "assignment to trace.Event.Time outside the correction pipeline: only internal/{clc,interp,errest,core,trace} may rewrite local timestamps; call (*trace.Event).SetTime and keep the mutation auditable")

@@ -1,0 +1,20 @@
+// Package d is the directive fixture for the wallclock analyzer: a
+// justified math/rand import stays silent while an unjustified use of the
+// same package elsewhere would be flagged (see package a).
+package d
+
+import (
+	"math/rand" //tsync:wallclock — shuffles display order of a diagnostics report; never feeds a simulation result
+	"time"
+)
+
+// ShuffleReport permutes diagnostic lines for display only.
+func ShuffleReport(lines []string) {
+	rand.Shuffle(len(lines), func(i, j int) { lines[i], lines[j] = lines[j], lines[i] })
+}
+
+// Elapsed is a suppressed diagnostics timer next to an unsuppressed one.
+func Elapsed() {
+	_ = time.Now() //tsync:wallclock — diagnostics-only; value is discarded above
+	_ = time.Now() // want `time.Now outside cmd/`
+}

@@ -18,6 +18,10 @@
 //   - internal/xrand itself (the sanctioned randomness choke point), and
 //   - cmd/ front-ends, which legitimately measure host wall time when
 //     benchmarking the real machine.
+//
+// Suppression: a "tsync:wallclock" comment on the flagged line, naming
+// why the host clock is correct there (e.g. a diagnostics-only elapsed
+// timer whose value never reaches a simulation result).
 package wallclock
 
 import (
@@ -45,6 +49,9 @@ var Analyzer = &analysis.Analyzer{
 	Requires: []*analysis.Analyzer{inspect.Analyzer},
 	Run:      run,
 }
+
+// directive is the per-line suppression marker.
+const directive = "tsync:wallclock"
 
 // forbiddenTimeFuncs are the package-time identifiers that read or depend
 // on the host's wall clock or monotonic clock.
@@ -75,6 +82,9 @@ func run(pass *analysis.Pass) (any, error) {
 				return
 			}
 			if p == "math/rand" || p == "math/rand/v2" {
+				if lint.HasLineDirective(pass, n.Pos(), directive) {
+					return
+				}
 				pass.Reportf(n.Pos(), "import of %s outside internal/xrand: draw randomness from a tsync/internal/xrand stream so runs stay deterministic and replayable", p)
 			}
 		case *ast.SelectorExpr:
@@ -87,6 +97,9 @@ func run(pass *analysis.Pass) (any, error) {
 				return
 			}
 			if forbiddenTimeFuncs[n.Sel.Name] {
+				if lint.HasLineDirective(pass, n.Pos(), directive) {
+					return
+				}
 				pass.Reportf(n.Pos(), "time.%s outside cmd/: simulated components must take time from the DES engine (internal/des), not the host wall clock", n.Sel.Name)
 			}
 		}

@@ -12,5 +12,6 @@ func TestWallclock(t *testing.T) {
 		"a",                    // positive: simulation code reading host time/randomness
 		"tsync/internal/xrand", // negative: the sanctioned randomness package
 		"tsync/cmd/bench",      // negative: cmd/ front-ends may measure the host
+		"d",                    // directive: justified suppressions stay silent
 	)
 }

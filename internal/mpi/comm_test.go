@@ -224,3 +224,33 @@ func TestCommRendezvous(t *testing.T) {
 		t.Fatalf("comm rendezvous send completed at %v before receive at %v", sendDone, recvPosted)
 	}
 }
+
+// TestWildcardAcrossComms: a wildcard receive must match only its own
+// communicator, and the deterministic mailbox scan must order channels
+// that are equal in (src, tag) and differ only in communicator id.
+func TestWildcardAcrossComms(t *testing.T) {
+	w := newTestWorld(t, 2, false)
+	var worldMsg, subMsg Msg
+	err := w.Run(func(r *Rank) {
+		sub := r.CommWorld().Split(0, r.Rank())
+		if r.Rank() == 0 {
+			r.Send(1, 5, 8, "world")
+			sub.Send(1, 5, 8, "sub")
+		} else {
+			// wait until both messages sit in the mailbox: the scan then
+			// sorts two channels equal in (src, tag), differing in comm
+			r.Compute(1e-2)
+			worldMsg = r.Recv(AnySource, AnyTag)
+			subMsg = sub.Recv(0, 5)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worldMsg.Data != "world" {
+		t.Fatalf("world wildcard received %v, want the world-comm message", worldMsg.Data)
+	}
+	if subMsg.Data != "sub" {
+		t.Fatalf("sub-comm receive got %v, want the sub-comm message", subMsg.Data)
+	}
+}

@@ -290,9 +290,14 @@ func (r *Rank) removeFromMailbox(k chanKey, inf *inflight) {
 // findDelivered returns the earliest-delivered mailbox entry matching the
 // (src, tag, comm) pattern, or nil.
 func (r *Rank) findDelivered(src, tag int, comm int32) (chanKey, *inflight) {
+	// Wildcard matches pick the earliest-delivered entry. deliverSeq is
+	// unique per rank, so the minimum below is unique and map visit order
+	// cannot leak into which message a wildcard receive returns. Keep the
+	// scan O(channels) per receive: sorting the keys on every call is
+	// measurably quadratic on mailboxes with thousands of live channels.
 	var bestKey chanKey
 	var best *inflight
-	for k, q := range r.mailbox {
+	for k, q := range r.mailbox { //tsync:unordered — min-reduction over per-rank-unique delivery seqs; the minimum is unique, so every visit order yields the same entry
 		if len(q) == 0 || k.comm != comm {
 			continue
 		}

@@ -27,6 +27,7 @@
 package runner
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -66,11 +67,27 @@ func Seed(base uint64, i int) uint64 {
 }
 
 // Map runs task(0..n-1) on the pool and returns their results in task
-// order. All tasks are executed even after a failure; if any tasks fail,
-// the error of the lowest-index failing task is returned (the results
-// slice is still returned, with valid entries for the tasks that
-// succeeded). Map with n == 0 returns an empty slice.
+// order. It is MapContext with a background context, for fan-outs that
+// are bounded and short; anything a caller may want to abandon (a method
+// sweep, a large repetition loop) should go through MapContext.
 func Map[T any](p *Pool, n int, task func(i int) (T, error)) ([]T, error) {
+	return MapContext(context.Background(), p, n, task)
+}
+
+// MapContext runs task(0..n-1) on the pool and returns their results in
+// task order. All tasks are executed even after a failure; if any tasks
+// fail, the error of the lowest-index failing task is returned (the
+// results slice is still returned, with valid entries for the tasks that
+// succeeded). n == 0 returns an empty slice.
+//
+// Cancelling ctx stops dispatching: tasks already handed to a worker run
+// to completion (preserving the disjoint-index write contract), and every
+// task not yet dispatched fails with ctx.Err(). Because tasks are
+// dispatched in index order, the set of completed tasks after a
+// cancellation is always a prefix-closed choice of indices plus the
+// in-flight window — determinism per task is unaffected, since each
+// task's seed depends only on its index (see Seed).
+func MapContext[T any](ctx context.Context, p *Pool, n int, task func(i int) (T, error)) ([]T, error) {
 	results := make([]T, n)
 	errs := make([]error, n)
 	workers := p.Workers()
@@ -80,6 +97,10 @@ func Map[T any](p *Pool, n int, task func(i int) (T, error)) ([]T, error) {
 	if workers <= 1 {
 		// serial fast path: same semantics, no goroutines
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				continue
+			}
 			results[i], errs[i] = task(i)
 		}
 		return results, firstError(errs)
@@ -95,8 +116,24 @@ func Map[T any](p *Pool, n int, task func(i int) (T, error)) ([]T, error) {
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		next <- i
+		// poll before select: an already-cancelled ctx must deterministically
+		// dispatch nothing more (select alone would race Done against send)
+		if ctx.Err() != nil {
+			for j := i; j < n; j++ {
+				errs[j] = ctx.Err() //tsync:locked — indices >= i were never sent on next, so no worker writes them; disjoint from the in-flight window
+			}
+			break dispatch
+		}
+		select {
+		case <-ctx.Done():
+			for j := i; j < n; j++ {
+				errs[j] = ctx.Err() //tsync:locked — indices >= i were never sent on next, so no worker writes them; disjoint from the in-flight window
+			}
+			break dispatch
+		case next <- i:
+		}
 	}
 	close(next)
 	wg.Wait()

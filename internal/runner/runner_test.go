@@ -1,11 +1,15 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"tsync/internal/xrand"
 )
@@ -127,5 +131,124 @@ func TestMapInvariance(t *testing.T) {
 	cfg := &quick.Config{MaxCount: 25}
 	if err := quick.Check(check, cfg); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestMapContextPreCancelled: an already-cancelled context dispatches no
+// tasks at all, on both the serial and the parallel path.
+func TestMapContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int32
+		results, err := MapContext(ctx, New(workers), 8, func(i int) (int, error) {
+			ran.Add(1)
+			return i, nil
+		})
+		if ran.Load() != 0 {
+			t.Errorf("workers=%d: %d tasks ran under a pre-cancelled context", workers, ran.Load())
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if len(results) != 8 {
+			t.Errorf("workers=%d: len(results) = %d, want 8", workers, len(results))
+		}
+	}
+}
+
+// TestMapContextCancelMidway: cancelling during the run stops dispatch;
+// tasks already handed out complete, the rest fail with ctx.Err(), and
+// the reported error is the lowest-index failure.
+func TestMapContextCancelMidway(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	release := make(chan struct{})
+	var completed atomic.Int32
+	results, err := MapContext(ctx, New(2), 16, func(i int) (int, error) {
+		if i == 0 {
+			cancel()       // stop dispatch as early as possible
+			close(release) // and let any in-flight peers finish
+		} else {
+			<-release
+		}
+		completed.Add(1)
+		return i * i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := completed.Load(); n < 1 || n > 15 {
+		t.Fatalf("completed = %d, want at least task 0 and not all 16", n)
+	}
+	// every index either completed with its result or was never dispatched
+	if results[0] != 0 {
+		t.Errorf("results[0] = %d, want 0", results[0])
+	}
+}
+
+// TestMapContextBackgroundMatchesMap: with an uncancelled context,
+// MapContext and Map agree bit for bit.
+func TestMapContextBackgroundMatchesMap(t *testing.T) {
+	task := func(i int) (uint64, error) { return xrand.SeedAt(42, uint64(i)), nil }
+	a, errA := Map(New(4), 32, task)
+	b, errB := MapContext(context.Background(), New(4), 32, task)
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("index %d: Map %d != MapContext %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestPoolDefaults: the zero worker count and the nil pool both fall back
+// to one worker per CPU.
+func TestPoolDefaults(t *testing.T) {
+	if got := New(0).Workers(); got != runtime.NumCPU() {
+		t.Fatalf("New(0).Workers() = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	var nilPool *Pool
+	if got := nilPool.Workers(); got != runtime.NumCPU() {
+		t.Fatalf("(nil).Workers() = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+}
+
+// TestMapContextCancelWhileSendBlocked: cancellation must also reach a
+// dispatcher that is parked handing out the next index because every
+// worker is busy — the select's Done arm, not just the pre-dispatch poll.
+func TestMapContextCancelWhileSendBlocked(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 2)
+	release := make(chan struct{})
+	done := make(chan struct{})
+	var results []int
+	var err error
+	go func() {
+		defer close(done)
+		results, err = MapContext(ctx, New(2), 6, func(i int) (int, error) { //tsync:locked — written before close(done); the test reads them only after <-done
+			started <- struct{}{}
+			<-release
+			return i + 1, nil
+		})
+	}()
+	<-started
+	<-started // both workers hold a task; the dispatcher is parked sending index 2
+	cancel()
+	// let the parked select observe Done before freeing the workers, so
+	// the send arm cannot win the post-cancel race instead
+	time.Sleep(50 * time.Millisecond) //tsync:wallclock — test-only scheduling delay; never enters a simulation result
+	close(release)
+	<-done
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if results[0] != 1 || results[1] != 2 {
+		t.Fatalf("in-flight tasks 0,1 must complete: got %v", results[:2])
+	}
+	for i := 2; i < 6; i++ {
+		if results[i] != 0 {
+			t.Fatalf("results[%d] = %d, want zero (never dispatched)", i, results[i])
+		}
 	}
 }

@@ -179,3 +179,35 @@ func TestCancelAssemble(t *testing.T) {
 	cancel()
 	waitGoroutines(t, base)
 }
+
+// TestCancelSourceIndex: cancelling during the index pass aborts
+// NewSourceContext with ctx.Err(); a pre-cancelled context fails before
+// scanning any process section.
+func TestCancelSourceIndex(t *testing.T) {
+	var buf bytes.Buffer
+	if _, _, err := stream.Synth(stream.SynthSpec{
+		Ranks: 3, Steps: 4000, CollEvery: 4, Seed: xrand.SeedAt(cancelSeed, 99),
+	}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	var cancel context.CancelFunc
+	hook := &faultinject.HookReaderAt{
+		R:      bytes.NewReader(data),
+		Offset: int64(len(data)) / 2, // the index pass crosses mid-file
+		Fn:     func() { cancel() },
+	}
+	var ctx context.Context
+	ctx, cancel = context.WithCancel(context.Background())
+	defer cancel()
+	if _, err := stream.NewSourceContext(ctx, hook, stream.SourceOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-index cancel: want context.Canceled, got %v", err)
+	}
+
+	pre, cancelPre := context.WithCancel(context.Background())
+	cancelPre()
+	if _, err := stream.NewSourceContext(pre, bytes.NewReader(data), stream.SourceOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled: want context.Canceled, got %v", err)
+	}
+}

@@ -245,12 +245,15 @@ func walk(ctx context.Context, src *Source, m timeMapper, snk sink, opt Options,
 			return err
 		}
 	} else {
-		for k, q := range e.fifos {
-			if len(q) > 0 {
+		// report the first failure in key order, not map order, so a
+		// damaged trace produces the same error on every run
+		for _, k := range sortedChanKeys(e.fifos) {
+			if q := e.fifos[k]; len(q) > 0 {
 				return fmt.Errorf("stream: %d unmatched Sends from %d to %d tag %d", len(q), k.from, k.to, k.tag)
 			}
 		}
-		for _, ins := range e.insts {
+		for _, ik := range sortedInstKeys(e.insts) {
+			ins := e.insts[ik]
 			return fmt.Errorf("stream: collective comm %d instance %d incomplete at end of trace (%d begins, %d ends)",
 				ins.key.comm, ins.key.inst, len(ins.begins), len(ins.ends))
 		}
@@ -279,8 +282,48 @@ func (e *engine) lossAt(r int) *RankLoss {
 // bookkeeping (the CLC deque) can drain. Iteration is over sorted keys:
 // the per-rank finalization order must not depend on map order.
 func (e *engine) cleanupSalvage() error {
-	keys := make([]chanKey, 0, len(e.fifos))
-	for k := range e.fifos {
+	for _, k := range sortedChanKeys(e.fifos) {
+		for _, se := range e.fifos[k] {
+			e.lossAt(se.ref.Rank).DroppedSends++
+			if err := e.snk.final(se.ref); err != nil {
+				return err
+			}
+			if err := e.acct.add(se.ref.Rank, -1); err != nil {
+				return err
+			}
+		}
+		delete(e.fifos, k)
+	}
+	for _, ik := range sortedInstKeys(e.insts) {
+		ins := e.insts[ik]
+		for _, r := range sortedRanks(ins.begins) {
+			e.lossAt(r).BrokenCollectives++
+			if err := e.snk.final(ins.begins[r].ref); err != nil {
+				return err
+			}
+			if err := e.acct.add(r, -1); err != nil {
+				return err
+			}
+		}
+		for _, r := range sortedRanks(ins.ends) {
+			e.lossAt(r).BrokenCollectives++
+			if err := e.acct.add(r, -1); err != nil {
+				return err
+			}
+		}
+		delete(e.insts, ik)
+	}
+	for comm := range e.open {
+		delete(e.open, comm)
+	}
+	return nil
+}
+
+// sortedChanKeys returns the fifo keys ordered by (from, to, tag, comm),
+// so every per-channel walk is independent of map visit order.
+func sortedChanKeys(m map[chanKey][]sendEntry) []chanKey {
+	keys := make([]chanKey, 0, len(m))
+	for k := range m {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool {
@@ -296,56 +339,33 @@ func (e *engine) cleanupSalvage() error {
 		}
 		return a.comm < b.comm
 	})
-	for _, k := range keys {
-		for _, se := range e.fifos[k] {
-			e.lossAt(se.ref.Rank).DroppedSends++
-			if err := e.snk.final(se.ref); err != nil {
-				return err
-			}
-			if err := e.acct.add(se.ref.Rank, -1); err != nil {
-				return err
-			}
-		}
-		delete(e.fifos, k)
+	return keys
+}
+
+// sortedInstKeys returns the open-collective keys ordered by
+// (comm, inst).
+func sortedInstKeys(m map[instKey]*instance) []instKey {
+	keys := make([]instKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
 	}
-	iks := make([]instKey, 0, len(e.insts))
-	for k := range e.insts {
-		iks = append(iks, k)
-	}
-	sort.Slice(iks, func(i, j int) bool {
-		if iks[i].comm != iks[j].comm {
-			return iks[i].comm < iks[j].comm
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].comm != keys[j].comm {
+			return keys[i].comm < keys[j].comm
 		}
-		return iks[i].inst < iks[j].inst
+		return keys[i].inst < keys[j].inst
 	})
-	for _, ik := range iks {
-		ins := e.insts[ik]
-		rs := make([]int, 0, len(ins.begins))
-		for r := range ins.begins {
-			rs = append(rs, r)
-		}
-		sort.Ints(rs)
-		for _, r := range rs {
-			e.lossAt(r).BrokenCollectives++
-			if err := e.snk.final(ins.begins[r].ref); err != nil {
-				return err
-			}
-			if err := e.acct.add(r, -1); err != nil {
-				return err
-			}
-		}
-		for r := range ins.ends {
-			e.lossAt(r).BrokenCollectives++
-			if err := e.acct.add(r, -1); err != nil {
-				return err
-			}
-		}
-		delete(e.insts, ik)
+	return keys
+}
+
+// sortedRanks returns the keys of a per-rank map in ascending order.
+func sortedRanks[V any](m map[int]V) []int {
+	rs := make([]int, 0, len(m))
+	for r := range m {
+		rs = append(rs, r)
 	}
-	for comm := range e.open {
-		delete(e.open, comm)
-	}
-	return nil
+	sort.Ints(rs)
+	return rs
 }
 
 // advance loads rank's next event into the merge heap, handling rank
@@ -454,18 +474,22 @@ func (e *engine) process(r int) error {
 			}
 		case nToOne:
 			if r == root {
-				for q, rec := range ins.begins {
+				// ascending-rank edge order: sinks fold the in-edges in
+				// slice order, and float folds are order-sensitive
+				for _, q := range sortedRanks(ins.begins) {
 					if q == r {
 						continue
 					}
+					rec := ins.begins[q]
 					in = append(in, InEdge{From: rec.ref, Data: rec.data, LMin: e.lmin(q, r), Logical: true})
 				}
 			}
 		case nToN:
-			for q, rec := range ins.begins {
+			for _, q := range sortedRanks(ins.begins) {
 				if q == r {
 					continue
 				}
+				rec := ins.begins[q]
 				in = append(in, InEdge{From: rec.ref, Data: rec.data, LMin: e.lmin(q, r), Logical: true})
 			}
 		}

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -56,7 +57,18 @@ func NewSource(r io.ReaderAt) (*Source, error) {
 }
 
 // NewSourceOpts indexes a trace readable at r under the given options.
+// It is NewSourceContext with a background context; indexing a large
+// file that a caller may want to abandon should go through
+// NewSourceContext.
 func NewSourceOpts(r io.ReaderAt, o SourceOptions) (*Source, error) {
+	return NewSourceContext(context.Background(), r, o)
+}
+
+// NewSourceContext indexes a trace readable at r under the given
+// options. The index pass is one linear decode of the whole file;
+// cancelling ctx aborts it between events (checked every ctxCheckEvery
+// events, like the streaming engine) and returns ctx.Err().
+func NewSourceContext(ctx context.Context, r io.ReaderAt, o SourceOptions) (*Source, error) {
 	const probe = 1 << 62 // section length; reads stop at EOF
 	pol := trace.ResyncPolicy{Enabled: o.Salvage, MaxSkipBytes: o.MaxSkipBytes, MaxSkipEvents: o.MaxSkipEvents}
 	er, err := trace.NewEventReaderOpts(io.NewSectionReader(r, 0, probe), pol)
@@ -69,6 +81,9 @@ func NewSourceOpts(r io.ReaderAt, o SourceOptions) (*Source, error) {
 		s.loss[i].Rank = i
 	}
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		ph, err := er.NextProc()
 		if err == io.EOF {
 			break
@@ -86,6 +101,11 @@ func NewSourceOpts(r io.ReaderAt, o SourceOptions) (*Source, error) {
 		n := 0
 		var ev trace.Event
 		for {
+			if n&(ctxCheckEvery-1) == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			err := er.Read(&ev)
 			if err == io.EOF {
 				er.TookGap() // a trailing gap severs nothing further
@@ -104,7 +124,7 @@ func NewSourceOpts(r io.ReaderAt, o SourceOptions) (*Source, error) {
 				// span between them is gone
 				prevTrue = ev.True
 			} else if ev.True < prevTrue {
-				return nil, fmt.Errorf("stream: rank %d event %d: oracle time regressed", ph.Rank, n)
+				return nil, fmt.Errorf("%w: rank %d event %d: oracle time regressed", trace.ErrBadFormat, ph.Rank, n)
 			} else {
 				prevTrue = ev.True
 			}
@@ -129,7 +149,7 @@ func NewSourceOpts(r io.ReaderAt, o SourceOptions) (*Source, error) {
 	// ranks missing at the tail (their headers and frames all lost)
 	for r := len(s.procs); r < s.head.ProcCount; r++ {
 		if !o.Salvage {
-			return nil, fmt.Errorf("stream: trace declares %d processes, found %d", s.head.ProcCount, len(s.procs))
+			return nil, fmt.Errorf("%w: trace declares %d processes, found %d", trace.ErrBadFormat, s.head.ProcCount, len(s.procs))
 		}
 		s.placeholderRank(r)
 	}

@@ -88,7 +88,7 @@ func ParsePolicy(s string) (Policy, error) {
 	case "error":
 		return PolicyError, nil
 	}
-	return 0, fmt.Errorf("stream: unknown window policy %q (want spill or error)", s)
+	return 0, fmt.Errorf("stream: unknown window policy %q (want spill or error)", s) //tsync:rawerr — flag-spelling validation, not trace bytes; no decode sentinel applies
 }
 
 // Options tune the streaming engine.

@@ -273,13 +273,13 @@ func readEvent(r *bufio.Reader, ev *Event) error {
 		return err
 	}
 	dst := [7]*int32{&ev.Region, &ev.Instance, &ev.Partner, &ev.Tag, &ev.Bytes, &ev.Comm, &ev.Root}
-	for _, p := range dst {
+	for fi, p := range dst {
 		v, err := binary.ReadVarint(r)
 		if err != nil {
 			return err
 		}
 		if v > math.MaxInt32 || v < math.MinInt32 {
-			return fmt.Errorf("%w: field overflows int32", ErrBadFormat)
+			return fmt.Errorf("%w: event field %d value %d overflows int32", ErrBadFormat, fi, v)
 		}
 		*p = int32(v)
 	}

@@ -154,7 +154,7 @@ func NewEventReaderOpts(r io.Reader, pol ResyncPolicy) (*EventReader, error) {
 		return nil, badFormat("header", err)
 	}
 	if nRegions > maxRegions {
-		return nil, fmt.Errorf("%w: region table too large", ErrBadFormat)
+		return nil, fmt.Errorf("%w: region table declares %d entries (limit %d)", ErrBadFormat, nRegions, maxRegions)
 	}
 	h.Regions = make([]string, 0, min(nRegions, decodeChunk))
 	for i := uint64(0); i < nRegions; i++ {
@@ -169,7 +169,7 @@ func NewEventReaderOpts(r io.Reader, pol ResyncPolicy) (*EventReader, error) {
 		return nil, badFormat("header", err)
 	}
 	if nProcs > maxProcs {
-		return nil, fmt.Errorf("%w: process count too large", ErrBadFormat)
+		return nil, fmt.Errorf("%w: trace declares %d processes (limit %d)", ErrBadFormat, nProcs, maxProcs)
 	}
 	h.ProcCount = int(nProcs)
 	if er.version == codecVersion2 {
@@ -290,7 +290,7 @@ func (er *EventReader) NextProc() (ProcHeader, error) {
 		return ProcHeader{}, er.bad("event count", err)
 	}
 	if nEvents > maxProcEvents {
-		return ProcHeader{}, fmt.Errorf("%w: event count too large", ErrBadFormat)
+		return ProcHeader{}, fmt.Errorf("%w: rank %d declares %d events (limit %d)", ErrBadFormat, ph.Rank, nEvents, maxProcEvents)
 	}
 	ph.EventCount = int(nEvents)
 	er.procsRead++
@@ -382,7 +382,7 @@ func (er *EventReader) nextProcV2() (ProcHeader, error) {
 // reported gap instead.
 func (er *EventReader) Read(ev *Event) error {
 	if !er.inProc {
-		return fmt.Errorf("trace: EventReader.Read before NextProc")
+		return fmt.Errorf("trace: EventReader.Read before NextProc") //tsync:rawerr — caller API misuse, not trace damage; classifying it would misdirect the corruption dispatch
 	}
 	if er.version == codecVersion2 {
 		return er.readV2(ev)

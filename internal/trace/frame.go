@@ -191,25 +191,25 @@ type parsed struct {
 // shorter than blockHeadMax near end of stream.
 func parseBlockHead(head []byte) (typ byte, plen, hlen int, crc uint32, err error) {
 	if len(head) < markerLen || !bytes.Equal(head[:markerLen], frameMarker[:]) {
-		return 0, 0, 0, 0, errors.New("no block marker")
+		return 0, 0, 0, 0, errors.New("no block marker") //tsync:rawerr — reason for the caller, which classifies and adds the byte offset (see readBlock/scan)
 	}
 	if len(head) < markerLen+1 {
-		return 0, 0, 0, 0, errors.New("truncated block header")
+		return 0, 0, 0, 0, errors.New("truncated block header") //tsync:rawerr — reason for the caller, which classifies and adds the byte offset (see readBlock/scan)
 	}
 	typ = head[markerLen]
 	if typ != blockProc && typ != blockFrame {
-		return 0, 0, 0, 0, fmt.Errorf("unknown block type %d", typ)
+		return 0, 0, 0, 0, fmt.Errorf("unknown block type %d", typ) //tsync:rawerr — reason for the caller, which classifies and adds the byte offset (see readBlock/scan)
 	}
 	v, n := binary.Uvarint(head[markerLen+1:])
 	if n <= 0 {
-		return 0, 0, 0, 0, errors.New("truncated block header")
+		return 0, 0, 0, 0, errors.New("truncated block header") //tsync:rawerr — reason for the caller, which classifies and adds the byte offset (see readBlock/scan)
 	}
 	if v == 0 || v > maxFramePayload {
-		return 0, 0, 0, 0, fmt.Errorf("block payload length %d out of range", v)
+		return 0, 0, 0, 0, fmt.Errorf("block payload length %d out of range", v) //tsync:rawerr — reason for the caller, which classifies and adds the byte offset (see readBlock/scan)
 	}
 	hlen = markerLen + 1 + n + 4
 	if len(head) < hlen {
-		return 0, 0, 0, 0, errors.New("truncated block header")
+		return 0, 0, 0, 0, errors.New("truncated block header") //tsync:rawerr — reason for the caller, which classifies and adds the byte offset (see readBlock/scan)
 	}
 	crc = binary.LittleEndian.Uint32(head[markerLen+1+n:])
 	return typ, int(v), hlen, crc, nil
@@ -226,16 +226,16 @@ func parsePayload(typ byte, p []byte, deep bool) (parsed, error) {
 	}
 	rank, n := binary.Uvarint(p)
 	if n <= 0 || rank > maxProcs {
-		return parsed{}, errors.New("bad frame rank")
+		return parsed{}, errors.New("bad frame rank") //tsync:rawerr — reason for the caller, which classifies and adds the byte offset (see readBlock/scan)
 	}
 	count, m := binary.Uvarint(p[n:])
 	if m <= 0 || count == 0 || count > maxFrameEvents {
-		return parsed{}, errors.New("bad frame event count")
+		return parsed{}, errors.New("bad frame event count") //tsync:rawerr — reason for the caller, which classifies and adds the byte offset (see readBlock/scan)
 	}
 	evOff := n + m
 	events := p[evOff:]
 	if int(count)*eventMinSize > len(events) {
-		return parsed{}, errors.New("frame too short for its event count")
+		return parsed{}, errors.New("frame too short for its event count") //tsync:rawerr — reason for the caller, which classifies and adds the byte offset (see readBlock/scan)
 	}
 	if deep {
 		var ev Event
@@ -243,12 +243,12 @@ func parsePayload(typ byte, p []byte, deep bool) (parsed, error) {
 		for i := uint64(0); i < count; i++ {
 			k, ok := decodeEvent(rest, &ev)
 			if !ok {
-				return parsed{}, errors.New("malformed event in frame")
+				return parsed{}, errors.New("malformed event in frame") //tsync:rawerr — reason for the caller, which classifies and adds the byte offset (see readBlock/scan)
 			}
 			rest = rest[k:]
 		}
 		if len(rest) != 0 {
-			return parsed{}, errors.New("trailing bytes after frame events")
+			return parsed{}, errors.New("trailing bytes after frame events") //tsync:rawerr — reason for the caller, which classifies and adds the byte offset (see readBlock/scan)
 		}
 	}
 	return parsed{typ: typ, rank: int(rank), count: int(count), events: events, evOff: evOff}, nil
@@ -262,29 +262,29 @@ func parseProcPayload(p []byte) (ProcHeader, error) {
 	for i := range ints {
 		v, n := binary.Uvarint(p)
 		if n <= 0 {
-			return ph, errors.New("bad process header varint")
+			return ph, errors.New("bad process header varint") //tsync:rawerr — reason for the caller, which classifies and adds the byte offset (see readBlock/scan)
 		}
 		ints[i] = v
 		p = p[n:]
 	}
 	if ints[0] > maxProcs {
-		return ph, errors.New("process rank out of range")
+		return ph, errors.New("process rank out of range") //tsync:rawerr — reason for the caller, which classifies and adds the byte offset (see readBlock/scan)
 	}
 	ph.Rank = int(ints[0])
 	ph.Core = topology.CoreID{Node: int(ints[1]), Chip: int(ints[2]), Core: int(ints[3])}
 	clen, n := binary.Uvarint(p)
 	if n <= 0 || clen > maxStringLen || uint64(len(p)-n) < clen {
-		return ph, errors.New("bad clock string")
+		return ph, errors.New("bad clock string") //tsync:rawerr — reason for the caller, which classifies and adds the byte offset (see readBlock/scan)
 	}
 	ph.Clock = string(p[n : n+int(clen)])
 	p = p[n+int(clen):]
 	count, n := binary.Uvarint(p)
 	if n <= 0 || count > maxProcEvents {
-		return ph, errors.New("bad event count")
+		return ph, errors.New("bad event count") //tsync:rawerr — reason for the caller, which classifies and adds the byte offset (see readBlock/scan)
 	}
 	ph.EventCount = int(count)
 	if len(p) != n {
-		return ph, errors.New("trailing bytes in process header")
+		return ph, errors.New("trailing bytes in process header") //tsync:rawerr — reason for the caller, which classifies and adds the byte offset (see readBlock/scan)
 	}
 	return ph, nil
 }

@@ -168,7 +168,7 @@ func parseKindName(s string) (Kind, error) {
 			return Kind(k), nil
 		}
 	}
-	return 0, fmt.Errorf("trace: unknown event kind %q", s)
+	return 0, fmt.Errorf("%w: unknown event kind %q", ErrBadFormat, s)
 }
 
 // parseCollOpName maps a collective-op name back to its CollOp.
@@ -181,7 +181,7 @@ func parseCollOpName(s string) (CollOp, error) {
 			return CollOp(o), nil
 		}
 	}
-	return 0, fmt.Errorf("trace: unknown collective op %q", s)
+	return 0, fmt.Errorf("%w: unknown collective op %q", ErrBadFormat, s)
 }
 
 // ReadJSON imports a trace from the WriteJSON format, so traces produced
@@ -192,12 +192,12 @@ func ReadJSON(r io.Reader) (*Trace, error) {
 	var in jsonTrace
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&in); err != nil {
-		return nil, fmt.Errorf("trace: json import: %w", err)
+		return nil, fmt.Errorf("%w: json import: %v", ErrBadFormat, err)
 	}
 	t := &Trace{Machine: in.Machine, Timer: in.Timer, MinLatency: in.MinLatency}
 	for i, jp := range in.Procs {
 		if jp.Rank != i {
-			return nil, fmt.Errorf("trace: json import: proc %d has rank %d", i, jp.Rank)
+			return nil, fmt.Errorf("%w: json import: proc %d has rank %d", ErrBadFormat, i, jp.Rank)
 		}
 		var node, chip, core int
 		if _, err := fmt.Sscanf(jp.Core, "%d:%d:%d", &node, &chip, &core); err != nil {

@@ -290,10 +290,30 @@ func (t *Trace) Messages() ([]Message, error) {
 			out = append(out, m)
 		}
 	}
+	// report the first leftover channel in key order, not map order, so
+	// an incomplete trace fails with the same error on every run
+	leftover := make([]chanKey, 0, len(pending))
 	for k, q := range pending {
 		if len(q) > 0 {
-			return nil, fmt.Errorf("trace: %d unmatched Sends from %d to %d tag %d", len(q), k.from, k.to, k.tag)
+			leftover = append(leftover, k)
 		}
+	}
+	sort.Slice(leftover, func(i, j int) bool {
+		a, b := leftover[i], leftover[j]
+		if a.from != b.from {
+			return a.from < b.from
+		}
+		if a.to != b.to {
+			return a.to < b.to
+		}
+		if a.tag != b.tag {
+			return a.tag < b.tag
+		}
+		return a.comm < b.comm
+	})
+	if len(leftover) > 0 {
+		k := leftover[0]
+		return nil, fmt.Errorf("trace: %d unmatched Sends from %d to %d tag %d", len(pending[k]), k.from, k.to, k.tag)
 	}
 	// deterministic order: by receiver, then receive index
 	sort.Slice(out, func(i, j int) bool {
@@ -361,7 +381,14 @@ func (t *Trace) Collectives() ([]Collective, error) {
 		if len(c.Begin) != len(c.End) {
 			return nil, fmt.Errorf("trace: collective comm %d instance %d has %d begins but %d ends", k.comm, k.inst, len(c.Begin), len(c.End))
 		}
+		// check ranks in ascending order so the reported straggler is
+		// stable across runs
+		ranks := make([]int, 0, len(c.Begin))
 		for rank := range c.Begin {
+			ranks = append(ranks, rank)
+		}
+		sort.Ints(ranks)
+		for _, rank := range ranks {
 			if _, ok := c.End[rank]; !ok {
 				return nil, fmt.Errorf("trace: rank %d began collective comm %d instance %d but never ended it", rank, k.comm, k.inst)
 			}

@@ -37,12 +37,12 @@ func Window(t *Trace, from, to float64) (*Trace, error) {
 	dropColl := map[[2]int32]bool{} // (comm, instance)
 	for _, c := range colls {
 		keep := true
-		for rank, idx := range c.Begin {
+		for rank, idx := range c.Begin { //tsync:unordered — monotone boolean AND: keep only ever falls to false, so every visit order agrees
 			if !inside(&t.Procs[rank].Events[idx]) {
 				keep = false
 			}
 		}
-		for rank, idx := range c.End {
+		for rank, idx := range c.End { //tsync:unordered — monotone boolean AND: keep only ever falls to false, so every visit order agrees
 			if !inside(&t.Procs[rank].Events[idx]) {
 				keep = false
 			}
