@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-smoke microbench vet lint lint-test lint-json lint-fix-check race cover-check faults figures clean
+.PHONY: all build test bench bench-smoke microbench vet lint lint-test lint-json lint-fix-check race cover-check faults fingerprint figures clean
 
 all: build vet lint test
 
@@ -58,26 +58,37 @@ cover-check:
 # workers=1 vs workers=4 with bit-identical-result verification, plus the
 # streaming pipeline cases — streaming-vs-in-memory checksum equality,
 # the 1M-event bounded-memory assertion, the batched-vs-legacy (batch=1)
-# checksum comparison with allocs/event, and the stream-faults salvage
-# case (recovery ratio + cross-worker determinism) (see cmd/bench)
+# checksum comparison with allocs/event, the stream-fingerprint overhead
+# case (observer checksum + >=90% of baseline throughput), and the
+# stream-faults salvage case (recovery ratio + cross-worker determinism)
+# (see cmd/bench)
 bench:
-	$(GO) run ./cmd/bench -workers 4 -o BENCH_PR5.json
+	$(GO) run ./cmd/bench -workers 4 -o BENCH_PR7.json
 
 # CI-sized bench: 1 rep, tiny workloads, 2 workers — still checks that
 # parallel checksums match serial, that the streaming pipeline reproduces
 # the in-memory checksums (batched and batch=1 legacy configurations),
-# that its peak heap stays window-bounded, and that the stream-faults
-# salvage case recovers >=99% deterministically; then one iteration of
-# the hot-path microbenchmarks so their harness code cannot rot
+# that its peak heap stays window-bounded, that the fingerprint stage is
+# a pure observer within its (relaxed) throughput floor, and that the
+# stream-faults salvage case recovers >=99% deterministically; then one
+# iteration of the hot-path microbenchmarks so their harness code cannot
+# rot
 bench-smoke:
-	$(GO) run ./cmd/bench -smoke -workers 2 -o BENCH_PR5.json
+	$(GO) run ./cmd/bench -smoke -workers 2 -o BENCH_PR7.json
 	$(GO) test -run XXX -bench 'BenchmarkStreamPipeline|BenchmarkEventCodec|BenchmarkMapTimeMonotone' -benchtime=1x .
 
 # the fault-tolerance suite on its own: resync framing, salvage,
 # cancellation, and fault-injection tests under the race detector
 faults:
 	$(GO) test -race -run 'Salvage|Cancel|Resync|Corrupt|Frame' ./internal/trace/ ./internal/stream/
-	$(GO) test -race ./internal/faultinject/
+	$(GO) test -race ./internal/faultinject/ ./internal/fingerprint/
+
+# the drift-fingerprint suite on its own: the seeded classification
+# matrix (kind × magnitude × position), the auto-knot correction tests,
+# and the stream-side determinism/observer differential tests
+fingerprint:
+	$(GO) test -race ./internal/fingerprint/
+	$(GO) test -race -run 'Fingerprint|LossPct' ./internal/stream/
 
 # the full evaluation: one go-test benchmark per table and figure of the
 # paper

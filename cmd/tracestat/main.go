@@ -20,21 +20,23 @@ import (
 	"time"
 
 	"tsync/internal/analysis"
+	"tsync/internal/fingerprint"
 	"tsync/internal/render"
 	"tsync/internal/stream"
 	"tsync/internal/trace"
 )
 
 type options struct {
-	in       string
-	jsonOut  bool
-	timeline bool
-	legacy   bool
-	window   int
-	spill    string
-	salvage  bool
-	maxSkip  int64
-	timeout  time.Duration
+	in          string
+	jsonOut     bool
+	timeline    bool
+	legacy      bool
+	window      int
+	spill       string
+	salvage     bool
+	maxSkip     int64
+	fingerprint bool
+	timeout     time.Duration
 }
 
 // exitPartial is the exit status when salvage produced output from a
@@ -52,6 +54,7 @@ func main() {
 	flag.StringVar(&o.spill, "spill", "spill", "streaming window overflow policy: spill or error")
 	flag.BoolVar(&o.salvage, "salvage", false, "resynchronize past corruption in v2 traces; exits 3 when data was lost")
 	flag.Int64Var(&o.maxSkip, "max-skip", 0, "salvage budget: max bytes to skip before giving up (0 = unlimited)")
+	flag.BoolVar(&o.fingerprint, "fingerprint", false, "per-rank drift fingerprint: drift rate, jitter, and clock-fault diagnosis (streaming only)")
 	flag.DurationVar(&o.timeout, "timeout", 0, "abort the run after this long (0 = no limit)")
 	flag.Parse()
 
@@ -75,8 +78,10 @@ func withTimeout(o options) (context.Context, context.CancelFunc) {
 }
 
 // printLoss reports what salvage could not recover, one line per
-// affected rank.
-func printLoss(rep *trace.CorruptionReport, loss []stream.RankLoss) {
+// affected rank. retained carries each rank's retained event count so
+// losses can be expressed as percentages; a rank whose expected total
+// is unknowable (destroyed header) prints "?" instead of a number.
+func printLoss(rep *trace.CorruptionReport, loss []stream.RankLoss, retained []trace.ProcHeader) {
 	fmt.Printf("\nsalvage: %d incidents, %d bytes skipped", len(rep.Incidents), rep.SkippedBytes)
 	if rep.LostEvents > 0 {
 		fmt.Printf(", %d events known lost", rep.LostEvents)
@@ -92,6 +97,13 @@ func printLoss(rep *trace.CorruptionReport, loss []stream.RankLoss) {
 		fmt.Printf("  rank %d:", l.Rank)
 		if l.LostEvents > 0 {
 			fmt.Printf(" %d events lost", l.LostEvents)
+			if l.Rank >= 0 && l.Rank < len(retained) {
+				if pct, ok := l.LossPct(int64(retained[l.Rank].EventCount)); ok {
+					fmt.Printf(" (%.1f%%)", pct)
+				} else {
+					fmt.Printf(" (?%%)")
+				}
+			}
 		}
 		if l.Unknown {
 			fmt.Printf(" unknown loss")
@@ -122,6 +134,9 @@ func printCensus(c analysis.Census) {
 
 func run(o options) (bool, error) {
 	if o.legacy || o.jsonOut || o.timeline || strings.HasSuffix(o.in, ".json") {
+		if o.fingerprint {
+			return false, fmt.Errorf("-fingerprint needs the streaming path; it cannot combine with -legacy, -json, -timeline, or JSON input")
+		}
 		return false, runLegacy(o)
 	}
 	return runStreaming(o)
@@ -158,8 +173,18 @@ func runStreaming(o options) (bool, error) {
 		fmt.Printf(", %d insertions spilled past the window", stats.SpilledEvents)
 	}
 	fmt.Println("; run with -legacy for wait-state, latency, and region-profile analyses")
+	if o.fingerprint {
+		rep, _, err := stream.FingerprintContext(ctx, src, stream.Options{Salvage: o.salvage}, fingerprint.Options{})
+		if err != nil {
+			return false, err
+		}
+		fmt.Println()
+		if err := rep.WriteText(os.Stdout); err != nil {
+			return false, err
+		}
+	}
 	if src.Salvaged() {
-		printLoss(src.Report(), stats.Loss)
+		printLoss(src.Report(), stats.Loss, src.Procs())
 		return true, nil
 	}
 	return false, nil

@@ -26,6 +26,7 @@ import (
 	"tsync/internal/clc"
 	"tsync/internal/core"
 	"tsync/internal/experiments"
+	"tsync/internal/fingerprint"
 	"tsync/internal/measure"
 	"tsync/internal/prof"
 	"tsync/internal/render"
@@ -49,6 +50,8 @@ type options struct {
 	workers       int
 	salvage       bool
 	maxSkip       int64
+	fingerprint   bool
+	autoknots     bool
 	timeout       time.Duration
 	cpuprofile    string
 	memprofile    string
@@ -73,6 +76,8 @@ func main() {
 	flag.IntVar(&o.workers, "workers", 0, "parallel worker bound for -all and streaming assembly (0 = all CPUs); results are identical for any value")
 	flag.BoolVar(&o.salvage, "salvage", false, "resynchronize past corruption in v2 traces (streaming only); exits 3 when data was lost")
 	flag.Int64Var(&o.maxSkip, "max-skip", 0, "salvage budget: max bytes to skip before giving up (0 = unlimited)")
+	flag.BoolVar(&o.fingerprint, "fingerprint", false, "print the per-rank drift fingerprint alongside the correction report (streaming only)")
+	flag.BoolVar(&o.autoknots, "autoknots", false, "replace -base with a piecewise correction whose knots sit at fingerprint-detected clock breaks (streaming only)")
 	flag.DurationVar(&o.timeout, "timeout", 0, "abort the run after this long (0 = no limit)")
 	flag.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile (runtime/pprof) to this file")
 	flag.StringVar(&o.memprofile, "memprofile", "", "write an allocation profile to this file after the run")
@@ -145,12 +150,17 @@ func run(o options) (bool, error) {
 	if o.salvage {
 		return false, errors.New("-salvage needs the streaming path; it cannot combine with -legacy, -all, or JSON input")
 	}
+	if o.fingerprint || o.autoknots {
+		return false, errors.New("-fingerprint and -autoknots need the streaming path; they cannot combine with -legacy, -all, or JSON input")
+	}
 	return false, runLegacy(o, side)
 }
 
 // printLoss reports what salvage could not recover, one line per
-// affected rank.
-func printLoss(rep *trace.CorruptionReport, loss []stream.RankLoss) {
+// affected rank. retained carries each rank's retained event count so
+// losses can be expressed as percentages; a rank whose expected total
+// is unknowable (destroyed header) prints "?" instead of a number.
+func printLoss(rep *trace.CorruptionReport, loss []stream.RankLoss, retained []trace.ProcHeader) {
 	fmt.Printf("\nsalvage: %d incidents, %d bytes skipped", len(rep.Incidents), rep.SkippedBytes)
 	if rep.LostEvents > 0 {
 		fmt.Printf(", %d events known lost", rep.LostEvents)
@@ -166,6 +176,13 @@ func printLoss(rep *trace.CorruptionReport, loss []stream.RankLoss) {
 		fmt.Printf("  rank %d:", l.Rank)
 		if l.LostEvents > 0 {
 			fmt.Printf(" %d events lost", l.LostEvents)
+			if l.Rank >= 0 && l.Rank < len(retained) {
+				if pct, ok := l.LossPct(int64(retained[l.Rank].EventCount)); ok {
+					fmt.Printf(" (%.1f%%)", pct)
+				} else {
+					fmt.Printf(" (?%%)")
+				}
+			}
 		}
 		if l.Unknown {
 			fmt.Printf(" unknown loss")
@@ -214,6 +231,31 @@ func runStreaming(o options, side sidecar) (bool, error) {
 		Base: b, CLC: o.withCLC,
 		Options: stream.Options{Window: o.window, Policy: policy, Workers: o.workers, Batch: o.batch, Salvage: o.salvage},
 	}
+	if o.fingerprint {
+		p.Fingerprint = &fingerprint.Options{}
+	}
+	if o.autoknots {
+		// A fingerprint pre-pass places the interpolation knots at the
+		// detected clock breaks; the resulting piecewise correction
+		// replaces the -base mapping.
+		rep, _, err := stream.FingerprintContext(ctx, src, p.Options, fingerprint.Options{})
+		if err != nil {
+			return false, err
+		}
+		corr, degraded, err := rep.AutoCorrection()
+		if err != nil {
+			return false, err
+		}
+		p.Correction = corr
+		knots := 0
+		for r := 0; r < src.Ranks(); r++ {
+			knots += len(rep.Knots(r))
+		}
+		fmt.Printf("autoknots: %d breaks diagnosed, %d knots placed (replacing -base %s)\n", rep.Breaks(), knots, o.base)
+		if len(degraded) > 0 {
+			fmt.Printf("autoknots: ranks %v degraded to a single affine piece (clock resets rewind local time)\n", degraded)
+		}
+	}
 	var outW *os.File
 	if o.out != "" {
 		if outW, err = os.Create(o.out); err != nil {
@@ -242,11 +284,17 @@ func runStreaming(o options, side sidecar) (bool, error) {
 		fmt.Printf(", %d insertions spilled past the window", res.Stats.SpilledEvents)
 	}
 	fmt.Println()
+	if res.Fingerprint != nil {
+		fmt.Println()
+		if err := res.Fingerprint.WriteText(os.Stdout); err != nil {
+			return false, err
+		}
+	}
 	if o.out != "" {
 		fmt.Printf("corrected trace written to %s\n", o.out)
 	}
 	if src.Salvaged() {
-		printLoss(src.Report(), res.Stats.Loss)
+		printLoss(src.Report(), res.Stats.Loss, src.Procs())
 		return true, nil
 	}
 	return false, nil

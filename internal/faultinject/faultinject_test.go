@@ -233,3 +233,69 @@ func TestDistort(t *testing.T) {
 		t.Fatalf("reset: got %v, want 1.0", got) //tsync:exact — reset discards state then adds elapsed 1.0; both operands exact
 	}
 }
+
+// TestDistortPureComposition is the determinism contract the fingerprint
+// accuracy matrix depends on: Distort must be a pure function of
+// (rank, t, c) — stateless across calls, immune to caller mutation of
+// the fault slice, and bit-identical however many times or in whatever
+// order readings are evaluated. That is what makes a distorted synth
+// trace identical no matter how many workers or what batch size the
+// consuming pipeline uses.
+func TestDistortPureComposition(t *testing.T) {
+	faults := []ClockFault{
+		{Rank: 1, Kind: Step, At: 0.3, Delta: 2e-3},
+		{Rank: -1, Kind: FreqJump, At: 0.6, Delta: 4e-4},
+		{Rank: 2, Kind: Reset, At: 0.9, Delta: 0.25},
+		{Rank: 1, Kind: Step, At: 1.2, Delta: -1e-3},
+	}
+	d := Distort(faults)
+
+	// the distorter snapshots the slice: later caller mutation must not
+	// leak in
+	mutated := Distort(faults)
+	faults[0].Delta = 99
+
+	type key struct {
+		rank int
+		t    float64
+	}
+	grid := make(map[key]float64)
+	for rank := 0; rank < 4; rank++ {
+		for i := 0; i <= 60; i++ {
+			tt := float64(i) * 0.025
+			grid[key{rank, tt}] = d(rank, tt, tt*(1+3e-5))
+		}
+	}
+	// re-evaluate in reverse order and interleaved across ranks: every
+	// reading must reproduce bit for bit (tsync:exact justification:
+	// determinism IS the property under test)
+	for i := 60; i >= 0; i-- {
+		tt := float64(i) * 0.025
+		for rank := 3; rank >= 0; rank-- {
+			c := tt * (1 + 3e-5)
+			if got := d(rank, tt, c); got != grid[key{rank, tt}] {
+				t.Fatalf("rank %d t=%v: re-evaluation gave %v, first pass %v", rank, tt, got, grid[key{rank, tt}]) //tsync:exact — bit-determinism of re-evaluation is the property under test
+			}
+			if got := mutated(rank, tt, c); got != grid[key{rank, tt}] {
+				t.Fatalf("rank %d t=%v: caller mutation of the fault slice leaked into the distorter", rank, tt) //tsync:exact — the snapshot semantics are the property under test
+			}
+		}
+	}
+
+	// composition is ordered and monotone in application: a reset after
+	// a step discards the step; a step after a reset survives it
+	stepThenReset := Distort([]ClockFault{
+		{Rank: 0, Kind: Step, At: 0.2, Delta: 5.0},
+		{Rank: 0, Kind: Reset, At: 0.5, Delta: 0},
+	})
+	if got := stepThenReset(0, 1.0, 1.0); got != 0.5 {
+		t.Errorf("reset after step: got %v, want 0.5 (step discarded)", got) //tsync:exact — 0 + (1.0-0.5) is exact; the reset must erase the step entirely
+	}
+	resetThenStep := Distort([]ClockFault{
+		{Rank: 0, Kind: Reset, At: 0.2, Delta: 0},
+		{Rank: 0, Kind: Step, At: 0.5, Delta: 5.0},
+	})
+	if got := resetThenStep(0, 1.0, 1.0); got != 5.8 {
+		t.Errorf("step after reset: got %v, want 5.8", got) //tsync:exact — (1.0-0.2) + 5.0 is exact; the step must survive the earlier reset
+	}
+}

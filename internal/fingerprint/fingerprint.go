@@ -1,0 +1,567 @@
+// Package fingerprint turns the paper's core finding — clock drift is
+// non-constant, so a single linear offset model mis-timestamps
+// concurrent events — into an observability layer: a streaming per-rank
+// drift analyzer that characterizes each rank's clock instead of merely
+// correcting it. For every rank it maintains an online linear
+// regression of the clock offset against oracle time (drift rate in
+// ppm, residual jitter signature, stability score) using anchored
+// Welford accumulators (stats.OnlineReg) that stay exact at timestamp
+// magnitudes, plus a change-point detector that localizes and
+// classifies the clock faults internal/faultinject injects — offset
+// steps, frequency jumps, and clock resets — and auto-places
+// interpolation knots at the detected breaks (internal/interp).
+//
+// Look-back is bounded like the CLC amortization deques: per rank the
+// tracker holds one O(1) committed fit, at most Confirm pending
+// outliers, and one O(1) post-break fit — state is O(ranks + breaks)
+// regardless of trace length.
+//
+// Determinism: the tracker is a pure fold over each rank's
+// (oracle, local) sample sequence. The streaming merge delivers every
+// rank's events in file order no matter how many assembly workers or
+// what slab size the pipeline uses, so fingerprint reports are
+// bit-identical across workers/batch — the differential tests in
+// internal/stream enforce that.
+package fingerprint
+
+import (
+	"math"
+
+	"tsync/internal/stats"
+)
+
+// Kind classifies a detected clock break, mirroring the fault taxonomy
+// of internal/faultinject.
+type Kind int
+
+const (
+	// KindUnknown marks a confirmed break the detector could not
+	// classify (typically too few post-break samples before the trace
+	// ended).
+	KindUnknown Kind = iota
+	// KindStep is an offset discontinuity with unchanged drift rate.
+	KindStep
+	// KindFreqJump is a drift-rate change with a continuous offset.
+	KindFreqJump
+	// KindReset is a clock restart: a large discontinuity, after which
+	// the previous drift and jitter signature are gone.
+	KindReset
+)
+
+// String names the kind (report spelling).
+func (k Kind) String() string {
+	switch k {
+	case KindStep:
+		return "step"
+	case KindFreqJump:
+		return "freq-jump"
+	case KindReset:
+		return "reset"
+	}
+	return "unknown"
+}
+
+// Options tune the fingerprint tracker. The zero value selects the
+// defaults via Normalize; all thresholds are in seconds (offsets) or
+// s/s (drift rates) unless noted.
+type Options struct {
+	// SampleEvery decimates the input: only every n-th event per rank
+	// feeds the regression. 0 or 1 means every event.
+	SampleEvery int
+	// MinSegment is how many post-break samples the detector gathers
+	// before classifying the break (the post-break fit's slope needs a
+	// baseline). Zero selects 64.
+	MinSegment int
+	// Confirm is how many consecutive outliers confirm a change point;
+	// fewer are treated as jitter and folded back into the fit. Zero
+	// selects 4.
+	Confirm int
+	// ResidK scales the outlier threshold: a sample is an outlier when
+	// its residual against the committed fit exceeds
+	// max(MinResid, ResidK·residual-stddev). Zero selects 12.
+	ResidK float64
+	// MinResid floors the outlier threshold so near-perfect clocks do
+	// not flag float noise as breaks. Zero selects 1e-5 s.
+	MinResid float64
+	// JumpTol is the smallest offset discontinuity called a
+	// discontinuity when classifying a confirmed break. Zero selects
+	// 5e-5 s (above the apparent jump a frequency change's detection lag
+	// produces, below any step worth reporting).
+	JumpTol float64
+	// SlopeTol is the smallest drift-rate change called a frequency
+	// jump. Zero selects 5e-5 s/s.
+	SlopeTol float64
+	// ResetJumpMin is the discontinuity magnitude at or above which a
+	// jump is classified as a reset outright. Zero selects 5e-2 s —
+	// far beyond any plausible step fault, but small against a clock
+	// restarting from zero mid-run.
+	ResetJumpMin float64
+	// ResetSlopeTol and ResetResidTol classify smaller discontinuities
+	// as resets when the post-break clock lost its drift and jitter
+	// signature (a restarted clock tracks oracle time exactly). Zeros
+	// select 1e-6 s/s and 1e-7 s.
+	ResetSlopeTol float64
+	ResetResidTol float64
+	// DriftPPMMax and JitterMax flag a rank anomalous even without
+	// breaks: drift rate beyond DriftPPMMax ppm or residual jitter RMS
+	// beyond JitterMax seconds. Zeros select 500 ppm and 1e-4 s.
+	DriftPPMMax float64
+	JitterMax   float64
+}
+
+// Normalize fills zero fields with defaults and clamps nonsensical
+// values, mirroring stream.Options.Normalize: every entry point
+// normalizes once up front.
+func (o Options) Normalize() Options {
+	if o.SampleEvery < 1 {
+		o.SampleEvery = 1
+	}
+	if o.MinSegment <= 0 {
+		o.MinSegment = 64
+	}
+	if o.Confirm <= 0 {
+		o.Confirm = 4
+	}
+	if o.ResidK <= 0 {
+		o.ResidK = 12
+	}
+	if o.MinResid <= 0 {
+		o.MinResid = 1e-5
+	}
+	if o.JumpTol <= 0 {
+		o.JumpTol = 5e-5
+	}
+	if o.SlopeTol <= 0 {
+		o.SlopeTol = 5e-5
+	}
+	if o.ResetJumpMin <= 0 {
+		o.ResetJumpMin = 5e-2
+	}
+	if o.ResetSlopeTol <= 0 {
+		o.ResetSlopeTol = 1e-6
+	}
+	if o.ResetResidTol <= 0 {
+		o.ResetResidTol = 1e-7
+	}
+	if o.DriftPPMMax <= 0 {
+		o.DriftPPMMax = 500
+	}
+	if o.JitterMax <= 0 {
+		o.JitterMax = 1e-4
+	}
+	return o
+}
+
+// minFit is how many committed samples a segment fit needs before the
+// outlier test arms: predictions from fewer samples would flag ordinary
+// jitter at the start of every segment.
+const minFit = 8
+
+// snapEvery is how many committed samples pass between shadow-fit
+// snapshots. The adaptive segment fit absorbs a slow frequency ramp —
+// each sample deviates by only Δ·(sample spacing), so the fit tilts and
+// its residual threshold inflates instead of triggering. Testing each
+// sample against a fit frozen one to two snapEvery intervals ago defeats
+// that: the frozen fit never absorbs the ramp, so the deviation grows as
+// Δ·(t − fault) until it crosses the threshold. The synth sinusoid
+// (amplitude ≤ 2e-6, period ≥ 5 s) moves far less than MinResid over a
+// 2·snapEvery look-back, so the shadow test adds no false positives.
+const snapEvery = 128
+
+// Segment is one maximal stretch of a rank's clock that a single affine
+// offset model fits: offset(t) ≈ RefOffset + Drift·(t − RefT) for
+// oracle times t in [StartT, EndT].
+type Segment struct {
+	// StartT and EndT bound the segment's samples in oracle time.
+	StartT, EndT float64
+	// StartLocal and EndLocal are the rank's clock readings at the
+	// segment boundaries — StartLocal of a non-first segment is where
+	// the auto-placed interpolation knot goes.
+	StartLocal, EndLocal float64
+	// N is the number of samples committed to the fit.
+	N int
+	// Drift is the fitted d(offset)/d(oracle-time) in s/s; ppm is
+	// Drift·1e6.
+	Drift float64
+	// RefT and RefOffset are the fit's reference point (the sample
+	// means); the fitted line passes through it, so evaluating around
+	// it avoids materializing a cancellation-prone absolute intercept.
+	RefT, RefOffset float64
+	// ResidRMS is the jitter signature: RMS of the offset residuals
+	// about the fitted line.
+	ResidRMS float64
+}
+
+// OffsetAt evaluates the segment's fitted offset model at oracle time t.
+func (s Segment) OffsetAt(t float64) float64 {
+	return s.RefOffset + s.Drift*(t-s.RefT)
+}
+
+// Break is one confirmed change point in a rank's clock behavior.
+type Break struct {
+	// Kind classifies the break against the faultinject taxonomy.
+	Kind Kind
+	// At is the localized fault time (oracle). Discontinuities are
+	// placed midway between the last in-model sample and the first
+	// outlier; frequency jumps are refined to the intersection of the
+	// pre- and post-break fit lines, which compensates the detection
+	// lag a gradual divergence incurs.
+	At float64
+	// AtLocal is the rank's clock reading at the first post-break
+	// sample.
+	AtLocal float64
+	// Jump is the offset discontinuity at At (post-fit minus pre-fit
+	// prediction) and DriftChange the drift-rate change across the
+	// break.
+	Jump, DriftChange float64
+}
+
+// Rank is one rank's fingerprint.
+type Rank struct {
+	Rank int
+	// Samples counts the (decimated) samples consumed.
+	Samples int
+	// Segments are the affine stretches between breaks, in time order.
+	Segments []Segment
+	// Breaks are the confirmed change points, in time order
+	// (Breaks[i] separates Segments[i] and Segments[i+1]).
+	Breaks []Break
+	// DriftPPM and JitterRMS summarize the dominant (longest) segment:
+	// the rank's steady-state drift rate in parts per million and
+	// residual jitter RMS in seconds.
+	DriftPPM  float64
+	JitterRMS float64
+	// Stability is the fraction of committed samples belonging to the
+	// dominant segment: 1.0 for a clock one affine model explains,
+	// lower the more of the trace its breaks fragment.
+	Stability float64
+	// Anomalous flags the rank for attention: it has breaks, or its
+	// drift/jitter exceed the Options thresholds.
+	Anomalous bool
+}
+
+// Dominant returns the rank's longest segment (most committed samples,
+// earliest wins ties) and false when the rank produced no segments.
+func (r *Rank) Dominant() (Segment, bool) {
+	if len(r.Segments) == 0 {
+		return Segment{}, false
+	}
+	best := 0
+	for i, s := range r.Segments {
+		if s.N > r.Segments[best].N {
+			best = i
+		}
+	}
+	return r.Segments[best], true
+}
+
+// Report is the full per-rank fingerprint of one trace.
+type Report struct {
+	// Opt echoes the (normalized) options the report was built with.
+	Opt Options
+	// Ranks holds one fingerprint per rank, indexed by rank.
+	Ranks []Rank
+}
+
+// Anomalous lists the flagged ranks in rank order.
+func (r *Report) Anomalous() []int {
+	var out []int
+	for i := range r.Ranks {
+		if r.Ranks[i].Anomalous {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Breaks returns the total number of confirmed change points across all
+// ranks.
+func (r *Report) Breaks() int {
+	n := 0
+	for i := range r.Ranks {
+		n += len(r.Ranks[i].Breaks)
+	}
+	return n
+}
+
+// sample is one pending (oracle, local) observation.
+type sample struct{ t, c float64 }
+
+// pendingBreak is a confirmed change point whose classification waits
+// for the post-break fit to mature.
+type pendingBreak struct {
+	at             float64       // provisional localization (midpoint)
+	firstT, firstC float64       // first post-break sample
+	lastT, lastC   float64       // latest post-break sample
+	pre            stats.OnlineReg // frozen pre-break fit
+	preEndT        float64
+	preEndC        float64
+	post           stats.OnlineReg
+}
+
+// rankState is the tracker's bounded per-rank state.
+type rankState struct {
+	events  int // raw events seen (pre-decimation)
+	samples int // decimated samples consumed
+	// current committed segment
+	seg                  stats.OnlineReg
+	segStartT, segStartC float64
+	lastT, lastC         float64 // latest committed sample
+	// shadow fit: a frozen copy of seg from 1–2 snapEvery intervals
+	// back, immune to slow-ramp absorption (see snapEvery)
+	snap, prevSnap stats.OnlineReg
+	sinceSnap      int
+	// bounded look-back
+	pend []sample      // consecutive outliers, capacity Confirm
+	brk  *pendingBreak // confirmed break awaiting classification
+	// results
+	segs   []Segment
+	breaks []Break
+}
+
+// Tracker folds per-rank (oracle, local) samples into a drift Report.
+// It is not safe for concurrent use; the streaming merge is sequential,
+// which is exactly what makes the report deterministic.
+type Tracker struct {
+	opt    Options
+	ranks  []rankState
+	sealed bool
+}
+
+// NewTracker returns a tracker for the given rank count.
+func NewTracker(ranks int, opt Options) *Tracker {
+	if ranks < 0 {
+		ranks = 0
+	}
+	return &Tracker{opt: opt.Normalize(), ranks: make([]rankState, ranks)}
+}
+
+// Add feeds one observation: rank's clock read local at oracle time
+// oracle. Out-of-range ranks and post-Report adds are ignored.
+func (tr *Tracker) Add(rank int, oracle, local float64) {
+	if tr.sealed || rank < 0 || rank >= len(tr.ranks) {
+		return
+	}
+	st := &tr.ranks[rank]
+	st.events++
+	if tr.opt.SampleEvery > 1 && (st.events-1)%tr.opt.SampleEvery != 0 {
+		return
+	}
+	tr.step(st, oracle, local)
+}
+
+// step routes one decimated sample through the per-rank state machine.
+func (tr *Tracker) step(st *rankState, t, c float64) {
+	st.samples++
+	off := c - t
+	if b := st.brk; b != nil {
+		// A confirmed break is maturing: grow the post-break fit until
+		// it can be classified.
+		b.post.Add(t, off)
+		b.lastT, b.lastC = t, c
+		if b.post.N() >= tr.opt.MinSegment {
+			tr.resolve(st)
+		}
+		return
+	}
+	if st.seg.N() == 0 && len(st.pend) == 0 {
+		st.segStartT, st.segStartC = t, c
+	}
+	if tr.outlier(st, t, off) {
+		st.pend = append(st.pend, sample{t, c})
+		if len(st.pend) >= tr.opt.Confirm {
+			tr.confirm(st)
+		}
+		return
+	}
+	// In-model: any pending outliers were a transient, not a break —
+	// fold them back into the fit in arrival order.
+	tr.commitPending(st)
+	st.seg.Add(t, off)
+	st.lastT, st.lastC = t, c
+	st.sinceSnap++
+	if st.sinceSnap >= snapEvery {
+		st.prevSnap = st.snap
+		st.snap = st.seg
+		st.sinceSnap = 0
+	}
+}
+
+// outlier tests one sample against the committed fit (catches abrupt
+// faults at the next sample) and against the shadow fit (catches slow
+// ramps the adaptive fit would absorb). Both tests compare squared
+// deviations, keeping sqrt off the per-event hot path.
+func (tr *Tracker) outlier(st *rankState, t, off float64) bool {
+	minR2 := tr.opt.MinResid * tr.opt.MinResid
+	k2 := tr.opt.ResidK * tr.opt.ResidK
+	if st.seg.N() >= minFit {
+		thresh2 := math.Max(minR2, k2*st.seg.ResidualVariance())
+		if d := off - st.seg.Predict(t); d*d > thresh2 {
+			return true
+		}
+	}
+	if st.prevSnap.N() >= minFit {
+		thresh2 := math.Max(minR2, k2*st.prevSnap.ResidualVariance())
+		if d := off - st.prevSnap.Predict(t); d*d > thresh2 {
+			return true
+		}
+	}
+	return false
+}
+
+// commitPending folds unconfirmed outliers back into the committed fit.
+func (tr *Tracker) commitPending(st *rankState) {
+	for _, p := range st.pend {
+		st.seg.Add(p.t, p.c-p.t)
+		st.lastT, st.lastC = p.t, p.c
+	}
+	st.pend = st.pend[:0]
+}
+
+// confirm promotes Confirm consecutive outliers into a pending break:
+// the committed fit freezes as the pre-break model and the outliers
+// seed the post-break fit.
+func (tr *Tracker) confirm(st *rankState) {
+	b := &pendingBreak{
+		pre:     st.seg,
+		preEndT: st.lastT,
+		preEndC: st.lastC,
+		firstT:  st.pend[0].t,
+		firstC:  st.pend[0].c,
+	}
+	// Provisional localization: between the last in-model sample and
+	// the first outlier the fault must have happened.
+	b.at = st.lastT + (b.firstT-st.lastT)/2
+	for _, p := range st.pend {
+		b.post.Add(p.t, p.c-p.t)
+		b.lastT, b.lastC = p.t, p.c
+	}
+	st.pend = st.pend[:0]
+	st.brk = b
+}
+
+// resolve classifies a matured pending break, closes the pre-break
+// segment, and promotes the post-break fit to the committed segment.
+func (tr *Tracker) resolve(st *rankState) {
+	b := st.brk
+	st.brk = nil
+	kind, jump, dslope := tr.classify(b)
+	at := b.at
+	if kind == KindFreqJump {
+		// A gradual divergence is confirmed only after the offset
+		// difference outgrows the outlier threshold; the pre/post fit
+		// lines intersect where the fault actually happened.
+		if x := at - jump/dslope; !math.IsNaN(x) && x > st.segStartT && x < b.firstT {
+			at = x
+		}
+	}
+	st.segs = append(st.segs, segFrom(&b.pre, st.segStartT, st.segStartC, b.preEndT, b.preEndC))
+	st.breaks = append(st.breaks, Break{Kind: kind, At: at, AtLocal: b.firstC, Jump: jump, DriftChange: dslope})
+	st.seg = b.post
+	st.segStartT, st.segStartC = b.firstT, b.firstC
+	st.lastT, st.lastC = b.lastT, b.lastC
+	// the shadow fits belonged to the closed segment
+	st.snap = stats.OnlineReg{}
+	st.prevSnap = stats.OnlineReg{}
+	st.sinceSnap = 0
+}
+
+// classify decides what kind of fault a matured break was.
+//
+// The jump is evaluated at the provisional break time from both fits;
+// drift change is the slope difference. Discontinuities win over slope
+// evidence — a short post-break fit estimates slopes noisily but jumps
+// robustly, and a frequency jump's apparent discontinuity (from
+// detection lag) stays below JumpTol by construction. A discontinuity
+// is a reset when it is implausibly large for a step (ResetJumpMin) or
+// when the post-break clock lost its drift and jitter signature; it is
+// a step otherwise. No discontinuity and a slope change is a frequency
+// jump.
+func (tr *Tracker) classify(b *pendingBreak) (Kind, float64, float64) {
+	o := tr.opt
+	jump := b.post.Predict(b.at) - b.pre.Predict(b.at)
+	dslope := b.post.Slope() - b.pre.Slope()
+	aj, as := math.Abs(jump), math.Abs(dslope)
+	slopeKnown := b.post.N() >= minFit
+	switch {
+	case aj >= o.JumpTol:
+		clean := math.Abs(b.post.Slope()) <= o.ResetSlopeTol && b.post.ResidualStdDev() <= o.ResetResidTol
+		if aj >= o.ResetJumpMin || (slopeKnown && clean) {
+			return KindReset, jump, dslope
+		}
+		return KindStep, jump, dslope
+	case slopeKnown && as >= o.SlopeTol:
+		return KindFreqJump, jump, dslope
+	}
+	return KindUnknown, jump, dslope
+}
+
+// segFrom snapshots a fit into a Segment.
+func segFrom(reg *stats.OnlineReg, startT, startC, endT, endC float64) Segment {
+	return Segment{
+		StartT:     startT,
+		EndT:       endT,
+		StartLocal: startC,
+		EndLocal:   endC,
+		N:          reg.N(),
+		Drift:      reg.Slope(),
+		RefT:       reg.MeanX(),
+		RefOffset:  reg.MeanY(),
+		ResidRMS:   reg.ResidualStdDev(),
+	}
+}
+
+// finalize closes a rank's open state at end of trace.
+func (tr *Tracker) finalize(st *rankState) {
+	if b := st.brk; b != nil {
+		// The trace ended while a break was maturing: classify with
+		// what we have (classify degrades to KindUnknown when the
+		// post-break evidence is too thin).
+		tr.resolve(st)
+	} else {
+		// Trailing unconfirmed outliers are indistinguishable from a
+		// transient; fold them in.
+		tr.commitPending(st)
+	}
+	if st.seg.N() > 0 {
+		st.segs = append(st.segs, segFrom(&st.seg, st.segStartT, st.segStartC, st.lastT, st.lastC))
+	}
+}
+
+// Report finalizes every rank and builds the fingerprint report. The
+// tracker seals: further Adds are ignored, and calling Report again
+// rebuilds the same summaries from the sealed state.
+func (tr *Tracker) Report() *Report {
+	if !tr.sealed {
+		for i := range tr.ranks {
+			tr.finalize(&tr.ranks[i])
+		}
+		tr.sealed = true
+	}
+	rep := &Report{Opt: tr.opt, Ranks: make([]Rank, len(tr.ranks))}
+	for i := range tr.ranks {
+		st := &tr.ranks[i]
+		rk := Rank{
+			Rank:     i,
+			Samples:  st.samples,
+			Segments: st.segs,
+			Breaks:   st.breaks,
+		}
+		if dom, ok := rk.Dominant(); ok {
+			rk.DriftPPM = dom.Drift * 1e6
+			rk.JitterRMS = dom.ResidRMS
+			committed := 0
+			for _, s := range st.segs {
+				committed += s.N
+			}
+			if committed > 0 {
+				rk.Stability = float64(dom.N) / float64(committed)
+			}
+		}
+		rk.Anomalous = len(rk.Breaks) > 0 ||
+			math.Abs(rk.DriftPPM) > tr.opt.DriftPPMMax ||
+			rk.JitterRMS > tr.opt.JitterMax
+		rep.Ranks[i] = rk
+	}
+	return rep
+}

@@ -1,0 +1,268 @@
+package fingerprint_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"tsync/internal/fingerprint"
+)
+
+// feed drives a tracker with a closed-form clock: offset(t) given by f,
+// sampled every 250 µs over [0, span).
+func feed(tr *fingerprint.Tracker, rank int, span float64, f func(t float64) float64) {
+	for t := 0.0; t < span; t += 250e-6 {
+		tr.Add(rank, t, t+f(t))
+	}
+}
+
+func TestTrackerStepDirect(t *testing.T) {
+	tr := fingerprint.NewTracker(1, fingerprint.Options{})
+	feed(tr, 0, 1.0, func(tt float64) float64 {
+		o := 1e-4 + 3e-5*tt
+		if tt >= 0.5 {
+			o += 2e-3
+		}
+		return o
+	})
+	rep := tr.Report()
+	rk := rep.Ranks[0]
+	if len(rk.Breaks) != 1 {
+		t.Fatalf("got %d breaks, want 1: %+v", len(rk.Breaks), rk.Breaks)
+	}
+	b := rk.Breaks[0]
+	if b.Kind != fingerprint.KindStep {
+		t.Errorf("kind = %v, want step", b.Kind)
+	}
+	if math.Abs(b.At-0.5) > 1e-3 {
+		t.Errorf("localized at %v, want 0.5", b.At)
+	}
+	if math.Abs(b.Jump-2e-3) > 1e-4 {
+		t.Errorf("jump = %v, want 2e-3", b.Jump)
+	}
+	if len(rk.Segments) != 2 {
+		t.Fatalf("got %d segments, want 2", len(rk.Segments))
+	}
+	// both segments carry the same 30 ppm drift
+	for i, s := range rk.Segments {
+		if math.Abs(s.Drift-3e-5) > 2e-6 {
+			t.Errorf("segment %d drift %v, want 3e-5", i, s.Drift)
+		}
+	}
+	if math.Abs(rk.DriftPPM-30) > 2 {
+		t.Errorf("DriftPPM = %v, want ~30", rk.DriftPPM)
+	}
+}
+
+func TestTrackerFreqJumpDirect(t *testing.T) {
+	tr := fingerprint.NewTracker(1, fingerprint.Options{})
+	feed(tr, 0, 2.0, func(tt float64) float64 {
+		o := -2e-5 * tt
+		if tt >= 1.0 {
+			o += 5e-4 * (tt - 1.0)
+		}
+		return o
+	})
+	rep := tr.Report()
+	rk := rep.Ranks[0]
+	if len(rk.Breaks) != 1 {
+		t.Fatalf("got %d breaks, want 1: %+v", len(rk.Breaks), rk.Breaks)
+	}
+	b := rk.Breaks[0]
+	if b.Kind != fingerprint.KindFreqJump {
+		t.Errorf("kind = %v, want freq-jump (jump %g, dslope %g)", b.Kind, b.Jump, b.DriftChange)
+	}
+	if math.Abs(b.At-1.0) > 0.1 {
+		t.Errorf("localized at %v, want ~1.0", b.At)
+	}
+	if math.Abs(b.DriftChange-5e-4) > 5e-5 {
+		t.Errorf("drift change = %v, want 5e-4", b.DriftChange)
+	}
+}
+
+func TestTrackerResetDirect(t *testing.T) {
+	tr := fingerprint.NewTracker(1, fingerprint.Options{})
+	feed(tr, 0, 1.0, func(tt float64) float64 {
+		if tt >= 0.6 {
+			return -0.6 // clock restarted from zero: local = t - 0.6
+		}
+		return 2e-5 * tt
+	})
+	rep := tr.Report()
+	rk := rep.Ranks[0]
+	if len(rk.Breaks) != 1 || rk.Breaks[0].Kind != fingerprint.KindReset {
+		t.Fatalf("breaks = %+v, want one reset", rk.Breaks)
+	}
+	if !rk.Anomalous {
+		t.Error("reset rank not anomalous")
+	}
+}
+
+// TestTrackerTransientNotABreak: fewer than Confirm consecutive
+// outliers are a glitch, folded back into the fit without a break.
+func TestTrackerTransientNotABreak(t *testing.T) {
+	tr := fingerprint.NewTracker(1, fingerprint.Options{Confirm: 4})
+	n := 0
+	feed(tr, 0, 1.0, func(tt float64) float64 {
+		n++
+		if n%500 == 0 { // isolated spikes, never 4 in a row
+			return 1e-3
+		}
+		return 1e-5 * tt
+	})
+	rep := tr.Report()
+	rk := rep.Ranks[0]
+	if len(rk.Breaks) != 0 {
+		t.Errorf("spikes produced breaks: %+v", rk.Breaks)
+	}
+	if len(rk.Segments) != 1 {
+		t.Errorf("got %d segments, want 1", len(rk.Segments))
+	}
+	if rk.Stability != 1 {
+		t.Errorf("stability = %v, want 1", rk.Stability)
+	}
+}
+
+// TestTrackerTailBreakUnknown: a fault so close to the end of the trace
+// that the post-break fit cannot mature still surfaces as a break, with
+// classification degrading gracefully rather than guessing from noise.
+func TestTrackerTailBreakUnknown(t *testing.T) {
+	tr := fingerprint.NewTracker(1, fingerprint.Options{Confirm: 4, MinSegment: 64})
+	// 0.25 s of clean clock, then a step with only 5 samples remaining
+	for i := 0; i < 1000; i++ {
+		tt := float64(i) * 250e-6
+		tr.Add(0, tt, tt+1e-5)
+	}
+	for i := 1000; i < 1005; i++ {
+		tt := float64(i) * 250e-6
+		tr.Add(0, tt, tt+1e-5+5e-3)
+	}
+	rep := tr.Report()
+	rk := rep.Ranks[0]
+	if len(rk.Breaks) != 1 {
+		t.Fatalf("got %d breaks, want 1", len(rk.Breaks))
+	}
+	// 5 post samples carry a solid jump estimate: step is acceptable;
+	// so is unknown. Freq-jump or reset would be misclassification.
+	if k := rk.Breaks[0].Kind; k != fingerprint.KindStep && k != fingerprint.KindUnknown {
+		t.Errorf("tail break classified %v", k)
+	}
+}
+
+// TestTrackerDecimation: SampleEvery must reduce samples without
+// changing the story.
+func TestTrackerDecimation(t *testing.T) {
+	full := fingerprint.NewTracker(1, fingerprint.Options{})
+	dec := fingerprint.NewTracker(1, fingerprint.Options{SampleEvery: 4})
+	// drift and jitter persist across the step (an offset-only fault)
+	f := func(tt float64) float64 {
+		o := 2e-5*tt + 1e-6*math.Sin(3*tt)
+		if tt >= 0.5 {
+			o += 3e-3
+		}
+		return o
+	}
+	feed(full, 0, 1.0, f)
+	feed(dec, 0, 1.0, f)
+	fr, dr := full.Report(), dec.Report()
+	if dr.Ranks[0].Samples*4 > fr.Ranks[0].Samples+4 {
+		t.Errorf("decimated samples %d vs full %d", dr.Ranks[0].Samples, fr.Ranks[0].Samples)
+	}
+	if len(dr.Ranks[0].Breaks) != 1 || dr.Ranks[0].Breaks[0].Kind != fingerprint.KindStep {
+		t.Errorf("decimated tracker breaks = %+v, want one step", dr.Ranks[0].Breaks)
+	}
+}
+
+// TestTrackerSealedAndBounds: out-of-range adds are ignored, Report
+// seals the tracker, and a second Report returns the same content.
+func TestTrackerSealedAndBounds(t *testing.T) {
+	tr := fingerprint.NewTracker(2, fingerprint.Options{})
+	tr.Add(-1, 0, 0)
+	tr.Add(2, 0, 0)
+	feed(tr, 0, 0.1, func(float64) float64 { return 1e-5 })
+	rep1 := tr.Report()
+	tr.Add(0, 99, 99) // sealed: ignored
+	rep2 := tr.Report()
+	if rep1.Ranks[0].Samples != rep2.Ranks[0].Samples {
+		t.Error("Report after sealing changed the sample count")
+	}
+	if rep1.Ranks[1].Samples != 0 || len(rep1.Ranks[1].Segments) != 0 {
+		t.Error("untouched rank not empty")
+	}
+	if _, ok := rep1.Ranks[1].Dominant(); ok {
+		t.Error("empty rank reports a dominant segment")
+	}
+}
+
+// TestTrackerEmptyReport: zero ranks and empty ranks stay well-formed.
+func TestTrackerEmptyReport(t *testing.T) {
+	rep := fingerprint.NewTracker(0, fingerprint.Options{}).Report()
+	if len(rep.Ranks) != 0 || rep.Breaks() != 0 || rep.Anomalous() != nil {
+		t.Errorf("empty report not empty: %+v", rep)
+	}
+	if _, _, err := rep.AutoCorrection(); err == nil {
+		t.Error("AutoCorrection on an empty report must fail")
+	}
+}
+
+func TestOptionsNormalize(t *testing.T) {
+	o := fingerprint.Options{}.Normalize()
+	if o.SampleEvery != 1 || o.MinSegment != 64 || o.Confirm != 4 {
+		t.Errorf("defaults wrong: %+v", o)
+	}
+	if o.ResidK != 12 || o.MinResid != 1e-5 || o.JumpTol != 5e-5 {
+		t.Errorf("threshold defaults wrong: %+v", o)
+	}
+	// explicit values survive
+	o2 := fingerprint.Options{Confirm: 7, MinResid: 1e-4}.Normalize()
+	if o2.Confirm != 7 || o2.MinResid != 1e-4 {
+		t.Errorf("explicit options clobbered: %+v", o2)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	wants := map[fingerprint.Kind]string{
+		fingerprint.KindUnknown:  "unknown",
+		fingerprint.KindStep:     "step",
+		fingerprint.KindFreqJump: "freq-jump",
+		fingerprint.KindReset:    "reset",
+	}
+	for k, w := range wants {
+		if k.String() != w {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), w)
+		}
+	}
+}
+
+// TestWriteText: the CLI rendering carries the headline counts, flags
+// anomalous ranks, and never emits NaN/Inf.
+func TestWriteText(t *testing.T) {
+	tr := fingerprint.NewTracker(2, fingerprint.Options{})
+	feed(tr, 0, 0.5, func(float64) float64 { return 0 })
+	// drift plus sinusoidal jitter on both sides: a stepped clock keeps
+	// its signature (zero drift AND zero jitter after the break would
+	// legitimately read as a reset)
+	feed(tr, 1, 0.5, func(tt float64) float64 {
+		o := 1e-5*tt + 1e-6*math.Sin(2*tt)
+		if tt >= 0.25 {
+			o += 4e-3
+		}
+		return o
+	})
+	rep := tr.Report()
+	var sb strings.Builder
+	if err := rep.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"2 ranks", "1 breaks", "1 anomalous", "step@t=", "   1!"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	for _, bad := range []string{"NaN", "Inf"} {
+		if strings.Contains(out, bad) {
+			t.Errorf("report contains %s:\n%s", bad, out)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package fingerprint
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteText renders the report as the CLI table cmd/tracestat and
+// cmd/tracesync print under -fingerprint: one row per rank with its
+// dominant drift rate, jitter signature, stability, and a break list.
+// All quantities are plain %g/%f renderings of finite floats (the
+// tracker never produces NaN or Inf), so the table is byte-identical
+// whenever the reports are.
+func (r *Report) WriteText(w io.Writer) error {
+	anom := r.Anomalous()
+	if _, err := fmt.Fprintf(w, "drift fingerprint: %d ranks, %d breaks, %d anomalous\n",
+		len(r.Ranks), r.Breaks(), len(anom)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%5s %12s %12s %9s %5s  %s\n",
+		"rank", "drift(ppm)", "jitter(s)", "stability", "segs", "breaks"); err != nil {
+		return err
+	}
+	for i := range r.Ranks {
+		rk := &r.Ranks[i]
+		flag := " "
+		if rk.Anomalous {
+			flag = "!"
+		}
+		if _, err := fmt.Fprintf(w, "%4d%s %+12.3f %12.3e %9.3f %5d  %s\n",
+			rk.Rank, flag, rk.DriftPPM, rk.JitterRMS, rk.Stability,
+			len(rk.Segments), breakList(rk.Breaks)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// breakList renders a rank's breaks compactly: kind@t=...s(Δ=...).
+func breakList(bs []Break) string {
+	if len(bs) == 0 {
+		return "-"
+	}
+	s := ""
+	for i, b := range bs {
+		if i > 0 {
+			s += " "
+		}
+		mag := b.Jump
+		if b.Kind == KindFreqJump {
+			mag = b.DriftChange
+		}
+		s += fmt.Sprintf("%s@t=%.4gs(Δ=%+.3g)", b.Kind, b.At, mag)
+	}
+	return s
+}

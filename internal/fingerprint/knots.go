@@ -1,0 +1,122 @@
+package fingerprint
+
+import (
+	"fmt"
+
+	"tsync/internal/interp"
+	"tsync/internal/stats"
+)
+
+// Knots returns the auto-placed interpolation knots for one rank: the
+// local-clock reading at the start of every post-break segment. A rank
+// a single affine model explains has no knots.
+func (r *Report) Knots(rank int) []float64 {
+	if rank < 0 || rank >= len(r.Ranks) {
+		return nil
+	}
+	segs := r.Ranks[rank].Segments
+	if len(segs) < 2 {
+		return nil
+	}
+	out := make([]float64, 0, len(segs)-1)
+	for _, s := range segs[1:] {
+		out = append(out, s.StartLocal)
+	}
+	return out
+}
+
+// AutoCorrection builds a piecewise-affine interp correction from the
+// fingerprint: each rank's segments become pieces whose knots sit at
+// the detected breaks, mapping the rank's local clock onto the master
+// time base — rank 0's dominant-segment clock model, extrapolated over
+// the whole run. Within segment s of rank r the local clock reads
+// c = t + o_r(t), so local time inverts to t(c) = (c − A_r)/(1 + b_r)
+// with A_r the segment's absolute offset intercept and b_r its drift;
+// composing with the master model c_0(t) = (1 + b_0)·t + A_0 gives one
+// affine piece per segment. Rank 0 is handled by the same composition:
+// its dominant segment maps to itself with slope exactly 1 and
+// intercept exactly 0, and its *other* segments (a faulted master) are
+// repaired onto its own dominant model.
+//
+// A reset rewinds the local clock, breaking the increasing-knot
+// invariant piecewise corrections need; such ranks degrade to their
+// dominant segment's single affine piece and are returned in degraded.
+// The error is non-nil only when no master model exists (rank 0
+// produced no segments).
+func (r *Report) AutoCorrection() (corr *interp.Correction, degraded []int, err error) {
+	if len(r.Ranks) == 0 {
+		return nil, nil, fmt.Errorf("fingerprint: report covers no ranks")
+	}
+	master, ok := r.Ranks[0].Dominant()
+	if !ok {
+		return nil, nil, fmt.Errorf("fingerprint: rank 0 has no fitted segment to define the master time base")
+	}
+	b0 := master.Drift
+	a0 := master.RefOffset - b0*master.RefT // c_0(t) = (1+b0)·t + a0
+	knots := make([][]float64, len(r.Ranks))
+	lines := make([][]stats.Line, len(r.Ranks))
+	for i := range r.Ranks {
+		segs := usable(r.Ranks[i].Segments)
+		if len(segs) == 0 {
+			// Nothing to fit (an empty or placeholder rank): leave the
+			// clock alone.
+			knots[i] = []float64{0}
+			lines[i] = []stats.Line{{Slope: 1}}
+			degraded = append(degraded, i)
+			continue
+		}
+		if !nonOverlapping(segs) {
+			dom, _ := r.Ranks[i].Dominant()
+			knots[i] = []float64{dom.StartLocal}
+			lines[i] = []stats.Line{composePiece(dom, b0, a0)}
+			degraded = append(degraded, i)
+			continue
+		}
+		ks := make([]float64, len(segs))
+		ls := make([]stats.Line, len(segs))
+		for j, s := range segs {
+			ks[j] = s.StartLocal
+			ls[j] = composePiece(s, b0, a0)
+		}
+		knots[i] = ks
+		lines[i] = ls
+	}
+	corr, err = interp.FromRankPieces(knots, lines)
+	return corr, degraded, err
+}
+
+// usable filters out segments too thin to carry a slope (fewer than two
+// samples never happens for post-break segments, but a rank with a
+// single event produces one).
+func usable(segs []Segment) []Segment {
+	out := segs[:0:0]
+	for _, s := range segs {
+		if s.N >= 2 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// nonOverlapping reports whether the segments occupy strictly
+// increasing, disjoint local-time intervals — the invariant a piecewise
+// correction needs. A reset that rewinds the clock violates it even
+// when the post-reset start happens to exceed the pre-reset *start*:
+// what matters is that each segment begins after the previous one
+// ended, or its piece would shadow the earlier one.
+func nonOverlapping(segs []Segment) bool {
+	for i := 1; i < len(segs); i++ {
+		if segs[i].StartLocal <= segs[i-1].EndLocal {
+			return false
+		}
+	}
+	return true
+}
+
+// composePiece maps one segment's local clock onto the master model
+// c_0(t) = (1+b0)·t + a0.
+func composePiece(s Segment, b0, a0 float64) stats.Line {
+	ar := s.RefOffset - s.Drift*s.RefT // c_r(t) = (1+b_r)·t + ar
+	slope := (1 + b0) / (1 + s.Drift)
+	return stats.Line{Slope: slope, Intercept: a0 - ar*slope}
+}

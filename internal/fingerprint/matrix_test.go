@@ -1,0 +1,277 @@
+package fingerprint_test
+
+// The seeded classification-accuracy matrix: for every fault kind ×
+// magnitude × position combination, a synthetic trace is distorted via
+// faultinject.SynthSpec.DistortClock, fingerprinted through the
+// streaming source, and the detected break must carry the right kind
+// within a bounded localization error. The acceptance bar is >=95%
+// correct classification over the whole matrix with zero false breaks
+// on the undistorted ranks.
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"tsync/internal/faultinject"
+	"tsync/internal/fingerprint"
+	"tsync/internal/stream"
+	"tsync/internal/trace"
+	"tsync/internal/xrand"
+)
+
+const matrixSeed = 0xf19e4b7
+
+// matrixSpec is the workload under every matrix cell: 4 ranks, 1.5 s of
+// oracle time, 4 events per rank per millisecond.
+func matrixSpec(seed uint64, faults []faultinject.ClockFault) stream.SynthSpec {
+	return stream.SynthSpec{
+		Ranks:        4,
+		Steps:        1500,
+		Seed:         seed,
+		DistortClock: faultinject.Distort(faults),
+	}
+}
+
+// fingerprintSynth renders the spec to memory and fingerprints it
+// through a streaming source.
+func fingerprintSynth(t *testing.T, spec stream.SynthSpec, fpo fingerprint.Options) *fingerprint.Report {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, _, err := stream.Synth(spec, &buf); err != nil {
+		t.Fatalf("Synth: %v", err)
+	}
+	src, err := stream.NewSource(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("NewSource: %v", err)
+	}
+	rep, _, err := stream.Fingerprint(src, stream.Options{}, fpo)
+	if err != nil {
+		t.Fatalf("Fingerprint: %v", err)
+	}
+	return rep
+}
+
+type matrixCase struct {
+	name  string
+	kind  faultinject.ClockFaultKind
+	want  fingerprint.Kind
+	delta float64
+	// atBound is the acceptable |detected - injected| localization
+	// error in oracle seconds.
+	atBound float64
+}
+
+// TestClassificationMatrix drives the acceptance criterion: >=95%
+// correct fault-kind classification with bounded localization error
+// across kind × magnitude × position, and no phantom breaks on clean
+// ranks.
+func TestClassificationMatrix(t *testing.T) {
+	const span = 1.5
+	positions := []float64{0.25, 0.5, 0.8}
+	var cases []matrixCase
+	// Steps: abrupt offset discontinuities, detected at the very next
+	// sample (250 µs spacing); 5 ms is generous.
+	for _, d := range []float64{1e-4, -1e-3, 1e-2} {
+		cases = append(cases, matrixCase{
+			name: "step", kind: faultinject.Step, want: fingerprint.KindStep,
+			delta: d, atBound: 5e-3,
+		})
+	}
+	// Frequency jumps diverge gradually: confirmation lags by roughly
+	// threshold/|delta| and the line-intersection refinement recovers
+	// most of it; 0.2 s bounds the residual lag for the smallest delta.
+	for _, d := range []float64{2e-4, -8e-4, 3e-3} {
+		cases = append(cases, matrixCase{
+			name: "freq", kind: faultinject.FreqJump, want: fingerprint.KindFreqJump,
+			delta: d, atBound: 0.2,
+		})
+	}
+	// Resets restart the clock at Delta; the discontinuity is of order
+	// the elapsed time, far beyond any step fault.
+	for _, d := range []float64{0, 0.25, 1.0} {
+		cases = append(cases, matrixCase{
+			name: "reset", kind: faultinject.Reset, want: fingerprint.KindReset,
+			delta: d, atBound: 5e-3,
+		})
+	}
+
+	total, correct := 0, 0
+	for ci, mc := range cases {
+		for pi, pos := range positions {
+			total++
+			at := pos * span
+			faults := []faultinject.ClockFault{{Rank: 2, Kind: mc.kind, At: at, Delta: mc.delta}}
+			spec := matrixSpec(xrand.SeedAt(matrixSeed, uint64(ci*8+pi)), faults)
+			rep := fingerprintSynth(t, spec, fingerprint.Options{})
+
+			// undistorted ranks must stay break-free and unflagged
+			for _, r := range []int{0, 1, 3} {
+				if n := len(rep.Ranks[r].Breaks); n != 0 {
+					t.Errorf("%s Δ=%g @%g: clean rank %d got %d phantom breaks", mc.name, mc.delta, pos, r, n)
+				}
+				if rep.Ranks[r].Anomalous {
+					t.Errorf("%s Δ=%g @%g: clean rank %d flagged anomalous", mc.name, mc.delta, pos, r)
+				}
+			}
+
+			rk := rep.Ranks[2]
+			if len(rk.Breaks) != 1 {
+				t.Logf("%s Δ=%g @%g: got %d breaks on faulted rank, want 1", mc.name, mc.delta, pos, len(rk.Breaks))
+				continue
+			}
+			if !rk.Anomalous {
+				t.Errorf("%s Δ=%g @%g: faulted rank not flagged anomalous", mc.name, mc.delta, pos)
+			}
+			b := rk.Breaks[0]
+			if err := math.Abs(b.At - at); err > mc.atBound {
+				t.Errorf("%s Δ=%g @%g: localized at %g, injected %g (err %g > bound %g)",
+					mc.name, mc.delta, pos, b.At, at, err, mc.atBound)
+			}
+			if b.Kind == mc.want {
+				correct++
+			} else {
+				t.Logf("%s Δ=%g @%g: classified %v, want %v (jump %g, dslope %g)",
+					mc.name, mc.delta, pos, b.Kind, mc.want, b.Jump, b.DriftChange)
+			}
+		}
+	}
+	acc := float64(correct) / float64(total)
+	t.Logf("classification accuracy: %d/%d = %.1f%%", correct, total, 100*acc)
+	if acc < 0.95 {
+		t.Errorf("classification accuracy %.1f%% below the 95%% acceptance bar", 100*acc)
+	}
+}
+
+// TestCleanTraceNoBreaks: without faults, every rank must fingerprint
+// as a single stable segment — drift within the synth model's ±50 ppm,
+// full stability, nothing anomalous.
+func TestCleanTraceNoBreaks(t *testing.T) {
+	rep := fingerprintSynth(t, matrixSpec(xrand.SeedAt(matrixSeed, 99), nil), fingerprint.Options{})
+	for _, rk := range rep.Ranks {
+		if len(rk.Breaks) != 0 || len(rk.Segments) != 1 {
+			t.Errorf("rank %d: %d breaks, %d segments on a clean trace", rk.Rank, len(rk.Breaks), len(rk.Segments))
+		}
+		if rk.Anomalous {
+			t.Errorf("rank %d flagged anomalous on a clean trace", rk.Rank)
+		}
+		if math.Abs(rk.DriftPPM) > 60 {
+			t.Errorf("rank %d drift %.1f ppm outside the synth model's range", rk.Rank, rk.DriftPPM)
+		}
+		if rk.Stability != 1 {
+			t.Errorf("rank %d stability %v, want 1", rk.Rank, rk.Stability)
+		}
+	}
+	if rep.Ranks[0].JitterRMS > 1e-9 {
+		t.Errorf("identity-clock rank 0 has jitter %g", rep.Ranks[0].JitterRMS)
+	}
+}
+
+// TestCompositeFaults: one fault per rank in a single trace, all
+// diagnosed independently.
+func TestCompositeFaults(t *testing.T) {
+	faults := []faultinject.ClockFault{
+		{Rank: 1, Kind: faultinject.Step, At: 0.4, Delta: 5e-4},
+		{Rank: 2, Kind: faultinject.FreqJump, At: 0.6, Delta: 1e-3},
+		{Rank: 3, Kind: faultinject.Reset, At: 0.9, Delta: 0.5},
+	}
+	rep := fingerprintSynth(t, matrixSpec(xrand.SeedAt(matrixSeed, 100), faults), fingerprint.Options{})
+	wants := map[int]fingerprint.Kind{
+		1: fingerprint.KindStep,
+		2: fingerprint.KindFreqJump,
+		3: fingerprint.KindReset,
+	}
+	if len(rep.Ranks[0].Breaks) != 0 {
+		t.Errorf("rank 0 got phantom breaks: %+v", rep.Ranks[0].Breaks)
+	}
+	for r := 1; r <= 3; r++ {
+		rk := rep.Ranks[r]
+		if len(rk.Breaks) != 1 {
+			t.Fatalf("rank %d: got %d breaks, want 1", r, len(rk.Breaks))
+		}
+		if rk.Breaks[0].Kind != wants[r] {
+			t.Errorf("rank %d classified %v, want %v", r, rk.Breaks[0].Kind, wants[r])
+		}
+		if rk.Stability >= 1 || rk.Stability <= 0 {
+			t.Errorf("rank %d stability %v, want in (0,1) for a broken clock", r, rk.Stability)
+		}
+	}
+	if got := rep.Anomalous(); len(got) != 3 {
+		t.Errorf("Anomalous() = %v, want ranks 1..3", got)
+	}
+	if rep.Breaks() != 3 {
+		t.Errorf("Breaks() = %d, want 3", rep.Breaks())
+	}
+}
+
+// TestAutoKnots: the auto-placed correction must put rank knots at the
+// detected breaks and map local clocks back onto the master base. For
+// a stepped clock the corrected time must track oracle time on both
+// sides of the break (the single-line alternative cannot).
+func TestAutoKnots(t *testing.T) {
+	const at, delta = 0.6, 2e-3
+	faults := []faultinject.ClockFault{{Rank: 2, Kind: faultinject.Step, At: at, Delta: delta}}
+	spec := matrixSpec(xrand.SeedAt(matrixSeed, 101), faults)
+	rep := fingerprintSynth(t, spec, fingerprint.Options{})
+
+	knots := rep.Knots(2)
+	if len(knots) != 1 {
+		t.Fatalf("rank 2 knots = %v, want exactly one at the break", knots)
+	}
+	if rep.Knots(0) != nil {
+		t.Errorf("rank 0 has knots %v on a clean clock", rep.Knots(0))
+	}
+
+	corr, degraded, err := rep.AutoCorrection()
+	if err != nil {
+		t.Fatalf("AutoCorrection: %v", err)
+	}
+	if len(degraded) != 0 {
+		t.Errorf("unexpected degraded ranks %v (no resets injected)", degraded)
+	}
+	if corr.Ranks() != 4 {
+		t.Fatalf("correction covers %d ranks, want 4", corr.Ranks())
+	}
+
+	// Rebuild the faulted clock and verify correction quality on both
+	// sides of the break: corrected local time must track oracle time
+	// to sub-threshold error (rank 0 is the identity master).
+	var buf bytes.Buffer
+	if _, _, err := stream.Synth(spec, &buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := trace.Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst float64
+	for _, ev := range f.Procs[2].Events {
+		if math.Abs(ev.True-at) < 0.05 {
+			continue // the knot region itself is transitional
+		}
+		if e := math.Abs(corr.Map(2, ev.Time) - ev.True); e > worst {
+			worst = e
+		}
+	}
+	if worst > 1e-4 {
+		t.Errorf("auto-knot correction worst error %g s, want < 1e-4", worst)
+	}
+}
+
+// TestAutoKnotsResetDegrades: a reset rewinds the local clock, so its
+// rank cannot host increasing knots; the correction must degrade that
+// rank to a single piece and report it, not fail or emit garbage.
+func TestAutoKnotsResetDegrades(t *testing.T) {
+	faults := []faultinject.ClockFault{{Rank: 1, Kind: faultinject.Reset, At: 0.75, Delta: 0}}
+	rep := fingerprintSynth(t, matrixSpec(xrand.SeedAt(matrixSeed, 102), faults), fingerprint.Options{})
+	corr, degraded, err := rep.AutoCorrection()
+	if err != nil {
+		t.Fatalf("AutoCorrection: %v", err)
+	}
+	if len(degraded) != 1 || degraded[0] != 1 {
+		t.Errorf("degraded = %v, want [1]", degraded)
+	}
+	if got := corr.Map(1, 0.1); math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Errorf("degraded rank maps to %v", got)
+	}
+}

@@ -266,6 +266,37 @@ func FromPiecewiseLines(knots []float64, perRank [][]stats.Line) (*Correction, e
 	return c, nil
 }
 
+// FromRankPieces builds a piecewise correction whose knots differ per
+// rank: knots[r] are rank r's breakpoints (in local time, strictly
+// increasing) and lines[r] the affine map of each piece. It is the
+// constructor behind fingerprint knot auto-placement, where each rank's
+// change points land at different clock readings — unlike
+// FromPiecewiseLines, which shares one knot vector across ranks.
+func FromRankPieces(knots [][]float64, lines [][]stats.Line) (*Correction, error) {
+	if len(knots) != len(lines) {
+		return nil, fmt.Errorf("interp: %d knot vectors for %d line vectors", len(knots), len(lines))
+	}
+	c := &Correction{perRank: make([]pieces, len(knots))}
+	for r := range knots {
+		if len(knots[r]) == 0 {
+			return nil, fmt.Errorf("interp: rank %d has no pieces", r)
+		}
+		if len(knots[r]) != len(lines[r]) {
+			return nil, fmt.Errorf("interp: rank %d has %d lines for %d knots", r, len(lines[r]), len(knots[r]))
+		}
+		for i := 1; i < len(knots[r]); i++ {
+			if knots[r][i] <= knots[r][i-1] {
+				return nil, fmt.Errorf("interp: rank %d knots not increasing at %d", r, i)
+			}
+		}
+		c.perRank[r] = pieces{
+			knots: append([]float64(nil), knots[r]...),
+			lines: append([]stats.Line(nil), lines[r]...),
+		}
+	}
+	return c, nil
+}
+
 // Identity returns a no-op correction for n ranks (the "no correction"
 // baseline).
 func Identity(n int) *Correction {

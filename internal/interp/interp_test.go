@@ -276,3 +276,56 @@ func TestCorrectionEmptyRankMapsIdentity(t *testing.T) {
 		t.Fatalf("empty pieces Map = %v", got)
 	}
 }
+
+// TestFromRankPieces: the prebuilt-pieces constructor (used by the
+// fingerprint auto-knot path) validates shape and knot order, copies its
+// inputs, and evaluates each piece over its half-open interval.
+func TestFromRankPieces(t *testing.T) {
+	knots := [][]float64{
+		{0},
+		{0, 10},
+	}
+	lines := [][]stats.Line{
+		{{Slope: 1}},
+		{{Slope: 1, Intercept: 2}, {Slope: 2, Intercept: -8}},
+	}
+	c, err := FromRankPieces(knots, lines)
+	if err != nil {
+		t.Fatalf("FromRankPieces: %v", err)
+	}
+	if c.Ranks() != 2 {
+		t.Fatalf("Ranks() = %d, want 2", c.Ranks())
+	}
+	if got := c.Map(0, 5); got != 5 { //tsync:exact — identity piece: 1*5+0 is exact
+		t.Errorf("rank 0 Map(5) = %v, want 5", got)
+	}
+	if got := c.Map(1, 5); got != 7 { //tsync:exact — 1*5+2 is exact in binary64
+		t.Errorf("rank 1 Map(5) = %v, want 7 (first piece)", got)
+	}
+	if got := c.Map(1, 12); got != 16 { //tsync:exact — 2*12-8 is exact in binary64
+		t.Errorf("rank 1 Map(12) = %v, want 16 (second piece)", got)
+	}
+	// the constructor must have copied: mutating the caller's slices
+	// cannot change the correction
+	knots[1][1] = 3
+	lines[1][1] = stats.Line{}
+	if got := c.Map(1, 12); got != 16 { //tsync:exact — same piece as above, post-mutation
+		t.Errorf("rank 1 Map(12) after caller mutation = %v, want 16", got)
+	}
+
+	bad := []struct {
+		name  string
+		knots [][]float64
+		lines [][]stats.Line
+	}{
+		{"length mismatch", [][]float64{{0}}, nil},
+		{"empty rank", [][]float64{{}}, [][]stats.Line{{}}},
+		{"ragged rank", [][]float64{{0, 1}}, [][]stats.Line{{{Slope: 1}}}},
+		{"non-increasing knots", [][]float64{{0, 0}}, [][]stats.Line{{{Slope: 1}, {Slope: 1}}}},
+	}
+	for _, b := range bad {
+		if _, err := FromRankPieces(b.knots, b.lines); err == nil {
+			t.Errorf("%s: no error", b.name)
+		}
+	}
+}

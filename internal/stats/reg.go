@@ -1,0 +1,133 @@
+package stats
+
+import "math"
+
+// OnlineReg is a streaming simple-linear-regression accumulator
+// (y = a*x + b) built for timestamp-scale inputs: both coordinates are
+// anchored at the first sample and the centered second moments are
+// updated Welford-style, so neither the 1e15 ns magnitude of raw clock
+// readings nor long streams degrade the fit. It is the regression
+// counterpart of Online and the substrate of the per-rank drift
+// fingerprints (internal/fingerprint).
+//
+// The zero value is ready to use. An OnlineReg is a plain value: copying
+// it snapshots the fit (the fingerprint change-point detector freezes
+// pre-break fits exactly this way).
+type OnlineReg struct {
+	n      int
+	x0, y0 float64 // anchors: the first sample
+	mx, my float64 // means of (x-x0), (y-y0)
+	sxx    float64 // Σ(dx)² about the running mean
+	sxy    float64 // Σ(dx)(dy)
+	syy    float64 // Σ(dy)² — for residual variance
+}
+
+// Add incorporates one (x, y) sample.
+func (r *OnlineReg) Add(x, y float64) {
+	if r.n == 0 {
+		r.x0, r.y0 = x, y
+	}
+	x -= r.x0
+	y -= r.y0
+	r.n++
+	dx := x - r.mx
+	dy := y - r.my
+	r.mx += dx / float64(r.n)
+	r.my += dy / float64(r.n)
+	dx2 := x - r.mx
+	r.sxx += dx * dx2
+	r.sxy += dx * (y - r.my)
+	r.syy += dy * (y - r.my)
+}
+
+// N returns the number of samples seen.
+func (r *OnlineReg) N() int { return r.n }
+
+// MeanX returns the mean of the x samples (0 if none).
+func (r *OnlineReg) MeanX() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.x0 + r.mx
+}
+
+// MeanY returns the mean of the y samples (0 if none).
+func (r *OnlineReg) MeanY() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.y0 + r.my
+}
+
+// Slope returns the fitted slope, or 0 while the fit is degenerate
+// (fewer than two samples, or all x coincide).
+func (r *OnlineReg) Slope() float64 {
+	if r.n < 2 || r.sxx == 0 {
+		return 0
+	}
+	return r.sxy / r.sxx
+}
+
+// Line returns the fitted line in absolute coordinates. The intercept
+// is reconstructed from the mean point, which the fitted line always
+// passes through; at large anchors the absolute intercept intrinsically
+// carries slope·x0 cancellation, so callers that can should evaluate
+// via Predict instead.
+func (r *OnlineReg) Line() Line {
+	s := r.Slope()
+	return Line{Slope: s, Intercept: r.MeanY() - s*r.MeanX()}
+}
+
+// Predict evaluates the fitted line at x in anchored arithmetic: the
+// prediction is formed around the mean point, never materializing an
+// absolute intercept, so it stays exact at timestamp magnitudes.
+// With fewer than two samples it returns y0 (the only evidence seen).
+func (r *OnlineReg) Predict(x float64) float64 {
+	return r.y0 + r.my + r.Slope()*((x-r.x0)-r.mx)
+}
+
+// ResidualVariance returns the unbiased variance of the fit residuals
+// (n-2 denominator), 0 while fewer than three samples make it
+// undefined. Rounding can drive the numerator a hair negative on an
+// exact fit; it is clamped to 0.
+func (r *OnlineReg) ResidualVariance() float64 {
+	if r.n < 3 || r.sxx == 0 {
+		return 0
+	}
+	v := (r.syy - r.sxy*r.sxy/r.sxx) / float64(r.n-2)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// ResidualStdDev returns the unbiased standard deviation of the fit
+// residuals.
+func (r *OnlineReg) ResidualStdDev() float64 { return math.Sqrt(r.ResidualVariance()) }
+
+// Merge combines another accumulator into r (parallel Welford merge on
+// the centered moments, which are invariant under the anchor shift), so
+// per-shard fits can be reduced across workers.
+func (r *OnlineReg) Merge(o *OnlineReg) {
+	if o.n == 0 {
+		return
+	}
+	if r.n == 0 {
+		*r = *o
+		return
+	}
+	// Re-express o's means in r's anchor frame; the centered moments are
+	// shift-invariant and merge as-is.
+	omx := (o.x0 + o.mx) - r.x0
+	omy := (o.y0 + o.my) - r.y0
+	n := r.n + o.n
+	fn, fr, fo := float64(n), float64(r.n), float64(o.n)
+	dx := omx - r.mx
+	dy := omy - r.my
+	r.sxx += o.sxx + dx*dx*fr*fo/fn
+	r.sxy += o.sxy + dx*dy*fr*fo/fn
+	r.syy += o.syy + dy*dy*fr*fo/fn
+	r.mx += dx * fo / fn
+	r.my += dy * fo / fn
+	r.n = n
+}

@@ -1,0 +1,268 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// relErr is the relative error of got against a nonzero want.
+func relErr(got, want float64) float64 {
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// largeXs builds timestamp-magnitude samples near 1e15 ns whose offsets
+// from the anchor are exactly representable (1e15 has ulp 0.125), so an
+// exact reference can be computed in anchored arithmetic.
+func largeXs(n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 1e15 + 0.25*float64(i%5)
+	}
+	return xs
+}
+
+// TestVarianceLargeMagnitude is the satellite regression test: at 1e15
+// ns the naive Σx²−(Σx)²/n variance loses every significant bit, and
+// even a centered two-pass around a naively summed mean carries an
+// n·δ² bias. The anchored form must agree with the exact reference.
+func TestVarianceLargeMagnitude(t *testing.T) {
+	xs := largeXs(1000)
+	// exact reference, computed at small magnitude
+	small := make([]float64, len(xs))
+	for i := range xs {
+		small[i] = xs[i] - 1e15 // exact: both representable on the 0.25 grid
+	}
+	m := 0.0
+	for _, x := range small {
+		m += x
+	}
+	m /= float64(len(small))
+	want := 0.0
+	for _, x := range small {
+		want += (x - m) * (x - m)
+	}
+	want /= float64(len(small) - 1)
+
+	if got := Variance(xs); relErr(got, want) > 1e-12 {
+		t.Errorf("Variance at 1e15 = %v, want %v (rel err %v)", got, want, relErr(got, want))
+	}
+	if got := Variance(small); relErr(got, want) > 1e-12 {
+		t.Errorf("Variance at small magnitude = %v, want %v", got, want)
+	}
+
+	// Demonstrate that the naive sum-of-squares form this test guards
+	// against is hopeless here: Σx² ≈ 1e33 has ulp ≈ 1.3e17, ten orders
+	// of magnitude above the whole signal.
+	var sum, sum2 float64
+	for _, x := range xs {
+		sum += x
+		sum2 += x * x
+	}
+	n := float64(len(xs))
+	naive := (sum2 - sum*sum/n) / (n - 1)
+	if relErr(naive, want) < 1e-3 {
+		t.Errorf("naive variance unexpectedly accurate (%v vs %v) — regression test is not exercising the failure mode", naive, want)
+	}
+}
+
+// TestLeastSquaresLargeMagnitude pins the anchored-mean fix: a fit over
+// x near 1e15 must recover the same slope as the identical data at
+// small magnitude.
+func TestLeastSquaresLargeMagnitude(t *testing.T) {
+	const slope, intercept = 3e-5, 2.5
+	n := 2000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	sxs := make([]float64, n)
+	for i := range xs {
+		dx := 0.25 * float64(i)
+		xs[i] = 1e15 + dx
+		sxs[i] = dx
+		// deterministic sub-ns jitter so the fit is not exact
+		ys[i] = intercept + slope*dx + 1e-7*math.Sin(float64(i))
+	}
+	ref, err := LeastSquares(sxs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := LeastSquares(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(got.Slope, ref.Slope) > 1e-9 {
+		t.Errorf("slope at 1e15 = %v, want %v", got.Slope, ref.Slope)
+	}
+	// The fitted line must pass through the sample means. Evaluating a
+	// Line at x = 1e15 re-incurs the slope·x cancellation its absolute
+	// intercept carries (~µs of rounding at these magnitudes — which is
+	// exactly why OnlineReg.Predict exists), so the check tolerance is
+	// µs-scale, not ns-scale.
+	mx := anchoredMean(xs)
+	my := anchoredMean(ys)
+	if !ApproxEqual(got.At(mx), my, 1e-5) {
+		t.Errorf("fit at mean x: got %v, want %v", got.At(mx), my)
+	}
+}
+
+// TestOnlineRegMatchesBatch: the streaming fit must agree with the
+// batch LeastSquares on the same data, at both magnitudes.
+func TestOnlineRegMatchesBatch(t *testing.T) {
+	for _, anchor := range []float64{0, 1e15} {
+		n := 500
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		var r OnlineReg
+		for i := range xs {
+			dx := 0.25 * float64(i)
+			xs[i] = anchor + dx
+			ys[i] = 1.5 - 2e-5*dx + 1e-6*math.Sin(0.1*float64(i))
+			r.Add(xs[i], ys[i])
+		}
+		batch, err := LeastSquares(xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if relErr(r.Slope(), batch.Slope) > 1e-9 {
+			t.Errorf("anchor %g: online slope %v, batch %v", anchor, r.Slope(), batch.Slope)
+		}
+		if r.N() != n {
+			t.Errorf("N = %d, want %d", r.N(), n)
+		}
+		// Residual variance against a direct two-pass computation.
+		// The reference evaluates the batch line in anchored form
+		// (slope·(x−mx)+my): Line.At at x = 1e15 would re-incur the
+		// absolute-intercept cancellation and pollute the reference —
+		// the failure mode under test, not a property of OnlineReg.
+		mx := anchoredMean(xs)
+		my := anchoredMean(ys)
+		want := 0.0
+		for i := range xs {
+			d := ys[i] - (my + batch.Slope*(xs[i]-mx))
+			want += d * d
+		}
+		want /= float64(n - 2)
+		if relErr(r.ResidualVariance(), want) > 1e-6 {
+			t.Errorf("anchor %g: residual variance %v, want %v", anchor, r.ResidualVariance(), want)
+		}
+		// Predict agrees with the anchored batch-line evaluation
+		at := anchor + 30.0
+		if !ApproxEqual(r.Predict(at), my+batch.Slope*(at-mx), 1e-9) {
+			t.Errorf("anchor %g: Predict(%v) = %v, batch %v", anchor, at, r.Predict(at), my+batch.Slope*(at-mx))
+		}
+	}
+}
+
+// TestOnlineRegMerge: merging per-shard fits must reproduce the single
+// sequential fit.
+func TestOnlineRegMerge(t *testing.T) {
+	var whole, a, b OnlineReg
+	for i := 0; i < 400; i++ {
+		x := 1e15 + 0.25*float64(i)
+		y := 0.75 + 4e-5*0.25*float64(i) + 1e-6*math.Cos(0.3*float64(i))
+		whole.Add(x, y)
+		if i < 150 {
+			a.Add(x, y)
+		} else {
+			b.Add(x, y)
+		}
+	}
+	a.Merge(&b)
+	if a.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), whole.N())
+	}
+	if relErr(a.Slope(), whole.Slope()) > 1e-9 {
+		t.Errorf("merged slope %v, want %v", a.Slope(), whole.Slope())
+	}
+	if !ApproxEqual(a.MeanY(), whole.MeanY(), 1e-12) {
+		t.Errorf("merged mean y %v, want %v", a.MeanY(), whole.MeanY())
+	}
+	if relErr(a.ResidualVariance(), whole.ResidualVariance()) > 1e-6 {
+		t.Errorf("merged residual variance %v, want %v", a.ResidualVariance(), whole.ResidualVariance())
+	}
+
+	// merging into an empty accumulator copies; merging an empty one is
+	// a no-op
+	var empty OnlineReg
+	empty.Merge(&whole)
+	if empty.N() != whole.N() || empty.Slope() != whole.Slope() {
+		t.Error("merge into empty accumulator did not copy")
+	}
+	before := whole
+	var none OnlineReg
+	whole.Merge(&none)
+	if whole != before {
+		t.Error("merging an empty accumulator changed the fit")
+	}
+}
+
+// TestOnlineRegDegenerate: undefined quantities stay finite and zero.
+func TestOnlineRegDegenerate(t *testing.T) {
+	var r OnlineReg
+	if r.Slope() != 0 || r.ResidualVariance() != 0 || r.MeanX() != 0 || r.MeanY() != 0 {
+		t.Error("zero-value accumulator not all-zero")
+	}
+	r.Add(5, 7)
+	if r.Slope() != 0 {
+		t.Error("slope defined after one sample")
+	}
+	if got := r.Predict(123); got != 7 {
+		t.Errorf("Predict with one sample = %v, want the sample's y", got)
+	}
+	// constant x: degenerate, no NaN
+	r.Add(5, 9)
+	r.Add(5, 11)
+	if s := r.Slope(); s != 0 || math.IsNaN(s) {
+		t.Errorf("constant-x slope = %v, want 0", s)
+	}
+	if v := r.ResidualVariance(); v != 0 || math.IsNaN(v) {
+		t.Errorf("constant-x residual variance = %v, want 0", v)
+	}
+}
+
+// TestOnlineRegLine: the absolute-coordinate line agrees with the
+// anchored prediction at small magnitudes, and the residual stddev is
+// the square root of the residual variance.
+func TestOnlineRegLine(t *testing.T) {
+	var r OnlineReg
+	for i := 0; i < 50; i++ {
+		x := float64(i) * 0.5
+		r.Add(x, 2*x+3+0.01*math.Sin(float64(i)))
+	}
+	l := r.Line()
+	if math.Abs(l.Slope-2) > 1e-2 || math.Abs(l.Intercept-3) > 1e-1 {
+		t.Errorf("Line() = %+v, want ~{2, 3}", l)
+	}
+	if math.Abs(l.At(10)-r.Predict(10)) > 1e-9 {
+		t.Errorf("Line.At(10) = %v, Predict(10) = %v", l.At(10), r.Predict(10))
+	}
+	if math.Abs(r.MeanX()-12.25) > 1e-12 {
+		t.Errorf("MeanX = %v, want 12.25", r.MeanX())
+	}
+	sd := r.ResidualStdDev()
+	if math.Abs(sd*sd-r.ResidualVariance()) > 1e-18 {
+		t.Errorf("ResidualStdDev² = %v, ResidualVariance = %v", sd*sd, r.ResidualVariance())
+	}
+	if sd <= 0 || sd > 0.02 {
+		t.Errorf("ResidualStdDev = %v, want small positive", sd)
+	}
+	// an exact fit clamps residual variance at 0 even if rounding would
+	// drive the numerator negative
+	var exact OnlineReg
+	exact.Add(1, 2)
+	exact.Add(2, 4)
+	exact.Add(3, 6)
+	if v := exact.ResidualVariance(); v != 0 { //tsync:exact — clamp contract: exact fit reports exactly 0
+		t.Errorf("exact-fit residual variance = %v, want 0", v)
+	}
+}
+
+// TestOnlineStdDev: Online's stddev squares back to its variance.
+func TestOnlineStdDev(t *testing.T) {
+	var o Online
+	for _, x := range []float64{1, 2, 3, 4} {
+		o.Add(x)
+	}
+	if d := o.StdDev(); math.Abs(d*d-o.Variance()) > 1e-15 {
+		t.Errorf("StdDev² = %v, Variance = %v", d*d, o.Variance())
+	}
+}

@@ -50,14 +50,32 @@ func Mean(xs []float64) float64 {
 	return sum / float64(len(xs))
 }
 
+// anchoredMean computes the mean of xs relative to xs[0] and adds the
+// anchor back. At timestamp magnitudes (1e15 ns) a naively summed mean
+// loses tens of units to rounding, and a centered second pass built on a
+// mean that is off by δ carries an n·δ² bias — enough to swamp a
+// µs-scale variance entirely. Summing x−x0 keeps every addend at the
+// scale of the data's spread, where the sum is effectively exact.
+func anchoredMean(xs []float64) float64 {
+	x0 := xs[0]
+	sum := 0.0
+	for _, x := range xs {
+		sum += x - x0
+	}
+	return x0 + sum/float64(len(xs))
+}
+
 // Variance returns the unbiased sample variance of xs (n-1 denominator).
-// It returns 0 for fewer than two samples.
+// It returns 0 for fewer than two samples. The mean used for centering
+// is anchored at xs[0] (see anchoredMean): the textbook
+// Σx²−(Σx)²/n form — and even a centered pass around a naively summed
+// mean — collapses on large-magnitude timestamps.
 func Variance(xs []float64) float64 {
 	n := len(xs)
 	if n < 2 {
 		return 0
 	}
-	m := Mean(xs)
+	m := anchoredMean(xs)
 	sum := 0.0
 	for _, x := range xs {
 		d := x - m
@@ -215,7 +233,11 @@ func (l Line) At(x float64) float64 { return l.Slope*x + l.Intercept }
 
 // LeastSquares fits y = a*x + b to the points by ordinary least squares.
 // It returns ErrEmpty if fewer than two points are given and an error if all
-// x values coincide.
+// x values coincide. Both means are anchored at the first sample so the
+// centered moments stay exact on large-magnitude timestamps (a mean off
+// by δ shifts every dx by δ and inflates sxx by n·δ²); for streaming
+// fits over such data see OnlineReg, which additionally anchors the
+// regression itself.
 func LeastSquares(xs, ys []float64) (Line, error) {
 	if len(xs) != len(ys) {
 		return Line{}, errors.New("stats: mismatched sample lengths")
@@ -223,8 +245,8 @@ func LeastSquares(xs, ys []float64) (Line, error) {
 	if len(xs) < 2 {
 		return Line{}, ErrEmpty
 	}
-	mx := Mean(xs)
-	my := Mean(ys)
+	mx := anchoredMean(xs)
+	my := anchoredMean(ys)
 	var sxx, sxy float64
 	for i := range xs {
 		dx := xs[i] - mx

@@ -1,0 +1,51 @@
+package stream_test
+
+// Overhead benchmark for the fingerprint stage: run with
+//   go test ./internal/stream/ -run NONE -bench PipelineFingerprint -benchtime 3x
+// and compare against BenchmarkPipelineBaseline on the same workload.
+
+import (
+	"io"
+	"os"
+	"testing"
+
+	"tsync/internal/fingerprint"
+	"tsync/internal/stream"
+	"tsync/internal/xrand"
+)
+
+func benchPipeline(b *testing.B, fpo *fingerprint.Options) {
+	spec := stream.SynthSpec{Ranks: 4, Steps: 25000, CollEvery: 10, Seed: xrand.SeedAt(fpSeed, 50)}
+	dir := b.TempDir()
+	path := dir + "/bench.etr"
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	init, fin, err := stream.Synth(spec, f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := stream.Pipeline{CLC: true, Fingerprint: fpo}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := os.Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		src, err := stream.NewSource(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Run(src, io.Discard, init, fin); err != nil {
+			b.Fatal(err)
+		}
+		g.Close()
+	}
+}
+
+func BenchmarkPipelineBaseline(b *testing.B)    { benchPipeline(b, nil) }
+func BenchmarkPipelineFingerprint(b *testing.B) { benchPipeline(b, &fingerprint.Options{}) }

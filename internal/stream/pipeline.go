@@ -10,6 +10,7 @@ import (
 	"tsync/internal/analysis"
 	"tsync/internal/clc"
 	"tsync/internal/core"
+	"tsync/internal/fingerprint"
 	"tsync/internal/interp"
 	"tsync/internal/measure"
 	"tsync/internal/runner"
@@ -25,11 +26,21 @@ type Pipeline struct {
 	// Base selects the base correction. The error-estimation bases need
 	// the full trace in memory and return ErrUnsupported.
 	Base core.Base
+	// Correction, when non-nil, overrides Base with a prebuilt
+	// piecewise correction — cmd/tracesync -autoknots builds one from a
+	// fingerprint report so the interpolation knots land on detected
+	// clock breaks.
+	Correction *interp.Correction
 	// CLC enables the controlled logical clock stage.
 	CLC bool
 	// CLCOptions tunes the CLC stage; zero value selects defaults.
 	// SharedMemory and Domains need the in-memory path.
 	CLCOptions clc.Options
+	// Fingerprint, when non-nil, tees the first walk into a per-rank
+	// drift fingerprint tracker (internal/fingerprint) and fills
+	// Result.Fingerprint. The stage observes raw timestamps only: every
+	// other output stays bit-identical to a run without it.
+	Fingerprint *fingerprint.Options
 	// Options tune the streaming engine itself.
 	Options Options
 }
@@ -39,12 +50,19 @@ type Result struct {
 	Before, After analysis.Census
 	CLCReport     clc.Report
 	Distortion    analysis.Distortion
-	Stats         Stats
+	// Fingerprint holds the per-rank drift report when the fingerprint
+	// stage was enabled (nil otherwise).
+	Fingerprint *fingerprint.Report
+	Stats       Stats
 }
 
 // baseMapper builds the base-correction time mapper, or ErrUnsupported
-// for bases that need the full trace.
+// for bases that need the full trace. A prebuilt Correction takes
+// precedence over Base.
 func (p Pipeline) baseMapper(init, fin []measure.Offset) (timeMapper, error) {
+	if p.Correction != nil {
+		return newCorrMapper(p.Correction), nil
+	}
 	switch p.Base {
 	case core.BaseNone, "":
 		return identityMapper{}, nil
@@ -107,6 +125,14 @@ func (p Pipeline) RunContext(ctx context.Context, src *Source, out io.Writer, in
 		res.Stats.Loss = src.Losses()
 	}
 	first := &censusSink{gamma: opts.Gamma}
+	// The fingerprint stage tees into the first walk as a pure
+	// observer; its EdgeData is discarded (the tee keeps the b side's).
+	var fpTracker *fingerprint.Tracker
+	firstSink := sink(first)
+	if p.Fingerprint != nil {
+		fpTracker = fingerprint.NewTracker(src.Ranks(), *p.Fingerprint)
+		firstSink = teeSink{a: &fingerprintSink{tr: fpTracker}, b: first}
+	}
 	var spills *spillSet
 
 	if p.CLC {
@@ -120,7 +146,7 @@ func (p Pipeline) RunContext(ctx context.Context, src *Source, out io.Writer, in
 		if err != nil {
 			return nil, err
 		}
-		if err := walk(ctx, src, mapper, teeSink{a: first, b: clcS}, opt, acct, res.Stats.Loss); err != nil {
+		if err := walk(ctx, src, mapper, teeSink{a: firstSink, b: clcS}, opt, acct, res.Stats.Loss); err != nil {
 			return nil, err
 		}
 		res.CLCReport.ViolationsBefore = first.violations
@@ -138,11 +164,14 @@ func (p Pipeline) RunContext(ctx context.Context, src *Source, out io.Writer, in
 		res.Before = first.raw
 		res.After = second.mapped
 	} else {
-		if err := walk(ctx, src, mapper, first, opt, newAccounting(src.Ranks(), opt, &res.Stats), res.Stats.Loss); err != nil {
+		if err := walk(ctx, src, mapper, firstSink, opt, newAccounting(src.Ranks(), opt, &res.Stats), res.Stats.Loss); err != nil {
 			return nil, err
 		}
 		res.Before = first.raw
 		res.After = first.mapped
+	}
+	if fpTracker != nil {
+		res.Fingerprint = fpTracker.Report()
 	}
 
 	finalMapper := func() (timeMapper, func() error) {

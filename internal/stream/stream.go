@@ -168,6 +168,21 @@ type RankLoss struct {
 	BrokenCollectives int64
 }
 
+// LossPct returns the rank's event loss as a percentage of what the
+// trace should have held — lost plus the retained count the caller
+// observed — and whether that figure is meaningful. When the rank's
+// header was destroyed (Unknown: a placeholder rank with zero retained
+// events and an uncountable loss) or nothing was expected at all, there
+// is no denominator: reports must print "?" rather than the NaN/Inf a
+// naive division would produce, so ok is false and pct is 0.
+func (l RankLoss) LossPct(retained int64) (pct float64, ok bool) {
+	total := retained + l.LostEvents
+	if l.Unknown || total <= 0 {
+		return 0, false
+	}
+	return 100 * float64(l.LostEvents) / float64(total), true
+}
+
 // Any reports whether the record registers any loss at all.
 func (l RankLoss) Any() bool {
 	return l.LostEvents != 0 || l.Unknown || l.SkippedBytes != 0 || l.Incidents != 0 ||

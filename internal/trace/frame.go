@@ -134,6 +134,21 @@ type CorruptionReport struct {
 	UnknownLoss bool
 }
 
+// LossPct returns the pass's countable event loss as a percentage of
+// what the stream should have delivered (lost plus the retained count
+// the caller observed), and whether the figure is meaningful. With
+// UnknownLoss set — a destroyed process header took its declared event
+// count with it — or nothing expected, there is no denominator; ok is
+// false instead of the NaN/Inf a naive division would emit, and the
+// reported LostEvents remain a lower bound only.
+func (r *CorruptionReport) LossPct(retained int64) (pct float64, ok bool) {
+	total := retained + r.LostEvents
+	if r.UnknownLoss || total <= 0 {
+		return 0, false
+	}
+	return 100 * float64(r.LostEvents) / float64(total), true
+}
+
 func (r *CorruptionReport) note(off int64, rank int, skipped int64, reason string) {
 	r.Incidents = append(r.Incidents, Incident{Offset: off, Rank: rank, SkippedBytes: skipped, Reason: reason})
 	r.SkippedBytes += skipped

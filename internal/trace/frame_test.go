@@ -544,3 +544,24 @@ func TestFrameDecoderSection(t *testing.T) {
 		t.Fatalf("section salvage lost %d of 60 events", 60-len(got))
 	}
 }
+
+// TestCorruptionReportLossPct: the percentage guard must never divide
+// by a zero or unknowable total — a destroyed header reports (0, false),
+// not NaN.
+func TestCorruptionReportLossPct(t *testing.T) {
+	r := CorruptionReport{LostEvents: 25}
+	if pct, ok := r.LossPct(75); !ok || pct != 25 { //tsync:exact — 25/(25+75) is exactly representable
+		t.Errorf("LossPct(75) = (%v, %v), want (25, true)", pct, ok)
+	}
+	if pct, ok := r.LossPct(-25); ok || pct != 0 { //tsync:exact — guard contract: pct is exactly 0 when ok is false
+		t.Errorf("LossPct(-25) = (%v, %v), want (0, false)", pct, ok)
+	}
+	r.UnknownLoss = true
+	if pct, ok := r.LossPct(75); ok || pct != 0 { //tsync:exact — guard contract: pct is exactly 0 when ok is false
+		t.Errorf("unknown loss: LossPct = (%v, %v), want (0, false)", pct, ok)
+	}
+	var empty CorruptionReport
+	if pct, ok := empty.LossPct(0); ok || pct != 0 { //tsync:exact — guard contract: pct is exactly 0 when ok is false
+		t.Errorf("empty: LossPct(0) = (%v, %v), want (0, false)", pct, ok)
+	}
+}
