@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-smoke microbench vet lint lint-test lint-json lint-fix-check race cover-check faults fingerprint figures clean
+.PHONY: all build test bench bench-smoke microbench vet lint lint-test lint-json lint-fix-check race cover-check faults fingerprint replay figures clean
 
 all: build vet lint test
 
@@ -60,10 +60,11 @@ cover-check:
 # the 1M-event bounded-memory assertion, the batched-vs-legacy (batch=1)
 # checksum comparison with allocs/event, the stream-fingerprint overhead
 # case (observer checksum + >=90% of baseline throughput), and the
-# stream-faults salvage case (recovery ratio + cross-worker determinism)
-# (see cmd/bench)
+# stream-faults salvage case (recovery ratio + cross-worker determinism),
+# and the replay-1m case (seeded RepCl interleavings must reproduce the
+# canonical replay checksum bit for bit) (see cmd/bench)
 bench:
-	$(GO) run ./cmd/bench -workers 4 -o BENCH_PR7.json
+	$(GO) run ./cmd/bench -workers 4 -o BENCH_PR8.json
 
 # CI-sized bench: 1 rep, tiny workloads, 2 workers — still checks that
 # parallel checksums match serial, that the streaming pipeline reproduces
@@ -74,7 +75,7 @@ bench:
 # iteration of the hot-path microbenchmarks so their harness code cannot
 # rot
 bench-smoke:
-	$(GO) run ./cmd/bench -smoke -workers 2 -o BENCH_PR7.json
+	$(GO) run ./cmd/bench -smoke -workers 2 -o BENCH_PR8.json
 	$(GO) test -run XXX -bench 'BenchmarkStreamPipeline|BenchmarkEventCodec|BenchmarkMapTimeMonotone' -benchtime=1x .
 
 # the fault-tolerance suite on its own: resync framing, salvage,
@@ -82,6 +83,14 @@ bench-smoke:
 faults:
 	$(GO) test -race -run 'Salvage|Cancel|Resync|Corrupt|Frame' ./internal/trace/ ./internal/stream/
 	$(GO) test -race ./internal/faultinject/ ./internal/fingerprint/
+
+# the replay-clock suite on its own: RepCl unit/codec/fuzz-seed tests,
+# the replay engine's property/adversarial/fault-matrix tests, and the
+# streaming-vs-in-memory stamping differential, all under the race
+# detector
+replay:
+	$(GO) test -race ./internal/replay/
+	$(GO) test -race -run 'RepCl|Replay' ./internal/lclock/ ./internal/stream/
 
 # the drift-fingerprint suite on its own: the seeded classification
 # matrix (kind × magnitude × position), the auto-knot correction tests,

@@ -17,6 +17,11 @@
 // records events/sec and the recovery ratio, and fails unless both
 // worker counts produce identical salvaged output and the ratio stays
 // at or above 99%.
+//
+// The replay-1m case re-executes the interp-corrected 1M-event trace
+// under seeded RepCl-feasible interleavings (internal/replay) at two
+// worker counts and fails unless every interleaving reproduces the
+// canonical order's summary checksum bit for bit with zero violations.
 package main
 
 import (
@@ -36,8 +41,10 @@ import (
 	"tsync/internal/experiments"
 	"tsync/internal/faultinject"
 	"tsync/internal/fingerprint"
+	"tsync/internal/interp"
 	"tsync/internal/measure"
 	"tsync/internal/prof"
+	"tsync/internal/replay"
 	"tsync/internal/stream"
 	"tsync/internal/topology"
 	"tsync/internal/trace"
@@ -457,6 +464,67 @@ func runStreamFaults(spec stream.SynthSpec, totalEvents int64) (streamCase, erro
 	return c, nil
 }
 
+// runReplay1M replays the interp-corrected 1M-event trace through the
+// RepCl engine: the canonical (timestamp-order) replay plus three
+// seeded ε-feasible interleavings at workers 1 and 4. Determinism is
+// enforced the hard way — every interleaving's summary checksum must be
+// bit-identical to the canonical order's, the canonical replay must be
+// violation-free under the sound correction, and worker counts must not
+// move a bit.
+func runReplay1M(path string, init, fin []measure.Offset) (streamCase, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return streamCase{}, err
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		return streamCase{}, err
+	}
+	corr, err := interp.Linear(init, fin)
+	if err != nil {
+		return streamCase{}, err
+	}
+	eng, err := replay.New(corr.Apply(tr), replay.Options{})
+	if err != nil {
+		return streamCase{}, err
+	}
+	canon, err := eng.Canonical()
+	if err != nil {
+		return streamCase{}, err
+	}
+	seeds := replay.Seeds(1, 3)
+	match := canon.Counts.Total() == 0
+	start := time.Now()
+	var first []*replay.Result
+	for _, workers := range []int{1, 4} {
+		reps, err := eng.ReplaySeeds(seeds, workers)
+		if err != nil {
+			return streamCase{}, err
+		}
+		for i, r := range reps {
+			match = match && r.Checksum == canon.Checksum && r.Counts.Total() == 0
+			if first != nil {
+				match = match && r.Checksum == first[i].Checksum && r.Counts == first[i].Counts
+			}
+		}
+		if first == nil {
+			first = reps
+		}
+	}
+	secs := time.Since(start).Seconds()
+	c := streamCase{
+		Name: "replay-1m", Events: int64(canon.Events),
+		StreamSeconds: secs, StreamChecksum: canon.Checksum,
+		Bounded: true, Match: match,
+	}
+	if secs > 0 {
+		// six replays of the full trace; report aggregate replay throughput
+		c.EventsPerSec = float64(canon.Events) * 6 / secs
+	}
+	return c, nil
+}
+
 func runStreamCases(smoke bool) ([]streamCase, error) {
 	dir, err := os.MkdirTemp("", "tsync-bench-")
 	if err != nil {
@@ -508,11 +576,18 @@ func runStreamCases(smoke bool) ([]streamCase, error) {
 	if err != nil {
 		return nil, fmt.Errorf("stream-faults: %w", err)
 	}
-	return []streamCase{diff, big, legacy, fp, faults}, nil
+
+	// the 1M-event trace again through the RepCl replay engine: seeded
+	// ε-feasible interleavings must reproduce the canonical checksum
+	rep, err := runReplay1M(bigPath, init, fin)
+	if err != nil {
+		return nil, fmt.Errorf("replay-1m: %w", err)
+	}
+	return []streamCase{diff, big, legacy, fp, faults, rep}, nil
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR7.json", "output JSON report path")
+	out := flag.String("o", "BENCH_PR8.json", "output JSON report path")
 	workers := flag.Int("workers", 0, "parallel worker bound to compare against workers=1 (0 = all CPUs)")
 	reps := flag.Int("reps", 3, "repetitions per driver (the paper used 3)")
 	ranks := flag.Int("ranks", 16, "MPI ranks for the Fig. 7 runs")

@@ -1,0 +1,424 @@
+// Replay clocks (RepCl) after Lagwankar & Kulkarni ("Replay Clocks",
+// "Tracing Distributed Algorithms Using Replay Clocks"): a hybrid
+// logical/physical clock whose timestamps permit re-executing a
+// distributed computation in *any* order that is consistent with
+// causality within a clock-skew bound ε. Physical time is discretized
+// into epochs of RepClConfig.Interval seconds; a RepCl carries the
+// maximal epoch it has heard of (Mx), its bounded knowledge of every
+// process's epoch as offsets from Mx (Off), and a counter (Ctr) that
+// orders events sharing one epoch configuration. Two stamps that are
+// Concurrent under the ε-window may be replayed in either order; the
+// replay engine in internal/replay draws its feasible interleavings
+// from exactly that relation.
+package lclock
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"tsync/internal/trace"
+)
+
+// OverflowPolicy selects what a RepCl does when its counter exceeds
+// RepClConfig.MaxCounter within one epoch configuration.
+type OverflowPolicy uint8
+
+const (
+	// OverflowAdvance promotes the overflow into an epoch advance: Mx is
+	// incremented as if Interval had elapsed, which keeps timestamps
+	// strictly ordered at the cost of letting logical time run ahead of
+	// physical time on pathologically hot processes (the paper's
+	// recommended policy).
+	OverflowAdvance OverflowPolicy = iota
+	// OverflowSaturate pins the counter at MaxCounter: timestamps stay
+	// within the epoch but same-configuration events stop being strictly
+	// ordered, which shrinks the information a replay can rely on.
+	OverflowSaturate
+	// OverflowError fails the stamping pass; for traces where an
+	// overflow indicates a mis-sized Interval rather than a hot spot.
+	OverflowError
+)
+
+// OffUnknown marks an offset slot whose process is more than ε epochs
+// behind Mx (or has never been heard of): the clock retains no usable
+// knowledge about it, which is what bounds a RepCl's size.
+const OffUnknown = ^uint32(0)
+
+// maxRepClRanks bounds the offset-vector length a decoder will
+// allocate, mirroring the event codec's guard against attacker-sized
+// preallocations.
+const maxRepClRanks = 1 << 20
+
+// RepClConfig parameterizes the replay clock.
+type RepClConfig struct {
+	// Interval is the epoch length in seconds. The total skew tolerance
+	// is Epsilon*Interval: events farther apart than that in local time
+	// are ordered, events closer may be concurrent.
+	Interval float64
+	// Epsilon is the skew bound in epochs.
+	Epsilon uint32
+	// MaxCounter bounds Ctr within one epoch configuration.
+	MaxCounter uint32
+	// Overflow selects the counter-overflow policy.
+	Overflow OverflowPolicy
+}
+
+// Normalize fills zero fields with the defaults: 1 ms epochs, ε = 4
+// epochs (4 ms total skew tolerance, comfortably above the µs-scale
+// interpolation residuals of the paper's corrected traces and well
+// below the ms-scale raw drifts), and a 16-bit counter.
+func (c RepClConfig) Normalize() RepClConfig {
+	if c.Interval <= 0 {
+		c.Interval = 1e-3
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = 4
+	}
+	if c.MaxCounter == 0 {
+		c.MaxCounter = 1<<16 - 1
+	}
+	return c
+}
+
+// Epoch discretizes a local timestamp. Negative times clamp to epoch 0
+// so traces that start slightly before their base do not underflow.
+func (c RepClConfig) Epoch(t float64) uint64 {
+	if t <= 0 || c.Interval <= 0 {
+		return 0
+	}
+	e := math.Floor(t / c.Interval)
+	if e >= math.MaxUint64/2 { // unreachable for sane Interval; guards ÷tiny
+		return math.MaxUint64 / 2
+	}
+	return uint64(e)
+}
+
+// RepCl is one replay-clock timestamp: the maximal epoch heard of, the
+// per-process epoch knowledge as offsets below Mx (OffUnknown = beyond
+// ε), and the within-configuration counter.
+type RepCl struct {
+	Mx  uint64
+	Off []uint32
+	Ctr uint32
+}
+
+// NewRepCl returns the zero clock for n processes: epoch 0, no
+// knowledge of anyone.
+func NewRepCl(n int) RepCl {
+	off := make([]uint32, n)
+	for i := range off {
+		off[i] = OffUnknown
+	}
+	return RepCl{Off: off}
+}
+
+// Clone returns an independent copy.
+func (r RepCl) Clone() RepCl {
+	return RepCl{Mx: r.Mx, Off: append([]uint32(nil), r.Off...), Ctr: r.Ctr}
+}
+
+// EpochAt returns the clock's knowledge of process j's epoch; ok is
+// false when j is beyond the ε window (or out of range).
+func (r RepCl) EpochAt(j int) (uint64, bool) {
+	if j < 0 || j >= len(r.Off) || r.Off[j] == OffUnknown {
+		return 0, false
+	}
+	return r.Mx - uint64(r.Off[j]), true
+}
+
+// Equal reports componentwise equality.
+func (r RepCl) Equal(s RepCl) bool {
+	if r.Mx != s.Mx || r.Ctr != s.Ctr || len(r.Off) != len(s.Off) {
+		return false
+	}
+	for i := range r.Off {
+		if r.Off[i] != s.Off[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// advanceTo shifts the clock's frame of reference to epoch mx >= Mx:
+// every known offset grows by the difference, falling off the ε window
+// once it exceeds Epsilon. Reports whether anything changed.
+func (r *RepCl) advanceTo(cfg RepClConfig, mx uint64) bool {
+	if mx <= r.Mx {
+		return false
+	}
+	d := mx - r.Mx
+	r.Mx = mx
+	for i, o := range r.Off {
+		if o == OffUnknown {
+			continue
+		}
+		if no := uint64(o) + d; no > uint64(cfg.Epsilon) {
+			r.Off[i] = OffUnknown
+		} else {
+			r.Off[i] = uint32(no)
+		}
+	}
+	return true
+}
+
+// setOwn records the owner process's epoch e against the current Mx,
+// clamping into the ε window when the local clock lags more than ε
+// epochs behind what it has heard of (clamped=true: an ε-skew
+// violation the stamper counts). Reports (changed, clamped).
+func (r *RepCl) setOwn(cfg RepClConfig, rank int, e uint64) (bool, bool) {
+	off, clamped := r.Mx-e, false
+	if off > uint64(cfg.Epsilon) {
+		off, clamped = uint64(cfg.Epsilon), true
+	}
+	if r.Off[rank] == uint32(off) {
+		return false, clamped
+	}
+	r.Off[rank] = uint32(off)
+	return true, clamped
+}
+
+// join merges another clock's knowledge into r (both already advanced
+// to the same Mx): componentwise most-recent epoch. Reports whether
+// anything changed.
+func (r *RepCl) join(s RepCl) bool {
+	changed := false
+	for i, o := range s.Off {
+		if i >= len(r.Off) {
+			break
+		}
+		if o < r.Off[i] { // smaller offset = more recent knowledge
+			r.Off[i] = o
+			changed = true
+		}
+	}
+	return changed
+}
+
+// bumpCtr applies the counter rule after an event: a changed epoch
+// configuration resets the counter, an unchanged one increments it,
+// and overflow follows the configured policy.
+func (r *RepCl) bumpCtr(cfg RepClConfig, rank int, changed bool, floor uint32) error {
+	switch {
+	case changed:
+		r.Ctr = 0
+		if floor != 0 {
+			r.Ctr = floor + 1
+		}
+	default:
+		r.Ctr++
+		if r.Ctr <= floor {
+			r.Ctr = floor + 1
+		}
+	}
+	if r.Ctr > cfg.MaxCounter {
+		switch cfg.Overflow {
+		case OverflowAdvance:
+			r.advanceTo(cfg, r.Mx+1)
+			r.Off[rank] = 0
+			r.Ctr = 0
+		case OverflowSaturate:
+			r.Ctr = cfg.MaxCounter
+		case OverflowError:
+			return fmt.Errorf("lclock: RepCl counter overflow at epoch %d (MaxCounter %d); grow Interval or MaxCounter", r.Mx, cfg.MaxCounter)
+		}
+	}
+	return nil
+}
+
+// Tick advances the clock for a local event of rank at local time t.
+// It returns whether the local clock had to be clamped into the ε
+// window (an ε-skew violation under the trace's correction).
+func (r *RepCl) Tick(cfg RepClConfig, rank int, t float64) (clamped bool, err error) {
+	e := cfg.Epoch(t)
+	changed := r.advanceTo(cfg, maxU64(r.Mx, e))
+	ownChanged, clamped := r.setOwn(cfg, rank, e)
+	changed = changed || ownChanged
+	return clamped, r.bumpCtr(cfg, rank, changed, 0)
+}
+
+// MergeRecv advances the clock for a receive-like event of rank at
+// local time t that observes the sender stamps in remotes: the local
+// tick and the element-wise join of every remote's knowledge, with the
+// counter floored above every remote's (so a receive never compares
+// below its matched send).
+func (r *RepCl) MergeRecv(cfg RepClConfig, rank int, t float64, remotes ...RepCl) (clamped bool, err error) {
+	e := cfg.Epoch(t)
+	mx := maxU64(r.Mx, e)
+	var floor uint32
+	for _, s := range remotes {
+		mx = maxU64(mx, s.Mx)
+	}
+	changed := r.advanceTo(cfg, mx)
+	for _, s := range remotes {
+		sc := s.Clone()
+		sc.advanceTo(cfg, mx)
+		if r.join(sc) {
+			changed = true
+		}
+		if sc.Mx == r.Mx && sc.Ctr > floor {
+			floor = sc.Ctr
+		}
+	}
+	ownChanged, clamped := r.setOwn(cfg, rank, e)
+	changed = changed || ownChanged
+	return clamped, r.bumpCtr(cfg, rank, changed, floor)
+}
+
+// Before reports whether a definitely precedes b in every ε-feasible
+// replay: either a's epoch is more than ε behind b's (physical time
+// orders them), or b's knowledge dominates a's within the window. The
+// relation is conservative — when in doubt it reports false, which
+// only shrinks the set of reorderings a replay may attempt, never
+// admits an unsound one.
+func (c RepClConfig) Before(a, b RepCl) bool {
+	if a.Mx+uint64(c.Epsilon) < b.Mx {
+		return true
+	}
+	if b.Mx+uint64(c.Epsilon) < a.Mx {
+		return false
+	}
+	dominates, strict := true, false
+	for j := range a.Off {
+		ae, aok := a.EpochAt(j)
+		be, bok := b.EpochAt(j)
+		switch {
+		case !aok:
+			if bok {
+				strict = true
+			}
+		case !bok:
+			dominates = false
+		case be < ae:
+			dominates = false
+		case be > ae:
+			strict = true
+		}
+		if !dominates {
+			return false
+		}
+	}
+	if strict {
+		return true
+	}
+	return a.Mx == b.Mx && b.Ctr > a.Ctr
+}
+
+// Concurrent reports whether neither stamp precedes the other: a
+// replay may execute the two events in either order.
+func (c RepClConfig) Concurrent(a, b RepCl) bool {
+	return !c.Before(a, b) && !c.Before(b, a) && !a.Equal(b)
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// AppendBinary appends the wire encoding: uvarint Mx, uvarint len(Off),
+// one uvarint per offset (OffUnknown encodes as its literal 2^32-1),
+// uvarint Ctr. The encoding is canonical — minimal uvarints only — so
+// encode∘decode is the identity on valid stamps.
+func (r RepCl) AppendBinary(dst []byte) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		dst = append(dst, tmp[:n]...)
+	}
+	put(r.Mx)
+	put(uint64(len(r.Off)))
+	for _, o := range r.Off {
+		put(uint64(o))
+	}
+	put(uint64(r.Ctr))
+	return dst
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (r RepCl) MarshalBinary() ([]byte, error) {
+	return r.AppendBinary(nil), nil
+}
+
+// DecodeRepCl decodes one stamp from the front of data, returning the
+// number of bytes consumed. Errors wrap trace.ErrBadFormat with the
+// failing field and offset, like every other decode path in the repo.
+func DecodeRepCl(data []byte) (RepCl, int, error) {
+	var r RepCl
+	pos := 0
+	get := func(field string) (uint64, error) {
+		v, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("%w: RepCl %s truncated or overlong at offset %d", trace.ErrBadFormat, field, pos)
+		}
+		// reject non-minimal encodings (a padded trailing zero byte), so
+		// encode∘decode is the identity byte for byte
+		if n > 1 && data[pos+n-1] == 0 {
+			return 0, fmt.Errorf("%w: RepCl %s non-minimal uvarint at offset %d", trace.ErrBadFormat, field, pos)
+		}
+		pos += n
+		return v, nil
+	}
+	mx, err := get("Mx")
+	if err != nil {
+		return r, pos, err
+	}
+	n, err := get("length")
+	if err != nil {
+		return r, pos, err
+	}
+	if n > maxRepClRanks {
+		return r, pos, fmt.Errorf("%w: RepCl claims %d offsets (max %d)", trace.ErrBadFormat, n, maxRepClRanks)
+	}
+	r.Mx = mx
+	r.Off = make([]uint32, n)
+	for i := range r.Off {
+		o, err := get("offset")
+		if err != nil {
+			return r, pos, err
+		}
+		if o > math.MaxUint32 {
+			return r, pos, fmt.Errorf("%w: RepCl offset %d out of range at offset %d", trace.ErrBadFormat, o, pos)
+		}
+		r.Off[i] = uint32(o)
+	}
+	ctr, err := get("Ctr")
+	if err != nil {
+		return r, pos, err
+	}
+	if ctr > math.MaxUint32 {
+		return r, pos, fmt.Errorf("%w: RepCl counter %d out of range at offset %d", trace.ErrBadFormat, ctr, pos)
+	}
+	r.Ctr = uint32(ctr)
+	return r, pos, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler; trailing bytes
+// are a format error.
+func (r *RepCl) UnmarshalBinary(data []byte) error {
+	dec, n, err := DecodeRepCl(data)
+	if err != nil {
+		return err
+	}
+	if n != len(data) {
+		return fmt.Errorf("%w: %d trailing bytes after RepCl", trace.ErrBadFormat, len(data)-n)
+	}
+	*r = dec
+	return nil
+}
+
+// Validate checks a decoded stamp against a configuration: every known
+// offset must sit inside the ε window and the counter under its bound.
+// Decoded stamps pass through here before a replay merges them.
+func (r RepCl) Validate(cfg RepClConfig) error {
+	for i, o := range r.Off {
+		if o != OffUnknown && uint64(o) > uint64(cfg.Epsilon) {
+			return fmt.Errorf("%w: RepCl offset %d of process %d exceeds epsilon %d", trace.ErrBadFormat, o, i, cfg.Epsilon)
+		}
+	}
+	if r.Ctr > cfg.MaxCounter {
+		return fmt.Errorf("%w: RepCl counter %d exceeds MaxCounter %d", trace.ErrBadFormat, r.Ctr, cfg.MaxCounter)
+	}
+	return nil
+}

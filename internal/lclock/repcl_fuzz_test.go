@@ -1,0 +1,77 @@
+package lclock
+
+// Fuzzing for the RepCl wire codec, mirroring FuzzEventReader: decode
+// must classify every malformed input as ErrBadFormat without panicking
+// or over-allocating, accepted stamps must survive an
+// encode→decode→encode round trip bit for bit, and merging a decoded
+// stamp into a live clock must never panic regardless of its contents.
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"tsync/internal/trace"
+)
+
+func FuzzRepClDecode(f *testing.F) {
+	// valid stamps of a few shapes
+	cfg := RepClConfig{}.Normalize()
+	zero := NewRepCl(3)
+	f.Add(zero.AppendBinary(nil))
+	ticked := NewRepCl(3)
+	ticked.Tick(cfg, 1, 0.0042)
+	f.Add(ticked.AppendBinary(nil))
+	merged := NewRepCl(3)
+	merged.MergeRecv(cfg, 2, 0.0050, ticked)
+	f.Add(merged.AppendBinary(nil))
+	f.Add(RepCl{Mx: 1 << 40, Off: []uint32{0, 4, OffUnknown}, Ctr: 65535}.AppendBinary(nil))
+	f.Add(RepCl{}.AppendBinary(nil)) // zero ranks
+	// malformed shapes
+	f.Add([]byte{})
+	f.Add([]byte{0x80})                                                 // unterminated uvarint
+	f.Add([]byte{0x00, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}) // huge length claim
+	f.Add([]byte{0x05, 0x01, 0xff, 0xff, 0xff, 0xff, 0x7f, 0x00})       // offset > MaxUint32
+	f.Add(append(ticked.AppendBinary(nil), 0x00))                       // trailing byte
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, n, err := DecodeRepCl(data)
+		if err != nil {
+			if !errors.Is(err, trace.ErrBadFormat) {
+				t.Fatalf("decode error does not wrap ErrBadFormat: %v", err)
+			}
+			return
+		}
+		if n < 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		// canonical codec: re-encoding an accepted stamp reproduces the
+		// consumed bytes exactly, and decoding that is a fixpoint
+		enc := dec.AppendBinary(nil)
+		if !bytes.Equal(enc, data[:n]) {
+			t.Fatalf("re-encode mismatch: %x vs %x", enc, data[:n])
+		}
+		dec2, n2, err := DecodeRepCl(enc)
+		if err != nil || n2 != len(enc) || !dec2.Equal(dec) {
+			t.Fatalf("decode of re-encoding diverged: %+v/%d/%v", dec2, n2, err)
+		}
+		// UnmarshalBinary agrees, and flags trailing bytes
+		var um RepCl
+		if uerr := um.UnmarshalBinary(enc); uerr != nil || !um.Equal(dec) {
+			t.Fatalf("UnmarshalBinary diverged: %+v, %v", um, uerr)
+		}
+		if n < len(data) {
+			if uerr := um.UnmarshalBinary(data); !errors.Is(uerr, trace.ErrBadFormat) {
+				t.Fatalf("trailing bytes accepted: %v", uerr)
+			}
+		}
+		// merging an arbitrary decoded stamp never panics, whatever its
+		// window contents — live clocks treat remote knowledge as data
+		if len(dec.Off) > 0 {
+			live := NewRepCl(len(dec.Off))
+			if _, merr := live.MergeRecv(cfg, 0, 0.001, dec); merr != nil {
+				t.Fatalf("merge of decoded stamp failed: %v", merr)
+			}
+		}
+	})
+}

@@ -1,0 +1,221 @@
+package lclock
+
+import (
+	"fmt"
+	"sort"
+
+	"tsync/internal/trace"
+)
+
+// RepClStamper assigns RepCl stamps to a trace's events incrementally,
+// in any topological order of the happened-before graph. It is the
+// shared core of the in-memory RepClStamps pass and the streaming
+// repclSink in internal/stream: both feed it the same per-rank event
+// sequences with the same resolved in-edges, so their per-rank digests
+// are bit-identical — the differential tests pin that down.
+//
+// Memory is bounded by the caller: Stamp retains each event's stamp
+// (an edge tail may be merged later) until Release is called for it,
+// which the streaming engine does exactly when an event's out-edges
+// have all been delivered.
+type RepClStamper struct {
+	cfg  RepClConfig
+	cur  []RepCl
+	held map[EventRef]RepCl
+
+	skew     int
+	maxEpoch uint64
+	events   int64
+	digests  []uint64
+}
+
+// fnvOffset64 / fnvPrime64 are the FNV-64a parameters, matching the
+// checksum conventions of internal/experiments.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvWord folds one 64-bit word into an FNV-64a digest byte by byte.
+func fnvWord(d, w uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		d = (d ^ (w & 0xff)) * fnvPrime64
+		w >>= 8
+	}
+	return d
+}
+
+// NewRepClStamper returns a stamper for n ranks.
+func NewRepClStamper(n int, cfg RepClConfig) *RepClStamper {
+	cfg = cfg.Normalize()
+	cur := make([]RepCl, n)
+	for i := range cur {
+		cur[i] = NewRepCl(n)
+	}
+	digests := make([]uint64, n)
+	for i := range digests {
+		digests[i] = fnvOffset64
+	}
+	return &RepClStamper{cfg: cfg, cur: cur, held: map[EventRef]RepCl{}, digests: digests}
+}
+
+// Config returns the normalized configuration the stamper runs under.
+func (s *RepClStamper) Config() RepClConfig { return s.cfg }
+
+// Stamp advances rank's clock for its event idx at (corrected) local
+// time t, merging the retained stamps of the given in-edge sources
+// (sources whose stamp was never seen or already released — possible
+// only on salvaged traces — are skipped). The resulting stamp is
+// retained for later merges until Release(ref) and folded into the
+// rank's running digest.
+func (s *RepClStamper) Stamp(rank, idx int, t float64, sources []EventRef) (RepCl, error) {
+	if rank < 0 || rank >= len(s.cur) {
+		return RepCl{}, fmt.Errorf("lclock: RepClStamper rank %d out of range [0,%d)", rank, len(s.cur))
+	}
+	c := s.cur[rank].Clone()
+	var clamped bool
+	var err error
+	if len(sources) == 0 {
+		clamped, err = c.Tick(s.cfg, rank, t)
+	} else {
+		remotes := make([]RepCl, 0, len(sources))
+		for _, src := range sources {
+			if st, ok := s.held[src]; ok {
+				remotes = append(remotes, st)
+			}
+		}
+		clamped, err = c.MergeRecv(s.cfg, rank, t, remotes...)
+	}
+	if err != nil {
+		return RepCl{}, err
+	}
+	if clamped {
+		s.skew++
+	}
+	if c.Mx > s.maxEpoch {
+		s.maxEpoch = c.Mx
+	}
+	s.cur[rank] = c
+	s.held[EventRef{rank, idx}] = c
+	s.events++
+	d := fnvWord(s.digests[rank], c.Mx)
+	for _, o := range c.Off {
+		d = fnvWord(d, uint64(o))
+	}
+	s.digests[rank] = fnvWord(d, uint64(c.Ctr))
+	return c, nil
+}
+
+// Release drops the retained stamp of an event whose out-edges have
+// all been consumed; this is what keeps the stamper's footprint
+// proportional to the engine's reorder window, not the trace.
+func (s *RepClStamper) Release(ref EventRef) { delete(s.held, ref) }
+
+// Held reports how many stamps are currently retained (test hook for
+// the bounded-memory contract).
+func (s *RepClStamper) Held() int { return len(s.held) }
+
+// SkewClamps returns how many events had to be clamped into the ε
+// window — each one is a spot where the trace's corrected local time
+// lagged more than Epsilon×Interval behind causally-known time.
+func (s *RepClStamper) SkewClamps() int { return s.skew }
+
+// MaxEpoch returns the largest epoch any stamp reached.
+func (s *RepClStamper) MaxEpoch() uint64 { return s.maxEpoch }
+
+// Events returns how many events have been stamped.
+func (s *RepClStamper) Events() int64 { return s.events }
+
+// RankDigests returns a copy of the per-rank FNV-64a digests over the
+// stamp stream (Mx, offsets, Ctr per event, in per-rank event order).
+func (s *RepClStamper) RankDigests() []uint64 {
+	return append([]uint64(nil), s.digests...)
+}
+
+// Digest combines the per-rank digests in rank order into one
+// hex-printed FNV-64a checksum. Because every valid replay delivers
+// each rank's events in program order, the digest is invariant across
+// ε-feasible interleavings — and across engine configurations (worker
+// counts, batch sizes) of the streaming pass.
+func (s *RepClStamper) Digest() string {
+	d := uint64(fnvOffset64)
+	for _, rd := range s.digests {
+		d = fnvWord(d, rd)
+	}
+	return fmt.Sprintf("%016x", d)
+}
+
+// RepClStamps stamps every event of an in-memory trace, processing
+// events in merged (True, rank, idx) order — the same topological
+// order the streaming engine uses — with message and collective edges
+// resolved through CrossEdges. It returns the per-rank stamp arrays
+// and the number of ε-skew clamps.
+func RepClStamps(t *trace.Trace, cfg RepClConfig) ([][]RepCl, int, error) {
+	edges, err := CrossEdges(t)
+	if err != nil {
+		return nil, 0, err
+	}
+	return RepClStampsEdges(t, cfg, edges)
+}
+
+// RepClStampsEdges is RepClStamps over a prebuilt edge set — the
+// replay engine reuses it with salvage-tolerant edge sets whose
+// unmatched messages and broken collectives have been dropped.
+func RepClStampsEdges(t *trace.Trace, cfg RepClConfig, edges []Edge) ([][]RepCl, int, error) {
+	in := map[EventRef][]EventRef{}
+	for _, e := range edges {
+		in[e.To] = append(in[e.To], e.From)
+	}
+	type ordered struct {
+		tru  float64
+		ref  EventRef
+		time float64
+	}
+	var evs []ordered
+	for rank, p := range t.Procs {
+		for idx, ev := range p.Events {
+			evs = append(evs, ordered{tru: ev.True, ref: EventRef{rank, idx}, time: ev.Time})
+		}
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].tru != evs[j].tru { //tsync:exact — merge order on oracle times, ties broken by (rank, idx) below
+			return evs[i].tru < evs[j].tru
+		}
+		if evs[i].ref.Rank != evs[j].ref.Rank {
+			return evs[i].ref.Rank < evs[j].ref.Rank
+		}
+		return evs[i].ref.Idx < evs[j].ref.Idx
+	})
+	st := NewRepClStamper(len(t.Procs), cfg)
+	out := make([][]RepCl, len(t.Procs))
+	for i, p := range t.Procs {
+		out[i] = make([]RepCl, len(p.Events))
+	}
+	for _, e := range evs {
+		stamp, err := st.Stamp(e.ref.Rank, e.ref.Idx, e.time, in[e.ref])
+		if err != nil {
+			return nil, st.SkewClamps(), err
+		}
+		out[e.ref.Rank][e.ref.Idx] = stamp
+	}
+	return out, st.SkewClamps(), nil
+}
+
+// StampsDigest folds prebuilt per-rank stamp arrays into the same
+// checksum RepClStamper.Digest would produce, for comparing an
+// in-memory pass against a streaming one.
+func StampsDigest(stamps [][]RepCl) string {
+	d := uint64(fnvOffset64)
+	for _, rank := range stamps {
+		rd := uint64(fnvOffset64)
+		for _, c := range rank {
+			rd = fnvWord(rd, c.Mx)
+			for _, o := range c.Off {
+				rd = fnvWord(rd, uint64(o))
+			}
+			rd = fnvWord(rd, uint64(c.Ctr))
+		}
+		d = fnvWord(d, rd)
+	}
+	return fmt.Sprintf("%016x", d)
+}

@@ -1,0 +1,489 @@
+package lclock
+
+// RepCl unit tests: tick/merge monotonicity under Before, agreement of
+// the ε-window ordering with vector-clock happened-before, counter
+// overflow under all three policies, ε clamping, the canonical wire
+// codec, and the stamper's bounded-memory release contract.
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"tsync/internal/trace"
+)
+
+func repClTestCfg() RepClConfig {
+	return RepClConfig{Interval: 1e-3, Epsilon: 4, MaxCounter: 1<<16 - 1}.Normalize()
+}
+
+func TestRepClConfigNormalizeDefaults(t *testing.T) {
+	cfg := RepClConfig{}.Normalize()
+	if cfg.Interval != 1e-3 || cfg.Epsilon != 4 || cfg.MaxCounter != 1<<16-1 {
+		t.Fatalf("unexpected defaults: %+v", cfg)
+	}
+	// Normalize is idempotent and preserves explicit values.
+	set := RepClConfig{Interval: 2, Epsilon: 7, MaxCounter: 9, Overflow: OverflowSaturate}
+	if got := set.Normalize(); got != set {
+		t.Fatalf("Normalize clobbered explicit config: %+v", got)
+	}
+}
+
+func TestRepClEpoch(t *testing.T) {
+	cfg := repClTestCfg()
+	cases := []struct {
+		t    float64
+		want uint64
+	}{
+		{-1, 0}, {0, 0}, {0.0005, 0}, {0.001, 1}, {0.0049, 4}, {1.0, 1000},
+	}
+	for _, c := range cases {
+		if got := cfg.Epoch(c.t); got != c.want {
+			t.Errorf("Epoch(%g) = %d, want %d", c.t, got, c.want)
+		}
+	}
+	// degenerate interval never divides by ~zero into an overflowing epoch
+	if e := (RepClConfig{Interval: 1e-300}).Epoch(1); e != math.MaxUint64/2 {
+		t.Errorf("tiny-interval epoch not capped: %d", e)
+	}
+}
+
+// TestRepClTickMonotone: successive local events on one rank must be
+// strictly ordered by Before, whether they share an epoch (counter
+// orders them) or not (epochs order them).
+func TestRepClTickMonotone(t *testing.T) {
+	cfg := repClTestCfg()
+	c := NewRepCl(2)
+	times := []float64{0, 0.0002, 0.0004, 0.0011, 0.0012, 0.0063, 0.02}
+	prev := c.Clone()
+	for i, tm := range times {
+		clamped, err := c.Tick(cfg, 0, tm)
+		if err != nil {
+			t.Fatalf("Tick(%g): %v", tm, err)
+		}
+		if clamped {
+			t.Fatalf("Tick(%g): unexpected ε clamp on a forward-moving clock", tm)
+		}
+		if i > 0 && !cfg.Before(prev, c) {
+			t.Fatalf("event %d at t=%g not Before its successor: %+v vs %+v", i-1, tm, prev, c)
+		}
+		if i > 0 && cfg.Before(c, prev) {
+			t.Fatalf("Before inverted at event %d: %+v vs %+v", i, c, prev)
+		}
+		prev = c.Clone()
+	}
+	if e, ok := c.EpochAt(0); !ok || e != cfg.Epoch(0.02) {
+		t.Fatalf("own epoch = %d/%v, want %d", e, ok, cfg.Epoch(0.02))
+	}
+	if _, ok := c.EpochAt(1); ok {
+		t.Fatal("never-heard-of rank reported as known")
+	}
+}
+
+// TestRepClMergeRecvOrdersSendBeforeReceive: a receive that merges its
+// matched send's stamp must compare strictly after it, even when both
+// events share the epoch configuration.
+func TestRepClMergeRecvOrdersSendBeforeReceive(t *testing.T) {
+	cfg := repClTestCfg()
+	send := NewRepCl(2)
+	if _, err := send.Tick(cfg, 0, 0.0001); err != nil {
+		t.Fatal(err)
+	}
+	recv := NewRepCl(2)
+	if _, err := recv.MergeRecv(cfg, 1, 0.0002, send); err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Before(send, recv) {
+		t.Fatalf("send %+v not Before its receive %+v", send, recv)
+	}
+	if cfg.Before(recv, send) || cfg.Concurrent(send, recv) {
+		t.Fatalf("receive does not strictly follow send: %+v vs %+v", send, recv)
+	}
+	// the receive learned the sender's epoch
+	if e, ok := recv.EpochAt(0); !ok || e != cfg.Epoch(0.0001) {
+		t.Fatalf("receive knows sender epoch %d/%v, want %d", e, ok, cfg.Epoch(0.0001))
+	}
+}
+
+// TestRepClConcurrentTicks: two ranks ticking independently within the
+// ε window are concurrent — a replay may order them either way.
+func TestRepClConcurrentTicks(t *testing.T) {
+	cfg := repClTestCfg()
+	a, b := NewRepCl(2), NewRepCl(2)
+	if _, err := a.Tick(cfg, 0, 0.0001); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Tick(cfg, 1, 0.0032); err != nil { // 3 epochs apart < ε=4
+		t.Fatal(err)
+	}
+	if !cfg.Concurrent(a, b) {
+		t.Fatalf("independent in-window ticks not concurrent: %+v vs %+v", a, b)
+	}
+	// more than ε epochs apart, physical time orders them
+	c := NewRepCl(2)
+	if _, err := c.Tick(cfg, 1, 0.0061); err != nil { // 6 epochs > ε
+		t.Fatal(err)
+	}
+	if !cfg.Before(a, c) || cfg.Before(c, a) {
+		t.Fatalf("out-of-window ticks not ordered by epoch: %+v vs %+v", a, c)
+	}
+}
+
+// TestRepClBeforeAgreesWithVectors: on a hand-built message chain the
+// RepCl Before relation must contain no inversion of vector-clock
+// happened-before — whenever vectors say a → b, RepCl must never claim
+// b Before a.
+func TestRepClBeforeAgreesWithVectors(t *testing.T) {
+	cfg := repClTestCfg()
+	tr := chainTrace()
+	stamps, skew, err := RepClStamps(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skew != 0 {
+		t.Fatalf("clean chain produced %d ε clamps", skew)
+	}
+	vecs, err := Vectors(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type ev struct{ r, i int }
+	var all []ev
+	for r, p := range tr.Procs {
+		for i := range p.Events {
+			all = append(all, ev{r, i})
+		}
+	}
+	for _, a := range all {
+		for _, b := range all {
+			if vecs[a.r][a.i].Less(vecs[b.r][b.i]) && cfg.Before(stamps[b.r][b.i], stamps[a.r][a.i]) {
+				t.Errorf("RepCl inverted HB: (%d,%d) → (%d,%d) but Before claims the reverse",
+					a.r, a.i, b.r, b.i)
+			}
+		}
+	}
+	// the chain itself is fully ordered end to end
+	if !cfg.Before(stamps[0][0], stamps[2][0]) {
+		t.Fatalf("chain endpoints not ordered: %+v vs %+v", stamps[0][0], stamps[2][0])
+	}
+}
+
+// TestRepClEpsilonClamp: a rank whose corrected clock lags more than ε
+// epochs behind causally-known time is clamped into the window and the
+// clamp is reported.
+func TestRepClEpsilonClamp(t *testing.T) {
+	cfg := repClTestCfg()
+	fast := NewRepCl(2)
+	if _, err := fast.Tick(cfg, 0, 0.0100); err != nil { // epoch 10
+		t.Fatal(err)
+	}
+	lag := NewRepCl(2)
+	clamped, err := lag.MergeRecv(cfg, 1, 0.0001, fast) // own epoch 0, 10 behind
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !clamped {
+		t.Fatal("lagging receive not reported as clamped")
+	}
+	if lag.Off[1] != cfg.Epsilon {
+		t.Fatalf("clamped offset = %d, want ε = %d", lag.Off[1], cfg.Epsilon)
+	}
+	if err := lag.Validate(cfg); err != nil {
+		t.Fatalf("clamped stamp fails Validate: %v", err)
+	}
+}
+
+// TestRepClWindowForgets: knowledge older than ε epochs falls off the
+// window (OffUnknown) rather than growing the stamp.
+func TestRepClWindowForgets(t *testing.T) {
+	cfg := repClTestCfg()
+	send := NewRepCl(2)
+	if _, err := send.Tick(cfg, 0, 0.0001); err != nil {
+		t.Fatal(err)
+	}
+	c := NewRepCl(2)
+	if _, err := c.MergeRecv(cfg, 1, 0.0002, send); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.EpochAt(0); !ok {
+		t.Fatal("fresh knowledge already unknown")
+	}
+	if _, err := c.Tick(cfg, 1, 0.0200); err != nil { // 20 epochs later
+		t.Fatal(err)
+	}
+	if _, ok := c.EpochAt(0); ok {
+		t.Fatalf("stale knowledge survived past ε: %+v", c)
+	}
+	if c.Off[0] != OffUnknown {
+		t.Fatalf("stale offset = %d, want OffUnknown", c.Off[0])
+	}
+}
+
+// TestRepClOverflowPolicies: the three counter-overflow policies at a
+// pinned MaxCounter.
+func TestRepClOverflowPolicies(t *testing.T) {
+	base := RepClConfig{Interval: 1, Epsilon: 4, MaxCounter: 2}
+
+	t.Run("advance", func(t *testing.T) {
+		cfg := base
+		cfg.Overflow = OverflowAdvance
+		c := NewRepCl(1)
+		var prev RepCl
+		for i := 0; i < 4; i++ { // Ctr 0,1,2, then overflow
+			prev = c.Clone()
+			if _, err := c.Tick(cfg, 0, 0.5); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if c.Mx != 1 || c.Ctr != 0 || c.Off[0] != 0 {
+			t.Fatalf("overflow did not advance the epoch: %+v", c)
+		}
+		if !cfg.Before(prev, c) {
+			t.Fatalf("advance broke strict ordering: %+v vs %+v", prev, c)
+		}
+	})
+
+	t.Run("saturate", func(t *testing.T) {
+		cfg := base
+		cfg.Overflow = OverflowSaturate
+		c := NewRepCl(1)
+		for i := 0; i < 10; i++ {
+			if _, err := c.Tick(cfg, 0, 0.5); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if c.Mx != 0 || c.Ctr != cfg.MaxCounter {
+			t.Fatalf("saturate did not pin the counter: %+v", c)
+		}
+	})
+
+	t.Run("error", func(t *testing.T) {
+		cfg := base
+		cfg.Overflow = OverflowError
+		c := NewRepCl(1)
+		var err error
+		for i := 0; i < 4 && err == nil; i++ {
+			_, err = c.Tick(cfg, 0, 0.5)
+		}
+		if err == nil || !strings.Contains(err.Error(), "overflow") {
+			t.Fatalf("overflow not reported: %v", err)
+		}
+	})
+}
+
+// TestRepClCodecRoundTrip: encode∘decode is the identity, trailing
+// bytes and malformed inputs are ErrBadFormat.
+func TestRepClCodecRoundTrip(t *testing.T) {
+	cfg := repClTestCfg()
+	c := NewRepCl(3)
+	if _, err := c.Tick(cfg, 1, 0.0042); err != nil {
+		t.Fatal(err)
+	}
+	other := NewRepCl(3)
+	if _, err := other.Tick(cfg, 0, 0.0040); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.MergeRecv(cfg, 1, 0.0043, other); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := c.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec RepCl
+	if err := dec.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Equal(c) {
+		t.Fatalf("round trip changed the stamp: %+v vs %+v", dec, c)
+	}
+	if err := dec.Validate(cfg); err != nil {
+		t.Fatalf("decoded stamp invalid: %v", err)
+	}
+
+	// trailing garbage is a format error
+	if err := dec.UnmarshalBinary(append(append([]byte(nil), data...), 0)); !errors.Is(err, trace.ErrBadFormat) {
+		t.Fatalf("trailing byte accepted: %v", err)
+	}
+	// every truncation is a format error, never a panic
+	for i := 0; i < len(data); i++ {
+		if _, _, err := DecodeRepCl(data[:i]); !errors.Is(err, trace.ErrBadFormat) {
+			t.Errorf("truncation at %d: %v", i, err)
+		}
+	}
+	// an attacker-sized length claim is rejected before allocation
+	huge := []byte{0x00}                                                // Mx = 0
+	huge = append(huge, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f) // len = huge
+	if _, _, err := DecodeRepCl(huge); !errors.Is(err, trace.ErrBadFormat) {
+		t.Fatalf("oversized length accepted: %v", err)
+	}
+}
+
+func TestRepClValidate(t *testing.T) {
+	cfg := repClTestCfg()
+	bad := RepCl{Mx: 5, Off: []uint32{cfg.Epsilon + 1}, Ctr: 0}
+	if err := bad.Validate(cfg); !errors.Is(err, trace.ErrBadFormat) {
+		t.Fatalf("out-of-window offset accepted: %v", err)
+	}
+	bad = RepCl{Mx: 5, Off: []uint32{0}, Ctr: cfg.MaxCounter + 1}
+	if err := bad.Validate(cfg); !errors.Is(err, trace.ErrBadFormat) {
+		t.Fatalf("oversized counter accepted: %v", err)
+	}
+	ok := RepCl{Mx: 5, Off: []uint32{0, OffUnknown, cfg.Epsilon}, Ctr: cfg.MaxCounter}
+	if err := ok.Validate(cfg); err != nil {
+		t.Fatalf("valid stamp rejected: %v", err)
+	}
+}
+
+// TestRepClStamperReleaseBoundsHeld: the stamper retains stamps only
+// until Release — the contract that bounds the streaming pass's memory.
+func TestRepClStamperReleaseBoundsHeld(t *testing.T) {
+	st := NewRepClStamper(2, RepClConfig{})
+	if _, err := st.Stamp(0, 0, 0.001, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Stamp(1, 0, 0.002, []EventRef{{Rank: 0, Idx: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if st.Held() != 2 {
+		t.Fatalf("held = %d, want 2", st.Held())
+	}
+	st.Release(EventRef{Rank: 0, Idx: 0})
+	st.Release(EventRef{Rank: 1, Idx: 0})
+	if st.Held() != 0 {
+		t.Fatalf("held = %d after releases, want 0", st.Held())
+	}
+	if st.Events() != 2 {
+		t.Fatalf("events = %d, want 2", st.Events())
+	}
+	// a released (or never-seen) source is skipped, not fatal — the
+	// salvage path depends on that
+	if _, err := st.Stamp(1, 1, 0.003, []EventRef{{Rank: 0, Idx: 0}}); err != nil {
+		t.Fatalf("merge with released source failed: %v", err)
+	}
+	if _, err := st.Stamp(2, 0, 0, nil); err == nil {
+		t.Fatal("out-of-range rank accepted")
+	}
+}
+
+// TestRepClStampsDigestStable: the in-memory stamping pass is
+// deterministic and StampsDigest reproduces the stamper's digest.
+func TestRepClStampsDigestStable(t *testing.T) {
+	cfg := repClTestCfg()
+	tr := chainTrace()
+	s1, _, err := RepClStamps(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _, err := RepClStamps(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, d2 := StampsDigest(s1), StampsDigest(s2)
+	if d1 != d2 {
+		t.Fatalf("stamping pass not deterministic: %s vs %s", d1, d2)
+	}
+	// every event got a distinct, ordered stamp along the chain
+	if !cfg.Before(s1[0][0], s1[1][0]) || !cfg.Before(s1[1][0], s1[1][1]) || !cfg.Before(s1[1][1], s1[2][0]) {
+		t.Fatalf("chain stamps out of order: %+v", s1)
+	}
+}
+
+func TestRepClEqualShapes(t *testing.T) {
+	a := RepCl{Mx: 1, Off: []uint32{0, 1}, Ctr: 2}
+	if a.Equal(RepCl{Mx: 1, Off: []uint32{0}, Ctr: 2}) {
+		t.Error("length mismatch reported equal")
+	}
+	if a.Equal(RepCl{Mx: 1, Off: []uint32{0, 1}, Ctr: 3}) {
+		t.Error("counter mismatch reported equal")
+	}
+	if a.Equal(RepCl{Mx: 1, Off: []uint32{0, 2}, Ctr: 2}) {
+		t.Error("offset mismatch reported equal")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Error("clone not equal")
+	}
+}
+
+// TestRepClMergeMismatchedWidth: a remote stamp carrying more offsets
+// than the local clock (a decoded stamp from a wider deployment) merges
+// without panicking — extra slots are ignored.
+func TestRepClMergeMismatchedWidth(t *testing.T) {
+	cfg := repClTestCfg()
+	wide := RepCl{Mx: 0, Off: []uint32{0, 0, 0, 0}, Ctr: 1}
+	c := NewRepCl(2)
+	if _, err := c.MergeRecv(cfg, 0, 0.0001, wide); err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := c.EpochAt(1); !ok || e != 0 {
+		t.Fatalf("in-range knowledge not merged: %d/%v", e, ok)
+	}
+}
+
+// TestRepClStamperAccessors: the stamper's reporting surface agrees
+// with the stamps it handed out.
+func TestRepClStamperAccessors(t *testing.T) {
+	cfg := RepClConfig{Interval: 1e-3, Epsilon: 4}
+	st := NewRepClStamper(2, cfg)
+	if got := st.Config(); got != cfg.Normalize() {
+		t.Fatalf("Config() = %+v, want %+v", got, cfg.Normalize())
+	}
+	stamps := [][]RepCl{{}, {}}
+	for i, ev := range []struct {
+		rank int
+		t    float64
+	}{{0, 0.001}, {1, 0.002}, {0, 0.006}} {
+		s, err := st.Stamp(ev.rank, i, ev.t, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stamps[ev.rank] = append(stamps[ev.rank], s)
+	}
+	if st.MaxEpoch() != cfg.Normalize().Epoch(0.006) {
+		t.Fatalf("MaxEpoch = %d", st.MaxEpoch())
+	}
+	if len(st.RankDigests()) != 2 {
+		t.Fatalf("RankDigests = %v", st.RankDigests())
+	}
+	if st.Digest() != StampsDigest(stamps) {
+		t.Fatalf("Digest %s != StampsDigest %s", st.Digest(), StampsDigest(stamps))
+	}
+}
+
+// TestRepClStampsErrors: graph and overflow failures surface from the
+// in-memory stamping pass instead of producing bogus stamps.
+func TestRepClStampsErrors(t *testing.T) {
+	cfg := repClTestCfg()
+	orphan := &trace.Trace{Procs: []trace.Proc{
+		{Rank: 0, Events: []trace.Event{{Kind: trace.Recv, Time: 1, True: 1, Partner: 0}}},
+	}}
+	if _, _, err := RepClStamps(orphan, cfg); err == nil {
+		t.Fatal("orphan receive accepted by strict stamping")
+	}
+
+	hot := &trace.Trace{Procs: []trace.Proc{
+		{Rank: 0, Events: []trace.Event{
+			{Kind: trace.Enter, Time: 0.1, True: 0.1},
+			{Kind: trace.Exit, Time: 0.2, True: 0.2},
+			{Kind: trace.Enter, Time: 0.3, True: 0.3},
+		}},
+	}}
+	over := RepClConfig{Interval: 1, Epsilon: 4, MaxCounter: 1, Overflow: OverflowError}
+	if _, _, err := RepClStamps(hot, over); err == nil {
+		t.Fatal("counter overflow not surfaced under OverflowError")
+	}
+}
+
+func TestRepClDecodeNonMinimal(t *testing.T) {
+	// 0x80 0x00 is a padded encoding of zero; the canonical codec
+	// rejects it so encode∘decode stays the identity byte for byte
+	if _, _, err := DecodeRepCl([]byte{0x80, 0x00}); !errors.Is(err, trace.ErrBadFormat) {
+		t.Fatalf("non-minimal uvarint accepted: %v", err)
+	}
+	var r RepCl
+	if err := r.UnmarshalBinary([]byte{0x80}); !errors.Is(err, trace.ErrBadFormat) {
+		t.Fatalf("truncated unmarshal accepted: %v", err)
+	}
+}

@@ -1,0 +1,133 @@
+package replay_test
+
+// Fault matrix: replay after salvage. A burst-corrupted v2 trace loses
+// events, which severs messages and tears collective instances; the
+// tolerant replay must degrade those to reported dropped edges and a
+// Partial result — never panic, never fail — while the surviving graph
+// still replays with interleaving-invariant checksums. The strict
+// engine must refuse the same trace, which is what forces callers to
+// opt in to partial verdicts.
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"tsync/internal/faultinject"
+	"tsync/internal/replay"
+	"tsync/internal/stream"
+	"tsync/internal/trace"
+	"tsync/internal/xrand"
+)
+
+// salvagedTrace corrupts a v2 synth trace with burst flips and
+// materializes whatever a salvage-enabled source recovers.
+func salvagedTrace(t *testing.T, spec stream.SynthSpec, bursts, burstLen int) (*trace.Trace, *stream.Source) {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, _, err := stream.Synth(spec, &buf); err != nil {
+		t.Fatalf("Synth: %v", err)
+	}
+	data := buf.Bytes()
+	flips := faultinject.NewBurstFlips(xrand.SeedAt(replaySeed, 9), int64(len(data)), bursts, burstLen)
+	if flips.Count() == 0 {
+		t.Fatal("no corruption generated")
+	}
+	src, err := stream.NewSourceOpts(&faultinject.ReaderAt{R: bytes.NewReader(data), F: flips},
+		stream.SourceOptions{Salvage: true})
+	if err != nil {
+		t.Fatalf("salvage source: %v", err)
+	}
+	if !src.Salvaged() {
+		t.Fatal("corrupted input not reported as salvaged")
+	}
+	h := src.Header()
+	tr := &trace.Trace{Machine: h.Machine, Timer: h.Timer, MinLatency: h.MinLatency, Regions: h.Regions}
+	for rank, ph := range src.Procs() {
+		p := trace.Proc{Rank: ph.Rank, Core: ph.Core, Clock: ph.Clock}
+		cur := src.Cursor(rank)
+		var ev trace.Event
+		for {
+			if err := cur.Next(&ev); err == io.EOF {
+				break
+			} else if err != nil {
+				t.Fatalf("rank %d: cursor: %v", rank, err)
+			}
+			p.Events = append(p.Events, ev)
+		}
+		tr.Procs = append(tr.Procs, p)
+	}
+	return tr, src
+}
+
+func TestTolerantReplayAfterSalvage(t *testing.T) {
+	spec := stream.SynthSpec{
+		Ranks: 4, Steps: 250, CollEvery: 5,
+		Seed: xrand.SeedAt(replaySeed, 8), Version: trace.Version2, FrameEvents: 16,
+	}
+	tr, _ := salvagedTrace(t, spec, 4, 96)
+
+	// the strict engine refuses a trace with severed edges
+	if _, err := replay.New(tr, replay.Options{}); err == nil {
+		t.Fatal("strict engine accepted a salvaged trace with severed edges")
+	}
+
+	eng, err := replay.New(tr, replay.Options{Tolerant: true})
+	if err != nil {
+		t.Fatalf("tolerant engine: %v", err)
+	}
+	if eng.DroppedEdges() == 0 {
+		t.Fatal("burst corruption severed no edges — the fault case is not exercised")
+	}
+	canon, err := eng.Canonical()
+	if err != nil {
+		t.Fatalf("Canonical: %v", err)
+	}
+	if !canon.Partial || canon.DroppedEdges != eng.DroppedEdges() {
+		t.Fatalf("partial replay not reported: %+v", canon)
+	}
+	reps, err := eng.ReplaySeeds(replay.Seeds(replaySeed, 3), 4)
+	if err != nil {
+		t.Fatalf("ReplaySeeds: %v", err)
+	}
+	for _, r := range reps {
+		if !r.Partial {
+			t.Errorf("seed %d: partial flag lost", r.Seed)
+		}
+		if r.Checksum != canon.Checksum {
+			t.Errorf("seed %d: checksum %s != canonical %s", r.Seed, r.Checksum, canon.Checksum)
+		}
+		// the surviving graph still has to replay in a valid order
+		if r.Counts.ProgramOrder != 0 {
+			t.Errorf("seed %d: replay broke program order: %+v", r.Seed, r.Counts)
+		}
+	}
+}
+
+// TestTolerantReplayCleanTrace: tolerance must cost nothing on intact
+// input — same counts, same checksum, nothing dropped.
+func TestTolerantReplayCleanTrace(t *testing.T) {
+	tr, _, _ := synthTrace(t, stream.SynthSpec{Ranks: 3, Steps: 100, CollEvery: 5, Seed: 0x66})
+	strict, err := replay.New(tr, replay.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tolerant, err := replay.New(tr, replay.Options{Tolerant: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tolerant.DroppedEdges() != 0 {
+		t.Fatalf("tolerant build dropped %d edges on a clean trace", tolerant.DroppedEdges())
+	}
+	cs, err := strict.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := tolerant.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Checksum != ct.Checksum || cs.Counts != ct.Counts || ct.Partial {
+		t.Fatalf("tolerant mode changed a clean replay: %+v vs %+v", cs, ct)
+	}
+}

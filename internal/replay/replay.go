@@ -1,0 +1,499 @@
+// Package replay re-executes a traced computation under arbitrary
+// causally consistent interleavings drawn from the RepCl-feasible order
+// set (DESIGN.md §11): every seeded replay is a linear extension of the
+// happened-before graph whose scheduling freedom is bounded by the
+// replay clock's skew window ε, and every replay checks the invariants
+// a sound timestamp correction must preserve — message sends precede
+// receives, collectives complete atomically per communicator, per-rank
+// program order survives, and the summary checksum is bit-identical to
+// the canonical order's. The canonical (timestamp-order) replay is the
+// consumer-side differential test of a correction: a wrong correction
+// inverts happened-before edges, and the counts here catch it.
+package replay
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tsync/internal/lclock"
+	"tsync/internal/runner"
+	"tsync/internal/trace"
+	"tsync/internal/xrand"
+)
+
+// Options configure a replay engine.
+type Options struct {
+	// Clock parameterizes the RepCl stamping pass (zero value: defaults
+	// of lclock.RepClConfig.Normalize).
+	Clock lclock.RepClConfig
+	// Tolerant degrades unmatched messages and broken collectives to
+	// dropped edges instead of failing — the mode for salvaged traces,
+	// where severed ranks legitimately leave orphans behind. Results
+	// then carry Partial=true and the dropped-edge count.
+	Tolerant bool
+}
+
+// Counts breaks invariant violations down by kind.
+type Counts struct {
+	// MessageOrder counts matched messages whose receive executed (or,
+	// canonically, was timestamped) before its send.
+	MessageOrder int
+	// Collective counts collective happened-before edges executed tail
+	// before head — a collective instance torn apart on its
+	// communicator.
+	Collective int
+	// ProgramOrder counts per-rank adjacent event pairs executed out of
+	// their program order.
+	ProgramOrder int
+	// EpochSkew counts events whose corrected local time lagged more
+	// than ε behind causally known time during RepCl stamping (an
+	// order-independent property of the corrected trace).
+	EpochSkew int
+}
+
+// HB is the total of order violations (everything except EpochSkew).
+func (c Counts) HB() int { return c.MessageOrder + c.Collective + c.ProgramOrder }
+
+// Total sums every violation kind.
+func (c Counts) Total() int { return c.HB() + c.EpochSkew }
+
+// Result is the outcome of one replay.
+type Result struct {
+	// Seed identifies the interleaving (0 for the canonical order).
+	Seed   uint64
+	Events int
+	Ranks  int
+	Counts Counts
+	// Breadth is Σ log2 |eligible frontier| over the replay's steps: the
+	// (log-scale) number of ε-feasible interleavings the scheduler could
+	// have chosen among. Zero for the canonical order.
+	Breadth float64
+	// Checksum is the FNV-64a digest of per-rank event content and
+	// RepCl stamps, folded in execution order. It is bit-identical
+	// across every valid interleaving (each rank's events execute in
+	// program order), so differing checksums mean a broken replay.
+	Checksum string
+	// MaxEpoch is the highest RepCl epoch reached during stamping.
+	MaxEpoch uint64
+	// Partial marks a tolerant replay that had to drop edges.
+	Partial bool
+	// DroppedEdges counts messages and collective edges the tolerant
+	// graph build discarded.
+	DroppedEdges int
+}
+
+// Engine holds the immutable replay state for one corrected trace: the
+// happened-before graph in CSR form, the RepCl stamps, and the per-rank
+// event metadata. Safe for concurrent replays once built.
+type Engine struct {
+	t   *trace.Trace
+	opt Options
+
+	ranks  int
+	counts []int   // events per rank
+	base   []int32 // global id offset per rank
+	events int
+
+	msgs  []lclock.Edge
+	colls []lclock.Edge
+
+	// CSR out-adjacency and in-degrees over global event ids.
+	outStart []int32
+	outList  []int32
+	indeg    []int32
+
+	stamps   [][]lclock.RepCl
+	skew     int
+	maxEpoch uint64
+
+	dropped int
+}
+
+// New builds a replay engine over a (corrected) trace.
+func New(t *trace.Trace, opt Options) (*Engine, error) {
+	if t == nil {
+		return nil, fmt.Errorf("replay: nil trace")
+	}
+	opt.Clock = opt.Clock.Normalize()
+	e := &Engine{t: t, opt: opt, ranks: len(t.Procs)}
+	e.counts = make([]int, e.ranks)
+	e.base = make([]int32, e.ranks)
+	for r, p := range t.Procs {
+		e.base[r] = int32(e.events)
+		e.counts[r] = len(p.Events)
+		e.events += len(p.Events)
+	}
+	if err := e.buildEdges(); err != nil {
+		return nil, err
+	}
+	edges := make([]lclock.Edge, 0, len(e.msgs)+len(e.colls))
+	edges = append(edges, e.msgs...)
+	edges = append(edges, e.colls...)
+	var err error
+	e.stamps, e.skew, err = lclock.RepClStampsEdges(t, opt.Clock, edges)
+	if err != nil {
+		return nil, err
+	}
+	for _, rank := range e.stamps {
+		for _, c := range rank {
+			if c.Mx > e.maxEpoch {
+				e.maxEpoch = c.Mx
+			}
+		}
+	}
+	// CSR adjacency over cross edges (program order stays implicit in
+	// the per-rank head pointers).
+	e.indeg = make([]int32, e.events)
+	deg := make([]int32, e.events)
+	for _, ed := range edges {
+		deg[e.id(ed.From)]++
+		e.indeg[e.id(ed.To)]++
+	}
+	e.outStart = make([]int32, e.events+1)
+	for i := 0; i < e.events; i++ {
+		e.outStart[i+1] = e.outStart[i] + deg[i]
+	}
+	e.outList = make([]int32, e.outStart[e.events])
+	fill := append([]int32(nil), e.outStart[:e.events]...)
+	for _, ed := range edges {
+		f := e.id(ed.From)
+		e.outList[fill[f]] = e.id(ed.To)
+		fill[f]++
+	}
+	return e, nil
+}
+
+func (e *Engine) id(ref lclock.EventRef) int32 { return e.base[ref.Rank] + int32(ref.Idx) }
+
+// Stamps returns the per-rank RepCl stamp arrays.
+func (e *Engine) Stamps() [][]lclock.RepCl { return e.stamps }
+
+// SkewClamps returns the ε-skew violations found during stamping.
+func (e *Engine) SkewClamps() int { return e.skew }
+
+// DroppedEdges returns how many edges the tolerant build dropped.
+func (e *Engine) DroppedEdges() int { return e.dropped }
+
+// buildEdges resolves the trace's cross-process happened-before edges,
+// strictly (any mismatch is an error) or tolerantly (mismatches become
+// dropped edges, counted).
+func (e *Engine) buildEdges() error {
+	msgs, merr := e.t.Messages()
+	colls, cerr := e.t.Collectives()
+	if (merr != nil || cerr != nil) && !e.opt.Tolerant {
+		if merr != nil {
+			return merr
+		}
+		return cerr
+	}
+	if merr == nil {
+		for _, m := range msgs {
+			e.msgs = append(e.msgs, lclock.Edge{
+				From: lclock.EventRef{Rank: m.From, Idx: m.FromIdx},
+				To:   lclock.EventRef{Rank: m.To, Idx: m.ToIdx},
+			})
+		}
+	} else {
+		e.tolerantMessages()
+	}
+	if cerr == nil {
+		for _, c := range colls {
+			e.colls = append(e.colls, lclock.CollEdges(c)...)
+		}
+	} else {
+		e.tolerantCollectives()
+	}
+	return nil
+}
+
+// tolerantMessages redoes FIFO matching in merged (True, rank) order
+// with the streaming engine's oracle-time guard: a queued send at or
+// past a receive's oracle time belongs to a later message whose real
+// sender was lost, so the receive stays an orphan. Unmatched events on
+// either side become dropped edges.
+func (e *Engine) tolerantMessages() {
+	type chanKey struct{ from, to, tag, comm int32 }
+	type pendingSend struct {
+		ref lclock.EventRef
+		tru float64
+	}
+	type ordered struct {
+		tru  float64
+		ref  lclock.EventRef
+		recv bool
+		key  chanKey
+	}
+	var evs []ordered
+	for rank, p := range e.t.Procs {
+		for idx, ev := range p.Events {
+			switch ev.Kind {
+			case trace.Send:
+				evs = append(evs, ordered{ev.True, lclock.EventRef{Rank: rank, Idx: idx}, false,
+					chanKey{int32(rank), ev.Partner, ev.Tag, ev.Comm}})
+			case trace.Recv:
+				evs = append(evs, ordered{ev.True, lclock.EventRef{Rank: rank, Idx: idx}, true,
+					chanKey{ev.Partner, int32(rank), ev.Tag, ev.Comm}})
+			}
+		}
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].tru != evs[j].tru { //tsync:exact — merge order on oracle times, ties broken by (rank, idx) below
+			return evs[i].tru < evs[j].tru
+		}
+		if evs[i].ref.Rank != evs[j].ref.Rank {
+			return evs[i].ref.Rank < evs[j].ref.Rank
+		}
+		return evs[i].ref.Idx < evs[j].ref.Idx
+	})
+	fifos := map[chanKey][]pendingSend{}
+	for _, o := range evs {
+		if !o.recv {
+			fifos[o.key] = append(fifos[o.key], pendingSend{o.ref, o.tru})
+			continue
+		}
+		q := fifos[o.key]
+		if len(q) == 0 || q[0].tru >= o.tru { //tsync:exact — genuine pairs strictly increase oracle time; a head at or past the receive belongs to a later, half-lost message
+			e.dropped++ // orphan receive
+			continue
+		}
+		e.msgs = append(e.msgs, lclock.Edge{From: q[0].ref, To: o.ref})
+		fifos[o.key] = q[1:]
+	}
+	for _, q := range fifos {
+		e.dropped += len(q) // sends whose receive was lost
+	}
+}
+
+// tolerantCollectives groups collective events by (comm, instance) and
+// expands whatever edges the surviving participants support, dropping
+// op-mismatched strays.
+func (e *Engine) tolerantCollectives() {
+	type key struct{ comm, inst int32 }
+	insts := map[key]*trace.Collective{}
+	var order []key
+	for rank, p := range e.t.Procs {
+		for idx, ev := range p.Events {
+			if ev.Kind != trace.CollBegin && ev.Kind != trace.CollEnd {
+				continue
+			}
+			k := key{ev.Comm, ev.Instance}
+			c, ok := insts[k]
+			if !ok {
+				c = &trace.Collective{Op: ev.Op, Comm: ev.Comm, Instance: ev.Instance,
+					Root: ev.Root, Begin: map[int]int{}, End: map[int]int{}}
+				insts[k] = c
+				order = append(order, k)
+			}
+			if c.Op != ev.Op {
+				e.dropped++ // op mismatch from a half-lost instance
+				continue
+			}
+			if ev.Kind == trace.CollBegin {
+				if _, dup := c.Begin[rank]; dup {
+					e.dropped++
+					continue
+				}
+				c.Begin[rank] = idx
+			} else {
+				if _, dup := c.End[rank]; dup {
+					e.dropped++
+					continue
+				}
+				c.End[rank] = idx
+			}
+		}
+	}
+	for _, k := range order {
+		c := insts[k]
+		before := len(c.Begin) + len(c.End)
+		got := lclock.CollEdges(*c)
+		e.colls = append(e.colls, got...)
+		// a one-sided instance (root's begin lost, say) yields fewer
+		// edges than participants; book the shortfall as dropped
+		if len(got) == 0 && before > 1 {
+			e.dropped += before - 1
+		}
+	}
+}
+
+// checkOrder verifies an execution order (a permutation of all events,
+// as global positions per event) against every invariant and folds the
+// checksum. It is independent of how the order was produced, which is
+// what gives seeded replays a checker the scheduler cannot fool.
+func (e *Engine) checkOrder(pos []int32) (Counts, string) {
+	var c Counts
+	c.EpochSkew = e.skew
+	for r := 0; r < e.ranks; r++ {
+		b := e.base[r]
+		for i := 1; i < e.counts[r]; i++ {
+			if pos[b+int32(i)] < pos[b+int32(i-1)] {
+				c.ProgramOrder++
+			}
+		}
+	}
+	for _, m := range e.msgs {
+		if pos[e.id(m.To)] < pos[e.id(m.From)] {
+			c.MessageOrder++
+		}
+	}
+	for _, ce := range e.colls {
+		if pos[e.id(ce.To)] < pos[e.id(ce.From)] {
+			c.Collective++
+		}
+	}
+	return c, e.checksum(pos)
+}
+
+// checksum folds per-rank digests over event content and RepCl stamps
+// in the order each rank's events appear in the execution, then
+// combines them in rank order. Any valid interleaving visits a rank's
+// events in program order, so the digest is interleaving-invariant.
+func (e *Engine) checksum(pos []int32) string {
+	const (
+		fnvOffset64 = 14695981039346656037
+		fnvPrime64  = 1099511628211
+	)
+	word := func(d, w uint64) uint64 {
+		for i := 0; i < 8; i++ {
+			d = (d ^ (w & 0xff)) * fnvPrime64
+			w >>= 8
+		}
+		return d
+	}
+	// execution order per rank: sort each rank's indices by position
+	digest := uint64(fnvOffset64)
+	idxs := make([]int, 0)
+	for r := 0; r < e.ranks; r++ {
+		idxs = idxs[:0]
+		for i := 0; i < e.counts[r]; i++ {
+			idxs = append(idxs, i)
+		}
+		b := e.base[r]
+		sort.Slice(idxs, func(i, j int) bool { return pos[b+int32(idxs[i])] < pos[b+int32(idxs[j])] })
+		d := uint64(fnvOffset64)
+		for _, i := range idxs {
+			ev := &e.t.Procs[r].Events[i]
+			d = word(d, uint64(ev.Kind))
+			d = word(d, math.Float64bits(ev.Time))
+			d = word(d, math.Float64bits(ev.True))
+			d = word(d, uint64(uint32(ev.Partner))|uint64(uint32(ev.Tag))<<32)
+			st := e.stamps[r][i]
+			d = word(d, st.Mx)
+			d = word(d, uint64(st.Ctr))
+		}
+		digest = word(digest, d)
+	}
+	return fmt.Sprintf("%016x", digest)
+}
+
+// Canonical replays the trace in corrected-timestamp order — the order
+// a consumer trusting the timestamps would process it in — and counts
+// the invariant violations that order commits. A sound correction
+// yields zero; this is the replay engine's differential test of every
+// correction the repository produces.
+func (e *Engine) Canonical() (*Result, error) {
+	type ordered struct {
+		time float64
+		ref  lclock.EventRef
+	}
+	evs := make([]ordered, 0, e.events)
+	for rank, p := range e.t.Procs {
+		for idx := range p.Events {
+			evs = append(evs, ordered{p.Events[idx].Time, lclock.EventRef{Rank: rank, Idx: idx}})
+		}
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].time != evs[j].time { //tsync:exact — replay order on corrected timestamps; ties break by (rank, idx) below
+			return evs[i].time < evs[j].time
+		}
+		if evs[i].ref.Rank != evs[j].ref.Rank {
+			return evs[i].ref.Rank < evs[j].ref.Rank
+		}
+		return evs[i].ref.Idx < evs[j].ref.Idx
+	})
+	pos := make([]int32, e.events)
+	for p, o := range evs {
+		pos[e.id(o.ref)] = int32(p)
+	}
+	counts, sum := e.checkOrder(pos)
+	return &Result{
+		Events: e.events, Ranks: e.ranks, Counts: counts, Checksum: sum,
+		MaxEpoch: e.maxEpoch, Partial: e.dropped > 0, DroppedEdges: e.dropped,
+	}, nil
+}
+
+// Replay executes one seeded ε-feasible interleaving: at every step the
+// scheduler gathers the frontier (each rank's next event whose cross
+// in-edges have all executed), restricts it to heads within ε epochs of
+// the frontier's minimum RepCl epoch, and picks uniformly from that
+// eligible set. The produced order is then verified by the same checker
+// the canonical replay uses — the scheduler earns no trust.
+func (e *Engine) Replay(seed uint64) (*Result, error) {
+	rng := xrand.NewSource(seed)
+	indeg := append([]int32(nil), e.indeg...)
+	next := make([]int, e.ranks)
+	pos := make([]int32, e.events)
+	eligible := make([]int, 0, e.ranks)
+	var breadth float64
+	eps := uint64(e.opt.Clock.Epsilon)
+	for step := 0; step < e.events; step++ {
+		// frontier: ready ranks and their minimum head epoch
+		minMx, haveMin := uint64(0), false
+		for r := 0; r < e.ranks; r++ {
+			i := next[r]
+			if i >= e.counts[r] || indeg[e.base[r]+int32(i)] != 0 {
+				continue
+			}
+			if mx := e.stamps[r][i].Mx; !haveMin || mx < minMx {
+				minMx, haveMin = mx, true
+			}
+		}
+		if !haveMin {
+			return nil, fmt.Errorf("replay: deadlock at step %d/%d (cyclic happened-before graph?)", step, e.events)
+		}
+		eligible = eligible[:0]
+		for r := 0; r < e.ranks; r++ {
+			i := next[r]
+			if i >= e.counts[r] || indeg[e.base[r]+int32(i)] != 0 {
+				continue
+			}
+			if e.stamps[r][i].Mx <= minMx+eps {
+				eligible = append(eligible, r)
+			}
+		}
+		breadth += math.Log2(float64(len(eligible)))
+		r := eligible[rng.Intn(len(eligible))]
+		gid := e.base[r] + int32(next[r])
+		pos[gid] = int32(step)
+		next[r]++
+		for k := e.outStart[gid]; k < e.outStart[gid+1]; k++ {
+			indeg[e.outList[k]]--
+		}
+	}
+	counts, sum := e.checkOrder(pos)
+	return &Result{
+		Seed: seed, Events: e.events, Ranks: e.ranks, Counts: counts,
+		Breadth: breadth, Checksum: sum, MaxEpoch: e.maxEpoch,
+		Partial: e.dropped > 0, DroppedEdges: e.dropped,
+	}, nil
+}
+
+// ReplaySeeds runs one replay per seed on a bounded worker pool. Each
+// replay reads only the engine's immutable state and its own seed, so
+// results are bit-identical for every worker count.
+func (e *Engine) ReplaySeeds(seeds []uint64, workers int) ([]*Result, error) {
+	return runner.Map(runner.New(workers), len(seeds), func(i int) (*Result, error) {
+		return e.Replay(seeds[i])
+	})
+}
+
+// Seeds derives n replay seeds from a base seed with the repository's
+// O(1) splitmix64 derivation, so seed lists are stable across tools.
+func Seeds(base uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = xrand.SeedAt(base, uint64(i))
+	}
+	return out
+}

@@ -1,0 +1,307 @@
+package replay_test
+
+// Property and adversarial tests for the replay engine. Property side:
+// on clean traces (perfect clocks, or drifted clocks under a sound
+// correction) the canonical replay and every seeded ε-feasible
+// interleaving must report zero violations with bit-identical summary
+// checksums, for any replay seed at any worker count. Adversarial side:
+// the corrections a consumer must NOT trust — the identity map on
+// drifted clocks, a piecewise correction with two ranks' pieces
+// swapped, and the pre-PR-2 off-by-one knot reconstruction that keeps
+// applying piece i-1 past knot i — must each be caught with at least
+// one happened-before violation.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"tsync/internal/experiments"
+	"tsync/internal/interp"
+	"tsync/internal/measure"
+	"tsync/internal/replay"
+	"tsync/internal/stats"
+	"tsync/internal/stream"
+	"tsync/internal/trace"
+)
+
+const replaySeed = 0x4e91a77
+
+// synthTrace renders a synthetic workload and returns the in-memory
+// trace with its exact offset tables.
+func synthTrace(t *testing.T, spec stream.SynthSpec) (*trace.Trace, []measure.Offset, []measure.Offset) {
+	t.Helper()
+	var buf bytes.Buffer
+	init, fin, err := stream.Synth(spec, &buf)
+	if err != nil {
+		t.Fatalf("Synth: %v", err)
+	}
+	tr, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	return tr, init, fin
+}
+
+// checkCleanReplay asserts the full order-invariance property on one
+// trace: zero violations and one checksum across the canonical order
+// and every (seed, workers) combination.
+func checkCleanReplay(t *testing.T, tr *trace.Trace, label string) {
+	t.Helper()
+	eng, err := replay.New(tr, replay.Options{})
+	if err != nil {
+		t.Fatalf("%s: New: %v", label, err)
+	}
+	canon, err := eng.Canonical()
+	if err != nil {
+		t.Fatalf("%s: Canonical: %v", label, err)
+	}
+	if canon.Counts.Total() != 0 {
+		t.Fatalf("%s: canonical order has violations: %+v", label, canon.Counts)
+	}
+	seeds := replay.Seeds(replaySeed, 3)
+	var prev []*replay.Result
+	for _, workers := range []int{1, 4} {
+		reps, err := eng.ReplaySeeds(seeds, workers)
+		if err != nil {
+			t.Fatalf("%s: ReplaySeeds(workers=%d): %v", label, workers, err)
+		}
+		for _, r := range reps {
+			if r.Counts.Total() != 0 {
+				t.Errorf("%s: seed %d workers %d: violations %+v", label, r.Seed, workers, r.Counts)
+			}
+			if r.Checksum != canon.Checksum {
+				t.Errorf("%s: seed %d workers %d: checksum %s != canonical %s",
+					label, r.Seed, workers, r.Checksum, canon.Checksum)
+			}
+			if r.Breadth <= 0 {
+				t.Errorf("%s: seed %d: no scheduling freedom measured", label, r.Seed)
+			}
+		}
+		if prev != nil && !reflect.DeepEqual(prev, reps) {
+			t.Errorf("%s: results differ between worker counts", label)
+		}
+		prev = reps
+	}
+}
+
+// TestCleanReplayOrderInvariance: random seeded topologies, replayed
+// with perfect clocks and with drifted clocks under the linear
+// interpolation correction — both must be indistinguishable from the
+// canonical order for every seed at every worker count.
+func TestCleanReplayOrderInvariance(t *testing.T) {
+	specs := []stream.SynthSpec{
+		{Ranks: 3, Steps: 120, CollEvery: 7, Seed: 0x11},
+		{Ranks: 5, Steps: 80, CollEvery: 5, Seed: 0x22},
+	}
+	for _, spec := range specs {
+		perfect := spec
+		perfect.DistortClock = func(rank int, tm, c float64) float64 { return tm }
+		tr, _, _ := synthTrace(t, perfect)
+		checkCleanReplay(t, tr, "perfect clocks")
+
+		drifted, init, fin := synthTrace(t, spec)
+		corr, err := interp.Linear(init, fin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkCleanReplay(t, corr.Apply(drifted), "interp-corrected")
+	}
+}
+
+// adversarialSpec is the workload the wrong-correction tests share: a
+// frequency jump halfway through pushes every non-master clock onto a
+// second linear piece, so a sound reconstruction genuinely needs two
+// pieces per rank.
+const advJump = 0.15 // oracle time of the frequency jump, mid-trace
+
+func adversarialTrace(t *testing.T) (*trace.Trace, []measure.Offset, []measure.Offset) {
+	t.Helper()
+	spec := stream.SynthSpec{
+		Ranks: 4, Steps: 300, CollEvery: 6, Seed: 0x1, // seed picked for well-separated rank offsets, so swapping two ranks' pieces is observable
+		DistortClock: func(rank int, tm, c float64) float64 {
+			if rank != 0 && tm > advJump {
+				return c + 0.05*(tm-advJump) // 50 ms/s frequency error
+			}
+			return c
+		},
+	}
+	return synthTrace(t, spec)
+}
+
+// reconstructPieces rebuilds each rank's two-piece correction from the
+// trace itself: piece 1 through the init sample and the last pre-jump
+// event, piece 2 through that event and the fin sample — the knot
+// placement a correct fingerprint reconstruction would produce.
+func reconstructPieces(t *testing.T, tr *trace.Trace, init, fin []measure.Offset) (knots [][]float64, lines [][]stats.Line) {
+	t.Helper()
+	lineThrough := func(w1, m1, w2, m2 float64) stats.Line {
+		slope := (m2 - m1) / (w2 - w1)
+		return stats.Line{Slope: slope, Intercept: m1 - slope*w1}
+	}
+	for r, p := range tr.Procs {
+		var last *trace.Event
+		for i := range p.Events {
+			if p.Events[i].True <= advJump {
+				last = &p.Events[i]
+			}
+		}
+		if last == nil {
+			t.Fatalf("rank %d has no pre-jump events", r)
+		}
+		w0, m0 := init[r].WorkerTime, init[r].WorkerTime+init[r].Offset
+		wk, mk := last.Time, last.True
+		w1, m1 := fin[r].WorkerTime, fin[r].WorkerTime+fin[r].Offset
+		knots = append(knots, []float64{w0, wk})
+		lines = append(lines, []stats.Line{lineThrough(w0, m0, wk, mk), lineThrough(wk, mk, w1, m1)})
+	}
+	return knots, lines
+}
+
+func canonicalCounts(t *testing.T, tr *trace.Trace) replay.Counts {
+	t.Helper()
+	eng, err := replay.New(tr, replay.Options{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	canon, err := eng.Canonical()
+	if err != nil {
+		t.Fatalf("Canonical: %v", err)
+	}
+	return canon.Counts
+}
+
+// TestAdversarialCorrectionsDetected: each wrong correction must leave
+// at least one happened-before violation for the canonical replay to
+// catch, while the correct reconstruction of the same trace leaves
+// none.
+func TestAdversarialCorrectionsDetected(t *testing.T) {
+	tr, init, fin := adversarialTrace(t)
+	knots, lines := reconstructPieces(t, tr, init, fin)
+
+	correct, err := interp.FromRankPieces(knots, lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := canonicalCounts(t, correct.Apply(tr)); c.HB() != 0 {
+		t.Fatalf("correct reconstruction still violates: %+v", c)
+	}
+
+	t.Run("identity map", func(t *testing.T) {
+		if c := canonicalCounts(t, tr); c.HB() < 1 {
+			t.Fatalf("uncorrected drifted trace reported clean: %+v", c)
+		}
+	})
+
+	t.Run("swapped-rank pieces", func(t *testing.T) {
+		sk := append([][]float64(nil), knots...)
+		sl := append([][]stats.Line(nil), lines...)
+		sk[1], sk[2] = sk[2], sk[1]
+		sl[1], sl[2] = sl[2], sl[1]
+		swapped, err := interp.FromRankPieces(sk, sl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c := canonicalCounts(t, swapped.Apply(tr)); c.HB() < 1 {
+			t.Fatalf("swapped-rank correction reported clean: %+v", c)
+		}
+	})
+
+	t.Run("off-by-one knots", func(t *testing.T) {
+		// the pre-PR-2 lookup bug: past knot i the previous piece keeps
+		// being applied, so every rank's second interval gets piece 1
+		bl := make([][]stats.Line, len(lines))
+		for r := range lines {
+			bl[r] = []stats.Line{lines[r][0], lines[r][0]}
+		}
+		buggy, err := interp.FromRankPieces(knots, bl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c := canonicalCounts(t, buggy.Apply(tr)); c.HB() < 1 {
+			t.Fatalf("off-by-one reconstruction reported clean: %+v", c)
+		}
+	})
+}
+
+// TestScoreRanksLikeCompareCorrections: the replay scoring table must
+// rank corrections consistently with the residual-violation ranking of
+// experiments.CompareCorrections — the uncorrected trace is strictly
+// worst in both, and every shared corrected method beats it in both.
+func TestScoreRanksLikeCompareCorrections(t *testing.T) {
+	tr, init, fin := synthTrace(t, stream.SynthSpec{Ranks: 4, Steps: 200, CollEvery: 10, Seed: 0x44})
+
+	scores, err := replay.Score(tr, init, fin, replay.ScoreConfig{Seeds: replay.Seeds(replaySeed, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]replay.MethodScore{}
+	for _, s := range scores {
+		if s.Err != nil {
+			t.Fatalf("method %s failed: %v", s.Method, s.Err)
+		}
+		byName[s.Method] = s
+	}
+
+	cc, err := experiments.CompareCorrections(tr, init, fin, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccByName := map[string]int{}
+	for _, m := range cc {
+		if m.Err == nil {
+			ccByName[m.Method] = m.Violations
+		}
+	}
+
+	if ccByName["none"] == 0 {
+		t.Fatal("drifted trace has no residual violations to rank")
+	}
+	if byName["none"].Counts.HB() == 0 {
+		t.Fatal("replay sees no violations on the uncorrected trace")
+	}
+	for _, m := range []string{"align", "interp", "interp+clc"} {
+		if ccByName[m] >= ccByName["none"] {
+			t.Errorf("CompareCorrections: %s (%d) not better than none (%d)", m, ccByName[m], ccByName["none"])
+		}
+		if byName[m].Counts.HB() >= byName["none"].Counts.HB() {
+			t.Errorf("replay score: %s (%d) not better than none (%d)",
+				m, byName[m].Counts.HB(), byName["none"].Counts.HB())
+		}
+	}
+	// breadth is a property of the stamped trace, not the seed list, so
+	// it must come back positive for every method
+	for name, s := range byName {
+		if s.Breadth <= 0 {
+			t.Errorf("method %s: breadth %g", name, s.Breadth)
+		}
+	}
+}
+
+// TestReplaySeedsDeterministic: one seed list, many invocations — the
+// same results every time, and Seeds itself is a pure function.
+func TestReplaySeedsDeterministic(t *testing.T) {
+	if !reflect.DeepEqual(replay.Seeds(7, 4), replay.Seeds(7, 4)) {
+		t.Fatal("Seeds not deterministic")
+	}
+	tr, init, fin := synthTrace(t, stream.SynthSpec{Ranks: 3, Steps: 60, CollEvery: 4, Seed: 0x55})
+	corr, err := interp.Linear(init, fin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := replay.New(corr.Apply(tr), replay.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := eng.Replay(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := eng.Replay(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,143 @@
+package replay
+
+import (
+	"fmt"
+
+	"tsync/internal/clc"
+	"tsync/internal/errest"
+	"tsync/internal/fingerprint"
+	"tsync/internal/interp"
+	"tsync/internal/measure"
+	"tsync/internal/runner"
+	"tsync/internal/trace"
+)
+
+// MethodScore is one row of the correction scoring table: how a replay
+// consumer fares when it trusts the timestamps this method produces.
+type MethodScore struct {
+	Method string
+	// Counts are the canonical (timestamp-order) replay's violations.
+	Counts Counts
+	// Breadth is the mean feasible-interleaving breadth over the probe
+	// seeds — how much scheduling freedom the ε window leaves a replay
+	// under this correction.
+	Breadth float64
+	// Checksum is the canonical replay's summary checksum.
+	Checksum string
+	Err      error
+}
+
+// ScoreConfig drives Score.
+type ScoreConfig struct {
+	Options Options
+	// Seeds are the probe seeds for the breadth estimate (default: 3
+	// seeds derived from base 1).
+	Seeds []uint64
+	// Workers bounds the method fan-out; <= 0 uses all CPUs. Rows come
+	// back in fixed method order for any worker count.
+	Workers int
+	// Fingerprint tunes the -autoknots method; zero value uses the
+	// fingerprint defaults.
+	Fingerprint fingerprint.Options
+}
+
+// Score replays the trace under every correction the repository
+// produces — none, offset alignment, linear interpolation, the min-max
+// error estimate, interpolation + CLC, and the fingerprint auto-knot
+// correction — and reports each one's canonical-replay violation counts
+// and feasible-interleaving breadth. It is the replay-consumer
+// counterpart of experiments.CompareCorrections: methods that leave
+// residual clock error keep inverting happened-before edges, and the
+// ranking of the violation counts tracks the residual ranking.
+//
+// Methods are independent (each starts from the raw trace), so they
+// fan out on a bounded worker pool; per-method failures land in the
+// row's Err, never hiding the other rows.
+func Score(raw *trace.Trace, init, fin []measure.Offset, cfg ScoreConfig) ([]MethodScore, error) {
+	if raw == nil {
+		return nil, fmt.Errorf("replay: nil trace")
+	}
+	if len(cfg.Seeds) == 0 {
+		cfg.Seeds = Seeds(1, 3)
+	}
+	type method struct {
+		name  string
+		apply func() (*trace.Trace, error)
+	}
+	methods := []method{
+		{"none", func() (*trace.Trace, error) { return raw, nil }},
+		{"align", func() (*trace.Trace, error) {
+			corr, err := interp.AlignOnly(init)
+			if err != nil {
+				return nil, err
+			}
+			return corr.Apply(raw), nil
+		}},
+		{"interp", func() (*trace.Trace, error) {
+			corr, err := interp.Linear(init, fin)
+			if err != nil {
+				return nil, err
+			}
+			return corr.Apply(raw), nil
+		}},
+		{"errest-minmax", func() (*trace.Trace, error) {
+			corr, err := errest.Estimate(raw, errest.MinMax)
+			if err != nil {
+				return nil, err
+			}
+			return corr.Apply(raw), nil
+		}},
+		{"interp+clc", func() (*trace.Trace, error) {
+			base := raw
+			if linear, err := interp.Linear(init, fin); err == nil {
+				base = linear.Apply(raw)
+			}
+			corrected, _, err := clc.CorrectParallel(base, clc.DefaultOptions())
+			return corrected, err
+		}},
+		{"autoknots", func() (*trace.Trace, error) {
+			tr := fingerprint.NewTracker(len(raw.Procs), cfg.Fingerprint)
+			for rank, p := range raw.Procs {
+				for _, ev := range p.Events {
+					tr.Add(rank, ev.True, ev.Time)
+				}
+			}
+			corr, _, err := tr.Report().AutoCorrection()
+			if err != nil {
+				return nil, err
+			}
+			return corr.Apply(raw), nil
+		}},
+	}
+	return runner.Map(runner.New(cfg.Workers), len(methods), func(i int) (MethodScore, error) {
+		ms := MethodScore{Method: methods[i].name}
+		t, err := methods[i].apply()
+		if err != nil {
+			ms.Err = err
+			return ms, nil
+		}
+		eng, err := New(t, cfg.Options)
+		if err != nil {
+			ms.Err = err
+			return ms, nil
+		}
+		canon, err := eng.Canonical()
+		if err != nil {
+			ms.Err = err
+			return ms, nil
+		}
+		ms.Counts = canon.Counts
+		ms.Checksum = canon.Checksum
+		// serial probe replays: the outer pool already fans out methods
+		reps, err := eng.ReplaySeeds(cfg.Seeds, 1)
+		if err != nil {
+			ms.Err = err
+			return ms, nil
+		}
+		for _, r := range reps {
+			ms.Breadth += r.Breadth
+		}
+		ms.Breadth /= float64(len(reps))
+		return ms, nil
+	})
+}

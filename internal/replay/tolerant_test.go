@@ -1,0 +1,120 @@
+package replay_test
+
+// Hand-built degradation cases for the tolerant graph build: collective
+// instances with mixed ops, duplicate begin/end records, and one-sided
+// instances (the shapes salvage leaves behind when a burst takes out
+// part of a collective round) must degrade to counted dropped edges,
+// and the surviving graph must still replay consistently.
+
+import (
+	"testing"
+
+	"tsync/internal/replay"
+	"tsync/internal/stream"
+	"tsync/internal/trace"
+)
+
+// brokenCollectiveTrace: instance 0 is a healthy barrier on all three
+// ranks; instance 1 mixes ops (rank 1's records pretend it was a
+// reduce); instance 2 exists only as rank 2's end (begin lost); rank 2
+// also logs a duplicate begin for instance 3.
+func brokenCollectiveTrace() *trace.Trace {
+	coll := func(kind trace.Kind, tm float64, op trace.CollOp, inst int32) trace.Event {
+		return trace.Event{Kind: kind, Time: tm, True: tm, Op: op, Instance: inst, Partner: -1}
+	}
+	return &trace.Trace{Procs: []trace.Proc{
+		{Rank: 0, Events: []trace.Event{
+			coll(trace.CollBegin, 1.0, trace.OpBarrier, 0),
+			coll(trace.CollEnd, 2.0, trace.OpBarrier, 0),
+			coll(trace.CollBegin, 6.1, trace.OpBarrier, 3),
+			coll(trace.CollEnd, 7.1, trace.OpBarrier, 3),
+		}},
+		{Rank: 1, Events: []trace.Event{
+			coll(trace.CollBegin, 1.1, trace.OpBarrier, 0),
+			coll(trace.CollEnd, 2.1, trace.OpBarrier, 0),
+			coll(trace.CollBegin, 3.1, trace.OpReduce, 1), // op mismatch vs rank 2's barrier record
+			coll(trace.CollEnd, 4.1, trace.OpReduce, 1),
+		}},
+		{Rank: 2, Events: []trace.Event{
+			coll(trace.CollBegin, 1.2, trace.OpBarrier, 0),
+			coll(trace.CollEnd, 2.2, trace.OpBarrier, 0),
+			coll(trace.CollBegin, 3.0, trace.OpBarrier, 1),
+			coll(trace.CollEnd, 4.2, trace.OpBarrier, 1),
+			coll(trace.CollEnd, 5.0, trace.OpBarrier, 2), // begin lost to corruption
+			coll(trace.CollBegin, 6.0, trace.OpBarrier, 3),
+			coll(trace.CollBegin, 6.5, trace.OpBarrier, 3), // duplicate record
+			coll(trace.CollEnd, 7.0, trace.OpBarrier, 3),
+		}},
+	}}
+}
+
+func TestTolerantCollectiveDegradation(t *testing.T) {
+	tr := brokenCollectiveTrace()
+
+	if _, err := replay.New(tr, replay.Options{}); err == nil {
+		t.Fatal("strict engine accepted mixed-op collectives")
+	}
+
+	eng, err := replay.New(tr, replay.Options{Tolerant: true})
+	if err != nil {
+		t.Fatalf("tolerant engine: %v", err)
+	}
+	// rank 1's two mismatched records and rank 2's duplicate begin must
+	// all be dropped
+	if eng.DroppedEdges() < 3 {
+		t.Fatalf("dropped %d edges, want >= 3", eng.DroppedEdges())
+	}
+	if eng.SkewClamps() != 0 {
+		t.Fatalf("synchronized hand-built trace produced %d ε clamps", eng.SkewClamps())
+	}
+	if got := eng.Stamps(); len(got) != 3 || len(got[2]) != 8 {
+		t.Fatalf("stamps shape wrong: %d ranks", len(got))
+	}
+	canon, err := eng.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !canon.Partial || canon.Counts.HB() != 0 {
+		t.Fatalf("surviving graph should replay cleanly but partially: %+v", canon)
+	}
+	rep, err := eng.Replay(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Checksum != canon.Checksum || rep.Counts.HB() != 0 {
+		t.Fatalf("tolerant replay diverged: %+v vs %+v", rep, canon)
+	}
+}
+
+func TestNewRejectsNilTrace(t *testing.T) {
+	if _, err := replay.New(nil, replay.Options{}); err == nil {
+		t.Fatal("nil trace accepted")
+	}
+	if _, err := replay.Score(nil, nil, nil, replay.ScoreConfig{}); err == nil {
+		t.Fatal("Score accepted nil trace")
+	}
+}
+
+// TestScorePartialFailures: methods that need the offset sidecar fail
+// row-by-row when it is absent; the others still score.
+func TestScorePartialFailures(t *testing.T) {
+	tr, _, _ := synthTrace(t, stream.SynthSpec{Ranks: 3, Steps: 40, CollEvery: 4, Seed: 0x77})
+	scores, err := replay.Score(tr, nil, nil, replay.ScoreConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]error{}
+	for _, s := range scores {
+		got[s.Method] = s.Err
+	}
+	for _, m := range []string{"align", "interp"} {
+		if got[m] == nil {
+			t.Errorf("method %s scored without offset tables", m)
+		}
+	}
+	for _, m := range []string{"none", "errest-minmax", "autoknots"} {
+		if e, ok := got[m]; !ok || e != nil {
+			t.Errorf("method %s should not need offset tables: %v", m, e)
+		}
+	}
+}
