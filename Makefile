@@ -59,24 +59,29 @@ cover-check:
 # streaming pipeline cases — streaming-vs-in-memory checksum equality,
 # the 1M-event bounded-memory assertion, the batched-vs-legacy (batch=1)
 # checksum comparison with allocs/event, the stream-fingerprint overhead
-# case (observer checksum + >=90% of baseline throughput), and the
+# case (observer checksum + >=90% of baseline throughput), the
 # stream-faults salvage case (recovery ratio + cross-worker determinism),
-# and the replay-1m case (seeded RepCl interleavings must reproduce the
-# canonical replay checksum bit for bit) (see cmd/bench)
+# the replay-1m case (seeded RepCl interleavings must reproduce the
+# canonical replay checksum bit for bit), and the merge-tree scale cases
+# — stream-10k (10,000 ranks under a per-rank heap budget, census equal
+# to the flat merge's) and stream-1b (a billion events in window-bounded
+# memory) (see cmd/bench)
 bench:
-	$(GO) run ./cmd/bench -workers 4 -o BENCH_PR8.json
+	$(GO) run ./cmd/bench -workers 4 -o BENCH_PR9.json
 
 # CI-sized bench: 1 rep, tiny workloads, 2 workers — still checks that
 # parallel checksums match serial, that the streaming pipeline reproduces
 # the in-memory checksums (batched and batch=1 legacy configurations),
 # that its peak heap stays window-bounded, that the fingerprint stage is
 # a pure observer within its (relaxed) throughput floor, and that the
-# stream-faults salvage case recovers >=99% deterministically; then one
-# iteration of the hot-path microbenchmarks so their harness code cannot
+# stream-faults salvage case recovers >=99% deterministically, plus the
+# smoke-scaled merge-tree cases (10k ranks, 1M events) under the same
+# budgets; then one iteration of the hot-path microbenchmarks — including
+# the adversarial merge-tree interleavings — so their harness code cannot
 # rot
 bench-smoke:
-	$(GO) run ./cmd/bench -smoke -workers 2 -o BENCH_PR8.json
-	$(GO) test -run XXX -bench 'BenchmarkStreamPipeline|BenchmarkEventCodec|BenchmarkMapTimeMonotone' -benchtime=1x .
+	$(GO) run ./cmd/bench -smoke -workers 2 -o BENCH_PR9.json
+	$(GO) test -run XXX -bench 'BenchmarkStreamPipeline|BenchmarkMergeTree|BenchmarkEventCodec|BenchmarkMapTimeMonotone' -benchtime=1x .
 
 # the fault-tolerance suite on its own: resync framing, salvage,
 # cancellation, and fault-injection tests under the race detector

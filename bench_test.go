@@ -532,6 +532,96 @@ func BenchmarkStreamPipeline(b *testing.B) {
 	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
 }
 
+// mergeBenchTrace writes a v2 columnar trace of ranks×perRank local
+// events whose oracle-time interleaving follows at(r, i) — each rank's
+// stream stays sorted, but the global interleaving is whatever the
+// pattern dictates.
+func mergeBenchTrace(b *testing.B, ranks, perRank int, at func(r, i int) float64) []byte {
+	b.Helper()
+	var buf bytes.Buffer
+	ew, err := trace.NewEventWriterOpts(&buf, trace.Header{
+		Machine: "merge-bench", Timer: "oracle", Regions: []string{"r"}, ProcCount: ranks,
+	}, trace.WriterOptions{Version: trace.Version2, Columnar: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	kinds := [2]trace.Kind{trace.Enter, trace.Exit}
+	for r := 0; r < ranks; r++ {
+		if err := ew.BeginProc(trace.ProcHeader{Rank: r, EventCount: perRank}); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < perRank; i++ {
+			t := at(r, i)
+			ev := trace.Event{Kind: kinds[i%2], True: t}
+			ev.SetTime(t)
+			if err := ew.Write(&ev); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := ew.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// BenchmarkMergeTree isolates the deterministic merge (census walk, no
+// correction stages) under the interleavings that stress a k-way merge
+// hardest, at flat (Shards=1) and two-level (Shards=8) fan-in — compare
+// with BenchmarkStreamPipeline for the full-pipeline cost. "hot" pins
+// the min on one rank (one sub-merge is always the root's answer),
+// "roundrobin" changes the winning rank on every pop (maximum heap
+// churn), and "clustered" drains one contiguous shard at a time (the
+// other sub-merges sit idle on primed heads).
+func BenchmarkMergeTree(b *testing.B) {
+	const ranks, perRank = 64, 512
+	patterns := []struct {
+		name string
+		at   func(r, i int) float64
+	}{
+		// rank 0 owns the dense foreground; the rest tick far apart
+		{"hot", func(r, i int) float64 {
+			if r == 0 {
+				return float64(i) * 1e-6
+			}
+			return float64(i)*1e-3 + float64(r)*1e-8
+		}},
+		// global pop order cycles through all ranks every ranks events
+		{"roundrobin", func(r, i int) float64 {
+			return float64(i*ranks+r) * 1e-6
+		}},
+		// ranks are active in contiguous blocks of 8, one block at a time
+		{"clustered", func(r, i int) float64 {
+			return float64(r/8)*1e0 + float64(i)*1e-6 + float64(r%8)*1e-8
+		}},
+	}
+	for _, pat := range patterns {
+		data := mergeBenchTrace(b, ranks, perRank, pat.at)
+		src, err := stream.NewSource(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, shards := range []int{1, 8} {
+			name := pat.name + "/flat"
+			if shards > 1 {
+				name = pat.name + "/tree8"
+			}
+			b.Run(name, func(b *testing.B) {
+				b.SetBytes(int64(len(data)))
+				var events int64
+				for i := 0; i < b.N; i++ {
+					_, stats, err := stream.Census(src, stream.Options{Shards: shards})
+					if err != nil {
+						b.Fatal(err)
+					}
+					events = stats.Events
+				}
+				b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+			})
+		}
+	}
+}
+
 // BenchmarkEventCodec: decode+re-encode round trip of the binary event
 // format through the batched public codec, the inner loop of every
 // streaming pass.

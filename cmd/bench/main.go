@@ -36,6 +36,7 @@ import (
 	"strings"
 	"time"
 
+	"tsync/internal/analysis"
 	"tsync/internal/clock"
 	"tsync/internal/core"
 	"tsync/internal/experiments"
@@ -71,6 +72,8 @@ type streamCase struct {
 	Events         int64   `json:"events"`
 	Window         int     `json:"window"`
 	Batch          int     `json:"batch,omitempty"`
+	Shards         int     `json:"shards,omitempty"`
+	GoMaxProcs     int     `json:"gomaxprocs,omitempty"`
 	StreamSeconds  float64 `json:"stream_seconds"`
 	EventsPerSec   float64 `json:"events_per_sec"`
 	AllocsPerEvent float64 `json:"allocs_per_event"`
@@ -318,7 +321,7 @@ func runStreamDiff(dir string, spec stream.SynthSpec, window int) (streamCase, e
 		return streamCase{}, err
 	}
 	c := streamCase{
-		Name: "stream-diff", Events: m.events, Window: window, Batch: stream.DefaultBatch,
+		Name: "stream-diff", Events: m.events, Window: window, Batch: stream.DefaultBatch, Shards: 1,
 		StreamSeconds: m.secs, MemorySeconds: memSecs,
 		AllocsPerEvent: m.allocsPerEvent,
 		PeakHeapBytes:  m.peakHeap, PeakRSSBytes: peakRSS(),
@@ -346,7 +349,7 @@ func runStreamBounded(dir, name, path string, init, fin []measure.Offset, window
 	}
 	bound := m.events * 96 / 4
 	c := streamCase{
-		Name: name, Events: m.events, Window: window, Batch: batch,
+		Name: name, Events: m.events, Window: window, Batch: batch, Shards: 1,
 		StreamSeconds:  m.secs,
 		AllocsPerEvent: m.allocsPerEvent,
 		PeakHeapBytes:  m.peakHeap, PeakRSSBytes: peakRSS(),
@@ -391,7 +394,7 @@ func runStreamFingerprint(dir, path string, init, fin []measure.Offset, baseline
 		}
 	}
 	c := streamCase{
-		Name: "stream-fingerprint", Events: best.events, Window: stream.DefaultWindow, Batch: stream.DefaultBatch,
+		Name: "stream-fingerprint", Events: best.events, Window: stream.DefaultWindow, Batch: stream.DefaultBatch, Shards: 1,
 		StreamSeconds:  best.secs,
 		AllocsPerEvent: best.allocsPerEvent,
 		PeakHeapBytes:  best.peakHeap, PeakRSSBytes: peakRSS(),
@@ -405,6 +408,120 @@ func runStreamFingerprint(dir, path string, init, fin []measure.Offset, baseline
 	}
 	c.Match = best.sum == baseline.StreamChecksum && c.OverheadRatio >= floor
 	return c, nil
+}
+
+// censusRun walks path through a census-only streaming pass (the
+// deterministic merge with the cheapest sink), measuring wall clock,
+// peak heap over a post-GC baseline, and allocations per event. The
+// census itself comes back for cross-configuration identity checks.
+func censusRun(path string, opt stream.Options) (runMetrics, analysis.Census, error) {
+	var m runMetrics
+	f, err := os.Open(path)
+	if err != nil {
+		return m, analysis.Census{}, err
+	}
+	defer f.Close()
+	src, err := stream.NewSource(f)
+	if err != nil {
+		return m, analysis.Census{}, err
+	}
+	runtime.GC()
+	var base runtime.MemStats
+	runtime.ReadMemStats(&base)
+	watch := watchHeap()
+	start := time.Now()
+	census, stats, err := stream.Census(src, opt)
+	m.secs = time.Since(start).Seconds()
+	peak := watch.Peak()
+	var end runtime.MemStats
+	runtime.ReadMemStats(&end)
+	if err != nil {
+		return m, census, err
+	}
+	if peak > base.HeapAlloc {
+		m.peakHeap = peak - base.HeapAlloc
+	}
+	m.events = stats.Events
+	if m.events > 0 {
+		m.allocsPerEvent = float64(end.Mallocs-base.Mallocs) / float64(m.events)
+	}
+	m.sum = fmt.Sprintf("census:%+v", census)
+	return m, census, nil
+}
+
+// scaleCase assembles one census-run measurement into a report entry.
+func scaleCase(name string, m runMetrics, shards int, bound int64) streamCase {
+	c := streamCase{
+		Name: name, Events: m.events, Window: stream.DefaultWindow,
+		Batch: stream.DefaultBatch, Shards: shards,
+		StreamSeconds:  m.secs,
+		AllocsPerEvent: m.allocsPerEvent,
+		PeakHeapBytes:  m.peakHeap, PeakRSSBytes: peakRSS(),
+		BoundBytes: bound, Bounded: bound == 0 || int64(m.peakHeap) < bound,
+		StreamChecksum: m.sum,
+	}
+	if m.secs > 0 {
+		c.EventsPerSec = float64(m.events) / m.secs
+	}
+	return c
+}
+
+// runStreamScale exercises the two-level merge tree at topology scale.
+// stream-10k merges a 10,000-rank trace through the sharded tree under
+// a 96 KiB-per-open-rank heap budget (decode buffer, frame scratch,
+// pooled slab share, and merge-window share — independent of the trace
+// length); stream-10k-flat repeats the walk on the flat single-heap
+// merge, whose per-rank decode-ahead slabs scale with the batch size
+// and therefore blow that budget (recorded unbounded, for comparison —
+// the case fails only if its census diverges from the tree's).
+// stream-1b streams a billion-event trace (smoke: a million) through
+// the tree with peak heap pinned to the topology's reorder window —
+// ranks × window events — three orders of magnitude under what
+// materializing the events would take.
+func runStreamScale(dir string, smoke bool) ([]streamCase, error) {
+	const seed = 0xbe9c14
+	steps10k, ranks1b, steps1b := 250, 256, 976563 // 10M and 1.0B events
+	if smoke {
+		steps10k, steps1b = 25, 1000 // 1M and 1.0M events
+	}
+	spec10k := stream.SynthSpec{
+		Ranks: 10000, Steps: steps10k, Seed: seed + 5,
+		Version: trace.Version2, Columnar: true, FrameEvents: 64,
+	}
+	path, _, _, err := synthToFile(dir, spec10k)
+	if err != nil {
+		return nil, fmt.Errorf("stream-10k: %w", err)
+	}
+	mTree, cTree, err := censusRun(path, stream.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("stream-10k: %w", err)
+	}
+	mFlat, cFlat, err := censusRun(path, stream.Options{Shards: 1})
+	if err != nil {
+		return nil, fmt.Errorf("stream-10k-flat: %w", err)
+	}
+	os.Remove(path)
+	tree := scaleCase("stream-10k", mTree, stream.ShardCount(spec10k.Ranks, 0), int64(spec10k.Ranks)*(96<<10))
+	flat := scaleCase("stream-10k-flat", mFlat, 1, 0)
+	tree.Match = cTree == cFlat
+	flat.Match = tree.Match
+
+	spec1b := stream.SynthSpec{
+		Ranks: ranks1b, Steps: steps1b, Seed: seed + 6,
+		Version: trace.Version2, Columnar: true, FrameEvents: 64,
+	}
+	path, _, _, err = synthToFile(dir, spec1b)
+	if err != nil {
+		return nil, fmt.Errorf("stream-1b: %w", err)
+	}
+	m1b, _, err := censusRun(path, stream.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("stream-1b: %w", err)
+	}
+	os.Remove(path)
+	huge := scaleCase("stream-1b", m1b, stream.ShardCount(spec1b.Ranks, 0), int64(spec1b.Ranks)*int64(stream.DefaultWindow)*96)
+	huge.Match = true
+	return []streamCase{tree, flat, huge}, nil
 }
 
 // runStreamFaults streams a v2 trace corrupted by a fixed burst-fault
@@ -450,7 +567,7 @@ func runStreamFaults(spec stream.SynthSpec, totalEvents int64) (streamCase, erro
 		}
 		if workers == 1 {
 			c = streamCase{
-				Name: "stream-faults", Events: src.Events(), Window: stream.DefaultWindow,
+				Name: "stream-faults", Events: src.Events(), Window: stream.DefaultWindow, Shards: 1,
 				StreamSeconds: secs, StreamChecksum: sums[i], Bounded: true,
 				CorruptBytes: int64(flips.Count()), Incidents: len(src.Report().Incidents),
 				RecoveryRatio: float64(src.Events()) / float64(totalEvents),
@@ -583,11 +700,20 @@ func runStreamCases(smoke bool) ([]streamCase, error) {
 	if err != nil {
 		return nil, fmt.Errorf("replay-1m: %w", err)
 	}
-	return []streamCase{diff, big, legacy, fp, faults, rep}, nil
+	cases := []streamCase{diff, big, legacy, fp, faults, rep}
+
+	// the merge tree at topology scale: 10k ranks under a per-rank heap
+	// budget, and a billion events (smoke: a million) under the window
+	// bound
+	scale, err := runStreamScale(dir, smoke)
+	if err != nil {
+		return nil, err
+	}
+	return append(cases, scale...), nil
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR8.json", "output JSON report path")
+	out := flag.String("o", "BENCH_PR9.json", "output JSON report path")
 	workers := flag.Int("workers", 0, "parallel worker bound to compare against workers=1 (0 = all CPUs)")
 	reps := flag.Int("reps", 3, "repetitions per driver (the paper used 3)")
 	ranks := flag.Int("ranks", 16, "MPI ranks for the Fig. 7 runs")
@@ -650,6 +776,7 @@ func benchMain(out string, workers, reps, ranks, threads, regions int, scale flo
 		return err
 	}
 	for _, sc := range streamCases {
+		sc.GoMaxProcs = runtime.GOMAXPROCS(0)
 		rep.StreamCases = append(rep.StreamCases, sc)
 		rep.AllMatch = rep.AllMatch && sc.Match && sc.Bounded
 		fmt.Fprintf(os.Stderr, "bench: %s: %d events in %.2fs (%.0f ev/s, %.2f allocs/ev), peak heap %.1f MiB, peak RSS %.1f MiB, match=%v bounded=%v\n",

@@ -45,11 +45,12 @@ func main() {
 		collEvery = flag.Int("collevery", 10, "collective round every N steps, 0 for none (with -synth)")
 		v2        = flag.Bool("v2", false, "write the checksummed v2 framing (self-synchronizing; tracesync/tracestat -salvage can recover around corruption)")
 		frame     = flag.Int("frame", 0, "v2 frame size in events (0 = default)")
+		columnar  = flag.Bool("columnar", false, "encode v2 frames column-major with delta-varint timestamps (smaller and faster to decode; implies -v2)")
 	)
 	flag.Parse()
 
-	wopt := trace.WriterOptions{FrameEvents: *frame}
-	if *v2 {
+	wopt := trace.WriterOptions{FrameEvents: *frame, Columnar: *columnar}
+	if *v2 || *columnar {
 		wopt.Version = trace.Version2
 	}
 	var err error
@@ -73,7 +74,7 @@ func runSynth(ranks, steps, collEvery int, seed uint64, out string, wopt trace.W
 	}
 	init, fin, err := stream.Synth(stream.SynthSpec{
 		Ranks: ranks, Steps: steps, CollEvery: collEvery, Seed: seed,
-		Version: wopt.Version, FrameEvents: wopt.FrameEvents,
+		Version: wopt.Version, FrameEvents: wopt.FrameEvents, Columnar: wopt.Columnar,
 	}, f)
 	if cerr := f.Close(); err == nil {
 		err = cerr

@@ -33,6 +33,7 @@ type options struct {
 	legacy      bool
 	window      int
 	spill       string
+	shards      int
 	salvage     bool
 	maxSkip     int64
 	fingerprint bool
@@ -52,6 +53,7 @@ func main() {
 	flag.BoolVar(&o.legacy, "legacy", false, "force the in-memory path (adds wait-state, latency, and region-profile analyses)")
 	flag.IntVar(&o.window, "window", 0, "streaming reorder window: max pending items per rank (0 = default 65536)")
 	flag.StringVar(&o.spill, "spill", "spill", "streaming window overflow policy: spill or error")
+	flag.IntVar(&o.shards, "shards", 0, "streaming merge-tree fan-out: sub-merges feeding the root merge (0 = automatic from the rank count, 1 = flat); results are identical for any value")
 	flag.BoolVar(&o.salvage, "salvage", false, "resynchronize past corruption in v2 traces; exits 3 when data was lost")
 	flag.Int64Var(&o.maxSkip, "max-skip", 0, "salvage budget: max bytes to skip before giving up (0 = unlimited)")
 	flag.BoolVar(&o.fingerprint, "fingerprint", false, "per-rank drift fingerprint: drift rate, jitter, and clock-fault diagnosis (streaming only)")
@@ -163,7 +165,7 @@ func runStreaming(o options) (bool, error) {
 		return false, err
 	}
 	fmt.Print(sum.String())
-	census, stats, err := stream.CensusContext(ctx, src, stream.Options{Window: o.window, Policy: policy, Salvage: o.salvage})
+	census, stats, err := stream.CensusContext(ctx, src, stream.Options{Window: o.window, Policy: policy, Shards: o.shards, Salvage: o.salvage})
 	if err != nil {
 		return false, err
 	}

@@ -46,6 +46,7 @@ type options struct {
 	legacy        bool
 	window        int
 	batch         int
+	shards        int
 	spill         string
 	workers       int
 	salvage       bool
@@ -72,6 +73,7 @@ func main() {
 	flag.BoolVar(&o.legacy, "legacy", false, "force the in-memory path instead of streaming")
 	flag.IntVar(&o.window, "window", 0, "streaming reorder window: max pending items per rank (0 = default 65536)")
 	flag.IntVar(&o.batch, "batch", 0, "streaming slab size in events per stage hand-off (0 = default 4096); output is identical for any value")
+	flag.IntVar(&o.shards, "shards", 0, "streaming merge-tree fan-out: sub-merges feeding the root merge (0 = automatic from the rank count, 1 = flat); output is identical for any value")
 	flag.StringVar(&o.spill, "spill", "spill", "streaming window overflow policy: spill (unbounded, recorded) or error (fail fast)")
 	flag.IntVar(&o.workers, "workers", 0, "parallel worker bound for -all and streaming assembly (0 = all CPUs); results are identical for any value")
 	flag.BoolVar(&o.salvage, "salvage", false, "resynchronize past corruption in v2 traces (streaming only); exits 3 when data was lost")
@@ -229,7 +231,7 @@ func runStreaming(o options, side sidecar) (bool, error) {
 	}
 	p := stream.Pipeline{
 		Base: b, CLC: o.withCLC,
-		Options: stream.Options{Window: o.window, Policy: policy, Workers: o.workers, Batch: o.batch, Salvage: o.salvage},
+		Options: stream.Options{Window: o.window, Policy: policy, Workers: o.workers, Batch: o.batch, Shards: o.shards, Salvage: o.salvage},
 	}
 	if o.fingerprint {
 		p.Fingerprint = &fingerprint.Options{}

@@ -34,6 +34,11 @@ var diffWorkers = []int{1, 4}
 // slabs (maximal stage hand-offs) and the default production size.
 var diffBatches = []int{1, 4096}
 
+// diffShards runs every differential case through both merge shapes:
+// the flat single-heap merge and a two-level tree. Output must be
+// bit-identical — Shards is a wall-time knob, never a semantic one.
+var diffShards = []int{1, 4}
+
 // synthFile writes a synthetic trace to a temp file and returns its path
 // with the exact offset tables.
 func synthFile(t *testing.T, spec stream.SynthSpec) (string, []measure.Offset, []measure.Offset) {
@@ -86,6 +91,10 @@ func diffSpecs() []stream.SynthSpec {
 		{Ranks: 2, Steps: 30, CollEvery: 0, Seed: xrand.SeedAt(diffSeed, 0)},
 		{Ranks: 3, Steps: 25, CollEvery: 3, Seed: xrand.SeedAt(diffSeed, 1)},
 		{Ranks: 5, Steps: 20, CollEvery: 4, Seed: xrand.SeedAt(diffSeed, 2)},
+		// Columnar v2 input: the source decodes through blockColFrame,
+		// proving the delta encoding lossless under every pipeline shape.
+		{Ranks: 4, Steps: 18, CollEvery: 3, Seed: xrand.SeedAt(diffSeed, 8),
+			Version: trace.Version2, FrameEvents: 16, Columnar: true},
 	}
 }
 
@@ -125,43 +134,45 @@ func TestDifferentialPipeline(t *testing.T) {
 			for _, window := range diffWindows {
 				for _, workers := range diffWorkers {
 					for _, batch := range diffBatches {
-						name := fmt.Sprintf("spec%d/%s/w%d/k%d/b%d", si, pipe.name, window, workers, batch)
-						t.Run(name, func(t *testing.T) {
-							var out bytes.Buffer
-							p := stream.Pipeline{
-								Base: pipe.base, CLC: pipe.clc, CLCOptions: pipe.opts,
-								Options: stream.Options{Window: window, Workers: workers, Batch: batch},
-							}
-							res, err := p.Run(src, &out, init, fin)
-							if err != nil {
-								t.Fatalf("streaming: %v", err)
-							}
-							if !bytes.Equal(out.Bytes(), memBuf.Bytes()) {
-								t.Fatalf("output bytes differ: %d vs %d bytes", out.Len(), memBuf.Len())
-							}
-							gotSum, err := experiments.ChecksumTraceFile(bytes.NewReader(out.Bytes()))
-							if err != nil {
-								t.Fatal(err)
-							}
-							if gotSum != memSum {
-								t.Fatalf("trace checksum %s != in-memory %s", gotSum, memSum)
-							}
-							if !reflect.DeepEqual(res.Before, mem.Before) {
-								t.Errorf("Before census differs:\n stream %+v\n memory %+v", res.Before, mem.Before)
-							}
-							if !reflect.DeepEqual(res.After, mem.After) {
-								t.Errorf("After census differs:\n stream %+v\n memory %+v", res.After, mem.After)
-							}
-							if res.CLCReport != mem.CLCReport {
-								t.Errorf("CLC report differs:\n stream %+v\n memory %+v", res.CLCReport, mem.CLCReport)
-							}
-							if res.Distortion != mem.Distortion {
-								t.Errorf("distortion differs:\n stream %+v\n memory %+v", res.Distortion, mem.Distortion)
-							}
-							if res.Stats.Events != src.Events() {
-								t.Errorf("stats counted %d events, source has %d", res.Stats.Events, src.Events())
-							}
-						})
+						for _, shards := range diffShards {
+							name := fmt.Sprintf("spec%d/%s/w%d/k%d/b%d/s%d", si, pipe.name, window, workers, batch, shards)
+							t.Run(name, func(t *testing.T) {
+								var out bytes.Buffer
+								p := stream.Pipeline{
+									Base: pipe.base, CLC: pipe.clc, CLCOptions: pipe.opts,
+									Options: stream.Options{Window: window, Workers: workers, Batch: batch, Shards: shards},
+								}
+								res, err := p.Run(src, &out, init, fin)
+								if err != nil {
+									t.Fatalf("streaming: %v", err)
+								}
+								if !bytes.Equal(out.Bytes(), memBuf.Bytes()) {
+									t.Fatalf("output bytes differ: %d vs %d bytes", out.Len(), memBuf.Len())
+								}
+								gotSum, err := experiments.ChecksumTraceFile(bytes.NewReader(out.Bytes()))
+								if err != nil {
+									t.Fatal(err)
+								}
+								if gotSum != memSum {
+									t.Fatalf("trace checksum %s != in-memory %s", gotSum, memSum)
+								}
+								if !reflect.DeepEqual(res.Before, mem.Before) {
+									t.Errorf("Before census differs:\n stream %+v\n memory %+v", res.Before, mem.Before)
+								}
+								if !reflect.DeepEqual(res.After, mem.After) {
+									t.Errorf("After census differs:\n stream %+v\n memory %+v", res.After, mem.After)
+								}
+								if res.CLCReport != mem.CLCReport {
+									t.Errorf("CLC report differs:\n stream %+v\n memory %+v", res.CLCReport, mem.CLCReport)
+								}
+								if res.Distortion != mem.Distortion {
+									t.Errorf("distortion differs:\n stream %+v\n memory %+v", res.Distortion, mem.Distortion)
+								}
+								if res.Stats.Events != src.Events() {
+									t.Errorf("stats counted %d events, source has %d", res.Stats.Events, src.Events())
+								}
+							})
+						}
 					}
 				}
 			}
@@ -281,6 +292,42 @@ func TestStreamingUnsupported(t *testing.T) {
 	for i, p := range cases {
 		if _, err := p.Run(src, nil, init, fin); !errors.Is(err, stream.ErrUnsupported) {
 			t.Errorf("case %d: want ErrUnsupported, got %v", i, err)
+		}
+	}
+}
+
+// TestDifferentialShardTree pins the two-level merge tree to the flat
+// merge on a rank count large enough for real multi-rank shards: every
+// shard count (including degenerate one-rank shards and more shards
+// than make sense) must reproduce the flat merge's output bytes and
+// checksum exactly, across window and batch extremes.
+func TestDifferentialShardTree(t *testing.T) {
+	spec := stream.SynthSpec{Ranks: 9, Steps: 40, CollEvery: 5, Seed: xrand.SeedAt(diffSeed, 9)}
+	path, init, fin := synthFile(t, spec)
+	src := openSource(t, path)
+
+	run := func(opt stream.Options) []byte {
+		t.Helper()
+		var out bytes.Buffer
+		p := stream.Pipeline{Base: core.BaseInterp, CLC: true, Options: opt}
+		if _, err := p.Run(src, &out, init, fin); err != nil {
+			t.Fatalf("%+v: %v", opt, err)
+		}
+		return out.Bytes()
+	}
+
+	flat := run(stream.Options{Shards: 1})
+	for _, shards := range []int{2, 3, 4, 9, 64} {
+		for _, window := range diffWindows {
+			for _, batch := range diffBatches {
+				name := fmt.Sprintf("s%d/w%d/b%d", shards, window, batch)
+				t.Run(name, func(t *testing.T) {
+					got := run(stream.Options{Shards: shards, Window: window, Batch: batch})
+					if !bytes.Equal(got, flat) {
+						t.Fatalf("tree merge with %d shards diverges from the flat merge", shards)
+					}
+				})
+			}
 		}
 	}
 }

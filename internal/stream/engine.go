@@ -118,11 +118,10 @@ type engine struct {
 	loss     []RankLoss
 	lossSink RankLoss
 
-	cursors []*slabCursor
-	heads   []*trace.Event
-	idx     []int
-	done    []bool
-	h       mergeHeap
+	heads []*trace.Event
+	idx   []int
+	done  []bool
+	h     mergeHeap
 
 	fifos map[chanKey][]sendEntry
 	insts map[instKey]*instance
@@ -188,24 +187,47 @@ func (m *mergeHeap) pop() int {
 	return top
 }
 
+// merged is the engine's view of the (True, rank)-ordered event stream.
+// Two implementations exist: flatMerger (one heap over per-rank decode
+// stages — the historical path) and treeMerger (per-shard sub-merges
+// feeding a root merge — shard.go). Both deliver exactly the same event
+// sequence; only wall time and memory shape differ.
+//
+// prime is called once per rank, in rank order, before the first next;
+// it surfaces rank startup decode errors in deterministic rank order.
+// next returns the next event in merged order — the pointee stays valid
+// until the following next call — and io.EOF once every rank is
+// exhausted. A merger defers refilling the source of the event it just
+// returned until the next call, so a refill error surfaces after the
+// previous event was fully processed, exactly where the historical
+// advance-after-process loop surfaced it.
+type merged interface {
+	prime(r int) error
+	next() (rank int, ev *trace.Event, err error)
+}
+
 // walk merges src's ranks and feeds snk. ctx is checked between events
 // (every ctxCheckEvery merge pops), so cancellation surfaces within one
-// slab's worth of work; the deferred stop release makes every decode
-// goroutine exit before walk returns. loss, when non-nil, receives the
-// engine-side salvage counters (one entry per rank).
+// slab's worth of work; the deferred stop release makes every decode and
+// shard-merge goroutine exit before walk returns. loss, when non-nil,
+// receives the engine-side salvage counters (one entry per rank).
+//
+// Rank completion is count-driven: the cursors deliver exactly the
+// retained event counts the index pass recorded (Source.Procs), so a
+// rank is done the moment its count of events has been processed —
+// equivalent to the historical cursor-EOF signal, but independent of
+// which merger feeds the engine.
 func walk(ctx context.Context, src *Source, m timeMapper, snk sink, opt Options, acct *accounting, loss []RankLoss) error {
 	n := src.Ranks()
-	// stop tears the decode stages down if the walk exits before
+	// stop tears the merge stages down if the walk exits before
 	// draining them (sink error, malformed trace, cancellation).
 	stop := make(chan struct{})
 	defer close(stop)
-	pool := newSlabPool(opt.Batch)
 	e := &engine{
 		src: src, mapper: m, snk: snk, opt: opt,
 		acct:     acct,
 		sal:      opt.Salvage || src.Salvaged(),
 		loss:     loss,
-		cursors:  make([]*slabCursor, n),
 		heads:    make([]*trace.Event, n),
 		idx:      make([]int, n),
 		done:     make([]bool, n),
@@ -215,29 +237,51 @@ func walk(ctx context.Context, src *Source, m timeMapper, snk sink, opt Options,
 		lastColl: map[int32][]int32{},
 	}
 	e.h.e = e
+	var mg merged
+	if shards := shardCount(n, opt.Shards); shards > 1 {
+		mg = newTreeMerger(e, src, opt, shards, stop)
+	} else {
+		mg = newFlatMerger(e, src, opt, stop)
+	}
+	remaining := make([]int, n)
 	for r := 0; r < n; r++ {
-		e.cursors[r] = src.slabCursor(r, pool, stop)
+		remaining[r] = src.Procs()[r].EventCount
 	}
 	for r := 0; r < n; r++ {
-		if err := e.advance(r); err != nil {
+		if err := mg.prime(r); err != nil {
 			return err
+		}
+		if remaining[r] == 0 {
+			// a rank with no events completes instances it will never join
+			if err := e.finishRank(r); err != nil {
+				return err
+			}
 		}
 	}
 	ticks := 0
-	for len(e.h.r) > 0 {
+	for {
 		if ticks&(ctxCheckEvery-1) == 0 {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
 		}
 		ticks++
-		r := e.h.pop()
+		r, ev, err := mg.next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		e.heads[r] = ev
 		if err := e.process(r); err != nil {
 			return err
 		}
 		e.idx[r]++
-		if err := e.advance(r); err != nil {
-			return err
+		if remaining[r]--; remaining[r] == 0 {
+			if err := e.finishRank(r); err != nil {
+				return err
+			}
 		}
 	}
 	if e.sal {
@@ -368,30 +412,75 @@ func sortedRanks[V any](m map[int]V) []int {
 	return rs
 }
 
-// advance loads rank's next event into the merge heap, handling rank
-// exhaustion. The head is a pointer into the rank's current slab — valid
-// until this rank's next advance, which is exactly its lifetime here.
-func (e *engine) advance(r int) error {
-	ev, err := e.cursors[r].nextRef()
-	if err == io.EOF {
-		e.done[r] = true
-		if err := e.snk.rankDone(r); err != nil {
+// finishRank records a rank's exhaustion: the sink's rankDone callback
+// fires, then every communicator's open instances are re-checked — a
+// finished rank can complete instances it will never join.
+func (e *engine) finishRank(r int) error {
+	e.done[r] = true
+	if err := e.snk.rankDone(r); err != nil {
+		return err
+	}
+	for comm := range e.open {
+		if err := e.completeInstances(comm); err != nil {
 			return err
 		}
-		// a finished rank can complete instances it will never join
-		for comm := range e.open {
-			if err := e.completeInstances(comm); err != nil {
-				return err
-			}
-		}
+	}
+	return nil
+}
+
+// flatMerger is the single-heap merge: one decode-ahead stage per rank,
+// all heads in one mergeHeap. The refill of the rank whose event the
+// last next returned is deferred to the following call, so a mid-stream
+// decode error surfaces after the previous event was processed — the
+// exact position the historical advance-after-process loop gave it.
+type flatMerger struct {
+	e       *engine
+	cursors []*slabCursor
+	pending int // rank to refill before the next pop; -1 = none
+}
+
+func newFlatMerger(e *engine, src *Source, opt Options, stop chan struct{}) *flatMerger {
+	pool := newSlabPool(opt.Batch)
+	f := &flatMerger{e: e, cursors: make([]*slabCursor, src.Ranks()), pending: -1}
+	for r := range f.cursors {
+		f.cursors[r] = src.slabCursor(r, pool, stop)
+	}
+	return f
+}
+
+func (f *flatMerger) prime(r int) error {
+	ev, err := f.cursors[r].nextRef()
+	if err == io.EOF {
 		return nil
 	}
 	if err != nil {
 		return err
 	}
-	e.heads[r] = ev
-	e.h.push(r)
+	f.e.heads[r] = ev
+	f.e.h.push(r)
 	return nil
+}
+
+func (f *flatMerger) next() (int, *trace.Event, error) {
+	if r := f.pending; r >= 0 {
+		f.pending = -1
+		ev, err := f.cursors[r].nextRef()
+		switch {
+		case err == io.EOF:
+			// exhausted; walk's count bookkeeping already fired rankDone
+		case err != nil:
+			return 0, nil, err
+		default:
+			f.e.heads[r] = ev
+			f.e.h.push(r)
+		}
+	}
+	if len(f.e.h.r) == 0 {
+		return 0, nil, io.EOF
+	}
+	r := f.e.h.pop()
+	f.pending = r
+	return r, f.e.heads[r], nil
 }
 
 // lmin returns the unscaled minimum latency between two ranks' cores.

@@ -5,6 +5,7 @@ package stream
 // must recycle without per-event (or per-slab) allocations.
 
 import (
+	"io"
 	"testing"
 
 	"tsync/internal/trace"
@@ -21,11 +22,98 @@ func TestOptionsNormalize(t *testing.T) {
 		{"kept", Options{Window: 7, Workers: 3, Batch: 9, Policy: PolicyError},
 			Options{Window: 7, Workers: 3, Batch: 9, Policy: PolicyError}},
 		{"worker-floor", Options{Window: 1, Workers: 0, Batch: 1}, Options{Window: 1, Workers: 1, Batch: 1}},
+		{"shards-negative", Options{Shards: -3}, Options{Window: DefaultWindow, Workers: 1, Batch: DefaultBatch}},
+		{"shards-kept", Options{Shards: 4}, Options{Window: DefaultWindow, Workers: 1, Batch: DefaultBatch, Shards: 4}},
 	}
 	for _, tc := range cases {
 		if got := tc.in.Normalize(); got != tc.want {
 			t.Errorf("%s: Normalize(%+v) = %+v, want %+v", tc.name, tc.in, got, tc.want)
 		}
+	}
+}
+
+// TestShardCount pins the shard-count resolution: explicit requests are
+// honored (clamped to the rank count), automatic selection keeps small
+// jobs on the flat merge and bounds the fan-out of large ones.
+func TestShardCount(t *testing.T) {
+	cases := []struct {
+		ranks, req, want int
+	}{
+		{4, 0, 1},                  // small auto: flat
+		{autoShardRanks - 1, 0, 1}, // just under the auto threshold
+		{autoShardRanks, 0, 2},     // at the threshold: minimum tree
+		{1024, 0, 4},               // 1024/256
+		{100000, 0, maxAutoShards}, // capped fan-out
+		{4, 3, 3},                  // explicit honored
+		{4, 100, 4},                // explicit clamped to ranks
+		{4, 1, 1},                  // explicit flat
+		{10000, 0, 10000 / shardRankTarget},
+	}
+	for _, tc := range cases {
+		if got := shardCount(tc.ranks, tc.req); got != tc.want {
+			t.Errorf("shardCount(%d, %d) = %d, want %d", tc.ranks, tc.req, got, tc.want)
+		}
+	}
+}
+
+// TestShardBounds: the shard ranges must partition [0, n) contiguously
+// with every shard non-empty.
+func TestShardBounds(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 128, 10000} {
+		for _, s := range []int{1, 2, 3, 7, 64} {
+			if s > n {
+				continue
+			}
+			prev := 0
+			for i := 0; i < s; i++ {
+				lo, hi := shardBounds(i, s, n)
+				if lo != prev || hi <= lo {
+					t.Fatalf("shardBounds(%d, %d, %d) = [%d, %d): not a contiguous non-empty partition after %d", i, s, n, lo, hi, prev)
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("shards of %d over %d end at %d", s, n, prev)
+			}
+		}
+	}
+}
+
+// TestWorkerSlabCap: per-rank slabs shrink with the total rank count but
+// never below the floor and never above the pipeline batch.
+func TestWorkerSlabCap(t *testing.T) {
+	cases := []struct {
+		batch, ranks, want int
+	}{
+		{4096, 16, 4096}, // 65536/16 = 4096 = batch
+		{4096, 8, 4096},  // capped by batch
+		{4096, 10000, 8}, // floor
+		{4096, 256, 256}, // 65536/256
+		{64, 256, 64},    // capped by small batch
+		{4, 100000, 8},   // floor beats batch
+	}
+	for _, tc := range cases {
+		if got := workerSlabCap(tc.batch, tc.ranks); got != tc.want {
+			t.Errorf("workerSlabCap(%d, %d) = %d, want %d", tc.batch, tc.ranks, got, tc.want)
+		}
+	}
+}
+
+// TestSynthAllocs pins Synth to O(ranks) total allocations: emitting 40×
+// more steps must not add meaningfully to the allocation count, because
+// the per-event path reuses one emitter and writer-owned scratch.
+func TestSynthAllocs(t *testing.T) {
+	run := func(steps int) float64 {
+		spec := SynthSpec{Ranks: 8, Steps: steps, CollEvery: 5, Seed: 3}
+		return testing.AllocsPerRun(3, func() {
+			if _, _, err := Synth(spec, io.Discard); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	small, big := run(50), run(2000)
+	if big > small+16 {
+		t.Errorf("Synth allocations scale with steps: %.0f at 50 steps, %.0f at 2000", small, big)
 	}
 }
 

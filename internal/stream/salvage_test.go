@@ -71,34 +71,36 @@ func TestSalvageCleanIdentity(t *testing.T) {
 	for _, v := range variants {
 		for _, workers := range []int{1, 4} {
 			for _, window := range []int{1, 4096} {
-				t.Run(fmt.Sprintf("%s/k%d/w%d", v.name, workers, window), func(t *testing.T) {
-					src, err := stream.NewSourceOpts(bytes.NewReader(v.data), v.opt)
-					if err != nil {
-						t.Fatal(err)
-					}
-					if src.Salvaged() {
-						t.Error("clean input reported as salvaged")
-					}
-					var out bytes.Buffer
-					res, err := (stream.Pipeline{
-						Base:    core.BaseNone,
-						CLC:     true,
-						Options: stream.Options{Workers: workers, Window: window, Salvage: v.opt.Salvage},
-					}).Run(src, &out, nil, nil)
-					if err != nil {
-						t.Fatal(err)
-					}
-					if want == nil {
-						want = append([]byte(nil), out.Bytes()...)
-					} else if !bytes.Equal(out.Bytes(), want) {
-						t.Fatalf("output bytes differ from v1 baseline: %d vs %d", out.Len(), len(want))
-					}
-					for _, l := range res.Stats.Loss {
-						if l.Any() {
-							t.Errorf("clean input reported loss on rank %d: %+v", l.Rank, l)
+				for _, shards := range []int{1, 4} {
+					t.Run(fmt.Sprintf("%s/k%d/w%d/s%d", v.name, workers, window, shards), func(t *testing.T) {
+						src, err := stream.NewSourceOpts(bytes.NewReader(v.data), v.opt)
+						if err != nil {
+							t.Fatal(err)
 						}
-					}
-				})
+						if src.Salvaged() {
+							t.Error("clean input reported as salvaged")
+						}
+						var out bytes.Buffer
+						res, err := (stream.Pipeline{
+							Base:    core.BaseNone,
+							CLC:     true,
+							Options: stream.Options{Workers: workers, Window: window, Salvage: v.opt.Salvage, Shards: shards},
+						}).Run(src, &out, nil, nil)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if want == nil {
+							want = append([]byte(nil), out.Bytes()...)
+						} else if !bytes.Equal(out.Bytes(), want) {
+							t.Fatalf("output bytes differ from v1 baseline: %d vs %d", out.Len(), len(want))
+						}
+						for _, l := range res.Stats.Loss {
+							if l.Any() {
+								t.Errorf("clean input reported loss on rank %d: %+v", l.Rank, l)
+							}
+						}
+					})
+				}
 			}
 		}
 	}
@@ -123,7 +125,7 @@ func TestSalvageDeterministic(t *testing.T) {
 		loss []stream.RankLoss
 		sum  string
 	}
-	run := func(workers int) runOut {
+	run := func(workers, shards int) runOut {
 		t.Helper()
 		src := salvageSource(t, data, flips, stream.SourceOptions{Salvage: true})
 		if !src.Salvaged() {
@@ -132,19 +134,19 @@ func TestSalvageDeterministic(t *testing.T) {
 		var out bytes.Buffer
 		res, err := (stream.Pipeline{
 			Base:    core.BaseNone,
-			Options: stream.Options{Workers: workers},
+			Options: stream.Options{Workers: workers, Shards: shards},
 		}).Run(src, &out, nil, nil)
 		if err != nil {
-			t.Fatalf("workers %d: %v", workers, err)
+			t.Fatalf("workers %d shards %d: %v", workers, shards, err)
 		}
 		sum, err := experiments.ChecksumTraceFile(bytes.NewReader(out.Bytes()))
 		if err != nil {
-			t.Fatalf("workers %d: checksum: %v", workers, err)
+			t.Fatalf("workers %d shards %d: checksum: %v", workers, shards, err)
 		}
 		return runOut{rep: *src.Report(), loss: res.Stats.Loss, sum: sum}
 	}
 
-	first := run(1)
+	first := run(1, 1)
 	if len(first.rep.Incidents) == 0 {
 		t.Fatal("no incidents recorded for corrupted input")
 	}
@@ -152,16 +154,18 @@ func TestSalvageDeterministic(t *testing.T) {
 		t.Fatal("no loss records on a salvaged run")
 	}
 	for _, workers := range []int{1, 4} {
-		for rep := 0; rep < 2; rep++ {
-			got := run(workers)
-			if !reflect.DeepEqual(got.rep, first.rep) {
-				t.Fatalf("workers %d rep %d: corruption report differs:\n got %+v\nwant %+v", workers, rep, got.rep, first.rep)
-			}
-			if !reflect.DeepEqual(got.loss, first.loss) {
-				t.Fatalf("workers %d rep %d: losses differ:\n got %+v\nwant %+v", workers, rep, got.loss, first.loss)
-			}
-			if got.sum != first.sum {
-				t.Fatalf("workers %d rep %d: salvaged checksum %s != %s", workers, rep, got.sum, first.sum)
+		for _, shards := range []int{1, 4} {
+			for rep := 0; rep < 2; rep++ {
+				got := run(workers, shards)
+				if !reflect.DeepEqual(got.rep, first.rep) {
+					t.Fatalf("workers %d shards %d rep %d: corruption report differs:\n got %+v\nwant %+v", workers, shards, rep, got.rep, first.rep)
+				}
+				if !reflect.DeepEqual(got.loss, first.loss) {
+					t.Fatalf("workers %d shards %d rep %d: losses differ:\n got %+v\nwant %+v", workers, shards, rep, got.loss, first.loss)
+				}
+				if got.sum != first.sum {
+					t.Fatalf("workers %d shards %d rep %d: salvaged checksum %s != %s", workers, shards, rep, got.sum, first.sum)
+				}
 			}
 		}
 	}

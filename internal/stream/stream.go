@@ -108,6 +108,16 @@ type Options struct {
 	// Zero selects DefaultBatch. Batch only affects wall time, never
 	// output: the differential suite runs across batch sizes.
 	Batch int
+	// Shards splits the k-way merge into a two-level tree: contiguous
+	// rank groups are merged concurrently by per-shard workers whose
+	// sorted streams feed a root merge. Zero selects an automatic count
+	// from the rank count (1 — the flat single-heap merge — below
+	// autoShardRanks ranks); 1 forces the flat merge. Like Batch, Shards
+	// only affects wall time and memory shape, never output: the
+	// two-level merge is bit-identical to the flat one (see shard.go and
+	// DESIGN.md §12), and the differential suite runs across shard
+	// counts.
+	Shards int
 	// Salvage makes the engine tolerate the happened-before breakage a
 	// salvaged source implies — receives whose send was lost, collective
 	// ends whose begin was lost, sends whose receive never arrives — and
@@ -124,8 +134,11 @@ type Options struct {
 
 // Normalize clamps every tunable to its usable range: non-positive
 // Window and Batch select their defaults, non-positive Workers means
-// serial. All entry points normalize exactly once, up front, so the rest
-// of the package can assume sane values instead of re-checking per use.
+// serial, negative Shards means automatic. All entry points normalize
+// exactly once, up front, so the rest of the package can assume sane
+// values instead of re-checking per use. Shards stays zero here when
+// automatic — the concrete count depends on the source's rank count and
+// is resolved per walk by shardCount.
 func (o Options) Normalize() Options {
 	if o.Window <= 0 {
 		o.Window = DefaultWindow
@@ -135,6 +148,9 @@ func (o Options) Normalize() Options {
 	}
 	if o.Batch <= 0 {
 		o.Batch = DefaultBatch
+	}
+	if o.Shards < 0 {
+		o.Shards = 0
 	}
 	return o
 }

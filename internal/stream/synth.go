@@ -27,6 +27,9 @@ type SynthSpec struct {
 	Version int
 	// FrameEvents sets the v2 frame size; zero selects the default.
 	FrameEvents int
+	// Columnar emits columnar/delta v2 frames (requires Version2). The
+	// decoded events are bit-identical to the row encoding's.
+	Columnar bool
 	// DistortClock, when set, post-processes every clock reading: it
 	// receives the rank, the oracle time t, and the clean clock value c,
 	// and returns the value actually recorded. Fault-injection tests use
@@ -36,16 +39,81 @@ type SynthSpec struct {
 	DistortClock func(rank int, t, c float64) float64
 }
 
-// Synth streams a deterministic synthetic trace to w in O(ranks) memory:
-// a ring of point-to-point messages with optional collective rounds,
-// timestamped by per-rank clocks with constant drift plus a small
-// sinusoidal modulation (the paper's non-constant drift model). Rank 0
-// keeps the identity clock. It returns exact initialization and
-// finalization offset tables (sampled from the closed-form clocks), so
-// base corrections have the same inputs the measurement phase would
-// produce. The generated schedule strictly increases oracle time along
-// every happened-before edge, satisfying the streaming engine's ordering
-// contract by construction.
+// clockParam is one rank's closed-form clock: constant drift b, offset
+// a, and a small sinusoidal modulation (the paper's non-constant drift
+// model). The zero value is the identity clock (rank 0).
+type clockParam struct{ b, a, amp, om, ph float64 }
+
+// synthClockParam derives rank r's clock deterministically from the
+// spec seed — O(1) state, no per-rank table. Any caller deriving the
+// same (seed, rank) gets the same clock, which is what lets Synth run
+// rank-at-a-time over 10k ranks without materializing 10k params.
+func synthClockParam(seed uint64, r int) clockParam {
+	if r == 0 {
+		return clockParam{}
+	}
+	rng := xrand.NewSource(xrand.SeedAt(seed, uint64(r)))
+	return clockParam{
+		b:   rng.Uniform(-5e-5, 5e-5),
+		a:   rng.Uniform(-1e-3, 1e-3),
+		amp: rng.Uniform(0, 2e-6),
+		om:  2 * math.Pi / rng.Uniform(5, 20),
+		ph:  rng.Uniform(0, 2*math.Pi),
+	}
+}
+
+// synthOpSeed is the derivation slot of the collective-op sequence,
+// outside the rank range (ranks are bounded well below 1<<20).
+const synthOpSeed = 1 << 20
+
+// synthEmitter is one rank's event emission state, reused across all
+// steps of the rank and re-pointed rank to rank, so a whole Synth run
+// keeps O(1) emission scratch regardless of rank and step counts.
+type synthEmitter struct {
+	ew      *trace.EventWriter
+	rank    int
+	p       clockParam
+	distort func(rank int, t, c float64) float64
+}
+
+// reset points the emitter at rank r.
+func (em *synthEmitter) reset(seed uint64, r int) {
+	em.rank = r
+	em.p = synthClockParam(seed, r)
+}
+
+// clock evaluates the rank's clock at oracle time t.
+func (em *synthEmitter) clock(t float64) float64 {
+	p := em.p
+	c := (1+p.b)*t + p.a + p.amp*math.Sin(p.om*t+p.ph)
+	if em.distort != nil {
+		c = em.distort(em.rank, t, c)
+	}
+	return c
+}
+
+// emit stamps ev with the oracle time and the rank's clock reading and
+// writes it.
+func (em *synthEmitter) emit(ev trace.Event, t float64) error {
+	ev.True = t
+	ev.SetTime(em.clock(t))
+	return em.ew.Write(&ev)
+}
+
+// Synth streams a deterministic synthetic trace to w in O(1) working
+// state per live rank: a ring of point-to-point messages with optional
+// collective rounds, timestamped by per-rank clocks with constant drift
+// plus a small sinusoidal modulation (the paper's non-constant drift
+// model). Rank 0 keeps the identity clock. Clock parameters and the
+// collective-op sequence are re-derived per rank from the seed instead
+// of being materialized up front, so 10k-rank topologies cost no more
+// working memory than 2-rank ones (the returned offset tables are the
+// only O(ranks) allocation, and they are the product). It returns exact
+// initialization and finalization offset tables (sampled from the
+// closed-form clocks), so base corrections have the same inputs the
+// measurement phase would produce. The generated schedule strictly
+// increases oracle time along every happened-before edge, satisfying
+// the streaming engine's ordering contract by construction.
 func Synth(spec SynthSpec, w io.Writer) (init, fin []measure.Offset, err error) {
 	if spec.Ranks < 2 {
 		return nil, nil, fmt.Errorf("stream: Synth needs at least 2 ranks, got %d", spec.Ranks)
@@ -60,39 +128,22 @@ func Synth(spec SynthSpec, w io.Writer) (init, fin []measure.Offset, err error) 
 	}
 	const (
 		stepDur = 1e-3  // one ring step (or collective round) of oracle time
-		eps     = 1e-6  // per-rank skew within a step
+		epsBase = 1e-6  // per-rank skew within a step
 		compute = 50e-6 // local work between Enter and Send / Recv and Exit
 	)
-
-	type clockParam struct{ b, a, amp, om, ph float64 }
-	params := make([]clockParam, nRanks)
-	for r := 1; r < nRanks; r++ {
-		rng := xrand.NewSource(xrand.SeedAt(spec.Seed, uint64(r)))
-		params[r] = clockParam{
-			b:   rng.Uniform(-5e-5, 5e-5),
-			a:   rng.Uniform(-1e-3, 1e-3),
-			amp: rng.Uniform(0, 2e-6),
-			om:  2 * math.Pi / rng.Uniform(5, 20),
-			ph:  rng.Uniform(0, 2*math.Pi),
-		}
-	}
-	clock := func(r int, t float64) float64 {
-		p := params[r]
-		c := (1+p.b)*t + p.a + p.amp*math.Sin(p.om*t+p.ph)
-		if spec.DistortClock != nil {
-			c = spec.DistortClock(r, t, c)
-		}
-		return c
+	// The total rank skew (nRanks·eps) must stay inside the half step
+	// separating every Send from its Recv, or the schedule violates its
+	// own happened-before contract; shrink eps once the rank count would
+	// overflow that budget (≤250 ranks keeps the historical value, so
+	// existing traces are byte-identical).
+	eps := epsBase
+	if lim := stepDur / 4 / float64(nRanks); lim < eps {
+		eps = lim
 	}
 
-	ops := make([]trace.CollOp, rounds)
-	opRng := xrand.NewSource(xrand.SeedAt(spec.Seed, 1<<20))
-	allOps := []trace.CollOp{
+	allOps := [...]trace.CollOp{
 		trace.OpBarrier, trace.OpBcast, trace.OpReduce, trace.OpAllreduce,
 		trace.OpGather, trace.OpScatter, trace.OpAllgather, trace.OpAlltoall,
-	}
-	for i := range ops {
-		ops[i] = allOps[opRng.Intn(len(allOps))]
 	}
 
 	ew, err := trace.NewEventWriterOpts(w, trace.Header{
@@ -101,10 +152,11 @@ func Synth(spec SynthSpec, w io.Writer) (init, fin []measure.Offset, err error) 
 		MinLatency: [4]float64{0, 1e-6, 2e-6, 5e-6},
 		Regions:    []string{"ring"},
 		ProcCount:  nRanks,
-	}, trace.WriterOptions{Version: spec.Version, FrameEvents: spec.FrameEvents})
+	}, trace.WriterOptions{Version: spec.Version, FrameEvents: spec.FrameEvents, Columnar: spec.Columnar})
 	if err != nil {
 		return nil, nil, err
 	}
+	em := synthEmitter{ew: ew, distort: spec.DistortClock}
 	slots := 0
 	for r := 0; r < nRanks; r++ {
 		ph := trace.ProcHeader{
@@ -116,27 +168,27 @@ func Synth(spec SynthSpec, w io.Writer) (init, fin []measure.Offset, err error) 
 		if err := ew.BeginProc(ph); err != nil {
 			return nil, nil, err
 		}
-		emit := func(ev trace.Event, t float64) error {
-			ev.True = t
-			ev.SetTime(clock(r, t))
-			return ew.Write(&ev)
-		}
+		em.reset(spec.Seed, r)
+		// Each rank re-derives the shared collective-op sequence from the
+		// dedicated slot and draws it in round order — identical values
+		// on every rank, no rounds-sized table.
+		opRng := xrand.NewSource(xrand.SeedAt(spec.Seed, synthOpSeed))
 		slot, round := 0, 0
 		to := int32((r + 1) % nRanks)
 		from := int32((r - 1 + nRanks) % nRanks)
 		for s := 0; s < steps; s++ {
 			base := float64(slot) * stepDur
 			rs := float64(r) * eps
-			if err := emit(trace.Event{Kind: trace.Enter, Region: 0}, base+rs); err != nil {
+			if err := em.emit(trace.Event{Kind: trace.Enter, Region: 0}, base+rs); err != nil {
 				return nil, nil, err
 			}
-			if err := emit(trace.Event{Kind: trace.Send, Partner: to, Bytes: 1 << 10}, base+rs+compute); err != nil {
+			if err := em.emit(trace.Event{Kind: trace.Send, Partner: to, Bytes: 1 << 10}, base+rs+compute); err != nil {
 				return nil, nil, err
 			}
-			if err := emit(trace.Event{Kind: trace.Recv, Partner: from, Bytes: 1 << 10}, base+stepDur/2+rs); err != nil {
+			if err := em.emit(trace.Event{Kind: trace.Recv, Partner: from, Bytes: 1 << 10}, base+stepDur/2+rs); err != nil {
 				return nil, nil, err
 			}
-			if err := emit(trace.Event{Kind: trace.Exit, Region: 0}, base+stepDur/2+rs+compute); err != nil {
+			if err := em.emit(trace.Event{Kind: trace.Exit, Region: 0}, base+stepDur/2+rs+compute); err != nil {
 				return nil, nil, err
 			}
 			slot++
@@ -144,16 +196,16 @@ func Synth(spec SynthSpec, w io.Writer) (init, fin []measure.Offset, err error) 
 				cb := float64(slot) * stepDur
 				root := round % nRanks
 				ev := trace.Event{
-					Op: ops[round], Instance: int32(round), Root: int32(root), Bytes: 1 << 9,
+					Op: allOps[opRng.Intn(len(allOps))], Instance: int32(round), Root: int32(root), Bytes: 1 << 9,
 				}
 				ev.Kind = trace.CollBegin
 				// the root begins first, so rooted 1-to-N edges strictly
 				// increase oracle time
-				if err := emit(ev, cb+float64((r-root+nRanks)%nRanks)*eps); err != nil {
+				if err := em.emit(ev, cb+float64((r-root+nRanks)%nRanks)*eps); err != nil {
 					return nil, nil, err
 				}
 				ev.Kind = trace.CollEnd
-				if err := emit(ev, cb+stepDur/2+rs); err != nil {
+				if err := em.emit(ev, cb+stepDur/2+rs); err != nil {
 					return nil, nil, err
 				}
 				slot++
@@ -170,10 +222,15 @@ func Synth(spec SynthSpec, w io.Writer) (init, fin []measure.Offset, err error) 
 	tFin := float64(slots)*stepDur + 1e-2
 	init = make([]measure.Offset, nRanks)
 	fin = make([]measure.Offset, nRanks)
+	// The reference clock (rank 0) is the identity; evaluate it once per
+	// table time through the same emitter so DistortClock sees it.
+	em.reset(spec.Seed, 0)
+	refInit, refFin := em.clock(tInit), em.clock(tFin)
 	for r := 0; r < nRanks; r++ {
-		wi, wf := clock(r, tInit), clock(r, tFin)
-		init[r] = measure.Offset{Rank: r, WorkerTime: wi, Offset: clock(0, tInit) - wi, RTT: 2e-6}
-		fin[r] = measure.Offset{Rank: r, WorkerTime: wf, Offset: clock(0, tFin) - wf, RTT: 2e-6}
+		em.reset(spec.Seed, r)
+		wi, wf := em.clock(tInit), em.clock(tFin)
+		init[r] = measure.Offset{Rank: r, WorkerTime: wi, Offset: refInit - wi, RTT: 2e-6}
+		fin[r] = measure.Offset{Rank: r, WorkerTime: wf, Offset: refFin - wf, RTT: 2e-6}
 	}
 	return init, fin, nil
 }

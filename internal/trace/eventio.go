@@ -96,7 +96,9 @@ type EventReader struct {
 	pol          ResyncPolicy
 	blk          blockReader
 	rep          CorruptionReport
-	frameEvents  []byte // undecoded remainder of the current frame
+	frameEvents  []byte  // undecoded remainder of the current frame
+	frameDecoded []Event // undelivered remainder of the current columnar frame
+	framePos     int
 	pending      parsed // block that ended the current section, not yet consumed
 	pendingStart int64
 	hasPending   bool
@@ -194,7 +196,7 @@ func (er *EventReader) acceptBlock(p *parsed) bool {
 	if p.rank >= er.header.ProcCount {
 		return false
 	}
-	if p.typ == blockFrame {
+	if p.typ == blockFrame || p.typ == blockColFrame {
 		return p.rank >= er.curRank
 	}
 	return p.rank > er.curRank
@@ -357,6 +359,7 @@ func (er *EventReader) nextProcV2() (ProcHeader, error) {
 		er.inProc = true
 		er.gap = false
 		er.frameEvents = nil
+		er.frameDecoded, er.framePos = nil, 0
 		er.sectionStart = er.Offset()
 		return ph, nil
 	}
@@ -370,7 +373,13 @@ func (er *EventReader) nextProcV2() (ProcHeader, error) {
 	er.remaining = -1
 	er.inProc = true
 	er.gap = true
-	er.frameEvents = p.events
+	if p.typ == blockColFrame {
+		er.frameEvents = nil
+		er.frameDecoded, er.framePos = p.decoded, 0
+	} else {
+		er.frameEvents = p.events
+		er.frameDecoded, er.framePos = nil, 0
+	}
 	er.sectionStart = pstart
 	return ph, nil
 }
@@ -403,6 +412,19 @@ func (er *EventReader) Read(ev *Event) error {
 // (stashed for NextProc), or at end of stream.
 func (er *EventReader) readV2(ev *Event) error {
 	for {
+		if er.framePos < len(er.frameDecoded) {
+			*ev = er.frameDecoded[er.framePos]
+			er.framePos++
+			if er.framePos == len(er.frameDecoded) {
+				// Drained: the scratch behind the slice is recycled by the
+				// next block read, so drop the alias now.
+				er.frameDecoded, er.framePos = nil, 0
+			}
+			if er.remaining > 0 {
+				er.remaining--
+			}
+			return nil
+		}
 		if len(er.frameEvents) > 0 {
 			n, ok := decodeEvent(er.frameEvents, ev)
 			if !ok {
@@ -444,7 +466,7 @@ func (er *EventReader) readV2(ev *Event) error {
 		if len(er.rep.Incidents) > nInc {
 			er.gap = true
 		}
-		if p.typ == blockFrame && p.rank == er.curRank {
+		if (p.typ == blockFrame || p.typ == blockColFrame) && p.rank == er.curRank {
 			if er.remaining > 0 && p.count > er.remaining {
 				if !er.pol.Enabled {
 					return er.bad("frame", fmt.Errorf("frame of %d events exceeds the %d still declared", p.count, er.remaining))
@@ -455,7 +477,11 @@ func (er *EventReader) readV2(ev *Event) error {
 				er.rep.UnknownLoss = true
 				er.remaining = -1
 			}
-			er.frameEvents = p.events
+			if p.typ == blockColFrame {
+				er.frameDecoded, er.framePos = p.decoded, 0
+			} else {
+				er.frameEvents = p.events
+			}
 			continue
 		}
 		// A block of a later process: the current section ends here.
@@ -509,7 +535,7 @@ func NewEventWriterOpts(w io.Writer, h Header, o WriterOptions) (*EventWriter, e
 	bw := bufio.NewWriter(cw)
 	ew := &EventWriter{bw: bw, cw: cw, procCount: h.ProcCount, scratch: make([]byte, 0, maxEventSize)}
 	if o.Version == Version2 {
-		ew.fw = newFrameWriter(bw, o.FrameEvents)
+		ew.fw = newFrameWriter(bw, o.FrameEvents, o.Columnar)
 	}
 	if _, err := bw.WriteString(codecMagic); err != nil {
 		return nil, err
@@ -724,10 +750,33 @@ func (d *EventDecoder) Decode(ev *Event) error {
 // loop exists for the slab stages of internal/stream: one call decodes a
 // whole slab without per-event interface dispatch in the caller.
 func (d *EventDecoder) DecodeBatch(evs []Event) (int, error) {
-	for i := range evs {
+	i := 0
+	for i < len(evs) {
+		// Fast path: decode straight out of the buffered bytes while a
+		// whole worst-case event provably fits, then discard the chunk in
+		// one step. The tail (or a malformed event) falls through to
+		// Decode, which refills the buffer and classifies errors with the
+		// exact position — the two paths accept identical byte sequences.
+		buf, _ := d.br.Peek(d.br.Buffered())
+		consumed := 0
+		for i < len(evs) && len(buf)-consumed >= maxEventSize {
+			n, ok := decodeEvent(buf[consumed:], &evs[i])
+			if !ok {
+				break
+			}
+			consumed += n
+			i++
+		}
+		if consumed > 0 {
+			if _, err := d.br.Discard(consumed); err != nil {
+				return i, err
+			}
+			continue
+		}
 		if err := d.Decode(&evs[i]); err != nil {
 			return i, err
 		}
+		i++
 	}
 	return len(evs), nil
 }

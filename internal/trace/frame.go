@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 
 	"tsync/internal/topology"
 )
@@ -50,8 +51,9 @@ const (
 	Version1 = codecVersion
 	Version2 = codecVersion2
 
-	blockProc  = 0x00 // payload: one process header
-	blockFrame = 0x01 // payload: a run of one process's events
+	blockProc     = 0x00 // payload: one process header
+	blockFrame    = 0x01 // payload: a run of one process's events
+	blockColFrame = 0x02 // payload: a columnar/delta batch of events
 
 	// DefaultFrameEvents is the writer's frame size when
 	// WriterOptions.FrameEvents is zero: small enough that one corrupt
@@ -82,6 +84,23 @@ const (
 	// op bytes, two floats, and seven single-byte varints. Frame counts
 	// are sanity-checked against it before any event is decoded.
 	eventMinSize = 18 + 7
+
+	// colEventMinSize is the smallest per-event footprint of a columnar
+	// frame beyond its fixed prefix: one kind byte, one op byte, one
+	// delta byte per timestamp column, one varint byte per field column.
+	colEventMinSize = 2 + 2 + 7
+	// colFixedSize is a columnar payload's fixed cost after rank and
+	// count: the two raw first-value timestamps (their per-event delta
+	// bytes are counted in colEventMinSize, so the first event's are
+	// subtracted here).
+	colFixedSize = 16 - 2
+
+	// colEventMaxSize bounds one event's columnar footprint: two column
+	// bytes, two 10-byte timestamp deltas, seven 5-byte field varints.
+	colEventMaxSize = 2 + 2*binary.MaxVarintLen64 + 7*binary.MaxVarintLen32
+	// maxColFrameEvents keeps a worst-case columnar frame inside
+	// maxFramePayload with room for the rank/count prefix.
+	maxColFrameEvents = (maxFramePayload - 2*binary.MaxVarintLen64 - 16) / colEventMaxSize
 )
 
 // frameMarker opens every v2 block. 0xF4 never appears in ASCII and is
@@ -167,8 +186,9 @@ func (r *CorruptionReport) lost(n int64, pol ResyncPolicy) error {
 // NewEventWriterOpts. The zero value writes v1, bit-identical to
 // NewEventWriter.
 type WriterOptions struct {
-	Version     int // Version1 (default) or Version2
-	FrameEvents int // v2 events per frame; 0 = DefaultFrameEvents
+	Version     int  // Version1 (default) or Version2
+	FrameEvents int  // v2 events per frame; 0 = DefaultFrameEvents
+	Columnar    bool // v2 only: emit columnar/delta frames (blockColFrame)
 }
 
 func (o WriterOptions) normalize() (WriterOptions, error) {
@@ -179,11 +199,17 @@ func (o WriterOptions) normalize() (WriterOptions, error) {
 	default:
 		return o, fmt.Errorf("trace: unsupported codec version %d", o.Version)
 	}
+	if o.Columnar && o.Version != Version2 {
+		return o, fmt.Errorf("trace: columnar frames need the v2 framing (version %d requested)", o.Version)
+	}
 	if o.FrameEvents <= 0 {
 		o.FrameEvents = DefaultFrameEvents
 	}
 	if o.FrameEvents > maxFrameEvents {
 		o.FrameEvents = maxFrameEvents
+	}
+	if o.Columnar && o.FrameEvents > maxColFrameEvents {
+		o.FrameEvents = maxColFrameEvents
 	}
 	return o, nil
 }
@@ -197,6 +223,11 @@ type parsed struct {
 	count  int
 	events []byte // the encoded events; aliases the reader's payload buffer
 	evOff  int    // offset of events within the payload, for re-slicing after a copy
+
+	// columnar frame fields: the fully decoded events (columnar frames
+	// cannot be decoded incrementally, so the whole batch materializes
+	// at parse time into reader-owned scratch)
+	decoded []Event
 
 	// proc fields
 	ph ProcHeader
@@ -212,7 +243,7 @@ func parseBlockHead(head []byte) (typ byte, plen, hlen int, crc uint32, err erro
 		return 0, 0, 0, 0, errors.New("truncated block header") //tsync:rawerr — reason for the caller, which classifies and adds the byte offset (see readBlock/scan)
 	}
 	typ = head[markerLen]
-	if typ != blockProc && typ != blockFrame {
+	if typ != blockProc && typ != blockFrame && typ != blockColFrame {
 		return 0, 0, 0, 0, fmt.Errorf("unknown block type %d", typ) //tsync:rawerr — reason for the caller, which classifies and adds the byte offset (see readBlock/scan)
 	}
 	v, n := binary.Uvarint(head[markerLen+1:])
@@ -233,11 +264,17 @@ func parseBlockHead(head []byte) (typ byte, plen, hlen int, crc uint32, err erro
 // parsePayload validates a block payload whose checksum already matched.
 // With deep set it also decodes every event of a frame — required before
 // a resync candidate may be trusted; strict readers leave event decoding
-// to the consumer and let the checksum vouch for the bytes.
-func parsePayload(typ byte, p []byte, deep bool) (parsed, error) {
+// to the consumer and let the checksum vouch for the bytes. Columnar
+// frames decode fully regardless of deep (their events cannot be peeled
+// off incrementally) into colBuf, which the caller owns and recycles;
+// the decoded slice is returned via parsed.decoded.
+func parsePayload(typ byte, p []byte, deep bool, colBuf []Event) (parsed, error) {
 	if typ == blockProc {
 		ph, err := parseProcPayload(p)
 		return parsed{typ: typ, rank: ph.Rank, ph: ph}, err
+	}
+	if typ == blockColFrame {
+		return parseColPayload(p, colBuf)
 	}
 	rank, n := binary.Uvarint(p)
 	if n <= 0 || rank > maxProcs {
@@ -304,6 +341,141 @@ func parseProcPayload(p []byte) (ProcHeader, error) {
 	return ph, nil
 }
 
+// Columnar frame payload (blockColFrame):
+//
+//	rank uvarint | count uvarint |
+//	kind  [count]u8 | op [count]u8 |
+//	time  f64bits-LE | (count-1) zigzag varint bit-pattern deltas |
+//	true  f64bits-LE | (count-1) zigzag varint bit-pattern deltas |
+//	7 field columns, count signed varints each
+//	(region, instance, partner, tag, bytes, comm, root)
+//
+// Column-major layout keeps the decode loops branch-light (one tight
+// loop per column instead of a nine-field switch per event), and the
+// timestamp deltas shrink because consecutive events of one rank have
+// nearly equal float bit patterns. The transform is lossless — bits in,
+// bits out — so a columnar round-trip is bit-identical to the row
+// codec's events.
+
+// appendColFrame appends the columnar encoding of evs (without the
+// rank/count prefix) to dst.
+func appendColFrame(dst []byte, evs []Event) []byte {
+	for i := range evs {
+		dst = append(dst, byte(evs[i].Kind))
+	}
+	for i := range evs {
+		dst = append(dst, byte(evs[i].Op))
+	}
+	for _, get := range [2]func(*Event) float64{
+		func(e *Event) float64 { return e.Time },
+		func(e *Event) float64 { return e.True },
+	} {
+		prev := math.Float64bits(get(&evs[0]))
+		dst = binary.LittleEndian.AppendUint64(dst, prev)
+		for i := 1; i < len(evs); i++ {
+			bits := math.Float64bits(get(&evs[i]))
+			dst = binary.AppendVarint(dst, int64(bits-prev))
+			prev = bits
+		}
+	}
+	for _, get := range colFields {
+		for i := range evs {
+			dst = binary.AppendVarint(dst, int64(get(&evs[i])))
+		}
+	}
+	return dst
+}
+
+// colFields enumerates the seven varint field columns in canonical
+// (row-codec) order.
+var colFields = [7]func(*Event) int32{
+	func(e *Event) int32 { return e.Region },
+	func(e *Event) int32 { return e.Instance },
+	func(e *Event) int32 { return e.Partner },
+	func(e *Event) int32 { return e.Tag },
+	func(e *Event) int32 { return e.Bytes },
+	func(e *Event) int32 { return e.Comm },
+	func(e *Event) int32 { return e.Root },
+}
+
+// colFieldSet assigns the seven field columns in the same order.
+var colFieldSet = [7]func(*Event, int32){
+	func(e *Event, v int32) { e.Region = v },
+	func(e *Event, v int32) { e.Instance = v },
+	func(e *Event, v int32) { e.Partner = v },
+	func(e *Event, v int32) { e.Tag = v },
+	func(e *Event, v int32) { e.Bytes = v },
+	func(e *Event, v int32) { e.Comm = v },
+	func(e *Event, v int32) { e.Root = v },
+}
+
+// parseColPayload validates and fully decodes a columnar frame payload
+// into colBuf (grown as needed, reused across blocks by the caller).
+func parseColPayload(p []byte, colBuf []Event) (parsed, error) {
+	rank, n := binary.Uvarint(p)
+	if n <= 0 || rank > maxProcs {
+		return parsed{}, errors.New("bad frame rank") //tsync:rawerr — reason for the caller, which classifies and adds the byte offset (see readBlock/scan)
+	}
+	count, m := binary.Uvarint(p[n:])
+	if m <= 0 || count == 0 || count > maxColFrameEvents {
+		return parsed{}, errors.New("bad frame event count") //tsync:rawerr — reason for the caller, which classifies and adds the byte offset (see readBlock/scan)
+	}
+	c := int(count)
+	body := p[n+m:]
+	if c*colEventMinSize+colFixedSize > len(body) {
+		return parsed{}, errors.New("frame too short for its event count") //tsync:rawerr — reason for the caller, which classifies and adds the byte offset (see readBlock/scan)
+	}
+	if cap(colBuf) < c {
+		colBuf = make([]Event, c)
+	}
+	evs := colBuf[:c]
+	for i := range evs {
+		evs[i] = Event{}
+	}
+	for i := 0; i < c; i++ {
+		evs[i].Kind = Kind(body[i])
+	}
+	for i := 0; i < c; i++ {
+		evs[i].Op = CollOp(body[c+i])
+	}
+	body = body[2*c:]
+	for col := 0; col < 2; col++ {
+		if len(body) < 8 {
+			return parsed{}, errors.New("truncated timestamp column") //tsync:rawerr — reason for the caller, which classifies and adds the byte offset (see readBlock/scan)
+		}
+		bits := binary.LittleEndian.Uint64(body)
+		body = body[8:]
+		setTS := func(e *Event, b uint64) { e.Time = math.Float64frombits(b) }
+		if col == 1 {
+			setTS = func(e *Event, b uint64) { e.True = math.Float64frombits(b) }
+		}
+		setTS(&evs[0], bits)
+		for i := 1; i < c; i++ {
+			d, k := binary.Varint(body)
+			if k <= 0 {
+				return parsed{}, errors.New("bad timestamp delta") //tsync:rawerr — reason for the caller, which classifies and adds the byte offset (see readBlock/scan)
+			}
+			body = body[k:]
+			bits += uint64(d)
+			setTS(&evs[i], bits)
+		}
+	}
+	for _, set := range colFieldSet {
+		for i := 0; i < c; i++ {
+			v, k := binary.Varint(body)
+			if k <= 0 || v > math.MaxInt32 || v < math.MinInt32 {
+				return parsed{}, errors.New("bad field column varint") //tsync:rawerr — reason for the caller, which classifies and adds the byte offset (see readBlock/scan)
+			}
+			body = body[k:]
+			set(&evs[i], int32(v))
+		}
+	}
+	if len(body) != 0 {
+		return parsed{}, errors.New("trailing bytes after columnar frame") //tsync:rawerr — reason for the caller, which classifies and adds the byte offset (see readBlock/scan)
+	}
+	return parsed{typ: blockColFrame, rank: int(rank), count: c, decoded: evs}, nil
+}
+
 // blockReader reads v2 blocks from a buffered stream, optionally
 // resynchronizing past corruption. It is shared by EventReader (whole
 // file) and FrameDecoder (one rank's section); the accept hook carries
@@ -319,7 +491,8 @@ type blockReader struct {
 	pol    ResyncPolicy
 	rep    *CorruptionReport
 
-	payload []byte // owned storage of the current block's payload
+	payload []byte  // owned storage of the current block's payload
+	colBuf  []Event // scratch for columnar frame decodes, recycled per block
 }
 
 func (b *blockReader) budgetBytes() error {
@@ -388,7 +561,10 @@ func (b *blockReader) readBlock(start int64) (parsed, error) {
 		if crc32.Checksum(b.payload, castagnoli) != crc {
 			return parsed{}, badFormat(fmt.Sprintf("block at byte %d", start), errors.New("checksum mismatch"))
 		}
-		p, perr := parsePayload(typ, b.payload, false)
+		p, perr := parsePayload(typ, b.payload, false, b.colBuf)
+		if p.decoded != nil {
+			b.colBuf = p.decoded
+		}
 		if perr != nil {
 			return parsed{}, badFormat(fmt.Sprintf("block at byte %d", start), perr)
 		}
@@ -404,7 +580,10 @@ func (b *blockReader) readBlock(start int64) (parsed, error) {
 	if crc32.Checksum(full[hlen:], castagnoli) != crc {
 		return parsed{}, badFormat(fmt.Sprintf("block at byte %d", start), errors.New("checksum mismatch"))
 	}
-	p, perr := parsePayload(typ, full[hlen:], true)
+	p, perr := parsePayload(typ, full[hlen:], true, b.colBuf)
+	if p.decoded != nil {
+		b.colBuf = p.decoded
+	}
 	if perr != nil {
 		return parsed{}, badFormat(fmt.Sprintf("block at byte %d", start), perr)
 	}
@@ -509,7 +688,10 @@ func (b *blockReader) validateCandidate(buf []byte) (parsed, int, int, bool) {
 	if crc32.Checksum(buf[hlen:hlen+plen], castagnoli) != crc {
 		return parsed{}, 0, 0, false
 	}
-	p, perr := parsePayload(typ, buf[hlen:hlen+plen], true)
+	p, perr := parsePayload(typ, buf[hlen:hlen+plen], true, b.colBuf)
+	if p.decoded != nil {
+		b.colBuf = p.decoded
+	}
 	if perr != nil {
 		return parsed{}, 0, 0, false
 	}
@@ -524,25 +706,36 @@ func (b *blockReader) validateCandidate(buf []byte) (parsed, int, int, bool) {
 // through writer-owned buffers, so the per-event hot path allocates
 // nothing once the buffers reach steady state.
 type frameWriter struct {
-	bw    *bufio.Writer
-	limit int // events per frame
+	bw       *bufio.Writer
+	limit    int  // events per frame
+	columnar bool // emit blockColFrame instead of blockFrame
 
 	rank   int
-	events []byte // pending frame's encoded events
+	events []byte // pending frame's encoded events (row mode)
 	count  int
+
+	evBuf []Event // pending frame's events (columnar mode buffers
+	// structs: the column transform needs the whole batch)
 
 	blockHead []byte // scratch: marker | type | len | crc
 	payHead   []byte // scratch: frame/proc payload prefix
+	colPay    []byte // scratch: columnar payload body
 }
 
-func newFrameWriter(bw *bufio.Writer, frameEvents int) *frameWriter {
-	return &frameWriter{
+func newFrameWriter(bw *bufio.Writer, frameEvents int, columnar bool) *frameWriter {
+	fw := &frameWriter{
 		bw:        bw,
 		limit:     frameEvents,
-		events:    make([]byte, 0, min(frameEvents, 1024)*32),
+		columnar:  columnar,
 		blockHead: make([]byte, 0, blockHeadMax),
 		payHead:   make([]byte, 0, 64),
 	}
+	if columnar {
+		fw.evBuf = make([]Event, 0, frameEvents)
+	} else {
+		fw.events = make([]byte, 0, min(frameEvents, 1024)*32)
+	}
+	return fw
 }
 
 // writeBlock emits one block whose payload is the concatenation of
@@ -576,6 +769,19 @@ func (fw *frameWriter) writeBlock(typ byte, parts ...[]byte) error {
 
 // flushFrame emits the pending frame, if any.
 func (fw *frameWriter) flushFrame() error {
+	if fw.columnar {
+		if len(fw.evBuf) == 0 {
+			return nil
+		}
+		head := fw.payHead[:0]
+		head = binary.AppendUvarint(head, uint64(fw.rank))
+		head = binary.AppendUvarint(head, uint64(len(fw.evBuf)))
+		fw.payHead = head
+		fw.colPay = appendColFrame(fw.colPay[:0], fw.evBuf)
+		err := fw.writeBlock(blockColFrame, head, fw.colPay)
+		fw.evBuf = fw.evBuf[:0]
+		return err
+	}
 	if fw.count == 0 {
 		return nil
 	}
@@ -590,8 +796,17 @@ func (fw *frameWriter) flushFrame() error {
 }
 
 // add appends one event to the pending frame, cutting the frame at the
-// event limit or near the payload ceiling.
+// event limit or near the payload ceiling. In columnar mode the limit
+// alone bounds the payload: normalize clamps it to maxColFrameEvents,
+// whose worst-case encoding fits maxFramePayload by construction.
 func (fw *frameWriter) add(ev *Event) error {
+	if fw.columnar {
+		fw.evBuf = append(fw.evBuf, *ev)
+		if len(fw.evBuf) >= fw.limit {
+			return fw.flushFrame()
+		}
+		return nil
+	}
 	fw.events = appendEvent(fw.events, ev)
 	fw.count++
 	if fw.count >= fw.limit || len(fw.events) >= maxFramePayload-maxEventSize-2*binary.MaxVarintLen64 {
@@ -631,7 +846,13 @@ type FrameDecoder struct {
 	blk    blockReader
 	rank   int
 	rep    CorruptionReport
-	events []byte // undecoded remainder of the current frame
+	events []byte // undecoded remainder of the current frame (row frames)
+
+	// decoded/dpos serve columnar frames, whose events materialize at
+	// block-parse time into the blockReader's scratch; they must drain
+	// before the next block is read (the scratch is then recycled).
+	decoded []Event
+	dpos    int
 }
 
 // NewFrameDecoder returns a decoder over r for the given rank's section.
@@ -644,12 +865,14 @@ func NewFrameDecoder(r io.Reader, rank int, pol ResyncPolicy) *FrameDecoder {
 	}
 	br := bufio.NewReaderSize(&d.cr, size)
 	d.blk = blockReader{
-		br:     br,
-		pos:    func() int64 { return d.cr.n - int64(br.Buffered()) },
-		rank:   func() int { return rank },
-		accept: func(p *parsed) bool { return p.typ == blockFrame && p.rank == rank },
-		pol:    pol,
-		rep:    &d.rep,
+		br:   br,
+		pos:  func() int64 { return d.cr.n - int64(br.Buffered()) },
+		rank: func() int { return rank },
+		accept: func(p *parsed) bool {
+			return (p.typ == blockFrame || p.typ == blockColFrame) && p.rank == rank
+		},
+		pol: pol,
+		rep: &d.rep,
 	}
 	return d
 }
@@ -660,10 +883,21 @@ func (d *FrameDecoder) Report() *CorruptionReport { return &d.rep }
 
 // Decode reads the next event into ev.
 func (d *FrameDecoder) Decode(ev *Event) error {
+	if d.dpos < len(d.decoded) {
+		*ev = d.decoded[d.dpos]
+		d.dpos++
+		return nil
+	}
+	d.decoded, d.dpos = nil, 0
 	for len(d.events) == 0 {
 		p, _, err := d.blk.nextBlock()
 		if err != nil {
 			return err
+		}
+		if p.typ == blockColFrame {
+			*ev = p.decoded[0]
+			d.decoded, d.dpos = p.decoded, 1
+			return nil
 		}
 		d.events = p.events
 	}
@@ -678,12 +912,29 @@ func (d *FrameDecoder) Decode(ev *Event) error {
 }
 
 // DecodeBatch decodes up to len(evs) events, returning how many were
-// filled; a clean section end surfaces as (n, io.EOF).
+// filled; a clean section end surfaces as (n, io.EOF). Columnar frames
+// copy in bulk; row frames decode in a tight loop over the validated
+// frame bytes.
 func (d *FrameDecoder) DecodeBatch(evs []Event) (int, error) {
-	for i := range evs {
+	i := 0
+	for i < len(evs) {
+		if d.dpos < len(d.decoded) {
+			n := copy(evs[i:], d.decoded[d.dpos:])
+			d.dpos += n
+			i += n
+			continue
+		}
+		if len(d.events) > 0 {
+			if n, ok := decodeEvent(d.events, &evs[i]); ok {
+				d.events = d.events[n:]
+				i++
+				continue
+			}
+		}
 		if err := d.Decode(&evs[i]); err != nil {
 			return i, err
 		}
+		i++
 	}
 	return len(evs), nil
 }

@@ -446,7 +446,7 @@ func TestFrameV2WriterAllocs(t *testing.T) {
 func TestFrameDecoderAllocs(t *testing.T) {
 	var buf bytes.Buffer
 	bw := bufio.NewWriter(&buf)
-	fw := newFrameWriter(bw, 256)
+	fw := newFrameWriter(bw, 256, false)
 	fw.rank = 0
 	rng := xrand.NewSource(43)
 	for i := 0; i < 1<<15; i++ {
