@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-smoke microbench vet lint lint-test lint-json lint-fix-check race cover-check faults fingerprint replay figures clean
+.PHONY: all build test bench bench-smoke microbench vet lint lint-test lint-json lint-fix-check race cover-check faults fingerprint replay serve figures clean
 
 all: build vet lint test
 
@@ -62,12 +62,14 @@ cover-check:
 # case (observer checksum + >=90% of baseline throughput), the
 # stream-faults salvage case (recovery ratio + cross-worker determinism),
 # the replay-1m case (seeded RepCl interleavings must reproduce the
-# canonical replay checksum bit for bit), and the merge-tree scale cases
+# canonical replay checksum bit for bit), the merge-tree scale cases
 # — stream-10k (10,000 ranks under a per-rank heap budget, census equal
 # to the flat merge's) and stream-1b (a billion events in window-bounded
-# memory) (see cmd/bench)
+# memory) — and the tsyncd-1m service case (concurrent loopback sessions
+# against a resident tsyncd, each bit-identical to stream-1m, with
+# sessions/sec and p99 latency) (see cmd/bench)
 bench:
-	$(GO) run ./cmd/bench -workers 4 -o BENCH_PR9.json
+	$(GO) run ./cmd/bench -workers 4 -o BENCH_PR10.json
 
 # CI-sized bench: 1 rep, tiny workloads, 2 workers — still checks that
 # parallel checksums match serial, that the streaming pipeline reproduces
@@ -80,7 +82,7 @@ bench:
 # the adversarial merge-tree interleavings — so their harness code cannot
 # rot
 bench-smoke:
-	$(GO) run ./cmd/bench -smoke -workers 2 -o BENCH_PR9.json
+	$(GO) run ./cmd/bench -smoke -workers 2 -o BENCH_PR10.json
 	$(GO) test -run XXX -bench 'BenchmarkStreamPipeline|BenchmarkMergeTree|BenchmarkEventCodec|BenchmarkMapTimeMonotone' -benchtime=1x .
 
 # the fault-tolerance suite on its own: resync framing, salvage,
@@ -96,6 +98,12 @@ faults:
 replay:
 	$(GO) test -race ./internal/replay/
 	$(GO) test -race -run 'RepCl|Replay' ./internal/lclock/ ./internal/stream/
+
+# the trace-sync service suite on its own: the tsyncd protocol, quota,
+# admission, drain, and fault-matrix tests plus the client backoff and
+# exit-code contracts, all under the race detector
+serve:
+	$(GO) test -race ./internal/tsyncd/ ./internal/backoff/ ./internal/exitcode/ ./internal/faultinject/
 
 # the drift-fingerprint suite on its own: the seeded classification
 # matrix (kind × magnitude × position), the auto-knot correction tests,

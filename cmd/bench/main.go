@@ -26,14 +26,18 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"tsync/internal/analysis"
@@ -49,6 +53,7 @@ import (
 	"tsync/internal/stream"
 	"tsync/internal/topology"
 	"tsync/internal/trace"
+	"tsync/internal/tsyncd"
 )
 
 // benchCase is one timed driver comparison in the report.
@@ -92,6 +97,12 @@ type streamCase struct {
 	// fingerprint fields (stream-fingerprint case only): throughput
 	// relative to the same workload without the fingerprint stage.
 	OverheadRatio float64 `json:"overhead_ratio,omitempty"`
+	// service fields (tsyncd-1m case only): concurrent loopback
+	// sessions against a resident tsyncd, each required to return the
+	// stream-1m output bit for bit.
+	Sessions       int     `json:"sessions,omitempty"`
+	SessionsPerSec float64 `json:"sessions_per_sec,omitempty"`
+	P99Seconds     float64 `json:"p99_seconds,omitempty"`
 }
 
 type report struct {
@@ -642,6 +653,97 @@ func runReplay1M(path string, init, fin []measure.Offset) (streamCase, error) {
 	return c, nil
 }
 
+// runTsyncd1M pushes the stream-1m trace through a resident tsyncd
+// server over loopback: a fixed number of concurrent sessions upload
+// the trace, the service runs the identical interp+CLC pipeline, and
+// every session's returned bytes must hash to the same digest as the
+// direct streaming run (want). The case records aggregate event
+// throughput, sessions per second, and the p99 session latency —
+// concurrency must buy throughput without costing a single bit.
+func runTsyncd1M(ctx context.Context, path string, init, fin []measure.Offset, want streamCase, smoke bool) (streamCase, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return streamCase{}, err
+	}
+	concurrent, sessions := 4, 8
+	if smoke {
+		concurrent, sessions = 2, 4
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return streamCase{}, err
+	}
+	srv := tsyncd.New(tsyncd.Config{MaxSessions: concurrent, MaxQueue: sessions})
+	ctx, cancel := context.WithCancel(ctx)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ctx, ln) }()
+
+	h := tsyncd.Hello{
+		Base: "interp", CLC: true, WantTrace: true, Init: init, Fin: fin,
+	}
+	type outcome struct {
+		secs float64
+		sum  string
+		err  error
+	}
+	results := make([]outcome, sessions)
+	sem := make(chan struct{}, concurrent)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cl := tsyncd.NewClient(tsyncd.ClientConfig{
+				Addr: ln.Addr().String(), Seed: uint64(i + 1), Timeout: 5 * time.Minute,
+			})
+			var out bytes.Buffer
+			var r outcome
+			t0 := time.Now()
+			_, err := cl.Sync(ctx, h, bytes.NewReader(data), &out)
+			r.secs = time.Since(t0).Seconds()
+			if err == nil {
+				r.sum, err = experiments.ChecksumTraceFile(bytes.NewReader(out.Bytes()))
+			}
+			r.err = err
+			results[i] = r //tsync:locked — wg: each goroutine owns slot i exclusively and wg.Wait happens-before the reads below
+		}(i)
+	}
+	wg.Wait()
+	secs := time.Since(start).Seconds()
+	cancel()
+	if err := <-serveErr; err != nil {
+		return streamCase{}, fmt.Errorf("serve: %w", err)
+	}
+
+	match := true
+	lat := make([]float64, 0, sessions)
+	for i, r := range results {
+		if r.err != nil {
+			return streamCase{}, fmt.Errorf("session %d: %w", i, r.err)
+		}
+		match = match && r.sum == want.StreamChecksum
+		lat = append(lat, r.secs)
+	}
+	sort.Float64s(lat)
+	c := streamCase{
+		Name: "tsyncd-1m", Events: want.Events, Window: want.Window,
+		Sessions: sessions, GoMaxProcs: concurrent,
+		StreamSeconds:  secs,
+		P99Seconds:     lat[(len(lat)*99+99)/100-1],
+		StreamChecksum: results[0].sum, MemoryChecksum: want.StreamChecksum,
+		Bounded: true, Match: match,
+	}
+	if secs > 0 {
+		c.EventsPerSec = float64(want.Events) * float64(sessions) / secs
+		c.SessionsPerSec = float64(sessions) / secs
+	}
+	return c, nil
+}
+
 func runStreamCases(smoke bool) ([]streamCase, error) {
 	dir, err := os.MkdirTemp("", "tsync-bench-")
 	if err != nil {
@@ -700,7 +802,14 @@ func runStreamCases(smoke bool) ([]streamCase, error) {
 	if err != nil {
 		return nil, fmt.Errorf("replay-1m: %w", err)
 	}
-	cases := []streamCase{diff, big, legacy, fp, faults, rep}
+
+	// the 1M-event trace once more, served by a resident tsyncd over
+	// loopback: concurrent sessions, each bit-identical to stream-1m
+	svc, err := runTsyncd1M(context.Background(), bigPath, init, fin, big, smoke)
+	if err != nil {
+		return nil, fmt.Errorf("tsyncd-1m: %w", err)
+	}
+	cases := []streamCase{diff, big, legacy, fp, faults, rep, svc}
 
 	// the merge tree at topology scale: 10k ranks under a per-rank heap
 	// budget, and a billion events (smoke: a million) under the window
@@ -713,7 +822,7 @@ func runStreamCases(smoke bool) ([]streamCase, error) {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR9.json", "output JSON report path")
+	out := flag.String("o", "BENCH_PR10.json", "output JSON report path")
 	workers := flag.Int("workers", 0, "parallel worker bound to compare against workers=1 (0 = all CPUs)")
 	reps := flag.Int("reps", 3, "repetitions per driver (the paper used 3)")
 	ranks := flag.Int("ranks", 16, "MPI ranks for the Fig. 7 runs")

@@ -28,6 +28,7 @@ import (
 	"os"
 	"time"
 
+	"tsync/internal/exitcode"
 	"tsync/internal/interp"
 	"tsync/internal/lclock"
 	"tsync/internal/measure"
@@ -56,11 +57,6 @@ type options struct {
 	timeout  time.Duration
 }
 
-// exitPartial is the exit status when the replay ran on a salvaged,
-// incomplete trace: the verdicts are real but partial, and scripts
-// must be able to tell.
-const exitPartial = 3
-
 func main() {
 	var o options
 	flag.StringVar(&o.in, "i", "trace.etr", "input trace file")
@@ -80,12 +76,10 @@ func main() {
 	partial, err := run(o)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracereplay:", err)
-		os.Exit(1)
-	}
-	if partial {
+	} else if partial {
 		fmt.Fprintln(os.Stderr, "tracereplay: replay is partial (salvaged from a damaged trace)")
-		os.Exit(exitPartial)
 	}
+	os.Exit(exitcode.From(err, partial))
 }
 
 func withTimeout(o options) (context.Context, context.CancelFunc) {

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"tsync/internal/analysis"
+	"tsync/internal/exitcode"
 	"tsync/internal/fingerprint"
 	"tsync/internal/render"
 	"tsync/internal/stream"
@@ -40,11 +41,6 @@ type options struct {
 	timeout     time.Duration
 }
 
-// exitPartial is the exit status when salvage produced output from a
-// damaged trace: the numbers are real but incomplete, and scripts must
-// be able to tell.
-const exitPartial = 3
-
 func main() {
 	var o options
 	flag.StringVar(&o.in, "i", "trace.etr", "input trace file")
@@ -63,12 +59,10 @@ func main() {
 	partial, err := run(o)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracestat:", err)
-		os.Exit(1)
-	}
-	if partial {
+	} else if partial {
 		fmt.Fprintln(os.Stderr, "tracestat: output is partial (salvaged from a damaged trace)")
-		os.Exit(exitPartial)
 	}
+	os.Exit(exitcode.From(err, partial))
 }
 
 // withTimeout derives the run context from the -timeout flag.

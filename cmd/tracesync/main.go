@@ -25,6 +25,7 @@ import (
 	"tsync/internal/analysis"
 	"tsync/internal/clc"
 	"tsync/internal/core"
+	"tsync/internal/exitcode"
 	"tsync/internal/experiments"
 	"tsync/internal/fingerprint"
 	"tsync/internal/measure"
@@ -57,11 +58,6 @@ type options struct {
 	cpuprofile    string
 	memprofile    string
 }
-
-// exitPartial is the exit status when salvage produced output from a
-// damaged trace: the results are real but incomplete, and scripts must
-// be able to tell.
-const exitPartial = 3
 
 func main() {
 	var o options
@@ -96,12 +92,10 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracesync:", err)
-		os.Exit(1)
-	}
-	if partial {
+	} else if partial {
 		fmt.Fprintln(os.Stderr, "tracesync: output is partial (salvaged from a damaged trace)")
-		os.Exit(exitPartial)
 	}
+	os.Exit(exitcode.From(err, partial))
 }
 
 func loadSidecar(in string) (sidecar, bool, error) {

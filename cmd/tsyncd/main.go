@@ -1,0 +1,73 @@
+// Command tsyncd serves streaming trace-sync sessions over TCP: each
+// connection uploads a trace, runs the same correction pipeline as
+// cmd/tracesync (bit-identical results, enforced by the differential
+// tests in internal/tsyncd), and streams the corrected trace and its
+// analysis back. The server admits a bounded number of concurrent
+// sessions, queues a bounded overflow, enforces per-tenant byte/event/
+// spill quotas, reaps stalled clients, and drains gracefully on
+// SIGINT/SIGTERM: it stops admitting, gives in-flight sessions the
+// drain grace period, then aborts whatever remains — leaving no
+// goroutines and no spill files.
+//
+// Exit status: 0 after a clean drain, 1 on a server error.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tsync/internal/tsyncd"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:7474", "TCP listen address")
+		maxSessions  = flag.Int("max-sessions", 4, "max concurrent correction sessions")
+		maxQueue     = flag.Int("max-queue", 16, "max admissions waiting for a session slot (negative: reject immediately when full)")
+		queueTimeout = flag.Duration("queue-timeout", 5*time.Second, "max wait for a session slot before a queue-timeout reject")
+		idleTimeout  = flag.Duration("idle-timeout", 30*time.Second, "reap clients that stall this long between frames")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "grace for in-flight sessions after SIGTERM before they are aborted")
+		maxBytes     = flag.Int64("max-bytes", 0, "per-tenant cap on buffered trace bytes across active sessions (0 = unlimited)")
+		maxEvents    = flag.Int64("max-events", 0, "per-tenant cap on events in a single trace (0 = unlimited)")
+		maxSpill     = flag.Int64("max-spill", 0, "per-tenant cap on spill bytes across active sessions (0 = unlimited)")
+		quiet        = flag.Bool("quiet", false, "suppress per-session log lines")
+	)
+	flag.Parse()
+
+	cfg := tsyncd.Config{
+		MaxSessions:  *maxSessions,
+		MaxQueue:     *maxQueue,
+		QueueTimeout: *queueTimeout,
+		IdleTimeout:  *idleTimeout,
+		DrainTimeout: *drainTimeout,
+		DefaultQuota: tsyncd.Quota{MaxBytes: *maxBytes, MaxEvents: *maxEvents, MaxSpillBytes: *maxSpill},
+	}
+	if !*quiet {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "tsyncd: "+format+"\n", args...)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tsyncd:", err)
+		os.Exit(1)
+	}
+	// The resolved address goes to stderr unconditionally so scripts can
+	// bind ":0" and discover the port.
+	fmt.Fprintf(os.Stderr, "tsyncd: listening on %s\n", ln.Addr())
+
+	if err := tsyncd.New(cfg).Serve(ctx, ln); err != nil {
+		fmt.Fprintln(os.Stderr, "tsyncd:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,170 @@
+// Package backoff provides deterministic exponential backoff with
+// jitter for retry loops: client reconnects to tsyncd, spill-file
+// creation retries, and any future transient-failure path.
+//
+// Like everything else in this repository, the delay sequence is a pure
+// function of its seed: jitter comes from internal/xrand, never from
+// wall-clock-derived entropy, so a failing retry schedule reproduces
+// byte-for-byte under test. Only the act of actually waiting touches the
+// host clock, and that is confined to Sleep — which tests replace with a
+// recording stub.
+package backoff
+
+import (
+	"context"
+	"math"
+	"time"
+
+	"tsync/internal/xrand"
+)
+
+// Policy describes a capped exponential backoff with multiplicative
+// jitter. The zero value is not useful; fill in at least Base, or use
+// Default.
+type Policy struct {
+	// Base is the nominal first delay.
+	Base time.Duration
+	// Cap bounds every delay; zero means no cap.
+	Cap time.Duration
+	// Factor multiplies the nominal delay per attempt; values below 1
+	// (including zero) select 2.
+	Factor float64
+	// Jitter spreads each delay uniformly over
+	// [delay*(1-Jitter), delay*(1+Jitter)]. It is clamped to [0, 1];
+	// zero means no jitter — fully deterministic delays.
+	Jitter float64
+}
+
+// Default is the policy the tsyncd client and spill retries use: 50 ms
+// doubling to a 5 s cap with ±50% jitter.
+func Default() Policy {
+	return Policy{Base: 50 * time.Millisecond, Cap: 5 * time.Second, Factor: 2, Jitter: 0.5}
+}
+
+// Backoff produces one seeded delay sequence. It is not safe for
+// concurrent use; derive one per retry loop (each with its own seed or
+// xrand.SeedAt stream position) so loops never perturb each other's
+// schedules.
+type Backoff struct {
+	pol     Policy
+	rng     *xrand.Source
+	attempt int
+}
+
+// New returns a sequence over pol whose jitter stream is seeded with
+// seed. Two Backoffs built from equal (pol, seed) produce identical
+// delays.
+func New(pol Policy, seed uint64) *Backoff {
+	if pol.Factor < 1 {
+		pol.Factor = 2
+	}
+	if pol.Jitter < 0 {
+		pol.Jitter = 0
+	}
+	if pol.Jitter > 1 {
+		pol.Jitter = 1
+	}
+	return &Backoff{pol: pol, rng: xrand.NewSource(seed)}
+}
+
+// Attempt reports how many delays have been produced since construction
+// or the last Reset.
+func (b *Backoff) Attempt() int { return b.attempt }
+
+// Next returns the delay to wait before the next retry and advances the
+// sequence: Base·Factor^attempt, capped at Cap, jittered by ±Jitter.
+// The result is never negative and never exceeds Cap (when set), even
+// after the exponential would overflow.
+func (b *Backoff) Next() time.Duration {
+	d := float64(b.pol.Base)
+	for i := 0; i < b.attempt; i++ {
+		d *= b.pol.Factor
+		if b.pol.Cap > 0 && d >= float64(b.pol.Cap) {
+			d = float64(b.pol.Cap)
+			break
+		}
+	}
+	if b.pol.Cap > 0 && d > float64(b.pol.Cap) {
+		d = float64(b.pol.Cap)
+	}
+	b.attempt++
+	if b.pol.Jitter > 0 {
+		d *= b.rng.Uniform(1-b.pol.Jitter, 1+b.pol.Jitter)
+		if b.pol.Cap > 0 && d > float64(b.pol.Cap) {
+			d = float64(b.pol.Cap)
+		}
+	}
+	if d < 0 {
+		d = 0
+	}
+	if d >= math.MaxInt64 {
+		// an uncapped exponential eventually exceeds Duration's range;
+		// saturate instead of overflowing negative
+		return math.MaxInt64
+	}
+	return time.Duration(d)
+}
+
+// Reset rewinds the attempt counter (a success ends the failure run) but
+// keeps consuming the same jitter stream, so a Backoff stays a single
+// deterministic sequence across reset boundaries.
+func (b *Backoff) Reset() { b.attempt = 0 }
+
+// Sleep waits for d or until ctx is canceled, whichever comes first,
+// returning ctx.Err() on cancellation. It is the only place the package
+// touches the host clock.
+func Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d) //tsync:wallclock — the retry wait is a real-time pause by definition; the delay length itself is xrand-seeded and tested without timers
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// SleepFunc is the waiting primitive Retry uses between attempts; tests
+// substitute a recorder to observe the schedule without waiting.
+type SleepFunc func(ctx context.Context, d time.Duration) error
+
+// Retry runs fn until it succeeds, permanent failure, attempts are
+// exhausted, or ctx is canceled, sleeping b.Next() between tries with
+// sleep (nil selects Sleep). attempts bounds the number of fn calls;
+// values below 1 mean exactly one. fn's error is returned verbatim when
+// final; a retryable error chain stops early — with the last fn error —
+// if ctx cancels mid-wait. fn decides retryability through the permanent
+// callback: when permanent(err) reports true the error is final.
+func Retry(ctx context.Context, b *Backoff, attempts int, sleep SleepFunc, permanent func(error) bool, fn func() error) error {
+	if sleep == nil {
+		sleep = Sleep
+	}
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for try := 0; try < attempts; try++ {
+		if cerr := ctx.Err(); cerr != nil {
+			if err != nil {
+				return err
+			}
+			return cerr
+		}
+		if err = fn(); err == nil {
+			return nil
+		}
+		if permanent != nil && permanent(err) {
+			return err
+		}
+		if try == attempts-1 {
+			break
+		}
+		if serr := sleep(ctx, b.Next()); serr != nil {
+			return err
+		}
+	}
+	return err
+}

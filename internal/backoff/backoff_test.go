@@ -1,0 +1,205 @@
+package backoff_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"tsync/internal/backoff"
+)
+
+// TestDeterministic: equal (policy, seed) pairs yield identical delay
+// sequences; different seeds diverge.
+func TestDeterministic(t *testing.T) {
+	pol := backoff.Default()
+	a := backoff.New(pol, 7)
+	b := backoff.New(pol, 7)
+	c := backoff.New(pol, 8)
+	same, diff := true, false
+	for i := 0; i < 32; i++ {
+		av, bv, cv := a.Next(), b.Next(), c.Next()
+		if av != bv {
+			same = false
+		}
+		if av != cv {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("equal seeds produced different delay sequences")
+	}
+	if !diff {
+		t.Error("different seeds produced identical delay sequences (jitter not seeded?)")
+	}
+}
+
+// TestExponentialShape: without jitter the sequence is exactly
+// Base·Factor^n, capped.
+func TestExponentialShape(t *testing.T) {
+	b := backoff.New(backoff.Policy{Base: 10 * time.Millisecond, Cap: 80 * time.Millisecond, Factor: 2}, 1)
+	want := []time.Duration{10, 20, 40, 80, 80, 80}
+	for i, w := range want {
+		if got := b.Next(); got != w*time.Millisecond {
+			t.Errorf("delay %d = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+	if got := b.Attempt(); got != len(want) {
+		t.Errorf("Attempt() = %d, want %d", got, len(want))
+	}
+	b.Reset()
+	if got := b.Next(); got != 10*time.Millisecond {
+		t.Errorf("first delay after Reset = %v, want 10ms", got)
+	}
+}
+
+// TestCapAndJitterBounds: every jittered delay stays inside
+// [0, Cap] and inside the ±Jitter band of its nominal value.
+func TestCapAndJitterBounds(t *testing.T) {
+	pol := backoff.Policy{Base: 3 * time.Millisecond, Cap: 50 * time.Millisecond, Factor: 3, Jitter: 0.5}
+	b := backoff.New(pol, 42)
+	nominal := float64(pol.Base)
+	for i := 0; i < 64; i++ {
+		d := b.Next()
+		if d < 0 || d > pol.Cap {
+			t.Fatalf("delay %d = %v escapes [0, %v]", i, d, pol.Cap)
+		}
+		n := nominal
+		if n > float64(pol.Cap) {
+			n = float64(pol.Cap)
+		}
+		if float64(d) < n*(1-pol.Jitter)-1 {
+			t.Fatalf("delay %d = %v below the jitter band of %v", i, d, time.Duration(n))
+		}
+		nominal *= pol.Factor
+	}
+}
+
+// TestOverflowSafety: a huge attempt count must not overflow into
+// negative delays even with no cap.
+func TestOverflowSafety(t *testing.T) {
+	b := backoff.New(backoff.Policy{Base: time.Second, Factor: 2}, 3)
+	var last time.Duration
+	for i := 0; i < 80; i++ {
+		last = b.Next()
+		if last < 0 {
+			t.Fatalf("delay %d = %v is negative (overflow)", i, last)
+		}
+	}
+}
+
+// TestJitterClamped: out-of-range jitter values are clamped instead of
+// producing negative or amplified delays.
+func TestJitterClamped(t *testing.T) {
+	b := backoff.New(backoff.Policy{Base: 10 * time.Millisecond, Cap: time.Second, Factor: 2, Jitter: 5}, 9)
+	for i := 0; i < 16; i++ {
+		if d := b.Next(); d < 0 || d > time.Second {
+			t.Fatalf("delay %d = %v escapes [0, 1s] under clamped jitter", i, d)
+		}
+	}
+}
+
+// TestRetrySchedule: Retry calls fn until success, sleeping the
+// sequence's delays in between, and reports success.
+func TestRetrySchedule(t *testing.T) {
+	b := backoff.New(backoff.Policy{Base: 5 * time.Millisecond, Factor: 2}, 11)
+	var slept []time.Duration
+	sleep := func(_ context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return nil
+	}
+	calls := 0
+	err := backoff.Retry(context.Background(), b, 10, sleep, nil, func() error {
+		calls++
+		if calls < 4 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Retry: %v", err)
+	}
+	if calls != 4 {
+		t.Errorf("fn called %d times, want 4", calls)
+	}
+	if len(slept) != 3 {
+		t.Fatalf("slept %d times, want 3", len(slept))
+	}
+	if slept[0] != 5*time.Millisecond || slept[1] != 10*time.Millisecond || slept[2] != 20*time.Millisecond {
+		t.Errorf("sleep schedule = %v, want [5ms 10ms 20ms]", slept)
+	}
+}
+
+// TestRetryExhausted: the last error surfaces when attempts run out,
+// with exactly attempts calls and attempts-1 sleeps.
+func TestRetryExhausted(t *testing.T) {
+	b := backoff.New(backoff.Policy{Base: time.Millisecond, Factor: 2}, 12)
+	sentinel := errors.New("still down")
+	calls, sleeps := 0, 0
+	err := backoff.Retry(context.Background(), b, 3,
+		func(context.Context, time.Duration) error { sleeps++; return nil },
+		nil,
+		func() error { calls++; return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Retry: got %v, want the fn error", err)
+	}
+	if calls != 3 || sleeps != 2 {
+		t.Errorf("calls=%d sleeps=%d, want 3 and 2", calls, sleeps)
+	}
+}
+
+// TestRetryPermanent: a permanent error stops the loop immediately.
+func TestRetryPermanent(t *testing.T) {
+	b := backoff.New(backoff.Default(), 13)
+	fatal := errors.New("bad request")
+	calls := 0
+	err := backoff.Retry(context.Background(), b, 10,
+		func(context.Context, time.Duration) error { t.Fatal("slept after a permanent error"); return nil },
+		func(err error) bool { return errors.Is(err, fatal) },
+		func() error { calls++; return fatal })
+	if !errors.Is(err, fatal) || calls != 1 {
+		t.Fatalf("got (%v, %d calls), want (permanent error, 1 call)", err, calls)
+	}
+}
+
+// TestRetryContextCancel: cancellation mid-wait stops the loop with the
+// last attempt's error; cancellation before the first attempt returns
+// ctx.Err().
+func TestRetryContextCancel(t *testing.T) {
+	b := backoff.New(backoff.Default(), 14)
+	transient := errors.New("transient")
+	ctx, cancel := context.WithCancel(context.Background())
+	err := backoff.Retry(ctx, b, 10,
+		func(context.Context, time.Duration) error { cancel(); return context.Canceled },
+		nil,
+		func() error { return transient })
+	if !errors.Is(err, transient) {
+		t.Fatalf("cancel mid-wait: got %v, want the last fn error", err)
+	}
+
+	pre, preCancel := context.WithCancel(context.Background())
+	preCancel()
+	err = backoff.Retry(pre, backoff.New(backoff.Default(), 15), 10, nil, nil, func() error {
+		t.Fatal("fn ran under a canceled context")
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled Retry: got %v, want context.Canceled", err)
+	}
+}
+
+// TestSleep: zero and negative delays return immediately; a canceled
+// context interrupts a pending wait.
+func TestSleep(t *testing.T) {
+	if err := backoff.Sleep(context.Background(), 0); err != nil {
+		t.Errorf("Sleep(0): %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := backoff.Sleep(ctx, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled Sleep: got %v, want context.Canceled", err)
+	}
+	if err := backoff.Sleep(context.Background(), time.Microsecond); err != nil {
+		t.Errorf("tiny Sleep: %v", err)
+	}
+}

@@ -1,0 +1,34 @@
+// Package exitcode pins the exit-status contract shared by every CLI in
+// this repository — tracesync, tracestat, tracereplay, tsyncctl, and
+// tsyncd — so scripts can branch on outcomes without parsing stderr:
+//
+//	0  clean: the run completed and the results are complete
+//	1  error: the run failed; any output is unusable
+//	3  partial: the run completed on salvaged (damaged) input — the
+//	   results are real but incomplete, locally or delivered over the
+//	   wire from a tsyncd session
+//
+// Code 2 is deliberately unused: Go's flag package exits 2 on usage
+// errors, and keeping it distinct means "bad invocation" never shadows
+// "partial results".
+package exitcode
+
+// The contract's three statuses.
+const (
+	OK      = 0
+	Error   = 1
+	Partial = 3
+)
+
+// From folds a run's (err, partial) outcome into its exit status: an
+// error always dominates (failed runs must not masquerade as partial
+// successes), then partiality, then success.
+func From(err error, partial bool) int {
+	switch {
+	case err != nil:
+		return Error
+	case partial:
+		return Partial
+	}
+	return OK
+}

@@ -1,0 +1,36 @@
+package exitcode_test
+
+import (
+	"errors"
+	"testing"
+
+	"tsync/internal/exitcode"
+)
+
+// TestContract pins the numeric values — scripts depend on them.
+func TestContract(t *testing.T) {
+	if exitcode.OK != 0 || exitcode.Error != 1 || exitcode.Partial != 3 {
+		t.Fatalf("contract drifted: OK=%d Error=%d Partial=%d, want 0/1/3",
+			exitcode.OK, exitcode.Error, exitcode.Partial)
+	}
+}
+
+// TestFrom covers the fold: error dominates partial dominates clean.
+func TestFrom(t *testing.T) {
+	boom := errors.New("boom")
+	cases := []struct {
+		err     error
+		partial bool
+		want    int
+	}{
+		{nil, false, exitcode.OK},
+		{nil, true, exitcode.Partial},
+		{boom, false, exitcode.Error},
+		{boom, true, exitcode.Error}, // failed runs are not partial successes
+	}
+	for _, c := range cases {
+		if got := exitcode.From(c.err, c.partial); got != c.want {
+			t.Errorf("From(%v, %v) = %d, want %d", c.err, c.partial, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package faultinject
+
+// Deterministic network faults for exercising tsyncd's robustness
+// surface: a connection that dies mid-stream after an exact byte count,
+// writes delivered in awkward partial chunks, and reads cut off the same
+// way. Like every fault in this package, the schedule is a pure function
+// of its configuration — byte thresholds and xrand seeds — never of
+// wall-clock time, so a failing session reproduces exactly. Stalled
+// ("slow-loris") peers are modeled by simply not writing: the server's
+// idle deadline, not a fault primitive, decides when they die.
+
+import (
+	"errors"
+	"io"
+	"net"
+
+	"tsync/internal/xrand"
+)
+
+// ErrReset is the error FaultConn injects when a connection passes its
+// byte budget, standing in for ECONNRESET. The kernel-level error text a
+// real peer would see varies by platform; protocol code must treat any
+// read/write error as a dead peer, so one sentinel suffices.
+var ErrReset = errors.New("faultinject: injected connection reset")
+
+// FaultConn wraps a net.Conn with deterministic byte-level faults. The
+// zero thresholds disable each fault, so a zero-configured FaultConn is
+// a transparent wrapper. FaultConn is not safe for concurrent Writes (or
+// concurrent Reads); tsyncd's client issues both sequentially, as real
+// protocol code does.
+type FaultConn struct {
+	net.Conn
+	// WriteResetAfter kills the connection once that many bytes have
+	// been written: the write that crosses the threshold delivers the
+	// bytes up to it, closes the underlying conn (so the peer observes
+	// EOF/RST mid-frame), and every later write fails with ErrReset.
+	WriteResetAfter int64
+	// ReadResetAfter does the same on the read side.
+	ReadResetAfter int64
+	// ShortWrites, when non-nil, splits every Write into chunks of
+	// 1..ShortMax bytes drawn from this source — the classic partial
+	// write a loaded kernel produces. The bytes themselves are
+	// unchanged, so a correct peer must see no difference.
+	ShortWrites *xrand.Source
+	// ShortMax bounds the chunk size; <= 0 selects 7, the same awkward
+	// prime ShortReader uses.
+	ShortMax int
+
+	written, read int64
+	dead          bool
+}
+
+func (c *FaultConn) chunk(n int) int {
+	max := c.ShortMax
+	if max <= 0 {
+		max = 7
+	}
+	k := 1 + c.ShortWrites.Intn(max)
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// Write delivers p through the fault schedule. A reset mid-p reports the
+// bytes actually delivered with ErrReset, exactly like a real socket
+// dying under a partially-flushed buffer.
+func (c *FaultConn) Write(p []byte) (int, error) {
+	if c.dead {
+		return 0, ErrReset
+	}
+	total := 0
+	for len(p) > 0 {
+		n := len(p)
+		if c.ShortWrites != nil {
+			n = c.chunk(n)
+		}
+		if c.WriteResetAfter > 0 && c.written+int64(n) > c.WriteResetAfter {
+			n = int(c.WriteResetAfter - c.written)
+			if n > 0 {
+				m, err := c.Conn.Write(p[:n])
+				total += m
+				c.written += int64(m)
+				if err != nil {
+					return total, err
+				}
+			}
+			c.dead = true
+			c.Conn.Close()
+			return total, ErrReset
+		}
+		m, err := c.Conn.Write(p[:n])
+		total += m
+		c.written += int64(m)
+		if err != nil {
+			return total, err
+		}
+		p = p[n:]
+	}
+	return total, nil
+}
+
+// Read mirrors Write's reset schedule on the inbound side.
+func (c *FaultConn) Read(p []byte) (int, error) {
+	if c.dead {
+		return 0, ErrReset
+	}
+	if c.ReadResetAfter > 0 {
+		if c.read >= c.ReadResetAfter {
+			c.dead = true
+			c.Conn.Close()
+			return 0, ErrReset
+		}
+		if int64(len(p)) > c.ReadResetAfter-c.read {
+			p = p[:c.ReadResetAfter-c.read]
+		}
+	}
+	n, err := c.Conn.Read(p)
+	c.read += int64(n)
+	return n, err
+}
+
+// CorruptWriter XORs F's flips into the byte stream as it is written —
+// the wire-level counterpart of ReaderAt, for corrupting a trace body in
+// flight rather than at rest. Offsets are relative to the bytes passed
+// through this writer.
+type CorruptWriter struct {
+	W   io.Writer
+	F   *Flips
+	off int64
+}
+
+func (w *CorruptWriter) Write(p []byte) (int, error) {
+	buf := make([]byte, len(p))
+	copy(buf, p)
+	w.F.Apply(buf, w.off)
+	n, err := w.W.Write(buf)
+	w.off += int64(n)
+	return n, err
+}

@@ -1,0 +1,173 @@
+package faultinject
+
+// The network faults must be exact: a reset fires at the configured
+// byte, short writes deliver bit-identical bytes, and a corrupting
+// writer flips exactly the scheduled offsets. net.Pipe gives a fully
+// synchronous in-memory conn, so every test is timer-free.
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+
+	"tsync/internal/xrand"
+)
+
+// drain reads everything the peer delivers until EOF or error.
+func drain(c net.Conn) ([]byte, error) {
+	var got bytes.Buffer
+	_, err := io.Copy(&got, c)
+	return got.Bytes(), err
+}
+
+func TestFaultConnTransparent(t *testing.T) {
+	a, b := net.Pipe()
+	fc := &FaultConn{Conn: a}
+	payload := bytes.Repeat([]byte("transparent?"), 100)
+
+	done := make(chan []byte)
+	go func() {
+		got, _ := drain(b)
+		done <- got
+	}()
+	n, err := fc.Write(payload)
+	if err != nil || n != len(payload) {
+		t.Fatalf("Write = (%d, %v), want (%d, nil)", n, err, len(payload))
+	}
+	fc.Close()
+	if got := <-done; !bytes.Equal(got, payload) {
+		t.Fatalf("peer received %d bytes, want the %d-byte payload intact", len(got), len(payload))
+	}
+}
+
+func TestFaultConnShortWritesDeliverIdenticalBytes(t *testing.T) {
+	a, b := net.Pipe()
+	fc := &FaultConn{Conn: a, ShortWrites: xrand.NewSource(7), ShortMax: 5}
+	payload := make([]byte, 4096)
+	src := xrand.NewSource(99)
+	for i := range payload {
+		payload[i] = byte(src.Intn(256))
+	}
+
+	done := make(chan []byte)
+	go func() {
+		got, _ := drain(b)
+		done <- got
+	}()
+	n, err := fc.Write(payload)
+	if err != nil || n != len(payload) {
+		t.Fatalf("Write = (%d, %v), want (%d, nil)", n, err, len(payload))
+	}
+	fc.Close()
+	if got := <-done; !bytes.Equal(got, payload) {
+		t.Fatal("short-chunked delivery altered the byte stream")
+	}
+}
+
+func TestFaultConnWriteReset(t *testing.T) {
+	const cut = 100
+	a, b := net.Pipe()
+	fc := &FaultConn{Conn: a, WriteResetAfter: cut}
+	payload := bytes.Repeat([]byte{0xAB}, 300)
+
+	type recv struct {
+		got []byte
+		err error
+	}
+	done := make(chan recv)
+	go func() {
+		got, err := drain(b)
+		done <- recv{got, err}
+	}()
+	n, err := fc.Write(payload)
+	if !errors.Is(err, ErrReset) {
+		t.Fatalf("Write past the cut: got %v, want ErrReset", err)
+	}
+	if n != cut {
+		t.Fatalf("Write delivered %d bytes before the reset, want exactly %d", n, cut)
+	}
+	r := <-done
+	if len(r.got) != cut || !bytes.Equal(r.got, payload[:cut]) {
+		t.Fatalf("peer received %d bytes, want the first %d intact", len(r.got), cut)
+	}
+	// The conn is dead: every later operation fails the same way.
+	if _, err := fc.Write([]byte{1}); !errors.Is(err, ErrReset) {
+		t.Fatalf("write on dead conn: got %v, want ErrReset", err)
+	}
+	if _, err := fc.Read(make([]byte, 1)); !errors.Is(err, ErrReset) {
+		t.Fatalf("read on dead conn: got %v, want ErrReset", err)
+	}
+}
+
+// TestFaultConnWriteResetExactBoundary: a write ending exactly on the
+// threshold delivers fully; the next write fails immediately.
+func TestFaultConnWriteResetExactBoundary(t *testing.T) {
+	a, b := net.Pipe()
+	fc := &FaultConn{Conn: a, WriteResetAfter: 64}
+
+	done := make(chan []byte)
+	go func() {
+		got, _ := drain(b)
+		done <- got
+	}()
+	if n, err := fc.Write(make([]byte, 64)); err != nil || n != 64 {
+		t.Fatalf("boundary write = (%d, %v), want (64, nil)", n, err)
+	}
+	n, err := fc.Write([]byte{1, 2, 3})
+	if !errors.Is(err, ErrReset) || n != 0 {
+		t.Fatalf("first write past the boundary = (%d, %v), want (0, ErrReset)", n, err)
+	}
+	if got := <-done; len(got) != 64 {
+		t.Fatalf("peer received %d bytes, want 64", len(got))
+	}
+}
+
+func TestFaultConnReadReset(t *testing.T) {
+	const cut = 50
+	a, b := net.Pipe()
+	fc := &FaultConn{Conn: a, ReadResetAfter: cut}
+	payload := bytes.Repeat([]byte{0xCD}, 200)
+
+	go func() {
+		b.Write(payload)
+		b.Close()
+	}()
+	got, err := drain(fc)
+	if !errors.Is(err, ErrReset) {
+		t.Fatalf("read past the cut: got %v, want ErrReset", err)
+	}
+	if !bytes.Equal(got, payload[:cut]) {
+		t.Fatalf("read %d bytes before the reset, want the first %d intact", len(got), cut)
+	}
+}
+
+func TestCorruptWriter(t *testing.T) {
+	payload := make([]byte, 256)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	fl := NewFlips(0xF00D, int64(len(payload)), 10)
+
+	var direct bytes.Buffer
+	cw := &CorruptWriter{W: &direct, F: fl}
+	// Write in two uneven pieces: offsets must be tracked across calls.
+	if _, err := cw.Write(payload[:100]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cw.Write(payload[100:]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: the same flips applied at rest.
+	want := make([]byte, len(payload))
+	copy(want, payload)
+	fl.Apply(want, 0)
+	if !bytes.Equal(direct.Bytes(), want) {
+		t.Fatal("in-flight corruption differs from the at-rest reference")
+	}
+	if bytes.Equal(direct.Bytes(), payload) {
+		t.Fatal("CorruptWriter changed nothing")
+	}
+}

@@ -10,6 +10,7 @@ import (
 func TestCtxflow(t *testing.T) {
 	linttest.Run(t, ctxflow.Analyzer,
 		"tsync/internal/stream", // target package: full contract + directive case
+		"tsync/internal/tsyncd", // target package: the PR 10 service entry points
 		"b",                     // non-target: only the everywhere rules
 	)
 }

@@ -1,0 +1,126 @@
+// Package tsyncd models the trace-sync service's entry points for the
+// ctxflow analyzer: PR 10 added a resident server whose accept loop,
+// per-connection spool loops, and client retry loops are exactly the
+// shapes the cancellation contract exists for. The path carries the
+// "tsyncd" segment, so the long-running rules apply in full.
+package tsyncd
+
+import "context"
+
+// --- positives ---
+
+// Serve accepts connections forever but cannot be told to drain.
+func Serve(accept func() (int, bool)) { // want `exported Serve runs unbounded work \(a for loop with no condition\) without a context.Context`
+	for {
+		if _, ok := accept(); !ok {
+			return
+		}
+	}
+}
+
+// Spool buffers upload frames until EOF with no way to cut a stalled
+// client loose.
+func Spool(frames chan []byte) int { // want `exported Spool runs unbounded work \(a range over a channel\) without a context.Context`
+	n := 0
+	for f := range frames {
+		n += len(f)
+	}
+	return n
+}
+
+// Handle spawns a session goroutine that nothing can abort.
+func Handle(session func()) { // want `exported Handle runs unbounded work \(a spawned goroutine\) without a context.Context`
+	go session()
+}
+
+// Retry takes a context but its attempt loop never consults it: a
+// client stuck redialing a dead server cannot be cancelled.
+func Retry(ctx context.Context, attempt func() bool) {
+	for { // want `condition-less loop never observes ctx`
+		if attempt() {
+			return
+		}
+	}
+}
+
+// server stores the serve context, decoupling the drain signal from the
+// sessions it is supposed to reach.
+type server struct {
+	ctx context.Context // want `context.Context stored in a struct field`
+}
+
+// Admit buries the context behind the tenant name.
+func Admit(tenant string, ctx context.Context) error { // want `context.Context is parameter 2 of Admit`
+	return ctx.Err()
+}
+
+// --- negatives ---
+
+// ServeContext is the fixed Serve: the accept loop polls the drain
+// signal every iteration, which is how the real server stops admitting.
+func ServeContext(ctx context.Context, accept func() (int, bool)) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if _, ok := accept(); !ok {
+			return nil
+		}
+	}
+}
+
+// SpoolContext polls on a frame stride so a drain interrupts even a
+// client that keeps the upload flowing.
+func SpoolContext(ctx context.Context, next func() ([]byte, bool)) (int, error) {
+	n := 0
+	for {
+		if n&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
+		f, ok := next()
+		if !ok {
+			return n, nil
+		}
+		n += len(f)
+	}
+}
+
+// RetryContext delegates the block to a ctx-taking dial each attempt.
+func RetryContext(ctx context.Context, attempt func(context.Context) bool) {
+	for {
+		if attempt(ctx) {
+			return
+		}
+	}
+}
+
+// Sync has no loop of its own: the cancellable work lives in the
+// callee, so the convenience wrapper is exempt.
+func Sync(attempt func(context.Context) bool) {
+	RetryContext(context.Background(), attempt)
+}
+
+// reap is unexported: internal helpers inherit their caller's contract.
+func reap(conns chan int) {
+	for range conns {
+	}
+}
+
+// --- directive-suppressed ---
+
+// DrainQueue empties the admission queue after the listener has closed;
+// the queue is finite and no longer fed, so the loop is bounded by
+// construction.
+func DrainQueue(pop func() (int, bool)) int {
+	n := 0
+	for { //tsync:nocancel — the listener is closed before DrainQueue runs; the queue is finite and never refilled, so the loop is bounded by its remaining length
+		v, ok := pop()
+		if !ok {
+			return n
+		}
+		n++
+		_ = v
+	}
+}

@@ -94,8 +94,16 @@ func (p Pipeline) Run(src *Source, out io.Writer, init, fin []measure.Offset) (*
 // RunContext is Run under a context: cancellation surfaces (as
 // ctx.Err()) within about one slab's worth of work, the decode
 // goroutines are released before it returns, and the deferred spill
-// teardown closes and removes every temp file even on that path.
+// teardown closes and removes every temp file even on that path. It is
+// sugar for running a one-shot Session; long-lived callers that need to
+// observe or abort the run from outside construct the Session directly.
 func (p Pipeline) RunContext(ctx context.Context, src *Source, out io.Writer, init, fin []measure.Offset) (*Result, error) {
+	return NewSession(p, src).Run(ctx, out, init, fin)
+}
+
+// runContext is the pipeline body shared by every entry path; Session
+// owns the lifecycle around it.
+func (p Pipeline) runContext(ctx context.Context, src *Source, out io.Writer, init, fin []measure.Offset) (*Result, error) {
 	opt := p.Options.Normalize()
 	mapper, err := p.baseMapper(init, fin)
 	if err != nil {

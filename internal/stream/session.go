@@ -1,0 +1,165 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"tsync/internal/measure"
+)
+
+// SessionState is the lifecycle position of a Session. A session moves
+// strictly forward: New → Running → one of Done, Failed, or Aborted.
+// There are no cycles — a Session runs at most once, so a *Result can
+// never be confused about which run produced it.
+type SessionState int32
+
+const (
+	// SessionNew is the state of a freshly constructed session: Run has
+	// not been called.
+	SessionNew SessionState = iota
+	// SessionRunning means Run is executing the pipeline right now.
+	SessionRunning
+	// SessionDone means Run completed and Result holds the outcome.
+	SessionDone
+	// SessionFailed means Run returned an error other than an abort.
+	SessionFailed
+	// SessionAborted means Abort canceled the session, either before Run
+	// started or while it was executing.
+	SessionAborted
+)
+
+// String names the state for diagnostics and typed protocol errors.
+func (s SessionState) String() string {
+	switch s {
+	case SessionNew:
+		return "new"
+	case SessionRunning:
+		return "running"
+	case SessionDone:
+		return "done"
+	case SessionFailed:
+		return "failed"
+	case SessionAborted:
+		return "aborted"
+	}
+	return fmt.Sprintf("SessionState(%d)", int32(s))
+}
+
+// ErrSessionState reports a lifecycle violation: Run on a session that
+// is not New, or Result on one that has not finished.
+var ErrSessionState = errors.New("stream: invalid session state")
+
+// Session is one full streaming correction run with an explicit
+// lifecycle: construct it over a source, Run it exactly once, and
+// observe or Abort it from other goroutines. It is the unit a long-lived
+// server schedules — admission control admits Sessions, drain aborts
+// them — while Pipeline remains the pure configuration. Pipeline.Run and
+// Pipeline.RunContext are thin wrappers that construct a Session and run
+// it immediately, so the two paths cannot diverge.
+//
+// Concurrency: Run must be called at most once; State, Result, and Abort
+// are safe from any goroutine at any time. Abort on a running session
+// cancels its context — the pipeline unwinds promptly (ctx is polled on
+// a stride), releases its decode goroutines, and removes every spill
+// temp file, exactly as an external cancellation would.
+type Session struct {
+	pipe Pipeline
+	src  *Source
+
+	mu      sync.Mutex
+	state   SessionState
+	cancel  context.CancelFunc
+	aborted bool
+	res     *Result
+	err     error
+}
+
+// NewSession prepares a session that will run p over src. Nothing
+// executes until Run.
+func NewSession(p Pipeline, src *Source) *Session {
+	return &Session{pipe: p, src: src}
+}
+
+// Source returns the source the session runs over.
+func (s *Session) Source() *Source { return s.src }
+
+// State reports the session's current lifecycle position.
+func (s *Session) State() SessionState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// Run executes the pipeline over the session's source, writing the
+// corrected trace to out unless out is nil (analysis only); the offset
+// tables serve the base corrections exactly as in Pipeline.Run. It may
+// be called only on a New session: a second Run, or a Run after Abort,
+// fails with ErrSessionState without touching the source.
+func (s *Session) Run(ctx context.Context, out io.Writer, init, fin []measure.Offset) (*Result, error) {
+	s.mu.Lock()
+	if s.state != SessionNew {
+		state := s.state
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: Run on a %s session", ErrSessionState, state)
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	s.state = SessionRunning
+	s.cancel = cancel
+	s.mu.Unlock()
+	defer cancel()
+
+	res, err := s.pipe.runContext(runCtx, s.src, out, init, fin)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.res, s.err = res, err
+	switch {
+	case err == nil:
+		s.state = SessionDone
+	case s.aborted && errors.Is(err, context.Canceled):
+		s.state = SessionAborted
+	default:
+		s.state = SessionFailed
+	}
+	return res, err
+}
+
+// Abort cancels the session. On a running session it cancels Run's
+// context and returns immediately — Run itself returns context.Canceled
+// shortly after, with all resources released. On a New session it moves
+// straight to Aborted, so a subsequent Run refuses to start. Aborting a
+// finished session is a no-op.
+func (s *Session) Abort() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.state {
+	case SessionNew:
+		s.aborted = true
+		s.state = SessionAborted
+		s.err = context.Canceled
+	case SessionRunning:
+		s.aborted = true
+		s.cancel()
+	}
+}
+
+// Result returns the finished session's outcome: the pipeline result on
+// Done, the run's error on Failed or Aborted. On a New or Running
+// session it fails with ErrSessionState.
+func (s *Session) Result() (*Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.state {
+	case SessionDone, SessionFailed:
+		return s.res, s.err
+	case SessionAborted:
+		if s.err != nil {
+			return s.res, s.err
+		}
+		return nil, context.Canceled
+	}
+	return nil, fmt.Errorf("%w: Result on a %s session", ErrSessionState, s.state)
+}

@@ -1,0 +1,192 @@
+package stream_test
+
+// Session lifecycle tests: a Session runs exactly once, its state
+// machine moves strictly forward, Abort cancels a running pipeline
+// promptly and cleanly, and the Session wrapper changes nothing about
+// the bytes a run produces (Pipeline.RunContext is the same code path).
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+
+	"tsync/internal/core"
+	"tsync/internal/faultinject"
+	"tsync/internal/stream"
+	"tsync/internal/xrand"
+)
+
+const sessionSeed = 0x5e551044
+
+// TestSessionLifecycle drives a session through the happy path and
+// checks every lifecycle guard around it.
+func TestSessionLifecycle(t *testing.T) {
+	path, init, fin := synthFile(t, stream.SynthSpec{
+		Ranks: 3, Steps: 200, CollEvery: 8, Seed: xrand.SeedAt(sessionSeed, 0),
+	})
+	src := openSource(t, path)
+
+	s := stream.NewSession(stream.Pipeline{Base: core.BaseInterp, CLC: true}, src)
+	if got := s.State(); got != stream.SessionNew {
+		t.Fatalf("fresh session state = %v, want new", got)
+	}
+	if s.Source() != src {
+		t.Fatal("Source() does not return the constructor's source")
+	}
+	if _, err := s.Result(); !errors.Is(err, stream.ErrSessionState) {
+		t.Fatalf("Result before Run: got %v, want ErrSessionState", err)
+	}
+
+	var out bytes.Buffer
+	res, err := s.Run(context.Background(), &out, init, fin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.State(); got != stream.SessionDone {
+		t.Fatalf("state after Run = %v, want done", got)
+	}
+	got, gotErr := s.Result()
+	if gotErr != nil || got != res {
+		t.Fatalf("Result() = (%p, %v), want the Run outcome (%p, nil)", got, gotErr, res)
+	}
+
+	// A session runs at most once.
+	if _, err := s.Run(context.Background(), nil, init, fin); !errors.Is(err, stream.ErrSessionState) {
+		t.Fatalf("second Run: got %v, want ErrSessionState", err)
+	}
+	// Abort on a finished session is a no-op.
+	s.Abort()
+	if got := s.State(); got != stream.SessionDone {
+		t.Fatalf("state after late Abort = %v, want done", got)
+	}
+}
+
+// TestSessionMatchesPipeline: wrapping a run in a Session is invisible
+// in the output — the bytes equal a direct Pipeline.RunContext run.
+func TestSessionMatchesPipeline(t *testing.T) {
+	path, init, fin := synthFile(t, stream.SynthSpec{
+		Ranks: 4, Steps: 300, CollEvery: 6, Seed: xrand.SeedAt(sessionSeed, 1),
+	})
+	p := stream.Pipeline{Base: core.BaseInterp, CLC: true}
+
+	var direct bytes.Buffer
+	if _, err := p.RunContext(context.Background(), openSource(t, path), &direct, init, fin); err != nil {
+		t.Fatal(err)
+	}
+	var viaSession bytes.Buffer
+	if _, err := stream.NewSession(p, openSource(t, path)).Run(context.Background(), &viaSession, init, fin); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(direct.Bytes(), viaSession.Bytes()) {
+		t.Fatalf("session output differs from direct pipeline output (%d vs %d bytes)", viaSession.Len(), direct.Len())
+	}
+}
+
+// TestSessionAbortBeforeRun: aborting a New session moves it to Aborted
+// and Run refuses to start.
+func TestSessionAbortBeforeRun(t *testing.T) {
+	path, init, fin := synthFile(t, stream.SynthSpec{
+		Ranks: 2, Steps: 50, Seed: xrand.SeedAt(sessionSeed, 2),
+	})
+	s := stream.NewSession(stream.Pipeline{Base: core.BaseNone}, openSource(t, path))
+	s.Abort()
+	if got := s.State(); got != stream.SessionAborted {
+		t.Fatalf("state after pre-Run Abort = %v, want aborted", got)
+	}
+	if _, err := s.Run(context.Background(), nil, init, fin); !errors.Is(err, stream.ErrSessionState) {
+		t.Fatalf("Run after Abort: got %v, want ErrSessionState", err)
+	}
+	if _, err := s.Result(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Result after pre-Run Abort: got %v, want context.Canceled", err)
+	}
+}
+
+// TestSessionAbortDuringRun aborts a session from inside the walk (a
+// deterministic read hook, no timers) and requires the same clean
+// teardown the cancellation tests demand: context.Canceled, no leaked
+// goroutines, no leftover spill files, state Aborted.
+func TestSessionAbortDuringRun(t *testing.T) {
+	var buf bytes.Buffer
+	if _, _, err := stream.Synth(stream.SynthSpec{
+		Ranks: 3, Steps: 2000, CollEvery: 4, Seed: xrand.SeedAt(sessionSeed, 3),
+	}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	tmp := t.TempDir()
+	t.Setenv("TMPDIR", tmp)
+	base := runtime.NumGoroutine()
+
+	var s *stream.Session
+	hook := &faultinject.HookReaderAt{
+		R:      bytes.NewReader(data),
+		Offset: math.MaxInt64, // inert during the index pass
+		Fn:     func() { s.Abort() },
+	}
+	src, err := stream.NewSource(hook)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hook.Offset = int64(len(data)) / 2 // arm: first walk read past the middle aborts
+	s = stream.NewSession(stream.Pipeline{Base: core.BaseNone, CLC: true}, src)
+
+	var out bytes.Buffer
+	_, err = s.Run(context.Background(), &out, nil, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("aborted Run: got %v, want context.Canceled", err)
+	}
+	if got := s.State(); got != stream.SessionAborted {
+		t.Fatalf("state after mid-run Abort = %v, want aborted", got)
+	}
+	if _, rerr := s.Result(); !errors.Is(rerr, context.Canceled) {
+		t.Fatalf("Result after mid-run Abort: got %v, want context.Canceled", rerr)
+	}
+	waitGoroutines(t, base)
+	ents, err := os.ReadDir(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		t.Errorf("leftover spill entry after abort: %s", e.Name())
+	}
+}
+
+// TestSessionExternalCancel: a cancellation arriving through Run's own
+// context (not Abort) is a failure, not an abort — the two are
+// distinguishable states.
+func TestSessionExternalCancel(t *testing.T) {
+	path, init, fin := synthFile(t, stream.SynthSpec{
+		Ranks: 2, Steps: 50, Seed: xrand.SeedAt(sessionSeed, 4),
+	})
+	s := stream.NewSession(stream.Pipeline{Base: core.BaseNone}, openSource(t, path))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Run(ctx, nil, init, fin); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled Run: got %v, want context.Canceled", err)
+	}
+	if got := s.State(); got != stream.SessionFailed {
+		t.Fatalf("state after external cancel = %v, want failed", got)
+	}
+}
+
+// TestSessionStateString pins the diagnostic spellings typed protocol
+// errors embed.
+func TestSessionStateString(t *testing.T) {
+	want := map[stream.SessionState]string{
+		stream.SessionNew:       "new",
+		stream.SessionRunning:   "running",
+		stream.SessionDone:      "done",
+		stream.SessionFailed:    "failed",
+		stream.SessionAborted:   "aborted",
+		stream.SessionState(99): "SessionState(99)",
+	}
+	for st, name := range want {
+		if got := st.String(); got != name {
+			t.Errorf("SessionState(%d).String() = %q, want %q", int32(st), got, name)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package tsyncd
+
+// The client side of the protocol: dial, hello, upload, collect. A
+// failed attempt retries under seeded exponential backoff (the jitter
+// stream comes from internal/xrand via the caller's seed, never the
+// wall clock), so a client's retry schedule is reproducible in tests.
+// Transient outcomes — dial errors, dead connections, busy and
+// queue-timeout rejections — retry; classified session errors and
+// checksum mismatches are final.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net"
+	"time"
+
+	"tsync/internal/backoff"
+)
+
+// uploadChunk is the client's DATA frame body size.
+const uploadChunk = 256 << 10
+
+// ErrChecksum reports that the corrected trace bytes received differ
+// from the checksum the server computed while writing them — a
+// transport-level corruption the protocol's framing failed to catch.
+var ErrChecksum = errors.New("tsyncd: received trace does not match the server checksum")
+
+// ClientConfig tunes a Client. Zero values select the defaults noted.
+type ClientConfig struct {
+	// Addr is the server's TCP address (host:port).
+	Addr string
+	// Attempts bounds the total session tries, first included;
+	// default 5.
+	Attempts int
+	// Backoff shapes the inter-attempt delays; the zero value selects
+	// backoff.Default().
+	Backoff backoff.Policy
+	// Seed seeds the backoff jitter stream.
+	Seed uint64
+	// Timeout bounds each frame read or write on the wire; default 30s.
+	Timeout time.Duration
+	// Dial overrides the transport; tests inject loopback pipes and
+	// fault-wrapped connections here. Nil dials Addr over TCP.
+	Dial func(ctx context.Context) (net.Conn, error)
+	// Sleep overrides the inter-attempt wait; tests substitute a
+	// recorder. Nil waits in real time (backoff.Sleep).
+	Sleep backoff.SleepFunc
+}
+
+// Client runs sessions against one server.
+type Client struct {
+	cfg ClientConfig
+}
+
+// NewClient returns a client over cfg (zero fields defaulted).
+func NewClient(cfg ClientConfig) *Client {
+	if cfg.Attempts <= 0 {
+		cfg.Attempts = 5
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.Backoff == (backoff.Policy{}) {
+		cfg.Backoff = backoff.Default()
+	}
+	return &Client{cfg: cfg}
+}
+
+func (c *Client) dial(ctx context.Context) (net.Conn, error) {
+	if c.cfg.Dial != nil {
+		return c.cfg.Dial(ctx)
+	}
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", c.cfg.Addr)
+}
+
+// Sync runs one correction session: tr's bytes stream to the server
+// under h's configuration, and the outcome comes back as a Done. When
+// h.WantTrace is set and out is non-nil, the corrected trace is
+// checksum-verified first and then copied to out — exactly once, even
+// across retries. tr must support seeking so a retry can replay the
+// upload from the start.
+func (c *Client) Sync(ctx context.Context, h Hello, tr io.ReadSeeker, out io.Writer) (*Done, error) {
+	b := backoff.New(c.cfg.Backoff, c.cfg.Seed)
+	var done *Done
+	err := backoff.Retry(ctx, b, c.cfg.Attempts, c.cfg.Sleep, permanentOutcome, func() error {
+		if _, err := tr.Seek(0, io.SeekStart); err != nil {
+			return &Error{Code: CodeInternal, Msg: err.Error()} // unseekable input: no retry can help
+		}
+		d, err := c.attempt(ctx, h, tr, out)
+		done = d
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return done, nil
+}
+
+// permanentOutcome classifies which attempt failures retrying cannot
+// fix: every protocol error except busy/queue-timeout, and a checksum
+// mismatch (the session succeeded; rerunning it proves nothing).
+// Everything else — dial failures, resets, timeouts — is transient.
+func permanentOutcome(err error) bool {
+	var perr *Error
+	if errors.As(err, &perr) {
+		return perr.Code != CodeBusy && perr.Code != CodeQueueTimeout
+	}
+	return errors.Is(err, ErrChecksum)
+}
+
+// attempt runs one full session on a fresh connection.
+func (c *Client) attempt(ctx context.Context, h Hello, tr io.Reader, out io.Writer) (*Done, error) {
+	conn, err := c.dial(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+
+	armWrite(conn, c.cfg.Timeout)
+	if err := writeJSONFrame(conn, fHello, h); err != nil {
+		return nil, err
+	}
+	armRead(conn, c.cfg.Timeout)
+	typ, payload, err := readFrame(br, DefaultMaxFrame)
+	if err != nil {
+		return nil, err
+	}
+	switch typ {
+	case fAccept:
+	case fReject, fError:
+		return nil, decodeError(payload)
+	default:
+		return nil, errf(CodeMalformed, "expected ACCEPT, got frame type %#x", typ)
+	}
+
+	// Upload. Server-side failures (quota, abort) arrive asynchronously;
+	// a write error here just means the server closed on us, and the
+	// receive loop below will surface whatever it managed to send.
+	buf := make([]byte, uploadChunk)
+	var uploadErr error
+	for {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		n, rerr := tr.Read(buf)
+		if n > 0 {
+			armWrite(conn, c.cfg.Timeout)
+			if werr := writeFrame(conn, fData, buf[:n]); werr != nil {
+				uploadErr = werr
+				break
+			}
+		}
+		if rerr == io.EOF {
+			armWrite(conn, c.cfg.Timeout)
+			if werr := writeFrame(conn, fEOF, nil); werr != nil {
+				uploadErr = werr
+			}
+			break
+		}
+		if rerr != nil {
+			return nil, rerr
+		}
+	}
+
+	// Collect. RESULT frames accumulate locally and reach out only
+	// after the checksum verifies, so retries never emit partial bytes.
+	hash := fnv.New64a()
+	var body bytes.Buffer
+	for {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		armRead(conn, c.cfg.Timeout)
+		typ, payload, err := readFrame(br, DefaultMaxFrame)
+		if err != nil {
+			if uploadErr != nil {
+				return nil, fmt.Errorf("upload failed (%v) and no server verdict followed: %w", uploadErr, err)
+			}
+			return nil, err
+		}
+		switch typ {
+		case fResult:
+			hash.Write(payload)
+			if out != nil {
+				body.Write(payload)
+			}
+		case fPong:
+		case fDone:
+			var d Done
+			if err := json.Unmarshal(payload, &d); err != nil {
+				return nil, errf(CodeMalformed, "undecodable DONE: %v", err)
+			}
+			if h.WantTrace {
+				if got := fmt.Sprintf("%016x", hash.Sum64()); got != d.Checksum {
+					return nil, fmt.Errorf("%w: got %s, server wrote %s", ErrChecksum, got, d.Checksum)
+				}
+			}
+			if out != nil {
+				if _, err := out.Write(body.Bytes()); err != nil {
+					return nil, &Error{Code: CodeInternal, Msg: err.Error()} // local sink failure: final
+				}
+			}
+			return &d, nil
+		case fError:
+			return nil, decodeError(payload)
+		default:
+			return nil, errf(CodeMalformed, "unexpected frame type %#x", typ)
+		}
+	}
+}
+
+// decodeError turns a REJECT/ERROR payload back into an *Error; an
+// undecodable payload is itself a protocol violation.
+func decodeError(payload []byte) error {
+	var perr Error
+	if err := json.Unmarshal(payload, &perr); err != nil || perr.Code == "" {
+		return errf(CodeMalformed, "undecodable error frame %q", payload)
+	}
+	return &perr
+}

@@ -1,0 +1,33 @@
+package tsyncd
+
+// The single place this package touches the host clock. Everything the
+// protocol decides — frame contents, session results, fault outcomes —
+// is independent of real time; only the *enforcement* of idle and drain
+// deadlines needs an absolute wall-clock instant, because net.Conn
+// deadlines are absolute by API. Confining the conversion here keeps
+// the wallclock analyzer's guarantee meaningful for the rest of the
+// package: a test that never hits a deadline is timer-free.
+
+import (
+	"net"
+	"time"
+)
+
+// deadlineAt converts a relative timeout into the absolute instant
+// net.Conn deadlines require; d <= 0 means no deadline.
+func deadlineAt(d time.Duration) time.Time {
+	if d <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(d) //tsync:wallclock — net.Conn deadlines are absolute instants; this is the package's one conversion from a configured timeout to the host clock, and no protocol outcome depends on the value
+}
+
+// armRead refreshes c's read deadline to d from now.
+func armRead(c net.Conn, d time.Duration) {
+	c.SetReadDeadline(deadlineAt(d))
+}
+
+// armWrite refreshes c's write deadline to d from now.
+func armWrite(c net.Conn, d time.Duration) {
+	c.SetWriteDeadline(deadlineAt(d))
+}

@@ -1,0 +1,185 @@
+package tsyncd_test
+
+// Graceful-drain coverage, extending the PR 5 abort-cleanup style to
+// the server: SIGTERM (modeled as the serve context canceling) with
+// sessions in flight must leave an empty TMPDIR, zero leaked
+// goroutines, and a Serve that actually returns. Two shapes matter:
+// a session that can finish within the grace period does, and one that
+// cannot is aborted cleanly at the drain deadline.
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"tsync/internal/faultinject"
+	"tsync/internal/stream"
+	"tsync/internal/tsyncd"
+	"tsync/internal/xrand"
+)
+
+const drainSeed = 0xd4a15
+
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	for i := 0; i < 1_000_000; i++ {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		runtime.Gosched()
+	}
+	t.Errorf("goroutine leak: %d running, baseline %d", runtime.NumGoroutine(), base)
+}
+
+func assertEmptyDir(t *testing.T, dir string) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		t.Errorf("leftover spill entry after drain: %s", e.Name())
+	}
+}
+
+// TestDrainAbortsStalledSession: a client stops reading its result
+// stream, wedging the session mid-assembly with spill files on disk;
+// the drain deadline aborts it, and the teardown leaves nothing behind.
+func TestDrainAbortsStalledSession(t *testing.T) {
+	tmp := t.TempDir()
+	t.Setenv("TMPDIR", tmp)
+	base := runtime.NumGoroutine()
+
+	data, _, hello := synthBytes(t, stream.SynthSpec{
+		Ranks: 3, Steps: 5000, CollEvery: 4, Seed: xrand.SeedAt(drainSeed, 0),
+	})
+	ts := startServer(t, tsyncd.Config{
+		MaxSessions:  2,
+		IdleTimeout:  10 * time.Second,
+		DrainTimeout: 100 * time.Millisecond,
+	})
+
+	conn := rawConn(t, ts.addr())
+	sendJSON(t, conn, 0x01, hello)
+	if typ, _ := readReply(t, conn); typ != 0x11 {
+		t.Fatal("want ACCEPT")
+	}
+	for off := 0; off < len(data); off += 64 << 10 {
+		end := off + 64<<10
+		if end > len(data) {
+			end = len(data)
+		}
+		sendFrame(t, conn, 0x02, data[off:end])
+	}
+	sendFrame(t, conn, 0x03, nil)
+
+	// Wait for the first corrected byte — proof the session is running
+	// and its spill files exist — then stop reading entirely. The
+	// server's RESULT writes back up against the socket until drain.
+	one := make([]byte, 1)
+	if _, err := io.ReadFull(conn, one); err != nil {
+		t.Fatalf("no result bytes before drain: %v", err)
+	}
+
+	if err := ts.shutdown(); err != nil {
+		t.Fatalf("drain with a wedged session: %v", err)
+	}
+	conn.Close()
+	waitGoroutines(t, base)
+	assertEmptyDir(t, tmp)
+}
+
+// gateFS parks the first spill Create until released, pinning a session
+// in a known mid-run state without timers.
+type gateFS struct {
+	fs      stream.SpillFS
+	entered chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func newGateFS(fs stream.SpillFS) *gateFS {
+	return &gateFS{fs: fs, entered: make(chan struct{}), release: make(chan struct{})}
+}
+
+func (g *gateFS) Create(name string) (io.WriteCloser, error) {
+	g.once.Do(func() {
+		close(g.entered)
+		<-g.release
+	})
+	return g.fs.Create(name)
+}
+
+func (g *gateFS) Open(name string) (io.ReadCloser, error) { return g.fs.Open(name) }
+
+// TestDrainLetsSessionFinish: a session already past admission when the
+// drain begins completes within the grace period and delivers its Done,
+// bit-identical — drain is graceful, not a kill switch.
+func TestDrainLetsSessionFinish(t *testing.T) {
+	tmp := t.TempDir()
+	t.Setenv("TMPDIR", tmp)
+	base := runtime.NumGoroutine()
+
+	c := &corpus{}
+	c.data, _, c.hello = synthBytes(t, stream.SynthSpec{
+		Ranks: 3, Steps: 300, CollEvery: 5, Seed: xrand.SeedAt(drainSeed, 1),
+	})
+	reference(t, c)
+
+	gate := newGateFS(faultinject.NewFS(-1))
+	ts := startServer(t, tsyncd.Config{
+		MaxSessions:  2,
+		DrainTimeout: 10 * time.Second,
+		SpillFS:      gate,
+	})
+
+	type outcome struct {
+		done *tsyncd.Done
+		out  bytes.Buffer
+		err  error
+	}
+	res := &outcome{}
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		res.done, res.err = ts.client(1).Sync(context.Background(), c.hello, bytes.NewReader(c.data), &res.out) //tsync:locked — the finished channel: writes happen-before close(finished), reads after <-finished
+	}()
+
+	<-gate.entered // the session is mid-run
+	ts.cancel()    // SIGTERM: drain begins with the session in flight
+	close(gate.release)
+
+	<-finished
+	if res.err != nil {
+		t.Fatalf("session across a drain: %v", res.err)
+	}
+	if res.done.Checksum != c.wantChecksum {
+		t.Fatalf("checksum %s, want %s", res.done.Checksum, c.wantChecksum)
+	}
+	if !bytes.Equal(res.out.Bytes(), c.wantBytes) {
+		t.Fatal("bytes delivered across a drain differ from the direct pipeline's")
+	}
+	if err := ts.shutdown(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	waitGoroutines(t, base)
+	assertEmptyDir(t, tmp)
+}
+
+// TestDrainRejectsNewConnections: once the drain begins the listener is
+// closed, so new dials fail outright rather than queueing forever.
+func TestDrainRejectsNewConnections(t *testing.T) {
+	ts := startServer(t, tsyncd.Config{})
+	if err := ts.shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ts.client(1).Sync(context.Background(), tsyncd.Hello{Base: "none"},
+		bytes.NewReader(nil), nil); err == nil {
+		t.Fatal("session admitted after drain")
+	}
+}

@@ -1,0 +1,221 @@
+package tsyncd_test
+
+// The fault-matrix acceptance: 100 seeded sessions run against one
+// server while deterministic network faults tear at them — mid-stream
+// connection resets on either side, partial writes, corrupted trace
+// bytes, garbage frames. The bar (ISSUE 10): at least 99% of sessions
+// either complete bit-identically to the one-shot pipeline or fail with
+// a classified error; the server survives every case, still serves a
+// clean session afterwards, and drains to zero goroutines and an empty
+// TMPDIR.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"tsync/internal/faultinject"
+	"tsync/internal/stream"
+	"tsync/internal/tsyncd"
+	"tsync/internal/xrand"
+)
+
+const matrixSeed = 0xfa017
+
+type faultKind int
+
+const (
+	faultNone faultKind = iota
+	faultWriteReset
+	faultReadReset
+	faultShortWrites
+	faultCorruptTrace
+	faultGarbageFrame
+	faultKinds
+)
+
+func (k faultKind) String() string {
+	switch k {
+	case faultNone:
+		return "none"
+	case faultWriteReset:
+		return "write-reset"
+	case faultReadReset:
+		return "read-reset"
+	case faultShortWrites:
+		return "short-writes"
+	case faultCorruptTrace:
+		return "corrupt-trace"
+	case faultGarbageFrame:
+		return "garbage-frame"
+	}
+	return "?"
+}
+
+// garbageConn injects one garbage frame ahead of the client's second
+// write — a protocol-level malformed frame the server must classify.
+type garbageConn struct {
+	net.Conn
+	writes int
+}
+
+func (c *garbageConn) Write(p []byte) (int, error) {
+	c.writes++
+	if c.writes == 2 {
+		if _, err := c.Conn.Write([]byte{0x7f, 4, 0, 0, 0, 'j', 'u', 'n', 'k'}); err != nil {
+			return 0, err
+		}
+	}
+	return c.Conn.Write(p)
+}
+
+func TestFaultMatrix(t *testing.T) {
+	tmp := t.TempDir()
+	t.Setenv("TMPDIR", tmp)
+	base := runtime.NumGoroutine()
+
+	c := &corpus{}
+	c.data, _, c.hello = synthBytes(t, stream.SynthSpec{
+		Ranks: 3, Steps: 300, CollEvery: 5, Seed: xrand.SeedAt(matrixSeed, 0),
+	})
+	reference(t, c)
+	t.Logf("trace: %d bytes up, %d bytes back", len(c.data), len(c.wantBytes))
+
+	ts := startServer(t, tsyncd.Config{MaxSessions: 4, MaxQueue: 32})
+
+	const cases = 100
+	counts := map[string]int{}
+	unclassified := 0
+	for i := 0; i < cases; i++ {
+		rng := xrand.NewSource(xrand.SeedAt(matrixSeed, 100+uint64(i)))
+		kind := faultKind(rng.Intn(int(faultKinds)))
+		outcome := runFaultCase(t, ts, c, kind, rng)
+		counts[kind.String()+"/"+outcome]++
+		if outcome == "unclassified" {
+			unclassified++
+			t.Logf("case %d (%v): unclassified outcome", i, kind)
+		}
+	}
+	for k, n := range counts {
+		t.Logf("%-28s %d", k, n) //tsync:unordered — test log only; the assertion below is order-free
+	}
+	if unclassified > cases/100 {
+		t.Fatalf("%d/%d sessions ended unclassified; the bar is ≥99%% identical-or-classified", unclassified, cases)
+	}
+
+	// The server must still serve a clean, bit-identical session.
+	var out bytes.Buffer
+	done, err := ts.client(xrand.SeedAt(matrixSeed, 999)).Sync(context.Background(), c.hello, bytes.NewReader(c.data), &out)
+	if err != nil {
+		t.Fatalf("clean session after the fault matrix: %v", err)
+	}
+	if done.Checksum != c.wantChecksum || !bytes.Equal(out.Bytes(), c.wantBytes) {
+		t.Fatal("post-matrix session is not bit-identical to the pipeline")
+	}
+
+	if err := ts.shutdown(); err != nil {
+		t.Fatalf("drain after the fault matrix: %v", err)
+	}
+	waitGoroutines(t, base)
+	assertEmptyDir(t, tmp)
+}
+
+// runFaultCase runs one session under the given fault and classifies
+// its outcome: "identical" (completed, bytes and checksum equal the
+// pipeline's), "classified" (a typed protocol error or the injected
+// fault's own connection error), "completed" (corrupt-trace input that
+// still decoded; no clean reference exists), or "unclassified".
+func runFaultCase(t *testing.T, ts *testServer, c *corpus, kind faultKind, rng *xrand.Source) string {
+	t.Helper()
+	data := c.data
+	if kind == faultCorruptTrace {
+		flips := faultinject.NewBurstFlips(rng.Uint64(), int64(len(data)), 2, 48)
+		corrupted := make([]byte, len(data))
+		copy(corrupted, data)
+		flips.Apply(corrupted, 0)
+		data = corrupted
+	}
+
+	cl := tsyncd.NewClient(tsyncd.ClientConfig{
+		Seed: rng.Uint64(), Attempts: 1, Timeout: 10 * time.Second,
+		Dial: func(ctx context.Context) (net.Conn, error) {
+			var d net.Dialer
+			conn, err := d.DialContext(ctx, "tcp", ts.addr())
+			if err != nil {
+				return nil, err
+			}
+			switch kind {
+			case faultWriteReset:
+				return &faultinject.FaultConn{Conn: conn,
+					WriteResetAfter: 1 + int64(rng.Intn(len(c.data)+2000))}, nil
+			case faultReadReset:
+				return &faultinject.FaultConn{Conn: conn,
+					ReadResetAfter: 1 + int64(rng.Intn(len(c.wantBytes)+2000))}, nil
+			case faultShortWrites:
+				return &faultinject.FaultConn{Conn: conn,
+					ShortWrites: xrand.NewSource(rng.Uint64()), ShortMax: 1 + rng.Intn(1000)}, nil
+			case faultGarbageFrame:
+				return &garbageConn{Conn: conn}, nil
+			}
+			return conn, nil
+		},
+	})
+
+	var out bytes.Buffer
+	done, err := cl.Sync(context.Background(), c.hello, bytes.NewReader(data), &out)
+	switch {
+	case err == nil:
+		if kind == faultCorruptTrace {
+			// The flips happened to leave a decodable trace; the session
+			// ran it faithfully. There is no clean-input reference to
+			// compare against, but nothing was mishandled.
+			return "completed"
+		}
+		if done.Checksum == c.wantChecksum && bytes.Equal(out.Bytes(), c.wantBytes) {
+			return "identical"
+		}
+		return "unclassified"
+	case isClassified(err, kind):
+		return "classified"
+	}
+	t.Logf("fault %v: unclassified error: %v", kind, err)
+	return "unclassified"
+}
+
+// isClassified accepts the two legitimate failure shapes: a typed
+// protocol error from the server, or the connection-level error the
+// injected fault itself produces (a real reset surfaces exactly the
+// same way to a real client).
+func isClassified(err error, kind faultKind) bool {
+	var perr *tsyncd.Error
+	if errors.As(err, &perr) {
+		return true
+	}
+	if kind == faultNone || kind == faultShortWrites {
+		return false // no fault was injected; any error is a real bug
+	}
+	var ne net.Error
+	return errors.Is(err, faultinject.ErrReset) ||
+		errors.As(err, &ne) ||
+		errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, os.ErrDeadlineExceeded) ||
+		isBrokenPipe(err)
+}
+
+func isBrokenPipe(err error) bool {
+	var oe *net.OpError
+	if errors.As(err, &oe) {
+		return true
+	}
+	return err != nil && (contains(err.Error(), "broken pipe") || contains(err.Error(), "connection reset"))
+}
+
+func contains(s, sub string) bool { return bytes.Contains([]byte(s), []byte(sub)) }

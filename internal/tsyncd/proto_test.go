@@ -1,0 +1,108 @@
+package tsyncd
+
+// White-box frame-codec tests: round trips, the oversized/truncated
+// rejections, and the error classification helpers.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"testing"
+
+	"tsync/internal/stream"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte("frame"), 1000)}
+	for i, p := range payloads {
+		if err := writeFrame(&buf, byte(i+1), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, p := range payloads {
+		typ, got, err := readFrame(&buf, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if typ != byte(i+1) || !bytes.Equal(got, p) {
+			t.Fatalf("frame %d: type %#x payload %d bytes, want %#x / %d", i, typ, len(got), i+1, len(p))
+		}
+	}
+}
+
+func TestFrameOversized(t *testing.T) {
+	if err := writeFrame(io.Discard, fData, make([]byte, DefaultMaxFrame+1)); err == nil {
+		t.Fatal("oversized write accepted")
+	}
+	var buf bytes.Buffer
+	buf.Write([]byte{fData, 0xff, 0xff, 0xff, 0xff})
+	_, _, err := readFrame(&buf, 0)
+	var perr *Error
+	if !errors.As(err, &perr) || perr.Code != CodeMalformed {
+		t.Fatalf("oversized read: got %v, want malformed", err)
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	var whole bytes.Buffer
+	if err := writeFrame(&whole, fDone, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	full := whole.Bytes()
+	for cut := 1; cut < len(full); cut++ {
+		_, _, err := readFrame(bytes.NewReader(full[:cut]), 0)
+		if err == nil {
+			t.Fatalf("truncation at %d bytes decoded successfully", cut)
+		}
+	}
+}
+
+func TestErrorRendering(t *testing.T) {
+	if got := (&Error{Code: CodeBusy}).Error(); got != "tsyncd: busy" {
+		t.Errorf("bare error renders %q", got)
+	}
+	if got := errf(CodeQuotaBytes, "limit %d", 9).Error(); got != "tsyncd: quota-bytes: limit 9" {
+		t.Errorf("detailed error renders %q", got)
+	}
+}
+
+func TestBuildPipelineDefaults(t *testing.T) {
+	pipe, perr := buildPipeline(Hello{})
+	if perr != nil {
+		t.Fatal(perr)
+	}
+	if pipe.Options.Policy != stream.PolicySpill {
+		t.Errorf("default policy %v, want spill (the CLI default)", pipe.Options.Policy)
+	}
+	if _, perr := buildPipeline(Hello{Base: "bogus"}); perr == nil || perr.Code != CodeMalformed {
+		t.Errorf("bogus base: got %v, want malformed", perr)
+	}
+	if _, perr := buildPipeline(Hello{Policy: "bogus"}); perr == nil || perr.Code != CodeMalformed {
+		t.Errorf("bogus policy: got %v, want malformed", perr)
+	}
+}
+
+func TestClassifyRun(t *testing.T) {
+	cases := []struct {
+		err  error
+		st   stream.SessionState
+		want Code
+	}{
+		{errf(CodeQuotaSpill, "x"), stream.SessionFailed, CodeQuotaSpill},
+		{stream.ErrWindowExceeded, stream.SessionFailed, CodeWindow},
+		{stream.ErrUnsupported, stream.SessionFailed, CodeUnsupported},
+		{context.Canceled, stream.SessionAborted, CodeAborted},
+		{errors.New("mystery"), stream.SessionFailed, CodeInternal},
+	}
+	for _, c := range cases {
+		got := classifyRun(c.err, c.st)
+		if got == nil || got.Code != c.want {
+			t.Errorf("classifyRun(%v) = %v, want %s", c.err, got, c.want)
+		}
+	}
+	if got := classifyRun(io.ErrClosedPipe, stream.SessionFailed); got != nil {
+		t.Errorf("conn-level failure classified as %v, want nil (no peer to tell)", got)
+	}
+}
